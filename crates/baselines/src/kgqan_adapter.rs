@@ -1,0 +1,120 @@
+//! Exposes the KGQAn platform through the shared [`QaSystem`] interface so
+//! the harness can evaluate it side by side with the baselines.
+
+use std::time::Instant;
+
+use kgqan::{KgqanConfig, KgqanPlatform, QuestionUnderstanding};
+use kgqan_endpoint::SparqlEndpoint;
+
+use crate::{PreprocessingStats, QaSystem, SystemResponse};
+
+/// KGQAn wrapped as a [`QaSystem`].
+pub struct KgqanSystem {
+    platform: KgqanPlatform,
+    name: String,
+}
+
+impl KgqanSystem {
+    /// Build with the default configuration (trains the QU models once).
+    pub fn new() -> Self {
+        Self::with_config(KgqanConfig::default())
+    }
+
+    /// Build with a custom configuration.
+    pub fn with_config(config: KgqanConfig) -> Self {
+        KgqanSystem {
+            platform: KgqanPlatform::with_config(config),
+            name: "KGQAn".to_string(),
+        }
+    }
+
+    /// Build from an already-trained question-understanding component
+    /// (lets the harness train once and evaluate many configurations).
+    pub fn with_parts(understanding: QuestionUnderstanding, config: KgqanConfig) -> Self {
+        KgqanSystem {
+            platform: KgqanPlatform::with_parts(understanding, config),
+            name: "KGQAn".to_string(),
+        }
+    }
+
+    /// Override the display name (used by the Table 4 harness to label
+    /// configuration variants).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Access the wrapped platform.
+    pub fn platform(&self) -> &KgqanPlatform {
+        &self.platform
+    }
+}
+
+impl Default for KgqanSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QaSystem for KgqanSystem {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn preprocess(&mut self, _endpoint: &dyn SparqlEndpoint) -> PreprocessingStats {
+        // KGQAn's defining property: no per-KG pre-processing at all.
+        PreprocessingStats::default()
+    }
+
+    fn answer(&self, question: &str, endpoint: &dyn SparqlEndpoint) -> SystemResponse {
+        let start = Instant::now();
+        match self.platform.answer(question, endpoint) {
+            Ok(outcome) => SystemResponse {
+                answers: outcome.answers.clone(),
+                boolean: outcome.boolean,
+                understanding_ok: !outcome.understanding.pgp.is_empty(),
+                phase_seconds: (
+                    outcome.timings.understanding.as_secs_f64(),
+                    outcome.timings.linking.as_secs_f64(),
+                    outcome.timings.execution_filtration.as_secs_f64(),
+                ),
+            },
+            Err(_) => SystemResponse {
+                understanding_ok: false,
+                phase_seconds: (start.elapsed().as_secs_f64(), 0.0, 0.0),
+                ..Default::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgqan_benchmarks::kg::{GeneratedKg, KgFlavor, KgScale};
+    use kgqan_endpoint::InProcessEndpoint;
+
+    #[test]
+    fn kgqan_adapter_requires_no_preprocessing_and_answers() {
+        let kg = GeneratedKg::generate(KgFlavor::Dbpedia10, KgScale::tiny());
+        let ep = InProcessEndpoint::new("DBpedia", kg.store.clone());
+        let mut sys = KgqanSystem::new();
+        let stats = sys.preprocess(&ep);
+        assert_eq!(stats.indexed_items, 0);
+        assert_eq!(stats.index_bytes, 0);
+
+        let person = kg.facts.people.iter().find(|p| p.spouse.is_some()).unwrap();
+        let spouse = &kg.facts.people[person.spouse.unwrap()];
+        let response = sys.answer(&format!("Who is the spouse of {}?", person.name), &ep);
+        assert!(response.understanding_ok);
+        assert!(
+            response.answers.contains(&spouse.iri),
+            "expected {:?} in {:?}",
+            spouse.iri,
+            response.answers
+        );
+        assert!(response.phase_seconds.0 > 0.0);
+        assert_eq!(sys.name(), "KGQAn");
+        assert_eq!(sys.named("KGQAn (GPT-3 QU)").name(), "KGQAn (GPT-3 QU)");
+    }
+}

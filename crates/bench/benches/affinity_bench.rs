@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks for the semantic-affinity models (Equation 1):
+//! fine-grained word-pair affinity vs the coarse-grained sentence-embedding
+//! variant — the design choice ablated in Table 4.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgqan::{CoarseGrainedAffinity, FineGrainedAffinity, SemanticAffinity};
+
+fn affinity(c: &mut Criterion) {
+    let fg = FineGrainedAffinity::new();
+    let cg = CoarseGrainedAffinity::new();
+    let pairs = [
+        ("city on the shore", "nearest city"),
+        ("wife", "spouse"),
+        ("flow", "outflow"),
+        ("author of the paper", "authored by"),
+        ("2279569217", "creator"),
+    ];
+
+    let mut group = c.benchmark_group("semantic_affinity");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group.bench_function("fine_grained_eq1", |b| {
+        b.iter(|| pairs.iter().map(|(a, x)| fg.score(a, x)).sum::<f32>())
+    });
+    group.bench_function("coarse_grained_sentence", |b| {
+        b.iter(|| pairs.iter().map(|(a, x)| cg.score(a, x)).sum::<f32>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, affinity);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the RDF store substrate: bulk loading,
+//! triple-pattern matching under the six-way vs three-way index layouts
+//! (the index-layout ablation called out in DESIGN.md), and full-text search.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgqan_benchmarks::kg::{GeneratedKg, KgFlavor, KgScale};
+use kgqan_rdf::{Store, Term, TriplePattern};
+
+fn load_store(c: &mut Criterion) {
+    let kg = GeneratedKg::generate(KgFlavor::Dbpedia10, KgScale::tiny());
+    let triples: Vec<_> = kg.store.iter().collect();
+    let mut group = c.benchmark_group("store_load");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function(BenchmarkId::new("insert_all", triples.len()), |b| {
+        b.iter(|| {
+            let mut store = Store::new();
+            store.insert_all(triples.iter().cloned());
+            store.len()
+        })
+    });
+    group.finish();
+}
+
+fn pattern_matching(c: &mut Criterion) {
+    let kg = GeneratedKg::generate(KgFlavor::Dbpedia10, KgScale::tiny());
+    let six = kg.store.clone();
+    let mut three = Store::new_three_way();
+    three.insert_all(six.iter());
+    let label = Term::iri(kgqan_rdf::vocab::RDFS_LABEL);
+    let some_person = kg.facts.people[17].iri.clone();
+
+    let mut group = c.benchmark_group("store_pattern_matching");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for (name, store) in [("six_way", &six), ("three_way", &three)] {
+        group.bench_function(BenchmarkId::new("by_predicate", name), |b| {
+            let pattern = TriplePattern::any().with_predicate(label.clone());
+            b.iter(|| store.matching(&pattern).len())
+        });
+        group.bench_function(BenchmarkId::new("by_subject_object", name), |b| {
+            let pattern = TriplePattern::any()
+                .with_subject(some_person.clone())
+                .with_object(Term::literal_str(kg.facts.people[17].name.clone()));
+            b.iter(|| store.matching(&pattern).len())
+        });
+    }
+    group.finish();
+}
+
+fn text_search(c: &mut Criterion) {
+    let kg = GeneratedKg::generate(KgFlavor::Mag, KgScale::tiny());
+    let mut group = c.benchmark_group("store_text_search");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.bench_function("potential_relevant_vertices", |b| {
+        b.iter(|| {
+            kg.store
+                .vertices_with_description_containing(&["query", "processing"], 400)
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, load_store, pattern_matching, text_search);
+criterion_main!(benches);

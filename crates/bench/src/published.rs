@@ -1,0 +1,123 @@
+//! Numbers published in the paper, reproduced as labelled constants.
+//!
+//! Two uses:
+//!
+//! * **NSQA** is proprietary; the paper itself only reports its published
+//!   QALD-9 / LC-QuAD 1.0 numbers, so the Table 3 harness does the same.
+//! * The paper's own measurements are embedded so every harness binary can
+//!   print a *paper vs. measured* comparison (the shapes that EXPERIMENTS.md
+//!   tracks).
+
+/// Precision / recall / F1 triple as reported in the paper (scores are
+/// "out of 100").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishedPRF {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1.
+    pub f1: f64,
+}
+
+/// NSQA on QALD-9 (Table 3).
+pub const NSQA_QALD9: PublishedPRF = PublishedPRF {
+    precision: 31.89,
+    recall: 32.05,
+    f1: 31.26,
+};
+
+/// NSQA on LC-QuAD 1.0 (Table 3).
+pub const NSQA_LCQUAD: PublishedPRF = PublishedPRF {
+    precision: 44.76,
+    recall: 45.82,
+    f1: 44.45,
+};
+
+/// Paper-reported KGQAn rows of Table 3, keyed by benchmark name.
+pub const PAPER_KGQAN_TABLE3: &[(&str, PublishedPRF)] = &[
+    ("QALD-9", PublishedPRF { precision: 51.13, recall: 38.72, f1: 44.07 }),
+    ("LC-QuAD 1.0", PublishedPRF { precision: 58.71, recall: 46.11, f1: 51.65 }),
+    ("YAGO-Bench", PublishedPRF { precision: 48.48, recall: 65.22, f1: 55.62 }),
+    ("DBLP-Bench", PublishedPRF { precision: 57.87, recall: 52.02, f1: 54.79 }),
+    ("MAG-Bench", PublishedPRF { precision: 55.43, recall: 45.61, f1: 50.05 }),
+];
+
+/// Paper-reported gAnswer rows of Table 3.
+pub const PAPER_GANSWER_TABLE3: &[(&str, PublishedPRF)] = &[
+    ("QALD-9", PublishedPRF { precision: 29.34, recall: 32.68, f1: 29.81 }),
+    ("LC-QuAD 1.0", PublishedPRF { precision: 82.21, recall: 4.31, f1: 8.18 }),
+    ("YAGO-Bench", PublishedPRF { precision: 58.49, recall: 34.05, f1: 43.04 }),
+    ("DBLP-Bench", PublishedPRF { precision: 78.00, recall: 2.00, f1: 3.90 }),
+    ("MAG-Bench", PublishedPRF { precision: 0.0, recall: 0.0, f1: 0.0 }),
+];
+
+/// Paper-reported EDGQA rows of Table 3.
+pub const PAPER_EDGQA_TABLE3: &[(&str, PublishedPRF)] = &[
+    ("QALD-9", PublishedPRF { precision: 31.30, recall: 40.30, f1: 32.00 }),
+    ("LC-QuAD 1.0", PublishedPRF { precision: 50.50, recall: 56.00, f1: 53.10 }),
+    ("YAGO-Bench", PublishedPRF { precision: 41.90, recall: 40.80, f1: 41.40 }),
+    ("DBLP-Bench", PublishedPRF { precision: 8.00, recall: 8.00, f1: 8.00 }),
+    ("MAG-Bench", PublishedPRF { precision: 4.00, recall: 4.00, f1: 4.00 }),
+];
+
+/// Paper-reported response times of Figure 7: per system and benchmark, the
+/// average total latency in seconds.
+pub const PAPER_FIGURE7_TOTAL_SECONDS: &[(&str, &str, f64)] = &[
+    ("gAnswer", "QALD-9", 8.9),
+    ("EDGQA", "QALD-9", 9.4),
+    ("KGQAn", "QALD-9", 7.2),
+    ("gAnswer", "LC-QuAD 1.0", 13.6),
+    ("EDGQA", "LC-QuAD 1.0", 6.0),
+    ("KGQAn", "LC-QuAD 1.0", 3.2),
+    ("gAnswer", "YAGO-Bench", 15.8),
+    ("EDGQA", "YAGO-Bench", 4.4),
+    ("KGQAn", "YAGO-Bench", 5.8),
+    ("gAnswer", "DBLP-Bench", 4.4),
+    ("EDGQA", "DBLP-Bench", 2.2),
+    ("KGQAn", "DBLP-Bench", 3.3),
+    ("gAnswer", "MAG-Bench", 2.0),
+    ("EDGQA", "MAG-Bench", 2.5),
+    ("KGQAn", "MAG-Bench", 3.4),
+];
+
+/// Paper-reported Table 4 F1 scores: (benchmark, BART+FG, GPT-3 QU + FG,
+/// BART + GPT-3 CG affinity).
+pub const PAPER_TABLE4_F1: &[(&str, f64, f64, f64)] = &[
+    ("QALD-9", 44.07, 42.12, 42.60),
+    ("LC-QuAD 1.0", 51.65, 52.87, 50.86),
+    ("YAGO-Bench", 55.62, 54.94, 55.02),
+    ("DBLP-Bench", 54.79, 54.42, 41.72),
+    ("MAG-Bench", 50.05, 49.26, 37.64),
+];
+
+/// Paper-reported Figure 10 bars: (benchmark, P/R/F1 without filtration,
+/// P/R/F1 with filtration).
+pub const PAPER_FIGURE10: &[(&str, [f64; 3], [f64; 3])] = &[
+    ("QALD-9", [28.4, 43.1, 34.3], [51.1, 38.7, 44.1]),
+    ("LC-QuAD 1.0", [48.1, 49.7, 48.9], [58.7, 46.1, 51.6]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_constants_are_internally_consistent() {
+        // F1 must lie between min and max of P and R... actually F1 ≤ max and
+        // F1 is the harmonic mean, so it is ≤ both arithmetic mean and max.
+        for rows in [PAPER_KGQAN_TABLE3, PAPER_GANSWER_TABLE3, PAPER_EDGQA_TABLE3] {
+            for (name, prf) in rows {
+                assert!(
+                    prf.f1 <= prf.precision.max(prf.recall) + 1e-6,
+                    "implausible F1 for {name}"
+                );
+            }
+        }
+        assert_eq!(PAPER_KGQAN_TABLE3.len(), 5);
+        assert_eq!(PAPER_FIGURE7_TOTAL_SECONDS.len(), 15);
+        assert_eq!(PAPER_TABLE4_F1.len(), 5);
+        assert!((NSQA_QALD9.f1 - 31.26).abs() < 1e-9);
+        assert!((NSQA_LCQUAD.f1 - 44.45).abs() < 1e-9);
+    }
+}

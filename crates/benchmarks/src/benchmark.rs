@@ -1,0 +1,185 @@
+//! Benchmark data structures: questions, gold answers, gold linking pairs
+//! and the taxonomy labels of Table 5.
+
+use kgqan_rdf::Term;
+
+use crate::kg::KgFlavor;
+
+/// The linguistic category of a question (the LC-QuAD 2.0 taxonomy the paper
+/// reuses in Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuestionCategory {
+    /// A single fact: "Who is the wife of Barack Obama?"
+    SingleFact,
+    /// A single fact with an explicit answer type: "Which river …".
+    SingleFactWithType,
+    /// Multiple facts constraining one unknown.
+    MultiFact,
+    /// A yes/no question.
+    Boolean,
+}
+
+impl QuestionCategory {
+    /// All categories in Table 5 order.
+    pub const ALL: [QuestionCategory; 4] = [
+        QuestionCategory::SingleFact,
+        QuestionCategory::SingleFactWithType,
+        QuestionCategory::MultiFact,
+        QuestionCategory::Boolean,
+    ];
+
+    /// Column label used in the Table 5 harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QuestionCategory::SingleFact => "Single fact",
+            QuestionCategory::SingleFactWithType => "Fact with type",
+            QuestionCategory::MultiFact => "Multi fact",
+            QuestionCategory::Boolean => "Boolean",
+        }
+    }
+}
+
+/// The SPARQL shape of the gold query (Table 5's other dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryShape {
+    /// All triple patterns share one subject/unknown.
+    Star,
+    /// At least one object of a triple pattern is the subject of another.
+    Path,
+}
+
+impl QueryShape {
+    /// Column label used in the Table 5 harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryShape::Star => "Star",
+            QueryShape::Path => "Path",
+        }
+    }
+}
+
+/// Gold entity/relation linking pairs for a question (the Figure 9 dataset).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkingGold {
+    /// `(question phrase, KG vertex)` pairs.
+    pub entities: Vec<(String, Term)>,
+    /// `(question phrase, KG predicate)` pairs.
+    pub relations: Vec<(String, Term)>,
+}
+
+/// One benchmark question with its gold data.
+#[derive(Debug, Clone)]
+pub struct BenchmarkQuestion {
+    /// Stable id within the benchmark.
+    pub id: usize,
+    /// The natural-language question.
+    pub text: String,
+    /// The gold SPARQL query (for reporting and taxonomy; answers below are
+    /// authoritative).
+    pub gold_sparql: String,
+    /// The gold answers (empty for Boolean questions).
+    pub gold_answers: Vec<Term>,
+    /// The gold Boolean verdict for yes/no questions.
+    pub gold_boolean: Option<bool>,
+    /// Linguistic category.
+    pub category: QuestionCategory,
+    /// Gold SPARQL shape.
+    pub shape: QueryShape,
+    /// Gold linking pairs.
+    pub linking: LinkingGold,
+}
+
+impl BenchmarkQuestion {
+    /// True if this is a Boolean question.
+    pub fn is_boolean(&self) -> bool {
+        self.gold_boolean.is_some()
+    }
+}
+
+/// A benchmark: a named question set bound to one KG flavor.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name ("QALD-9", "LC-QuAD 1.0", "YAGO-Bench", …).
+    pub name: String,
+    /// The KG flavor the questions target.
+    pub flavor: KgFlavor,
+    /// The questions.
+    pub questions: Vec<BenchmarkQuestion>,
+}
+
+impl Benchmark {
+    /// Number of questions.
+    pub fn len(&self) -> usize {
+        self.questions.len()
+    }
+
+    /// True if the benchmark has no questions.
+    pub fn is_empty(&self) -> bool {
+        self.questions.is_empty()
+    }
+
+    /// Count of questions per category.
+    pub fn count_by_category(&self, category: QuestionCategory) -> usize {
+        self.questions.iter().filter(|q| q.category == category).count()
+    }
+
+    /// Count of questions per shape.
+    pub fn count_by_shape(&self, shape: QueryShape) -> usize {
+        self.questions.iter().filter(|q| q.shape == shape).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_question(id: usize, category: QuestionCategory, shape: QueryShape) -> BenchmarkQuestion {
+        BenchmarkQuestion {
+            id,
+            text: format!("question {id}"),
+            gold_sparql: "SELECT ?x WHERE { ?x ?p ?o . }".into(),
+            gold_answers: vec![Term::iri(format!("http://e/{id}"))],
+            gold_boolean: None,
+            category,
+            shape,
+            linking: LinkingGold::default(),
+        }
+    }
+
+    #[test]
+    fn category_and_shape_labels() {
+        assert_eq!(QuestionCategory::SingleFact.label(), "Single fact");
+        assert_eq!(QuestionCategory::Boolean.label(), "Boolean");
+        assert_eq!(QueryShape::Star.label(), "Star");
+        assert_eq!(QueryShape::Path.label(), "Path");
+        assert_eq!(QuestionCategory::ALL.len(), 4);
+    }
+
+    #[test]
+    fn benchmark_counts() {
+        let benchmark = Benchmark {
+            name: "test".into(),
+            flavor: KgFlavor::Dbpedia10,
+            questions: vec![
+                sample_question(0, QuestionCategory::SingleFact, QueryShape::Star),
+                sample_question(1, QuestionCategory::SingleFact, QueryShape::Path),
+                sample_question(2, QuestionCategory::MultiFact, QueryShape::Star),
+            ],
+        };
+        assert_eq!(benchmark.len(), 3);
+        assert!(!benchmark.is_empty());
+        assert_eq!(benchmark.count_by_category(QuestionCategory::SingleFact), 2);
+        assert_eq!(benchmark.count_by_category(QuestionCategory::Boolean), 0);
+        assert_eq!(benchmark.count_by_shape(QueryShape::Star), 2);
+        assert_eq!(benchmark.count_by_shape(QueryShape::Path), 1);
+    }
+
+    #[test]
+    fn boolean_detection() {
+        let mut q = sample_question(0, QuestionCategory::Boolean, QueryShape::Star);
+        assert!(!q.is_boolean());
+        q.gold_boolean = Some(true);
+        q.gold_answers.clear();
+        assert!(q.is_boolean());
+    }
+}

@@ -1,0 +1,338 @@
+//! The QALD-style evaluation: per-question Precision / Recall / F1 and the
+//! Macro averages used throughout the paper's tables, plus the failure
+//! breakdown of Figure 8.
+
+use kgqan_rdf::Term;
+
+use crate::benchmark::{Benchmark, BenchmarkQuestion};
+
+/// A system's answer to one benchmark question.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SystemAnswer {
+    /// The returned answer terms (empty if the system gave up).
+    pub answers: Vec<Term>,
+    /// The returned Boolean verdict (yes/no questions).
+    pub boolean: Option<bool>,
+    /// Whether the system's question-understanding step extracted anything
+    /// usable (used by Figure 8 to split failures into "due to QU" vs other).
+    pub understanding_ok: bool,
+    /// Wall-clock seconds spent on each phase, when the system reports them:
+    /// (question understanding, linking, execution + filtration).
+    pub phase_seconds: Option<(f64, f64, f64)>,
+}
+
+impl SystemAnswer {
+    /// An empty answer (the system failed entirely).
+    pub fn empty() -> Self {
+        SystemAnswer::default()
+    }
+}
+
+/// Per-question evaluation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuestionResult {
+    /// Question id within the benchmark.
+    pub question_id: usize,
+    /// Precision for this question.
+    pub precision: f64,
+    /// Recall for this question.
+    pub recall: f64,
+    /// F1 for this question.
+    pub f1: f64,
+    /// Whether the system understood the question at all.
+    pub understanding_ok: bool,
+}
+
+/// The Figure 8 failure breakdown: questions with recall 0 and F1 0, split
+/// into those whose question understanding already failed and the rest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureBreakdown {
+    /// Questions with R = 0 and F1 = 0.
+    pub total_failures: usize,
+    /// Of those, failures where question understanding produced nothing
+    /// usable.
+    pub due_to_question_understanding: usize,
+}
+
+impl FailureBreakdown {
+    /// Failures attributable to linking / execution / filtration.
+    pub fn due_to_other(&self) -> usize {
+        self.total_failures - self.due_to_question_understanding
+    }
+}
+
+/// A full evaluation report for one system on one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationReport {
+    /// The benchmark name.
+    pub benchmark: String,
+    /// The evaluated system's name.
+    pub system: String,
+    /// Macro precision (mean of per-question precision).
+    pub macro_precision: f64,
+    /// Macro recall.
+    pub macro_recall: f64,
+    /// Macro F1.
+    pub macro_f1: f64,
+    /// Per-question results.
+    pub per_question: Vec<QuestionResult>,
+    /// Failure breakdown (Figure 8).
+    pub failures: FailureBreakdown,
+    /// Mean phase times in seconds (QU, linking, execution+filtration), if
+    /// the system reported them (Figure 7).
+    pub mean_phase_seconds: Option<(f64, f64, f64)>,
+}
+
+impl EvaluationReport {
+    /// Number of questions with F1 > 0 ("solved", the Table 5 notion).
+    pub fn solved(&self) -> usize {
+        self.per_question.iter().filter(|q| q.f1 > 0.0).count()
+    }
+}
+
+/// Score a single question with QALD semantics.
+///
+/// * Boolean questions: correct verdict ⇒ P = R = F1 = 1, otherwise 0.
+/// * Otherwise precision is |gold ∩ returned| / |returned| (0 when nothing is
+///   returned but gold exists), recall is |gold ∩ returned| / |gold|, and F1
+///   is their harmonic mean.
+pub fn score_question(question: &BenchmarkQuestion, answer: &SystemAnswer) -> QuestionResult {
+    let (precision, recall) = if let Some(gold) = question.gold_boolean {
+        match answer.boolean {
+            Some(b) if b == gold => (1.0, 1.0),
+            _ => (0.0, 0.0),
+        }
+    } else {
+        let gold: Vec<&Term> = question.gold_answers.iter().collect();
+        let returned = &answer.answers;
+        if returned.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let correct = returned.iter().filter(|a| gold.contains(a)).count() as f64;
+            let precision = correct / returned.len() as f64;
+            let recall = if gold.is_empty() {
+                if returned.is_empty() {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                correct / gold.len() as f64
+            };
+            (precision, recall)
+        }
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    QuestionResult {
+        question_id: question.id,
+        precision,
+        recall,
+        f1,
+        understanding_ok: answer.understanding_ok,
+    }
+}
+
+/// Evaluate a system's answers over a whole benchmark.
+///
+/// `answers` must be aligned with `benchmark.questions` (same order); missing
+/// entries count as empty answers.
+pub fn evaluate(
+    benchmark: &Benchmark,
+    system: &str,
+    answers: &[SystemAnswer],
+) -> EvaluationReport {
+    let empty = SystemAnswer::empty();
+    let mut per_question = Vec::with_capacity(benchmark.len());
+    let mut failures = FailureBreakdown::default();
+    let mut phase_sums = (0.0f64, 0.0f64, 0.0f64);
+    let mut phase_count = 0usize;
+
+    for (i, question) in benchmark.questions.iter().enumerate() {
+        let answer = answers.get(i).unwrap_or(&empty);
+        let result = score_question(question, answer);
+        if result.recall == 0.0 && result.f1 == 0.0 {
+            failures.total_failures += 1;
+            if !result.understanding_ok {
+                failures.due_to_question_understanding += 1;
+            }
+        }
+        if let Some((a, b, c)) = answer.phase_seconds {
+            phase_sums.0 += a;
+            phase_sums.1 += b;
+            phase_sums.2 += c;
+            phase_count += 1;
+        }
+        per_question.push(result);
+    }
+
+    let n = per_question.len().max(1) as f64;
+    let macro_precision = per_question.iter().map(|q| q.precision).sum::<f64>() / n;
+    let macro_recall = per_question.iter().map(|q| q.recall).sum::<f64>() / n;
+    // Macro F1 as computed by the QALD evaluation script: the harmonic mean
+    // of the macro precision and macro recall.
+    let macro_f1 = if macro_precision + macro_recall > 0.0 {
+        2.0 * macro_precision * macro_recall / (macro_precision + macro_recall)
+    } else {
+        0.0
+    };
+    let mean_phase_seconds = if phase_count > 0 {
+        Some((
+            phase_sums.0 / phase_count as f64,
+            phase_sums.1 / phase_count as f64,
+            phase_sums.2 / phase_count as f64,
+        ))
+    } else {
+        None
+    };
+
+    EvaluationReport {
+        benchmark: benchmark.name.clone(),
+        system: system.to_string(),
+        macro_precision,
+        macro_recall,
+        macro_f1,
+        per_question,
+        failures,
+        mean_phase_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::{LinkingGold, QueryShape, QuestionCategory};
+    use crate::kg::KgFlavor;
+
+    fn question(id: usize, gold: Vec<&str>, boolean: Option<bool>) -> BenchmarkQuestion {
+        BenchmarkQuestion {
+            id,
+            text: format!("q{id}"),
+            gold_sparql: String::new(),
+            gold_answers: gold.into_iter().map(Term::iri).collect(),
+            gold_boolean: boolean,
+            category: QuestionCategory::SingleFact,
+            shape: QueryShape::Star,
+            linking: LinkingGold::default(),
+        }
+    }
+
+    fn answer(terms: Vec<&str>) -> SystemAnswer {
+        SystemAnswer {
+            answers: terms.into_iter().map(Term::iri).collect(),
+            boolean: None,
+            understanding_ok: true,
+            phase_seconds: None,
+        }
+    }
+
+    #[test]
+    fn exact_answer_scores_one() {
+        let q = question(0, vec!["http://e/a"], None);
+        let r = score_question(&q, &answer(vec!["http://e/a"]));
+        assert_eq!((r.precision, r.recall, r.f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn partial_answers_have_fractional_scores() {
+        let q = question(0, vec!["http://e/a", "http://e/b"], None);
+        let r = score_question(&q, &answer(vec!["http://e/a", "http://e/c"]));
+        assert!((r.precision - 0.5).abs() < 1e-9);
+        assert!((r.recall - 0.5).abs() < 1e-9);
+        assert!((r.f1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_answer_scores_zero() {
+        let q = question(0, vec!["http://e/a"], None);
+        let r = score_question(&q, &SystemAnswer::empty());
+        assert_eq!((r.precision, r.recall, r.f1), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn boolean_questions_score_on_verdict() {
+        let q = question(0, vec![], Some(true));
+        let right = SystemAnswer {
+            boolean: Some(true),
+            understanding_ok: true,
+            ..Default::default()
+        };
+        let wrong = SystemAnswer {
+            boolean: Some(false),
+            understanding_ok: true,
+            ..Default::default()
+        };
+        assert_eq!(score_question(&q, &right).f1, 1.0);
+        assert_eq!(score_question(&q, &wrong).f1, 0.0);
+        assert_eq!(score_question(&q, &SystemAnswer::empty()).f1, 0.0);
+    }
+
+    #[test]
+    fn evaluate_computes_macro_metrics_and_failures() {
+        let benchmark = Benchmark {
+            name: "toy".into(),
+            flavor: KgFlavor::Dbpedia10,
+            questions: vec![
+                question(0, vec!["http://e/a"], None),
+                question(1, vec!["http://e/b"], None),
+                question(2, vec!["http://e/c"], None),
+            ],
+        };
+        let answers = vec![
+            answer(vec!["http://e/a"]),                   // perfect
+            answer(vec!["http://e/x"]),                   // wrong (not QU's fault)
+            SystemAnswer::empty(),                        // total failure, QU failed
+        ];
+        let report = evaluate(&benchmark, "toy-system", &answers);
+        assert!((report.macro_precision - (1.0 + 0.0 + 0.0) / 3.0).abs() < 1e-9);
+        assert!((report.macro_recall - (1.0 / 3.0)).abs() < 1e-9);
+        assert!(report.macro_f1 > 0.0);
+        assert_eq!(report.failures.total_failures, 2);
+        assert_eq!(report.failures.due_to_question_understanding, 1);
+        assert_eq!(report.failures.due_to_other(), 1);
+        assert_eq!(report.solved(), 1);
+    }
+
+    #[test]
+    fn missing_answers_count_as_empty() {
+        let benchmark = Benchmark {
+            name: "toy".into(),
+            flavor: KgFlavor::Dbpedia10,
+            questions: vec![question(0, vec!["http://e/a"], None)],
+        };
+        let report = evaluate(&benchmark, "s", &[]);
+        assert_eq!(report.macro_f1, 0.0);
+        assert_eq!(report.failures.total_failures, 1);
+    }
+
+    #[test]
+    fn phase_times_are_averaged() {
+        let benchmark = Benchmark {
+            name: "toy".into(),
+            flavor: KgFlavor::Dbpedia10,
+            questions: vec![
+                question(0, vec!["http://e/a"], None),
+                question(1, vec!["http://e/b"], None),
+            ],
+        };
+        let answers = vec![
+            SystemAnswer {
+                answers: vec![Term::iri("http://e/a")],
+                boolean: None,
+                understanding_ok: true,
+                phase_seconds: Some((1.0, 2.0, 3.0)),
+            },
+            SystemAnswer {
+                answers: vec![Term::iri("http://e/b")],
+                boolean: None,
+                understanding_ok: true,
+                phase_seconds: Some((3.0, 4.0, 5.0)),
+            },
+        ];
+        let report = evaluate(&benchmark, "s", &answers);
+        assert_eq!(report.mean_phase_seconds, Some((2.0, 3.0, 4.0)));
+    }
+}

@@ -1,0 +1,895 @@
+//! Synthetic knowledge-graph generators.
+//!
+//! One generator produces the two *general-fact* flavors (DBpedia-like and
+//! YAGO-like, which differ in namespaces and predicate vocabulary), a second
+//! produces the two *scholarly* flavors (DBLP-like and MAG-like).  The MAG
+//! flavor uses opaque numeric entity URIs described only through
+//! `foaf:name`, reproducing the property that defeats URI-based linking
+//! indices (§7.2.3 of the paper).
+//!
+//! Generation is fully deterministic (seeded per flavor), so gold answers,
+//! benchmarks and experiment outputs are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kgqan_rdf::{vocab, Store, Term, Triple};
+
+use crate::names;
+
+/// Which real knowledge graph a synthetic KG stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KgFlavor {
+    /// DBpedia version 2016-10 ("DBpedia-10" in Table 2, used by QALD-9).
+    Dbpedia10,
+    /// DBpedia version 2016-04 ("DBpedia-04", used by LC-QuAD 1.0).
+    Dbpedia04,
+    /// YAGO 4.
+    Yago,
+    /// DBLP.
+    Dblp,
+    /// Microsoft Academic Graph.
+    Mag,
+}
+
+impl KgFlavor {
+    /// All five flavors, in Table 2 order.
+    pub const ALL: [KgFlavor; 5] = [
+        KgFlavor::Dbpedia10,
+        KgFlavor::Dbpedia04,
+        KgFlavor::Yago,
+        KgFlavor::Dblp,
+        KgFlavor::Mag,
+    ];
+
+    /// Display name used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KgFlavor::Dbpedia10 => "DBpedia-10",
+            KgFlavor::Dbpedia04 => "DBpedia-04",
+            KgFlavor::Yago => "YAGO-4",
+            KgFlavor::Dblp => "DBLP",
+            KgFlavor::Mag => "MAG",
+        }
+    }
+
+    /// True for the scholarly-domain flavors.
+    pub fn is_scholarly(&self) -> bool {
+        matches!(self, KgFlavor::Dblp | KgFlavor::Mag)
+    }
+
+    /// Deterministic RNG seed per flavor.
+    fn seed(&self) -> u64 {
+        match self {
+            KgFlavor::Dbpedia10 => 101,
+            KgFlavor::Dbpedia04 => 104,
+            KgFlavor::Yago => 4,
+            KgFlavor::Dblp => 77,
+            KgFlavor::Mag => 13_000,
+        }
+    }
+}
+
+/// How large to make the generated KG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KgScale {
+    /// Number of people (general-fact KGs) or authors (scholarly KGs).
+    pub people: usize,
+    /// Number of papers (scholarly KGs only).
+    pub papers: usize,
+}
+
+impl KgScale {
+    /// A small scale suitable for unit and integration tests.
+    pub fn tiny() -> Self {
+        KgScale {
+            people: 120,
+            papers: 200,
+        }
+    }
+
+    /// The default benchmark scale.  The relative sizes follow Table 2: the
+    /// MAG stand-in is roughly an order of magnitude larger than the others.
+    pub fn benchmark(flavor: KgFlavor) -> Self {
+        match flavor {
+            KgFlavor::Mag => KgScale {
+                people: 3_000,
+                papers: 9_000,
+            },
+            KgFlavor::Dblp => KgScale {
+                people: 1_200,
+                papers: 2_500,
+            },
+            _ => KgScale {
+                people: 1_500,
+                papers: 0,
+            },
+        }
+    }
+}
+
+/// The predicate vocabulary of a generated KG (differs per flavor, which is
+/// exactly what forces linking to be semantic rather than string-equality).
+#[derive(Debug, Clone)]
+pub struct PredicateVocabulary {
+    /// Entity namespace prefix.
+    pub entity_ns: String,
+    /// Class namespace prefix.
+    pub class_ns: String,
+    /// The description predicate (rdfs:label or foaf:name).
+    pub label: String,
+    /// spouse / isMarriedTo
+    pub spouse: String,
+    /// birthPlace / wasBornIn
+    pub birth_place: String,
+    /// birthDate / wasBornOnDate
+    pub birth_date: String,
+    /// deathDate / diedOnDate
+    pub death_date: String,
+    /// occupation / hasOccupation
+    pub occupation: String,
+    /// capital / hasCapital
+    pub capital: String,
+    /// country / locatedIn
+    pub country: String,
+    /// populationTotal / hasPopulation
+    pub population: String,
+    /// mayor / hasMayor
+    pub mayor: String,
+    /// nearestCity
+    pub nearest_city: String,
+    /// outflow / flowsInto
+    pub outflow: String,
+    /// language / hasOfficialLanguage
+    pub language: String,
+    /// currency / hasCurrency
+    pub currency: String,
+    /// founder / created
+    pub founder: String,
+    /// headquarters / hasHeadquarters
+    pub headquarters: String,
+}
+
+impl PredicateVocabulary {
+    fn dbpedia() -> Self {
+        PredicateVocabulary {
+            entity_ns: vocab::DBPEDIA_RESOURCE.to_string(),
+            class_ns: vocab::DBPEDIA_ONTOLOGY.to_string(),
+            label: vocab::RDFS_LABEL.to_string(),
+            spouse: format!("{}spouse", vocab::DBPEDIA_ONTOLOGY),
+            birth_place: format!("{}birthPlace", vocab::DBPEDIA_ONTOLOGY),
+            birth_date: format!("{}birthDate", vocab::DBPEDIA_ONTOLOGY),
+            death_date: format!("{}deathDate", vocab::DBPEDIA_ONTOLOGY),
+            occupation: format!("{}occupation", vocab::DBPEDIA_ONTOLOGY),
+            capital: format!("{}capital", vocab::DBPEDIA_ONTOLOGY),
+            country: format!("{}country", vocab::DBPEDIA_ONTOLOGY),
+            population: format!("{}populationTotal", vocab::DBPEDIA_ONTOLOGY),
+            mayor: format!("{}mayor", vocab::DBPEDIA_PROPERTY),
+            nearest_city: format!("{}nearestCity", vocab::DBPEDIA_ONTOLOGY),
+            outflow: format!("{}outflow", vocab::DBPEDIA_PROPERTY),
+            language: format!("{}officialLanguage", vocab::DBPEDIA_ONTOLOGY),
+            currency: format!("{}currency", vocab::DBPEDIA_ONTOLOGY),
+            founder: format!("{}founder", vocab::DBPEDIA_ONTOLOGY),
+            headquarters: format!("{}headquarter", vocab::DBPEDIA_ONTOLOGY),
+        }
+    }
+
+    fn yago() -> Self {
+        let ns = vocab::YAGO_RESOURCE;
+        PredicateVocabulary {
+            entity_ns: ns.to_string(),
+            class_ns: format!("{ns}class/"),
+            label: vocab::RDFS_LABEL.to_string(),
+            spouse: format!("{ns}isMarriedTo"),
+            birth_place: format!("{ns}wasBornIn"),
+            birth_date: format!("{ns}wasBornOnDate"),
+            death_date: format!("{ns}diedOnDate"),
+            occupation: format!("{ns}hasOccupation"),
+            capital: format!("{ns}hasCapital"),
+            country: format!("{ns}isLocatedIn"),
+            population: format!("{ns}hasNumberOfPeople"),
+            mayor: format!("{ns}hasMayor"),
+            nearest_city: format!("{ns}nearestCity"),
+            outflow: format!("{ns}flowsInto"),
+            language: format!("{ns}hasOfficialLanguage"),
+            currency: format!("{ns}hasCurrency"),
+            founder: format!("{ns}wasCreatedBy"),
+            headquarters: format!("{ns}hasHeadquarter"),
+        }
+    }
+}
+
+/// A person in a general-fact KG, with the gold facts attached to it.
+#[derive(Debug, Clone)]
+pub struct PersonFact {
+    /// The person's vertex.
+    pub iri: Term,
+    /// Full name (the description literal).
+    pub name: String,
+    /// Index of the spouse in `people`, if married.
+    pub spouse: Option<usize>,
+    /// Index of the birth city in `cities`.
+    pub birth_city: usize,
+    /// ISO birth date.
+    pub birth_date: String,
+    /// Occupation string.
+    pub occupation: String,
+}
+
+/// A city in a general-fact KG.
+#[derive(Debug, Clone)]
+pub struct CityFact {
+    /// The city's vertex.
+    pub iri: Term,
+    /// City name.
+    pub name: String,
+    /// Index of the country in `countries`.
+    pub country: usize,
+    /// Population count.
+    pub population: u64,
+    /// Index of the mayor in `people`.
+    pub mayor: usize,
+}
+
+/// A country in a general-fact KG.
+#[derive(Debug, Clone)]
+pub struct CountryFact {
+    /// The country's vertex.
+    pub iri: Term,
+    /// Country name.
+    pub name: String,
+    /// Index of the capital in `cities`.
+    pub capital: usize,
+    /// Official language.
+    pub language: String,
+    /// Currency.
+    pub currency: String,
+    /// Population count.
+    pub population: u64,
+}
+
+/// A body of water in a general-fact KG.
+#[derive(Debug, Clone)]
+pub struct WaterFact {
+    /// The water body's vertex.
+    pub iri: Term,
+    /// Name.
+    pub name: String,
+    /// Index of the water body this one flows into, if any.
+    pub outflow_of: Option<usize>,
+    /// Index of the nearest city in `cities`.
+    pub nearest_city: usize,
+}
+
+/// A company in a general-fact KG.
+#[derive(Debug, Clone)]
+pub struct CompanyFact {
+    /// The company's vertex.
+    pub iri: Term,
+    /// Name.
+    pub name: String,
+    /// Index of the founder in `people`.
+    pub founder: usize,
+    /// Index of the headquarters city in `cities`.
+    pub headquarters: usize,
+}
+
+/// An author in a scholarly KG.
+#[derive(Debug, Clone)]
+pub struct AuthorFact {
+    /// The author's vertex.
+    pub iri: Term,
+    /// Full name.
+    pub name: String,
+    /// Affiliation (university name).
+    pub affiliation: String,
+    /// Vertex of the affiliation.
+    pub affiliation_iri: Term,
+    /// Indices of papers authored (into `papers`).
+    pub papers: Vec<usize>,
+}
+
+/// A paper in a scholarly KG.
+#[derive(Debug, Clone)]
+pub struct PaperFact {
+    /// The paper's vertex.
+    pub iri: Term,
+    /// Title (the description literal; a long phrase).
+    pub title: String,
+    /// Indices of the authors (into `authors`).
+    pub authors: Vec<usize>,
+    /// Venue name.
+    pub venue: String,
+    /// Vertex of the venue.
+    pub venue_iri: Term,
+    /// Publication year.
+    pub year: u32,
+    /// Citation count.
+    pub citations: u32,
+}
+
+/// The gold domain facts behind a generated KG, used to derive benchmark
+/// questions with exact gold answers.
+#[derive(Debug, Clone, Default)]
+pub struct DomainFacts {
+    /// People (general-fact KGs).
+    pub people: Vec<PersonFact>,
+    /// Cities.
+    pub cities: Vec<CityFact>,
+    /// Countries.
+    pub countries: Vec<CountryFact>,
+    /// Bodies of water.
+    pub waters: Vec<WaterFact>,
+    /// Companies.
+    pub companies: Vec<CompanyFact>,
+    /// Authors (scholarly KGs).
+    pub authors: Vec<AuthorFact>,
+    /// Papers (scholarly KGs).
+    pub papers: Vec<PaperFact>,
+}
+
+/// A generated synthetic knowledge graph.
+#[derive(Debug, Clone)]
+pub struct GeneratedKg {
+    /// Which real KG this stands in for.
+    pub flavor: KgFlavor,
+    /// The triple store.
+    pub store: Store,
+    /// The gold facts.
+    pub facts: DomainFacts,
+    /// The predicate vocabulary used (general-fact flavors only).
+    pub predicates: Option<PredicateVocabulary>,
+}
+
+impl GeneratedKg {
+    /// Generate a KG of the given flavor and scale.
+    pub fn generate(flavor: KgFlavor, scale: KgScale) -> GeneratedKg {
+        match flavor {
+            KgFlavor::Dbpedia10 | KgFlavor::Dbpedia04 => {
+                generate_general(flavor, PredicateVocabulary::dbpedia(), scale)
+            }
+            KgFlavor::Yago => generate_general(flavor, PredicateVocabulary::yago(), scale),
+            KgFlavor::Dblp | KgFlavor::Mag => generate_scholarly(flavor, scale),
+        }
+    }
+
+    /// Number of triples in the generated store.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True if the store is empty (never the case for positive scales).
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+}
+
+fn iri_from_label(ns: &str, label: &str) -> Term {
+    Term::iri(format!("{ns}{}", label.replace(' ', "_")))
+}
+
+/// Generate a general-fact KG (DBpedia-like or YAGO-like).
+fn generate_general(flavor: KgFlavor, voc: PredicateVocabulary, scale: KgScale) -> GeneratedKg {
+    let mut rng = StdRng::seed_from_u64(flavor.seed());
+    let mut store = Store::new();
+    let mut facts = DomainFacts::default();
+
+    let label_pred = Term::iri(&voc.label);
+    let rdf_type = Term::iri(vocab::RDF_TYPE);
+    let class = |name: &str| Term::iri(format!("{}{name}", voc.class_ns));
+
+    // Countries.
+    for (i, name) in names::COUNTRIES.iter().enumerate() {
+        let iri = iri_from_label(&voc.entity_ns, name);
+        facts.countries.push(CountryFact {
+            iri: iri.clone(),
+            name: name.to_string(),
+            capital: usize::MAX, // fixed up after cities exist
+            language: names::LANGUAGES[i % names::LANGUAGES.len()].to_string(),
+            currency: names::CURRENCIES[i % names::CURRENCIES.len()].to_string(),
+            population: 1_000_000 + rng.gen_range(0..80_000_000),
+        });
+        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(*name)));
+        store.insert(Triple::new(iri, rdf_type.clone(), class("Country")));
+    }
+
+    // Cities.
+    for (i, name) in names::CITIES.iter().enumerate() {
+        let iri = iri_from_label(&voc.entity_ns, name);
+        facts.cities.push(CityFact {
+            iri: iri.clone(),
+            name: name.to_string(),
+            country: i % facts.countries.len(),
+            population: 50_000 + rng.gen_range(0..5_000_000),
+            mayor: usize::MAX, // fixed up after people exist
+        });
+        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(*name)));
+        store.insert(Triple::new(iri, rdf_type.clone(), class("City")));
+    }
+
+    // Capitals: the i-th country's capital is a city assigned round-robin.
+    for (i, country) in facts.countries.iter_mut().enumerate() {
+        country.capital = i % names::CITIES.len();
+    }
+
+    // People.
+    for i in 0..scale.people {
+        let first = names::FIRST_NAMES[i % names::FIRST_NAMES.len()];
+        let last = names::LAST_NAMES[(i / names::FIRST_NAMES.len() + i) % names::LAST_NAMES.len()];
+        let name = format!("{first} {last}");
+        let iri = iri_from_label(&voc.entity_ns, &name);
+        let birth_city = rng.gen_range(0..facts.cities.len());
+        let year = 1900 + rng.gen_range(0..100);
+        let month = 1 + rng.gen_range(0..12);
+        let day = 1 + rng.gen_range(0..28);
+        facts.people.push(PersonFact {
+            iri: iri.clone(),
+            name: name.clone(),
+            spouse: None,
+            birth_city,
+            birth_date: format!("{year:04}-{month:02}-{day:02}"),
+            occupation: names::OCCUPATIONS[i % names::OCCUPATIONS.len()].to_string(),
+        });
+        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(name)));
+        store.insert(Triple::new(iri, rdf_type.clone(), class("Person")));
+    }
+
+    // Marry even-indexed people to the following odd-indexed person.
+    for i in (0..facts.people.len().saturating_sub(1)).step_by(2) {
+        facts.people[i].spouse = Some(i + 1);
+        facts.people[i + 1].spouse = Some(i);
+    }
+
+    // City mayors.
+    for (i, city) in facts.cities.iter_mut().enumerate() {
+        city.mayor = (i * 7) % facts.people.len();
+    }
+
+    // Waters.
+    for (i, name) in names::WATERS.iter().enumerate() {
+        let iri = iri_from_label(&voc.entity_ns, name);
+        facts.waters.push(WaterFact {
+            iri: iri.clone(),
+            name: name.to_string(),
+            outflow_of: None,
+            nearest_city: (i * 3) % facts.cities.len(),
+        });
+        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(*name)));
+        store.insert(Triple::new(
+            iri,
+            rdf_type.clone(),
+            class(if name.contains("Sea") { "Sea" } else { "BodyOfWater" }),
+        ));
+    }
+    // Chain: water i flows out of water i+1 ("Baltic Sea" has outflow
+    // "Danish Straits", mirroring the running example).
+    for i in 0..facts.waters.len() - 1 {
+        facts.waters[i].outflow_of = Some(i + 1);
+    }
+
+    // Companies.
+    for (i, name) in names::COMPANIES.iter().enumerate() {
+        let iri = iri_from_label(&voc.entity_ns, name);
+        facts.companies.push(CompanyFact {
+            iri: iri.clone(),
+            name: name.to_string(),
+            founder: (i * 11) % facts.people.len(),
+            headquarters: (i * 5) % facts.cities.len(),
+        });
+        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(*name)));
+        store.insert(Triple::new(iri, rdf_type.clone(), class("Company")));
+    }
+
+    // Relation triples.
+    let pred = |p: &str| Term::iri(p);
+    for person in &facts.people {
+        if let Some(spouse) = person.spouse {
+            store.insert(Triple::new(
+                person.iri.clone(),
+                pred(&voc.spouse),
+                facts.people[spouse].iri.clone(),
+            ));
+        }
+        store.insert(Triple::new(
+            person.iri.clone(),
+            pred(&voc.birth_place),
+            facts.cities[person.birth_city].iri.clone(),
+        ));
+        store.insert(Triple::new(
+            person.iri.clone(),
+            pred(&voc.birth_date),
+            Term::date(person.birth_date.clone()),
+        ));
+        store.insert(Triple::new(
+            person.iri.clone(),
+            pred(&voc.occupation),
+            Term::literal_str(person.occupation.clone()),
+        ));
+    }
+    for city in &facts.cities {
+        store.insert(Triple::new(
+            city.iri.clone(),
+            pred(&voc.country),
+            facts.countries[city.country].iri.clone(),
+        ));
+        store.insert(Triple::new(
+            city.iri.clone(),
+            pred(&voc.population),
+            Term::integer(city.population as i64),
+        ));
+        store.insert(Triple::new(
+            city.iri.clone(),
+            pred(&voc.mayor),
+            facts.people[city.mayor].iri.clone(),
+        ));
+    }
+    for country in &facts.countries {
+        store.insert(Triple::new(
+            country.iri.clone(),
+            pred(&voc.capital),
+            facts.cities[country.capital].iri.clone(),
+        ));
+        store.insert(Triple::new(
+            country.iri.clone(),
+            pred(&voc.language),
+            Term::literal_str(country.language.clone()),
+        ));
+        store.insert(Triple::new(
+            country.iri.clone(),
+            pred(&voc.currency),
+            Term::literal_str(country.currency.clone()),
+        ));
+        store.insert(Triple::new(
+            country.iri.clone(),
+            pred(&voc.population),
+            Term::integer(country.population as i64),
+        ));
+    }
+    for water in &facts.waters {
+        if let Some(out) = water.outflow_of {
+            store.insert(Triple::new(
+                water.iri.clone(),
+                pred(&voc.outflow),
+                facts.waters[out].iri.clone(),
+            ));
+        }
+        store.insert(Triple::new(
+            water.iri.clone(),
+            pred(&voc.nearest_city),
+            facts.cities[water.nearest_city].iri.clone(),
+        ));
+    }
+    for company in &facts.companies {
+        store.insert(Triple::new(
+            company.iri.clone(),
+            pred(&voc.founder),
+            facts.people[company.founder].iri.clone(),
+        ));
+        store.insert(Triple::new(
+            company.iri.clone(),
+            pred(&voc.headquarters),
+            facts.cities[company.headquarters].iri.clone(),
+        ));
+    }
+
+    GeneratedKg {
+        flavor,
+        store,
+        facts,
+        predicates: Some(voc),
+    }
+}
+
+/// Scholarly predicate IRIs for DBLP and MAG.
+pub mod scholarly {
+    /// DBLP: `authoredBy` connects a publication to a person.
+    pub const DBLP_AUTHORED_BY: &str = "https://dblp.org/rdf/schema#authoredBy";
+    /// DBLP: `publishedIn` connects a publication to its venue.
+    pub const DBLP_PUBLISHED_IN: &str = "https://dblp.org/rdf/schema#publishedIn";
+    /// DBLP: `yearOfPublication`.
+    pub const DBLP_YEAR: &str = "https://dblp.org/rdf/schema#yearOfPublication";
+    /// DBLP: `primaryAffiliation`.
+    pub const DBLP_AFFILIATION: &str = "https://dblp.org/rdf/schema#primaryAffiliation";
+    /// DBLP: publication class.
+    pub const DBLP_PUBLICATION_CLASS: &str = "https://dblp.org/rdf/schema#Publication";
+    /// DBLP: person class.
+    pub const DBLP_PERSON_CLASS: &str = "https://dblp.org/rdf/schema#Person";
+
+    /// MAG: `creator` connects a paper to an author.
+    pub const MAG_CREATOR: &str = "https://makg.org/property/creator";
+    /// MAG: `appearsInConferenceSeries`.
+    pub const MAG_VENUE: &str = "https://makg.org/property/appearsInConferenceSeries";
+    /// MAG: `publicationDate`.
+    pub const MAG_PUB_DATE: &str = "https://makg.org/property/publicationDate";
+    /// MAG: `citationCount`.
+    pub const MAG_CITATIONS: &str = "https://makg.org/property/citationCount";
+    /// MAG: `memberOf` (author affiliation).
+    pub const MAG_MEMBER_OF: &str = "https://makg.org/property/memberOf";
+    /// MAG: paper class.
+    pub const MAG_PAPER_CLASS: &str = "https://makg.org/class/Paper";
+    /// MAG: author class.
+    pub const MAG_AUTHOR_CLASS: &str = "https://makg.org/class/Author";
+}
+
+/// Generate a scholarly KG (DBLP-like or MAG-like).
+fn generate_scholarly(flavor: KgFlavor, scale: KgScale) -> GeneratedKg {
+    let mut rng = StdRng::seed_from_u64(flavor.seed());
+    let mut store = Store::new();
+    let mut facts = DomainFacts::default();
+    let rdf_type = Term::iri(vocab::RDF_TYPE);
+    let is_mag = flavor == KgFlavor::Mag;
+
+    // Description predicate: DBLP uses rdfs:label, MAG only foaf:name.
+    let label_pred = if is_mag {
+        Term::iri(vocab::FOAF_NAME)
+    } else {
+        Term::iri(vocab::RDFS_LABEL)
+    };
+
+    let mut next_mag_id: u64 = 2_000_000_000;
+    let mag_iri = |next: &mut u64| {
+        let iri = Term::iri(format!("{}{}", vocab::MAG_ENTITY, *next));
+        *next += 7;
+        iri
+    };
+
+    // Venues.
+    let mut venue_iris = Vec::new();
+    for venue in names::VENUES {
+        let iri = if is_mag {
+            mag_iri(&mut next_mag_id)
+        } else {
+            Term::iri(format!("https://dblp.org/streams/conf/{}", venue.to_lowercase()))
+        };
+        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(*venue)));
+        venue_iris.push((venue.to_string(), iri));
+    }
+
+    // Universities (affiliations).
+    let mut affiliation_iris = Vec::new();
+    for uni in names::UNIVERSITIES {
+        let iri = if is_mag {
+            mag_iri(&mut next_mag_id)
+        } else {
+            Term::iri(format!("https://dblp.org/org/{}", uni.replace(' ', "_")))
+        };
+        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(*uni)));
+        affiliation_iris.push((uni.to_string(), iri));
+    }
+
+    // Authors.
+    for i in 0..scale.people {
+        let first = names::FIRST_NAMES[(i * 3) % names::FIRST_NAMES.len()];
+        let last = names::LAST_NAMES[(i * 5 + i / names::LAST_NAMES.len()) % names::LAST_NAMES.len()];
+        let name = format!("{first} {last}");
+        let iri = if is_mag {
+            mag_iri(&mut next_mag_id)
+        } else {
+            Term::iri(format!("{}{:02}/{}", vocab::DBLP_PERSON, i % 100, name.replace(' ', "")))
+        };
+        let (affiliation, affiliation_iri) = affiliation_iris[i % affiliation_iris.len()].clone();
+        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(name.clone())));
+        store.insert(Triple::new(
+            iri.clone(),
+            rdf_type.clone(),
+            Term::iri(if is_mag {
+                scholarly::MAG_AUTHOR_CLASS
+            } else {
+                scholarly::DBLP_PERSON_CLASS
+            }),
+        ));
+        store.insert(Triple::new(
+            iri.clone(),
+            Term::iri(if is_mag {
+                scholarly::MAG_MEMBER_OF
+            } else {
+                scholarly::DBLP_AFFILIATION
+            }),
+            affiliation_iri.clone(),
+        ));
+        facts.authors.push(AuthorFact {
+            iri,
+            name,
+            affiliation,
+            affiliation_iri,
+            papers: Vec::new(),
+        });
+    }
+
+    // Papers.
+    for i in 0..scale.papers {
+        let adjective = names::TITLE_ADJECTIVES[i % names::TITLE_ADJECTIVES.len()];
+        let topic = names::TITLE_TOPICS[(i / names::TITLE_ADJECTIVES.len()) % names::TITLE_TOPICS.len()];
+        let suffix = names::TITLE_SUFFIXES[(i * 7) % names::TITLE_SUFFIXES.len()];
+        let title = format!("{adjective} {topic} {suffix} {}", i / 96 + 1);
+        let iri = if is_mag {
+            mag_iri(&mut next_mag_id)
+        } else {
+            Term::iri(format!("{}conf/paper{}", vocab::DBLP_RECORD, i))
+        };
+        let (venue, venue_iri) = venue_iris[i % venue_iris.len()].clone();
+        let year = 2000 + (i as u32 % 23);
+        let citations = rng.gen_range(0..500) as u32;
+
+        // 1–3 authors per paper.
+        let num_authors = 1 + (i % 3);
+        let mut author_indices = Vec::new();
+        for a in 0..num_authors {
+            let idx = (i * 13 + a * 37) % facts.authors.len();
+            if !author_indices.contains(&idx) {
+                author_indices.push(idx);
+            }
+        }
+
+        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(title.clone())));
+        store.insert(Triple::new(
+            iri.clone(),
+            rdf_type.clone(),
+            Term::iri(if is_mag {
+                scholarly::MAG_PAPER_CLASS
+            } else {
+                scholarly::DBLP_PUBLICATION_CLASS
+            }),
+        ));
+        store.insert(Triple::new(
+            iri.clone(),
+            Term::iri(if is_mag { scholarly::MAG_VENUE } else { scholarly::DBLP_PUBLISHED_IN }),
+            venue_iri.clone(),
+        ));
+        store.insert(Triple::new(
+            iri.clone(),
+            Term::iri(if is_mag { scholarly::MAG_PUB_DATE } else { scholarly::DBLP_YEAR }),
+            if is_mag {
+                Term::date(format!("{year}-06-15"))
+            } else {
+                Term::literal_typed(year.to_string(), vocab::XSD_GYEAR)
+            },
+        ));
+        if is_mag {
+            store.insert(Triple::new(
+                iri.clone(),
+                Term::iri(scholarly::MAG_CITATIONS),
+                Term::integer(citations as i64),
+            ));
+        }
+        for &a in &author_indices {
+            store.insert(Triple::new(
+                iri.clone(),
+                Term::iri(if is_mag { scholarly::MAG_CREATOR } else { scholarly::DBLP_AUTHORED_BY }),
+                facts.authors[a].iri.clone(),
+            ));
+            facts.authors[a].papers.push(i);
+        }
+
+        facts.papers.push(PaperFact {
+            iri,
+            title,
+            authors: author_indices,
+            venue,
+            venue_iri,
+            year,
+            citations,
+        });
+    }
+
+    GeneratedKg {
+        flavor,
+        store,
+        facts,
+        predicates: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn general_fact_kg_has_expected_shape() {
+        let kg = GeneratedKg::generate(KgFlavor::Dbpedia10, KgScale::tiny());
+        assert!(!kg.is_empty());
+        assert!(kg.len() > 1_000);
+        assert_eq!(kg.facts.people.len(), 120);
+        assert_eq!(kg.facts.cities.len(), names::CITIES.len());
+        // Every person has a label triple findable by text search.
+        let hits = kg
+            .store
+            .vertices_with_description_containing(&["kaliningrad"], 10);
+        assert!(!hits.is_empty());
+        let stats = kg.store.stats();
+        assert!(stats.distinct_classes >= 5);
+        assert!(stats.type_triples > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = GeneratedKg::generate(KgFlavor::Yago, KgScale::tiny());
+        let b = GeneratedKg::generate(KgFlavor::Yago, KgScale::tiny());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.facts.people[5].name, b.facts.people[5].name);
+        assert_eq!(a.facts.people[5].birth_date, b.facts.people[5].birth_date);
+    }
+
+    #[test]
+    fn dbpedia_and_yago_use_different_predicate_vocabularies() {
+        let dbp = GeneratedKg::generate(KgFlavor::Dbpedia10, KgScale::tiny());
+        let yago = GeneratedKg::generate(KgFlavor::Yago, KgScale::tiny());
+        let dbp_spouse = &dbp.predicates.as_ref().unwrap().spouse;
+        let yago_spouse = &yago.predicates.as_ref().unwrap().spouse;
+        assert_ne!(dbp_spouse, yago_spouse);
+        assert!(dbp_spouse.contains("dbpedia.org"));
+        assert!(yago_spouse.contains("yago"));
+    }
+
+    #[test]
+    fn spouse_relation_is_symmetric_in_facts() {
+        let kg = GeneratedKg::generate(KgFlavor::Dbpedia10, KgScale::tiny());
+        for (i, p) in kg.facts.people.iter().enumerate() {
+            if let Some(s) = p.spouse {
+                assert_eq!(kg.facts.people[s].spouse, Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn dblp_kg_has_readable_uris_and_labels() {
+        let kg = GeneratedKg::generate(KgFlavor::Dblp, KgScale::tiny());
+        assert!(!kg.facts.papers.is_empty());
+        assert!(!kg.facts.authors.is_empty());
+        let author = &kg.facts.authors[0];
+        assert!(author.iri.as_iri().unwrap().starts_with("https://dblp.org/pid/"));
+        // Author names are findable through the text index.
+        let first_word = author.name.split(' ').next().unwrap().to_lowercase();
+        let hits = kg.store.vertices_with_description_containing(&[&first_word], 400);
+        assert!(hits.iter().any(|(v, _)| v == &author.iri));
+    }
+
+    #[test]
+    fn mag_kg_has_opaque_uris_but_searchable_names() {
+        let kg = GeneratedKg::generate(KgFlavor::Mag, KgScale::tiny());
+        let author = &kg.facts.authors[0];
+        let iri = author.iri.as_iri().unwrap();
+        assert!(iri.starts_with("https://makg.org/entity/"));
+        let local = iri.rsplit('/').next().unwrap();
+        assert!(local.chars().all(|c| c.is_ascii_digit()), "MAG URIs must be opaque: {iri}");
+        // ...and the URI itself must NOT be human readable (this is what
+        // breaks gAnswer's URI-based index).
+        assert!(!author.iri.is_human_readable());
+        // But the foaf:name description is still searchable.
+        let first_word = author.name.split(' ').next().unwrap().to_lowercase();
+        let hits = kg.store.vertices_with_description_containing(&[&first_word], 400);
+        assert!(hits.iter().any(|(v, _)| v == &author.iri));
+    }
+
+    #[test]
+    fn paper_authorship_is_consistent_between_facts_and_store() {
+        let kg = GeneratedKg::generate(KgFlavor::Dblp, KgScale::tiny());
+        let paper = &kg.facts.papers[0];
+        for &a in &paper.authors {
+            let author = &kg.facts.authors[a];
+            assert!(author.papers.contains(&0));
+            assert!(kg.store.contains(&Triple::new(
+                paper.iri.clone(),
+                Term::iri(scholarly::DBLP_AUTHORED_BY),
+                author.iri.clone(),
+            )));
+        }
+    }
+
+    #[test]
+    fn benchmark_scale_makes_mag_largest() {
+        let mag = KgScale::benchmark(KgFlavor::Mag);
+        let dbp = KgScale::benchmark(KgFlavor::Dbpedia10);
+        assert!(mag.papers > dbp.papers);
+        assert!(mag.people + mag.papers > dbp.people + dbp.papers);
+    }
+
+    #[test]
+    fn flavor_labels_match_table2() {
+        assert_eq!(KgFlavor::Dbpedia10.label(), "DBpedia-10");
+        assert_eq!(KgFlavor::Mag.label(), "MAG");
+        assert!(KgFlavor::Mag.is_scholarly());
+        assert!(!KgFlavor::Yago.is_scholarly());
+        assert_eq!(KgFlavor::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,38 @@
+//! # kgqan-benchmarks
+//!
+//! The evaluation substrate of the KGQAn reproduction: synthetic knowledge
+//! graphs standing in for the four real KGs of the paper's evaluation
+//! (DBpedia, YAGO-4, DBLP and the Microsoft Academic Graph), benchmark
+//! question sets standing in for QALD-9, LC-QuAD 1.0 and the three
+//! hand-built benchmarks (YAGO-Bench, DBLP-Bench, MAG-Bench), gold answers,
+//! the QALD-style Macro-P/R/F1 evaluator, the question taxonomy of Table 5
+//! and the entity/relation-linking gold data of Figure 9.
+//!
+//! The synthetic KGs preserve the *shape* properties the paper's experiments
+//! depend on:
+//!
+//! * DBpedia/YAGO: human-readable resource URIs, `rdfs:label` descriptions,
+//!   rich `rdf:type` information, general-fact relations,
+//! * DBLP: publication records with long titles as labels,
+//! * MAG: **opaque numeric entity URIs** whose only descriptions are
+//!   `foaf:name` literals — the property that breaks gAnswer's URI-text
+//!   index and EDGQA's default label indexing (§7.2.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmark;
+pub mod eval;
+pub mod kg;
+pub mod names;
+pub mod questions;
+pub mod suite;
+pub mod taxonomy;
+
+pub use benchmark::{
+    Benchmark, BenchmarkQuestion, LinkingGold, QueryShape, QuestionCategory,
+};
+pub use eval::{evaluate, EvaluationReport, FailureBreakdown, QuestionResult, SystemAnswer};
+pub use kg::{GeneratedKg, KgFlavor, KgScale};
+pub use suite::{BenchmarkSuite, SuiteScale};
+pub use taxonomy::TaxonomyCounts;

@@ -1,0 +1,151 @@
+//! Vocabulary pools used by the synthetic knowledge-graph generators.
+//!
+//! All names are ordinary English-looking strings; the generators combine
+//! them deterministically (seeded) so that every run of the workspace
+//! produces the same KGs, questions and gold answers.
+
+/// First names for generated people.
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
+    "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony",
+    "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul", "Emily",
+    "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol", "Kevin", "Amanda", "Brian",
+    "Dorothy", "George", "Melissa", "Edward", "Deborah", "Ronald", "Stephanie", "Timothy",
+    "Rebecca", "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob", "Kathleen",
+    "Gary", "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna", "Stephen",
+    "Ruth", "Larry", "Brenda", "Justin", "Pamela", "Scott", "Nicole", "Brandon", "Katherine",
+];
+
+/// Last names for generated people.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
+    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Gomez", "Phillips", "Evans",
+    "Turner", "Diaz", "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper", "Peterson",
+    "Bailey", "Reed", "Kelly", "Howard", "Ramos", "Kim", "Cox", "Ward", "Richardson",
+];
+
+/// City names.
+pub const CITIES: &[&str] = &[
+    "Kaliningrad", "Berlin", "Paris", "Madrid", "Rome", "Vienna", "Prague", "Warsaw", "Lisbon",
+    "Dublin", "Oslo", "Helsinki", "Stockholm", "Copenhagen", "Amsterdam", "Brussels", "Athens",
+    "Budapest", "Bucharest", "Sofia", "Zagreb", "Riga", "Vilnius", "Tallinn", "Reykjavik",
+    "Ottawa", "Toronto", "Chicago", "Boston", "Seattle", "Denver", "Austin", "Portland",
+    "Nairobi", "Cairo", "Lagos", "Accra", "Tunis", "Rabat", "Lima", "Bogota", "Santiago",
+    "Montevideo", "Quito", "Havana", "Kyoto", "Osaka", "Sapporo", "Busan", "Hanoi", "Bangkok",
+];
+
+/// Country names.
+pub const COUNTRIES: &[&str] = &[
+    "Germany", "France", "Spain", "Italy", "Austria", "Czechia", "Poland", "Portugal", "Ireland",
+    "Norway", "Finland", "Sweden", "Denmark", "Netherlands", "Belgium", "Greece", "Hungary",
+    "Romania", "Bulgaria", "Croatia", "Latvia", "Lithuania", "Estonia", "Iceland", "Canada",
+    "Kenya", "Egypt", "Nigeria", "Ghana", "Tunisia", "Morocco", "Peru", "Colombia", "Chile",
+    "Uruguay", "Ecuador", "Cuba", "Japan", "Vietnam", "Thailand",
+];
+
+/// Bodies of water (seas, straits, rivers, lakes).
+pub const WATERS: &[&str] = &[
+    "Baltic Sea", "Danish Straits", "North Sea", "Black Sea", "Caspian Sea", "Red Sea",
+    "Bering Strait", "English Channel", "Gulf of Finland", "Sea of Azov", "Adriatic Sea",
+    "Aegean Sea", "Amazon River", "Nile", "Danube", "Rhine", "Volga", "Elbe", "Oder", "Vistula",
+    "Lake Victoria", "Lake Ladoga", "Lake Geneva", "Lake Constance",
+];
+
+/// Company names.
+pub const COMPANIES: &[&str] = &[
+    "Northwind Systems", "Contoso Analytics", "Fabrikam Motors", "Globex Industries",
+    "Initech Software", "Umbrella Logistics", "Acme Robotics", "Stark Dynamics",
+    "Wayne Aerospace", "Wonka Foods", "Tyrell Biotech", "Cyberdyne Labs",
+];
+
+/// University names.
+pub const UNIVERSITIES: &[&str] = &[
+    "Concordia University", "KAUST", "University of Waterloo", "ETH Zurich", "TU Munich",
+    "Uppsala University", "Kyoto University", "University of Cape Town", "MIT", "Stanford University",
+    "Carnegie Mellon University", "University of Edinburgh",
+];
+
+/// Occupations for people.
+pub const OCCUPATIONS: &[&str] = &[
+    "physicist", "novelist", "politician", "painter", "composer", "architect", "biologist",
+    "economist", "historian", "mathematician", "engineer", "journalist",
+];
+
+/// Spoken languages.
+pub const LANGUAGES: &[&str] = &[
+    "German", "French", "Spanish", "Italian", "Polish", "Portuguese", "Greek", "Hungarian",
+    "Romanian", "Swedish", "Japanese", "Arabic", "Swahili",
+];
+
+/// Currencies.
+pub const CURRENCIES: &[&str] = &[
+    "Euro", "Krone", "Zloty", "Forint", "Leu", "Lev", "Kuna", "Yen", "Dollar", "Pound", "Dinar",
+];
+
+/// Words used to compose paper titles for the scholarly KGs.
+pub const TITLE_ADJECTIVES: &[&str] = &[
+    "Scalable", "Adaptive", "Efficient", "Distributed", "Incremental", "Robust", "Universal",
+    "Declarative", "Approximate", "Parallel", "Streaming", "Federated",
+];
+
+/// Second word of paper titles.
+pub const TITLE_TOPICS: &[&str] = &[
+    "Query Processing", "Graph Analytics", "Entity Linking", "Question Answering",
+    "Index Structures", "Transaction Management", "Data Integration", "Knowledge Graphs",
+    "Stream Processing", "Schema Matching", "Join Optimization", "Data Cleaning",
+];
+
+/// Trailing phrase of paper titles.
+pub const TITLE_SUFFIXES: &[&str] = &[
+    "over RDF Engines", "for SPARQL Endpoints", "in the Cloud", "at Scale", "with Deep Learning",
+    "on Modern Hardware", "for Heterogeneous Data", "under Memory Constraints",
+];
+
+/// Venue names for the scholarly KGs.
+pub const VENUES: &[&str] = &[
+    "SIGMOD", "VLDB", "ICDE", "EDBT", "CIKM", "WWW", "ISWC", "ESWC", "KDD", "NeurIPS",
+];
+
+/// Research fields.
+pub const FIELDS: &[&str] = &[
+    "Databases", "Information Retrieval", "Machine Learning", "Semantic Web",
+    "Natural Language Processing", "Distributed Systems",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_unique() {
+        fn assert_unique(pool: &[&str], name: &str) {
+            let mut set = std::collections::BTreeSet::new();
+            for item in pool {
+                assert!(set.insert(*item), "duplicate {item} in {name}");
+            }
+            assert!(!pool.is_empty(), "{name} is empty");
+        }
+        assert_unique(FIRST_NAMES, "FIRST_NAMES");
+        assert_unique(LAST_NAMES, "LAST_NAMES");
+        assert_unique(CITIES, "CITIES");
+        assert_unique(COUNTRIES, "COUNTRIES");
+        assert_unique(WATERS, "WATERS");
+        assert_unique(COMPANIES, "COMPANIES");
+        assert_unique(UNIVERSITIES, "UNIVERSITIES");
+        assert_unique(VENUES, "VENUES");
+        assert_unique(TITLE_ADJECTIVES, "TITLE_ADJECTIVES");
+        assert_unique(TITLE_TOPICS, "TITLE_TOPICS");
+    }
+
+    #[test]
+    fn name_pools_are_large_enough_for_kg_generation() {
+        assert!(FIRST_NAMES.len() * LAST_NAMES.len() >= 5_000);
+        assert!(TITLE_ADJECTIVES.len() * TITLE_TOPICS.len() * TITLE_SUFFIXES.len() >= 1_000);
+    }
+}

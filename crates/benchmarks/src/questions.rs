@@ -1,0 +1,736 @@
+//! Benchmark question generators.
+//!
+//! Questions are derived from the gold facts of a generated KG, so every
+//! question carries exact gold answers, a gold SPARQL query and gold
+//! entity/relation linking pairs.  The general-fact generator produces
+//! QALD-9-style and LC-QuAD-style questions (the latter are more templated
+//! and numerous); the scholarly generator produces DBLP-Bench / MAG-Bench
+//! questions about papers, authors and venues, mirroring §7.1.3.
+
+use kgqan_rdf::Term;
+
+use crate::benchmark::{
+    Benchmark, BenchmarkQuestion, LinkingGold, QueryShape, QuestionCategory,
+};
+use crate::kg::{scholarly, GeneratedKg, KgFlavor};
+
+/// Build the benchmark question set appropriate for a KG flavor.
+///
+/// * DBpedia-10 → QALD-9-like (manually varied phrasings),
+/// * DBpedia-04 → LC-QuAD-1.0-like (templated),
+/// * YAGO → YAGO-Bench, DBLP → DBLP-Bench, MAG → MAG-Bench.
+pub fn questions_for(kg: &GeneratedKg, count: usize) -> Benchmark {
+    let (name, questions) = match kg.flavor {
+        KgFlavor::Dbpedia10 => ("QALD-9", general_fact_questions(kg, count)),
+        KgFlavor::Dbpedia04 => ("LC-QuAD 1.0", general_fact_questions(kg, count)),
+        KgFlavor::Yago => ("YAGO-Bench", general_fact_questions(kg, count)),
+        KgFlavor::Dblp => ("DBLP-Bench", scholarly_questions(kg, count)),
+        KgFlavor::Mag => ("MAG-Bench", scholarly_questions(kg, count)),
+    };
+    Benchmark {
+        name: name.to_string(),
+        flavor: kg.flavor,
+        questions,
+    }
+}
+
+fn linking(entities: Vec<(String, Term)>, relations: Vec<(String, Term)>) -> LinkingGold {
+    LinkingGold {
+        entities,
+        relations,
+    }
+}
+
+/// Generate general-fact questions (QALD-9 / LC-QuAD / YAGO-Bench style).
+///
+/// The QALD-9-like and YAGO-Bench question sets mix in manually-phrased
+/// variants with subordinate clauses ("Name the person who is married to …"),
+/// mirroring the paper's observation that QALD-9 questions are hand-written
+/// with varied complexity whereas LC-QuAD 1.0 questions are template
+/// generated (§7.2.2).  The LC-QuAD-like set sticks to the plain templates.
+pub fn general_fact_questions(kg: &GeneratedKg, count: usize) -> Vec<BenchmarkQuestion> {
+    let voc = kg
+        .predicates
+        .as_ref()
+        .expect("general-fact KG carries a predicate vocabulary");
+    // Hand-written-style phrasing variety for QALD-9 and YAGO-Bench.
+    let varied_phrasing = kg.flavor != KgFlavor::Dbpedia04;
+    let facts = &kg.facts;
+    let mut questions: Vec<BenchmarkQuestion> = Vec::with_capacity(count);
+    let mut round = 0usize;
+
+    while questions.len() < count {
+        let id = questions.len();
+        // Rotate over 12 templates; indices advance with `round` so that
+        // successive rounds use fresh entities.
+        let template = id % 12;
+        let pick = round + id;
+        match template {
+            // 1. Spouse (single fact).
+            0 => {
+                let person = &facts.people[pick % facts.people.len()];
+                let Some(spouse) = person.spouse else {
+                    round += 1;
+                    continue;
+                };
+                let phrasing = match (varied_phrasing, pick % 4) {
+                    (true, 1) => format!("Name the person who is married to {}", person.name),
+                    (true, 3) => format!("Who is {} married to?", person.name),
+                    (_, 0) | (false, 1) => format!("Who is the wife of {}?", person.name),
+                    _ => format!("Who is the spouse of {}?", person.name),
+                };
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: phrasing,
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ <{}> <{}> ?u . }}",
+                        person.iri.as_iri().unwrap(),
+                        voc.spouse
+                    ),
+                    gold_answers: vec![facts.people[spouse].iri.clone()],
+                    gold_boolean: None,
+                    category: QuestionCategory::SingleFact,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![(person.name.clone(), person.iri.clone())],
+                        vec![("wife".into(), Term::iri(&voc.spouse))],
+                    ),
+                });
+            }
+            // 2. Birth place.
+            1 => {
+                let person = &facts.people[(pick * 3 + 1) % facts.people.len()];
+                let city = &facts.cities[person.birth_city];
+                let phrasing = if varied_phrasing && pick % 2 == 1 {
+                    format!("Name the city where {} was born", person.name)
+                } else {
+                    format!("Where was {} born?", person.name)
+                };
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: phrasing,
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ <{}> <{}> ?u . }}",
+                        person.iri.as_iri().unwrap(),
+                        voc.birth_place
+                    ),
+                    gold_answers: vec![city.iri.clone()],
+                    gold_boolean: None,
+                    category: QuestionCategory::SingleFact,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![(person.name.clone(), person.iri.clone())],
+                        vec![("born".into(), Term::iri(&voc.birth_place))],
+                    ),
+                });
+            }
+            // 3. Birth date (date answer).
+            2 => {
+                let person = &facts.people[(pick * 5 + 2) % facts.people.len()];
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: format!("When was {} born?", person.name),
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ <{}> <{}> ?u . }}",
+                        person.iri.as_iri().unwrap(),
+                        voc.birth_date
+                    ),
+                    gold_answers: vec![Term::date(person.birth_date.clone())],
+                    gold_boolean: None,
+                    category: QuestionCategory::SingleFact,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![(person.name.clone(), person.iri.clone())],
+                        vec![("born".into(), Term::iri(&voc.birth_date))],
+                    ),
+                });
+            }
+            // 4. Capital of a country.
+            3 => {
+                let country = &facts.countries[pick % facts.countries.len()];
+                let capital = &facts.cities[country.capital];
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: format!("What is the capital of {}?", country.name),
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ <{}> <{}> ?u . }}",
+                        country.iri.as_iri().unwrap(),
+                        voc.capital
+                    ),
+                    gold_answers: vec![capital.iri.clone()],
+                    gold_boolean: None,
+                    category: QuestionCategory::SingleFact,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![(country.name.clone(), country.iri.clone())],
+                        vec![("capital".into(), Term::iri(&voc.capital))],
+                    ),
+                });
+            }
+            // 5. Population (numeric answer).
+            4 => {
+                let city = &facts.cities[(pick * 7) % facts.cities.len()];
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: format!("What is the population of {}?", city.name),
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ <{}> <{}> ?u . }}",
+                        city.iri.as_iri().unwrap(),
+                        voc.population
+                    ),
+                    gold_answers: vec![Term::integer(city.population as i64)],
+                    gold_boolean: None,
+                    category: QuestionCategory::SingleFact,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![(city.name.clone(), city.iri.clone())],
+                        vec![("population".into(), Term::iri(&voc.population))],
+                    ),
+                });
+            }
+            // 6. Fact with type: "Which city is the capital of X?".
+            5 => {
+                let country = &facts.countries[(pick * 3) % facts.countries.len()];
+                let capital = &facts.cities[country.capital];
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: format!("Which city is the capital of {}?", country.name),
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ <{}> <{}> ?u . ?u a <{}City> . }}",
+                        country.iri.as_iri().unwrap(),
+                        voc.capital,
+                        voc.class_ns
+                    ),
+                    gold_answers: vec![capital.iri.clone()],
+                    gold_boolean: None,
+                    category: QuestionCategory::SingleFactWithType,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![(country.name.clone(), country.iri.clone())],
+                        vec![("capital".into(), Term::iri(&voc.capital))],
+                    ),
+                });
+            }
+            // 7. Mayor of a city.
+            6 => {
+                let city = &facts.cities[(pick * 11 + 3) % facts.cities.len()];
+                let mayor = &facts.people[city.mayor];
+                let phrasing = if varied_phrasing && pick % 2 == 0 {
+                    format!("Name the politician who serves as mayor of {}", city.name)
+                } else {
+                    format!("Who is the mayor of {}?", city.name)
+                };
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: phrasing,
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ <{}> <{}> ?u . }}",
+                        city.iri.as_iri().unwrap(),
+                        voc.mayor
+                    ),
+                    gold_answers: vec![mayor.iri.clone()],
+                    gold_boolean: None,
+                    category: QuestionCategory::SingleFact,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![(city.name.clone(), city.iri.clone())],
+                        vec![("mayor".into(), Term::iri(&voc.mayor))],
+                    ),
+                });
+            }
+            // 8. Multi-fact running-example style.
+            7 => {
+                let i = pick % (facts.waters.len() - 1);
+                let sea = &facts.waters[i];
+                let straits = &facts.waters[sea.outflow_of.expect("chained waters")];
+                let city = &facts.cities[sea.nearest_city];
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: format!(
+                        "Name the sea into which {} flows and has {} as one of the city on the shore",
+                        straits.name, city.name
+                    ),
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ ?u <{}> <{}> . ?u <{}> <{}> . }}",
+                        voc.outflow,
+                        straits.iri.as_iri().unwrap(),
+                        voc.nearest_city,
+                        city.iri.as_iri().unwrap()
+                    ),
+                    gold_answers: vec![sea.iri.clone()],
+                    gold_boolean: None,
+                    category: QuestionCategory::MultiFact,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![
+                            (straits.name.clone(), straits.iri.clone()),
+                            (city.name.clone(), city.iri.clone()),
+                        ],
+                        vec![
+                            ("flows".into(), Term::iri(&voc.outflow)),
+                            ("city on the shore".into(), Term::iri(&voc.nearest_city)),
+                        ],
+                    ),
+                });
+            }
+            // 9. Boolean: is X the capital of Y?
+            8 => {
+                let country = &facts.countries[(pick * 13 + 1) % facts.countries.len()];
+                let truth = pick % 2 == 0;
+                let city = if truth {
+                    &facts.cities[country.capital]
+                } else {
+                    // A city that is definitely not this country's capital.
+                    &facts.cities[(country.capital + 1) % facts.cities.len()]
+                };
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: format!("Is {} the capital of {}?", city.name, country.name),
+                    gold_sparql: format!(
+                        "ASK {{ <{}> <{}> <{}> }}",
+                        country.iri.as_iri().unwrap(),
+                        voc.capital,
+                        city.iri.as_iri().unwrap()
+                    ),
+                    gold_answers: vec![],
+                    gold_boolean: Some(truth),
+                    category: QuestionCategory::Boolean,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![
+                            (city.name.clone(), city.iri.clone()),
+                            (country.name.clone(), country.iri.clone()),
+                        ],
+                        vec![("capital".into(), Term::iri(&voc.capital))],
+                    ),
+                });
+            }
+            // 10. Founder of a company.
+            9 => {
+                let company = &facts.companies[pick % facts.companies.len()];
+                let founder = &facts.people[company.founder];
+                let phrasing = if varied_phrasing && pick % 2 == 1 {
+                    format!("Name the person who founded {}", company.name)
+                } else {
+                    format!("Who is the founder of {}?", company.name)
+                };
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: phrasing,
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ <{}> <{}> ?u . }}",
+                        company.iri.as_iri().unwrap(),
+                        voc.founder
+                    ),
+                    gold_answers: vec![founder.iri.clone()],
+                    gold_boolean: None,
+                    category: QuestionCategory::SingleFact,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![(company.name.clone(), company.iri.clone())],
+                        vec![("founder".into(), Term::iri(&voc.founder))],
+                    ),
+                });
+            }
+            // 11. Official language (string literal answer).
+            10 => {
+                let country = &facts.countries[(pick * 7 + 5) % facts.countries.len()];
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: format!("What is the official language of {}?", country.name),
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ <{}> <{}> ?u . }}",
+                        country.iri.as_iri().unwrap(),
+                        voc.language
+                    ),
+                    gold_answers: vec![Term::literal_str(country.language.clone())],
+                    gold_boolean: None,
+                    category: QuestionCategory::SingleFact,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![(country.name.clone(), country.iri.clone())],
+                        vec![("official language".into(), Term::iri(&voc.language))],
+                    ),
+                });
+            }
+            // 12. Path question: mayor of the capital of X.
+            _ => {
+                let country = &facts.countries[(pick * 17 + 7) % facts.countries.len()];
+                let capital = &facts.cities[country.capital];
+                let mayor = &facts.people[capital.mayor];
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: format!("Who is the mayor of the capital of {}?", country.name),
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ <{}> <{}> ?c . ?c <{}> ?u . }}",
+                        country.iri.as_iri().unwrap(),
+                        voc.capital,
+                        voc.mayor
+                    ),
+                    gold_answers: vec![mayor.iri.clone()],
+                    gold_boolean: None,
+                    category: QuestionCategory::MultiFact,
+                    shape: QueryShape::Path,
+                    linking: linking(
+                        vec![(country.name.clone(), country.iri.clone())],
+                        vec![
+                            ("mayor".into(), Term::iri(&voc.mayor)),
+                            ("capital".into(), Term::iri(&voc.capital)),
+                        ],
+                    ),
+                });
+            }
+        }
+        if id % 12 == 11 {
+            round += 1;
+        }
+    }
+    questions
+}
+
+/// Generate scholarly questions (DBLP-Bench / MAG-Bench style).
+pub fn scholarly_questions(kg: &GeneratedKg, count: usize) -> Vec<BenchmarkQuestion> {
+    let facts = &kg.facts;
+    let is_mag = kg.flavor == KgFlavor::Mag;
+    let author_pred = Term::iri(if is_mag {
+        scholarly::MAG_CREATOR
+    } else {
+        scholarly::DBLP_AUTHORED_BY
+    });
+    let venue_pred = Term::iri(if is_mag {
+        scholarly::MAG_VENUE
+    } else {
+        scholarly::DBLP_PUBLISHED_IN
+    });
+    let year_pred = Term::iri(if is_mag {
+        scholarly::MAG_PUB_DATE
+    } else {
+        scholarly::DBLP_YEAR
+    });
+    let affiliation_pred = Term::iri(if is_mag {
+        scholarly::MAG_MEMBER_OF
+    } else {
+        scholarly::DBLP_AFFILIATION
+    });
+
+    let mut questions = Vec::with_capacity(count);
+    let mut round = 0usize;
+    while questions.len() < count {
+        let id = questions.len();
+        let template = id % 6;
+        let pick = round * 31 + id;
+        match template {
+            // 1. Authors of a paper.
+            0 => {
+                let paper = &facts.papers[pick % facts.papers.len()];
+                let phrasing = if pick % 2 == 0 {
+                    format!("Who is the author of {}?", paper.title)
+                } else {
+                    format!("Who wrote the paper {}?", paper.title)
+                };
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: phrasing,
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ <{}> <{}> ?u . }}",
+                        paper.iri.as_iri().unwrap(),
+                        author_pred.as_iri().unwrap()
+                    ),
+                    gold_answers: paper
+                        .authors
+                        .iter()
+                        .map(|&a| facts.authors[a].iri.clone())
+                        .collect(),
+                    gold_boolean: None,
+                    category: QuestionCategory::SingleFact,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![(paper.title.clone(), paper.iri.clone())],
+                        vec![("author".into(), author_pred.clone())],
+                    ),
+                });
+            }
+            // 2. Venue of a paper.
+            1 => {
+                let paper = &facts.papers[(pick * 3 + 1) % facts.papers.len()];
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: format!("Which conference published {}?", paper.title),
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ <{}> <{}> ?u . }}",
+                        paper.iri.as_iri().unwrap(),
+                        venue_pred.as_iri().unwrap()
+                    ),
+                    gold_answers: vec![paper.venue_iri.clone()],
+                    gold_boolean: None,
+                    category: QuestionCategory::SingleFactWithType,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![(paper.title.clone(), paper.iri.clone())],
+                        vec![("published".into(), venue_pred.clone())],
+                    ),
+                });
+            }
+            // 3. Publication year/date.
+            2 => {
+                let paper = &facts.papers[(pick * 5 + 2) % facts.papers.len()];
+                let gold = if is_mag {
+                    Term::date(format!("{}-06-15", paper.year))
+                } else {
+                    Term::literal_typed(paper.year.to_string(), kgqan_rdf::vocab::XSD_GYEAR)
+                };
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: format!("When was {} published?", paper.title),
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ <{}> <{}> ?u . }}",
+                        paper.iri.as_iri().unwrap(),
+                        year_pred.as_iri().unwrap()
+                    ),
+                    gold_answers: vec![gold],
+                    gold_boolean: None,
+                    category: QuestionCategory::SingleFact,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![(paper.title.clone(), paper.iri.clone())],
+                        vec![("published".into(), year_pred.clone())],
+                    ),
+                });
+            }
+            // 4. Affiliation of an author.
+            3 => {
+                let author = &facts.authors[pick % facts.authors.len()];
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: format!("What is the primary affiliation of {}?", author.name),
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ <{}> <{}> ?u . }}",
+                        author.iri.as_iri().unwrap(),
+                        affiliation_pred.as_iri().unwrap()
+                    ),
+                    gold_answers: vec![author.affiliation_iri.clone()],
+                    gold_boolean: None,
+                    category: QuestionCategory::SingleFact,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![(author.name.clone(), author.iri.clone())],
+                        vec![("affiliation".into(), affiliation_pred.clone())],
+                    ),
+                });
+            }
+            // 5. Boolean authorship.
+            4 => {
+                let paper = &facts.papers[(pick * 7 + 3) % facts.papers.len()];
+                let truth = pick % 2 == 0;
+                let author = if truth {
+                    &facts.authors[paper.authors[0]]
+                } else {
+                    // Someone who did not write this paper.
+                    let mut idx = (paper.authors[0] + 11) % facts.authors.len();
+                    while paper.authors.contains(&idx) {
+                        idx = (idx + 1) % facts.authors.len();
+                    }
+                    &facts.authors[idx]
+                };
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: format!("Did {} write the paper {}?", author.name, paper.title),
+                    gold_sparql: format!(
+                        "ASK {{ <{}> <{}> <{}> }}",
+                        paper.iri.as_iri().unwrap(),
+                        author_pred.as_iri().unwrap(),
+                        author.iri.as_iri().unwrap()
+                    ),
+                    gold_answers: vec![],
+                    gold_boolean: Some(truth),
+                    category: QuestionCategory::Boolean,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![
+                            (author.name.clone(), author.iri.clone()),
+                            (paper.title.clone(), paper.iri.clone()),
+                        ],
+                        vec![("write".into(), author_pred.clone())],
+                    ),
+                });
+            }
+            // 6. Multi-fact: paper by author X published in venue Y.
+            _ => {
+                // Find an author with at least one paper.
+                let author_idx = (pick * 3 + 7) % facts.authors.len();
+                let author = &facts.authors[author_idx];
+                let Some(&paper_idx) = author.papers.first() else {
+                    round += 1;
+                    continue;
+                };
+                let paper = &facts.papers[paper_idx];
+                // Gold: all papers of this author published at that venue.
+                let gold: Vec<Term> = author
+                    .papers
+                    .iter()
+                    .map(|&p| &facts.papers[p])
+                    .filter(|p| p.venue == paper.venue)
+                    .map(|p| p.iri.clone())
+                    .collect();
+                questions.push(BenchmarkQuestion {
+                    id,
+                    text: format!(
+                        "Which paper was written by {} and published in {}?",
+                        author.name, paper.venue
+                    ),
+                    gold_sparql: format!(
+                        "SELECT ?u WHERE {{ ?u <{}> <{}> . ?u <{}> <{}> . }}",
+                        author_pred.as_iri().unwrap(),
+                        author.iri.as_iri().unwrap(),
+                        venue_pred.as_iri().unwrap(),
+                        paper.venue_iri.as_iri().unwrap()
+                    ),
+                    gold_answers: gold,
+                    gold_boolean: None,
+                    category: QuestionCategory::MultiFact,
+                    shape: QueryShape::Star,
+                    linking: linking(
+                        vec![
+                            (author.name.clone(), author.iri.clone()),
+                            (paper.venue.clone(), paper.venue_iri.clone()),
+                        ],
+                        vec![
+                            ("written".into(), author_pred.clone()),
+                            ("published".into(), venue_pred.clone()),
+                        ],
+                    ),
+                });
+            }
+        }
+        if id % 6 == 5 {
+            round += 1;
+        }
+    }
+    questions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kg::KgScale;
+    use kgqan_sparql::execute_query;
+
+    fn general_kg() -> GeneratedKg {
+        GeneratedKg::generate(KgFlavor::Dbpedia10, KgScale::tiny())
+    }
+
+    fn scholarly_kg() -> GeneratedKg {
+        GeneratedKg::generate(KgFlavor::Dblp, KgScale::tiny())
+    }
+
+    #[test]
+    fn generates_requested_number_of_questions() {
+        let kg = general_kg();
+        let benchmark = questions_for(&kg, 60);
+        assert_eq!(benchmark.len(), 60);
+        assert_eq!(benchmark.name, "QALD-9");
+        // Ids are dense and unique.
+        for (i, q) in benchmark.questions.iter().enumerate() {
+            assert_eq!(q.id, i);
+        }
+    }
+
+    #[test]
+    fn covers_all_categories_and_both_shapes() {
+        let kg = general_kg();
+        let benchmark = questions_for(&kg, 60);
+        for category in QuestionCategory::ALL {
+            assert!(
+                benchmark.count_by_category(category) > 0,
+                "missing category {category:?}"
+            );
+        }
+        assert!(benchmark.count_by_shape(QueryShape::Star) > 0);
+        assert!(benchmark.count_by_shape(QueryShape::Path) > 0);
+    }
+
+    #[test]
+    fn gold_answers_agree_with_gold_sparql() {
+        let kg = general_kg();
+        let benchmark = questions_for(&kg, 48);
+        for q in &benchmark.questions {
+            if let Some(gold_bool) = q.gold_boolean {
+                let result = execute_query(&kg.store, &q.gold_sparql).unwrap();
+                assert_eq!(result.as_boolean(), Some(gold_bool), "boolean mismatch for {}", q.text);
+            } else {
+                let result = execute_query(&kg.store, &q.gold_sparql).unwrap();
+                let returned: Vec<Term> = result
+                    .as_solutions()
+                    .unwrap()
+                    .column("u")
+                    .into_iter()
+                    .collect();
+                for gold in &q.gold_answers {
+                    assert!(
+                        returned.contains(gold),
+                        "gold answer {gold} not produced by gold SPARQL for: {}",
+                        q.text
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scholarly_gold_answers_agree_with_gold_sparql() {
+        let kg = scholarly_kg();
+        let benchmark = questions_for(&kg, 36);
+        assert_eq!(benchmark.name, "DBLP-Bench");
+        for q in &benchmark.questions {
+            let result = execute_query(&kg.store, &q.gold_sparql).unwrap();
+            if let Some(gold_bool) = q.gold_boolean {
+                assert_eq!(result.as_boolean(), Some(gold_bool), "boolean mismatch for {}", q.text);
+            } else {
+                let returned = result.as_solutions().unwrap().column("u");
+                assert!(!q.gold_answers.is_empty(), "no gold answers for {}", q.text);
+                for gold in &q.gold_answers {
+                    assert!(
+                        returned.contains(gold),
+                        "gold answer {gold} not produced by gold SPARQL for: {}",
+                        q.text
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_question_has_linking_gold() {
+        let kg = general_kg();
+        let benchmark = questions_for(&kg, 36);
+        for q in &benchmark.questions {
+            assert!(!q.linking.entities.is_empty(), "no entity gold for {}", q.text);
+            assert!(!q.linking.relations.is_empty(), "no relation gold for {}", q.text);
+        }
+    }
+
+    #[test]
+    fn boolean_questions_have_both_true_and_false_cases() {
+        let kg = general_kg();
+        let benchmark = questions_for(&kg, 120);
+        let booleans: Vec<bool> = benchmark
+            .questions
+            .iter()
+            .filter_map(|q| q.gold_boolean)
+            .collect();
+        assert!(booleans.iter().any(|b| *b));
+        assert!(booleans.iter().any(|b| !*b));
+    }
+
+    #[test]
+    fn mag_questions_target_opaque_uris() {
+        let kg = GeneratedKg::generate(KgFlavor::Mag, KgScale::tiny());
+        let benchmark = questions_for(&kg, 24);
+        assert_eq!(benchmark.name, "MAG-Bench");
+        let some_entity_gold = &benchmark.questions[0].linking.entities[0].1;
+        assert!(some_entity_gold
+            .as_iri()
+            .unwrap()
+            .starts_with("https://makg.org/entity/"));
+    }
+}

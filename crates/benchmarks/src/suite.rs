@@ -1,0 +1,117 @@
+//! The full benchmark suite: the five KGs and their question sets, wrapped
+//! into SPARQL endpoints, ready for the experiment harness.
+
+use std::sync::Arc;
+
+use kgqan_endpoint::InProcessEndpoint;
+
+use crate::benchmark::Benchmark;
+use crate::kg::{GeneratedKg, KgFlavor, KgScale};
+use crate::questions::questions_for;
+
+/// How large a suite to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// Small KGs and few questions — for tests and quick smoke runs.
+    Smoke,
+    /// The full evaluation scale used by the table/figure harnesses.  The
+    /// question counts mirror §7.1.3 (QALD-9: 150, LC-QuAD: scaled-down
+    /// 300 of the original 1000, the three unseen benchmarks: 100 each).
+    Full,
+}
+
+impl SuiteScale {
+    /// Number of questions for a benchmark of the given flavor.
+    pub fn question_count(&self, flavor: KgFlavor) -> usize {
+        match (self, flavor) {
+            (SuiteScale::Smoke, _) => 24,
+            (SuiteScale::Full, KgFlavor::Dbpedia10) => 150,
+            (SuiteScale::Full, KgFlavor::Dbpedia04) => 300,
+            (SuiteScale::Full, _) => 100,
+        }
+    }
+
+    /// KG scale for the given flavor.
+    pub fn kg_scale(&self, flavor: KgFlavor) -> KgScale {
+        match self {
+            SuiteScale::Smoke => KgScale::tiny(),
+            SuiteScale::Full => KgScale::benchmark(flavor),
+        }
+    }
+}
+
+/// One benchmark with its KG and endpoint.
+pub struct BenchmarkInstance {
+    /// The generated KG (store + gold facts).
+    pub kg: GeneratedKg,
+    /// The question set with gold answers.
+    pub benchmark: Benchmark,
+    /// The endpoint KGQAn and the baselines query.
+    pub endpoint: Arc<InProcessEndpoint>,
+}
+
+/// The whole evaluation suite.
+pub struct BenchmarkSuite {
+    /// The five benchmark instances in Table 2 order.
+    pub instances: Vec<BenchmarkInstance>,
+}
+
+impl BenchmarkSuite {
+    /// Build one benchmark instance.
+    pub fn build_one(flavor: KgFlavor, scale: SuiteScale) -> BenchmarkInstance {
+        let kg = GeneratedKg::generate(flavor, scale.kg_scale(flavor));
+        let benchmark = questions_for(&kg, scale.question_count(flavor));
+        let endpoint = Arc::new(InProcessEndpoint::new(
+            flavor.label(),
+            kg.store.clone(),
+        ));
+        BenchmarkInstance {
+            kg,
+            benchmark,
+            endpoint,
+        }
+    }
+
+    /// Build the full five-benchmark suite.
+    pub fn build(scale: SuiteScale) -> BenchmarkSuite {
+        BenchmarkSuite {
+            instances: KgFlavor::ALL
+                .iter()
+                .map(|&flavor| Self::build_one(flavor, scale))
+                .collect(),
+        }
+    }
+
+    /// The instance for a flavor.
+    pub fn instance(&self, flavor: KgFlavor) -> Option<&BenchmarkInstance> {
+        self.instances.iter().find(|i| i.kg.flavor == flavor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgqan_endpoint::SparqlEndpoint;
+
+    #[test]
+    fn smoke_suite_builds_all_five_benchmarks() {
+        let suite = BenchmarkSuite::build(SuiteScale::Smoke);
+        assert_eq!(suite.instances.len(), 5);
+        for instance in &suite.instances {
+            assert!(!instance.kg.is_empty());
+            assert_eq!(instance.benchmark.len(), 24);
+            assert_eq!(instance.endpoint.name(), instance.kg.flavor.label());
+        }
+        assert!(suite.instance(KgFlavor::Mag).is_some());
+        assert!(suite.instance(KgFlavor::Dblp).is_some());
+    }
+
+    #[test]
+    fn full_scale_question_counts_mirror_the_paper() {
+        assert_eq!(SuiteScale::Full.question_count(KgFlavor::Dbpedia10), 150);
+        assert_eq!(SuiteScale::Full.question_count(KgFlavor::Dbpedia04), 300);
+        assert_eq!(SuiteScale::Full.question_count(KgFlavor::Yago), 100);
+        assert_eq!(SuiteScale::Full.question_count(KgFlavor::Dblp), 100);
+        assert_eq!(SuiteScale::Full.question_count(KgFlavor::Mag), 100);
+    }
+}

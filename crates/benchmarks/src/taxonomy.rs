@@ -1,0 +1,153 @@
+//! The question taxonomy of Table 5: how many questions of each SPARQL shape
+//! and each linguistic category a system solves.
+
+use crate::benchmark::{Benchmark, QueryShape, QuestionCategory};
+use crate::eval::EvaluationReport;
+
+/// Solved / total counts for one taxonomy cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellCount {
+    /// Number of questions in this cell.
+    pub total: usize,
+    /// Number of those the system solved (F1 > 0).
+    pub solved: usize,
+}
+
+/// Table 5 counts for one system on one benchmark.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaxonomyCounts {
+    /// The system name.
+    pub system: String,
+    /// Counts per SPARQL shape.
+    pub by_shape: Vec<(QueryShape, CellCount)>,
+    /// Counts per linguistic category.
+    pub by_category: Vec<(QuestionCategory, CellCount)>,
+}
+
+impl TaxonomyCounts {
+    /// Compute the taxonomy cells for one evaluation report.
+    ///
+    /// The report's `per_question` entries must be aligned with the
+    /// benchmark's questions (which `evaluate` guarantees).
+    pub fn compute(benchmark: &Benchmark, report: &EvaluationReport) -> TaxonomyCounts {
+        let mut by_shape = vec![
+            (QueryShape::Star, CellCount::default()),
+            (QueryShape::Path, CellCount::default()),
+        ];
+        let mut by_category: Vec<(QuestionCategory, CellCount)> = QuestionCategory::ALL
+            .iter()
+            .map(|c| (*c, CellCount::default()))
+            .collect();
+
+        for (i, question) in benchmark.questions.iter().enumerate() {
+            let solved = report
+                .per_question
+                .get(i)
+                .map(|r| r.f1 > 0.0)
+                .unwrap_or(false);
+            for (shape, cell) in by_shape.iter_mut() {
+                if *shape == question.shape {
+                    cell.total += 1;
+                    if solved {
+                        cell.solved += 1;
+                    }
+                }
+            }
+            for (category, cell) in by_category.iter_mut() {
+                if *category == question.category {
+                    cell.total += 1;
+                    if solved {
+                        cell.solved += 1;
+                    }
+                }
+            }
+        }
+
+        TaxonomyCounts {
+            system: report.system.clone(),
+            by_shape,
+            by_category,
+        }
+    }
+
+    /// The cell for a given shape.
+    pub fn shape(&self, shape: QueryShape) -> CellCount {
+        self.by_shape
+            .iter()
+            .find(|(s, _)| *s == shape)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
+    }
+
+    /// The cell for a given category.
+    pub fn category(&self, category: QuestionCategory) -> CellCount {
+        self.by_category
+            .iter()
+            .find(|(c, _)| *c == category)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::{BenchmarkQuestion, LinkingGold};
+    use crate::eval::{evaluate, SystemAnswer};
+    use crate::kg::KgFlavor;
+    use kgqan_rdf::Term;
+
+    fn question(
+        id: usize,
+        category: QuestionCategory,
+        shape: QueryShape,
+        gold: &str,
+    ) -> BenchmarkQuestion {
+        BenchmarkQuestion {
+            id,
+            text: format!("q{id}"),
+            gold_sparql: String::new(),
+            gold_answers: vec![Term::iri(gold)],
+            gold_boolean: None,
+            category,
+            shape,
+            linking: LinkingGold::default(),
+        }
+    }
+
+    #[test]
+    fn taxonomy_counts_solved_per_cell() {
+        let benchmark = Benchmark {
+            name: "toy".into(),
+            flavor: KgFlavor::Dbpedia10,
+            questions: vec![
+                question(0, QuestionCategory::SingleFact, QueryShape::Star, "http://e/a"),
+                question(1, QuestionCategory::MultiFact, QueryShape::Star, "http://e/b"),
+                question(2, QuestionCategory::SingleFact, QueryShape::Path, "http://e/c"),
+            ],
+        };
+        let answers = vec![
+            SystemAnswer {
+                answers: vec![Term::iri("http://e/a")],
+                understanding_ok: true,
+                ..Default::default()
+            },
+            SystemAnswer::empty(),
+            SystemAnswer {
+                answers: vec![Term::iri("http://e/c")],
+                understanding_ok: true,
+                ..Default::default()
+            },
+        ];
+        let report = evaluate(&benchmark, "sys", &answers);
+        let taxonomy = TaxonomyCounts::compute(&benchmark, &report);
+
+        assert_eq!(taxonomy.shape(QueryShape::Star).total, 2);
+        assert_eq!(taxonomy.shape(QueryShape::Star).solved, 1);
+        assert_eq!(taxonomy.shape(QueryShape::Path).solved, 1);
+        assert_eq!(taxonomy.category(QuestionCategory::SingleFact).solved, 2);
+        assert_eq!(taxonomy.category(QuestionCategory::MultiFact).solved, 0);
+        assert_eq!(taxonomy.category(QuestionCategory::Boolean).total, 0);
+        assert_eq!(taxonomy.system, "sys");
+    }
+}

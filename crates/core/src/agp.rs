@@ -1,0 +1,152 @@
+//! The Annotated Graph Pattern (AGP): the PGP after just-in-time linking
+//! (Definition 5.3).
+//!
+//! Every PGP node carries its *relevant vertices* (Definition 5.1) and every
+//! PGP edge its *relevant predicates* (Definition 5.2), each with the
+//! semantic-affinity score that will drive BGP ranking (Equation 2).
+
+use kgqan_rdf::Term;
+
+use crate::pgp::PhraseGraphPattern;
+
+/// A candidate KG vertex for a PGP node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelevantVertex {
+    /// The KG vertex (an IRI term).
+    pub vertex: Term,
+    /// The description literal that matched (e.g. the `rdfs:label` text).
+    pub description: String,
+    /// Semantic affinity between the node label and the description.
+    pub score: f32,
+}
+
+/// A candidate KG predicate for a PGP edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelevantPredicate {
+    /// The KG predicate (an IRI term).
+    pub predicate: Term,
+    /// The human-readable description used for scoring.
+    pub description: String,
+    /// Semantic affinity between the relation phrase and the description.
+    pub score: f32,
+    /// The relevant vertex this predicate was discovered from.
+    pub anchor_vertex: Term,
+    /// The PGP node id the anchor vertex annotates.
+    pub anchor_node: usize,
+    /// Definition 5.2's flag `o`: true if the anchor vertex appeared as the
+    /// *object* of the probed triple (the predicate is incoming at the
+    /// anchor), which decides the orientation of the generated BGP triple.
+    pub vertex_is_object: bool,
+}
+
+/// The annotated graph pattern.
+#[derive(Debug, Clone, Default)]
+pub struct AnnotatedGraphPattern {
+    /// The underlying PGP.
+    pub pgp: PhraseGraphPattern,
+    /// Relevant vertices per PGP node (indexed by node id).
+    pub node_annotations: Vec<Vec<RelevantVertex>>,
+    /// Relevant predicates per PGP edge (indexed by edge position).
+    pub edge_annotations: Vec<Vec<RelevantPredicate>>,
+}
+
+impl AnnotatedGraphPattern {
+    /// Create an AGP with empty annotations for the given PGP.
+    pub fn new(pgp: PhraseGraphPattern) -> Self {
+        let nodes = pgp.nodes().len();
+        let edges = pgp.edges().len();
+        AnnotatedGraphPattern {
+            pgp,
+            node_annotations: vec![Vec::new(); nodes],
+            edge_annotations: vec![Vec::new(); edges],
+        }
+    }
+
+    /// Relevant vertices of a node.
+    pub fn vertices_of(&self, node_id: usize) -> &[RelevantVertex] {
+        &self.node_annotations[node_id]
+    }
+
+    /// Relevant predicates of an edge.
+    pub fn predicates_of(&self, edge_index: usize) -> &[RelevantPredicate] {
+        &self.edge_annotations[edge_index]
+    }
+
+    /// True if every entity node received at least one relevant vertex and
+    /// every edge at least one relevant predicate — a necessary condition for
+    /// generating any candidate query.
+    pub fn is_fully_annotated(&self) -> bool {
+        let entities_ok = self
+            .pgp
+            .nodes()
+            .iter()
+            .filter(|n| !n.is_unknown())
+            .all(|n| !self.node_annotations[n.id].is_empty());
+        let edges_ok = self.edge_annotations.iter().all(|p| !p.is_empty());
+        entities_ok && edges_ok && !self.pgp.is_empty()
+    }
+
+    /// Total number of vertex annotations (used by linking diagnostics).
+    pub fn total_vertex_candidates(&self) -> usize {
+        self.node_annotations.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of predicate annotations.
+    pub fn total_predicate_candidates(&self) -> usize {
+        self.edge_annotations.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgqan_nlp::PhraseTriplePattern as Tp;
+
+    fn sample_agp() -> AnnotatedGraphPattern {
+        let pgp = PhraseGraphPattern::from_triples(&[
+            Tp::unknown_to_entity("flow", "Danish Straits"),
+            Tp::unknown_to_entity("city on shore", "Kaliningrad"),
+        ]);
+        AnnotatedGraphPattern::new(pgp)
+    }
+
+    #[test]
+    fn new_agp_has_empty_annotations() {
+        let agp = sample_agp();
+        assert_eq!(agp.node_annotations.len(), 3);
+        assert_eq!(agp.edge_annotations.len(), 2);
+        assert!(!agp.is_fully_annotated());
+        assert_eq!(agp.total_vertex_candidates(), 0);
+        assert_eq!(agp.total_predicate_candidates(), 0);
+    }
+
+    #[test]
+    fn fully_annotated_when_entities_and_edges_have_candidates() {
+        let mut agp = sample_agp();
+        // Unknown node (id of main unknown) stays empty; find entity nodes.
+        for node in agp.pgp.nodes().to_vec() {
+            if !node.is_unknown() {
+                agp.node_annotations[node.id].push(RelevantVertex {
+                    vertex: Term::iri(format!("http://e/{}", node.id)),
+                    description: node.label.clone(),
+                    score: 1.0,
+                });
+            }
+        }
+        for (i, anns) in agp.edge_annotations.iter_mut().enumerate() {
+            anns.push(RelevantPredicate {
+                predicate: Term::iri(format!("http://e/p{i}")),
+                description: "p".into(),
+                score: 0.5,
+                anchor_vertex: Term::iri("http://e/1"),
+                anchor_node: 1,
+                vertex_is_object: false,
+            });
+        }
+        assert!(agp.is_fully_annotated());
+        assert_eq!(agp.total_vertex_candidates(), 2);
+        assert_eq!(agp.total_predicate_candidates(), 2);
+        assert_eq!(agp.vertices_of(1).len(), 1);
+        assert_eq!(agp.predicates_of(0).len(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! KGQAn pipeline errors.
+
+use std::fmt;
+
+use kgqan_endpoint::EndpointError;
+
+/// Errors surfaced by the KGQAn pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KgqanError {
+    /// Question understanding produced no usable triple patterns.
+    UnderstandingFailed {
+        /// The question that could not be understood.
+        question: String,
+    },
+    /// The target endpoint failed while answering a linking or candidate
+    /// query.
+    Endpoint(EndpointError),
+    /// The pipeline was configured inconsistently.
+    Configuration(String),
+}
+
+impl fmt::Display for KgqanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KgqanError::UnderstandingFailed { question } => {
+                write!(f, "could not extract any triple pattern from: {question}")
+            }
+            KgqanError::Endpoint(e) => write!(f, "endpoint error: {e}"),
+            KgqanError::Configuration(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KgqanError {}
+
+impl From<EndpointError> for KgqanError {
+    fn from(e: EndpointError) -> Self {
+        KgqanError::Endpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = KgqanError::UnderstandingFailed {
+            question: "gibberish".into(),
+        };
+        assert!(e.to_string().contains("gibberish"));
+        let e = KgqanError::Configuration("bad knob".into());
+        assert!(e.to_string().contains("bad knob"));
+        let e: KgqanError = EndpointError::UnknownEndpoint("X".into()).into();
+        assert!(e.to_string().contains('X'));
+    }
+}

@@ -1,0 +1,261 @@
+//! Phase 3a: execution of the candidate queries.
+//!
+//! The execution manager sends the ranked candidate queries to the target
+//! endpoint and collects `(answer, class)` pairs for the main unknown, or the
+//! Boolean verdict for ASK questions.  Candidate queries are processed in
+//! rank order; collection stops once `max_productive_queries` queries have
+//! produced answers (the paper sends the "top-k most promising" queries —
+//! executing the entire candidate list would only add noise for the
+//! filtration step to remove).
+
+use kgqan_endpoint::SparqlEndpoint;
+use kgqan_rdf::Term;
+
+use crate::bgp::{CandidateQuery, TYPE_VARIABLE};
+use crate::error::KgqanError;
+
+/// One collected answer: the term bound to the main unknown and the classes
+/// reported by the OPTIONAL `rdf:type` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectedAnswer {
+    /// The answer term.
+    pub answer: Term,
+    /// The `rdf:type` classes of the answer, if the KG provides any.
+    pub classes: Vec<Term>,
+    /// The Equation-2 score of the query that produced this answer.
+    pub query_score: f32,
+}
+
+/// The outcome of executing the candidate queries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionOutcome {
+    /// Collected answers for the main unknown (empty for Boolean questions).
+    pub answers: Vec<CollectedAnswer>,
+    /// The Boolean verdict for ASK questions.
+    pub boolean: Option<bool>,
+    /// The SPARQL texts that were actually executed.
+    pub executed_queries: Vec<String>,
+}
+
+/// The execution manager.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionManager {
+    /// Stop after this many queries returned at least one answer.
+    pub max_productive_queries: usize,
+    /// Once a query has produced answers, further queries only contribute if
+    /// their Equation-2 score is at least this fraction of the first
+    /// productive query's score (keeps near-tied interpretations, drops the
+    /// long tail of low-confidence candidates).
+    pub score_window: f32,
+}
+
+impl Default for ExecutionManager {
+    fn default() -> Self {
+        ExecutionManager {
+            max_productive_queries: 3,
+            score_window: 0.9,
+        }
+    }
+}
+
+impl ExecutionManager {
+    /// Create an execution manager with the given productive-query budget.
+    pub fn new(max_productive_queries: usize) -> Self {
+        ExecutionManager {
+            max_productive_queries,
+            ..Default::default()
+        }
+    }
+
+    /// Execute candidate queries in rank order against the endpoint.
+    pub fn execute(
+        &self,
+        queries: &[CandidateQuery],
+        endpoint: &dyn SparqlEndpoint,
+    ) -> Result<ExecutionOutcome, KgqanError> {
+        let mut outcome = ExecutionOutcome::default();
+        let mut productive = 0usize;
+        let mut first_productive_score: Option<f32> = None;
+
+        for candidate in queries {
+            if productive >= self.max_productive_queries {
+                break;
+            }
+            if let Some(best) = first_productive_score {
+                if candidate.bgp.score < best * self.score_window {
+                    break;
+                }
+            }
+            let results = endpoint.query(&candidate.sparql)?;
+            outcome.executed_queries.push(candidate.sparql.clone());
+
+            if candidate.is_ask {
+                let verdict = results.as_boolean().unwrap_or(false);
+                // The highest-ranked ASK query that says "yes" settles the
+                // question; otherwise keep the (possibly false) verdict of
+                // the best query.
+                if outcome.boolean.is_none() || verdict {
+                    outcome.boolean = Some(verdict);
+                }
+                if verdict {
+                    break;
+                }
+                continue;
+            }
+
+            let Some(solutions) = results.as_solutions() else {
+                continue;
+            };
+            if solutions.is_empty() {
+                continue;
+            }
+            productive += 1;
+            first_productive_score.get_or_insert(candidate.bgp.score);
+            // Group class bindings per answer term (one answer may appear in
+            // several rows, one per rdf:type).
+            for row in solutions.rows() {
+                let Some(answer) = row.get("unknown1") else {
+                    continue;
+                };
+                let class = row.get(TYPE_VARIABLE).cloned();
+                match outcome
+                    .answers
+                    .iter_mut()
+                    .find(|a| &a.answer == answer && a.query_score == candidate.bgp.score)
+                {
+                    Some(existing) => {
+                        if let Some(c) = class {
+                            if !existing.classes.contains(&c) {
+                                existing.classes.push(c);
+                            }
+                        }
+                    }
+                    None => outcome.answers.push(CollectedAnswer {
+                        answer: answer.clone(),
+                        classes: class.into_iter().collect(),
+                        query_score: candidate.bgp.score,
+                    }),
+                }
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::BasicGraphPattern;
+    use kgqan_endpoint::InProcessEndpoint;
+    use kgqan_rdf::{vocab, Store, Triple};
+
+    fn endpoint() -> InProcessEndpoint {
+        let mut store = Store::new();
+        let sea = Term::iri("http://dbpedia.org/resource/Baltic_Sea");
+        store.insert(Triple::new(
+            sea.clone(),
+            Term::iri("http://dbpedia.org/property/outflow"),
+            Term::iri("http://dbpedia.org/resource/Danish_straits"),
+        ));
+        store.insert(Triple::new(
+            sea.clone(),
+            Term::iri(vocab::RDF_TYPE),
+            Term::iri("http://dbpedia.org/ontology/Sea"),
+        ));
+        store.insert(Triple::new(
+            sea,
+            Term::iri(vocab::RDF_TYPE),
+            Term::iri("http://dbpedia.org/ontology/BodyOfWater"),
+        ));
+        InProcessEndpoint::new("DBpedia", store)
+    }
+
+    fn select_candidate(sparql: &str, score: f32) -> CandidateQuery {
+        CandidateQuery {
+            sparql: sparql.to_string(),
+            bgp: BasicGraphPattern {
+                triples: vec![],
+                score,
+            },
+            is_ask: false,
+        }
+    }
+
+    #[test]
+    fn collects_answers_with_their_classes() {
+        let ep = endpoint();
+        let q = select_candidate(
+            "SELECT DISTINCT ?unknown1 ?type WHERE { ?unknown1 \
+             <http://dbpedia.org/property/outflow> <http://dbpedia.org/resource/Danish_straits> . \
+             OPTIONAL { ?unknown1 a ?type . } }",
+            1.0,
+        );
+        let outcome = ExecutionManager::default().execute(&[q], &ep).unwrap();
+        assert_eq!(outcome.answers.len(), 1);
+        let answer = &outcome.answers[0];
+        assert_eq!(
+            answer.answer,
+            Term::iri("http://dbpedia.org/resource/Baltic_Sea")
+        );
+        assert_eq!(answer.classes.len(), 2);
+        assert_eq!(outcome.boolean, None);
+    }
+
+    #[test]
+    fn stops_after_budget_of_productive_queries() {
+        let ep = endpoint();
+        let productive = "SELECT ?unknown1 WHERE { ?unknown1 ?p ?o . }";
+        let queries: Vec<CandidateQuery> = (0..5)
+            .map(|i| select_candidate(productive, 1.0 - i as f32 * 0.1))
+            .collect();
+        let outcome = ExecutionManager::new(2).execute(&queries, &ep).unwrap();
+        assert_eq!(outcome.executed_queries.len(), 2);
+    }
+
+    #[test]
+    fn empty_queries_do_not_consume_budget() {
+        let ep = endpoint();
+        let empty = select_candidate(
+            "SELECT ?unknown1 WHERE { ?unknown1 <http://nothing/here> ?o . }",
+            0.9,
+        );
+        let productive = select_candidate("SELECT ?unknown1 WHERE { ?unknown1 ?p ?o . }", 0.5);
+        let outcome = ExecutionManager::new(1)
+            .execute(&[empty, productive], &ep)
+            .unwrap();
+        assert_eq!(outcome.executed_queries.len(), 2);
+        assert!(!outcome.answers.is_empty());
+    }
+
+    #[test]
+    fn ask_queries_produce_boolean_verdicts() {
+        let ep = endpoint();
+        let no = CandidateQuery {
+            sparql: "ASK { <http://dbpedia.org/resource/Baltic_Sea> \
+                     <http://dbpedia.org/property/outflow> <http://nowhere/x> }"
+                .into(),
+            bgp: BasicGraphPattern { triples: vec![], score: 0.9 },
+            is_ask: true,
+        };
+        let yes = CandidateQuery {
+            sparql: "ASK { <http://dbpedia.org/resource/Baltic_Sea> \
+                     <http://dbpedia.org/property/outflow> \
+                     <http://dbpedia.org/resource/Danish_straits> }"
+                .into(),
+            bgp: BasicGraphPattern { triples: vec![], score: 0.8 },
+            is_ask: true,
+        };
+        let outcome = ExecutionManager::default().execute(&[no, yes], &ep).unwrap();
+        assert_eq!(outcome.boolean, Some(true));
+        assert!(outcome.answers.is_empty());
+    }
+
+    #[test]
+    fn no_queries_yields_empty_outcome() {
+        let ep = endpoint();
+        let outcome = ExecutionManager::default().execute(&[], &ep).unwrap();
+        assert!(outcome.answers.is_empty());
+        assert!(outcome.boolean.is_none());
+        assert!(outcome.executed_queries.is_empty());
+    }
+}

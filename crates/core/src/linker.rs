@@ -1,0 +1,456 @@
+//! Phase 2: just-in-time entity and relation linking (Section 5).
+//!
+//! The linker talks to the target KG **only** through its public SPARQL
+//! endpoint API and built-in text index — no pre-processing, no per-KG
+//! indices — which is what makes KGQAn applicable to arbitrary endpoints.
+//!
+//! * [`JitLinker::link_entities`] implements Algorithm 1: for every PGP
+//!   entity node it issues the `potentialRelevantVertices` query and keeps
+//!   the `k` vertices with the highest semantic affinity.
+//! * [`JitLinker::link_relations`] implements Algorithm 2: for every PGP
+//!   edge it probes the predicates incident to the already-linked vertices
+//!   (`outgoingPredicate` / `incomingPredicate`), resolves descriptions for
+//!   non-human-readable predicate URIs, and keeps the top-k by affinity.
+
+use kgqan_endpoint::SparqlEndpoint;
+use kgqan_nlp::tokenizer::content_words;
+use kgqan_rdf::{vocab, Term};
+
+use crate::affinity::SemanticAffinity;
+use crate::agp::{AnnotatedGraphPattern, RelevantPredicate, RelevantVertex};
+use crate::error::KgqanError;
+use crate::pgp::PhraseGraphPattern;
+
+/// Tuning knobs of the linker (the first three of the four KGQAn parameters
+/// of §7.1.6; the fourth — max candidate queries — lives in
+/// [`crate::KgqanConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkerConfig {
+    /// *Max Fetched Vertices*: LIMIT of the `potentialRelevantVertices`
+    /// query.  Paper default: 400.
+    pub max_fetched_vertices: usize,
+    /// *Number of Vertices*: how many relevant vertices annotate each PGP
+    /// node.  Paper default: 1.
+    pub num_vertices: usize,
+    /// *Number of Predicates*: how many relevant predicates annotate each
+    /// PGP edge.  Paper default: 20 (the average predicates-per-vertex).
+    pub num_predicates: usize,
+}
+
+impl Default for LinkerConfig {
+    fn default() -> Self {
+        LinkerConfig {
+            max_fetched_vertices: 400,
+            num_vertices: 1,
+            num_predicates: 20,
+        }
+    }
+}
+
+/// The just-in-time linker.
+pub struct JitLinker<'a> {
+    affinity: &'a dyn SemanticAffinity,
+    config: LinkerConfig,
+}
+
+impl<'a> JitLinker<'a> {
+    /// Create a linker using the given affinity model and configuration.
+    pub fn new(affinity: &'a dyn SemanticAffinity, config: LinkerConfig) -> Self {
+        JitLinker { affinity, config }
+    }
+
+    /// The linker configuration.
+    pub fn config(&self) -> LinkerConfig {
+        self.config
+    }
+
+    /// Run both linking algorithms and return the annotated graph pattern.
+    pub fn link(
+        &self,
+        pgp: &PhraseGraphPattern,
+        endpoint: &dyn SparqlEndpoint,
+    ) -> Result<AnnotatedGraphPattern, KgqanError> {
+        let mut agp = AnnotatedGraphPattern::new(pgp.clone());
+        self.link_entities(&mut agp, endpoint)?;
+        self.link_relations(&mut agp, endpoint)?;
+        Ok(agp)
+    }
+
+    /// Algorithm 1 — KGQAnEntityLink, applied to every PGP node.
+    pub fn link_entities(
+        &self,
+        agp: &mut AnnotatedGraphPattern,
+        endpoint: &dyn SparqlEndpoint,
+    ) -> Result<(), KgqanError> {
+        for node in agp.pgp.nodes().to_vec() {
+            if node.is_unknown() {
+                continue; // line 1-3: unknowns get no relevant vertices here
+            }
+            let words = content_words(&node.label);
+            if words.is_empty() {
+                continue;
+            }
+            let candidates = self.potential_relevant_vertices(&words, endpoint)?;
+            let mut scored: Vec<RelevantVertex> = candidates
+                .into_iter()
+                .map(|(vertex, description)| {
+                    let score = self.affinity.score(&node.label, &description);
+                    RelevantVertex {
+                        vertex,
+                        description,
+                        score,
+                    }
+                })
+                .collect();
+            scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+            scored.dedup_by(|a, b| a.vertex == b.vertex);
+            scored.truncate(self.config.num_vertices);
+            agp.node_annotations[node.id] = scored;
+        }
+        Ok(())
+    }
+
+    /// The `potentialRelevantVertices(l_n, maxVR)` SPARQL query of §5.1,
+    /// phrased in the dialect of the target endpoint.
+    fn potential_relevant_vertices(
+        &self,
+        words: &[String],
+        endpoint: &dyn SparqlEndpoint,
+    ) -> Result<Vec<(Term, String)>, KgqanError> {
+        let dialect = endpoint.dialect();
+        let word_refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let expression = dialect.containment_expression(&word_refs);
+        let sparql = format!(
+            "SELECT DISTINCT ?v ?d WHERE {{ ?v ?p ?d . ?d <{}> \"{}\" . }} LIMIT {}",
+            dialect.text_search_predicate(),
+            expression.replace('"', ""),
+            self.config.max_fetched_vertices
+        );
+        let results = endpoint.query(&sparql)?;
+        let mut out = Vec::new();
+        for row in results.rows() {
+            let (Some(v), Some(d)) = (row.get("v"), row.get("d")) else {
+                continue;
+            };
+            if !v.is_iri() {
+                continue;
+            }
+            let description = d
+                .as_literal()
+                .map(|l| l.lexical.clone())
+                .unwrap_or_else(|| d.readable_form().into_owned());
+            out.push((v.clone(), description));
+        }
+        Ok(out)
+    }
+
+    /// Algorithm 2 — KGQAnRelationLink, applied to every PGP edge.
+    pub fn link_relations(
+        &self,
+        agp: &mut AnnotatedGraphPattern,
+        endpoint: &dyn SparqlEndpoint,
+    ) -> Result<(), KgqanError> {
+        let edges = agp.pgp.edges().to_vec();
+        for (edge_index, edge) in edges.iter().enumerate() {
+            // Line 2: union of the relevant vertices of both endpoints,
+            // remembering which node each vertex annotates.
+            let mut anchor_vertices: Vec<(usize, Term)> = Vec::new();
+            for node_id in [edge.source, edge.target] {
+                for rv in &agp.node_annotations[node_id] {
+                    if !anchor_vertices.iter().any(|(_, v)| v == &rv.vertex) {
+                        anchor_vertices.push((node_id, rv.vertex.clone()));
+                    }
+                }
+            }
+
+            let mut candidates: Vec<RelevantPredicate> = Vec::new();
+            for (anchor_node, vertex) in &anchor_vertices {
+                // Lines 4-7: outgoing and incoming predicate probes.
+                for (vertex_is_object, query) in [
+                    (false, outgoing_predicate_query(vertex)),
+                    (true, incoming_predicate_query(vertex)),
+                ] {
+                    let results = endpoint.query(&query)?;
+                    for row in results.rows() {
+                        let Some(p) = row.get("p") else { continue };
+                        if !p.is_iri() {
+                            continue;
+                        }
+                        // Lines 10-12: resolve a description for opaque URIs.
+                        let description = if p.is_human_readable() {
+                            p.readable_form().into_owned()
+                        } else {
+                            self.predicate_description(p, endpoint)?
+                                .unwrap_or_else(|| p.readable_form().into_owned())
+                        };
+                        let score = self.affinity.score(&edge.relation, &description);
+                        candidates.push(RelevantPredicate {
+                            predicate: p.clone(),
+                            description,
+                            score,
+                            anchor_vertex: vertex.clone(),
+                            anchor_node: *anchor_node,
+                            vertex_is_object,
+                        });
+                    }
+                }
+            }
+
+            // Line 15: keep the top-k by affinity.  Deduplicate on
+            // (predicate, anchor, direction) first so one predicate does not
+            // crowd out the rest.
+            candidates.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            candidates.dedup_by(|a, b| {
+                a.predicate == b.predicate
+                    && a.anchor_vertex == b.anchor_vertex
+                    && a.vertex_is_object == b.vertex_is_object
+            });
+            candidates.truncate(self.config.num_predicates);
+            agp.edge_annotations[edge_index] = candidates;
+        }
+        Ok(())
+    }
+
+    /// Fetch the description of a predicate whose URI is an opaque
+    /// identifier (e.g. `wdg:P227`), by asking the KG for a string literal
+    /// attached to the predicate itself.
+    fn predicate_description(
+        &self,
+        predicate: &Term,
+        endpoint: &dyn SparqlEndpoint,
+    ) -> Result<Option<String>, KgqanError> {
+        let Some(iri) = predicate.as_iri() else {
+            return Ok(None);
+        };
+        // Prefer rdfs:label, fall back to any literal.
+        let labelled = format!(
+            "SELECT ?d WHERE {{ <{iri}> <{}> ?d . }} LIMIT 1",
+            vocab::RDFS_LABEL
+        );
+        let results = endpoint.query(&labelled)?;
+        if let Some(first) = results.rows().first() {
+            if let Some(Term::Literal(lit)) = first.get("d") {
+                return Ok(Some(lit.lexical.clone()));
+            }
+        }
+        let any = format!("SELECT ?d WHERE {{ <{iri}> ?p ?d . }} LIMIT 5");
+        let results = endpoint.query(&any)?;
+        for row in results.rows() {
+            if let Some(Term::Literal(lit)) = row.get("d") {
+                if lit.is_string() {
+                    return Ok(Some(lit.lexical.clone()));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// The `outgoingPredicate(v)` query of §5.2.
+pub fn outgoing_predicate_query(vertex: &Term) -> String {
+    format!(
+        "SELECT DISTINCT ?p WHERE {{ {} ?p ?obj . }}",
+        vertex
+    )
+}
+
+/// The `incomingPredicate(v)` query of §5.2.
+pub fn incoming_predicate_query(vertex: &Term) -> String {
+    format!(
+        "SELECT DISTINCT ?p WHERE {{ ?sub ?p {} . }}",
+        vertex
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affinity::FineGrainedAffinity;
+    use kgqan_endpoint::InProcessEndpoint;
+    use kgqan_nlp::PhraseTriplePattern as Tp;
+    use kgqan_rdf::{Store, Triple};
+
+    /// The running-example DBpedia fragment of Figure 4.
+    fn dbpedia_fragment() -> InProcessEndpoint {
+        let mut store = Store::new();
+        let label = Term::iri(vocab::RDFS_LABEL);
+        let sea = Term::iri("http://dbpedia.org/resource/Baltic_Sea");
+        let straits = Term::iri("http://dbpedia.org/resource/Danish_straits");
+        let straits2 = Term::iri("http://dbpedia.org/resource/Danish_Straits");
+        let kali = Term::iri("http://dbpedia.org/resource/Kaliningrad");
+        let yantar = Term::iri("http://dbpedia.org/resource/Yantar,_Kaliningrad");
+
+        store.insert_all([
+            Triple::new(sea.clone(), label.clone(), Term::literal_str("Baltic Sea")),
+            Triple::new(straits.clone(), label.clone(), Term::literal_str("Danish straits")),
+            Triple::new(straits2.clone(), label.clone(), Term::literal_str("Danish Straits")),
+            Triple::new(kali.clone(), label.clone(), Term::literal_str("Kaliningrad")),
+            Triple::new(yantar.clone(), label.clone(), Term::literal_str("Yantar, Kaliningrad")),
+            Triple::new(
+                sea.clone(),
+                Term::iri("http://dbpedia.org/property/outflow"),
+                straits.clone(),
+            ),
+            Triple::new(
+                sea.clone(),
+                Term::iri("http://dbpedia.org/ontology/nearestCity"),
+                kali.clone(),
+            ),
+            Triple::new(
+                Term::iri("http://dbpedia.org/resource/Poland"),
+                Term::iri("http://dbpedia.org/property/cities"),
+                kali.clone(),
+            ),
+            Triple::new(sea.clone(), Term::iri(vocab::RDF_TYPE), Term::iri("http://dbpedia.org/ontology/Sea")),
+        ]);
+        InProcessEndpoint::new("DBpedia", store)
+    }
+
+    fn running_example_pgp() -> PhraseGraphPattern {
+        PhraseGraphPattern::from_triples(&[
+            Tp::unknown_to_entity("flow", "Danish Straits"),
+            Tp::unknown_to_entity("city on the shore", "Kaliningrad"),
+        ])
+    }
+
+    #[test]
+    fn entity_linking_finds_figure4_vertices() {
+        let endpoint = dbpedia_fragment();
+        let affinity = FineGrainedAffinity::new();
+        let linker = JitLinker::new(&affinity, LinkerConfig { num_vertices: 2, ..Default::default() });
+        let mut agp = AnnotatedGraphPattern::new(running_example_pgp());
+        linker.link_entities(&mut agp, &endpoint).unwrap();
+
+        // "Danish Straits" node should be annotated with a Danish straits vertex.
+        let straits_node = agp
+            .pgp
+            .nodes()
+            .iter()
+            .find(|n| n.label == "Danish Straits")
+            .unwrap();
+        let vertices = agp.vertices_of(straits_node.id);
+        assert!(!vertices.is_empty());
+        assert!(vertices[0].vertex.as_iri().unwrap().contains("Danish"));
+
+        // "Kaliningrad" must rank dbv:Kaliningrad above dbv:Yantar,_Kaliningrad
+        // (Figure 4: scores 1.00 vs 0.83).
+        let kali_node = agp
+            .pgp
+            .nodes()
+            .iter()
+            .find(|n| n.label == "Kaliningrad")
+            .unwrap();
+        let vertices = agp.vertices_of(kali_node.id);
+        assert_eq!(vertices.len(), 2);
+        assert_eq!(
+            vertices[0].vertex.as_iri().unwrap(),
+            "http://dbpedia.org/resource/Kaliningrad"
+        );
+        assert!(vertices[0].score > vertices[1].score);
+
+        // The unknown node has no relevant vertices (Algorithm 1, lines 1-3).
+        let unknown = agp.pgp.main_unknown().unwrap();
+        assert!(agp.vertices_of(unknown.id).is_empty());
+    }
+
+    #[test]
+    fn relation_linking_finds_outflow_and_nearest_city() {
+        let endpoint = dbpedia_fragment();
+        let affinity = FineGrainedAffinity::new();
+        let linker = JitLinker::new(&affinity, LinkerConfig::default());
+        let agp = linker.link(&running_example_pgp(), &endpoint).unwrap();
+        assert!(agp.is_fully_annotated());
+
+        // Edge "flow" should include dbp:outflow among its top candidates.
+        let flow_edge = agp
+            .pgp
+            .edges()
+            .iter()
+            .position(|e| e.relation == "flow")
+            .unwrap();
+        let preds: Vec<&str> = agp
+            .predicates_of(flow_edge)
+            .iter()
+            .filter_map(|p| p.predicate.as_iri())
+            .collect();
+        assert!(
+            preds.contains(&"http://dbpedia.org/property/outflow"),
+            "outflow not among candidates: {preds:?}"
+        );
+
+        // Edge "city on the shore" should rank dbo:nearestCity highly.
+        let shore_edge = agp
+            .pgp
+            .edges()
+            .iter()
+            .position(|e| e.relation == "city on the shore")
+            .unwrap();
+        let shore_preds = agp.predicates_of(shore_edge);
+        assert!(!shore_preds.is_empty());
+        let best = &shore_preds[0];
+        assert!(
+            best.predicate.as_iri().unwrap().contains("nearestCity")
+                || best.predicate.as_iri().unwrap().contains("cities"),
+            "unexpected top predicate {:?}",
+            best.predicate
+        );
+    }
+
+    #[test]
+    fn relation_linking_records_direction_flag() {
+        let endpoint = dbpedia_fragment();
+        let affinity = FineGrainedAffinity::new();
+        let linker = JitLinker::new(&affinity, LinkerConfig::default());
+        let agp = linker.link(&running_example_pgp(), &endpoint).unwrap();
+        // dbp:outflow connects Baltic_Sea → Danish_straits, so from the
+        // anchor (Danish_straits) it is an *incoming* predicate: the flag
+        // must be true.
+        let flow_edge = agp
+            .pgp
+            .edges()
+            .iter()
+            .position(|e| e.relation == "flow")
+            .unwrap();
+        let outflow = agp
+            .predicates_of(flow_edge)
+            .iter()
+            .find(|p| p.predicate.as_iri() == Some("http://dbpedia.org/property/outflow"))
+            .unwrap();
+        assert!(outflow.vertex_is_object);
+    }
+
+    #[test]
+    fn linking_against_empty_endpoint_yields_unannotated_agp() {
+        let endpoint = InProcessEndpoint::new("Empty", Store::new());
+        let affinity = FineGrainedAffinity::new();
+        let linker = JitLinker::new(&affinity, LinkerConfig::default());
+        let agp = linker.link(&running_example_pgp(), &endpoint).unwrap();
+        assert!(!agp.is_fully_annotated());
+        assert_eq!(agp.total_vertex_candidates(), 0);
+    }
+
+    #[test]
+    fn default_config_matches_paper_settings() {
+        let c = LinkerConfig::default();
+        assert_eq!(c.max_fetched_vertices, 400);
+        assert_eq!(c.num_vertices, 1);
+        assert_eq!(c.num_predicates, 20);
+    }
+
+    #[test]
+    fn predicate_probe_queries_are_well_formed() {
+        let v = Term::iri("http://e/v");
+        assert_eq!(
+            outgoing_predicate_query(&v),
+            "SELECT DISTINCT ?p WHERE { <http://e/v> ?p ?obj . }"
+        );
+        assert_eq!(
+            incoming_predicate_query(&v),
+            "SELECT DISTINCT ?p WHERE { ?sub ?p <http://e/v> . }"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! The Phrase Graph Pattern (PGP): KGQAn's formal, KG-independent
+//! representation of its understanding of a question (Definition 4.2).
+//!
+//! The PGP is an *undirected* graph whose nodes are entity phrases or
+//! unknowns and whose edges carry relation phrases.  It is undirected because
+//! at this point KGQAn has not yet seen the target KG, so the direction of
+//! the eventual predicates is not known.
+
+use std::fmt;
+
+use kgqan_nlp::{PhraseNode, PhraseTriplePattern};
+
+/// A node of the PGP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PgpNode {
+    /// Stable node id (index into the PGP's node list).
+    pub id: usize,
+    /// The phrase label ("Danish Straits") or the unknown's display name
+    /// ("?unknown1").
+    pub label: String,
+    /// `Some(var_id)` if the node is an unknown.
+    pub unknown_id: Option<u32>,
+}
+
+impl PgpNode {
+    /// True if this node is an unknown (variable).
+    pub fn is_unknown(&self) -> bool {
+        self.unknown_id.is_some()
+    }
+
+    /// True if this node is the main unknown (the question's intention).
+    pub fn is_main_unknown(&self) -> bool {
+        self.unknown_id == Some(1)
+    }
+
+    /// The SPARQL variable name used for this node when it is an unknown.
+    pub fn variable_name(&self) -> Option<String> {
+        self.unknown_id.map(|id| format!("unknown{id}"))
+    }
+}
+
+/// An edge of the PGP: a relation phrase between two nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PgpEdge {
+    /// Index of the first endpoint in the node list.
+    pub source: usize,
+    /// Index of the second endpoint in the node list.
+    pub target: usize,
+    /// The relation phrase ("city on the shore").
+    pub relation: String,
+}
+
+/// The phrase graph pattern.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhraseGraphPattern {
+    nodes: Vec<PgpNode>,
+    edges: Vec<PgpEdge>,
+}
+
+impl PhraseGraphPattern {
+    /// Build a PGP from the triple patterns produced by question
+    /// understanding.  Nodes with the same phrase (or the same unknown id)
+    /// are merged, which is what connects multiple triple patterns into a
+    /// star or path shape.
+    pub fn from_triples(triples: &[PhraseTriplePattern]) -> Self {
+        let mut pgp = PhraseGraphPattern::default();
+        for tp in triples {
+            let a = pgp.intern_node(&tp.subject);
+            let b = pgp.intern_node(&tp.object);
+            pgp.edges.push(PgpEdge {
+                source: a,
+                target: b,
+                relation: tp.relation.clone(),
+            });
+        }
+        pgp
+    }
+
+    fn intern_node(&mut self, phrase: &PhraseNode) -> usize {
+        let (label, unknown_id) = match phrase {
+            PhraseNode::Unknown(id) => (format!("?unknown{id}"), Some(*id)),
+            PhraseNode::Phrase(p) => (p.clone(), None),
+        };
+        if let Some(existing) = self
+            .nodes
+            .iter()
+            .position(|n| n.label == label && n.unknown_id == unknown_id)
+        {
+            return existing;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(PgpNode {
+            id,
+            label,
+            unknown_id,
+        });
+        id
+    }
+
+    /// The nodes of the graph.
+    pub fn nodes(&self) -> &[PgpNode] {
+        &self.nodes
+    }
+
+    /// The edges of the graph.
+    pub fn edges(&self) -> &[PgpEdge] {
+        &self.edges
+    }
+
+    /// Number of triple patterns (edges).
+    pub fn num_triples(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the PGP has no edges (understanding failed).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The main unknown node, if the question has one.
+    pub fn main_unknown(&self) -> Option<&PgpNode> {
+        self.nodes.iter().find(|n| n.is_main_unknown())
+    }
+
+    /// All entity (non-unknown) nodes.
+    pub fn entity_nodes(&self) -> Vec<&PgpNode> {
+        self.nodes.iter().filter(|n| !n.is_unknown()).collect()
+    }
+
+    /// Whether the PGP is a *star* (all edges share one node) or a *path*
+    /// (a chain through intermediate unknowns) — the SPARQL-shape dimension
+    /// of the paper's Table 5 taxonomy.
+    pub fn is_star(&self) -> bool {
+        if self.edges.len() <= 1 {
+            return true;
+        }
+        self.nodes.iter().any(|n| {
+            self.edges
+                .iter()
+                .all(|e| e.source == n.id || e.target == n.id)
+        })
+    }
+
+    /// True if the question mentions no unknown at all (pure Boolean check
+    /// between two mentioned entities).
+    pub fn is_boolean(&self) -> bool {
+        !self.nodes.iter().any(|n| n.is_unknown())
+    }
+
+    /// The degree of a node.
+    pub fn degree(&self, node_id: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| e.source == node_id || e.target == node_id)
+            .count()
+    }
+}
+
+impl fmt::Display for PhraseGraphPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for edge in &self.edges {
+            writeln!(
+                f,
+                "⟨{}, {}, {}⟩",
+                self.nodes[edge.source].label, edge.relation, self.nodes[edge.target].label
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgqan_nlp::PhraseTriplePattern as Tp;
+
+    fn running_example_pgp() -> PhraseGraphPattern {
+        PhraseGraphPattern::from_triples(&[
+            Tp::unknown_to_entity("flow", "Danish Straits"),
+            Tp::unknown_to_entity("city on shore", "Kaliningrad"),
+        ])
+    }
+
+    #[test]
+    fn shared_unknown_is_merged_into_one_node() {
+        let pgp = running_example_pgp();
+        assert_eq!(pgp.nodes().len(), 3);
+        assert_eq!(pgp.num_triples(), 2);
+        assert!(pgp.main_unknown().is_some());
+        assert_eq!(pgp.entity_nodes().len(), 2);
+    }
+
+    #[test]
+    fn running_example_is_a_star() {
+        let pgp = running_example_pgp();
+        assert!(pgp.is_star());
+        assert!(!pgp.is_boolean());
+        let unknown = pgp.main_unknown().unwrap();
+        assert_eq!(pgp.degree(unknown.id), 2);
+        assert_eq!(unknown.variable_name().as_deref(), Some("unknown1"));
+    }
+
+    #[test]
+    fn path_question_is_not_a_star_when_chained() {
+        let pgp = PhraseGraphPattern::from_triples(&[
+            Tp::new(
+                kgqan_nlp::PhraseNode::Unknown(1),
+                "capital",
+                kgqan_nlp::PhraseNode::Unknown(2),
+            ),
+            Tp::new(
+                kgqan_nlp::PhraseNode::Unknown(2),
+                "president",
+                kgqan_nlp::PhraseNode::Phrase("Emmanuel Macron".into()),
+            ),
+        ]);
+        // Both edges share ?unknown2, so geometrically it is still a chain of
+        // length 2; is_star is true because a shared node exists.  Add a third
+        // hop to break it.
+        assert!(pgp.is_star());
+        let longer = PhraseGraphPattern::from_triples(&[
+            Tp::new(
+                kgqan_nlp::PhraseNode::Unknown(1),
+                "capital",
+                kgqan_nlp::PhraseNode::Unknown(2),
+            ),
+            Tp::new(
+                kgqan_nlp::PhraseNode::Unknown(2),
+                "president",
+                kgqan_nlp::PhraseNode::Unknown(3),
+            ),
+            Tp::new(
+                kgqan_nlp::PhraseNode::Unknown(3),
+                "born in",
+                kgqan_nlp::PhraseNode::Phrase("France".into()),
+            ),
+        ]);
+        assert!(!longer.is_star());
+    }
+
+    #[test]
+    fn boolean_pgp_has_no_unknowns() {
+        let pgp = PhraseGraphPattern::from_triples(&[Tp::new(
+            kgqan_nlp::PhraseNode::Phrase("Albert Einstein".into()),
+            "work at",
+            kgqan_nlp::PhraseNode::Phrase("Princeton University".into()),
+        )]);
+        assert!(pgp.is_boolean());
+        assert!(pgp.main_unknown().is_none());
+    }
+
+    #[test]
+    fn duplicate_entities_are_merged() {
+        let pgp = PhraseGraphPattern::from_triples(&[
+            Tp::unknown_to_entity("birth place", "Albert Einstein"),
+            Tp::unknown_to_entity("death place", "Albert Einstein"),
+        ]);
+        assert_eq!(pgp.nodes().len(), 2);
+        assert_eq!(pgp.num_triples(), 2);
+    }
+
+    #[test]
+    fn display_lists_triples() {
+        let shown = running_example_pgp().to_string();
+        assert!(shown.contains("Danish Straits"));
+        assert!(shown.contains("?unknown1"));
+        assert!(shown.contains("city on shore"));
+    }
+
+    #[test]
+    fn empty_pgp() {
+        let pgp = PhraseGraphPattern::from_triples(&[]);
+        assert!(pgp.is_empty());
+        assert!(pgp.is_star());
+        assert!(pgp.main_unknown().is_none());
+    }
+}

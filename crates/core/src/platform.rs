@@ -1,0 +1,339 @@
+//! The end-to-end KGQAn platform (Figure 4): question in, answers out,
+//! with per-phase timings for the Figure 7 experiment.
+
+use std::time::{Duration, Instant};
+
+use kgqan_endpoint::SparqlEndpoint;
+use kgqan_nlp::{AnswerDataType, Seq2SeqVariant};
+use kgqan_rdf::Term;
+
+use crate::affinity::{AffinityModel, SemanticAffinity};
+use crate::agp::AnnotatedGraphPattern;
+use crate::bgp::generate_candidate_queries;
+use crate::error::KgqanError;
+use crate::execution::ExecutionManager;
+use crate::filter::FiltrationManager;
+use crate::linker::{JitLinker, LinkerConfig};
+use crate::understanding::{QuestionUnderstanding, Understanding};
+
+/// Wall-clock time spent in each of the three KGQAn phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Question understanding.
+    pub understanding: Duration,
+    /// Just-in-time linking.
+    pub linking: Duration,
+    /// Execution and filtration.
+    pub execution_filtration: Duration,
+}
+
+impl PhaseTimings {
+    /// Total response time.
+    pub fn total(&self) -> Duration {
+        self.understanding + self.linking + self.execution_filtration
+    }
+}
+
+/// KGQAn configuration: the four tuning parameters of §7.1.6 plus the model
+/// ablation axes of Table 4 and the filtration toggle of Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KgqanConfig {
+    /// Linking knobs (max fetched vertices, vertices per node, predicates per
+    /// edge).
+    pub linker: LinkerConfig,
+    /// *Max number of Queries*: how many candidate SPARQL queries may be
+    /// generated per question.  Paper default: 40.
+    pub max_candidate_queries: usize,
+    /// How many of the candidate queries may contribute answers before the
+    /// execution manager stops.
+    pub max_productive_queries: usize,
+    /// Which semantic-affinity model to use (Table 4).
+    pub affinity: AffinityModel,
+    /// Which Seq2Seq variant the question-understanding model emulates
+    /// (Table 4).
+    pub seq2seq: Seq2SeqVariant,
+    /// Whether post-filtration is applied (Figure 10 ablation).
+    pub filtration_enabled: bool,
+}
+
+impl Default for KgqanConfig {
+    fn default() -> Self {
+        KgqanConfig {
+            linker: LinkerConfig::default(),
+            max_candidate_queries: 40,
+            max_productive_queries: 3,
+            affinity: AffinityModel::FineGrained,
+            seq2seq: Seq2SeqVariant::BartLike,
+            filtration_enabled: true,
+        }
+    }
+}
+
+/// Everything KGQAn reports for one answered question.
+#[derive(Debug, Clone)]
+pub struct AnswerOutcome {
+    /// The question as asked.
+    pub question: String,
+    /// The final (post-filtration) answers.
+    pub answers: Vec<Term>,
+    /// The Boolean verdict, for yes/no questions.
+    pub boolean: Option<bool>,
+    /// Answers before filtration (the Figure 10 comparison point).
+    pub unfiltered_answers: Vec<Term>,
+    /// The understanding of the question (PGP + answer type).
+    pub understanding: Understanding,
+    /// The annotated graph pattern produced by linking.
+    pub agp: AnnotatedGraphPattern,
+    /// The SPARQL queries that were executed.
+    pub executed_queries: Vec<String>,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+}
+
+impl AnswerOutcome {
+    /// The predicted answer data type.
+    pub fn predicted_data_type(&self) -> AnswerDataType {
+        self.understanding.answer_type.data_type
+    }
+
+    /// True if the question produced no answer at all.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty() && self.boolean.is_none()
+    }
+}
+
+/// The KGQAn platform: train once, answer questions against any endpoint.
+pub struct KgqanPlatform {
+    understanding: QuestionUnderstanding,
+    affinity: Box<dyn SemanticAffinity>,
+    config: KgqanConfig,
+}
+
+impl KgqanPlatform {
+    /// Build a platform with the default configuration (trains the QU models
+    /// on the built-in corpus; takes a moment).
+    pub fn new() -> Self {
+        Self::with_config(KgqanConfig::default())
+    }
+
+    /// Build a platform with a custom configuration.
+    pub fn with_config(config: KgqanConfig) -> Self {
+        let understanding = QuestionUnderstanding::train_with_variant(config.seq2seq);
+        Self::with_parts(understanding, config)
+    }
+
+    /// Build a platform from an already-trained question-understanding
+    /// component (lets experiments share one trained model across many
+    /// configurations).
+    pub fn with_parts(understanding: QuestionUnderstanding, config: KgqanConfig) -> Self {
+        KgqanPlatform {
+            understanding,
+            affinity: config.affinity.build(),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &KgqanConfig {
+        &self.config
+    }
+
+    /// Answer a question against a SPARQL endpoint.
+    pub fn answer(
+        &self,
+        question: &str,
+        endpoint: &dyn SparqlEndpoint,
+    ) -> Result<AnswerOutcome, KgqanError> {
+        // Phase 1: question understanding (KG-independent).
+        let t0 = Instant::now();
+        let understanding = self.understanding.understand(question)?;
+        let understanding_time = t0.elapsed();
+
+        // Phase 2: just-in-time linking against the target endpoint.
+        let t1 = Instant::now();
+        let linker = JitLinker::new(self.affinity.as_ref(), self.config.linker);
+        let agp = linker.link(&understanding.pgp, endpoint)?;
+        let linking_time = t1.elapsed();
+
+        // Phase 3: candidate query generation, execution and filtration.
+        let t2 = Instant::now();
+        let candidates = generate_candidate_queries(&agp, self.config.max_candidate_queries);
+        let execution = ExecutionManager::new(self.config.max_productive_queries)
+            .execute(&candidates, endpoint)?;
+
+        let unfiltered_answers: Vec<Term> = {
+            let mut seen = Vec::new();
+            for a in &execution.answers {
+                if !seen.contains(&a.answer) {
+                    seen.push(a.answer.clone());
+                }
+            }
+            seen
+        };
+        let answers = if self.config.filtration_enabled {
+            FiltrationManager::new(self.affinity.as_ref())
+                .filter(&execution.answers, &understanding.answer_type)
+        } else {
+            unfiltered_answers.clone()
+        };
+        let execution_filtration_time = t2.elapsed();
+
+        Ok(AnswerOutcome {
+            question: question.to_string(),
+            answers,
+            boolean: execution.boolean,
+            unfiltered_answers,
+            understanding,
+            agp,
+            executed_queries: execution.executed_queries,
+            timings: PhaseTimings {
+                understanding: understanding_time,
+                linking: linking_time,
+                execution_filtration: execution_filtration_time,
+            },
+        })
+    }
+}
+
+impl Default for KgqanPlatform {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgqan_endpoint::InProcessEndpoint;
+    use kgqan_rdf::{vocab, Store, Triple};
+    use std::sync::OnceLock;
+
+    /// A small DBpedia-like knowledge graph covering the test questions.
+    fn dbpedia_endpoint() -> InProcessEndpoint {
+        let mut store = Store::new();
+        let label = Term::iri(vocab::RDFS_LABEL);
+        let rdf_type = Term::iri(vocab::RDF_TYPE);
+
+        let obama = Term::iri("http://dbpedia.org/resource/Barack_Obama");
+        let michelle = Term::iri("http://dbpedia.org/resource/Michelle_Obama");
+        let chicago = Term::iri("http://dbpedia.org/resource/Chicago");
+        let sea = Term::iri("http://dbpedia.org/resource/Baltic_Sea");
+        let straits = Term::iri("http://dbpedia.org/resource/Danish_straits");
+        let kali = Term::iri("http://dbpedia.org/resource/Kaliningrad");
+        let person = Term::iri("http://dbpedia.org/ontology/Person");
+
+        store.insert_all([
+            Triple::new(obama.clone(), label.clone(), Term::literal_str("Barack Obama")),
+            Triple::new(michelle.clone(), label.clone(), Term::literal_str("Michelle Obama")),
+            Triple::new(chicago.clone(), label.clone(), Term::literal_str("Chicago")),
+            Triple::new(sea.clone(), label.clone(), Term::literal_str("Baltic Sea")),
+            Triple::new(straits.clone(), label.clone(), Term::literal_str("Danish Straits")),
+            Triple::new(kali.clone(), label.clone(), Term::literal_str("Kaliningrad")),
+            Triple::new(obama.clone(), Term::iri("http://dbpedia.org/ontology/spouse"), michelle.clone()),
+            Triple::new(obama.clone(), Term::iri("http://dbpedia.org/ontology/birthPlace"),
+                        Term::iri("http://dbpedia.org/resource/Honolulu")),
+            Triple::new(obama.clone(), rdf_type.clone(), person.clone()),
+            Triple::new(michelle.clone(), rdf_type.clone(), person.clone()),
+            Triple::new(sea.clone(), Term::iri("http://dbpedia.org/property/outflow"), straits.clone()),
+            Triple::new(sea.clone(), Term::iri("http://dbpedia.org/ontology/nearestCity"), kali.clone()),
+            Triple::new(sea.clone(), rdf_type.clone(), Term::iri("http://dbpedia.org/ontology/Sea")),
+            Triple::new(kali.clone(), rdf_type.clone(), Term::iri("http://dbpedia.org/ontology/City")),
+        ]);
+        InProcessEndpoint::new("DBpedia", store)
+    }
+
+    fn platform() -> &'static KgqanPlatform {
+        static PLATFORM: OnceLock<KgqanPlatform> = OnceLock::new();
+        PLATFORM.get_or_init(KgqanPlatform::new)
+    }
+
+    #[test]
+    fn answers_single_fact_question() {
+        let ep = dbpedia_endpoint();
+        let outcome = platform().answer("Who is the wife of Barack Obama?", &ep).unwrap();
+        assert!(
+            outcome
+                .answers
+                .iter()
+                .any(|t| t.as_iri() == Some("http://dbpedia.org/resource/Michelle_Obama")),
+            "expected Michelle Obama among answers, got {:?}",
+            outcome.answers
+        );
+        assert!(!outcome.executed_queries.is_empty());
+        assert!(outcome.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn answers_running_example_with_baltic_sea() {
+        let ep = dbpedia_endpoint();
+        let outcome = platform()
+            .answer(
+                "Name the sea into which Danish Straits flows and has Kaliningrad as one of the city on the shore",
+                &ep,
+            )
+            .unwrap();
+        assert!(
+            outcome
+                .answers
+                .iter()
+                .any(|t| t.as_iri() == Some("http://dbpedia.org/resource/Baltic_Sea")),
+            "expected Baltic Sea, got {:?}",
+            outcome.answers
+        );
+        assert_eq!(outcome.predicted_data_type(), AnswerDataType::String);
+        assert!(outcome.understanding.pgp.num_triples() >= 2);
+    }
+
+    #[test]
+    fn unknown_entity_produces_empty_but_not_error() {
+        let ep = dbpedia_endpoint();
+        let outcome = platform()
+            .answer("Who is the wife of Zorblax Qwertyius?", &ep)
+            .unwrap();
+        assert!(outcome.answers.is_empty());
+        assert!(outcome.is_empty() || outcome.boolean.is_some());
+    }
+
+    #[test]
+    fn filtration_toggle_affects_answers() {
+        let ep = dbpedia_endpoint();
+        let no_filter_config = KgqanConfig {
+            filtration_enabled: false,
+            ..KgqanConfig::default()
+        };
+        let unfiltered_platform = KgqanPlatform::with_parts(
+            QuestionUnderstanding::train_default(),
+            no_filter_config,
+        );
+        let outcome = unfiltered_platform
+            .answer("Who is the wife of Barack Obama?", &ep)
+            .unwrap();
+        // Without filtration every collected answer is returned.
+        assert_eq!(outcome.answers, outcome.unfiltered_answers);
+        assert!(!unfiltered_platform.config().filtration_enabled);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = KgqanConfig::default();
+        assert_eq!(c.max_candidate_queries, 40);
+        assert_eq!(c.linker.max_fetched_vertices, 400);
+        assert_eq!(c.linker.num_vertices, 1);
+        assert_eq!(c.linker.num_predicates, 20);
+        assert!(c.filtration_enabled);
+    }
+
+    #[test]
+    fn timings_are_recorded_per_phase() {
+        let ep = dbpedia_endpoint();
+        let outcome = platform().answer("Who is the wife of Barack Obama?", &ep).unwrap();
+        let t = outcome.timings;
+        assert!(t.total() >= t.understanding);
+        assert!(t.total() >= t.linking);
+        assert!(t.total() >= t.execution_filtration);
+        assert_eq!(
+            t.total(),
+            t.understanding + t.linking + t.execution_filtration
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! RDF engine dialects: the proprietary full-text search predicate each
+//! engine exposes.
+//!
+//! The paper (Section 5.1): *"The query assumes Virtuoso as the RDF engine.
+//! Other engines may expose a slightly different API; for example, for
+//! Stardog we replace `<bif:contains>` with `<stardog:textMatch>`."*
+
+/// The RDF engine behind a SPARQL endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineDialect {
+    /// OpenLink Virtuoso (the engine used for all endpoints in the paper's
+    /// evaluation).
+    #[default]
+    Virtuoso,
+    /// Stardog.
+    Stardog,
+    /// Apache Jena with the text index extension.
+    Jena,
+}
+
+impl EngineDialect {
+    /// The IRI of the engine's full-text containment predicate, to be used
+    /// as the predicate of the text-search triple pattern in
+    /// `potentialRelevantVertices`.
+    pub fn text_search_predicate(&self) -> &'static str {
+        match self {
+            EngineDialect::Virtuoso => "bif:contains",
+            EngineDialect::Stardog => "tag:stardog:api:property:textMatch",
+            EngineDialect::Jena => "http://jena.apache.org/text#query",
+        }
+    }
+
+    /// Render a word list as the engine's containment expression.
+    /// Virtuoso uses a quoted disjunction (`'danish' OR 'straits'`); the
+    /// others accept a plain word list.
+    pub fn containment_expression(&self, words: &[&str]) -> String {
+        match self {
+            EngineDialect::Virtuoso => words
+                .iter()
+                .map(|w| format!("'{w}'"))
+                .collect::<Vec<_>>()
+                .join(" OR "),
+            EngineDialect::Stardog | EngineDialect::Jena => words.join(" "),
+        }
+    }
+
+    /// Engine name as printed in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineDialect::Virtuoso => "Virtuoso",
+            EngineDialect::Stardog => "Stardog",
+            EngineDialect::Jena => "Apache Jena",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_dialect_is_virtuoso() {
+        assert_eq!(EngineDialect::default(), EngineDialect::Virtuoso);
+    }
+
+    #[test]
+    fn text_predicates_differ_per_engine() {
+        assert_eq!(EngineDialect::Virtuoso.text_search_predicate(), "bif:contains");
+        assert!(EngineDialect::Stardog.text_search_predicate().contains("textMatch"));
+        assert!(EngineDialect::Jena.text_search_predicate().contains("text#query"));
+    }
+
+    #[test]
+    fn virtuoso_containment_expression_is_quoted_disjunction() {
+        assert_eq!(
+            EngineDialect::Virtuoso.containment_expression(&["danish", "straits"]),
+            "'danish' OR 'straits'"
+        );
+        assert_eq!(
+            EngineDialect::Stardog.containment_expression(&["jim", "gray"]),
+            "jim gray"
+        );
+    }
+
+    #[test]
+    fn labels_are_human_readable() {
+        assert_eq!(EngineDialect::Virtuoso.label(), "Virtuoso");
+        assert_eq!(EngineDialect::Jena.label(), "Apache Jena");
+    }
+}

@@ -1,0 +1,50 @@
+//! Endpoint-level errors.
+
+use std::fmt;
+
+use kgqan_sparql::SparqlError;
+
+/// Errors surfaced by a SPARQL endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndpointError {
+    /// The query failed to parse or evaluate at the endpoint.
+    Query(SparqlError),
+    /// The named endpoint does not exist in the registry.
+    UnknownEndpoint(String),
+    /// The endpoint rejected the request (e.g. simulated unavailability).
+    Unavailable(String),
+}
+
+impl fmt::Display for EndpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndpointError::Query(e) => write!(f, "query error: {e}"),
+            EndpointError::UnknownEndpoint(name) => write!(f, "unknown endpoint: {name}"),
+            EndpointError::Unavailable(reason) => write!(f, "endpoint unavailable: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EndpointError {}
+
+impl From<SparqlError> for EndpointError {
+    fn from(e: SparqlError) -> Self {
+        EndpointError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: EndpointError = SparqlError::Parse {
+            message: "bad".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("query error"));
+        assert!(EndpointError::UnknownEndpoint("X".into()).to_string().contains('X'));
+        assert!(EndpointError::Unavailable("down".into()).to_string().contains("down"));
+    }
+}

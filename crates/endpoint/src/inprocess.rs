@@ -1,0 +1,195 @@
+//! An in-process SPARQL endpoint wrapping a [`Store`].
+//!
+//! Stands in for the remote Virtuoso/Stardog/Jena installations of the
+//! paper's evaluation.  The endpoint can inject a fixed per-request latency
+//! so that experiments which care about request round-trips (the linking
+//! phase issues several) exhibit a realistic cost profile.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use kgqan_rdf::{GraphStats, Store};
+use kgqan_sparql::{execute_query, QueryResults};
+
+use crate::dialect::EngineDialect;
+use crate::error::EndpointError;
+use crate::stats::RequestStats;
+use crate::SparqlEndpoint;
+
+/// An endpoint answering queries from an in-memory store.
+pub struct InProcessEndpoint {
+    name: String,
+    dialect: EngineDialect,
+    store: Arc<Store>,
+    latency: Duration,
+    stats: Mutex<RequestStats>,
+}
+
+impl InProcessEndpoint {
+    /// Wrap a store in an endpoint with the given name, speaking the
+    /// Virtuoso dialect and adding no artificial latency.
+    pub fn new(name: impl Into<String>, store: Store) -> Self {
+        InProcessEndpoint {
+            name: name.into(),
+            dialect: EngineDialect::Virtuoso,
+            store: Arc::new(store),
+            latency: Duration::ZERO,
+            stats: Mutex::new(RequestStats::default()),
+        }
+    }
+
+    /// Wrap an already-shared store.
+    pub fn from_shared(name: impl Into<String>, store: Arc<Store>) -> Self {
+        InProcessEndpoint {
+            name: name.into(),
+            dialect: EngineDialect::Virtuoso,
+            store,
+            latency: Duration::ZERO,
+            stats: Mutex::new(RequestStats::default()),
+        }
+    }
+
+    /// Select the engine dialect the endpoint advertises.
+    pub fn with_dialect(mut self, dialect: EngineDialect) -> Self {
+        self.dialect = dialect;
+        self
+    }
+
+    /// Inject a fixed latency per request, modelling network round-trip and
+    /// engine overhead of a remote endpoint.
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// The wrapped store (read-only).  The harness uses this for gold-answer
+    /// evaluation; KGQAn itself never calls it.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// A shared handle to the wrapped store.
+    pub fn shared_store(&self) -> Arc<Store> {
+        Arc::clone(&self.store)
+    }
+
+    /// Statistics of the underlying graph (size, distinct terms, …).
+    pub fn graph_stats(&self) -> GraphStats {
+        self.store.stats()
+    }
+}
+
+impl SparqlEndpoint for InProcessEndpoint {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dialect(&self) -> EngineDialect {
+        self.dialect
+    }
+
+    fn query(&self, sparql: &str) -> Result<QueryResults, EndpointError> {
+        let start = Instant::now();
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        let result = execute_query(&self.store, sparql);
+        let elapsed = start.elapsed();
+
+        let mut stats = self.stats.lock();
+        stats.total_requests += 1;
+        stats.total_time += elapsed;
+        let upper = sparql.to_ascii_uppercase();
+        if sparql.contains("bif:contains") || sparql.contains("textMatch") || sparql.contains("text#query")
+        {
+            stats.text_search_requests += 1;
+        }
+        if upper.trim_start().starts_with("ASK") {
+            stats.ask_requests += 1;
+        }
+        if result.is_err() {
+            stats.failed_requests += 1;
+        }
+        drop(stats);
+
+        result.map_err(EndpointError::from)
+    }
+
+    fn stats(&self) -> RequestStats {
+        *self.stats.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgqan_rdf::{vocab, Term, Triple};
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.insert(Triple::new(
+            Term::iri("http://dbpedia.org/resource/Baltic_Sea"),
+            Term::iri(vocab::RDFS_LABEL),
+            Term::literal_str("Baltic Sea"),
+        ));
+        s.insert(Triple::new(
+            Term::iri("http://dbpedia.org/resource/Baltic_Sea"),
+            Term::iri(vocab::RDF_TYPE),
+            Term::iri("http://dbpedia.org/ontology/Sea"),
+        ));
+        s
+    }
+
+    #[test]
+    fn endpoint_answers_select_and_ask() {
+        let ep = InProcessEndpoint::new("DBpedia", store());
+        let rs = ep
+            .query("SELECT ?s WHERE { ?s a <http://dbpedia.org/ontology/Sea> . }")
+            .unwrap();
+        assert_eq!(rs.rows().len(), 1);
+
+        let ask = ep
+            .query("ASK { <http://dbpedia.org/resource/Baltic_Sea> a <http://dbpedia.org/ontology/Sea> }")
+            .unwrap();
+        assert_eq!(ask.as_boolean(), Some(true));
+    }
+
+    #[test]
+    fn endpoint_counts_requests_by_kind() {
+        let ep = InProcessEndpoint::new("DBpedia", store());
+        ep.query("SELECT ?s WHERE { ?s ?p ?o . }").unwrap();
+        ep.query("ASK { ?s ?p ?o }").unwrap();
+        ep.query(r#"SELECT ?v WHERE { ?v ?p ?d . ?d <bif:contains> "'baltic'" . }"#)
+            .unwrap();
+        assert!(ep.query("SELECT nonsense").is_err());
+
+        let stats = ep.stats();
+        assert_eq!(stats.total_requests, 4);
+        assert_eq!(stats.ask_requests, 1);
+        assert_eq!(stats.text_search_requests, 1);
+        assert_eq!(stats.failed_requests, 1);
+    }
+
+    #[test]
+    fn latency_injection_is_reflected_in_stats() {
+        let ep = InProcessEndpoint::new("DBpedia", store()).with_latency(Duration::from_millis(5));
+        ep.query("ASK { ?s ?p ?o }").unwrap();
+        assert!(ep.stats().total_time >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn dialect_selection() {
+        let ep = InProcessEndpoint::new("X", Store::new()).with_dialect(EngineDialect::Stardog);
+        assert_eq!(ep.dialect(), EngineDialect::Stardog);
+        assert_eq!(ep.name(), "X");
+    }
+
+    #[test]
+    fn graph_stats_are_exposed() {
+        let ep = InProcessEndpoint::new("DBpedia", store());
+        assert_eq!(ep.graph_stats().triples, 2);
+        assert_eq!(ep.store().len(), 2);
+    }
+}

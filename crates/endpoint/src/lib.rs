@@ -1,0 +1,53 @@
+//! # kgqan-endpoint
+//!
+//! The SPARQL-endpoint abstraction that sits between KGQAn and a knowledge
+//! graph (Figure 2 of the paper).  KGQAn never touches a store directly — it
+//! only sees the *public endpoint API*: submit a SPARQL string, get results
+//! back.  This crate provides:
+//!
+//! * the [`SparqlEndpoint`] trait — the only interface the KGQAn core and the
+//!   baselines are allowed to use,
+//! * [`InProcessEndpoint`] — an endpoint wrapping a [`kgqan_rdf::Store`],
+//!   standing in for a remote Virtuoso/Stardog/Jena installation, with
+//!   configurable per-request latency injection and request accounting,
+//! * [`EngineDialect`] — the engine-specific full-text predicate
+//!   (`bif:contains` vs `textMatch` vs `text:query`) that KGQAn adapts its
+//!   linking queries to, exactly as described in Section 5.1,
+//! * [`EndpointRegistry`] — a name → endpoint map standing in for the set of
+//!   SPARQL endpoint URIs users may target.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dialect;
+pub mod error;
+pub mod inprocess;
+pub mod registry;
+pub mod stats;
+
+pub use dialect::EngineDialect;
+pub use error::EndpointError;
+pub use inprocess::InProcessEndpoint;
+pub use registry::EndpointRegistry;
+pub use stats::RequestStats;
+
+use kgqan_sparql::QueryResults;
+
+/// The public API of a SPARQL endpoint, as seen by KGQAn and the baselines.
+///
+/// Implementations must be shareable across threads: KGQAn's execution
+/// manager issues the top-k candidate queries in parallel.
+pub trait SparqlEndpoint: Send + Sync {
+    /// A short human-readable name, e.g. `"DBpedia"` or `"MAG"`.
+    fn name(&self) -> &str;
+
+    /// The engine dialect the endpoint speaks (decides which full-text
+    /// predicate KGQAn uses when composing linking queries).
+    fn dialect(&self) -> EngineDialect;
+
+    /// Execute a SPARQL query and return its results.
+    fn query(&self, sparql: &str) -> Result<QueryResults, EndpointError>;
+
+    /// Cumulative request statistics for this endpoint.
+    fn stats(&self) -> RequestStats;
+}

@@ -1,0 +1,71 @@
+//! A registry of named endpoints, standing in for the set of SPARQL endpoint
+//! URIs a user can point KGQAn at (Figure 2: "Question + Endpoint URI").
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::error::EndpointError;
+use crate::SparqlEndpoint;
+
+/// A name → endpoint map.
+#[derive(Default, Clone)]
+pub struct EndpointRegistry {
+    endpoints: BTreeMap<String, Arc<dyn SparqlEndpoint>>,
+}
+
+impl EndpointRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an endpoint under its own name.
+    pub fn register(&mut self, endpoint: Arc<dyn SparqlEndpoint>) {
+        self.endpoints.insert(endpoint.name().to_string(), endpoint);
+    }
+
+    /// Look up an endpoint by name.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn SparqlEndpoint>, EndpointError> {
+        self.endpoints
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EndpointError::UnknownEndpoint(name.to_string()))
+    }
+
+    /// Names of all registered endpoints, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.endpoints.keys().cloned().collect()
+    }
+
+    /// Number of registered endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True if no endpoints are registered.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inprocess::InProcessEndpoint;
+    use kgqan_rdf::Store;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = EndpointRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(Arc::new(InProcessEndpoint::new("DBpedia", Store::new())));
+        reg.register(Arc::new(InProcessEndpoint::new("MAG", Store::new())));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names(), vec!["DBpedia".to_string(), "MAG".to_string()]);
+        assert_eq!(reg.get("DBpedia").unwrap().name(), "DBpedia");
+        assert!(matches!(
+            reg.get("YAGO"),
+            Err(EndpointError::UnknownEndpoint(_))
+        ));
+    }
+}

@@ -1,0 +1,251 @@
+//! Answer data-type and semantic-type prediction (§4.3).
+//!
+//! KGQAn predicts the expected *data type* of the answer — date, numerical,
+//! boolean, or string — with a small neural classifier trained on the QALD-9
+//! training questions, and, when the data type is string, a *semantic type*
+//! taken to be the first noun of the question.  Both predictions are used
+//! only by the post-filtering step.
+//!
+//! The substitute classifier is an averaged perceptron over bag-of-words and
+//! question-shape features, trained on the annotated corpus of
+//! [`crate::corpus`].  The semantic type uses the first-noun heuristic backed
+//! by the lexicon tagger of [`crate::lexicon`].
+
+use std::fmt;
+
+use crate::lexicon::first_noun;
+use crate::perceptron::AveragedPerceptron;
+use crate::tokenizer::tokenize_question;
+
+/// The expected data type of an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnswerDataType {
+    /// A calendar date (or year).
+    Date,
+    /// A number (count, measurement, …).
+    Numeric,
+    /// Yes / no.
+    Boolean,
+    /// Anything else: a resource or plain string.
+    String,
+}
+
+impl AnswerDataType {
+    /// All data types.
+    pub const ALL: [AnswerDataType; 4] = [
+        AnswerDataType::Date,
+        AnswerDataType::Numeric,
+        AnswerDataType::Boolean,
+        AnswerDataType::String,
+    ];
+
+    /// Class label used by the classifier.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnswerDataType::Date => "date",
+            AnswerDataType::Numeric => "numeric",
+            AnswerDataType::Boolean => "boolean",
+            AnswerDataType::String => "string",
+        }
+    }
+
+    /// Parse a label back into a data type.
+    pub fn from_label(label: &str) -> Option<AnswerDataType> {
+        Self::ALL.iter().copied().find(|t| t.label() == label)
+    }
+}
+
+impl fmt::Display for AnswerDataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The full answer-type prediction: data type plus (for strings) the
+/// predicted semantic type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnswerTypePrediction {
+    /// Predicted data type.
+    pub data_type: AnswerDataType,
+    /// Predicted semantic type ("sea", "person", …) when the data type is
+    /// string and a first noun exists.
+    pub semantic_type: Option<String>,
+}
+
+/// The trainable answer-type classifier.
+#[derive(Debug, Clone)]
+pub struct AnswerTypeClassifier {
+    model: AveragedPerceptron,
+    trained: bool,
+}
+
+impl Default for AnswerTypeClassifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnswerTypeClassifier {
+    /// Create an untrained classifier.
+    pub fn new() -> Self {
+        AnswerTypeClassifier {
+            model: AveragedPerceptron::new(
+                AnswerDataType::ALL.iter().map(|t| t.label().to_string()).collect(),
+            ),
+            trained: false,
+        }
+    }
+
+    /// True once trained.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Train on `(question, data type)` pairs for `epochs` passes.
+    pub fn train(&mut self, examples: &[(String, AnswerDataType)], epochs: usize) {
+        for _ in 0..epochs {
+            for (question, truth) in examples {
+                let features = Self::features(question);
+                let guess = self.model.predict(&features);
+                self.model.update(truth.label(), &guess, &features);
+            }
+        }
+        self.model.average();
+        self.trained = true;
+    }
+
+    /// Predict the data type and semantic type of a question's answer.
+    pub fn predict(&self, question: &str) -> AnswerTypePrediction {
+        let features = Self::features(question);
+        let label = self.model.predict(&features);
+        let data_type = AnswerDataType::from_label(&label).unwrap_or(AnswerDataType::String);
+        let semantic_type = if data_type == AnswerDataType::String {
+            first_noun(question)
+        } else {
+            None
+        };
+        AnswerTypePrediction {
+            data_type,
+            semantic_type,
+        }
+    }
+
+    /// Feature template: the first two tokens (question word and auxiliary),
+    /// selected cue bigrams ("how many", "in which year"), and a small bag of
+    /// lowercase words.
+    fn features(question: &str) -> Vec<String> {
+        let tokens = tokenize_question(question);
+        let lower: Vec<&str> = tokens.iter().map(|t| t.lower.as_str()).collect();
+        let mut f = vec!["bias".to_string()];
+        if let Some(first) = lower.first() {
+            f.push(format!("first={first}"));
+        }
+        if lower.len() >= 2 {
+            f.push(format!("first2={} {}", lower[0], lower[1]));
+        }
+        if let Some(last) = lower.last() {
+            f.push(format!("last={last}"));
+        }
+        let text = lower.join(" ");
+        for cue in [
+            "how many",
+            "how much",
+            "how tall",
+            "how long",
+            "how old",
+            "number of",
+            "count",
+            "when",
+            "what year",
+            "which year",
+            "what date",
+            "birthday",
+            "founded",
+            "born",
+            "die",
+            "start",
+            "population",
+            "height",
+            "area",
+        ] {
+            if text.contains(cue) {
+                f.push(format!("cue={cue}"));
+            }
+        }
+        for w in lower.iter().take(12) {
+            f.push(format!("w={w}"));
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::training_corpus;
+
+    fn trained() -> AnswerTypeClassifier {
+        let corpus = training_corpus();
+        let examples: Vec<(String, AnswerDataType)> = corpus
+            .iter()
+            .map(|q| (q.question.clone(), q.answer_type))
+            .collect();
+        let mut clf = AnswerTypeClassifier::new();
+        clf.train(&examples, 8);
+        clf
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        for t in AnswerDataType::ALL {
+            assert_eq!(AnswerDataType::from_label(t.label()), Some(t));
+        }
+        assert_eq!(AnswerDataType::from_label("other"), None);
+        assert_eq!(AnswerDataType::Numeric.to_string(), "numeric");
+    }
+
+    #[test]
+    fn untrained_classifier_reports_untrained() {
+        assert!(!AnswerTypeClassifier::new().is_trained());
+    }
+
+    #[test]
+    fn predicts_boolean_for_yes_no_questions() {
+        let clf = trained();
+        let p = clf.predict("Did Albert Einstein work at Princeton University?");
+        assert_eq!(p.data_type, AnswerDataType::Boolean);
+        assert_eq!(p.semantic_type, None);
+    }
+
+    #[test]
+    fn predicts_numeric_for_how_many_questions() {
+        let clf = trained();
+        let p = clf.predict("How many papers did Jim Gray write?");
+        assert_eq!(p.data_type, AnswerDataType::Numeric);
+    }
+
+    #[test]
+    fn predicts_date_for_when_questions() {
+        let clf = trained();
+        let p = clf.predict("When was Albert Einstein born?");
+        assert_eq!(p.data_type, AnswerDataType::Date);
+    }
+
+    #[test]
+    fn predicts_string_with_semantic_type_for_entity_questions() {
+        let clf = trained();
+        let p = clf.predict(
+            "Name the sea into which Danish Straits flows and has Kaliningrad as one of the city on the shore",
+        );
+        assert_eq!(p.data_type, AnswerDataType::String);
+        assert_eq!(p.semantic_type.as_deref(), Some("sea"));
+    }
+
+    #[test]
+    fn semantic_type_is_first_noun_only_for_strings() {
+        let clf = trained();
+        let p = clf.predict("Who is the wife of Barack Obama?");
+        assert_eq!(p.data_type, AnswerDataType::String);
+        assert_eq!(p.semantic_type.as_deref(), Some("wife"));
+    }
+}

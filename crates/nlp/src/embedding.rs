@@ -1,0 +1,386 @@
+//! Word, character and sentence embeddings.
+//!
+//! Substitutes for the embedding models of the paper:
+//!
+//! * [`WordEmbedding`] — the FastText `wiki-news-300d-1M` substitute: a
+//!   deterministic hashed random projection seeded by the synonym lexicon,
+//!   so that words in the same topic group are close in cosine space,
+//! * [`CharNgramEmbedding`] — the chars2vec substitute used for
+//!   out-of-vocabulary words: character trigram hashing, so that similar
+//!   spellings ("Kaliningrad" / "Kaliningrd") are close,
+//! * [`SentenceEmbedder`] — the GPT-3 sentence-embedding substitute used by
+//!   the coarse-grained affinity variant of Table 4: a mean-pooled bag of
+//!   word vectors.
+//!
+//! All vectors are L2-normalised so cosine similarity is a plain dot product.
+
+use crate::synonyms::group_of;
+use crate::tokenizer::{is_stop_word, tokenize_question};
+
+/// Dimensionality of all embeddings in this crate.
+pub const EMBEDDING_DIM: usize = 64;
+
+/// A dense vector.
+pub type Vector = Vec<f32>;
+
+/// Deterministic pseudo-random stream from a string seed (splitmix64 over a
+/// FNV-1a hash).  Keeps the embeddings reproducible across runs without
+/// depending on a random-number crate at run time.
+fn seeded_values(seed: &str, n: usize) -> Vec<f32> {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in seed.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut state = h;
+    for _ in 0..n {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // Map to [-1, 1).
+        out.push((z as f64 / u64::MAX as f64 * 2.0 - 1.0) as f32);
+    }
+    out
+}
+
+fn l2_normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Cosine similarity between two vectors (assumed same length).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Word-level embedding model (FastText substitute).
+///
+/// A word's vector is the sum of (i) a strong component shared by its
+/// synonym-lexicon topic group, if it belongs to one, and (ii) a weaker
+/// word-specific hashed component.  Words outside the lexicon get only the
+/// word-specific component, so unrelated words have near-zero similarity,
+/// while same-group words have high similarity — the ranking property the
+/// JIT linker needs.
+#[derive(Debug, Default, Clone)]
+pub struct WordEmbedding;
+
+impl WordEmbedding {
+    /// Create the model (stateless; vectors are derived on demand).
+    pub fn new() -> Self {
+        WordEmbedding
+    }
+
+    /// True if the word is "in vocabulary": alphabetic and at least two
+    /// characters.  Mirrors FastText's behaviour of covering ordinary English
+    /// words; identifiers and codes fall through to the char model.
+    pub fn knows(&self, word: &str) -> bool {
+        word.len() >= 2 && word.chars().all(|c| c.is_alphabetic())
+    }
+
+    /// The embedding of a single (lowercase) word.
+    pub fn embed(&self, word: &str) -> Vector {
+        let lower = word.to_lowercase();
+        let stem = stem(&lower);
+        let mut v = vec![0.0f32; EMBEDDING_DIM];
+        // Topic-group component (strong).
+        if let Some(group) = group_of(&lower).or_else(|| group_of(&stem)) {
+            let group_vec = seeded_values(&format!("group:{group}"), EMBEDDING_DIM);
+            for (x, g) in v.iter_mut().zip(&group_vec) {
+                *x += 2.0 * g;
+            }
+        }
+        // Stem-specific component (medium) ties inflected forms together.
+        let stem_vec = seeded_values(&format!("stem:{stem}"), EMBEDDING_DIM);
+        for (x, s) in v.iter_mut().zip(&stem_vec) {
+            *x += 1.0 * s;
+        }
+        // Surface-specific component (weak).
+        let word_vec = seeded_values(&format!("word:{lower}"), EMBEDDING_DIM);
+        for (x, w) in v.iter_mut().zip(&word_vec) {
+            *x += 0.25 * w;
+        }
+        l2_normalize(&mut v);
+        v
+    }
+}
+
+/// A crude Porter-lite stemmer: strips common English suffixes so that
+/// "flows"/"flowing"/"flowed" share a stem.
+pub fn stem(word: &str) -> String {
+    let w = word.to_lowercase();
+    for suffix in ["ations", "ation", "ings", "ing", "ies", "ied", "ers", "er", "ed", "es", "s"] {
+        if let Some(base) = w.strip_suffix(suffix) {
+            if base.len() >= 3 {
+                return base.to_string();
+            }
+        }
+    }
+    w
+}
+
+/// Character n-gram embedding (chars2vec substitute): the normalised sum of
+/// hashed character trigrams of the padded word.  Captures spelling
+/// similarity for names and identifiers FastText does not know.
+#[derive(Debug, Default, Clone)]
+pub struct CharNgramEmbedding;
+
+impl CharNgramEmbedding {
+    /// Create the model.
+    pub fn new() -> Self {
+        CharNgramEmbedding
+    }
+
+    /// The embedding of a word based on its character trigrams.
+    pub fn embed(&self, word: &str) -> Vector {
+        let padded: Vec<char> = format!("^{}$", word.to_lowercase()).chars().collect();
+        let mut v = vec![0.0f32; EMBEDDING_DIM];
+        if padded.len() < 3 {
+            let only = seeded_values(&format!("char:{}", word.to_lowercase()), EMBEDDING_DIM);
+            v.copy_from_slice(&only);
+            l2_normalize(&mut v);
+            return v;
+        }
+        for window in padded.windows(3) {
+            let gram: String = window.iter().collect();
+            let gram_vec = seeded_values(&format!("3gram:{gram}"), EMBEDDING_DIM);
+            for (x, g) in v.iter_mut().zip(&gram_vec) {
+                *x += g;
+            }
+        }
+        l2_normalize(&mut v);
+        v
+    }
+}
+
+/// The combined provider used by the semantic-affinity calculation (§5.4):
+/// word vectors for in-vocabulary words, character vectors otherwise, and
+/// `sim = 0` across the two spaces, exactly as Equation 1 specifies.
+#[derive(Debug, Default, Clone)]
+pub struct EmbeddingProvider {
+    words: WordEmbedding,
+    chars: CharNgramEmbedding,
+}
+
+/// An embedding together with which model produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaceVector {
+    /// Produced by the word model.
+    Word(Vector),
+    /// Produced by the character model (OOV fallback).
+    Char(Vector),
+}
+
+impl EmbeddingProvider {
+    /// Create a provider with both models.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Embed one word, choosing the model per the OOV rule.
+    pub fn embed_word(&self, word: &str) -> SpaceVector {
+        if self.words.knows(word) {
+            SpaceVector::Word(self.words.embed(word))
+        } else {
+            SpaceVector::Char(self.chars.embed(word))
+        }
+    }
+
+    /// Embed every content word of a phrase.
+    pub fn embed_phrase(&self, phrase: &str) -> Vec<SpaceVector> {
+        tokenize_question(phrase)
+            .into_iter()
+            .filter(|t| !is_stop_word(&t.lower))
+            .map(|t| self.embed_word(&t.lower))
+            .collect()
+    }
+
+    /// Pairwise similarity honouring the cross-space rule of Equation 1:
+    /// vectors from different models have similarity 0.
+    pub fn pair_similarity(a: &SpaceVector, b: &SpaceVector) -> f32 {
+        match (a, b) {
+            (SpaceVector::Word(x), SpaceVector::Word(y)) => cosine(x, y),
+            (SpaceVector::Char(x), SpaceVector::Char(y)) => cosine(x, y),
+            _ => 0.0,
+        }
+    }
+}
+
+/// Sentence embedding (GPT-3 coarse-grained substitute): mean pooling of
+/// word vectors over content words, with the char model for OOV words pooled
+/// into the same vector (losing the cross-space distinction — which is why
+/// the coarse-grained variant degrades on identifier-heavy KGs, Table 4).
+#[derive(Debug, Default, Clone)]
+pub struct SentenceEmbedder {
+    words: WordEmbedding,
+    chars: CharNgramEmbedding,
+}
+
+impl SentenceEmbedder {
+    /// Create the sentence embedder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Embed an entire phrase into a single vector.
+    pub fn embed(&self, phrase: &str) -> Vector {
+        let mut v = vec![0.0f32; EMBEDDING_DIM];
+        let mut count = 0usize;
+        for token in tokenize_question(phrase) {
+            if is_stop_word(&token.lower) {
+                continue;
+            }
+            let wv = if self.words.knows(&token.lower) {
+                self.words.embed(&token.lower)
+            } else {
+                self.chars.embed(&token.lower)
+            };
+            for (x, y) in v.iter_mut().zip(&wv) {
+                *x += y;
+            }
+            count += 1;
+        }
+        if count > 0 {
+            for x in v.iter_mut() {
+                *x /= count as f32;
+            }
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Cosine similarity of two phrases in the sentence space.
+    pub fn similarity(&self, a: &str, b: &str) -> f32 {
+        cosine(&self.embed(a), &self.embed(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_are_deterministic_and_normalised() {
+        let model = WordEmbedding::new();
+        let a = model.embed("sea");
+        let b = model.embed("sea");
+        assert_eq!(a, b);
+        let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+        assert_eq!(a.len(), EMBEDDING_DIM);
+    }
+
+    #[test]
+    fn synonyms_are_closer_than_unrelated_words() {
+        let model = WordEmbedding::new();
+        let wife = model.embed("wife");
+        let spouse = model.embed("spouse");
+        let river = model.embed("river");
+        assert!(cosine(&wife, &spouse) > 0.6, "synonyms should be close");
+        assert!(cosine(&wife, &spouse) > cosine(&wife, &river) + 0.3);
+    }
+
+    #[test]
+    fn paper_examples_rank_correctly() {
+        let model = WordEmbedding::new();
+        // "flow" should be closer to "outflow" than to "cities".
+        let flow = model.embed("flow");
+        assert!(cosine(&flow, &model.embed("outflow")) > cosine(&flow, &model.embed("cities")));
+        // "shore" closer to "nearest" (nearestCity) than to "country".
+        let shore = model.embed("shore");
+        assert!(cosine(&shore, &model.embed("nearest")) > cosine(&shore, &model.embed("country")));
+    }
+
+    #[test]
+    fn inflected_forms_share_similarity_via_stemming() {
+        let model = WordEmbedding::new();
+        assert!(cosine(&model.embed("flows"), &model.embed("flow")) > 0.5);
+        assert!(cosine(&model.embed("cities"), &model.embed("city")) > 0.3);
+    }
+
+    #[test]
+    fn identical_words_have_similarity_one() {
+        let model = WordEmbedding::new();
+        let v = model.embed("kaliningrad");
+        assert!((cosine(&v, &v) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn char_embedding_captures_spelling_similarity() {
+        let chars = CharNgramEmbedding::new();
+        let a = chars.embed("kaliningrad");
+        let b = chars.embed("kaliningrd"); // typo
+        let c = chars.embed("melbourne");
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+        assert!(cosine(&a, &b) > 0.6);
+    }
+
+    #[test]
+    fn char_embedding_handles_short_and_numeric_strings() {
+        let chars = CharNgramEmbedding::new();
+        let a = chars.embed("x");
+        assert_eq!(a.len(), EMBEDDING_DIM);
+        let b = chars.embed("2279569217");
+        let c = chars.embed("2279569218");
+        assert!(cosine(&b, &c) > 0.5, "near-identical ids share trigrams");
+    }
+
+    #[test]
+    fn provider_routes_oov_words_to_char_space() {
+        let provider = EmbeddingProvider::new();
+        assert!(matches!(provider.embed_word("sea"), SpaceVector::Word(_)));
+        assert!(matches!(provider.embed_word("p227"), SpaceVector::Char(_)));
+        assert!(matches!(provider.embed_word("2279569217"), SpaceVector::Char(_)));
+    }
+
+    #[test]
+    fn cross_space_similarity_is_zero() {
+        let provider = EmbeddingProvider::new();
+        let word = provider.embed_word("sea");
+        let code = provider.embed_word("2279569217");
+        assert_eq!(EmbeddingProvider::pair_similarity(&word, &code), 0.0);
+    }
+
+    #[test]
+    fn embed_phrase_drops_stop_words() {
+        let provider = EmbeddingProvider::new();
+        let vs = provider.embed_phrase("the city on the shore");
+        assert_eq!(vs.len(), 2);
+    }
+
+    #[test]
+    fn sentence_embedder_similarity_behaves() {
+        let s = SentenceEmbedder::new();
+        let sim_related = s.similarity("city on the shore", "nearest city");
+        let sim_unrelated = s.similarity("city on the shore", "academic paper citation");
+        assert!(sim_related > sim_unrelated);
+        assert!((s.similarity("wife", "wife") - 1.0).abs() < 1e-5);
+        assert_eq!(s.embed("").len(), EMBEDDING_DIM);
+    }
+
+    #[test]
+    fn stemming_examples() {
+        assert_eq!(stem("flows"), "flow");
+        assert_eq!(stem("publications"), "public");
+        assert_eq!(stem("cited"), "cit");
+        assert_eq!(stem("sea"), "sea");
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+}

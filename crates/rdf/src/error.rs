@@ -1,0 +1,75 @@
+//! Error types shared across the RDF substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing, loading or querying RDF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A line of N-Triples input could not be parsed.
+    NTriplesSyntax {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// A term string (IRI, literal, blank node) was malformed.
+    MalformedTerm(String),
+    /// A term id was not present in the dictionary.
+    UnknownTermId(u64),
+    /// The store rejected an operation (e.g. inserting a literal subject).
+    InvalidTriple(String),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::NTriplesSyntax { line, message } => {
+                write!(f, "N-Triples syntax error on line {line}: {message}")
+            }
+            RdfError::MalformedTerm(s) => write!(f, "malformed RDF term: {s}"),
+            RdfError::UnknownTermId(id) => write!(f, "unknown term id {id}"),
+            RdfError::InvalidTriple(msg) => write!(f, "invalid triple: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_ntriples_error_mentions_line() {
+        let e = RdfError::NTriplesSyntax {
+            line: 42,
+            message: "missing dot".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("42"));
+        assert!(s.contains("missing dot"));
+    }
+
+    #[test]
+    fn display_malformed_term() {
+        let e = RdfError::MalformedTerm("<<bad".into());
+        assert!(e.to_string().contains("<<bad"));
+    }
+
+    #[test]
+    fn display_unknown_term_id() {
+        assert!(RdfError::UnknownTermId(7).to_string().contains('7'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            RdfError::MalformedTerm("x".into()),
+            RdfError::MalformedTerm("x".into())
+        );
+        assert_ne!(
+            RdfError::MalformedTerm("x".into()),
+            RdfError::MalformedTerm("y".into())
+        );
+    }
+}

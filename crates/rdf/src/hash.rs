@@ -1,0 +1,122 @@
+//! A small, fast, non-cryptographic hasher for dictionary-encoded ids.
+//!
+//! The store's hot maps are keyed by small integers ([`crate::TermId`]) or
+//! short strings.  The standard library's SipHash is collision-resistant but
+//! noticeably slower for such keys, so — following the usual practice in
+//! database engines — we provide an FxHash-style multiply-xor hasher and
+//! type aliases used throughout the workspace.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by the FxHash family (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast multiply-xor hasher suitable for small integer and short string keys.
+///
+/// Not HashDoS-resistant; never expose it to untrusted adversarial input.
+/// All keys in this workspace come from dictionary encoding of local data.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        let mut hasher = FxBuildHasher::default().build_hasher();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_one(&42u32), hash_one(&42u32));
+        assert_eq!(hash_one(&"danish straits"), hash_one(&"danish straits"));
+    }
+
+    #[test]
+    fn different_values_hash_differently_in_practice() {
+        // Not a guarantee, but these trivial cases must not collide.
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+        assert_ne!(hash_one(&"kaliningrad"), hash_one(&"baltic sea"));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        s.insert("sea");
+        assert!(s.contains("sea"));
+        assert!(!s.contains("river"));
+    }
+
+    #[test]
+    fn hashing_strings_of_varied_length_is_stable() {
+        for len in 0..40 {
+            let s: String = std::iter::repeat('x').take(len).collect();
+            assert_eq!(hash_one(&s), hash_one(&s.clone()));
+        }
+    }
+}

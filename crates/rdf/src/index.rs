@@ -1,0 +1,391 @@
+//! Six-way triple indexing ("hexastore"-style sextuple indexing).
+//!
+//! Each of the six permutations of (subject, predicate, object) is kept in a
+//! sorted set of permuted id triples, so that **any** triple pattern —
+//! whatever combination of its positions is bound — can be answered with a
+//! single prefix range scan.  This is the index organisation the paper cites
+//! ([59] Hexastore, [63] TripleBit) when arguing that the JIT linker's
+//! `outgoingPredicate` / `incomingPredicate` probes are constant-time lookups
+//! in a stock RDF engine.
+
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+use crate::dictionary::TermId;
+use crate::triple::EncodedTriple;
+
+/// The six access orderings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexOrder {
+    /// subject, predicate, object
+    Spo,
+    /// subject, object, predicate
+    Sop,
+    /// predicate, subject, object
+    Pso,
+    /// predicate, object, subject
+    Pos,
+    /// object, subject, predicate
+    Osp,
+    /// object, predicate, subject
+    Ops,
+}
+
+impl IndexOrder {
+    /// All six orderings.
+    pub const ALL: [IndexOrder; 6] = [
+        IndexOrder::Spo,
+        IndexOrder::Sop,
+        IndexOrder::Pso,
+        IndexOrder::Pos,
+        IndexOrder::Osp,
+        IndexOrder::Ops,
+    ];
+
+    /// Permute an (s, p, o) triple into this ordering's key layout.
+    #[inline]
+    fn permute(&self, t: EncodedTriple) -> [u32; 3] {
+        let (s, p, o) = (t.subject.0, t.predicate.0, t.object.0);
+        match self {
+            IndexOrder::Spo => [s, p, o],
+            IndexOrder::Sop => [s, o, p],
+            IndexOrder::Pso => [p, s, o],
+            IndexOrder::Pos => [p, o, s],
+            IndexOrder::Osp => [o, s, p],
+            IndexOrder::Ops => [o, p, s],
+        }
+    }
+
+    /// Invert the permutation: recover the (s, p, o) triple from a key.
+    #[inline]
+    fn unpermute(&self, key: [u32; 3]) -> EncodedTriple {
+        let [a, b, c] = key;
+        let (s, p, o) = match self {
+            IndexOrder::Spo => (a, b, c),
+            IndexOrder::Sop => (a, c, b),
+            IndexOrder::Pso => (b, a, c),
+            IndexOrder::Pos => (c, a, b),
+            IndexOrder::Osp => (b, c, a),
+            IndexOrder::Ops => (c, b, a),
+        };
+        EncodedTriple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    /// Select the ordering whose key prefix matches the bound positions of a
+    /// pattern `(s?, p?, o?)`, so the lookup is a contiguous range scan.
+    pub fn best_for_pattern(s: bool, p: bool, o: bool) -> IndexOrder {
+        match (s, p, o) {
+            // Fully bound or fully unbound: any order works; SPO is canonical.
+            (true, true, true) | (false, false, false) => IndexOrder::Spo,
+            (true, true, false) => IndexOrder::Spo,
+            (true, false, true) => IndexOrder::Sop,
+            (true, false, false) => IndexOrder::Spo,
+            (false, true, true) => IndexOrder::Pos,
+            (false, true, false) => IndexOrder::Pso,
+            (false, false, true) => IndexOrder::Ops,
+        }
+    }
+
+    /// The number of leading key positions that are bound for a pattern, when
+    /// this ordering is used.
+    fn bound_prefix_len(&self, s: Option<u32>, p: Option<u32>, o: Option<u32>) -> usize {
+        let layout: [Option<u32>; 3] = match self {
+            IndexOrder::Spo => [s, p, o],
+            IndexOrder::Sop => [s, o, p],
+            IndexOrder::Pso => [p, s, o],
+            IndexOrder::Pos => [p, o, s],
+            IndexOrder::Osp => [o, s, p],
+            IndexOrder::Ops => [o, p, s],
+        };
+        layout.iter().take_while(|x| x.is_some()).count()
+    }
+
+    /// The key prefix values for a pattern under this ordering.
+    fn prefix_values(&self, s: Option<u32>, p: Option<u32>, o: Option<u32>) -> [Option<u32>; 3] {
+        match self {
+            IndexOrder::Spo => [s, p, o],
+            IndexOrder::Sop => [s, o, p],
+            IndexOrder::Pso => [p, s, o],
+            IndexOrder::Pos => [p, o, s],
+            IndexOrder::Osp => [o, s, p],
+            IndexOrder::Ops => [o, p, s],
+        }
+    }
+}
+
+/// The sextuple index: one sorted set per ordering.
+///
+/// With `full_sextuple` disabled only the three orderings SPO, POS and OPS
+/// are maintained — the classic "three-index" layout — which is what the
+/// store-ablation bench compares against.
+#[derive(Debug, Clone)]
+pub struct TripleIndex {
+    orders: Vec<(IndexOrder, BTreeSet<[u32; 3]>)>,
+    len: usize,
+}
+
+impl Default for TripleIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TripleIndex {
+    /// Create an index maintaining all six orderings.
+    pub fn new() -> Self {
+        TripleIndex {
+            orders: IndexOrder::ALL
+                .iter()
+                .map(|&o| (o, BTreeSet::new()))
+                .collect(),
+            len: 0,
+        }
+    }
+
+    /// Create an index maintaining only SPO, POS and OPS (three-way layout).
+    pub fn new_three_way() -> Self {
+        TripleIndex {
+            orders: [IndexOrder::Spo, IndexOrder::Pos, IndexOrder::Ops]
+                .iter()
+                .map(|&o| (o, BTreeSet::new()))
+                .collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of distinct triples in the index.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the index holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a triple into every maintained ordering.  Returns `true` if the
+    /// triple was new.
+    pub fn insert(&mut self, t: EncodedTriple) -> bool {
+        let mut inserted = false;
+        for (order, set) in &mut self.orders {
+            inserted = set.insert(order.permute(t));
+        }
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    /// Remove a triple from every maintained ordering.  Returns `true` if the
+    /// triple was present.
+    pub fn remove(&mut self, t: EncodedTriple) -> bool {
+        let mut removed = false;
+        for (order, set) in &mut self.orders {
+            removed = set.remove(&order.permute(t));
+        }
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// True if the exact triple is present.
+    pub fn contains(&self, t: EncodedTriple) -> bool {
+        let (order, set) = &self.orders[0];
+        set.contains(&order.permute(t))
+    }
+
+    /// Match a triple pattern; unbound positions are `None`.  Returns all
+    /// matching triples in the order of the selected index.
+    pub fn matching(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<EncodedTriple> {
+        let s = s.map(|x| x.0);
+        let p = p.map(|x| x.0);
+        let o = o.map(|x| x.0);
+
+        // Pick the maintained ordering with the longest bound prefix.
+        let (order, set) = self
+            .orders
+            .iter()
+            .max_by_key(|(order, _)| order.bound_prefix_len(s, p, o))
+            .expect("index always has at least one ordering");
+
+        let prefix = order.prefix_values(s, p, o);
+        let prefix_len = order.bound_prefix_len(s, p, o);
+
+        let lower: [u32; 3] = [
+            prefix[0].unwrap_or(u32::MIN),
+            if prefix_len >= 2 { prefix[1].unwrap_or(u32::MIN) } else { u32::MIN },
+            if prefix_len >= 3 { prefix[2].unwrap_or(u32::MIN) } else { u32::MIN },
+        ];
+        let upper: [u32; 3] = [
+            prefix[0].unwrap_or(u32::MAX),
+            if prefix_len >= 2 { prefix[1].unwrap_or(u32::MAX) } else { u32::MAX },
+            if prefix_len >= 3 { prefix[2].unwrap_or(u32::MAX) } else { u32::MAX },
+        ];
+
+        let needs_post_filter = {
+            // If some position is bound but not part of the contiguous key
+            // prefix of the chosen ordering (possible in three-way mode),
+            // we must post-filter the scanned range.
+            let bound_count = [s, p, o].iter().filter(|x| x.is_some()).count();
+            bound_count > prefix_len
+        };
+
+        set.range((Bound::Included(lower), Bound::Included(upper)))
+            .map(|&key| order.unpermute(key))
+            .filter(|t| {
+                if !needs_post_filter {
+                    return true;
+                }
+                s.map_or(true, |v| t.subject.0 == v)
+                    && p.map_or(true, |v| t.predicate.0 == v)
+                    && o.map_or(true, |v| t.object.0 == v)
+            })
+            .collect()
+    }
+
+    /// Count matches of a pattern without materialising them (same access
+    /// path as [`TripleIndex::matching`]).
+    pub fn count_matching(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        self.matching(s, p, o).len()
+    }
+
+    /// Approximate heap footprint in bytes: each maintained ordering stores
+    /// one 12-byte key per triple plus B-tree overhead.
+    pub fn approx_bytes(&self) -> usize {
+        self.orders.len() * self.len * (12 + 8)
+    }
+
+    /// Number of maintained orderings (6 for the sextuple layout, 3 for the
+    /// reduced layout).
+    pub fn num_orders(&self) -> usize {
+        self.orders.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> EncodedTriple {
+        EncodedTriple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    #[test]
+    fn insert_is_deduplicating() {
+        let mut idx = TripleIndex::new();
+        assert!(idx.insert(t(1, 2, 3)));
+        assert!(!idx.insert(t(1, 2, 3)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut idx = TripleIndex::new();
+        idx.insert(t(1, 2, 3));
+        assert!(idx.contains(t(1, 2, 3)));
+        assert!(idx.remove(t(1, 2, 3)));
+        assert!(!idx.contains(t(1, 2, 3)));
+        assert!(!idx.remove(t(1, 2, 3)));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn all_eight_pattern_shapes_return_correct_matches() {
+        let mut idx = TripleIndex::new();
+        let triples = [t(1, 10, 100), t(1, 10, 101), t(1, 11, 100), t(2, 10, 100), t(3, 12, 103)];
+        for &tr in &triples {
+            idx.insert(tr);
+        }
+
+        // (s, p, o) fully bound
+        assert_eq!(idx.matching(Some(TermId(1)), Some(TermId(10)), Some(TermId(100))).len(), 1);
+        // (s, p, ?)
+        assert_eq!(idx.matching(Some(TermId(1)), Some(TermId(10)), None).len(), 2);
+        // (s, ?, o)
+        assert_eq!(idx.matching(Some(TermId(1)), None, Some(TermId(100))).len(), 2);
+        // (s, ?, ?)
+        assert_eq!(idx.matching(Some(TermId(1)), None, None).len(), 3);
+        // (?, p, o)
+        assert_eq!(idx.matching(None, Some(TermId(10)), Some(TermId(100))).len(), 2);
+        // (?, p, ?)
+        assert_eq!(idx.matching(None, Some(TermId(10)), None).len(), 3);
+        // (?, ?, o)
+        assert_eq!(idx.matching(None, None, Some(TermId(100))).len(), 3);
+        // (?, ?, ?)
+        assert_eq!(idx.matching(None, None, None).len(), 5);
+    }
+
+    #[test]
+    fn three_way_layout_returns_same_results_as_six_way() {
+        let mut six = TripleIndex::new();
+        let mut three = TripleIndex::new_three_way();
+        let triples = [
+            t(1, 10, 100),
+            t(1, 11, 101),
+            t(2, 10, 100),
+            t(2, 12, 102),
+            t(3, 10, 101),
+            t(3, 11, 100),
+        ];
+        for &tr in &triples {
+            six.insert(tr);
+            three.insert(tr);
+        }
+        assert_eq!(six.num_orders(), 6);
+        assert_eq!(three.num_orders(), 3);
+
+        let patterns: [(Option<u32>, Option<u32>, Option<u32>); 8] = [
+            (Some(1), Some(10), Some(100)),
+            (Some(1), Some(11), None),
+            (Some(2), None, Some(102)),
+            (Some(3), None, None),
+            (None, Some(10), Some(100)),
+            (None, Some(11), None),
+            (None, None, Some(101)),
+            (None, None, None),
+        ];
+        for (s, p, o) in patterns {
+            let s = s.map(TermId);
+            let p = p.map(TermId);
+            let o = o.map(TermId);
+            let mut a = six.matching(s, p, o);
+            let mut b = three.matching(s, p, o);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "pattern {:?}", (s, p, o));
+        }
+    }
+
+    #[test]
+    fn best_for_pattern_prefers_matching_prefix() {
+        assert_eq!(IndexOrder::best_for_pattern(true, true, false), IndexOrder::Spo);
+        assert_eq!(IndexOrder::best_for_pattern(false, true, true), IndexOrder::Pos);
+        assert_eq!(IndexOrder::best_for_pattern(false, false, true), IndexOrder::Ops);
+        assert_eq!(IndexOrder::best_for_pattern(true, false, true), IndexOrder::Sop);
+    }
+
+    #[test]
+    fn permute_unpermute_roundtrip() {
+        let triple = t(7, 8, 9);
+        for order in IndexOrder::ALL {
+            assert_eq!(order.unpermute(order.permute(triple)), triple);
+        }
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_len_and_orders() {
+        let mut six = TripleIndex::new();
+        let mut three = TripleIndex::new_three_way();
+        for i in 0..10 {
+            six.insert(t(i, i + 1, i + 2));
+            three.insert(t(i, i + 1, i + 2));
+        }
+        assert!(six.approx_bytes() > three.approx_bytes());
+    }
+}

@@ -1,0 +1,214 @@
+//! Line-based N-Triples parsing and serialization.
+//!
+//! The benchmark KGs (DBpedia subsets, YAGO-4, DBLP, MAG) are distributed as
+//! N-Triples dumps; this module is the loader used to populate the store and
+//! by the baselines' pre-processing pipelines.
+
+use crate::error::RdfError;
+use crate::term::Term;
+use crate::triple::Triple;
+
+/// Parse an N-Triples document into triples.
+///
+/// Supports comments (`# ...`), blank lines and the standard term syntax.
+/// Lines that do not end in `.` or have fewer than three terms produce an
+/// [`RdfError::NTriplesSyntax`] carrying the 1-based line number.
+pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>, RdfError> {
+    let mut triples = Vec::new();
+    for (lineno, raw_line) in input.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let line = line.strip_suffix('.').map(str::trim_end).ok_or_else(|| {
+            RdfError::NTriplesSyntax {
+                line: lineno + 1,
+                message: "statement does not end with '.'".into(),
+            }
+        })?;
+        let terms = split_statement(line).map_err(|message| RdfError::NTriplesSyntax {
+            line: lineno + 1,
+            message,
+        })?;
+        if terms.len() != 3 {
+            return Err(RdfError::NTriplesSyntax {
+                line: lineno + 1,
+                message: format!("expected 3 terms, found {}", terms.len()),
+            });
+        }
+        let subject = Term::parse_ntriples(&terms[0]).map_err(|e| RdfError::NTriplesSyntax {
+            line: lineno + 1,
+            message: e.to_string(),
+        })?;
+        let predicate = Term::parse_ntriples(&terms[1]).map_err(|e| RdfError::NTriplesSyntax {
+            line: lineno + 1,
+            message: e.to_string(),
+        })?;
+        let object = Term::parse_ntriples(&terms[2]).map_err(|e| RdfError::NTriplesSyntax {
+            line: lineno + 1,
+            message: e.to_string(),
+        })?;
+        let triple = Triple::new(subject, predicate, object);
+        if !triple.is_valid() {
+            return Err(RdfError::NTriplesSyntax {
+                line: lineno + 1,
+                message: "structurally invalid triple (literal subject or non-IRI predicate)".into(),
+            });
+        }
+        triples.push(triple);
+    }
+    Ok(triples)
+}
+
+/// Split one N-Triples statement body (without the trailing dot) into its
+/// three whitespace-separated terms, honouring quotes and IRI brackets.
+fn split_statement(line: &str) -> Result<Vec<String>, String> {
+    let mut terms = Vec::new();
+    let mut current = String::new();
+    let mut in_iri = false;
+    let mut in_literal = false;
+    let mut escaped = false;
+
+    for c in line.chars() {
+        if in_literal {
+            current.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_literal = false;
+            }
+            continue;
+        }
+        if in_iri {
+            current.push(c);
+            if c == '>' {
+                in_iri = false;
+            }
+            continue;
+        }
+        match c {
+            '<' => {
+                in_iri = true;
+                current.push(c);
+            }
+            '"' => {
+                in_literal = true;
+                current.push(c);
+            }
+            c if c.is_whitespace() => {
+                if !current.is_empty() {
+                    terms.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(c),
+        }
+    }
+    if in_iri {
+        return Err("unterminated IRI".into());
+    }
+    if in_literal {
+        return Err("unterminated literal".into());
+    }
+    if !current.is_empty() {
+        terms.push(current);
+    }
+    Ok(terms)
+}
+
+/// Serialize triples to an N-Triples document (one statement per line).
+pub fn serialize_ntriples<'a, I: IntoIterator<Item = &'a Triple>>(triples: I) -> String {
+    let mut out = String::new();
+    for t in triples {
+        out.push_str(&t.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# A comment line
+<http://dbpedia.org/resource/Baltic_Sea> <http://www.w3.org/2000/01/rdf-schema#label> "Baltic Sea"@en .
+<http://dbpedia.org/resource/Baltic_Sea> <http://dbpedia.org/property/outflow> <http://dbpedia.org/resource/Danish_straits> .
+
+<http://dbpedia.org/resource/Kaliningrad> <http://dbpedia.org/ontology/populationTotal> "431000"^^<http://www.w3.org/2001/XMLSchema#integer> .
+"#;
+
+    #[test]
+    fn parses_sample_document() {
+        let triples = parse_ntriples(SAMPLE).expect("sample should parse");
+        assert_eq!(triples.len(), 3);
+        assert_eq!(
+            triples[0].object,
+            Term::literal_lang("Baltic Sea", "en")
+        );
+        assert!(triples[2].object.as_literal().unwrap().is_numeric());
+    }
+
+    #[test]
+    fn roundtrip_through_serializer() {
+        let triples = parse_ntriples(SAMPLE).unwrap();
+        let serialized = serialize_ntriples(&triples);
+        let reparsed = parse_ntriples(&serialized).unwrap();
+        assert_eq!(triples, reparsed);
+    }
+
+    #[test]
+    fn literal_with_spaces_and_dots_survives() {
+        let doc = r#"<http://e/p1> <http://e/title> "Transaction Processing. Concepts and Techniques" ."#;
+        let triples = parse_ntriples(doc).unwrap();
+        assert_eq!(
+            triples[0].object.as_literal().unwrap().lexical,
+            "Transaction Processing. Concepts and Techniques"
+        );
+    }
+
+    #[test]
+    fn missing_dot_is_an_error_with_line_number() {
+        let doc = "<http://e/a> <http://e/b> <http://e/c>";
+        let err = parse_ntriples(doc).unwrap_err();
+        match err {
+            RdfError::NTriplesSyntax { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let doc = "<http://e/a> <http://e/b> .";
+        assert!(parse_ntriples(doc).is_err());
+        let doc = "<http://e/a> <http://e/b> <http://e/c> <http://e/d> .";
+        assert!(parse_ntriples(doc).is_err());
+    }
+
+    #[test]
+    fn unterminated_literal_is_an_error() {
+        let doc = r#"<http://e/a> <http://e/b> "oops ."#;
+        assert!(parse_ntriples(doc).is_err());
+    }
+
+    #[test]
+    fn literal_subject_is_rejected() {
+        let doc = r#""literal" <http://e/b> <http://e/c> ."#;
+        assert!(parse_ntriples(doc).is_err());
+    }
+
+    #[test]
+    fn blank_nodes_parse() {
+        let doc = "_:b0 <http://e/b> _:b1 .";
+        let triples = parse_ntriples(doc).unwrap();
+        assert_eq!(triples[0].subject, Term::blank("b0"));
+        assert_eq!(triples[0].object, Term::blank("b1"));
+    }
+
+    #[test]
+    fn empty_and_comment_only_documents_are_empty() {
+        assert!(parse_ntriples("").unwrap().is_empty());
+        assert!(parse_ntriples("# nothing here\n\n").unwrap().is_empty());
+    }
+}

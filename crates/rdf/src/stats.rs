@@ -1,0 +1,127 @@
+//! Graph statistics: sizes used by Table 2 and by the endpoint's
+//! pre-processing accounting.
+
+use crate::hash::FxHashSet;
+use crate::store::Store;
+use crate::term::Term;
+use crate::vocab;
+
+/// Summary statistics of a knowledge graph.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GraphStats {
+    /// Total number of triples.
+    pub triples: usize,
+    /// Number of distinct subjects.
+    pub distinct_subjects: usize,
+    /// Number of distinct predicates.
+    pub distinct_predicates: usize,
+    /// Number of distinct objects.
+    pub distinct_objects: usize,
+    /// Number of string-literal objects (vertex descriptions).
+    pub string_literals: usize,
+    /// Number of `rdf:type` triples.
+    pub type_triples: usize,
+    /// Number of distinct classes (objects of `rdf:type`).
+    pub distinct_classes: usize,
+    /// Approximate in-memory size of the store in bytes.
+    pub approx_bytes: usize,
+}
+
+impl GraphStats {
+    /// Compute statistics by scanning the store once.
+    pub fn compute(store: &Store) -> GraphStats {
+        let mut subjects = FxHashSet::default();
+        let mut predicates = FxHashSet::default();
+        let mut objects = FxHashSet::default();
+        let mut classes = FxHashSet::default();
+        let mut string_literals = 0usize;
+        let mut type_triples = 0usize;
+        let rdf_type = Term::iri(vocab::RDF_TYPE);
+
+        for triple in store.iter() {
+            if triple.object.is_string_literal() {
+                string_literals += 1;
+            }
+            if triple.predicate == rdf_type {
+                type_triples += 1;
+                classes.insert(triple.object.clone());
+            }
+            subjects.insert(triple.subject);
+            predicates.insert(triple.predicate);
+            objects.insert(triple.object);
+        }
+
+        GraphStats {
+            triples: store.len(),
+            distinct_subjects: subjects.len(),
+            distinct_predicates: predicates.len(),
+            distinct_objects: objects.len(),
+            string_literals,
+            type_triples,
+            distinct_classes: classes.len(),
+            approx_bytes: store.approx_bytes(),
+        }
+    }
+
+    /// Average number of predicates per subject vertex, the statistic the
+    /// paper uses to justify its "Number of Predicates = 20" default.
+    pub fn avg_predicates_per_subject(&self) -> f64 {
+        if self.distinct_subjects == 0 {
+            return 0.0;
+        }
+        self.triples as f64 / self.distinct_subjects as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::Triple;
+
+    fn small_graph() -> Store {
+        let mut store = Store::new();
+        let p1 = Term::iri("http://e/p1");
+        let label = Term::iri(vocab::RDFS_LABEL);
+        let rdf_type = Term::iri(vocab::RDF_TYPE);
+        for i in 0..10 {
+            let s = Term::iri(format!("http://e/s{i}"));
+            store.insert(Triple::new(s.clone(), label.clone(), Term::literal_str(format!("entity {i}"))));
+            store.insert(Triple::new(s.clone(), p1.clone(), Term::iri(format!("http://e/o{}", i % 3))));
+            store.insert(Triple::new(
+                s,
+                rdf_type.clone(),
+                Term::iri(if i % 2 == 0 { "http://e/ClassA" } else { "http://e/ClassB" }),
+            ));
+        }
+        store
+    }
+
+    #[test]
+    fn stats_count_triples_and_distinct_terms() {
+        let stats = small_graph().stats();
+        assert_eq!(stats.triples, 30);
+        assert_eq!(stats.distinct_subjects, 10);
+        assert_eq!(stats.distinct_predicates, 3);
+        assert_eq!(stats.string_literals, 10);
+        assert_eq!(stats.type_triples, 10);
+        assert_eq!(stats.distinct_classes, 2);
+        // 10 labels + 3 shared objects + 2 classes = 15 distinct objects
+        assert_eq!(stats.distinct_objects, 15);
+        assert!(stats.approx_bytes > 0);
+    }
+
+    #[test]
+    fn avg_predicates_per_subject() {
+        let stats = small_graph().stats();
+        assert!((stats.avg_predicates_per_subject() - 3.0).abs() < 1e-9);
+        assert_eq!(GraphStats::default().avg_predicates_per_subject(), 0.0);
+    }
+
+    #[test]
+    fn empty_store_has_zero_stats() {
+        let stats = Store::new().stats();
+        assert_eq!(stats.triples, 0);
+        assert_eq!(stats.distinct_subjects, 0);
+        assert_eq!(stats.distinct_classes, 0);
+    }
+}

@@ -1,0 +1,511 @@
+//! The in-memory triple store: dictionary + sextuple indices + text index.
+
+use crate::dictionary::{Dictionary, TermId};
+use crate::error::RdfError;
+use crate::index::TripleIndex;
+use crate::stats::GraphStats;
+use crate::term::Term;
+use crate::text::TextIndex;
+use crate::triple::{EncodedTriple, Triple};
+
+/// A term-level triple pattern: unbound positions are `None`.
+///
+/// This is the store's native lookup interface; the SPARQL layer compiles
+/// basic graph patterns down to sequences of these.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TriplePattern {
+    /// Subject constraint.
+    pub subject: Option<Term>,
+    /// Predicate constraint.
+    pub predicate: Option<Term>,
+    /// Object constraint.
+    pub object: Option<Term>,
+}
+
+impl TriplePattern {
+    /// A fully unbound pattern matching every triple.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Set the subject constraint.
+    pub fn with_subject(mut self, term: Term) -> Self {
+        self.subject = Some(term);
+        self
+    }
+
+    /// Set the predicate constraint.
+    pub fn with_predicate(mut self, term: Term) -> Self {
+        self.predicate = Some(term);
+        self
+    }
+
+    /// Set the object constraint.
+    pub fn with_object(mut self, term: Term) -> Self {
+        self.object = Some(term);
+        self
+    }
+}
+
+/// An in-memory RDF store with dictionary encoding, six-way triple indices
+/// and a built-in full-text index over string literals.
+#[derive(Debug, Default, Clone)]
+pub struct Store {
+    dictionary: Dictionary,
+    index: TripleIndex,
+    text: TextIndex,
+}
+
+impl Store {
+    /// Create an empty store with the full sextuple index layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty store maintaining only three index orderings
+    /// (used by the index-layout ablation bench).
+    pub fn new_three_way() -> Self {
+        Store {
+            dictionary: Dictionary::new(),
+            index: TripleIndex::new_three_way(),
+            text: TextIndex::new(),
+        }
+    }
+
+    /// Number of triples in the store.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The term dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// The built-in full-text index.
+    pub fn text_index(&self) -> &TextIndex {
+        &self.text
+    }
+
+    /// Insert a term-level triple.  Invalid triples (literal subjects,
+    /// non-IRI predicates) are rejected.
+    pub fn try_insert(&mut self, triple: Triple) -> Result<bool, RdfError> {
+        if !triple.is_valid() {
+            return Err(RdfError::InvalidTriple(triple.to_string()));
+        }
+        let s = self.dictionary.intern(triple.subject);
+        let p = self.dictionary.intern(triple.predicate);
+        let object = triple.object;
+        let is_string_literal = object.is_string_literal();
+        let literal_text = if is_string_literal {
+            object.as_literal().map(|l| l.lexical.clone())
+        } else {
+            None
+        };
+        let o = self.dictionary.intern(object);
+        if let Some(text) = literal_text {
+            self.text.index_literal(o, &text);
+        }
+        Ok(self.index.insert(EncodedTriple::new(s, p, o)))
+    }
+
+    /// Insert a term-level triple, panicking on structurally invalid input.
+    ///
+    /// Most callers build triples programmatically where validity is known;
+    /// use [`Store::try_insert`] when loading untrusted data.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        self.try_insert(triple).expect("invalid RDF triple")
+    }
+
+    /// Bulk-insert triples, returning how many were new.
+    pub fn insert_all<I: IntoIterator<Item = Triple>>(&mut self, triples: I) -> usize {
+        triples.into_iter().filter(|t| self.insert(t.clone())).count()
+    }
+
+    /// True if the exact triple is present.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dictionary.id_of(&triple.subject),
+            self.dictionary.id_of(&triple.predicate),
+            self.dictionary.id_of(&triple.object),
+        ) else {
+            return false;
+        };
+        self.index.contains(EncodedTriple::new(s, p, o))
+    }
+
+    /// Look up a term's dictionary id, if interned.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.dictionary.id_of(term)
+    }
+
+    /// Resolve a dictionary id back to its term.
+    pub fn term_of(&self, id: TermId) -> Option<&Term> {
+        self.dictionary.term_of(id)
+    }
+
+    /// Match a term-level pattern, returning decoded triples.
+    ///
+    /// If a bound term is not in the dictionary the pattern cannot match and
+    /// the result is empty.
+    pub fn matching(&self, pattern: &TriplePattern) -> Vec<Triple> {
+        let Some((s, p, o)) = self.encode_pattern(pattern) else {
+            return Vec::new();
+        };
+        self.index
+            .matching(s, p, o)
+            .into_iter()
+            .map(|t| self.decode(t))
+            .collect()
+    }
+
+    /// Match an id-level pattern.
+    pub fn matching_encoded(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<EncodedTriple> {
+        self.index.matching(s, p, o)
+    }
+
+    /// Count the matches of a term-level pattern.
+    pub fn count_matching(&self, pattern: &TriplePattern) -> usize {
+        let Some((s, p, o)) = self.encode_pattern(pattern) else {
+            return 0;
+        };
+        self.index.count_matching(s, p, o)
+    }
+
+    /// Find vertices whose *description* (any string literal they point at
+    /// through any predicate) contains any of `words`.
+    ///
+    /// This is the store-level primitive behind the paper's
+    /// `potentialRelevantVertices(l_n, maxVR)` SPARQL query: it returns
+    /// `(vertex, description literal)` pairs, at most `max_results`, ranked
+    /// by the number of matched words.
+    pub fn vertices_with_description_containing(
+        &self,
+        words: &[&str],
+        max_results: usize,
+    ) -> Vec<(Term, Term)> {
+        let mut out = Vec::new();
+        // Over-fetch literals: several vertices may share one literal value.
+        let literal_matches = self.text.search_any(words, max_results.saturating_mul(4));
+        'outer: for m in literal_matches {
+            // All triples with this literal as object, via the OPS index.
+            for triple in self.index.matching(None, None, Some(m.literal)) {
+                let subject = self.decode_term(triple.subject);
+                let literal = self.decode_term(m.literal);
+                out.push((subject, literal));
+                if out.len() >= max_results {
+                    break 'outer;
+                }
+            }
+        }
+        out
+    }
+
+    /// All predicates on outgoing edges of `vertex` (i.e. `p` in
+    /// `⟨vertex, p, ?obj⟩`), deduplicated — the `outgoingPredicate(v)` query.
+    pub fn outgoing_predicates(&self, vertex: &Term) -> Vec<Term> {
+        let Some(v) = self.dictionary.id_of(vertex) else {
+            return Vec::new();
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        for t in self.index.matching(Some(v), None, None) {
+            seen.insert(t.predicate);
+        }
+        seen.into_iter().map(|id| self.decode_term(id)).collect()
+    }
+
+    /// All predicates on incoming edges of `vertex` (i.e. `p` in
+    /// `⟨?sub, p, vertex⟩`), deduplicated — the `incomingPredicate(v)` query.
+    pub fn incoming_predicates(&self, vertex: &Term) -> Vec<Term> {
+        let Some(v) = self.dictionary.id_of(vertex) else {
+            return Vec::new();
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        for t in self.index.matching(None, None, Some(v)) {
+            seen.insert(t.predicate);
+        }
+        seen.into_iter().map(|id| self.decode_term(id)).collect()
+    }
+
+    /// Iterate every triple in the store (SPO order), decoded.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.index
+            .matching(None, None, None)
+            .into_iter()
+            .map(move |t| self.decode(t))
+    }
+
+    /// Compute summary statistics over the graph.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::compute(self)
+    }
+
+    /// Approximate total heap footprint of the store (dictionary + indices +
+    /// text index), in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.dictionary.approx_bytes() + self.index.approx_bytes() + self.text.approx_bytes()
+    }
+
+    fn encode_pattern(
+        &self,
+        pattern: &TriplePattern,
+    ) -> Option<(Option<TermId>, Option<TermId>, Option<TermId>)> {
+        let encode = |term: &Option<Term>| -> Option<Option<TermId>> {
+            match term {
+                None => Some(None),
+                Some(t) => self.dictionary.id_of(t).map(Some),
+            }
+        };
+        Some((
+            encode(&pattern.subject)?,
+            encode(&pattern.predicate)?,
+            encode(&pattern.object)?,
+        ))
+    }
+
+    fn decode_term(&self, id: TermId) -> Term {
+        self.dictionary
+            .term_of(id)
+            .cloned()
+            .expect("term id produced by this store's own index")
+    }
+
+    /// Decode an encoded triple back to term level.
+    pub fn decode(&self, t: EncodedTriple) -> Triple {
+        Triple::new(
+            self.decode_term(t.subject),
+            self.decode_term(t.predicate),
+            self.decode_term(t.object),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    fn example_store() -> Store {
+        let mut store = Store::new();
+        let sea = Term::iri("http://dbpedia.org/resource/Baltic_Sea");
+        let straits = Term::iri("http://dbpedia.org/resource/Danish_straits");
+        let kali = Term::iri("http://dbpedia.org/resource/Kaliningrad");
+        let yantar = Term::iri("http://dbpedia.org/resource/Yantar,_Kaliningrad");
+        store.insert(Triple::new(
+            sea.clone(),
+            Term::iri(vocab::RDFS_LABEL),
+            Term::literal_str("Baltic Sea"),
+        ));
+        store.insert(Triple::new(
+            straits.clone(),
+            Term::iri(vocab::RDFS_LABEL),
+            Term::literal_str("Danish Straits"),
+        ));
+        store.insert(Triple::new(
+            kali.clone(),
+            Term::iri(vocab::RDFS_LABEL),
+            Term::literal_str("Kaliningrad"),
+        ));
+        store.insert(Triple::new(
+            yantar.clone(),
+            Term::iri(vocab::RDFS_LABEL),
+            Term::literal_str("Yantar, Kaliningrad"),
+        ));
+        store.insert(Triple::new(
+            sea.clone(),
+            Term::iri("http://dbpedia.org/property/outflow"),
+            straits,
+        ));
+        store.insert(Triple::new(
+            sea.clone(),
+            Term::iri("http://dbpedia.org/ontology/nearestCity"),
+            kali,
+        ));
+        store.insert(Triple::new(
+            sea,
+            Term::iri(vocab::RDF_TYPE),
+            Term::iri("http://dbpedia.org/ontology/Sea"),
+        ));
+        store
+    }
+
+    #[test]
+    fn insert_and_len_and_contains() {
+        let store = example_store();
+        assert_eq!(store.len(), 7);
+        assert!(store.contains(&Triple::new(
+            Term::iri("http://dbpedia.org/resource/Baltic_Sea"),
+            Term::iri(vocab::RDF_TYPE),
+            Term::iri("http://dbpedia.org/ontology/Sea"),
+        )));
+        assert!(!store.contains(&Triple::new(
+            Term::iri("http://dbpedia.org/resource/Baltic_Sea"),
+            Term::iri(vocab::RDF_TYPE),
+            Term::iri("http://dbpedia.org/ontology/River"),
+        )));
+    }
+
+    #[test]
+    fn duplicate_insert_is_ignored() {
+        let mut store = Store::new();
+        let t = Triple::new(
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::literal_str("x"),
+        );
+        assert!(store.insert(t.clone()));
+        assert!(!store.insert(t));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn invalid_triples_are_rejected() {
+        let mut store = Store::new();
+        let bad = Triple::new(
+            Term::literal_str("literal subject"),
+            Term::iri("http://e/p"),
+            Term::literal_str("x"),
+        );
+        assert!(store.try_insert(bad).is_err());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn matching_by_pattern_shapes() {
+        let store = example_store();
+        let sea = Term::iri("http://dbpedia.org/resource/Baltic_Sea");
+
+        let all = store.matching(&TriplePattern::any());
+        assert_eq!(all.len(), 7);
+
+        let sea_out = store.matching(&TriplePattern::any().with_subject(sea.clone()));
+        assert_eq!(sea_out.len(), 4);
+
+        let labels =
+            store.matching(&TriplePattern::any().with_predicate(Term::iri(vocab::RDFS_LABEL)));
+        assert_eq!(labels.len(), 4);
+
+        let typed = store.matching(
+            &TriplePattern::any()
+                .with_subject(sea)
+                .with_predicate(Term::iri(vocab::RDF_TYPE)),
+        );
+        assert_eq!(typed.len(), 1);
+        assert_eq!(
+            typed[0].object,
+            Term::iri("http://dbpedia.org/ontology/Sea")
+        );
+    }
+
+    #[test]
+    fn matching_with_unknown_term_is_empty() {
+        let store = example_store();
+        let unknown = TriplePattern::any().with_subject(Term::iri("http://nowhere/x"));
+        assert!(store.matching(&unknown).is_empty());
+        assert_eq!(store.count_matching(&unknown), 0);
+    }
+
+    #[test]
+    fn vertices_with_description_containing_finds_partial_matches() {
+        let store = example_store();
+        // "Kaliningrad" should hit both Kaliningrad and Yantar,_Kaliningrad —
+        // exactly the running example of Figure 4.
+        let hits = store.vertices_with_description_containing(&["kaliningrad"], 400);
+        let subjects: Vec<&str> = hits.iter().filter_map(|(v, _)| v.as_iri()).collect();
+        assert!(subjects.contains(&"http://dbpedia.org/resource/Kaliningrad"));
+        assert!(subjects.contains(&"http://dbpedia.org/resource/Yantar,_Kaliningrad"));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn vertices_with_description_respects_limit() {
+        let mut store = Store::new();
+        for i in 0..50 {
+            store.insert(Triple::new(
+                Term::iri(format!("http://e/city{i}")),
+                Term::iri(vocab::RDFS_LABEL),
+                Term::literal_str(format!("city number {i}")),
+            ));
+        }
+        let hits = store.vertices_with_description_containing(&["city"], 10);
+        assert_eq!(hits.len(), 10);
+    }
+
+    #[test]
+    fn outgoing_and_incoming_predicates() {
+        let store = example_store();
+        let sea = Term::iri("http://dbpedia.org/resource/Baltic_Sea");
+        let kali = Term::iri("http://dbpedia.org/resource/Kaliningrad");
+
+        let out: Vec<String> = store
+            .outgoing_predicates(&sea)
+            .iter()
+            .filter_map(|t| t.as_iri().map(str::to_string))
+            .collect();
+        assert!(out.contains(&"http://dbpedia.org/property/outflow".to_string()));
+        assert!(out.contains(&"http://dbpedia.org/ontology/nearestCity".to_string()));
+        assert!(out.contains(&vocab::RDF_TYPE.to_string()));
+
+        let incoming = store.incoming_predicates(&kali);
+        assert_eq!(incoming.len(), 1);
+        assert_eq!(
+            incoming[0],
+            Term::iri("http://dbpedia.org/ontology/nearestCity")
+        );
+
+        assert!(store.outgoing_predicates(&Term::iri("http://nowhere/x")).is_empty());
+    }
+
+    #[test]
+    fn iter_round_trips_all_triples() {
+        let store = example_store();
+        let collected: Vec<Triple> = store.iter().collect();
+        assert_eq!(collected.len(), store.len());
+        for t in &collected {
+            assert!(store.contains(t));
+        }
+    }
+
+    #[test]
+    fn only_string_literals_are_text_indexed() {
+        let mut store = Store::new();
+        store.insert(Triple::new(
+            Term::iri("http://e/s"),
+            Term::iri("http://e/population"),
+            Term::integer(431000),
+        ));
+        store.insert(Triple::new(
+            Term::iri("http://e/s"),
+            Term::iri(vocab::RDFS_LABEL),
+            Term::literal_str("Kaliningrad"),
+        ));
+        assert_eq!(store.text_index().num_literals(), 1);
+    }
+
+    #[test]
+    fn approx_bytes_is_nonzero_for_nonempty_store() {
+        let store = example_store();
+        assert!(store.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn three_way_store_matches_like_six_way() {
+        let six = example_store();
+        let mut three = Store::new_three_way();
+        for t in six.iter() {
+            three.insert(t);
+        }
+        let pattern = TriplePattern::any().with_predicate(Term::iri(vocab::RDFS_LABEL));
+        assert_eq!(six.count_matching(&pattern), three.count_matching(&pattern));
+    }
+}

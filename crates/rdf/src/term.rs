@@ -1,0 +1,497 @@
+//! RDF term model: IRIs, literals and blank nodes.
+//!
+//! Terms are the values that appear in subject, predicate and object
+//! positions of triples.  The model follows RDF 1.1: a literal carries a
+//! lexical form plus either a datatype IRI or a language tag.
+
+use std::borrow::Cow;
+use std::fmt;
+
+use crate::error::RdfError;
+use crate::vocab;
+
+/// An RDF literal: a lexical form with an optional datatype or language tag.
+///
+/// When neither a datatype nor a language tag is given the literal is a plain
+/// `xsd:string`, which is how entity descriptions (labels, names, titles) are
+/// stored in the knowledge graphs targeted by KGQAn.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// The lexical form, e.g. `"Baltic Sea"` or `"1945-05-08"`.
+    pub lexical: String,
+    /// Datatype IRI, e.g. `xsd:integer`.  `None` means `xsd:string`.
+    pub datatype: Option<String>,
+    /// BCP-47 language tag, e.g. `en`.
+    pub language: Option<String>,
+}
+
+impl Literal {
+    /// Create a plain string literal.
+    pub fn string(lexical: impl Into<String>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: None,
+        }
+    }
+
+    /// Create a typed literal with the given datatype IRI.
+    pub fn typed(lexical: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            datatype: Some(datatype.into()),
+            language: None,
+        }
+    }
+
+    /// Create a language-tagged string literal.
+    pub fn lang_string(lexical: impl Into<String>, language: impl Into<String>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: Some(language.into()),
+        }
+    }
+
+    /// True if this literal is a plain or language-tagged string — the kind of
+    /// literal KGQAn's entity linker treats as a vertex *description*.
+    pub fn is_string(&self) -> bool {
+        match &self.datatype {
+            None => true,
+            Some(dt) => dt == vocab::XSD_STRING,
+        }
+    }
+
+    /// True if the literal's datatype is one of the XSD numeric types.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self.datatype.as_deref(),
+            Some(vocab::XSD_INTEGER)
+                | Some(vocab::XSD_DECIMAL)
+                | Some(vocab::XSD_DOUBLE)
+                | Some(vocab::XSD_FLOAT)
+                | Some(vocab::XSD_NON_NEG_INTEGER)
+        )
+    }
+
+    /// True if the literal's datatype is `xsd:date` or `xsd:dateTime`.
+    pub fn is_date(&self) -> bool {
+        matches!(
+            self.datatype.as_deref(),
+            Some(vocab::XSD_DATE) | Some(vocab::XSD_DATETIME) | Some(vocab::XSD_GYEAR)
+        )
+    }
+
+    /// True if the literal's datatype is `xsd:boolean`.
+    pub fn is_boolean(&self) -> bool {
+        self.datatype.as_deref() == Some(vocab::XSD_BOOLEAN)
+    }
+}
+
+/// An RDF term: IRI, literal or blank node.
+///
+/// Ordering is defined (IRIs < blank nodes < literals, then lexicographic)
+/// so terms can be used in sorted containers deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI reference, stored without the surrounding angle brackets.
+    Iri(String),
+    /// A blank node with a local label (without the `_:` prefix).
+    Blank(String),
+    /// A literal value.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Create an IRI term.
+    pub fn iri(iri: impl Into<String>) -> Self {
+        Term::Iri(iri.into())
+    }
+
+    /// Create a blank node term.
+    pub fn blank(label: impl Into<String>) -> Self {
+        Term::Blank(label.into())
+    }
+
+    /// Create a plain string literal term.
+    pub fn literal_str(lexical: impl Into<String>) -> Self {
+        Term::Literal(Literal::string(lexical))
+    }
+
+    /// Create a typed literal term.
+    pub fn literal_typed(lexical: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Term::Literal(Literal::typed(lexical, datatype))
+    }
+
+    /// Create a language-tagged literal term.
+    pub fn literal_lang(lexical: impl Into<String>, lang: impl Into<String>) -> Self {
+        Term::Literal(Literal::lang_string(lexical, lang))
+    }
+
+    /// Create an `xsd:integer` literal.
+    pub fn integer(value: i64) -> Self {
+        Term::literal_typed(value.to_string(), vocab::XSD_INTEGER)
+    }
+
+    /// Create an `xsd:boolean` literal.
+    pub fn boolean(value: bool) -> Self {
+        Term::literal_typed(value.to_string(), vocab::XSD_BOOLEAN)
+    }
+
+    /// Create an `xsd:date` literal from an ISO `YYYY-MM-DD` string.
+    pub fn date(value: impl Into<String>) -> Self {
+        Term::literal_typed(value, vocab::XSD_DATE)
+    }
+
+    /// Returns the IRI string if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(iri) => Some(iri),
+            _ => None,
+        }
+    }
+
+    /// Returns the literal if this term is a literal.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(lit) => Some(lit),
+            _ => None,
+        }
+    }
+
+    /// True if the term is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// True if the term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// True if the term is a blank node.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+
+    /// True if the term is a plain/`xsd:string` literal (a *description* in
+    /// the sense of KGQAn's Definition 5.1).
+    pub fn is_string_literal(&self) -> bool {
+        self.as_literal().map(Literal::is_string).unwrap_or(false)
+    }
+
+    /// A human-oriented rendering of the term: the local name of an IRI
+    /// (the part after the last `/` or `#`, with `_` turned into spaces),
+    /// the lexical form of a literal, or the blank label.
+    ///
+    /// This is what the paper calls a "human-readable URI": for
+    /// `dbo:nearestCity` the readable form is `nearest city`.
+    pub fn readable_form(&self) -> Cow<'_, str> {
+        match self {
+            Term::Iri(iri) => Cow::Owned(local_name_words(iri)),
+            Term::Blank(label) => Cow::Borrowed(label.as_str()),
+            Term::Literal(lit) => Cow::Borrowed(lit.lexical.as_str()),
+        }
+    }
+
+    /// Heuristic used in Algorithm 2, line 10: a predicate is
+    /// "human-readable" if its local name contains at least one alphabetic
+    /// run of length ≥ 3 that is not purely an identifier code
+    /// (e.g. `nearestCity` is readable, `P227` or `2279569217` is not).
+    pub fn is_human_readable(&self) -> bool {
+        match self {
+            Term::Iri(iri) => {
+                let local = local_name(iri);
+                let alpha: usize = local.chars().filter(|c| c.is_ascii_alphabetic()).count();
+                let digits: usize = local.chars().filter(|c| c.is_ascii_digit()).count();
+                alpha >= 3 && alpha > digits
+            }
+            Term::Blank(_) => false,
+            Term::Literal(_) => true,
+        }
+    }
+
+    /// Parse a single N-Triples term (`<iri>`, `_:b0`, `"lit"@en`, `"3"^^<dt>`).
+    pub fn parse_ntriples(input: &str) -> Result<Term, RdfError> {
+        let s = input.trim();
+        if let Some(rest) = s.strip_prefix('<') {
+            let iri = rest
+                .strip_suffix('>')
+                .ok_or_else(|| RdfError::MalformedTerm(s.to_string()))?;
+            if iri.is_empty() {
+                return Err(RdfError::MalformedTerm(s.to_string()));
+            }
+            return Ok(Term::Iri(iri.to_string()));
+        }
+        if let Some(rest) = s.strip_prefix("_:") {
+            if rest.is_empty() {
+                return Err(RdfError::MalformedTerm(s.to_string()));
+            }
+            return Ok(Term::Blank(rest.to_string()));
+        }
+        if s.starts_with('"') {
+            return parse_ntriples_literal(s);
+        }
+        Err(RdfError::MalformedTerm(s.to_string()))
+    }
+}
+
+fn parse_ntriples_literal(s: &str) -> Result<Term, RdfError> {
+    // Find the closing quote, honouring backslash escapes.
+    let bytes = s.as_bytes();
+    debug_assert_eq!(bytes[0], b'"');
+    let mut end = None;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate().skip(1) {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' => escaped = true,
+            b'"' => {
+                end = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let end = end.ok_or_else(|| RdfError::MalformedTerm(s.to_string()))?;
+    let lexical = unescape(&s[1..end]);
+    let suffix = s[end + 1..].trim();
+    if suffix.is_empty() {
+        return Ok(Term::Literal(Literal::string(lexical)));
+    }
+    if let Some(lang) = suffix.strip_prefix('@') {
+        if lang.is_empty() {
+            return Err(RdfError::MalformedTerm(s.to_string()));
+        }
+        return Ok(Term::Literal(Literal::lang_string(lexical, lang)));
+    }
+    if let Some(dt) = suffix.strip_prefix("^^") {
+        let dt = dt.trim();
+        let iri = dt
+            .strip_prefix('<')
+            .and_then(|x| x.strip_suffix('>'))
+            .ok_or_else(|| RdfError::MalformedTerm(s.to_string()))?;
+        return Ok(Term::Literal(Literal::typed(lexical, iri)));
+    }
+    Err(RdfError::MalformedTerm(s.to_string()))
+}
+
+fn unescape(s: &str) -> String {
+    if !s.contains('\\') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// The local name of an IRI: the fragment after the last `#` or `/`.
+pub fn local_name(iri: &str) -> &str {
+    let after_hash = iri.rsplit('#').next().unwrap_or(iri);
+    after_hash.rsplit('/').next().unwrap_or(after_hash)
+}
+
+/// Local name of an IRI split into lowercase words: camelCase boundaries,
+/// underscores, commas and digits/letter boundaries all become separators.
+///
+/// `http://dbpedia.org/ontology/nearestCity` → `"nearest city"`.
+pub fn local_name_words(iri: &str) -> String {
+    split_identifier_words(local_name(iri)).join(" ")
+}
+
+/// Split an identifier (camelCase, snake_case, Title_Case, with digits) into
+/// lowercase word tokens.
+pub fn split_identifier_words(ident: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut current = String::new();
+    let mut prev_lower = false;
+    for c in ident.chars() {
+        if c == '_' || c == '-' || c == ',' || c == '.' || c == '(' || c == ')' || c == ' ' {
+            if !current.is_empty() {
+                words.push(std::mem::take(&mut current));
+            }
+            prev_lower = false;
+            continue;
+        }
+        if c.is_ascii_uppercase() && prev_lower {
+            if !current.is_empty() {
+                words.push(std::mem::take(&mut current));
+            }
+        }
+        prev_lower = c.is_ascii_lowercase() || c.is_ascii_digit();
+        current.extend(c.to_lowercase());
+    }
+    if !current.is_empty() {
+        words.push(current);
+    }
+    words.retain(|w| !w.is_empty());
+    words
+}
+
+impl fmt::Display for Term {
+    /// Renders the term in N-Triples syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "<{iri}>"),
+            Term::Blank(label) => write!(f, "_:{label}"),
+            Term::Literal(lit) => {
+                write!(f, "\"{}\"", escape(&lit.lexical))?;
+                if let Some(lang) = &lit.language {
+                    write!(f, "@{lang}")?;
+                } else if let Some(dt) = &lit.datatype {
+                    write!(f, "^^<{dt}>")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_constructors_and_kind_checks() {
+        assert!(Literal::string("Baltic Sea").is_string());
+        assert!(Literal::lang_string("Ostsee", "de").is_string());
+        assert!(Literal::typed("3", vocab::XSD_INTEGER).is_numeric());
+        assert!(Literal::typed("2.5", vocab::XSD_DOUBLE).is_numeric());
+        assert!(Literal::typed("1945-05-08", vocab::XSD_DATE).is_date());
+        assert!(Literal::typed("true", vocab::XSD_BOOLEAN).is_boolean());
+        assert!(!Literal::typed("3", vocab::XSD_INTEGER).is_string());
+    }
+
+    #[test]
+    fn term_constructors_and_accessors() {
+        let iri = Term::iri("http://example.org/a");
+        assert!(iri.is_iri());
+        assert_eq!(iri.as_iri(), Some("http://example.org/a"));
+        assert!(iri.as_literal().is_none());
+
+        let lit = Term::literal_str("hello");
+        assert!(lit.is_literal());
+        assert!(lit.is_string_literal());
+
+        let blank = Term::blank("b0");
+        assert!(blank.is_blank());
+
+        assert!(Term::integer(5).as_literal().unwrap().is_numeric());
+        assert!(Term::boolean(true).as_literal().unwrap().is_boolean());
+        assert!(Term::date("2020-01-01").as_literal().unwrap().is_date());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let terms = vec![
+            Term::iri("http://dbpedia.org/resource/Danish_straits"),
+            Term::blank("node7"),
+            Term::literal_str("Danish Straits"),
+            Term::literal_lang("Kaliningrad", "en"),
+            Term::literal_typed("42", vocab::XSD_INTEGER),
+            Term::literal_str("a \"quoted\" value with \\ backslash"),
+            Term::literal_str("line\nbreak\tand tab"),
+        ];
+        for t in terms {
+            let rendered = t.to_string();
+            let parsed = Term::parse_ntriples(&rendered).expect("should parse");
+            assert_eq!(parsed, t, "roundtrip failed for {rendered}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_terms() {
+        for bad in ["<unterminated", "noangle", "_:", "\"unterminated", "\"x\"@", "\"x\"^^bad"] {
+            assert!(Term::parse_ntriples(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn local_name_extraction() {
+        assert_eq!(local_name("http://dbpedia.org/ontology/nearestCity"), "nearestCity");
+        assert_eq!(local_name("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"), "type");
+        assert_eq!(local_name("nolocal"), "nolocal");
+    }
+
+    #[test]
+    fn readable_form_splits_camel_case_and_underscores() {
+        let t = Term::iri("http://dbpedia.org/ontology/nearestCity");
+        assert_eq!(t.readable_form(), "nearest city");
+        let t = Term::iri("http://dbpedia.org/resource/Danish_straits");
+        assert_eq!(t.readable_form(), "danish straits");
+        let t = Term::iri("http://dbpedia.org/property/cityOnShore");
+        assert_eq!(t.readable_form(), "city on shore");
+    }
+
+    #[test]
+    fn human_readable_heuristic_matches_paper_examples() {
+        // dbo:spouse is human readable.
+        assert!(Term::iri("http://dbpedia.org/ontology/spouse").is_human_readable());
+        // Wikidata-style identifier predicates are not.
+        assert!(!Term::iri("http://www.wikidata.org/prop/direct/P227").is_human_readable());
+        // MAG-style numeric entity URIs are not.
+        assert!(!Term::iri("https://makg.org/entity/2279569217").is_human_readable());
+    }
+
+    #[test]
+    fn split_identifier_words_handles_mixed_styles() {
+        assert_eq!(split_identifier_words("nearestCity"), vec!["nearest", "city"]);
+        assert_eq!(
+            split_identifier_words("Yantar,_Kaliningrad"),
+            vec!["yantar", "kaliningrad"]
+        );
+        assert_eq!(split_identifier_words("birth_date"), vec!["birth", "date"]);
+        assert_eq!(split_identifier_words(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn term_ordering_is_total_and_stable() {
+        let mut terms = vec![
+            Term::literal_str("b"),
+            Term::iri("http://z.example"),
+            Term::blank("a"),
+            Term::iri("http://a.example"),
+        ];
+        terms.sort();
+        // IRIs sort before blanks before literals because of enum variant order.
+        assert!(terms[0].is_iri() && terms[1].is_iri());
+        assert!(terms[2].is_blank());
+        assert!(terms[3].is_literal());
+    }
+}

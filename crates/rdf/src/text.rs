@@ -1,0 +1,235 @@
+//! Built-in full-text index over string literals.
+//!
+//! All RDF engines the paper targets (Virtuoso, Stardog, Apache Jena) build
+//! full-text indices over literals by default, exposed through proprietary
+//! SPARQL extensions (`bif:contains`, `stardog:textMatch`, `text:query`).
+//! KGQAn's `potentialRelevantVertices` query — the heart of JIT entity
+//! linking — is answered entirely by this index.
+//!
+//! The index maps lower-cased word tokens to the set of literal term ids that
+//! contain them, and additionally records, per literal, the set of subject
+//! vertices that point at the literal through *any* predicate, because the
+//! linker asks for vertices `?v` such that `?v ?p ?d_v` and `?d_v` contains
+//! the query words.
+
+use crate::dictionary::TermId;
+use crate::hash::{FxHashMap, FxHashSet};
+
+/// A match returned from a text search: the literal that matched and how many
+/// of the query words it contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextMatch {
+    /// Dictionary id of the matching string literal.
+    pub literal: TermId,
+    /// How many distinct query words appear in the literal.
+    pub matched_words: usize,
+}
+
+/// Inverted index token → literal ids, with token statistics.
+#[derive(Debug, Default, Clone)]
+pub struct TextIndex {
+    postings: FxHashMap<String, FxHashSet<TermId>>,
+    /// Literals indexed, with their token counts (for ranking / stats).
+    literal_tokens: FxHashMap<TermId, u32>,
+    total_postings: usize,
+}
+
+/// Tokenize a string for full-text indexing: lowercase, split on
+/// non-alphanumeric characters, drop empty tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+impl TextIndex {
+    /// Create an empty text index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index a string literal under its dictionary id.
+    pub fn index_literal(&mut self, literal: TermId, text: &str) {
+        if self.literal_tokens.contains_key(&literal) {
+            return; // dictionary ids are unique per literal; already indexed
+        }
+        let tokens = tokenize(text);
+        self.literal_tokens.insert(literal, tokens.len() as u32);
+        for token in tokens {
+            let entry = self.postings.entry(token).or_default();
+            if entry.insert(literal) {
+                self.total_postings += 1;
+            }
+        }
+    }
+
+    /// Number of distinct literals indexed.
+    pub fn num_literals(&self) -> usize {
+        self.literal_tokens.len()
+    }
+
+    /// Number of distinct tokens in the index.
+    pub fn num_tokens(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Search for literals containing **any** of the given words
+    /// (a disjunctive `bif:contains` expression, which is what the
+    /// `potentialRelevantVertices` query of Section 5.1 issues).
+    ///
+    /// Results are ranked by the number of distinct query words matched
+    /// (descending), then by literal id for determinism, and truncated to
+    /// `limit` entries — mirroring the `LIMIT maxVR` clause.
+    pub fn search_any(&self, words: &[&str], limit: usize) -> Vec<TextMatch> {
+        let mut counts: FxHashMap<TermId, usize> = FxHashMap::default();
+        for word in words {
+            let token = word.to_lowercase();
+            if let Some(literals) = self.postings.get(&token) {
+                for &lit in literals {
+                    *counts.entry(lit).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut matches: Vec<TextMatch> = counts
+            .into_iter()
+            .map(|(literal, matched_words)| TextMatch {
+                literal,
+                matched_words,
+            })
+            .collect();
+        matches.sort_by(|a, b| {
+            b.matched_words
+                .cmp(&a.matched_words)
+                .then(a.literal.cmp(&b.literal))
+        });
+        matches.truncate(limit);
+        matches
+    }
+
+    /// Search for literals containing **all** of the given words (conjunctive
+    /// containment, used by the Falcon-style baseline indexer).
+    pub fn search_all(&self, words: &[&str], limit: usize) -> Vec<TextMatch> {
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let required = words.len();
+        let mut result = self.search_any(words, usize::MAX);
+        result.retain(|m| m.matched_words == required);
+        result.truncate(limit);
+        result
+    }
+
+    /// Approximate heap footprint in bytes (token strings + posting entries).
+    pub fn approx_bytes(&self) -> usize {
+        let token_bytes: usize = self.postings.keys().map(|k| k.len() + 32).sum();
+        token_bytes + self.total_postings * 8 + self.literal_tokens.len() * 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_index(entries: &[(u32, &str)]) -> TextIndex {
+        let mut idx = TextIndex::new();
+        for &(id, text) in entries {
+            idx.index_literal(TermId(id), text);
+        }
+        idx
+    }
+
+    #[test]
+    fn tokenize_lowercases_and_splits() {
+        assert_eq!(tokenize("Danish Straits"), vec!["danish", "straits"]);
+        assert_eq!(tokenize("Yantar,_Kaliningrad"), vec!["yantar", "kaliningrad"]);
+        assert_eq!(tokenize("  multiple   spaces "), vec!["multiple", "spaces"]);
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("C3PO-unit"), vec!["c3po", "unit"]);
+    }
+
+    #[test]
+    fn search_any_matches_partial_containment() {
+        let idx = build_index(&[
+            (1, "Kaliningrad"),
+            (2, "Yantar, Kaliningrad"),
+            (3, "Baltic Sea"),
+            (4, "Danish Straits"),
+        ]);
+        let hits = idx.search_any(&["kaliningrad"], 10);
+        let ids: Vec<u32> = hits.iter().map(|m| m.literal.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+
+        // Disjunctive: any of the words counts.
+        let hits = idx.search_any(&["danish", "straits"], 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].matched_words, 2);
+    }
+
+    #[test]
+    fn search_ranks_by_matched_word_count() {
+        let idx = build_index(&[(1, "city"), (2, "city on the shore"), (3, "shore")]);
+        let hits = idx.search_any(&["city", "shore"], 10);
+        assert_eq!(hits[0].literal, TermId(2));
+        assert_eq!(hits[0].matched_words, 2);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn search_respects_limit_like_maxvr() {
+        let mut idx = TextIndex::new();
+        for i in 0..500 {
+            idx.index_literal(TermId(i), &format!("entity number {i}"));
+        }
+        let hits = idx.search_any(&["entity"], 400);
+        assert_eq!(hits.len(), 400);
+    }
+
+    #[test]
+    fn search_all_requires_every_word() {
+        let idx = build_index(&[(1, "Microsoft Academic Graph"), (2, "Microsoft"), (3, "Graph")]);
+        let hits = idx.search_all(&["microsoft", "graph"], 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].literal, TermId(1));
+        assert!(idx.search_all(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn search_is_case_insensitive() {
+        let idx = build_index(&[(1, "Jim Gray")]);
+        assert_eq!(idx.search_any(&["JIM"], 10).len(), 1);
+        assert_eq!(idx.search_any(&["gray"], 10).len(), 1);
+    }
+
+    #[test]
+    fn indexing_same_literal_twice_is_idempotent() {
+        let mut idx = TextIndex::new();
+        idx.index_literal(TermId(1), "Baltic Sea");
+        idx.index_literal(TermId(1), "Baltic Sea");
+        assert_eq!(idx.num_literals(), 1);
+        assert_eq!(idx.search_any(&["baltic"], 10).len(), 1);
+    }
+
+    #[test]
+    fn stats_reflect_content() {
+        let idx = build_index(&[(1, "a b c"), (2, "c d")]);
+        assert_eq!(idx.num_literals(), 2);
+        assert_eq!(idx.num_tokens(), 4);
+        assert!(idx.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn unknown_words_match_nothing() {
+        let idx = build_index(&[(1, "Baltic Sea")]);
+        assert!(idx.search_any(&["zanzibar"], 10).is_empty());
+    }
+}

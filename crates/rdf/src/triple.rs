@@ -1,0 +1,125 @@
+//! Triple representations: term-level [`Triple`] and id-level
+//! [`EncodedTriple`].
+
+use std::fmt;
+
+use crate::dictionary::TermId;
+use crate::term::Term;
+
+/// A term-level RDF triple `⟨subject, predicate, object⟩`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject: an IRI or blank node.
+    pub subject: Term,
+    /// Predicate: an IRI.
+    pub predicate: Term,
+    /// Object: any term.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Construct a triple from its three terms.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// True if the triple is structurally valid RDF: the subject is an IRI or
+    /// blank node, and the predicate is an IRI.
+    pub fn is_valid(&self) -> bool {
+        (self.subject.is_iri() || self.subject.is_blank()) && self.predicate.is_iri()
+    }
+}
+
+impl fmt::Display for Triple {
+    /// Renders in N-Triples statement syntax (terminated by ` .`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A dictionary-encoded triple, as stored in the six-way indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EncodedTriple {
+    /// Encoded subject.
+    pub subject: TermId,
+    /// Encoded predicate.
+    pub predicate: TermId,
+    /// Encoded object.
+    pub object: TermId,
+}
+
+impl EncodedTriple {
+    /// Construct an encoded triple.
+    pub fn new(subject: TermId, predicate: TermId, object: TermId) -> Self {
+        EncodedTriple {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// The triple's components as an `[s, p, o]` array.
+    #[inline]
+    pub fn as_array(&self) -> [TermId; 3] {
+        [self.subject, self.predicate, self.object]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_and_invalid_triples() {
+        let ok = Triple::new(
+            Term::iri("http://example.org/s"),
+            Term::iri("http://example.org/p"),
+            Term::literal_str("o"),
+        );
+        assert!(ok.is_valid());
+
+        let blank_subject = Triple::new(
+            Term::blank("b"),
+            Term::iri("http://example.org/p"),
+            Term::iri("http://example.org/o"),
+        );
+        assert!(blank_subject.is_valid());
+
+        let literal_subject = Triple::new(
+            Term::literal_str("nope"),
+            Term::iri("http://example.org/p"),
+            Term::iri("http://example.org/o"),
+        );
+        assert!(!literal_subject.is_valid());
+
+        let literal_predicate = Triple::new(
+            Term::iri("http://example.org/s"),
+            Term::literal_str("nope"),
+            Term::iri("http://example.org/o"),
+        );
+        assert!(!literal_predicate.is_valid());
+    }
+
+    #[test]
+    fn triple_display_is_ntriples_statement() {
+        let t = Triple::new(
+            Term::iri("http://example.org/s"),
+            Term::iri("http://example.org/p"),
+            Term::literal_lang("hello", "en"),
+        );
+        assert_eq!(
+            t.to_string(),
+            "<http://example.org/s> <http://example.org/p> \"hello\"@en ."
+        );
+    }
+
+    #[test]
+    fn encoded_triple_array_view() {
+        let t = EncodedTriple::new(TermId(1), TermId(2), TermId(3));
+        assert_eq!(t.as_array(), [TermId(1), TermId(2), TermId(3)]);
+    }
+}

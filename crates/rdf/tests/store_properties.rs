@@ -1,0 +1,126 @@
+//! Property-based tests for the RDF store's core invariants.
+
+use kgqan_rdf::{parse_ntriples, serialize_ntriples, Store, Term, Triple, TriplePattern};
+use proptest::prelude::*;
+
+/// Strategy producing simple IRIs from a small closed alphabet so that
+/// duplicates and overlaps occur frequently.
+fn arb_iri() -> impl Strategy<Value = Term> {
+    (0u32..50).prop_map(|i| Term::iri(format!("http://example.org/node/{i}")))
+}
+
+fn arb_predicate() -> impl Strategy<Value = Term> {
+    (0u32..10).prop_map(|i| Term::iri(format!("http://example.org/pred/{i}")))
+}
+
+fn arb_object() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_iri(),
+        "[a-z ]{1,20}".prop_map(Term::literal_str),
+        any::<i64>().prop_map(Term::integer),
+        any::<bool>().prop_map(Term::boolean),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (arb_iri(), arb_predicate(), arb_object()).prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+proptest! {
+    /// Inserting any set of triples yields a store whose length equals the
+    /// number of distinct triples, and every inserted triple is found again.
+    #[test]
+    fn insert_then_contains(triples in prop::collection::vec(arb_triple(), 0..60)) {
+        let mut store = Store::new();
+        store.insert_all(triples.clone());
+        let distinct: std::collections::BTreeSet<_> = triples.iter().cloned().collect();
+        prop_assert_eq!(store.len(), distinct.len());
+        for t in &triples {
+            prop_assert!(store.contains(t));
+        }
+    }
+
+    /// Pattern matching with a bound subject returns exactly the triples
+    /// whose subject equals the bound term (cross-checked against a naive
+    /// scan).
+    #[test]
+    fn subject_pattern_agrees_with_naive_scan(
+        triples in prop::collection::vec(arb_triple(), 1..60),
+        probe in arb_iri(),
+    ) {
+        let mut store = Store::new();
+        store.insert_all(triples.clone());
+        let expected: std::collections::BTreeSet<_> = triples
+            .iter()
+            .filter(|t| t.subject == probe)
+            .cloned()
+            .collect();
+        let got: std::collections::BTreeSet<_> = store
+            .matching(&TriplePattern::any().with_subject(probe.clone()))
+            .into_iter()
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The three-way index layout and the six-way layout answer every
+    /// single-position pattern identically.
+    #[test]
+    fn three_way_equals_six_way(triples in prop::collection::vec(arb_triple(), 0..60)) {
+        let mut six = Store::new();
+        let mut three = Store::new_three_way();
+        six.insert_all(triples.clone());
+        three.insert_all(triples.clone());
+        prop_assert_eq!(six.len(), three.len());
+        for t in triples.iter().take(10) {
+            let p1 = TriplePattern::any().with_predicate(t.predicate.clone());
+            let p2 = TriplePattern::any().with_object(t.object.clone());
+            let p3 = TriplePattern::any()
+                .with_subject(t.subject.clone())
+                .with_object(t.object.clone());
+            for pat in [p1, p2, p3] {
+                let mut a = six.matching(&pat);
+                let mut b = three.matching(&pat);
+                a.sort();
+                b.sort();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// Serializing any store to N-Triples and parsing it back yields the
+    /// same set of triples (dictionary ids may differ, terms may not).
+    #[test]
+    fn ntriples_roundtrip(triples in prop::collection::vec(arb_triple(), 0..40)) {
+        let mut store = Store::new();
+        store.insert_all(triples);
+        let original: std::collections::BTreeSet<_> = store.iter().collect();
+        let doc = serialize_ntriples(original.iter());
+        let reparsed = parse_ntriples(&doc).expect("serialized output must reparse");
+        let roundtripped: std::collections::BTreeSet<_> = reparsed.into_iter().collect();
+        prop_assert_eq!(original, roundtripped);
+    }
+
+    /// Full-text search never returns more results than the requested limit
+    /// and only returns literals that actually contain a query word.
+    #[test]
+    fn text_search_respects_limit(
+        labels in prop::collection::vec("[a-z]{2,8}( [a-z]{2,8}){0,3}", 1..40),
+        limit in 1usize..20,
+    ) {
+        let mut store = Store::new();
+        for (i, label) in labels.iter().enumerate() {
+            store.insert(Triple::new(
+                Term::iri(format!("http://example.org/e{i}")),
+                Term::iri("http://www.w3.org/2000/01/rdf-schema#label"),
+                Term::literal_str(label.clone()),
+            ));
+        }
+        let probe_word = labels[0].split(' ').next().unwrap().to_string();
+        let hits = store.vertices_with_description_containing(&[&probe_word], limit);
+        prop_assert!(hits.len() <= limit);
+        for (_, lit) in hits {
+            let text = lit.as_literal().unwrap().lexical.to_lowercase();
+            prop_assert!(text.contains(&probe_word));
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Abstract syntax tree for the supported SPARQL subset.
+
+use kgqan_rdf::Term;
+
+/// Either a variable or a concrete RDF term — the possible values of a
+/// triple-pattern position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum VarOrTerm {
+    /// A named variable (`?sea`), stored without the question mark.
+    Var(String),
+    /// A concrete term.
+    Term(Term),
+}
+
+impl VarOrTerm {
+    /// Construct a variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        VarOrTerm::Var(name.into())
+    }
+
+    /// Construct a term.
+    pub fn term(term: Term) -> Self {
+        VarOrTerm::Term(term)
+    }
+
+    /// Construct an IRI term.
+    pub fn iri(iri: impl Into<String>) -> Self {
+        VarOrTerm::Term(Term::iri(iri))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            VarOrTerm::Var(v) => Some(v),
+            VarOrTerm::Term(_) => None,
+        }
+    }
+
+    /// The term, if this is a term.
+    pub fn as_term(&self) -> Option<&Term> {
+        match self {
+            VarOrTerm::Var(_) => None,
+            VarOrTerm::Term(t) => Some(t),
+        }
+    }
+
+    /// True if this position is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, VarOrTerm::Var(_))
+    }
+}
+
+impl std::fmt::Display for VarOrTerm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VarOrTerm::Var(v) => write!(f, "?{v}"),
+            VarOrTerm::Term(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A triple pattern inside a WHERE clause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TriplePatternAst {
+    /// Subject position.
+    pub subject: VarOrTerm,
+    /// Predicate position.
+    pub predicate: VarOrTerm,
+    /// Object position.
+    pub object: VarOrTerm,
+}
+
+impl TriplePatternAst {
+    /// Construct a triple pattern.
+    pub fn new(subject: VarOrTerm, predicate: VarOrTerm, object: VarOrTerm) -> Self {
+        TriplePatternAst {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// Variables mentioned in this pattern.
+    pub fn variables(&self) -> Vec<&str> {
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter_map(|x| x.as_var())
+            .collect()
+    }
+
+    /// Number of non-variable positions — a crude selectivity proxy used for
+    /// join ordering.
+    pub fn bound_positions(&self) -> usize {
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter(|x| !x.is_var())
+            .count()
+    }
+}
+
+impl std::fmt::Display for TriplePatternAst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A filter / value expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expression {
+    /// A variable reference.
+    Var(String),
+    /// A constant term.
+    Constant(Term),
+    /// Equality.
+    Eq(Box<Expression>, Box<Expression>),
+    /// Inequality.
+    Neq(Box<Expression>, Box<Expression>),
+    /// Numeric/string less-than.
+    Lt(Box<Expression>, Box<Expression>),
+    /// Numeric/string greater-than.
+    Gt(Box<Expression>, Box<Expression>),
+    /// Numeric/string less-or-equal.
+    Le(Box<Expression>, Box<Expression>),
+    /// Numeric/string greater-or-equal.
+    Ge(Box<Expression>, Box<Expression>),
+    /// Logical conjunction.
+    And(Box<Expression>, Box<Expression>),
+    /// Logical disjunction.
+    Or(Box<Expression>, Box<Expression>),
+    /// Logical negation.
+    Not(Box<Expression>),
+    /// `CONTAINS(haystack, needle)` — case-insensitive substring test.
+    Contains(Box<Expression>, Box<Expression>),
+    /// `REGEX(text, pattern)` — substring / anchored-lite matching.
+    Regex(Box<Expression>, Box<Expression>),
+    /// `LANG(?x)` — language tag of a literal.
+    Lang(Box<Expression>),
+    /// `STR(?x)` — lexical form of a term.
+    Str(Box<Expression>),
+    /// `BOUND(?x)` — whether the variable is bound.
+    Bound(String),
+}
+
+/// A graph pattern: the contents of a `{ ... }` group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphPattern {
+    /// A basic graph pattern: a conjunction of triple patterns.
+    Bgp(Vec<TriplePatternAst>),
+    /// Sequential join of two patterns.
+    Join(Box<GraphPattern>, Box<GraphPattern>),
+    /// `OPTIONAL` — left outer join.
+    Optional(Box<GraphPattern>, Box<GraphPattern>),
+    /// `FILTER` applied to an inner pattern.
+    Filter(Box<GraphPattern>, Expression),
+    /// `UNION` of two patterns.
+    Union(Box<GraphPattern>, Box<GraphPattern>),
+}
+
+impl GraphPattern {
+    /// An empty basic graph pattern.
+    pub fn empty() -> Self {
+        GraphPattern::Bgp(Vec::new())
+    }
+
+    /// All triple patterns reachable in this graph pattern (used by query
+    /// analysis and the benchmark taxonomy).
+    pub fn all_triple_patterns(&self) -> Vec<&TriplePatternAst> {
+        match self {
+            GraphPattern::Bgp(tps) => tps.iter().collect(),
+            GraphPattern::Join(a, b)
+            | GraphPattern::Optional(a, b)
+            | GraphPattern::Union(a, b) => {
+                let mut v = a.all_triple_patterns();
+                v.extend(b.all_triple_patterns());
+                v
+            }
+            GraphPattern::Filter(inner, _) => inner.all_triple_patterns(),
+        }
+    }
+
+    /// All variables mentioned anywhere in the pattern, in first-seen order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for tp in self.all_triple_patterns() {
+            for v in tp.variables() {
+                if !seen.iter().any(|s| s == v) {
+                    seen.push(v.to_string());
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// The query form: SELECT or ASK.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryForm {
+    /// `SELECT` with an explicit projection (empty = `SELECT *`).
+    Select {
+        /// Projected variable names; empty means all.
+        variables: Vec<String>,
+        /// Whether `DISTINCT` was specified.
+        distinct: bool,
+    },
+    /// `ASK`.
+    Ask,
+}
+
+/// A parsed SPARQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT or ASK.
+    pub form: QueryForm,
+    /// The WHERE clause.
+    pub pattern: GraphPattern,
+    /// `LIMIT`, if present.
+    pub limit: Option<usize>,
+    /// `OFFSET`, if present.
+    pub offset: Option<usize>,
+}
+
+impl Query {
+    /// The variables this query projects (explicit list, or every variable in
+    /// the pattern for `SELECT *` / ASK).
+    pub fn projected_variables(&self) -> Vec<String> {
+        match &self.form {
+            QueryForm::Select { variables, .. } if !variables.is_empty() => variables.clone(),
+            _ => self.pattern.variables(),
+        }
+    }
+
+    /// True if this is an ASK query.
+    pub fn is_ask(&self) -> bool {
+        matches!(self.form, QueryForm::Ask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_or_term_accessors() {
+        let v = VarOrTerm::var("sea");
+        assert!(v.is_var());
+        assert_eq!(v.as_var(), Some("sea"));
+        assert!(v.as_term().is_none());
+        assert_eq!(v.to_string(), "?sea");
+
+        let t = VarOrTerm::iri("http://e/x");
+        assert!(!t.is_var());
+        assert_eq!(t.as_term(), Some(&Term::iri("http://e/x")));
+        assert_eq!(t.to_string(), "<http://e/x>");
+    }
+
+    #[test]
+    fn triple_pattern_variables_and_selectivity() {
+        let tp = TriplePatternAst::new(
+            VarOrTerm::var("s"),
+            VarOrTerm::iri("http://e/p"),
+            VarOrTerm::var("o"),
+        );
+        assert_eq!(tp.variables(), vec!["s", "o"]);
+        assert_eq!(tp.bound_positions(), 1);
+        assert_eq!(tp.to_string(), "?s <http://e/p> ?o .");
+    }
+
+    #[test]
+    fn graph_pattern_collects_all_triples_and_vars() {
+        let bgp1 = GraphPattern::Bgp(vec![TriplePatternAst::new(
+            VarOrTerm::var("s"),
+            VarOrTerm::iri("http://e/p"),
+            VarOrTerm::var("o"),
+        )]);
+        let bgp2 = GraphPattern::Bgp(vec![TriplePatternAst::new(
+            VarOrTerm::var("o"),
+            VarOrTerm::iri("http://e/q"),
+            VarOrTerm::var("z"),
+        )]);
+        let joined = GraphPattern::Optional(Box::new(bgp1), Box::new(bgp2));
+        assert_eq!(joined.all_triple_patterns().len(), 2);
+        assert_eq!(joined.variables(), vec!["s", "o", "z"]);
+    }
+
+    #[test]
+    fn projected_variables_default_to_pattern_vars() {
+        let q = Query {
+            form: QueryForm::Select {
+                variables: vec![],
+                distinct: false,
+            },
+            pattern: GraphPattern::Bgp(vec![TriplePatternAst::new(
+                VarOrTerm::var("a"),
+                VarOrTerm::var("p"),
+                VarOrTerm::var("b"),
+            )]),
+            limit: None,
+            offset: None,
+        };
+        assert_eq!(q.projected_variables(), vec!["a", "p", "b"]);
+        assert!(!q.is_ask());
+    }
+}

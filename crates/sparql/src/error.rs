@@ -1,0 +1,60 @@
+//! Errors produced by the SPARQL lexer, parser and evaluator.
+
+use std::fmt;
+
+/// Errors produced while lexing, parsing or evaluating a SPARQL query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// The query text could not be tokenized.
+    Lex {
+        /// Byte position of the offending character.
+        position: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// The token stream did not form a valid query.
+    Parse {
+        /// Description of what went wrong, including what was expected.
+        message: String,
+    },
+    /// A prefixed name used an undeclared prefix.
+    UnknownPrefix(String),
+    /// The query used a feature outside the supported subset.
+    Unsupported(String),
+    /// A filter expression could not be evaluated.
+    Evaluation(String),
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Lex { position, message } => {
+                write!(f, "lexical error at byte {position}: {message}")
+            }
+            SparqlError::Parse { message } => write!(f, "parse error: {message}"),
+            SparqlError::UnknownPrefix(p) => write!(f, "unknown prefix: {p}"),
+            SparqlError::Unsupported(s) => write!(f, "unsupported SPARQL feature: {s}"),
+            SparqlError::Evaluation(s) => write!(f, "evaluation error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SparqlError::Lex { position: 3, message: "bad char".into() }
+            .to_string()
+            .contains("byte 3"));
+        assert!(SparqlError::Parse { message: "expected WHERE".into() }
+            .to_string()
+            .contains("expected WHERE"));
+        assert!(SparqlError::UnknownPrefix("dbx".into()).to_string().contains("dbx"));
+        assert!(SparqlError::Unsupported("CONSTRUCT".into()).to_string().contains("CONSTRUCT"));
+        assert!(SparqlError::Evaluation("type mismatch".into()).to_string().contains("type"));
+    }
+}

@@ -1,0 +1,731 @@
+//! Query evaluation over the [`kgqan_rdf::Store`].
+//!
+//! The evaluator is a straightforward bottom-up interpreter:
+//!
+//! * basic graph patterns are evaluated with a selectivity-ordered
+//!   nested-index-loop join (bound positions first, text-search patterns
+//!   always first),
+//! * `OPTIONAL` is a left outer join, `UNION` a concatenation, `FILTER` a
+//!   post-selection,
+//! * the full-text predicates (`bif:contains`, Stardog `textMatch`, Jena
+//!   `text:query`) bind their subject to the string literals matched by the
+//!   store's built-in text index, which is exactly how the engines the paper
+//!   targets implement them.
+
+use kgqan_rdf::text::tokenize;
+use kgqan_rdf::{Store, Term, TriplePattern};
+
+use crate::ast::{Expression, GraphPattern, Query, QueryForm, TriplePatternAst, VarOrTerm};
+use crate::error::SparqlError;
+use crate::parser::parse_query;
+use crate::results::{Binding, QueryResults, ResultSet};
+
+/// The IRIs accepted as full-text search predicates.  The first is Virtuoso's
+/// (used verbatim in the paper's `potentialRelevantVertices` query); the
+/// others are the equivalents the paper mentions for Stardog and Jena.
+pub const TEXT_SEARCH_PREDICATES: &[&str] = &[
+    "bif:contains",
+    "http://www.openlinksw.com/schemas/bif#contains",
+    "tag:stardog:api:property:textMatch",
+    "stardog:textMatch",
+    "http://jena.apache.org/text#query",
+    "text:query",
+];
+
+/// Maximum number of literals a single text-search pattern may bind when the
+/// query carries no LIMIT — a safety valve mirroring the engines' own caps.
+const DEFAULT_TEXT_SEARCH_CAP: usize = 10_000;
+
+/// Evaluate a parsed [`Query`] against a store.
+pub fn execute(store: &Store, query: &Query) -> Result<QueryResults, SparqlError> {
+    Evaluator::new(store).run(query)
+}
+
+/// Parse and evaluate a SPARQL string against a store.
+pub fn execute_query(store: &Store, query: &str) -> Result<QueryResults, SparqlError> {
+    let parsed = parse_query(query)?;
+    execute(store, &parsed)
+}
+
+/// A query evaluator bound to a store.
+pub struct Evaluator<'a> {
+    store: &'a Store,
+    text_cap: usize,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator over `store`.
+    pub fn new(store: &'a Store) -> Self {
+        Evaluator {
+            store,
+            text_cap: DEFAULT_TEXT_SEARCH_CAP,
+        }
+    }
+
+    /// Run a query to completion.
+    pub fn run(&self, query: &Query) -> Result<QueryResults, SparqlError> {
+        // The LIMIT of the query also caps text-search fan-out, mirroring the
+        // `LIMIT maxVR` clause of potentialRelevantVertices.
+        let evaluator = Evaluator {
+            store: self.store,
+            text_cap: query.limit.unwrap_or(DEFAULT_TEXT_SEARCH_CAP),
+        };
+        let bindings = evaluator.eval_pattern(&query.pattern, vec![Binding::new()])?;
+
+        match &query.form {
+            QueryForm::Ask => Ok(QueryResults::Boolean(!bindings.is_empty())),
+            QueryForm::Select {
+                variables,
+                distinct,
+            } => {
+                let projected: Vec<String> = if variables.is_empty() {
+                    query.pattern.variables()
+                } else {
+                    variables.clone()
+                };
+                let mut rows: Vec<Binding> =
+                    bindings.into_iter().map(|b| b.project(&projected)).collect();
+                if *distinct {
+                    let mut seen = std::collections::BTreeSet::new();
+                    rows.retain(|b| seen.insert(format!("{b}")));
+                }
+                if let Some(offset) = query.offset {
+                    rows = rows.into_iter().skip(offset).collect();
+                }
+                if let Some(limit) = query.limit {
+                    rows.truncate(limit);
+                }
+                Ok(QueryResults::Solutions(ResultSet::new(projected, rows)))
+            }
+        }
+    }
+
+    fn eval_pattern(
+        &self,
+        pattern: &GraphPattern,
+        input: Vec<Binding>,
+    ) -> Result<Vec<Binding>, SparqlError> {
+        match pattern {
+            GraphPattern::Bgp(tps) => self.eval_bgp(tps, input),
+            GraphPattern::Join(a, b) => {
+                let left = self.eval_pattern(a, input)?;
+                self.eval_pattern(b, left)
+            }
+            GraphPattern::Optional(a, b) => {
+                let left = self.eval_pattern(a, input)?;
+                let mut out = Vec::with_capacity(left.len());
+                for binding in left {
+                    let extended = self.eval_pattern(b, vec![binding.clone()])?;
+                    if extended.is_empty() {
+                        out.push(binding);
+                    } else {
+                        out.extend(extended);
+                    }
+                }
+                Ok(out)
+            }
+            GraphPattern::Union(a, b) => {
+                let mut left = self.eval_pattern(a, input.clone())?;
+                let right = self.eval_pattern(b, input)?;
+                left.extend(right);
+                Ok(left)
+            }
+            GraphPattern::Filter(inner, expr) => {
+                let bindings = self.eval_pattern(inner, input)?;
+                let mut out = Vec::with_capacity(bindings.len());
+                for b in bindings {
+                    if eval_expression(expr, &b)?.map(term_truthiness).unwrap_or(false) {
+                        out.push(b);
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn eval_bgp(
+        &self,
+        patterns: &[TriplePatternAst],
+        input: Vec<Binding>,
+    ) -> Result<Vec<Binding>, SparqlError> {
+        if patterns.is_empty() {
+            return Ok(input);
+        }
+        // Join ordering: text-search patterns first (they are generative and
+        // highly selective), then by number of bound positions descending.
+        let mut ordered: Vec<&TriplePatternAst> = patterns.iter().collect();
+        ordered.sort_by_key(|tp| {
+            if is_text_search_pattern(tp) {
+                0
+            } else {
+                3usize.saturating_sub(tp.bound_positions())
+            }
+        });
+
+        let mut current = input;
+        for tp in ordered {
+            let mut next = Vec::new();
+            for binding in &current {
+                self.extend_binding(tp, binding, &mut next)?;
+            }
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        Ok(current)
+    }
+
+    /// Extend one binding with all matches of one triple pattern.
+    fn extend_binding(
+        &self,
+        tp: &TriplePatternAst,
+        binding: &Binding,
+        out: &mut Vec<Binding>,
+    ) -> Result<(), SparqlError> {
+        if is_text_search_pattern(tp) {
+            return self.extend_with_text_search(tp, binding, out);
+        }
+
+        let resolve = |vot: &VarOrTerm| -> Option<Term> {
+            match vot {
+                VarOrTerm::Term(t) => Some(t.clone()),
+                VarOrTerm::Var(v) => binding.get(v).cloned(),
+            }
+        };
+
+        let pattern = TriplePattern {
+            subject: resolve(&tp.subject),
+            predicate: resolve(&tp.predicate),
+            object: resolve(&tp.object),
+        };
+
+        for matched in self.store.matching(&pattern) {
+            let mut extended = binding.clone();
+            let mut compatible = true;
+            for (vot, term) in [
+                (&tp.subject, &matched.subject),
+                (&tp.predicate, &matched.predicate),
+                (&tp.object, &matched.object),
+            ] {
+                if let VarOrTerm::Var(v) = vot {
+                    match extended.get(v) {
+                        Some(existing) if existing != term => {
+                            compatible = false;
+                            break;
+                        }
+                        _ => extended.set(v.clone(), term.clone()),
+                    }
+                }
+            }
+            if compatible {
+                out.push(extended);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate a `?lit <bif:contains> "words"` pattern: bind the subject to
+    /// every string literal containing any of the query words.
+    fn extend_with_text_search(
+        &self,
+        tp: &TriplePatternAst,
+        binding: &Binding,
+        out: &mut Vec<Binding>,
+    ) -> Result<(), SparqlError> {
+        let query_text = match &tp.object {
+            VarOrTerm::Term(Term::Literal(lit)) => lit.lexical.clone(),
+            VarOrTerm::Var(v) => match binding.get(v) {
+                Some(Term::Literal(lit)) => lit.lexical.clone(),
+                _ => {
+                    return Err(SparqlError::Evaluation(
+                        "text-search pattern requires a literal query string".into(),
+                    ))
+                }
+            },
+            _ => {
+                return Err(SparqlError::Evaluation(
+                    "text-search pattern requires a literal query string".into(),
+                ))
+            }
+        };
+        let words = parse_text_query(&query_text);
+        let word_refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let matches = self
+            .store
+            .text_index()
+            .search_any(&word_refs, self.text_cap);
+
+        match &tp.subject {
+            VarOrTerm::Var(var) => {
+                for m in matches {
+                    let Some(term) = self.store.term_of(m.literal) else {
+                        continue;
+                    };
+                    match binding.get(var) {
+                        Some(existing) if existing != term => continue,
+                        _ => {}
+                    }
+                    let mut extended = binding.clone();
+                    extended.set(var.clone(), term.clone());
+                    out.push(extended);
+                }
+            }
+            VarOrTerm::Term(term) => {
+                // Bound subject: keep the binding iff that literal matches.
+                let keeps = matches
+                    .iter()
+                    .any(|m| self.store.term_of(m.literal) == Some(term));
+                if keeps {
+                    out.push(binding.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// True if a triple pattern's predicate is one of the full-text extension
+/// predicates.
+pub fn is_text_search_pattern(tp: &TriplePatternAst) -> bool {
+    match &tp.predicate {
+        VarOrTerm::Term(Term::Iri(iri)) => TEXT_SEARCH_PREDICATES.contains(&iri.as_str()),
+        _ => false,
+    }
+}
+
+/// Extract search words from a Virtuoso-style containment expression, e.g.
+/// `'danish' OR 'straits'` → `["danish", "straits"]`.
+pub fn parse_text_query(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|w| w != "or" && w != "and" && w != "not")
+        .collect()
+}
+
+/// SPARQL effective boolean value of a term.
+fn term_truthiness(term: Term) -> bool {
+    match term {
+        Term::Literal(lit) => {
+            if lit.is_boolean() {
+                lit.lexical == "true" || lit.lexical == "1"
+            } else if lit.is_numeric() {
+                lit.lexical.parse::<f64>().map(|v| v != 0.0).unwrap_or(false)
+            } else {
+                !lit.lexical.is_empty()
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Evaluate a filter expression under a binding.  `Ok(None)` means the
+/// expression is an error for this row (e.g. unbound variable), which SPARQL
+/// treats as false at the FILTER level.
+fn eval_expression(expr: &Expression, binding: &Binding) -> Result<Option<Term>, SparqlError> {
+    let boolean = |b: bool| Some(Term::boolean(b));
+    match expr {
+        Expression::Var(v) => Ok(binding.get(v).cloned()),
+        Expression::Constant(t) => Ok(Some(t.clone())),
+        Expression::Bound(v) => Ok(boolean(binding.is_bound(v))),
+        Expression::Not(inner) => {
+            let value = eval_expression(inner, binding)?;
+            Ok(boolean(!value.map(term_truthiness).unwrap_or(false)))
+        }
+        Expression::And(a, b) => {
+            let left = eval_expression(a, binding)?.map(term_truthiness).unwrap_or(false);
+            if !left {
+                return Ok(boolean(false));
+            }
+            let right = eval_expression(b, binding)?.map(term_truthiness).unwrap_or(false);
+            Ok(boolean(right))
+        }
+        Expression::Or(a, b) => {
+            let left = eval_expression(a, binding)?.map(term_truthiness).unwrap_or(false);
+            if left {
+                return Ok(boolean(true));
+            }
+            let right = eval_expression(b, binding)?.map(term_truthiness).unwrap_or(false);
+            Ok(boolean(right))
+        }
+        Expression::Eq(a, b) => compare(a, b, binding, |o| o == std::cmp::Ordering::Equal),
+        Expression::Neq(a, b) => compare(a, b, binding, |o| o != std::cmp::Ordering::Equal),
+        Expression::Lt(a, b) => compare(a, b, binding, |o| o == std::cmp::Ordering::Less),
+        Expression::Gt(a, b) => compare(a, b, binding, |o| o == std::cmp::Ordering::Greater),
+        Expression::Le(a, b) => compare(a, b, binding, |o| o != std::cmp::Ordering::Greater),
+        Expression::Ge(a, b) => compare(a, b, binding, |o| o != std::cmp::Ordering::Less),
+        Expression::Contains(a, b) => {
+            let (Some(ta), Some(tb)) = (eval_expression(a, binding)?, eval_expression(b, binding)?)
+            else {
+                return Ok(None);
+            };
+            let hay = term_text(&ta).to_lowercase();
+            let needle = term_text(&tb).to_lowercase();
+            Ok(boolean(hay.contains(&needle)))
+        }
+        Expression::Regex(a, b) => {
+            let (Some(ta), Some(tb)) = (eval_expression(a, binding)?, eval_expression(b, binding)?)
+            else {
+                return Ok(None);
+            };
+            let hay = term_text(&ta).to_lowercase();
+            let pattern = term_text(&tb).to_lowercase();
+            Ok(boolean(regex_lite(&hay, &pattern)))
+        }
+        Expression::Lang(inner) => {
+            let Some(t) = eval_expression(inner, binding)? else {
+                return Ok(None);
+            };
+            let lang = t
+                .as_literal()
+                .and_then(|l| l.language.clone())
+                .unwrap_or_default();
+            Ok(Some(Term::literal_str(lang)))
+        }
+        Expression::Str(inner) => {
+            let Some(t) = eval_expression(inner, binding)? else {
+                return Ok(None);
+            };
+            Ok(Some(Term::literal_str(term_text(&t).to_string())))
+        }
+    }
+}
+
+fn compare(
+    a: &Expression,
+    b: &Expression,
+    binding: &Binding,
+    accept: impl Fn(std::cmp::Ordering) -> bool,
+) -> Result<Option<Term>, SparqlError> {
+    let (Some(ta), Some(tb)) = (eval_expression(a, binding)?, eval_expression(b, binding)?) else {
+        return Ok(None);
+    };
+    let ordering = term_compare(&ta, &tb);
+    Ok(Some(Term::boolean(accept(ordering))))
+}
+
+/// Compare two terms: numerically when both parse as numbers, otherwise by
+/// their textual form.
+fn term_compare(a: &Term, b: &Term) -> std::cmp::Ordering {
+    let num = |t: &Term| -> Option<f64> {
+        t.as_literal().and_then(|l| l.lexical.parse::<f64>().ok())
+    };
+    if let (Some(x), Some(y)) = (num(a), num(b)) {
+        return x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal);
+    }
+    term_text(a).cmp(term_text(b))
+}
+
+/// The comparable / searchable text of a term.
+fn term_text(t: &Term) -> &str {
+    match t {
+        Term::Iri(iri) => iri,
+        Term::Blank(b) => b,
+        Term::Literal(l) => &l.lexical,
+    }
+}
+
+/// A tiny regex evaluator supporting the anchors `^`/`$` and plain substring
+/// patterns — enough for the benchmark queries, without a regex dependency.
+fn regex_lite(text: &str, pattern: &str) -> bool {
+    let starts = pattern.starts_with('^');
+    let ends = pattern.ends_with('$');
+    let core = pattern.trim_start_matches('^').trim_end_matches('$');
+    match (starts, ends) {
+        (true, true) => text == core,
+        (true, false) => text.starts_with(core),
+        (false, true) => text.ends_with(core),
+        (false, false) => text.contains(core),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgqan_rdf::{vocab, Triple};
+
+    /// The DBpedia fragment of the paper's running example 𝑞_E plus a few
+    /// distractors.
+    fn running_example_store() -> Store {
+        let mut store = Store::new();
+        let sea = Term::iri("http://dbpedia.org/resource/Baltic_Sea");
+        let north_sea = Term::iri("http://dbpedia.org/resource/North_Sea");
+        let straits = Term::iri("http://dbpedia.org/resource/Danish_straits");
+        let kali = Term::iri("http://dbpedia.org/resource/Kaliningrad");
+        let yantar = Term::iri("http://dbpedia.org/resource/Yantar,_Kaliningrad");
+        let label = Term::iri(vocab::RDFS_LABEL);
+
+        store.insert_all([
+            Triple::new(sea.clone(), label.clone(), Term::literal_str("Baltic Sea")),
+            Triple::new(north_sea.clone(), label.clone(), Term::literal_str("North Sea")),
+            Triple::new(straits.clone(), label.clone(), Term::literal_str("Danish Straits")),
+            Triple::new(kali.clone(), label.clone(), Term::literal_str("Kaliningrad")),
+            Triple::new(yantar.clone(), label.clone(), Term::literal_str("Yantar, Kaliningrad")),
+            Triple::new(
+                sea.clone(),
+                Term::iri("http://dbpedia.org/property/outflow"),
+                straits.clone(),
+            ),
+            Triple::new(
+                sea.clone(),
+                Term::iri("http://dbpedia.org/ontology/nearestCity"),
+                kali.clone(),
+            ),
+            Triple::new(
+                north_sea.clone(),
+                Term::iri("http://dbpedia.org/property/outflow"),
+                Term::iri("http://dbpedia.org/resource/English_Channel"),
+            ),
+            Triple::new(sea.clone(), Term::iri(vocab::RDF_TYPE), Term::iri("http://dbpedia.org/ontology/Sea")),
+            Triple::new(
+                kali.clone(),
+                Term::iri("http://dbpedia.org/ontology/populationTotal"),
+                Term::integer(431000),
+            ),
+            Triple::new(
+                kali,
+                Term::iri(vocab::RDF_TYPE),
+                Term::iri("http://dbpedia.org/ontology/City"),
+            ),
+        ]);
+        store
+    }
+
+    #[test]
+    fn figure1_query_returns_baltic_sea() {
+        let store = running_example_store();
+        let results = execute_query(
+            &store,
+            r#"PREFIX dbv: <http://dbpedia.org/resource/>
+               SELECT ?sea WHERE {
+                 ?sea <http://dbpedia.org/property/outflow> dbv:Danish_straits .
+                 ?sea <http://dbpedia.org/ontology/nearestCity> dbv:Kaliningrad . }"#,
+        )
+        .unwrap();
+        let rows = results.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].get("sea"),
+            Some(&Term::iri("http://dbpedia.org/resource/Baltic_Sea"))
+        );
+    }
+
+    #[test]
+    fn select_star_returns_all_variables() {
+        let store = running_example_store();
+        let results = execute_query(
+            &store,
+            "SELECT * WHERE { ?s <http://dbpedia.org/property/outflow> ?o . }",
+        )
+        .unwrap();
+        assert_eq!(results.rows().len(), 2);
+        assert!(results.rows()[0].is_bound("s"));
+        assert!(results.rows()[0].is_bound("o"));
+    }
+
+    #[test]
+    fn ask_query_answers_presence() {
+        let store = running_example_store();
+        let yes = execute_query(
+            &store,
+            "ASK { <http://dbpedia.org/resource/Baltic_Sea> a <http://dbpedia.org/ontology/Sea> }",
+        )
+        .unwrap();
+        assert_eq!(yes.as_boolean(), Some(true));
+        let no = execute_query(
+            &store,
+            "ASK { <http://dbpedia.org/resource/Baltic_Sea> a <http://dbpedia.org/ontology/River> }",
+        )
+        .unwrap();
+        assert_eq!(no.as_boolean(), Some(false));
+    }
+
+    #[test]
+    fn optional_keeps_rows_without_match() {
+        let store = running_example_store();
+        // North Sea has an outflow but no rdf:type in the store.
+        let results = execute_query(
+            &store,
+            "SELECT ?sea ?type WHERE { ?sea <http://dbpedia.org/property/outflow> ?x . \
+             OPTIONAL { ?sea a ?type . } }",
+        )
+        .unwrap();
+        let rs = results.as_solutions().unwrap();
+        assert_eq!(rs.len(), 2);
+        let with_type = rs.rows().iter().filter(|b| b.is_bound("type")).count();
+        let without_type = rs.rows().iter().filter(|b| !b.is_bound("type")).count();
+        assert_eq!(with_type, 1);
+        assert_eq!(without_type, 1);
+    }
+
+    #[test]
+    fn distinct_and_limit_and_offset() {
+        let store = running_example_store();
+        let all = execute_query(&store, "SELECT ?p WHERE { ?s ?p ?o . }").unwrap();
+        let distinct = execute_query(&store, "SELECT DISTINCT ?p WHERE { ?s ?p ?o . }").unwrap();
+        assert!(distinct.rows().len() < all.rows().len());
+        assert_eq!(distinct.rows().len(), 5);
+
+        let limited = execute_query(&store, "SELECT ?p WHERE { ?s ?p ?o . } LIMIT 3").unwrap();
+        assert_eq!(limited.rows().len(), 3);
+
+        let offset = execute_query(
+            &store,
+            "SELECT DISTINCT ?p WHERE { ?s ?p ?o . } LIMIT 10 OFFSET 4",
+        )
+        .unwrap();
+        assert_eq!(offset.rows().len(), 1);
+    }
+
+    #[test]
+    fn bif_contains_finds_potential_relevant_vertices() {
+        let store = running_example_store();
+        // The paper's potentialRelevantVertices query for "Danish Straits".
+        let results = execute_query(
+            &store,
+            r#"SELECT DISTINCT ?v ?d WHERE {
+                 ?v ?p ?d .
+                 ?d <bif:contains> "'danish' OR 'straits'" . } LIMIT 400"#,
+        )
+        .unwrap();
+        let rs = results.as_solutions().unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(
+            rs.rows()[0].get("v"),
+            Some(&Term::iri("http://dbpedia.org/resource/Danish_straits"))
+        );
+
+        // "Kaliningrad" must return both Kaliningrad and Yantar,_Kaliningrad.
+        let results = execute_query(
+            &store,
+            r#"SELECT DISTINCT ?v WHERE {
+                 ?v ?p ?d .
+                 ?d <bif:contains> "'kaliningrad'" . } LIMIT 400"#,
+        )
+        .unwrap();
+        assert_eq!(results.rows().len(), 2);
+    }
+
+    #[test]
+    fn stardog_dialect_predicate_also_works() {
+        let store = running_example_store();
+        let results = execute_query(
+            &store,
+            r#"SELECT ?v WHERE { ?v ?p ?d . ?d <tag:stardog:api:property:textMatch> "baltic" . }"#,
+        )
+        .unwrap();
+        assert_eq!(results.rows().len(), 1);
+    }
+
+    #[test]
+    fn filter_numeric_comparison() {
+        let store = running_example_store();
+        let results = execute_query(
+            &store,
+            "SELECT ?city WHERE { ?city <http://dbpedia.org/ontology/populationTotal> ?pop . \
+             FILTER (?pop > 100000) }",
+        )
+        .unwrap();
+        assert_eq!(results.rows().len(), 1);
+        let none = execute_query(
+            &store,
+            "SELECT ?city WHERE { ?city <http://dbpedia.org/ontology/populationTotal> ?pop . \
+             FILTER (?pop > 1000000) }",
+        )
+        .unwrap();
+        assert!(none.rows().is_empty());
+    }
+
+    #[test]
+    fn filter_contains_and_regex_and_bound() {
+        let store = running_example_store();
+        let results = execute_query(
+            &store,
+            r#"SELECT ?s WHERE { ?s <http://www.w3.org/2000/01/rdf-schema#label> ?l .
+                FILTER (CONTAINS(?l, "sea")) }"#,
+        )
+        .unwrap();
+        assert_eq!(results.rows().len(), 2);
+
+        let anchored = execute_query(
+            &store,
+            r#"SELECT ?s WHERE { ?s <http://www.w3.org/2000/01/rdf-schema#label> ?l .
+                FILTER (REGEX(?l, "^baltic")) }"#,
+        )
+        .unwrap();
+        assert_eq!(anchored.rows().len(), 1);
+
+        let bound = execute_query(
+            &store,
+            r#"SELECT ?s ?t WHERE { ?s <http://www.w3.org/2000/01/rdf-schema#label> ?l .
+                OPTIONAL { ?s a ?t . } FILTER (BOUND(?t)) }"#,
+        )
+        .unwrap();
+        assert_eq!(bound.rows().len(), 2);
+    }
+
+    #[test]
+    fn union_combines_branches() {
+        let store = running_example_store();
+        let results = execute_query(
+            &store,
+            "SELECT ?x WHERE { { ?x <http://dbpedia.org/property/outflow> ?y . } UNION \
+             { ?x <http://dbpedia.org/ontology/nearestCity> ?y . } }",
+        )
+        .unwrap();
+        assert_eq!(results.rows().len(), 3);
+    }
+
+    #[test]
+    fn join_across_shared_variable() {
+        let store = running_example_store();
+        // Which class does the thing nearest to Kaliningrad belong to?
+        let results = execute_query(
+            &store,
+            "SELECT ?type WHERE { ?sea <http://dbpedia.org/ontology/nearestCity> \
+             <http://dbpedia.org/resource/Kaliningrad> . ?sea a ?type . }",
+        )
+        .unwrap();
+        assert_eq!(results.rows().len(), 1);
+        assert_eq!(
+            results.rows()[0].get("type"),
+            Some(&Term::iri("http://dbpedia.org/ontology/Sea"))
+        );
+    }
+
+    #[test]
+    fn empty_pattern_select_returns_single_empty_row_for_ask() {
+        let store = running_example_store();
+        let results = execute_query(&store, "ASK { }").unwrap();
+        assert_eq!(results.as_boolean(), Some(true));
+    }
+
+    #[test]
+    fn unbound_filter_variable_is_false_not_error() {
+        let store = running_example_store();
+        let results = execute_query(
+            &store,
+            "SELECT ?s WHERE { ?s <http://dbpedia.org/property/outflow> ?o . FILTER (?missing > 3) }",
+        )
+        .unwrap();
+        assert!(results.rows().is_empty());
+    }
+
+    #[test]
+    fn text_query_parsing_strips_connectives_and_quotes() {
+        assert_eq!(parse_text_query("'danish' OR 'straits'"), vec!["danish", "straits"]);
+        assert_eq!(parse_text_query("Jim AND Gray"), vec!["jim", "gray"]);
+        assert_eq!(parse_text_query(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn variable_predicate_patterns_work() {
+        let store = running_example_store();
+        let results = execute_query(
+            &store,
+            "SELECT ?p ?o WHERE { <http://dbpedia.org/resource/Baltic_Sea> ?p ?o . }",
+        )
+        .unwrap();
+        assert_eq!(results.rows().len(), 4);
+    }
+}

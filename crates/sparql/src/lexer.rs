@@ -1,0 +1,500 @@
+//! Tokenizer for the supported SPARQL subset.
+
+use crate::error::SparqlError;
+
+/// A SPARQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword such as `SELECT`, `WHERE`, `OPTIONAL` (stored uppercase).
+    Keyword(String),
+    /// A variable, e.g. `?sea` (stored without the `?`/`$`).
+    Variable(String),
+    /// An IRI in angle brackets, stored without the brackets.
+    Iri(String),
+    /// A prefixed name `prefix:local` (prefix may be empty).
+    PrefixedName(String, String),
+    /// A string literal with optional language tag or datatype.
+    Literal {
+        /// The unescaped lexical form.
+        value: String,
+        /// Language tag, if any.
+        language: Option<String>,
+        /// Datatype: either an absolute IRI or a prefixed name to resolve.
+        datatype: Option<DatatypeRef>,
+    },
+    /// An integer or decimal numeric literal in source form.
+    Numeric(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<` used as an operator inside expressions
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `!`
+    Not,
+    /// `a` — shorthand for `rdf:type`
+    A,
+}
+
+/// A datatype reference attached to a literal token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatatypeRef {
+    /// `^^<http://...>`
+    Iri(String),
+    /// `^^xsd:integer`
+    Prefixed(String, String),
+}
+
+/// Keywords recognised by the parser (matched case-insensitively).
+const KEYWORDS: &[&str] = &[
+    "SELECT", "ASK", "WHERE", "DISTINCT", "LIMIT", "OFFSET", "OPTIONAL", "FILTER", "PREFIX",
+    "UNION", "ORDER", "BY", "CONTAINS", "REGEX", "LANG", "LANGMATCHES", "STR", "BOUND", "TRUE",
+    "FALSE", "COUNT", "AS",
+];
+
+/// Tokenize a SPARQL query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&'&') {
+                    tokens.push(Token::And);
+                    i += 2;
+                } else {
+                    return Err(SparqlError::Lex {
+                        position: i,
+                        message: "expected '&&'".into(),
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&'|') {
+                    tokens.push(Token::Or);
+                    i += 2;
+                } else {
+                    return Err(SparqlError::Lex {
+                        position: i,
+                        message: "expected '||'".into(),
+                    });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Not);
+                    i += 1;
+                }
+            }
+            '<' => {
+                // Either an IRI (no whitespace until '>') or the < operator.
+                if let Some((iri, next)) = scan_iri(&bytes, i) {
+                    tokens.push(Token::Iri(iri));
+                    i = next;
+                } else if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '?' | '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(SparqlError::Lex {
+                        position: i,
+                        message: "empty variable name".into(),
+                    });
+                }
+                tokens.push(Token::Variable(bytes[start..j].iter().collect()));
+                i = j;
+            }
+            '"' | '\'' => {
+                let (token, next) = scan_literal(&bytes, i)?;
+                tokens.push(token);
+                i = next;
+            }
+            c if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).map_or(false, |d| d.is_ascii_digit())) => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == '.') {
+                    // A trailing dot is the statement terminator, not part of
+                    // the number, unless followed by a digit.
+                    if bytes[j] == '.' && !bytes.get(j + 1).map_or(false, |d| d.is_ascii_digit()) {
+                        break;
+                    }
+                    j += 1;
+                }
+                tokens.push(Token::Numeric(bytes[start..j].iter().collect()));
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_alphanumeric() || bytes[j] == '_' || bytes[j] == '-')
+                {
+                    j += 1;
+                }
+                let word: String = bytes[start..j].iter().collect();
+                // Prefixed name?
+                if bytes.get(j) == Some(&':') {
+                    let local_start = j + 1;
+                    let mut k = local_start;
+                    while k < bytes.len()
+                        && (bytes[k].is_alphanumeric()
+                            || bytes[k] == '_'
+                            || bytes[k] == '-'
+                            || bytes[k] == ','
+                            || bytes[k] == '.')
+                    {
+                        k += 1;
+                    }
+                    // Trailing dot belongs to the statement, not the local name.
+                    let mut local_end = k;
+                    while local_end > local_start && bytes[local_end - 1] == '.' {
+                        local_end -= 1;
+                    }
+                    let local: String = bytes[local_start..local_end].iter().collect();
+                    tokens.push(Token::PrefixedName(word, local));
+                    i = local_end;
+                    continue;
+                }
+                let upper = word.to_ascii_uppercase();
+                if word == "a" {
+                    tokens.push(Token::A);
+                } else if KEYWORDS.contains(&upper.as_str()) {
+                    tokens.push(Token::Keyword(upper));
+                } else {
+                    // Bare word outside a prefixed name: treat as a parse-level
+                    // problem, but surface it as a keyword so the parser can
+                    // produce a targeted message.
+                    tokens.push(Token::Keyword(upper));
+                }
+                i = j;
+            }
+            ':' => {
+                // Prefixed name with empty prefix (":local").
+                let local_start = i + 1;
+                let mut k = local_start;
+                while k < bytes.len() && (bytes[k].is_alphanumeric() || bytes[k] == '_' || bytes[k] == '-') {
+                    k += 1;
+                }
+                let local: String = bytes[local_start..k].iter().collect();
+                tokens.push(Token::PrefixedName(String::new(), local));
+                i = k;
+            }
+            other => {
+                return Err(SparqlError::Lex {
+                    position: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Scan an IRIREF starting at `start` (which must be '<').  Returns `None`
+/// if the text does not look like an IRI (so '<' is the comparison operator).
+fn scan_iri(chars: &[char], start: usize) -> Option<(String, usize)> {
+    let mut j = start + 1;
+    let mut iri = String::new();
+    while j < chars.len() {
+        let c = chars[j];
+        if c == '>' {
+            return Some((iri, j + 1));
+        }
+        if c.is_whitespace() || c == '<' || c == '{' || c == '}' {
+            return None;
+        }
+        iri.push(c);
+        j += 1;
+    }
+    None
+}
+
+/// Scan a quoted string literal with optional `@lang` or `^^datatype` suffix.
+fn scan_literal(chars: &[char], start: usize) -> Result<(Token, usize), SparqlError> {
+    let quote = chars[start];
+    let mut j = start + 1;
+    let mut value = String::new();
+    let mut closed = false;
+    while j < chars.len() {
+        let c = chars[j];
+        if c == '\\' {
+            if let Some(&next) = chars.get(j + 1) {
+                value.push(match next {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                });
+                j += 2;
+                continue;
+            }
+        }
+        if c == quote {
+            closed = true;
+            j += 1;
+            break;
+        }
+        value.push(c);
+        j += 1;
+    }
+    if !closed {
+        return Err(SparqlError::Lex {
+            position: start,
+            message: "unterminated string literal".into(),
+        });
+    }
+    // Optional language tag.
+    if chars.get(j) == Some(&'@') {
+        let lang_start = j + 1;
+        let mut k = lang_start;
+        while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '-') {
+            k += 1;
+        }
+        let language: String = chars[lang_start..k].iter().collect();
+        return Ok((
+            Token::Literal {
+                value,
+                language: Some(language),
+                datatype: None,
+            },
+            k,
+        ));
+    }
+    // Optional datatype.
+    if chars.get(j) == Some(&'^') && chars.get(j + 1) == Some(&'^') {
+        let dt_start = j + 2;
+        if chars.get(dt_start) == Some(&'<') {
+            if let Some((iri, next)) = scan_iri(chars, dt_start) {
+                return Ok((
+                    Token::Literal {
+                        value,
+                        language: None,
+                        datatype: Some(DatatypeRef::Iri(iri)),
+                    },
+                    next,
+                ));
+            }
+            return Err(SparqlError::Lex {
+                position: dt_start,
+                message: "malformed datatype IRI".into(),
+            });
+        }
+        // prefixed datatype
+        let mut k = dt_start;
+        while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_') {
+            k += 1;
+        }
+        if chars.get(k) == Some(&':') {
+            let prefix: String = chars[dt_start..k].iter().collect();
+            let local_start = k + 1;
+            let mut m = local_start;
+            while m < chars.len() && (chars[m].is_alphanumeric() || chars[m] == '_') {
+                m += 1;
+            }
+            let local: String = chars[local_start..m].iter().collect();
+            return Ok((
+                Token::Literal {
+                    value,
+                    language: None,
+                    datatype: Some(DatatypeRef::Prefixed(prefix, local)),
+                },
+                m,
+            ));
+        }
+        return Err(SparqlError::Lex {
+            position: dt_start,
+            message: "malformed datatype".into(),
+        });
+    }
+    Ok((
+        Token::Literal {
+            value,
+            language: None,
+            datatype: None,
+        },
+        j,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_select() {
+        let toks = tokenize("SELECT ?sea WHERE { ?sea <http://e/p> \"x\" . }").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Variable("sea".into()));
+        assert_eq!(toks[2], Token::Keyword("WHERE".into()));
+        assert_eq!(toks[3], Token::LBrace);
+        assert!(matches!(toks[5], Token::Iri(ref iri) if iri == "http://e/p"));
+        assert!(matches!(toks[6], Token::Literal { ref value, .. } if value == "x"));
+        assert_eq!(toks[7], Token::Dot);
+        assert_eq!(toks[8], Token::RBrace);
+    }
+
+    #[test]
+    fn tokenizes_prefixed_names_and_a() {
+        let toks = tokenize("?s a dbo:Sea").unwrap();
+        assert_eq!(toks[1], Token::A);
+        assert_eq!(toks[2], Token::PrefixedName("dbo".into(), "Sea".into()));
+    }
+
+    #[test]
+    fn prefixed_name_with_trailing_dot_leaves_dot_as_terminator() {
+        let toks = tokenize("?s dbo:spouse dbr:Diana .").unwrap();
+        assert_eq!(toks[2], Token::PrefixedName("dbr".into(), "Diana".into()));
+        assert_eq!(*toks.last().unwrap(), Token::Dot);
+    }
+
+    #[test]
+    fn tokenizes_typed_and_lang_literals() {
+        let toks = tokenize(r#""Baltic Sea"@en "42"^^<http://www.w3.org/2001/XMLSchema#integer> "3"^^xsd:integer"#).unwrap();
+        assert!(matches!(
+            &toks[0],
+            Token::Literal { value, language: Some(lang), .. } if value == "Baltic Sea" && lang == "en"
+        ));
+        assert!(matches!(
+            &toks[1],
+            Token::Literal { datatype: Some(DatatypeRef::Iri(dt)), .. } if dt.ends_with("integer")
+        ));
+        assert!(matches!(
+            &toks[2],
+            Token::Literal { datatype: Some(DatatypeRef::Prefixed(p, l)), .. } if p == "xsd" && l == "integer"
+        ));
+    }
+
+    #[test]
+    fn tokenizes_filter_operators() {
+        let toks = tokenize("FILTER (?x >= 10 && ?y != ?z || !(?w < 3))").unwrap();
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::And));
+        assert!(toks.contains(&Token::Neq));
+        assert!(toks.contains(&Token::Or));
+        assert!(toks.contains(&Token::Not));
+        assert!(toks.contains(&Token::Lt));
+    }
+
+    #[test]
+    fn tokenizes_numbers_before_statement_dot() {
+        let toks = tokenize("?x ?p 42 . ?y ?q 3.5 .").unwrap();
+        assert!(toks.contains(&Token::Numeric("42".into())));
+        assert!(toks.contains(&Token::Numeric("3.5".into())));
+        assert_eq!(toks.iter().filter(|t| **t == Token::Dot).count(), 2);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("# a comment\nSELECT ?x WHERE { }").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+    }
+
+    #[test]
+    fn unterminated_literal_is_an_error() {
+        assert!(tokenize("\"oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        assert!(tokenize("SELECT @").is_err());
+    }
+
+    #[test]
+    fn bif_contains_iri_form_is_lexed_as_iri() {
+        let toks = tokenize("?d <bif:contains> \"'danish' OR 'straits'\"").unwrap();
+        assert!(matches!(&toks[1], Token::Iri(iri) if iri == "bif:contains"));
+    }
+}

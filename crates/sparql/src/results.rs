@@ -1,0 +1,245 @@
+//! Query results: variable bindings, solution sequences and ASK booleans.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use kgqan_rdf::Term;
+
+/// A single solution: a mapping from variable names to terms.
+///
+/// Backed by a `BTreeMap` so that iteration order — and therefore result
+/// serialization — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Binding {
+    values: BTreeMap<String, Term>,
+}
+
+impl Binding {
+    /// An empty binding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a variable to a term, returning the updated binding.
+    pub fn with(mut self, var: impl Into<String>, term: Term) -> Self {
+        self.values.insert(var.into(), term);
+        self
+    }
+
+    /// Bind a variable to a term in place.
+    pub fn set(&mut self, var: impl Into<String>, term: Term) {
+        self.values.insert(var.into(), term);
+    }
+
+    /// The term bound to `var`, if any.
+    pub fn get(&self, var: &str) -> Option<&Term> {
+        self.values.get(var)
+    }
+
+    /// True if `var` is bound.
+    pub fn is_bound(&self, var: &str) -> bool {
+        self.values.contains_key(var)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate over `(variable, term)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Term)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merge another binding into this one.  Returns `None` if the two
+    /// bindings disagree on any shared variable (join incompatibility).
+    pub fn merge(&self, other: &Binding) -> Option<Binding> {
+        let mut merged = self.clone();
+        for (var, term) in &other.values {
+            match merged.values.get(var) {
+                Some(existing) if existing != term => return None,
+                _ => {
+                    merged.values.insert(var.clone(), term.clone());
+                }
+            }
+        }
+        Some(merged)
+    }
+
+    /// Project the binding onto a set of variables (drops everything else).
+    pub fn project(&self, variables: &[String]) -> Binding {
+        let mut out = Binding::new();
+        for v in variables {
+            if let Some(t) = self.values.get(v) {
+                out.values.insert(v.clone(), t.clone());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (var, term)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "?{var} = {term}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// An ordered sequence of solutions with a projection header.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResultSet {
+    variables: Vec<String>,
+    rows: Vec<Binding>,
+}
+
+impl ResultSet {
+    /// Construct a result set.
+    pub fn new(variables: Vec<String>, rows: Vec<Binding>) -> Self {
+        ResultSet { variables, rows }
+    }
+
+    /// The projected variable names.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// The solution rows.
+    pub fn rows(&self) -> &[Binding] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All terms bound to `var` across the rows, in row order, skipping
+    /// unbound rows.  This is how KGQAn collects candidate answers.
+    pub fn column(&self, var: &str) -> Vec<Term> {
+        self.rows.iter().filter_map(|b| b.get(var).cloned()).collect()
+    }
+}
+
+/// The result of executing a query: a solution sequence for SELECT, or a
+/// boolean for ASK.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryResults {
+    /// SELECT results.
+    Solutions(ResultSet),
+    /// ASK result.
+    Boolean(bool),
+}
+
+impl QueryResults {
+    /// The solution sequence, if this is a SELECT result.
+    pub fn as_solutions(&self) -> Option<&ResultSet> {
+        match self {
+            QueryResults::Solutions(rs) => Some(rs),
+            QueryResults::Boolean(_) => None,
+        }
+    }
+
+    /// The boolean, if this is an ASK result.
+    pub fn as_boolean(&self) -> Option<bool> {
+        match self {
+            QueryResults::Boolean(b) => Some(*b),
+            QueryResults::Solutions(_) => None,
+        }
+    }
+
+    /// Convenience accessor used throughout the harness: the rows of a
+    /// SELECT result, or an empty slice for ASK.
+    pub fn rows(&self) -> &[Binding] {
+        match self {
+            QueryResults::Solutions(rs) => rs.rows(),
+            QueryResults::Boolean(_) => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_set_get_and_display() {
+        let b = Binding::new()
+            .with("sea", Term::iri("http://e/Baltic_Sea"))
+            .with("type", Term::iri("http://e/Sea"));
+        assert!(b.is_bound("sea"));
+        assert!(!b.is_bound("missing"));
+        assert_eq!(b.len(), 2);
+        let shown = b.to_string();
+        assert!(shown.contains("?sea"));
+        assert!(shown.contains("?type"));
+    }
+
+    #[test]
+    fn merge_compatible_and_incompatible() {
+        let a = Binding::new().with("x", Term::iri("http://e/1"));
+        let b = Binding::new().with("y", Term::iri("http://e/2"));
+        let merged = a.merge(&b).unwrap();
+        assert_eq!(merged.len(), 2);
+
+        let conflicting = Binding::new().with("x", Term::iri("http://e/other"));
+        assert!(a.merge(&conflicting).is_none());
+
+        // Agreeing on the shared variable is fine.
+        let agreeing = Binding::new()
+            .with("x", Term::iri("http://e/1"))
+            .with("z", Term::iri("http://e/3"));
+        assert_eq!(a.merge(&agreeing).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn project_keeps_only_requested_vars() {
+        let b = Binding::new()
+            .with("x", Term::iri("http://e/1"))
+            .with("y", Term::iri("http://e/2"));
+        let p = b.project(&["x".to_string(), "missing".to_string()]);
+        assert_eq!(p.len(), 1);
+        assert!(p.is_bound("x"));
+    }
+
+    #[test]
+    fn result_set_column_extraction() {
+        let rows = vec![
+            Binding::new().with("a", Term::integer(1)),
+            Binding::new().with("a", Term::integer(2)).with("b", Term::integer(3)),
+            Binding::new().with("b", Term::integer(4)),
+        ];
+        let rs = ResultSet::new(vec!["a".into(), "b".into()], rows);
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.column("a").len(), 2);
+        assert_eq!(rs.column("b").len(), 2);
+        assert_eq!(rs.column("c").len(), 0);
+    }
+
+    #[test]
+    fn query_results_accessors() {
+        let rs = QueryResults::Solutions(ResultSet::new(vec!["x".into()], vec![]));
+        assert!(rs.as_solutions().is_some());
+        assert!(rs.as_boolean().is_none());
+        assert!(rs.rows().is_empty());
+
+        let b = QueryResults::Boolean(true);
+        assert_eq!(b.as_boolean(), Some(true));
+        assert!(b.as_solutions().is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the evaluation machinery (the QALD-style metrics
+//! of §7.1.3 and the Table 5 taxonomy): whatever a system returns, the
+//! computed scores must satisfy the metric invariants.
+
+use kgqan_benchmarks::benchmark::{Benchmark, BenchmarkQuestion, LinkingGold, QueryShape, QuestionCategory};
+use kgqan_benchmarks::eval::{evaluate, score_question, SystemAnswer};
+use kgqan_benchmarks::taxonomy::TaxonomyCounts;
+use kgqan_benchmarks::KgFlavor;
+use kgqan_rdf::Term;
+use proptest::prelude::*;
+
+fn term(i: u32) -> Term {
+    Term::iri(format!("http://example.org/answer/{i}"))
+}
+
+fn arb_question(id: usize) -> impl Strategy<Value = BenchmarkQuestion> {
+    (
+        prop::collection::btree_set(0u32..20, 1..5),
+        prop::option::of(any::<bool>()),
+        0usize..4,
+        any::<bool>(),
+    )
+        .prop_map(move |(gold, boolean, category, path)| BenchmarkQuestion {
+            id,
+            text: format!("question {id}"),
+            gold_sparql: String::new(),
+            gold_answers: if boolean.is_some() {
+                vec![]
+            } else {
+                gold.iter().map(|&i| term(i)).collect()
+            },
+            gold_boolean: boolean,
+            category: QuestionCategory::ALL[category],
+            shape: if path { QueryShape::Path } else { QueryShape::Star },
+            linking: LinkingGold::default(),
+        })
+}
+
+fn arb_answer() -> impl Strategy<Value = SystemAnswer> {
+    (
+        prop::collection::btree_set(0u32..20, 0..6),
+        prop::option::of(any::<bool>()),
+        any::<bool>(),
+    )
+        .prop_map(|(answers, boolean, understanding_ok)| SystemAnswer {
+            answers: answers.iter().map(|&i| term(i)).collect(),
+            boolean,
+            understanding_ok,
+            phase_seconds: None,
+        })
+}
+
+proptest! {
+    /// Per-question precision, recall and F1 always lie in [0, 1], and F1 is
+    /// zero exactly when precision + recall is zero.
+    #[test]
+    fn per_question_scores_are_bounded(q in arb_question(0), a in arb_answer()) {
+        let r = score_question(&q, &a);
+        prop_assert!((0.0..=1.0).contains(&r.precision));
+        prop_assert!((0.0..=1.0).contains(&r.recall));
+        prop_assert!((0.0..=1.0).contains(&r.f1));
+        if r.precision + r.recall == 0.0 {
+            prop_assert_eq!(r.f1, 0.0);
+        } else {
+            prop_assert!(r.f1 > 0.0);
+        }
+        prop_assert!(r.f1 <= r.precision.max(r.recall) + 1e-9);
+    }
+
+    /// Returning exactly the gold answers scores a perfect 1/1/1.
+    #[test]
+    fn perfect_answers_score_one(q in arb_question(0)) {
+        let answer = SystemAnswer {
+            answers: q.gold_answers.clone(),
+            boolean: q.gold_boolean,
+            understanding_ok: true,
+            phase_seconds: None,
+        };
+        let r = score_question(&q, &answer);
+        prop_assert!((r.f1 - 1.0).abs() < 1e-9);
+        prop_assert!((r.precision - 1.0).abs() < 1e-9);
+        prop_assert!((r.recall - 1.0).abs() < 1e-9);
+    }
+
+    /// Macro metrics are bounded, the failure counts are consistent, and the
+    /// taxonomy cells add up to the benchmark size.
+    #[test]
+    fn benchmark_level_invariants(
+        questions in prop::collection::vec(arb_question(0), 1..12),
+        answers in prop::collection::vec(arb_answer(), 0..12),
+    ) {
+        // Re-number the questions so ids match their position.
+        let questions: Vec<BenchmarkQuestion> = questions
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut q)| {
+                q.id = i;
+                q
+            })
+            .collect();
+        let benchmark = Benchmark {
+            name: "prop".into(),
+            flavor: KgFlavor::Dbpedia10,
+            questions,
+        };
+        let report = evaluate(&benchmark, "system", &answers);
+        prop_assert!((0.0..=1.0).contains(&report.macro_precision));
+        prop_assert!((0.0..=1.0).contains(&report.macro_recall));
+        prop_assert!((0.0..=1.0).contains(&report.macro_f1));
+        prop_assert!(report.failures.total_failures <= benchmark.len());
+        prop_assert!(
+            report.failures.due_to_question_understanding <= report.failures.total_failures
+        );
+        prop_assert_eq!(report.per_question.len(), benchmark.len());
+        prop_assert!(report.solved() + report.failures.total_failures <= benchmark.len() * 2);
+
+        let taxonomy = TaxonomyCounts::compute(&benchmark, &report);
+        let shape_total: usize = taxonomy.by_shape.iter().map(|(_, c)| c.total).sum();
+        let category_total: usize = taxonomy.by_category.iter().map(|(_, c)| c.total).sum();
+        prop_assert_eq!(shape_total, benchmark.len());
+        prop_assert_eq!(category_total, benchmark.len());
+        let shape_solved: usize = taxonomy.by_shape.iter().map(|(_, c)| c.solved).sum();
+        prop_assert_eq!(shape_solved, report.solved());
+    }
+}
