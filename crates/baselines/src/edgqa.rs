@@ -145,7 +145,7 @@ impl EdgqaSystem {
                 }
             }
         }
-        candidates.sort_by(|a, b| b.1.cmp(&a.1));
+        candidates.sort_by_key(|(_, overlap)| std::cmp::Reverse(*overlap));
         candidates.into_iter().map(|(p, _)| p).collect()
     }
 }
@@ -198,8 +198,7 @@ impl QaSystem for EdgqaSystem {
         )) {
             for row in results.rows() {
                 if let Some(c @ Term::Iri(iri)) = row.get("c") {
-                    self.classes
-                        .insert(local_name_words(iri), c.clone());
+                    self.classes.insert(local_name_words(iri), c.clone());
                     indexed_items += 1;
                 }
             }

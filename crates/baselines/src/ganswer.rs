@@ -260,12 +260,7 @@ mod tests {
         let (kg, ep) = dbpedia();
         let mut sys = GAnswerSystem::new();
         sys.preprocess(&ep);
-        let person = kg
-            .facts
-            .people
-            .iter()
-            .find(|p| p.spouse.is_some())
-            .unwrap();
+        let person = kg.facts.people.iter().find(|p| p.spouse.is_some()).unwrap();
         let spouse = &kg.facts.people[person.spouse.unwrap()];
         let response = sys.answer(&format!("Who is the spouse of {}?", person.name), &ep);
         assert!(response.understanding_ok);

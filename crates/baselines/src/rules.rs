@@ -73,7 +73,11 @@ pub fn is_boolean_question(tokens: &[Token]) -> bool {
 /// systems brittle on questions where the relation is buried in a
 /// subordinate clause ("Name the person who is married to …" → the rules
 /// pick "person"), which is the QU failure mode Figure 8 attributes to them.
-pub fn relation_phrase(tokens: &[Token], entities: &[String], type_word: Option<&str>) -> Option<String> {
+pub fn relation_phrase(
+    tokens: &[Token],
+    entities: &[String],
+    type_word: Option<&str>,
+) -> Option<String> {
     let entity_words: Vec<String> = entities
         .iter()
         .flat_map(|e| e.split(' ').map(|w| w.to_lowercase()))

@@ -19,7 +19,9 @@ fn affinity(c: &mut Criterion) {
     ];
 
     let mut group = c.benchmark_group("semantic_affinity");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("fine_grained_eq1", |b| {
         b.iter(|| pairs.iter().map(|(a, x)| fg.score(a, x)).sum::<f32>())
     });

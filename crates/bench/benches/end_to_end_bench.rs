@@ -21,7 +21,9 @@ fn end_to_end(c: &mut Criterion) {
     let typed = format!("Which city is the capital of {}?", country.name);
 
     let mut group = c.benchmark_group("kgqan_end_to_end");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("single_fact_question", |b| {
         b.iter(|| platform.answer(&single, &endpoint).unwrap())
     });

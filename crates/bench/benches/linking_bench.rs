@@ -30,7 +30,9 @@ fn jit_linking(c: &mut Criterion) {
     ]);
 
     let mut group = c.benchmark_group("jit_linking");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("single_fact_pgp", |b| {
         b.iter(|| linker.link(&single, &endpoint).unwrap())
     });

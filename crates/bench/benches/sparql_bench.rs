@@ -17,7 +17,9 @@ fn parsing(c: &mut Criterion) {
           FILTER (CONTAINS(?name, "sea") && ?pop > 100)
         } LIMIT 40"#;
     let mut group = c.benchmark_group("sparql_parse");
-    group.sample_size(50).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("figure1_style_query", |b| {
         b.iter(|| parse_query(query).unwrap())
     });
@@ -31,7 +33,9 @@ fn execution(c: &mut Criterion) {
     let voc = kg.predicates.as_ref().unwrap();
 
     let mut group = c.benchmark_group("sparql_execute");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     let single = format!(
         "SELECT ?u WHERE {{ <{}> <{}> ?u . }}",

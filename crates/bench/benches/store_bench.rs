@@ -12,7 +12,9 @@ fn load_store(c: &mut Criterion) {
     let kg = GeneratedKg::generate(KgFlavor::Dbpedia10, KgScale::tiny());
     let triples: Vec<_> = kg.store.iter().collect();
     let mut group = c.benchmark_group("store_load");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function(BenchmarkId::new("insert_all", triples.len()), |b| {
         b.iter(|| {
             let mut store = Store::new();
@@ -32,7 +34,9 @@ fn pattern_matching(c: &mut Criterion) {
     let some_person = kg.facts.people[17].iri.clone();
 
     let mut group = c.benchmark_group("store_pattern_matching");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for (name, store) in [("six_way", &six), ("three_way", &three)] {
         group.bench_function(BenchmarkId::new("by_predicate", name), |b| {
             let pattern = TriplePattern::any().with_predicate(label.clone());
@@ -51,7 +55,9 @@ fn pattern_matching(c: &mut Criterion) {
 fn text_search(c: &mut Criterion) {
     let kg = GeneratedKg::generate(KgFlavor::Mag, KgScale::tiny());
     let mut group = c.benchmark_group("store_text_search");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("potential_relevant_vertices", |b| {
         b.iter(|| {
             kg.store

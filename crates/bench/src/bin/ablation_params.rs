@@ -22,25 +22,37 @@ fn main() {
     let instance = BenchmarkSuite::build_one(KgFlavor::Dbpedia10, scale);
 
     let configurations: Vec<(String, KgqanConfig)> = vec![
-        ("defaults (maxVR=400, k_v=1, k_p=20, k_q=40)".into(), KgqanConfig::default()),
+        (
+            "defaults (maxVR=400, k_v=1, k_p=20, k_q=40)".into(),
+            KgqanConfig::default(),
+        ),
         (
             "maxVR=50".into(),
             KgqanConfig {
-                linker: LinkerConfig { max_fetched_vertices: 50, ..LinkerConfig::default() },
+                linker: LinkerConfig {
+                    max_fetched_vertices: 50,
+                    ..LinkerConfig::default()
+                },
                 ..KgqanConfig::default()
             },
         ),
         (
             "k_v=3 vertices per node".into(),
             KgqanConfig {
-                linker: LinkerConfig { num_vertices: 3, ..LinkerConfig::default() },
+                linker: LinkerConfig {
+                    num_vertices: 3,
+                    ..LinkerConfig::default()
+                },
                 ..KgqanConfig::default()
             },
         ),
         (
             "k_p=5 predicates per edge".into(),
             KgqanConfig {
-                linker: LinkerConfig { num_predicates: 5, ..LinkerConfig::default() },
+                linker: LinkerConfig {
+                    num_predicates: 5,
+                    ..LinkerConfig::default()
+                },
                 ..KgqanConfig::default()
             },
         ),

@@ -8,7 +8,9 @@
 
 use kgqan::QuestionUnderstanding;
 use kgqan_baselines::QaSystem;
-use kgqan_bench::harness::{build_systems, default_kgqan_config, parse_scale, run_system_on_benchmark};
+use kgqan_bench::harness::{
+    build_systems, default_kgqan_config, parse_scale, run_system_on_benchmark,
+};
 use kgqan_bench::published::PAPER_FIGURE7_TOTAL_SECONDS;
 use kgqan_bench::table::{secs, TableWriter};
 use kgqan_benchmarks::{BenchmarkSuite, KgFlavor};

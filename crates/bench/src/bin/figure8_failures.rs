@@ -8,7 +8,9 @@
 
 use kgqan::QuestionUnderstanding;
 use kgqan_baselines::QaSystem;
-use kgqan_bench::harness::{build_systems, default_kgqan_config, parse_scale, run_system_on_benchmark};
+use kgqan_bench::harness::{
+    build_systems, default_kgqan_config, parse_scale, run_system_on_benchmark,
+};
 use kgqan_bench::table::TableWriter;
 use kgqan_benchmarks::{BenchmarkSuite, KgFlavor};
 
@@ -18,7 +20,12 @@ fn main() {
     println!("Figure 8 — failing questions per benchmark (scale: {scale:?})");
 
     // Figure 8 covers QALD-9, YAGO, DBLP and MAG.
-    let flavors = [KgFlavor::Dbpedia10, KgFlavor::Yago, KgFlavor::Dblp, KgFlavor::Mag];
+    let flavors = [
+        KgFlavor::Dbpedia10,
+        KgFlavor::Yago,
+        KgFlavor::Dblp,
+        KgFlavor::Mag,
+    ];
 
     let mut table = TableWriter::new(&[
         "Benchmark",

@@ -8,7 +8,9 @@
 //! ```
 
 use kgqan::QuestionUnderstanding;
-use kgqan_bench::harness::{build_systems, default_kgqan_config, parse_scale, run_system_on_benchmark};
+use kgqan_bench::harness::{
+    build_systems, default_kgqan_config, parse_scale, run_system_on_benchmark,
+};
 use kgqan_bench::linking_eval::{evaluate_linking, LinkerUnderTest};
 use kgqan_bench::table::{pct, TableWriter};
 use kgqan_benchmarks::{BenchmarkSuite, KgFlavor};
@@ -16,7 +18,9 @@ use kgqan_benchmarks::{BenchmarkSuite, KgFlavor};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = parse_scale(&args);
-    println!("Figure 9 — entity and relation linking on the LC-QuAD-like benchmark (scale: {scale:?})");
+    println!(
+        "Figure 9 — entity and relation linking on the LC-QuAD-like benchmark (scale: {scale:?})"
+    );
 
     let instance = BenchmarkSuite::build_one(KgFlavor::Dbpedia04, scale);
     let systems = build_systems(
@@ -37,8 +41,16 @@ fn main() {
     ]);
 
     let runs: Vec<(&str, LinkerUnderTest, &dyn kgqan_baselines::QaSystem)> = vec![
-        ("gAnswer", LinkerUnderTest::GAnswer(&systems.ganswer), &systems.ganswer),
-        ("EDGQA", LinkerUnderTest::Edgqa(&systems.edgqa), &systems.edgqa),
+        (
+            "gAnswer",
+            LinkerUnderTest::GAnswer(&systems.ganswer),
+            &systems.ganswer,
+        ),
+        (
+            "EDGQA",
+            LinkerUnderTest::Edgqa(&systems.edgqa),
+            &systems.edgqa,
+        ),
         ("KGQAn", LinkerUnderTest::Kgqan, &systems.kgqan),
     ];
 

@@ -6,7 +6,9 @@
 //! ```
 
 use kgqan::QuestionUnderstanding;
-use kgqan_bench::harness::{build_systems, default_kgqan_config, parse_scale, run_system_on_benchmark};
+use kgqan_bench::harness::{
+    build_systems, default_kgqan_config, parse_scale, run_system_on_benchmark,
+};
 use kgqan_bench::published::{
     NSQA_LCQUAD, NSQA_QALD9, PAPER_EDGQA_TABLE3, PAPER_GANSWER_TABLE3, PAPER_KGQAN_TABLE3,
 };
@@ -47,7 +49,14 @@ fn main() {
                 format!("{:.2}", NSQA_LCQUAD.f1),
                 format!("{:.2}", NSQA_LCQUAD.f1),
             ]),
-            _ => table.row(&[name.clone(), "NSQA (published)".into(), "-".into(), "-".into(), "-".into(), "-".into()]),
+            _ => table.row(&[
+                name.clone(),
+                "NSQA (published)".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         }
 
         let paper_f1 = |rows: &[(&str, kgqan_bench::published::PublishedPRF)]| {

@@ -20,9 +20,21 @@ fn main() {
     println!("Table 4 — KGQAn F1 under different QU / affinity models (scale: {scale:?})");
 
     let variants: [(&str, Seq2SeqVariant, AffinityModel); 3] = [
-        ("QU: BART, SA: FG", Seq2SeqVariant::BartLike, AffinityModel::FineGrained),
-        ("QU: GPT-3, SA: FG", Seq2SeqVariant::Gpt3Like, AffinityModel::FineGrained),
-        ("QU: BART, SA: GPT-3 CG", Seq2SeqVariant::BartLike, AffinityModel::CoarseGrained),
+        (
+            "QU: BART, SA: FG",
+            Seq2SeqVariant::BartLike,
+            AffinityModel::FineGrained,
+        ),
+        (
+            "QU: GPT-3, SA: FG",
+            Seq2SeqVariant::Gpt3Like,
+            AffinityModel::FineGrained,
+        ),
+        (
+            "QU: BART, SA: GPT-3 CG",
+            Seq2SeqVariant::BartLike,
+            AffinityModel::CoarseGrained,
+        ),
     ];
 
     let mut table = TableWriter::new(&[

@@ -7,19 +7,26 @@
 
 use kgqan::QuestionUnderstanding;
 use kgqan_baselines::QaSystem;
-use kgqan_bench::harness::{build_systems, default_kgqan_config, parse_scale, run_system_on_benchmark};
-use kgqan_bench::table::TableWriter;
-use kgqan_benchmarks::{
-    BenchmarkSuite, KgFlavor, QueryShape, QuestionCategory, TaxonomyCounts,
+use kgqan_bench::harness::{
+    build_systems, default_kgqan_config, parse_scale, run_system_on_benchmark,
 };
+use kgqan_bench::table::TableWriter;
+use kgqan_benchmarks::{BenchmarkSuite, KgFlavor, QueryShape, QuestionCategory, TaxonomyCounts};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = parse_scale(&args);
-    println!("Table 5 — solved questions by SPARQL shape and linguistic category (scale: {scale:?})");
+    println!(
+        "Table 5 — solved questions by SPARQL shape and linguistic category (scale: {scale:?})"
+    );
 
     // Table 5 covers QALD-9 plus the three unseen benchmarks.
-    let flavors = [KgFlavor::Dbpedia10, KgFlavor::Yago, KgFlavor::Dblp, KgFlavor::Mag];
+    let flavors = [
+        KgFlavor::Dbpedia10,
+        KgFlavor::Yago,
+        KgFlavor::Dblp,
+        KgFlavor::Mag,
+    ];
 
     let mut table = TableWriter::new(&[
         "Benchmark",
@@ -43,7 +50,8 @@ fn main() {
         for system in evaluated {
             let (report, _) = run_system_on_benchmark(system, &instance);
             let taxonomy = TaxonomyCounts::compute(&instance.benchmark, &report);
-            let cell = |c: kgqan_benchmarks::taxonomy::CellCount| format!("{}/{}", c.solved, c.total);
+            let cell =
+                |c: kgqan_benchmarks::taxonomy::CellCount| format!("{}/{}", c.solved, c.total);
             table.row(&[
                 instance.benchmark.name.clone(),
                 report.system.clone(),

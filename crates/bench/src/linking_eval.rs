@@ -7,8 +7,8 @@
 //! evaluation asks each system's linker to resolve the gold phrases and
 //! scores the result with precision / recall / F1 over the returned sets.
 
-use kgqan::{FineGrainedAffinity, JitLinker, LinkerConfig};
 use kgqan::pgp::PhraseGraphPattern;
+use kgqan::{FineGrainedAffinity, JitLinker, LinkerConfig};
 use kgqan_baselines::{EdgqaSystem, GAnswerSystem};
 use kgqan_benchmarks::suite::BenchmarkInstance;
 use kgqan_nlp::{PhraseNode, PhraseTriplePattern};
@@ -42,7 +42,11 @@ fn prf(correct: usize, returned: usize, gold: usize) -> (f64, f64, f64) {
     } else {
         correct as f64 / gold as f64
     };
-    let f1 = if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+    let f1 = if p + r > 0.0 {
+        2.0 * p * r / (p + r)
+    } else {
+        0.0
+    };
     (p, r, f1)
 }
 
@@ -126,7 +130,9 @@ pub fn evaluate_linking(linker: &LinkerUnderTest, instance: &BenchmarkInstance) 
                         })
                         .unwrap_or_default()
                 }
-                LinkerUnderTest::GAnswer(sys) => sys.link_relation(phrase).into_iter().take(1).collect(),
+                LinkerUnderTest::GAnswer(sys) => {
+                    sys.link_relation(phrase).into_iter().take(1).collect()
+                }
                 LinkerUnderTest::Edgqa(sys) => {
                     let Some((_, gold_entity)) = question.linking.entities.first() else {
                         continue;
@@ -170,8 +176,14 @@ mod tests {
     fn kgqan_linking_is_strong_on_lcquad_like_benchmark() {
         let instance = BenchmarkSuite::build_one(KgFlavor::Dbpedia04, SuiteScale::Smoke);
         let kgqan_scores = evaluate_linking(&LinkerUnderTest::Kgqan, &instance);
-        assert!(kgqan_scores.entity_f1 > 0.5, "KGQAn entity linking too weak: {kgqan_scores:?}");
-        assert!(kgqan_scores.relation_f1 > 0.3, "KGQAn relation linking too weak: {kgqan_scores:?}");
+        assert!(
+            kgqan_scores.entity_f1 > 0.5,
+            "KGQAn entity linking too weak: {kgqan_scores:?}"
+        );
+        assert!(
+            kgqan_scores.relation_f1 > 0.3,
+            "KGQAn relation linking too weak: {kgqan_scores:?}"
+        );
     }
 
     #[test]
@@ -185,8 +197,14 @@ mod tests {
         ganswer.preprocess(instance.endpoint.as_ref());
         let ganswer_scores = evaluate_linking(&LinkerUnderTest::GAnswer(&ganswer), &instance);
         assert!(kgqan_scores.entity_f1 > ganswer_scores.entity_f1);
-        assert!(kgqan_scores.entity_f1 > 0.4, "KGQAn should still link on MAG: {kgqan_scores:?}");
-        assert!(ganswer_scores.entity_f1 < 0.1, "gAnswer should fail on MAG: {ganswer_scores:?}");
+        assert!(
+            kgqan_scores.entity_f1 > 0.4,
+            "KGQAn should still link on MAG: {kgqan_scores:?}"
+        );
+        assert!(
+            ganswer_scores.entity_f1 < 0.1,
+            "gAnswer should fail on MAG: {ganswer_scores:?}"
+        );
     }
 
     #[test]

@@ -36,29 +36,134 @@ pub const NSQA_LCQUAD: PublishedPRF = PublishedPRF {
 
 /// Paper-reported KGQAn rows of Table 3, keyed by benchmark name.
 pub const PAPER_KGQAN_TABLE3: &[(&str, PublishedPRF)] = &[
-    ("QALD-9", PublishedPRF { precision: 51.13, recall: 38.72, f1: 44.07 }),
-    ("LC-QuAD 1.0", PublishedPRF { precision: 58.71, recall: 46.11, f1: 51.65 }),
-    ("YAGO-Bench", PublishedPRF { precision: 48.48, recall: 65.22, f1: 55.62 }),
-    ("DBLP-Bench", PublishedPRF { precision: 57.87, recall: 52.02, f1: 54.79 }),
-    ("MAG-Bench", PublishedPRF { precision: 55.43, recall: 45.61, f1: 50.05 }),
+    (
+        "QALD-9",
+        PublishedPRF {
+            precision: 51.13,
+            recall: 38.72,
+            f1: 44.07,
+        },
+    ),
+    (
+        "LC-QuAD 1.0",
+        PublishedPRF {
+            precision: 58.71,
+            recall: 46.11,
+            f1: 51.65,
+        },
+    ),
+    (
+        "YAGO-Bench",
+        PublishedPRF {
+            precision: 48.48,
+            recall: 65.22,
+            f1: 55.62,
+        },
+    ),
+    (
+        "DBLP-Bench",
+        PublishedPRF {
+            precision: 57.87,
+            recall: 52.02,
+            f1: 54.79,
+        },
+    ),
+    (
+        "MAG-Bench",
+        PublishedPRF {
+            precision: 55.43,
+            recall: 45.61,
+            f1: 50.05,
+        },
+    ),
 ];
 
 /// Paper-reported gAnswer rows of Table 3.
 pub const PAPER_GANSWER_TABLE3: &[(&str, PublishedPRF)] = &[
-    ("QALD-9", PublishedPRF { precision: 29.34, recall: 32.68, f1: 29.81 }),
-    ("LC-QuAD 1.0", PublishedPRF { precision: 82.21, recall: 4.31, f1: 8.18 }),
-    ("YAGO-Bench", PublishedPRF { precision: 58.49, recall: 34.05, f1: 43.04 }),
-    ("DBLP-Bench", PublishedPRF { precision: 78.00, recall: 2.00, f1: 3.90 }),
-    ("MAG-Bench", PublishedPRF { precision: 0.0, recall: 0.0, f1: 0.0 }),
+    (
+        "QALD-9",
+        PublishedPRF {
+            precision: 29.34,
+            recall: 32.68,
+            f1: 29.81,
+        },
+    ),
+    (
+        "LC-QuAD 1.0",
+        PublishedPRF {
+            precision: 82.21,
+            recall: 4.31,
+            f1: 8.18,
+        },
+    ),
+    (
+        "YAGO-Bench",
+        PublishedPRF {
+            precision: 58.49,
+            recall: 34.05,
+            f1: 43.04,
+        },
+    ),
+    (
+        "DBLP-Bench",
+        PublishedPRF {
+            precision: 78.00,
+            recall: 2.00,
+            f1: 3.90,
+        },
+    ),
+    (
+        "MAG-Bench",
+        PublishedPRF {
+            precision: 0.0,
+            recall: 0.0,
+            f1: 0.0,
+        },
+    ),
 ];
 
 /// Paper-reported EDGQA rows of Table 3.
 pub const PAPER_EDGQA_TABLE3: &[(&str, PublishedPRF)] = &[
-    ("QALD-9", PublishedPRF { precision: 31.30, recall: 40.30, f1: 32.00 }),
-    ("LC-QuAD 1.0", PublishedPRF { precision: 50.50, recall: 56.00, f1: 53.10 }),
-    ("YAGO-Bench", PublishedPRF { precision: 41.90, recall: 40.80, f1: 41.40 }),
-    ("DBLP-Bench", PublishedPRF { precision: 8.00, recall: 8.00, f1: 8.00 }),
-    ("MAG-Bench", PublishedPRF { precision: 4.00, recall: 4.00, f1: 4.00 }),
+    (
+        "QALD-9",
+        PublishedPRF {
+            precision: 31.30,
+            recall: 40.30,
+            f1: 32.00,
+        },
+    ),
+    (
+        "LC-QuAD 1.0",
+        PublishedPRF {
+            precision: 50.50,
+            recall: 56.00,
+            f1: 53.10,
+        },
+    ),
+    (
+        "YAGO-Bench",
+        PublishedPRF {
+            precision: 41.90,
+            recall: 40.80,
+            f1: 41.40,
+        },
+    ),
+    (
+        "DBLP-Bench",
+        PublishedPRF {
+            precision: 8.00,
+            recall: 8.00,
+            f1: 8.00,
+        },
+    ),
+    (
+        "MAG-Bench",
+        PublishedPRF {
+            precision: 4.00,
+            recall: 4.00,
+            f1: 4.00,
+        },
+    ),
 ];
 
 /// Paper-reported response times of Figure 7: per system and benchmark, the

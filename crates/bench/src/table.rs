@@ -24,7 +24,8 @@ impl TableWriter {
 
     /// Append a row of string slices.
     pub fn row_strs(&mut self, cells: &[&str]) {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Render the table to a string.

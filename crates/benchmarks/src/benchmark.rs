@@ -120,7 +120,10 @@ impl Benchmark {
 
     /// Count of questions per category.
     pub fn count_by_category(&self, category: QuestionCategory) -> usize {
-        self.questions.iter().filter(|q| q.category == category).count()
+        self.questions
+            .iter()
+            .filter(|q| q.category == category)
+            .count()
     }
 
     /// Count of questions per shape.
@@ -133,7 +136,11 @@ impl Benchmark {
 mod tests {
     use super::*;
 
-    fn sample_question(id: usize, category: QuestionCategory, shape: QueryShape) -> BenchmarkQuestion {
+    fn sample_question(
+        id: usize,
+        category: QuestionCategory,
+        shape: QueryShape,
+    ) -> BenchmarkQuestion {
         BenchmarkQuestion {
             id,
             text: format!("question {id}"),

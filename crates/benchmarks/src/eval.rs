@@ -140,11 +140,7 @@ pub fn score_question(question: &BenchmarkQuestion, answer: &SystemAnswer) -> Qu
 ///
 /// `answers` must be aligned with `benchmark.questions` (same order); missing
 /// entries count as empty answers.
-pub fn evaluate(
-    benchmark: &Benchmark,
-    system: &str,
-    answers: &[SystemAnswer],
-) -> EvaluationReport {
+pub fn evaluate(benchmark: &Benchmark, system: &str, answers: &[SystemAnswer]) -> EvaluationReport {
     let empty = SystemAnswer::empty();
     let mut per_question = Vec::with_capacity(benchmark.len());
     let mut failures = FailureBreakdown::default();
@@ -282,9 +278,9 @@ mod tests {
             ],
         };
         let answers = vec![
-            answer(vec!["http://e/a"]),                   // perfect
-            answer(vec!["http://e/x"]),                   // wrong (not QU's fault)
-            SystemAnswer::empty(),                        // total failure, QU failed
+            answer(vec!["http://e/a"]), // perfect
+            answer(vec!["http://e/x"]), // wrong (not QU's fault)
+            SystemAnswer::empty(),      // total failure, QU failed
         ];
         let report = evaluate(&benchmark, "toy-system", &answers);
         assert!((report.macro_precision - (1.0 + 0.0 + 0.0) / 3.0).abs() < 1e-9);

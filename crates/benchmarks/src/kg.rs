@@ -389,7 +389,11 @@ fn generate_general(flavor: KgFlavor, voc: PredicateVocabulary, scale: KgScale) 
             currency: names::CURRENCIES[i % names::CURRENCIES.len()].to_string(),
             population: 1_000_000 + rng.gen_range(0..80_000_000),
         });
-        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(*name)));
+        store.insert(Triple::new(
+            iri.clone(),
+            label_pred.clone(),
+            Term::literal_str(*name),
+        ));
         store.insert(Triple::new(iri, rdf_type.clone(), class("Country")));
     }
 
@@ -403,7 +407,11 @@ fn generate_general(flavor: KgFlavor, voc: PredicateVocabulary, scale: KgScale) 
             population: 50_000 + rng.gen_range(0..5_000_000),
             mayor: usize::MAX, // fixed up after people exist
         });
-        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(*name)));
+        store.insert(Triple::new(
+            iri.clone(),
+            label_pred.clone(),
+            Term::literal_str(*name),
+        ));
         store.insert(Triple::new(iri, rdf_type.clone(), class("City")));
     }
 
@@ -430,7 +438,11 @@ fn generate_general(flavor: KgFlavor, voc: PredicateVocabulary, scale: KgScale) 
             birth_date: format!("{year:04}-{month:02}-{day:02}"),
             occupation: names::OCCUPATIONS[i % names::OCCUPATIONS.len()].to_string(),
         });
-        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(name)));
+        store.insert(Triple::new(
+            iri.clone(),
+            label_pred.clone(),
+            Term::literal_str(name),
+        ));
         store.insert(Triple::new(iri, rdf_type.clone(), class("Person")));
     }
 
@@ -454,11 +466,19 @@ fn generate_general(flavor: KgFlavor, voc: PredicateVocabulary, scale: KgScale) 
             outflow_of: None,
             nearest_city: (i * 3) % facts.cities.len(),
         });
-        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(*name)));
+        store.insert(Triple::new(
+            iri.clone(),
+            label_pred.clone(),
+            Term::literal_str(*name),
+        ));
         store.insert(Triple::new(
             iri,
             rdf_type.clone(),
-            class(if name.contains("Sea") { "Sea" } else { "BodyOfWater" }),
+            class(if name.contains("Sea") {
+                "Sea"
+            } else {
+                "BodyOfWater"
+            }),
         ));
     }
     // Chain: water i flows out of water i+1 ("Baltic Sea" has outflow
@@ -476,7 +496,11 @@ fn generate_general(flavor: KgFlavor, voc: PredicateVocabulary, scale: KgScale) 
             founder: (i * 11) % facts.people.len(),
             headquarters: (i * 5) % facts.cities.len(),
         });
-        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(*name)));
+        store.insert(Triple::new(
+            iri.clone(),
+            label_pred.clone(),
+            Term::literal_str(*name),
+        ));
         store.insert(Triple::new(iri, rdf_type.clone(), class("Company")));
     }
 
@@ -639,9 +663,16 @@ fn generate_scholarly(flavor: KgFlavor, scale: KgScale) -> GeneratedKg {
         let iri = if is_mag {
             mag_iri(&mut next_mag_id)
         } else {
-            Term::iri(format!("https://dblp.org/streams/conf/{}", venue.to_lowercase()))
+            Term::iri(format!(
+                "https://dblp.org/streams/conf/{}",
+                venue.to_lowercase()
+            ))
         };
-        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(*venue)));
+        store.insert(Triple::new(
+            iri.clone(),
+            label_pred.clone(),
+            Term::literal_str(*venue),
+        ));
         venue_iris.push((venue.to_string(), iri));
     }
 
@@ -653,22 +684,36 @@ fn generate_scholarly(flavor: KgFlavor, scale: KgScale) -> GeneratedKg {
         } else {
             Term::iri(format!("https://dblp.org/org/{}", uni.replace(' ', "_")))
         };
-        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(*uni)));
+        store.insert(Triple::new(
+            iri.clone(),
+            label_pred.clone(),
+            Term::literal_str(*uni),
+        ));
         affiliation_iris.push((uni.to_string(), iri));
     }
 
     // Authors.
     for i in 0..scale.people {
         let first = names::FIRST_NAMES[(i * 3) % names::FIRST_NAMES.len()];
-        let last = names::LAST_NAMES[(i * 5 + i / names::LAST_NAMES.len()) % names::LAST_NAMES.len()];
+        let last =
+            names::LAST_NAMES[(i * 5 + i / names::LAST_NAMES.len()) % names::LAST_NAMES.len()];
         let name = format!("{first} {last}");
         let iri = if is_mag {
             mag_iri(&mut next_mag_id)
         } else {
-            Term::iri(format!("{}{:02}/{}", vocab::DBLP_PERSON, i % 100, name.replace(' ', "")))
+            Term::iri(format!(
+                "{}{:02}/{}",
+                vocab::DBLP_PERSON,
+                i % 100,
+                name.replace(' ', "")
+            ))
         };
         let (affiliation, affiliation_iri) = affiliation_iris[i % affiliation_iris.len()].clone();
-        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(name.clone())));
+        store.insert(Triple::new(
+            iri.clone(),
+            label_pred.clone(),
+            Term::literal_str(name.clone()),
+        ));
         store.insert(Triple::new(
             iri.clone(),
             rdf_type.clone(),
@@ -699,7 +744,8 @@ fn generate_scholarly(flavor: KgFlavor, scale: KgScale) -> GeneratedKg {
     // Papers.
     for i in 0..scale.papers {
         let adjective = names::TITLE_ADJECTIVES[i % names::TITLE_ADJECTIVES.len()];
-        let topic = names::TITLE_TOPICS[(i / names::TITLE_ADJECTIVES.len()) % names::TITLE_TOPICS.len()];
+        let topic =
+            names::TITLE_TOPICS[(i / names::TITLE_ADJECTIVES.len()) % names::TITLE_TOPICS.len()];
         let suffix = names::TITLE_SUFFIXES[(i * 7) % names::TITLE_SUFFIXES.len()];
         let title = format!("{adjective} {topic} {suffix} {}", i / 96 + 1);
         let iri = if is_mag {
@@ -721,7 +767,11 @@ fn generate_scholarly(flavor: KgFlavor, scale: KgScale) -> GeneratedKg {
             }
         }
 
-        store.insert(Triple::new(iri.clone(), label_pred.clone(), Term::literal_str(title.clone())));
+        store.insert(Triple::new(
+            iri.clone(),
+            label_pred.clone(),
+            Term::literal_str(title.clone()),
+        ));
         store.insert(Triple::new(
             iri.clone(),
             rdf_type.clone(),
@@ -733,12 +783,20 @@ fn generate_scholarly(flavor: KgFlavor, scale: KgScale) -> GeneratedKg {
         ));
         store.insert(Triple::new(
             iri.clone(),
-            Term::iri(if is_mag { scholarly::MAG_VENUE } else { scholarly::DBLP_PUBLISHED_IN }),
+            Term::iri(if is_mag {
+                scholarly::MAG_VENUE
+            } else {
+                scholarly::DBLP_PUBLISHED_IN
+            }),
             venue_iri.clone(),
         ));
         store.insert(Triple::new(
             iri.clone(),
-            Term::iri(if is_mag { scholarly::MAG_PUB_DATE } else { scholarly::DBLP_YEAR }),
+            Term::iri(if is_mag {
+                scholarly::MAG_PUB_DATE
+            } else {
+                scholarly::DBLP_YEAR
+            }),
             if is_mag {
                 Term::date(format!("{year}-06-15"))
             } else {
@@ -755,7 +813,11 @@ fn generate_scholarly(flavor: KgFlavor, scale: KgScale) -> GeneratedKg {
         for &a in &author_indices {
             store.insert(Triple::new(
                 iri.clone(),
-                Term::iri(if is_mag { scholarly::MAG_CREATOR } else { scholarly::DBLP_AUTHORED_BY }),
+                Term::iri(if is_mag {
+                    scholarly::MAG_CREATOR
+                } else {
+                    scholarly::DBLP_AUTHORED_BY
+                }),
                 facts.authors[a].iri.clone(),
             ));
             facts.authors[a].papers.push(i);
@@ -837,10 +899,16 @@ mod tests {
         assert!(!kg.facts.papers.is_empty());
         assert!(!kg.facts.authors.is_empty());
         let author = &kg.facts.authors[0];
-        assert!(author.iri.as_iri().unwrap().starts_with("https://dblp.org/pid/"));
+        assert!(author
+            .iri
+            .as_iri()
+            .unwrap()
+            .starts_with("https://dblp.org/pid/"));
         // Author names are findable through the text index.
         let first_word = author.name.split(' ').next().unwrap().to_lowercase();
-        let hits = kg.store.vertices_with_description_containing(&[&first_word], 400);
+        let hits = kg
+            .store
+            .vertices_with_description_containing(&[&first_word], 400);
         assert!(hits.iter().any(|(v, _)| v == &author.iri));
     }
 
@@ -851,13 +919,18 @@ mod tests {
         let iri = author.iri.as_iri().unwrap();
         assert!(iri.starts_with("https://makg.org/entity/"));
         let local = iri.rsplit('/').next().unwrap();
-        assert!(local.chars().all(|c| c.is_ascii_digit()), "MAG URIs must be opaque: {iri}");
+        assert!(
+            local.chars().all(|c| c.is_ascii_digit()),
+            "MAG URIs must be opaque: {iri}"
+        );
         // ...and the URI itself must NOT be human readable (this is what
         // breaks gAnswer's URI-based index).
         assert!(!author.iri.is_human_readable());
         // But the foaf:name description is still searchable.
         let first_word = author.name.split(' ').next().unwrap().to_lowercase();
-        let hits = kg.store.vertices_with_description_containing(&[&first_word], 400);
+        let hits = kg
+            .store
+            .vertices_with_description_containing(&[&first_word], 400);
         assert!(hits.iter().any(|(v, _)| v == &author.iri));
     }
 

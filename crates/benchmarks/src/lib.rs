@@ -29,9 +29,7 @@ pub mod questions;
 pub mod suite;
 pub mod taxonomy;
 
-pub use benchmark::{
-    Benchmark, BenchmarkQuestion, LinkingGold, QueryShape, QuestionCategory,
-};
+pub use benchmark::{Benchmark, BenchmarkQuestion, LinkingGold, QueryShape, QuestionCategory};
 pub use eval::{evaluate, EvaluationReport, FailureBreakdown, QuestionResult, SystemAnswer};
 pub use kg::{GeneratedKg, KgFlavor, KgScale};
 pub use suite::{BenchmarkSuite, SuiteScale};

@@ -6,81 +6,362 @@
 
 /// First names for generated people.
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
-    "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony",
-    "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul", "Emily",
-    "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol", "Kevin", "Amanda", "Brian",
-    "Dorothy", "George", "Melissa", "Edward", "Deborah", "Ronald", "Stephanie", "Timothy",
-    "Rebecca", "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob", "Kathleen",
-    "Gary", "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna", "Stephen",
-    "Ruth", "Larry", "Brenda", "Justin", "Pamela", "Scott", "Nicole", "Brandon", "Katherine",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Christopher",
+    "Nancy",
+    "Daniel",
+    "Lisa",
+    "Matthew",
+    "Betty",
+    "Anthony",
+    "Margaret",
+    "Mark",
+    "Sandra",
+    "Donald",
+    "Ashley",
+    "Steven",
+    "Kimberly",
+    "Paul",
+    "Emily",
+    "Andrew",
+    "Donna",
+    "Joshua",
+    "Michelle",
+    "Kenneth",
+    "Carol",
+    "Kevin",
+    "Amanda",
+    "Brian",
+    "Dorothy",
+    "George",
+    "Melissa",
+    "Edward",
+    "Deborah",
+    "Ronald",
+    "Stephanie",
+    "Timothy",
+    "Rebecca",
+    "Jason",
+    "Sharon",
+    "Jeffrey",
+    "Laura",
+    "Ryan",
+    "Cynthia",
+    "Jacob",
+    "Kathleen",
+    "Gary",
+    "Amy",
+    "Nicholas",
+    "Angela",
+    "Eric",
+    "Shirley",
+    "Jonathan",
+    "Anna",
+    "Stephen",
+    "Ruth",
+    "Larry",
+    "Brenda",
+    "Justin",
+    "Pamela",
+    "Scott",
+    "Nicole",
+    "Brandon",
+    "Katherine",
 ];
 
 /// Last names for generated people.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
-    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Gomez", "Phillips", "Evans",
-    "Turner", "Diaz", "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
-    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper", "Peterson",
-    "Bailey", "Reed", "Kelly", "Howard", "Ramos", "Kim", "Cox", "Ward", "Richardson",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "Green",
+    "Adams",
+    "Nelson",
+    "Baker",
+    "Hall",
+    "Rivera",
+    "Campbell",
+    "Mitchell",
+    "Carter",
+    "Roberts",
+    "Gomez",
+    "Phillips",
+    "Evans",
+    "Turner",
+    "Diaz",
+    "Parker",
+    "Cruz",
+    "Edwards",
+    "Collins",
+    "Reyes",
+    "Stewart",
+    "Morris",
+    "Morales",
+    "Murphy",
+    "Cook",
+    "Rogers",
+    "Gutierrez",
+    "Ortiz",
+    "Morgan",
+    "Cooper",
+    "Peterson",
+    "Bailey",
+    "Reed",
+    "Kelly",
+    "Howard",
+    "Ramos",
+    "Kim",
+    "Cox",
+    "Ward",
+    "Richardson",
 ];
 
 /// City names.
 pub const CITIES: &[&str] = &[
-    "Kaliningrad", "Berlin", "Paris", "Madrid", "Rome", "Vienna", "Prague", "Warsaw", "Lisbon",
-    "Dublin", "Oslo", "Helsinki", "Stockholm", "Copenhagen", "Amsterdam", "Brussels", "Athens",
-    "Budapest", "Bucharest", "Sofia", "Zagreb", "Riga", "Vilnius", "Tallinn", "Reykjavik",
-    "Ottawa", "Toronto", "Chicago", "Boston", "Seattle", "Denver", "Austin", "Portland",
-    "Nairobi", "Cairo", "Lagos", "Accra", "Tunis", "Rabat", "Lima", "Bogota", "Santiago",
-    "Montevideo", "Quito", "Havana", "Kyoto", "Osaka", "Sapporo", "Busan", "Hanoi", "Bangkok",
+    "Kaliningrad",
+    "Berlin",
+    "Paris",
+    "Madrid",
+    "Rome",
+    "Vienna",
+    "Prague",
+    "Warsaw",
+    "Lisbon",
+    "Dublin",
+    "Oslo",
+    "Helsinki",
+    "Stockholm",
+    "Copenhagen",
+    "Amsterdam",
+    "Brussels",
+    "Athens",
+    "Budapest",
+    "Bucharest",
+    "Sofia",
+    "Zagreb",
+    "Riga",
+    "Vilnius",
+    "Tallinn",
+    "Reykjavik",
+    "Ottawa",
+    "Toronto",
+    "Chicago",
+    "Boston",
+    "Seattle",
+    "Denver",
+    "Austin",
+    "Portland",
+    "Nairobi",
+    "Cairo",
+    "Lagos",
+    "Accra",
+    "Tunis",
+    "Rabat",
+    "Lima",
+    "Bogota",
+    "Santiago",
+    "Montevideo",
+    "Quito",
+    "Havana",
+    "Kyoto",
+    "Osaka",
+    "Sapporo",
+    "Busan",
+    "Hanoi",
+    "Bangkok",
 ];
 
 /// Country names.
 pub const COUNTRIES: &[&str] = &[
-    "Germany", "France", "Spain", "Italy", "Austria", "Czechia", "Poland", "Portugal", "Ireland",
-    "Norway", "Finland", "Sweden", "Denmark", "Netherlands", "Belgium", "Greece", "Hungary",
-    "Romania", "Bulgaria", "Croatia", "Latvia", "Lithuania", "Estonia", "Iceland", "Canada",
-    "Kenya", "Egypt", "Nigeria", "Ghana", "Tunisia", "Morocco", "Peru", "Colombia", "Chile",
-    "Uruguay", "Ecuador", "Cuba", "Japan", "Vietnam", "Thailand",
+    "Germany",
+    "France",
+    "Spain",
+    "Italy",
+    "Austria",
+    "Czechia",
+    "Poland",
+    "Portugal",
+    "Ireland",
+    "Norway",
+    "Finland",
+    "Sweden",
+    "Denmark",
+    "Netherlands",
+    "Belgium",
+    "Greece",
+    "Hungary",
+    "Romania",
+    "Bulgaria",
+    "Croatia",
+    "Latvia",
+    "Lithuania",
+    "Estonia",
+    "Iceland",
+    "Canada",
+    "Kenya",
+    "Egypt",
+    "Nigeria",
+    "Ghana",
+    "Tunisia",
+    "Morocco",
+    "Peru",
+    "Colombia",
+    "Chile",
+    "Uruguay",
+    "Ecuador",
+    "Cuba",
+    "Japan",
+    "Vietnam",
+    "Thailand",
 ];
 
 /// Bodies of water (seas, straits, rivers, lakes).
 pub const WATERS: &[&str] = &[
-    "Baltic Sea", "Danish Straits", "North Sea", "Black Sea", "Caspian Sea", "Red Sea",
-    "Bering Strait", "English Channel", "Gulf of Finland", "Sea of Azov", "Adriatic Sea",
-    "Aegean Sea", "Amazon River", "Nile", "Danube", "Rhine", "Volga", "Elbe", "Oder", "Vistula",
-    "Lake Victoria", "Lake Ladoga", "Lake Geneva", "Lake Constance",
+    "Baltic Sea",
+    "Danish Straits",
+    "North Sea",
+    "Black Sea",
+    "Caspian Sea",
+    "Red Sea",
+    "Bering Strait",
+    "English Channel",
+    "Gulf of Finland",
+    "Sea of Azov",
+    "Adriatic Sea",
+    "Aegean Sea",
+    "Amazon River",
+    "Nile",
+    "Danube",
+    "Rhine",
+    "Volga",
+    "Elbe",
+    "Oder",
+    "Vistula",
+    "Lake Victoria",
+    "Lake Ladoga",
+    "Lake Geneva",
+    "Lake Constance",
 ];
 
 /// Company names.
 pub const COMPANIES: &[&str] = &[
-    "Northwind Systems", "Contoso Analytics", "Fabrikam Motors", "Globex Industries",
-    "Initech Software", "Umbrella Logistics", "Acme Robotics", "Stark Dynamics",
-    "Wayne Aerospace", "Wonka Foods", "Tyrell Biotech", "Cyberdyne Labs",
+    "Northwind Systems",
+    "Contoso Analytics",
+    "Fabrikam Motors",
+    "Globex Industries",
+    "Initech Software",
+    "Umbrella Logistics",
+    "Acme Robotics",
+    "Stark Dynamics",
+    "Wayne Aerospace",
+    "Wonka Foods",
+    "Tyrell Biotech",
+    "Cyberdyne Labs",
 ];
 
 /// University names.
 pub const UNIVERSITIES: &[&str] = &[
-    "Concordia University", "KAUST", "University of Waterloo", "ETH Zurich", "TU Munich",
-    "Uppsala University", "Kyoto University", "University of Cape Town", "MIT", "Stanford University",
-    "Carnegie Mellon University", "University of Edinburgh",
+    "Concordia University",
+    "KAUST",
+    "University of Waterloo",
+    "ETH Zurich",
+    "TU Munich",
+    "Uppsala University",
+    "Kyoto University",
+    "University of Cape Town",
+    "MIT",
+    "Stanford University",
+    "Carnegie Mellon University",
+    "University of Edinburgh",
 ];
 
 /// Occupations for people.
 pub const OCCUPATIONS: &[&str] = &[
-    "physicist", "novelist", "politician", "painter", "composer", "architect", "biologist",
-    "economist", "historian", "mathematician", "engineer", "journalist",
+    "physicist",
+    "novelist",
+    "politician",
+    "painter",
+    "composer",
+    "architect",
+    "biologist",
+    "economist",
+    "historian",
+    "mathematician",
+    "engineer",
+    "journalist",
 ];
 
 /// Spoken languages.
 pub const LANGUAGES: &[&str] = &[
-    "German", "French", "Spanish", "Italian", "Polish", "Portuguese", "Greek", "Hungarian",
-    "Romanian", "Swedish", "Japanese", "Arabic", "Swahili",
+    "German",
+    "French",
+    "Spanish",
+    "Italian",
+    "Polish",
+    "Portuguese",
+    "Greek",
+    "Hungarian",
+    "Romanian",
+    "Swedish",
+    "Japanese",
+    "Arabic",
+    "Swahili",
 ];
 
 /// Currencies.
@@ -90,21 +371,46 @@ pub const CURRENCIES: &[&str] = &[
 
 /// Words used to compose paper titles for the scholarly KGs.
 pub const TITLE_ADJECTIVES: &[&str] = &[
-    "Scalable", "Adaptive", "Efficient", "Distributed", "Incremental", "Robust", "Universal",
-    "Declarative", "Approximate", "Parallel", "Streaming", "Federated",
+    "Scalable",
+    "Adaptive",
+    "Efficient",
+    "Distributed",
+    "Incremental",
+    "Robust",
+    "Universal",
+    "Declarative",
+    "Approximate",
+    "Parallel",
+    "Streaming",
+    "Federated",
 ];
 
 /// Second word of paper titles.
 pub const TITLE_TOPICS: &[&str] = &[
-    "Query Processing", "Graph Analytics", "Entity Linking", "Question Answering",
-    "Index Structures", "Transaction Management", "Data Integration", "Knowledge Graphs",
-    "Stream Processing", "Schema Matching", "Join Optimization", "Data Cleaning",
+    "Query Processing",
+    "Graph Analytics",
+    "Entity Linking",
+    "Question Answering",
+    "Index Structures",
+    "Transaction Management",
+    "Data Integration",
+    "Knowledge Graphs",
+    "Stream Processing",
+    "Schema Matching",
+    "Join Optimization",
+    "Data Cleaning",
 ];
 
 /// Trailing phrase of paper titles.
 pub const TITLE_SUFFIXES: &[&str] = &[
-    "over RDF Engines", "for SPARQL Endpoints", "in the Cloud", "at Scale", "with Deep Learning",
-    "on Modern Hardware", "for Heterogeneous Data", "under Memory Constraints",
+    "over RDF Engines",
+    "for SPARQL Endpoints",
+    "in the Cloud",
+    "at Scale",
+    "with Deep Learning",
+    "on Modern Hardware",
+    "for Heterogeneous Data",
+    "under Memory Constraints",
 ];
 
 /// Venue names for the scholarly KGs.
@@ -114,8 +420,12 @@ pub const VENUES: &[&str] = &[
 
 /// Research fields.
 pub const FIELDS: &[&str] = &[
-    "Databases", "Information Retrieval", "Machine Learning", "Semantic Web",
-    "Natural Language Processing", "Distributed Systems",
+    "Databases",
+    "Information Retrieval",
+    "Machine Learning",
+    "Semantic Web",
+    "Natural Language Processing",
+    "Distributed Systems",
 ];
 
 #[cfg(test)]

@@ -9,9 +9,7 @@
 
 use kgqan_rdf::Term;
 
-use crate::benchmark::{
-    Benchmark, BenchmarkQuestion, LinkingGold, QueryShape, QuestionCategory,
-};
+use crate::benchmark::{Benchmark, BenchmarkQuestion, LinkingGold, QueryShape, QuestionCategory};
 use crate::kg::{scholarly, GeneratedKg, KgFlavor};
 
 /// Build the benchmark question set appropriate for a KG flavor.
@@ -215,7 +213,7 @@ pub fn general_fact_questions(kg: &GeneratedKg, count: usize) -> Vec<BenchmarkQu
             6 => {
                 let city = &facts.cities[(pick * 11 + 3) % facts.cities.len()];
                 let mayor = &facts.people[city.mayor];
-                let phrasing = if varied_phrasing && pick % 2 == 0 {
+                let phrasing = if varied_phrasing && pick.is_multiple_of(2) {
                     format!("Name the politician who serves as mayor of {}", city.name)
                 } else {
                     format!("Who is the mayor of {}?", city.name)
@@ -276,7 +274,7 @@ pub fn general_fact_questions(kg: &GeneratedKg, count: usize) -> Vec<BenchmarkQu
             // 9. Boolean: is X the capital of Y?
             8 => {
                 let country = &facts.countries[(pick * 13 + 1) % facts.countries.len()];
-                let truth = pick % 2 == 0;
+                let truth = pick.is_multiple_of(2);
                 let city = if truth {
                     &facts.cities[country.capital]
                 } else {
@@ -423,7 +421,7 @@ pub fn scholarly_questions(kg: &GeneratedKg, count: usize) -> Vec<BenchmarkQuest
             // 1. Authors of a paper.
             0 => {
                 let paper = &facts.papers[pick % facts.papers.len()];
-                let phrasing = if pick % 2 == 0 {
+                let phrasing = if pick.is_multiple_of(2) {
                     format!("Who is the author of {}?", paper.title)
                 } else {
                     format!("Who wrote the paper {}?", paper.title)
@@ -521,7 +519,7 @@ pub fn scholarly_questions(kg: &GeneratedKg, count: usize) -> Vec<BenchmarkQuest
             // 5. Boolean authorship.
             4 => {
                 let paper = &facts.papers[(pick * 7 + 3) % facts.papers.len()];
-                let truth = pick % 2 == 0;
+                let truth = pick.is_multiple_of(2);
                 let author = if truth {
                     &facts.authors[paper.authors[0]]
                 } else {
@@ -656,7 +654,12 @@ mod tests {
         for q in &benchmark.questions {
             if let Some(gold_bool) = q.gold_boolean {
                 let result = execute_query(&kg.store, &q.gold_sparql).unwrap();
-                assert_eq!(result.as_boolean(), Some(gold_bool), "boolean mismatch for {}", q.text);
+                assert_eq!(
+                    result.as_boolean(),
+                    Some(gold_bool),
+                    "boolean mismatch for {}",
+                    q.text
+                );
             } else {
                 let result = execute_query(&kg.store, &q.gold_sparql).unwrap();
                 let returned: Vec<Term> = result
@@ -684,7 +687,12 @@ mod tests {
         for q in &benchmark.questions {
             let result = execute_query(&kg.store, &q.gold_sparql).unwrap();
             if let Some(gold_bool) = q.gold_boolean {
-                assert_eq!(result.as_boolean(), Some(gold_bool), "boolean mismatch for {}", q.text);
+                assert_eq!(
+                    result.as_boolean(),
+                    Some(gold_bool),
+                    "boolean mismatch for {}",
+                    q.text
+                );
             } else {
                 let returned = result.as_solutions().unwrap().column("u");
                 assert!(!q.gold_answers.is_empty(), "no gold answers for {}", q.text);
@@ -704,8 +712,16 @@ mod tests {
         let kg = general_kg();
         let benchmark = questions_for(&kg, 36);
         for q in &benchmark.questions {
-            assert!(!q.linking.entities.is_empty(), "no entity gold for {}", q.text);
-            assert!(!q.linking.relations.is_empty(), "no relation gold for {}", q.text);
+            assert!(
+                !q.linking.entities.is_empty(),
+                "no entity gold for {}",
+                q.text
+            );
+            assert!(
+                !q.linking.relations.is_empty(),
+                "no relation gold for {}",
+                q.text
+            );
         }
     }
 

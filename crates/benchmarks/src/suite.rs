@@ -61,10 +61,7 @@ impl BenchmarkSuite {
     pub fn build_one(flavor: KgFlavor, scale: SuiteScale) -> BenchmarkInstance {
         let kg = GeneratedKg::generate(flavor, scale.kg_scale(flavor));
         let benchmark = questions_for(&kg, scale.question_count(flavor));
-        let endpoint = Arc::new(InProcessEndpoint::new(
-            flavor.label(),
-            kg.store.clone(),
-        ));
+        let endpoint = Arc::new(InProcessEndpoint::new(flavor.label(), kg.store.clone()));
         BenchmarkInstance {
             kg,
             benchmark,

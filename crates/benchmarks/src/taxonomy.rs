@@ -121,9 +121,24 @@ mod tests {
             name: "toy".into(),
             flavor: KgFlavor::Dbpedia10,
             questions: vec![
-                question(0, QuestionCategory::SingleFact, QueryShape::Star, "http://e/a"),
-                question(1, QuestionCategory::MultiFact, QueryShape::Star, "http://e/b"),
-                question(2, QuestionCategory::SingleFact, QueryShape::Path, "http://e/c"),
+                question(
+                    0,
+                    QuestionCategory::SingleFact,
+                    QueryShape::Star,
+                    "http://e/a",
+                ),
+                question(
+                    1,
+                    QuestionCategory::MultiFact,
+                    QueryShape::Star,
+                    "http://e/b",
+                ),
+                question(
+                    2,
+                    QuestionCategory::SingleFact,
+                    QueryShape::Path,
+                    "http://e/c",
+                ),
             ],
         };
         let answers = vec![

@@ -47,7 +47,11 @@ pub fn generate_candidate_queries(
 ) -> Vec<CandidateQuery> {
     let bgps = enumerate_bgps(agp);
     let mut ranked = bgps;
-    ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     ranked.truncate(max_queries);
     let is_ask = agp.pgp.is_boolean();
     ranked
@@ -209,8 +213,20 @@ mod tests {
 
         let straits = Term::iri("http://dbpedia.org/resource/Danish_straits");
         let kali = Term::iri("http://dbpedia.org/resource/Kaliningrad");
-        let straits_node = agp.pgp.nodes().iter().find(|n| n.label == "Danish Straits").unwrap().id;
-        let kali_node = agp.pgp.nodes().iter().find(|n| n.label == "Kaliningrad").unwrap().id;
+        let straits_node = agp
+            .pgp
+            .nodes()
+            .iter()
+            .find(|n| n.label == "Danish Straits")
+            .unwrap()
+            .id;
+        let kali_node = agp
+            .pgp
+            .nodes()
+            .iter()
+            .find(|n| n.label == "Kaliningrad")
+            .unwrap()
+            .id;
 
         agp.node_annotations[straits_node] = vec![RelevantVertex {
             vertex: straits.clone(),
@@ -276,7 +292,9 @@ mod tests {
         // anchors are the *objects*, so the unknown is the subject).
         let top = &queries[0];
         assert!(top.sparql.contains("<http://dbpedia.org/property/outflow>"));
-        assert!(top.sparql.contains("<http://dbpedia.org/ontology/nearestCity>"));
+        assert!(top
+            .sparql
+            .contains("<http://dbpedia.org/ontology/nearestCity>"));
         assert!(top.sparql.contains("?unknown1 <http://dbpedia.org/property/outflow> <http://dbpedia.org/resource/Danish_straits>"));
         assert!(top.sparql.contains("OPTIONAL"));
         assert!(top.sparql.contains(vocab::RDF_TYPE));
@@ -342,7 +360,8 @@ mod tests {
 
     #[test]
     fn edge_without_predicates_yields_no_queries() {
-        let pgp = PhraseGraphPattern::from_triples(&[Tp::unknown_to_entity("flow", "Danish Straits")]);
+        let pgp =
+            PhraseGraphPattern::from_triples(&[Tp::unknown_to_entity("flow", "Danish Straits")]);
         let agp = AnnotatedGraphPattern::new(pgp);
         assert!(enumerate_bgps(&agp).is_empty());
         assert!(generate_candidate_queries(&agp, 10).is_empty());

@@ -234,7 +234,10 @@ mod tests {
             sparql: "ASK { <http://dbpedia.org/resource/Baltic_Sea> \
                      <http://dbpedia.org/property/outflow> <http://nowhere/x> }"
                 .into(),
-            bgp: BasicGraphPattern { triples: vec![], score: 0.9 },
+            bgp: BasicGraphPattern {
+                triples: vec![],
+                score: 0.9,
+            },
             is_ask: true,
         };
         let yes = CandidateQuery {
@@ -242,10 +245,15 @@ mod tests {
                      <http://dbpedia.org/property/outflow> \
                      <http://dbpedia.org/resource/Danish_straits> }"
                 .into(),
-            bgp: BasicGraphPattern { triples: vec![], score: 0.8 },
+            bgp: BasicGraphPattern {
+                triples: vec![],
+                score: 0.8,
+            },
             is_ask: true,
         };
-        let outcome = ExecutionManager::default().execute(&[no, yes], &ep).unwrap();
+        let outcome = ExecutionManager::default()
+            .execute(&[no, yes], &ep)
+            .unwrap();
         assert_eq!(outcome.boolean, Some(true));
         assert!(outcome.answers.is_empty());
     }

@@ -42,10 +42,8 @@ impl<'a> FiltrationManager<'a> {
     ) -> Vec<Term> {
         let mut kept = Vec::new();
         for candidate in answers {
-            if self.keeps(candidate, prediction) {
-                if !kept.contains(&candidate.answer) {
-                    kept.push(candidate.answer.clone());
-                }
+            if self.keeps(candidate, prediction) && !kept.contains(&candidate.answer) {
+                kept.push(candidate.answer.clone());
             }
         }
         kept
@@ -124,22 +122,82 @@ impl<'a> FiltrationManager<'a> {
 /// knowledge about any particular KG.
 pub fn semantic_type_aliases(expected: &str) -> Vec<String> {
     const PERSON_ROLES: &[&str] = &[
-        "wife", "husband", "spouse", "mother", "father", "child", "son", "daughter", "author",
-        "writer", "director", "mayor", "president", "leader", "founder", "scientist", "actor",
-        "actress", "politician", "winner", "player", "painter", "composer", "architect",
-        "astronaut", "person", "people", "advisor", "supervisor", "coauthor",
+        "wife",
+        "husband",
+        "spouse",
+        "mother",
+        "father",
+        "child",
+        "son",
+        "daughter",
+        "author",
+        "writer",
+        "director",
+        "mayor",
+        "president",
+        "leader",
+        "founder",
+        "scientist",
+        "actor",
+        "actress",
+        "politician",
+        "winner",
+        "player",
+        "painter",
+        "composer",
+        "architect",
+        "astronaut",
+        "person",
+        "people",
+        "advisor",
+        "supervisor",
+        "coauthor",
     ];
     const PLACE_WORDS: &[&str] = &[
-        "capital", "city", "country", "place", "location", "town", "birthplace", "headquarters",
-        "river", "sea", "lake", "mountain", "state", "region", "continent",
+        "capital",
+        "city",
+        "country",
+        "place",
+        "location",
+        "town",
+        "birthplace",
+        "headquarters",
+        "river",
+        "sea",
+        "lake",
+        "mountain",
+        "state",
+        "region",
+        "continent",
     ];
     const ORG_WORDS: &[&str] = &[
-        "company", "university", "organisation", "organization", "institution", "team", "club",
-        "band", "employer", "school", "conference", "venue", "journal", "publisher",
+        "company",
+        "university",
+        "organisation",
+        "organization",
+        "institution",
+        "team",
+        "club",
+        "band",
+        "employer",
+        "school",
+        "conference",
+        "venue",
+        "journal",
+        "publisher",
     ];
     const WORK_WORDS: &[&str] = &[
-        "book", "novel", "film", "movie", "album", "song", "paper", "publication", "article",
-        "painting", "work",
+        "book",
+        "novel",
+        "film",
+        "movie",
+        "album",
+        "song",
+        "paper",
+        "publication",
+        "article",
+        "painting",
+        "work",
     ];
     let lower = expected.to_lowercase();
     let mut aliases = vec![expected.to_string()];
@@ -240,7 +298,10 @@ mod tests {
         };
         assert!(filter.keeps(&answer(Term::date("1945-05-08"), vec![]), &prediction));
         assert!(filter.keeps(&answer(Term::literal_str("1945"), vec![]), &prediction));
-        assert!(filter.keeps(&answer(Term::literal_str("1945-05-08"), vec![]), &prediction));
+        assert!(filter.keeps(
+            &answer(Term::literal_str("1945-05-08"), vec![]),
+            &prediction
+        ));
         assert!(!filter.keeps(&answer(Term::literal_str("Berlin"), vec![]), &prediction));
         assert!(!filter.keeps(&answer(Term::iri("http://e/x"), vec![]), &prediction));
     }
@@ -263,7 +324,10 @@ mod tests {
     fn string_prediction_rejects_numeric_literals() {
         let affinity = FineGrainedAffinity::new();
         let filter = FiltrationManager::new(&affinity);
-        assert!(!filter.keeps(&answer(Term::integer(5), vec![]), &string_prediction("city")));
+        assert!(!filter.keeps(
+            &answer(Term::integer(5), vec![]),
+            &string_prediction("city")
+        ));
     }
 
     #[test]
@@ -272,7 +336,10 @@ mod tests {
         let filter = FiltrationManager::new(&affinity);
         let sea = Term::iri("http://dbpedia.org/resource/Baltic_Sea");
         let answers = vec![
-            answer(sea.clone(), vec![Term::iri("http://dbpedia.org/ontology/Sea")]),
+            answer(
+                sea.clone(),
+                vec![Term::iri("http://dbpedia.org/ontology/Sea")],
+            ),
             answer(sea.clone(), vec![]),
         ];
         let kept = filter.filter(&answers, &string_prediction("sea"));

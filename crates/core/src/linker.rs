@@ -102,7 +102,11 @@ impl<'a> JitLinker<'a> {
                     }
                 })
                 .collect();
-            scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+            scored.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             scored.dedup_by(|a, b| a.vertex == b.vertex);
             scored.truncate(self.config.num_vertices);
             agp.node_annotations[node.id] = scored;
@@ -252,18 +256,12 @@ impl<'a> JitLinker<'a> {
 
 /// The `outgoingPredicate(v)` query of §5.2.
 pub fn outgoing_predicate_query(vertex: &Term) -> String {
-    format!(
-        "SELECT DISTINCT ?p WHERE {{ {} ?p ?obj . }}",
-        vertex
-    )
+    format!("SELECT DISTINCT ?p WHERE {{ {} ?p ?obj . }}", vertex)
 }
 
 /// The `incomingPredicate(v)` query of §5.2.
 pub fn incoming_predicate_query(vertex: &Term) -> String {
-    format!(
-        "SELECT DISTINCT ?p WHERE {{ ?sub ?p {} . }}",
-        vertex
-    )
+    format!("SELECT DISTINCT ?p WHERE {{ ?sub ?p {} . }}", vertex)
 }
 
 #[cfg(test)]
@@ -286,10 +284,26 @@ mod tests {
 
         store.insert_all([
             Triple::new(sea.clone(), label.clone(), Term::literal_str("Baltic Sea")),
-            Triple::new(straits.clone(), label.clone(), Term::literal_str("Danish straits")),
-            Triple::new(straits2.clone(), label.clone(), Term::literal_str("Danish Straits")),
-            Triple::new(kali.clone(), label.clone(), Term::literal_str("Kaliningrad")),
-            Triple::new(yantar.clone(), label.clone(), Term::literal_str("Yantar, Kaliningrad")),
+            Triple::new(
+                straits.clone(),
+                label.clone(),
+                Term::literal_str("Danish straits"),
+            ),
+            Triple::new(
+                straits2.clone(),
+                label.clone(),
+                Term::literal_str("Danish Straits"),
+            ),
+            Triple::new(
+                kali.clone(),
+                label.clone(),
+                Term::literal_str("Kaliningrad"),
+            ),
+            Triple::new(
+                yantar.clone(),
+                label.clone(),
+                Term::literal_str("Yantar, Kaliningrad"),
+            ),
             Triple::new(
                 sea.clone(),
                 Term::iri("http://dbpedia.org/property/outflow"),
@@ -305,7 +319,11 @@ mod tests {
                 Term::iri("http://dbpedia.org/property/cities"),
                 kali.clone(),
             ),
-            Triple::new(sea.clone(), Term::iri(vocab::RDF_TYPE), Term::iri("http://dbpedia.org/ontology/Sea")),
+            Triple::new(
+                sea.clone(),
+                Term::iri(vocab::RDF_TYPE),
+                Term::iri("http://dbpedia.org/ontology/Sea"),
+            ),
         ]);
         InProcessEndpoint::new("DBpedia", store)
     }
@@ -321,7 +339,13 @@ mod tests {
     fn entity_linking_finds_figure4_vertices() {
         let endpoint = dbpedia_fragment();
         let affinity = FineGrainedAffinity::new();
-        let linker = JitLinker::new(&affinity, LinkerConfig { num_vertices: 2, ..Default::default() });
+        let linker = JitLinker::new(
+            &affinity,
+            LinkerConfig {
+                num_vertices: 2,
+                ..Default::default()
+            },
+        );
         let mut agp = AnnotatedGraphPattern::new(running_example_pgp());
         linker.link_entities(&mut agp, &endpoint).unwrap();
 

@@ -223,21 +223,60 @@ mod tests {
         let person = Term::iri("http://dbpedia.org/ontology/Person");
 
         store.insert_all([
-            Triple::new(obama.clone(), label.clone(), Term::literal_str("Barack Obama")),
-            Triple::new(michelle.clone(), label.clone(), Term::literal_str("Michelle Obama")),
+            Triple::new(
+                obama.clone(),
+                label.clone(),
+                Term::literal_str("Barack Obama"),
+            ),
+            Triple::new(
+                michelle.clone(),
+                label.clone(),
+                Term::literal_str("Michelle Obama"),
+            ),
             Triple::new(chicago.clone(), label.clone(), Term::literal_str("Chicago")),
             Triple::new(sea.clone(), label.clone(), Term::literal_str("Baltic Sea")),
-            Triple::new(straits.clone(), label.clone(), Term::literal_str("Danish Straits")),
-            Triple::new(kali.clone(), label.clone(), Term::literal_str("Kaliningrad")),
-            Triple::new(obama.clone(), Term::iri("http://dbpedia.org/ontology/spouse"), michelle.clone()),
-            Triple::new(obama.clone(), Term::iri("http://dbpedia.org/ontology/birthPlace"),
-                        Term::iri("http://dbpedia.org/resource/Honolulu")),
+            Triple::new(
+                straits.clone(),
+                label.clone(),
+                Term::literal_str("Danish Straits"),
+            ),
+            Triple::new(
+                kali.clone(),
+                label.clone(),
+                Term::literal_str("Kaliningrad"),
+            ),
+            Triple::new(
+                obama.clone(),
+                Term::iri("http://dbpedia.org/ontology/spouse"),
+                michelle.clone(),
+            ),
+            Triple::new(
+                obama.clone(),
+                Term::iri("http://dbpedia.org/ontology/birthPlace"),
+                Term::iri("http://dbpedia.org/resource/Honolulu"),
+            ),
             Triple::new(obama.clone(), rdf_type.clone(), person.clone()),
             Triple::new(michelle.clone(), rdf_type.clone(), person.clone()),
-            Triple::new(sea.clone(), Term::iri("http://dbpedia.org/property/outflow"), straits.clone()),
-            Triple::new(sea.clone(), Term::iri("http://dbpedia.org/ontology/nearestCity"), kali.clone()),
-            Triple::new(sea.clone(), rdf_type.clone(), Term::iri("http://dbpedia.org/ontology/Sea")),
-            Triple::new(kali.clone(), rdf_type.clone(), Term::iri("http://dbpedia.org/ontology/City")),
+            Triple::new(
+                sea.clone(),
+                Term::iri("http://dbpedia.org/property/outflow"),
+                straits.clone(),
+            ),
+            Triple::new(
+                sea.clone(),
+                Term::iri("http://dbpedia.org/ontology/nearestCity"),
+                kali.clone(),
+            ),
+            Triple::new(
+                sea.clone(),
+                rdf_type.clone(),
+                Term::iri("http://dbpedia.org/ontology/Sea"),
+            ),
+            Triple::new(
+                kali.clone(),
+                rdf_type.clone(),
+                Term::iri("http://dbpedia.org/ontology/City"),
+            ),
         ]);
         InProcessEndpoint::new("DBpedia", store)
     }
@@ -250,7 +289,9 @@ mod tests {
     #[test]
     fn answers_single_fact_question() {
         let ep = dbpedia_endpoint();
-        let outcome = platform().answer("Who is the wife of Barack Obama?", &ep).unwrap();
+        let outcome = platform()
+            .answer("Who is the wife of Barack Obama?", &ep)
+            .unwrap();
         assert!(
             outcome
                 .answers
@@ -301,10 +342,8 @@ mod tests {
             filtration_enabled: false,
             ..KgqanConfig::default()
         };
-        let unfiltered_platform = KgqanPlatform::with_parts(
-            QuestionUnderstanding::train_default(),
-            no_filter_config,
-        );
+        let unfiltered_platform =
+            KgqanPlatform::with_parts(QuestionUnderstanding::train_default(), no_filter_config);
         let outcome = unfiltered_platform
             .answer("Who is the wife of Barack Obama?", &ep)
             .unwrap();
@@ -326,7 +365,9 @@ mod tests {
     #[test]
     fn timings_are_recorded_per_phase() {
         let ep = dbpedia_endpoint();
-        let outcome = platform().answer("Who is the wife of Barack Obama?", &ep).unwrap();
+        let outcome = platform()
+            .answer("Who is the wife of Barack Obama?", &ep)
+            .unwrap();
         let t = outcome.timings;
         assert!(t.total() >= t.understanding);
         assert!(t.total() >= t.linking);

@@ -65,9 +65,16 @@ mod tests {
 
     #[test]
     fn text_predicates_differ_per_engine() {
-        assert_eq!(EngineDialect::Virtuoso.text_search_predicate(), "bif:contains");
-        assert!(EngineDialect::Stardog.text_search_predicate().contains("textMatch"));
-        assert!(EngineDialect::Jena.text_search_predicate().contains("text#query"));
+        assert_eq!(
+            EngineDialect::Virtuoso.text_search_predicate(),
+            "bif:contains"
+        );
+        assert!(EngineDialect::Stardog
+            .text_search_predicate()
+            .contains("textMatch"));
+        assert!(EngineDialect::Jena
+            .text_search_predicate()
+            .contains("text#query"));
     }
 
     #[test]

@@ -44,7 +44,11 @@ mod tests {
         }
         .into();
         assert!(e.to_string().contains("query error"));
-        assert!(EndpointError::UnknownEndpoint("X".into()).to_string().contains('X'));
-        assert!(EndpointError::Unavailable("down".into()).to_string().contains("down"));
+        assert!(EndpointError::UnknownEndpoint("X".into())
+            .to_string()
+            .contains('X'));
+        assert!(EndpointError::Unavailable("down".into())
+            .to_string()
+            .contains("down"));
     }
 }

@@ -102,7 +102,9 @@ impl SparqlEndpoint for InProcessEndpoint {
         stats.total_requests += 1;
         stats.total_time += elapsed;
         let upper = sparql.to_ascii_uppercase();
-        if sparql.contains("bif:contains") || sparql.contains("textMatch") || sparql.contains("text#query")
+        if sparql.contains("bif:contains")
+            || sparql.contains("textMatch")
+            || sparql.contains("text#query")
         {
             stats.text_search_requests += 1;
         }

@@ -90,7 +90,10 @@ impl AnswerTypeClassifier {
     pub fn new() -> Self {
         AnswerTypeClassifier {
             model: AveragedPerceptron::new(
-                AnswerDataType::ALL.iter().map(|t| t.label().to_string()).collect(),
+                AnswerDataType::ALL
+                    .iter()
+                    .map(|t| t.label().to_string())
+                    .collect(),
             ),
             trained: false,
         }

@@ -82,7 +82,7 @@ fn build(
         question.push_str(text);
         let token_count = tokenize_question(text).len();
         match kind {
-            None => tags.extend(std::iter::repeat(BioTag::O).take(token_count)),
+            None => tags.extend(std::iter::repeat_n(BioTag::O, token_count)),
             Some((begin, inside)) => {
                 for i in 0..token_count {
                     tags.push(if i == 0 { begin } else { inside });
@@ -207,7 +207,15 @@ const RELATION_VERBS: &[&str] = &[
 ];
 
 /// Types used in "Which TYPE ..." questions.
-const TYPES: &[&str] = &["city", "country", "river", "university", "company", "scientist", "museum"];
+const TYPES: &[&str] = &[
+    "city",
+    "country",
+    "river",
+    "university",
+    "company",
+    "scientist",
+    "museum",
+];
 
 /// Count nouns for "How many ... ?" questions.
 const COUNT_NOUNS: &[&str] = &["children", "languages", "awards", "inhabitants", "students"];
@@ -226,14 +234,14 @@ pub fn training_corpus() -> Vec<AnnotatedQuestion> {
                     &[o("Who is the"), rel(relation), o("of"), ent(entity)],
                     vec![PhraseTriplePattern::unknown_to_entity(*relation, *entity)],
                     AnswerDataType::String,
-                    Some(relation.split(' ').last().unwrap_or(relation)),
+                    Some(relation.split(' ').next_back().unwrap_or(relation)),
                 ));
             } else {
                 corpus.push(build(
                     &[o("What is the"), rel(relation), o("of"), ent(entity)],
                     vec![PhraseTriplePattern::unknown_to_entity(*relation, *entity)],
                     AnswerDataType::String,
-                    Some(relation.split(' ').last().unwrap_or(relation)),
+                    Some(relation.split(' ').next_back().unwrap_or(relation)),
                 ));
             }
         }
@@ -256,7 +264,14 @@ pub fn training_corpus() -> Vec<AnnotatedQuestion> {
         for relation in STRING_RELATION_NOUNS.iter().skip(i % 3).step_by(3) {
             for entity in PLACES.iter().step_by(2) {
                 corpus.push(build(
-                    &[o("Which"), o(ty), o("is the"), rel(relation), o("of"), ent(entity)],
+                    &[
+                        o("Which"),
+                        o(ty),
+                        o("is the"),
+                        rel(relation),
+                        o("of"),
+                        ent(entity),
+                    ],
                     vec![PhraseTriplePattern::unknown_to_entity(*relation, *entity)],
                     AnswerDataType::String,
                     Some(ty),
@@ -331,7 +346,14 @@ pub fn training_corpus() -> Vec<AnnotatedQuestion> {
     for (i, place) in PLACES.iter().enumerate() {
         let country = PLACES[(i + 3) % PLACES.len()];
         corpus.push(build(
-            &[o("Is"), ent(place), o("the"), rel("capital"), o("of"), ent(country)],
+            &[
+                o("Is"),
+                ent(place),
+                o("the"),
+                rel("capital"),
+                o("of"),
+                ent(country),
+            ],
             vec![PhraseTriplePattern::new(
                 PhraseNode::Phrase(place.to_string()),
                 "capital",
@@ -346,14 +368,50 @@ pub fn training_corpus() -> Vec<AnnotatedQuestion> {
     //    "Name the sea into which Danish Straits flows and has Kaliningrad as
     //     one of the city on the shore".
     let multi_fact_slots: &[(&str, &str, &str, &str, &str)] = &[
-        ("sea", "flows", "Danish Straits", "city on the shore", "Kaliningrad"),
+        (
+            "sea",
+            "flows",
+            "Danish Straits",
+            "city on the shore",
+            "Kaliningrad",
+        ),
         ("river", "flows", "Lake Victoria", "nearest city", "Cairo"),
-        ("country", "borders", "Germany", "official language", "French"),
-        ("scientist", "discovered", "Penicillin", "birth place", "Scotland"),
-        ("company", "founded", "Bill Gates", "headquarters", "Redmond"),
-        ("film", "directed", "Christopher Nolan", "starring", "Leonardo DiCaprio"),
+        (
+            "country",
+            "borders",
+            "Germany",
+            "official language",
+            "French",
+        ),
+        (
+            "scientist",
+            "discovered",
+            "Penicillin",
+            "birth place",
+            "Scotland",
+        ),
+        (
+            "company",
+            "founded",
+            "Bill Gates",
+            "headquarters",
+            "Redmond",
+        ),
+        (
+            "film",
+            "directed",
+            "Christopher Nolan",
+            "starring",
+            "Leonardo DiCaprio",
+        ),
         ("city", "located in", "Bavaria", "mayor", "Dieter Reiter"),
-        ("university", "located in", "California", "founder", "Leland Stanford"),
+        (
+            "university",
+            "located in",
+            "California",
+            "founder",
+            "Leland Stanford",
+        ),
     ];
     for (ty, rel1, ent1, rel2, ent2) in multi_fact_slots {
         corpus.push(build(
@@ -433,7 +491,7 @@ pub fn training_corpus() -> Vec<AnnotatedQuestion> {
             } else {
                 AnswerDataType::String
             },
-            Some(rel1.split(' ').last().unwrap_or(rel1)),
+            Some(rel1.split(' ').next_back().unwrap_or(rel1)),
         ));
     }
 
@@ -482,8 +540,10 @@ mod tests {
                 continue;
             }
             assert!(
-                q.triples.iter().any(|t| t.subject == PhraseNode::Unknown(1)
-                    || t.object == PhraseNode::Unknown(1)),
+                q.triples
+                    .iter()
+                    .any(|t| t.subject == PhraseNode::Unknown(1)
+                        || t.object == PhraseNode::Unknown(1)),
                 "no main unknown in {}",
                 q.question
             );
@@ -507,8 +567,9 @@ mod tests {
         assert!(corpus.iter().any(|q| q.triples.len() >= 2));
         assert!(corpus
             .iter()
-            .any(|q| q.triples.iter().any(|t| t.object == PhraseNode::Unknown(2)
-                || t.subject == PhraseNode::Unknown(2))));
+            .any(|q| q.triples.iter().any(
+                |t| t.object == PhraseNode::Unknown(2) || t.subject == PhraseNode::Unknown(2)
+            )));
     }
 
     #[test]
@@ -517,9 +578,21 @@ mod tests {
         // those benchmarks remain truly "unseen domains" (§7.2.3).
         for q in training_corpus() {
             let lower = q.question.to_lowercase();
-            assert!(!lower.contains("paper"), "scholarly question leaked: {}", q.question);
-            assert!(!lower.contains("conference"), "scholarly question leaked: {}", q.question);
-            assert!(!lower.contains("citation"), "scholarly question leaked: {}", q.question);
+            assert!(
+                !lower.contains("paper"),
+                "scholarly question leaked: {}",
+                q.question
+            );
+            assert!(
+                !lower.contains("conference"),
+                "scholarly question leaked: {}",
+                q.question
+            );
+            assert!(
+                !lower.contains("citation"),
+                "scholarly question leaked: {}",
+                q.question
+            );
         }
     }
 

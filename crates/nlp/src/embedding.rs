@@ -122,7 +122,9 @@ impl WordEmbedding {
 /// "flows"/"flowing"/"flowed" share a stem.
 pub fn stem(word: &str) -> String {
     let w = word.to_lowercase();
-    for suffix in ["ations", "ation", "ings", "ing", "ies", "ied", "ers", "er", "ed", "es", "s"] {
+    for suffix in [
+        "ations", "ation", "ings", "ing", "ies", "ied", "ers", "er", "ed", "es", "s",
+    ] {
         if let Some(base) = w.strip_suffix(suffix) {
             if base.len() >= 3 {
                 return base.to_string();
@@ -343,7 +345,10 @@ mod tests {
         let provider = EmbeddingProvider::new();
         assert!(matches!(provider.embed_word("sea"), SpaceVector::Word(_)));
         assert!(matches!(provider.embed_word("p227"), SpaceVector::Char(_)));
-        assert!(matches!(provider.embed_word("2279569217"), SpaceVector::Char(_)));
+        assert!(matches!(
+            provider.embed_word("2279569217"),
+            SpaceVector::Char(_)
+        ));
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub enum PosTag {
     Other,
 }
 
-const DETERMINERS: &[&str] = &["a", "an", "the", "this", "that", "these", "those", "every", "each", "no"];
+const DETERMINERS: &[&str] = &[
+    "a", "an", "the", "this", "that", "these", "those", "every", "each", "no",
+];
 
 const PREPOSITIONS: &[&str] = &[
     "of", "in", "on", "at", "to", "for", "by", "with", "as", "into", "from", "about", "over",
@@ -62,17 +64,106 @@ const AUXILIARIES: &[&str] = &[
 /// Frequent verbs in benchmark questions (base and inflected forms) that a
 /// suffix heuristic alone would miss.
 const COMMON_VERBS: &[&str] = &[
-    "write", "wrote", "written", "writes", "win", "won", "wins", "direct", "directed", "directs",
-    "star", "starred", "stars", "play", "played", "plays", "marry", "married", "marries", "bear",
-    "born", "die", "died", "dies", "live", "lived", "lives", "work", "worked", "works", "flow",
-    "flows", "flowed", "start", "started", "starts", "create", "created", "creates", "found",
-    "founded", "founds", "publish", "published", "publishes", "author", "authored", "cite",
-    "cited", "cites", "locate", "located", "graduate", "graduated", "study", "studied", "studies",
-    "develop", "developed", "develops", "invent", "invented", "invents", "discover", "discovered",
-    "lead", "led", "leads", "own", "owned", "owns", "belong", "belongs", "belonged", "produce",
-    "produced", "produces", "appear", "appeared", "appears", "run", "ran", "runs", "border",
-    "borders", "bordered", "speak", "spoke", "spoken", "speaks", "teach", "taught", "teaches",
-    "collaborate", "collaborated", "supervise", "supervised", "receive", "received", "receives",
+    "write",
+    "wrote",
+    "written",
+    "writes",
+    "win",
+    "won",
+    "wins",
+    "direct",
+    "directed",
+    "directs",
+    "star",
+    "starred",
+    "stars",
+    "play",
+    "played",
+    "plays",
+    "marry",
+    "married",
+    "marries",
+    "bear",
+    "born",
+    "die",
+    "died",
+    "dies",
+    "live",
+    "lived",
+    "lives",
+    "work",
+    "worked",
+    "works",
+    "flow",
+    "flows",
+    "flowed",
+    "start",
+    "started",
+    "starts",
+    "create",
+    "created",
+    "creates",
+    "found",
+    "founded",
+    "founds",
+    "publish",
+    "published",
+    "publishes",
+    "author",
+    "authored",
+    "cite",
+    "cited",
+    "cites",
+    "locate",
+    "located",
+    "graduate",
+    "graduated",
+    "study",
+    "studied",
+    "studies",
+    "develop",
+    "developed",
+    "develops",
+    "invent",
+    "invented",
+    "invents",
+    "discover",
+    "discovered",
+    "lead",
+    "led",
+    "leads",
+    "own",
+    "owned",
+    "owns",
+    "belong",
+    "belongs",
+    "belonged",
+    "produce",
+    "produced",
+    "produces",
+    "appear",
+    "appeared",
+    "appears",
+    "run",
+    "ran",
+    "runs",
+    "border",
+    "borders",
+    "bordered",
+    "speak",
+    "spoke",
+    "spoken",
+    "speaks",
+    "teach",
+    "taught",
+    "teaches",
+    "collaborate",
+    "collaborated",
+    "supervise",
+    "supervised",
+    "receive",
+    "received",
+    "receives",
 ];
 
 const COMMON_ADJECTIVES: &[&str] = &[
@@ -121,7 +212,10 @@ pub fn pos_tag(lower: &str, capitalized: bool, sentence_initial: bool) -> PosTag
     if (lower.ends_with("ing") || lower.ends_with("ed")) && lower.len() > 4 {
         return PosTag::Verb;
     }
-    if (lower.ends_with("ous") || lower.ends_with("ful") || lower.ends_with("ical") || lower.ends_with("able"))
+    if (lower.ends_with("ous")
+        || lower.ends_with("ful")
+        || lower.ends_with("ical")
+        || lower.ends_with("able"))
         && lower.len() > 4
     {
         return PosTag::Adjective;
@@ -135,12 +229,7 @@ pub fn tag_question(question: &str) -> Vec<(String, PosTag)> {
     tokens
         .iter()
         .enumerate()
-        .map(|(i, t)| {
-            (
-                t.lower.clone(),
-                pos_tag(&t.lower, t.capitalized, i == 0),
-            )
-        })
+        .map(|(i, t)| (t.lower.clone(), pos_tag(&t.lower, t.capitalized, i == 0)))
         .collect()
 }
 
@@ -199,9 +288,18 @@ mod tests {
 
     #[test]
     fn first_noun_skips_proper_nouns_and_question_words() {
-        assert_eq!(first_noun("Who is the wife of Barack Obama?"), Some("wife".to_string()));
-        assert_eq!(first_noun("Which river does the Brooklyn Bridge cross?"), Some("river".to_string()));
-        assert_eq!(first_noun("Who wrote The Hobbit?"), None.or(first_noun("Who wrote The Hobbit?")));
+        assert_eq!(
+            first_noun("Who is the wife of Barack Obama?"),
+            Some("wife".to_string())
+        );
+        assert_eq!(
+            first_noun("Which river does the Brooklyn Bridge cross?"),
+            Some("river".to_string())
+        );
+        assert_eq!(
+            first_noun("Who wrote The Hobbit?"),
+            None.or(first_noun("Who wrote The Hobbit?"))
+        );
     }
 
     #[test]

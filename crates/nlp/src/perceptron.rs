@@ -96,8 +96,7 @@ impl AveragedPerceptron {
             .unwrap_or(0.0);
         // Lazily account the time this weight value has been in effect.
         let since = self.timestamps.get(&key).copied().unwrap_or(0);
-        *self.totals.entry(key.clone()).or_insert(0.0) +=
-            (self.instances - since) as f64 * current;
+        *self.totals.entry(key.clone()).or_insert(0.0) += (self.instances - since) as f64 * current;
         self.timestamps.insert(key, self.instances);
         self.weights
             .entry(feature.to_string())
@@ -137,7 +136,12 @@ mod tests {
     fn learns_a_linearly_separable_toy_problem() {
         let mut p = AveragedPerceptron::new(vec!["animal".into(), "city".into()]);
         let animals = [vec!["cat"], vec!["dog"], vec!["cat", "dog"], vec!["horse"]];
-        let cities = [vec!["paris"], vec!["berlin"], vec!["paris", "berlin"], vec!["rome"]];
+        let cities = [
+            vec!["paris"],
+            vec!["berlin"],
+            vec!["paris", "berlin"],
+            vec!["rome"],
+        ];
         for _ in 0..5 {
             for a in &animals {
                 let f = features(a);

@@ -48,7 +48,13 @@ pub enum BioTag {
 
 impl BioTag {
     /// All tags, in a fixed order.
-    pub const ALL: [BioTag; 5] = [BioTag::O, BioTag::EntB, BioTag::EntI, BioTag::RelB, BioTag::RelI];
+    pub const ALL: [BioTag; 5] = [
+        BioTag::O,
+        BioTag::EntB,
+        BioTag::EntI,
+        BioTag::RelB,
+        BioTag::RelI,
+    ];
 
     /// Canonical string form used as perceptron class labels.
     pub fn label(&self) -> &'static str {
@@ -350,7 +356,9 @@ fn collect_raw_spans(tagged: &[(Token, BioTag)]) -> Vec<Span> {
                     SpanKind::Relation
                 };
                 match spans.last_mut() {
-                    Some(last) if last.kind == kind && last.start + count_tokens(&last.text) == i => {
+                    Some(last)
+                        if last.kind == kind && last.start + count_tokens(&last.text) == i =>
+                    {
                         last.text.push(' ');
                         last.text.push_str(&token.surface);
                     }
@@ -427,8 +435,14 @@ fn assemble_triples(
     tagged: &[(Token, BioTag)],
     spans: &[Span],
 ) -> Vec<PhraseTriplePattern> {
-    let entities: Vec<&Span> = spans.iter().filter(|s| s.kind == SpanKind::Entity).collect();
-    let relations: Vec<&Span> = spans.iter().filter(|s| s.kind == SpanKind::Relation).collect();
+    let entities: Vec<&Span> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Entity)
+        .collect();
+    let relations: Vec<&Span> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Relation)
+        .collect();
 
     let mut triples = Vec::new();
 
@@ -477,7 +491,7 @@ fn assemble_triples(
                 let distance = ent.start.abs_diff(rel.start);
                 let penalty = if used[idx] { 6 } else { 0 };
                 let score = distance + penalty;
-                if best.map_or(true, |(d, _)| score < d) {
+                if best.is_none_or(|(d, _)| score < d) {
                     best = Some((score, idx));
                 }
             }
@@ -595,7 +609,10 @@ mod tests {
         // "wife" must be part of a relation span, "Barack Obama" an entity span.
         let wife_idx = tagged.iter().position(|(t, _)| t.lower == "wife").unwrap();
         assert!(matches!(tags[wife_idx], BioTag::RelB | BioTag::RelI));
-        let barack_idx = tagged.iter().position(|(t, _)| t.lower == "barack").unwrap();
+        let barack_idx = tagged
+            .iter()
+            .position(|(t, _)| t.lower == "barack")
+            .unwrap();
         assert!(matches!(tags[barack_idx], BioTag::EntB | BioTag::EntI));
     }
 

@@ -35,7 +35,14 @@ pub const SYNONYM_GROUPS: &[&[&str]] = &[
     &["flow", "flows", "outflow", "inflow", "mouth", "drains"],
     &["shore", "coast", "coastline", "nearest", "near", "beside"],
     &["located", "location", "place", "situated", "lies"],
-    &["border", "borders", "bordering", "neighbour", "neighbor", "adjacent"],
+    &[
+        "border",
+        "borders",
+        "bordering",
+        "neighbour",
+        "neighbor",
+        "adjacent",
+    ],
     &["population", "inhabitants", "people", "populous"],
     &["area", "size", "extent"],
     &["height", "tall", "elevation", "high"],
@@ -43,12 +50,38 @@ pub const SYNONYM_GROUPS: &[&[&str]] = &[
     &["language", "languages", "speak", "spoken", "official"],
     &["currency", "money"],
     // scholarly publishing (DBLP / MAG domain)
-    &["author", "authors", "authored", "writer", "wrote", "written", "write", "creator"],
-    &["paper", "papers", "publication", "publications", "article", "articles", "work"],
-    &["cite", "cited", "cites", "citation", "citations", "references", "reference"],
+    &[
+        "author", "authors", "authored", "writer", "wrote", "written", "write", "creator",
+    ],
+    &[
+        "paper",
+        "papers",
+        "publication",
+        "publications",
+        "article",
+        "articles",
+        "work",
+    ],
+    &[
+        "cite",
+        "cited",
+        "cites",
+        "citation",
+        "citations",
+        "references",
+        "reference",
+    ],
     &["conference", "venue", "journal", "proceedings"],
     &["published", "publish", "publisher", "appeared"],
-    &["university", "college", "institution", "affiliation", "affiliated", "school", "member"],
+    &[
+        "university",
+        "college",
+        "institution",
+        "affiliation",
+        "affiliated",
+        "school",
+        "member",
+    ],
     &["field", "topic", "subject", "discipline", "studies"],
     &["advisor", "supervisor", "supervised", "doctoral"],
     &["coauthor", "collaborator", "collaborated", "colleague"],
@@ -56,22 +89,69 @@ pub const SYNONYM_GROUPS: &[&[&str]] = &[
     // film / arts
     &["film", "movie", "films", "movies"],
     &["director", "directed", "direct", "filmmaker"],
-    &["starring", "star", "starred", "actor", "actress", "cast", "played", "plays"],
+    &[
+        "starring", "star", "starred", "actor", "actress", "cast", "played", "plays",
+    ],
     &["album", "song", "music", "band", "singer", "musician"],
     &["book", "novel", "books", "novels"],
     // organisations / politics
-    &["company", "corporation", "firm", "organisation", "organization"],
-    &["founded", "founder", "founders", "established", "created", "creator"],
-    &["president", "leader", "head", "chief", "chancellor", "premier"],
+    &[
+        "company",
+        "corporation",
+        "firm",
+        "organisation",
+        "organization",
+    ],
+    &[
+        "founded",
+        "founder",
+        "founders",
+        "established",
+        "created",
+        "creator",
+    ],
+    &[
+        "president",
+        "leader",
+        "head",
+        "chief",
+        "chancellor",
+        "premier",
+    ],
     &["mayor", "governor"],
     &["member", "members", "part", "belongs", "belong"],
     &["party", "political"],
     &["award", "prize", "won", "win", "winner", "awarded", "nobel"],
     &["team", "club", "squad"],
-    &["employer", "employed", "works", "work", "working", "job", "occupation", "profession"],
+    &[
+        "employer",
+        "employed",
+        "works",
+        "work",
+        "working",
+        "job",
+        "occupation",
+        "profession",
+    ],
     &["owner", "owns", "owned", "belongs"],
-    &["studied", "study", "graduated", "graduate", "education", "educated", "alumni"],
-    &["developed", "develop", "developer", "invented", "inventor", "designed", "designer"],
+    &[
+        "studied",
+        "study",
+        "graduated",
+        "graduate",
+        "education",
+        "educated",
+        "alumni",
+    ],
+    &[
+        "developed",
+        "develop",
+        "developer",
+        "invented",
+        "inventor",
+        "designed",
+        "designer",
+    ],
     &["headquarters", "headquartered", "based", "seat"],
     &["type", "kind", "category", "class"],
     &["name", "called", "named", "title", "label"],

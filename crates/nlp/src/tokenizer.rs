@@ -21,7 +21,7 @@ impl Token {
     /// Build a token from a surface string.
     pub fn new(surface: &str) -> Self {
         let lower = surface.to_lowercase();
-        let capitalized = surface.chars().next().map_or(false, |c| c.is_uppercase());
+        let capitalized = surface.chars().next().is_some_and(|c| c.is_uppercase());
         let numeric = !surface.is_empty() && surface.chars().all(|c| c.is_ascii_digit());
         Token {
             surface: surface.to_string(),
@@ -47,8 +47,8 @@ pub fn is_stop_word(word: &str) -> bool {
 
 /// Question words that introduce unknowns.
 pub const QUESTION_WORDS: &[&str] = &[
-    "who", "whom", "what", "which", "where", "when", "how", "why", "whose", "name", "list",
-    "give", "show", "tell", "count",
+    "who", "whom", "what", "which", "where", "when", "how", "why", "whose", "name", "list", "give",
+    "show", "tell", "count",
 ];
 
 /// Tokenize a natural-language question into [`Token`]s.
@@ -121,7 +121,13 @@ mod tests {
         let tokens = tokenize_question("population of 431000 people in 1945");
         assert!(tokens.iter().any(|t| t.numeric && t.surface == "431000"));
         assert!(tokens.iter().any(|t| t.numeric && t.surface == "1945"));
-        assert!(!tokens.iter().find(|t| t.surface == "people").unwrap().numeric);
+        assert!(
+            !tokens
+                .iter()
+                .find(|t| t.surface == "people")
+                .unwrap()
+                .numeric
+        );
     }
 
     #[test]

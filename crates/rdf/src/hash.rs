@@ -81,9 +81,7 @@ mod tests {
     use std::hash::{BuildHasher, Hash};
 
     fn hash_one<T: Hash>(value: &T) -> u64 {
-        let mut hasher = FxBuildHasher::default().build_hasher();
-        value.hash(&mut hasher);
-        hasher.finish()
+        FxBuildHasher::default().hash_one(value)
     }
 
     #[test]
@@ -115,7 +113,7 @@ mod tests {
     #[test]
     fn hashing_strings_of_varied_length_is_stable() {
         for len in 0..40 {
-            let s: String = std::iter::repeat('x').take(len).collect();
+            let s: String = std::iter::repeat_n('x', len).collect();
             assert_eq!(hash_one(&s), hash_one(&s.clone()));
         }
     }

@@ -219,13 +219,29 @@ impl TripleIndex {
 
         let lower: [u32; 3] = [
             prefix[0].unwrap_or(u32::MIN),
-            if prefix_len >= 2 { prefix[1].unwrap_or(u32::MIN) } else { u32::MIN },
-            if prefix_len >= 3 { prefix[2].unwrap_or(u32::MIN) } else { u32::MIN },
+            if prefix_len >= 2 {
+                prefix[1].unwrap_or(u32::MIN)
+            } else {
+                u32::MIN
+            },
+            if prefix_len >= 3 {
+                prefix[2].unwrap_or(u32::MIN)
+            } else {
+                u32::MIN
+            },
         ];
         let upper: [u32; 3] = [
             prefix[0].unwrap_or(u32::MAX),
-            if prefix_len >= 2 { prefix[1].unwrap_or(u32::MAX) } else { u32::MAX },
-            if prefix_len >= 3 { prefix[2].unwrap_or(u32::MAX) } else { u32::MAX },
+            if prefix_len >= 2 {
+                prefix[1].unwrap_or(u32::MAX)
+            } else {
+                u32::MAX
+            },
+            if prefix_len >= 3 {
+                prefix[2].unwrap_or(u32::MAX)
+            } else {
+                u32::MAX
+            },
         ];
 
         let needs_post_filter = {
@@ -242,9 +258,9 @@ impl TripleIndex {
                 if !needs_post_filter {
                     return true;
                 }
-                s.map_or(true, |v| t.subject.0 == v)
-                    && p.map_or(true, |v| t.predicate.0 == v)
-                    && o.map_or(true, |v| t.object.0 == v)
+                s.is_none_or(|v| t.subject.0 == v)
+                    && p.is_none_or(|v| t.predicate.0 == v)
+                    && o.is_none_or(|v| t.object.0 == v)
             })
             .collect()
     }
@@ -298,21 +314,41 @@ mod tests {
     #[test]
     fn all_eight_pattern_shapes_return_correct_matches() {
         let mut idx = TripleIndex::new();
-        let triples = [t(1, 10, 100), t(1, 10, 101), t(1, 11, 100), t(2, 10, 100), t(3, 12, 103)];
+        let triples = [
+            t(1, 10, 100),
+            t(1, 10, 101),
+            t(1, 11, 100),
+            t(2, 10, 100),
+            t(3, 12, 103),
+        ];
         for &tr in &triples {
             idx.insert(tr);
         }
 
         // (s, p, o) fully bound
-        assert_eq!(idx.matching(Some(TermId(1)), Some(TermId(10)), Some(TermId(100))).len(), 1);
+        assert_eq!(
+            idx.matching(Some(TermId(1)), Some(TermId(10)), Some(TermId(100)))
+                .len(),
+            1
+        );
         // (s, p, ?)
-        assert_eq!(idx.matching(Some(TermId(1)), Some(TermId(10)), None).len(), 2);
+        assert_eq!(
+            idx.matching(Some(TermId(1)), Some(TermId(10)), None).len(),
+            2
+        );
         // (s, ?, o)
-        assert_eq!(idx.matching(Some(TermId(1)), None, Some(TermId(100))).len(), 2);
+        assert_eq!(
+            idx.matching(Some(TermId(1)), None, Some(TermId(100))).len(),
+            2
+        );
         // (s, ?, ?)
         assert_eq!(idx.matching(Some(TermId(1)), None, None).len(), 3);
         // (?, p, o)
-        assert_eq!(idx.matching(None, Some(TermId(10)), Some(TermId(100))).len(), 2);
+        assert_eq!(
+            idx.matching(None, Some(TermId(10)), Some(TermId(100)))
+                .len(),
+            2
+        );
         // (?, p, ?)
         assert_eq!(idx.matching(None, Some(TermId(10)), None).len(), 3);
         // (?, ?, o)
@@ -364,10 +400,22 @@ mod tests {
 
     #[test]
     fn best_for_pattern_prefers_matching_prefix() {
-        assert_eq!(IndexOrder::best_for_pattern(true, true, false), IndexOrder::Spo);
-        assert_eq!(IndexOrder::best_for_pattern(false, true, true), IndexOrder::Pos);
-        assert_eq!(IndexOrder::best_for_pattern(false, false, true), IndexOrder::Ops);
-        assert_eq!(IndexOrder::best_for_pattern(true, false, true), IndexOrder::Sop);
+        assert_eq!(
+            IndexOrder::best_for_pattern(true, true, false),
+            IndexOrder::Spo
+        );
+        assert_eq!(
+            IndexOrder::best_for_pattern(false, true, true),
+            IndexOrder::Pos
+        );
+        assert_eq!(
+            IndexOrder::best_for_pattern(false, false, true),
+            IndexOrder::Ops
+        );
+        assert_eq!(
+            IndexOrder::best_for_pattern(true, false, true),
+            IndexOrder::Sop
+        );
     }
 
     #[test]

@@ -20,12 +20,13 @@ pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>, RdfError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let line = line.strip_suffix('.').map(str::trim_end).ok_or_else(|| {
-            RdfError::NTriplesSyntax {
-                line: lineno + 1,
-                message: "statement does not end with '.'".into(),
-            }
-        })?;
+        let line =
+            line.strip_suffix('.')
+                .map(str::trim_end)
+                .ok_or_else(|| RdfError::NTriplesSyntax {
+                    line: lineno + 1,
+                    message: "statement does not end with '.'".into(),
+                })?;
         let terms = split_statement(line).map_err(|message| RdfError::NTriplesSyntax {
             line: lineno + 1,
             message,
@@ -52,7 +53,8 @@ pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>, RdfError> {
         if !triple.is_valid() {
             return Err(RdfError::NTriplesSyntax {
                 line: lineno + 1,
-                message: "structurally invalid triple (literal subject or non-IRI predicate)".into(),
+                message: "structurally invalid triple (literal subject or non-IRI predicate)"
+                    .into(),
             });
         }
         triples.push(triple);
@@ -143,10 +145,7 @@ mod tests {
     fn parses_sample_document() {
         let triples = parse_ntriples(SAMPLE).expect("sample should parse");
         assert_eq!(triples.len(), 3);
-        assert_eq!(
-            triples[0].object,
-            Term::literal_lang("Baltic Sea", "en")
-        );
+        assert_eq!(triples[0].object, Term::literal_lang("Baltic Sea", "en"));
         assert!(triples[2].object.as_literal().unwrap().is_numeric());
     }
 
@@ -160,7 +159,8 @@ mod tests {
 
     #[test]
     fn literal_with_spaces_and_dots_survives() {
-        let doc = r#"<http://e/p1> <http://e/title> "Transaction Processing. Concepts and Techniques" ."#;
+        let doc =
+            r#"<http://e/p1> <http://e/title> "Transaction Processing. Concepts and Techniques" ."#;
         let triples = parse_ntriples(doc).unwrap();
         assert_eq!(
             triples[0].object.as_literal().unwrap().lexical,

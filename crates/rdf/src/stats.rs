@@ -85,12 +85,24 @@ mod tests {
         let rdf_type = Term::iri(vocab::RDF_TYPE);
         for i in 0..10 {
             let s = Term::iri(format!("http://e/s{i}"));
-            store.insert(Triple::new(s.clone(), label.clone(), Term::literal_str(format!("entity {i}"))));
-            store.insert(Triple::new(s.clone(), p1.clone(), Term::iri(format!("http://e/o{}", i % 3))));
+            store.insert(Triple::new(
+                s.clone(),
+                label.clone(),
+                Term::literal_str(format!("entity {i}")),
+            ));
+            store.insert(Triple::new(
+                s.clone(),
+                p1.clone(),
+                Term::iri(format!("http://e/o{}", i % 3)),
+            ));
             store.insert(Triple::new(
                 s,
                 rdf_type.clone(),
-                Term::iri(if i % 2 == 0 { "http://e/ClassA" } else { "http://e/ClassB" }),
+                Term::iri(if i % 2 == 0 {
+                    "http://e/ClassA"
+                } else {
+                    "http://e/ClassB"
+                }),
             ));
         }
         store

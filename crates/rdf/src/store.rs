@@ -124,7 +124,10 @@ impl Store {
 
     /// Bulk-insert triples, returning how many were new.
     pub fn insert_all<I: IntoIterator<Item = Triple>>(&mut self, triples: I) -> usize {
-        triples.into_iter().filter(|t| self.insert(t.clone())).count()
+        triples
+            .into_iter()
+            .filter(|t| self.insert(t.clone()))
+            .count()
     }
 
     /// True if the exact triple is present.
@@ -463,7 +466,9 @@ mod tests {
             Term::iri("http://dbpedia.org/ontology/nearestCity")
         );
 
-        assert!(store.outgoing_predicates(&Term::iri("http://nowhere/x")).is_empty());
+        assert!(store
+            .outgoing_predicates(&Term::iri("http://nowhere/x"))
+            .is_empty());
     }
 
     #[test]

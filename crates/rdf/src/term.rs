@@ -349,10 +349,8 @@ pub fn split_identifier_words(ident: &str) -> Vec<String> {
             prev_lower = false;
             continue;
         }
-        if c.is_ascii_uppercase() && prev_lower {
-            if !current.is_empty() {
-                words.push(std::mem::take(&mut current));
-            }
+        if c.is_ascii_uppercase() && prev_lower && !current.is_empty() {
+            words.push(std::mem::take(&mut current));
         }
         prev_lower = c.is_ascii_lowercase() || c.is_ascii_digit();
         current.extend(c.to_lowercase());
@@ -437,15 +435,28 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed_terms() {
-        for bad in ["<unterminated", "noangle", "_:", "\"unterminated", "\"x\"@", "\"x\"^^bad"] {
+        for bad in [
+            "<unterminated",
+            "noangle",
+            "_:",
+            "\"unterminated",
+            "\"x\"@",
+            "\"x\"^^bad",
+        ] {
             assert!(Term::parse_ntriples(bad).is_err(), "should reject {bad}");
         }
     }
 
     #[test]
     fn local_name_extraction() {
-        assert_eq!(local_name("http://dbpedia.org/ontology/nearestCity"), "nearestCity");
-        assert_eq!(local_name("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"), "type");
+        assert_eq!(
+            local_name("http://dbpedia.org/ontology/nearestCity"),
+            "nearestCity"
+        );
+        assert_eq!(
+            local_name("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+            "type"
+        );
         assert_eq!(local_name("nolocal"), "nolocal");
     }
 
@@ -471,7 +482,10 @@ mod tests {
 
     #[test]
     fn split_identifier_words_handles_mixed_styles() {
-        assert_eq!(split_identifier_words("nearestCity"), vec!["nearest", "city"]);
+        assert_eq!(
+            split_identifier_words("nearestCity"),
+            vec!["nearest", "city"]
+        );
         assert_eq!(
             split_identifier_words("Yantar,_Kaliningrad"),
             vec!["yantar", "kaliningrad"]
@@ -482,7 +496,7 @@ mod tests {
 
     #[test]
     fn term_ordering_is_total_and_stable() {
-        let mut terms = vec![
+        let mut terms = [
             Term::literal_str("b"),
             Term::iri("http://z.example"),
             Term::blank("a"),

@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn tokenize_lowercases_and_splits() {
         assert_eq!(tokenize("Danish Straits"), vec!["danish", "straits"]);
-        assert_eq!(tokenize("Yantar,_Kaliningrad"), vec!["yantar", "kaliningrad"]);
+        assert_eq!(
+            tokenize("Yantar,_Kaliningrad"),
+            vec!["yantar", "kaliningrad"]
+        );
         assert_eq!(tokenize("  multiple   spaces "), vec!["multiple", "spaces"]);
         assert_eq!(tokenize(""), Vec::<String>::new());
         assert_eq!(tokenize("C3PO-unit"), vec!["c3po", "unit"]);
@@ -196,7 +199,11 @@ mod tests {
 
     #[test]
     fn search_all_requires_every_word() {
-        let idx = build_index(&[(1, "Microsoft Academic Graph"), (2, "Microsoft"), (3, "Graph")]);
+        let idx = build_index(&[
+            (1, "Microsoft Academic Graph"),
+            (2, "Microsoft"),
+            (3, "Graph"),
+        ]);
         let hits = idx.search_all(&["microsoft", "graph"], 10);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].literal, TermId(1));

@@ -102,7 +102,10 @@ mod tests {
             expand_curie("dbr:Danish_straits"),
             "http://dbpedia.org/resource/Danish_straits"
         );
-        assert_eq!(expand_curie("mag:2279569217"), "https://makg.org/entity/2279569217");
+        assert_eq!(
+            expand_curie("mag:2279569217"),
+            "https://makg.org/entity/2279569217"
+        );
     }
 
     #[test]

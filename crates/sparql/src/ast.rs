@@ -167,9 +167,7 @@ impl GraphPattern {
     pub fn all_triple_patterns(&self) -> Vec<&TriplePatternAst> {
         match self {
             GraphPattern::Bgp(tps) => tps.iter().collect(),
-            GraphPattern::Join(a, b)
-            | GraphPattern::Optional(a, b)
-            | GraphPattern::Union(a, b) => {
+            GraphPattern::Join(a, b) | GraphPattern::Optional(a, b) | GraphPattern::Union(a, b) => {
                 let mut v = a.all_triple_patterns();
                 v.extend(b.all_triple_patterns());
                 v

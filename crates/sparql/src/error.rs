@@ -47,14 +47,25 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SparqlError::Lex { position: 3, message: "bad char".into() }
+        assert!(SparqlError::Lex {
+            position: 3,
+            message: "bad char".into()
+        }
+        .to_string()
+        .contains("byte 3"));
+        assert!(SparqlError::Parse {
+            message: "expected WHERE".into()
+        }
+        .to_string()
+        .contains("expected WHERE"));
+        assert!(SparqlError::UnknownPrefix("dbx".into())
             .to_string()
-            .contains("byte 3"));
-        assert!(SparqlError::Parse { message: "expected WHERE".into() }
+            .contains("dbx"));
+        assert!(SparqlError::Unsupported("CONSTRUCT".into())
             .to_string()
-            .contains("expected WHERE"));
-        assert!(SparqlError::UnknownPrefix("dbx".into()).to_string().contains("dbx"));
-        assert!(SparqlError::Unsupported("CONSTRUCT".into()).to_string().contains("CONSTRUCT"));
-        assert!(SparqlError::Evaluation("type mismatch".into()).to_string().contains("type"));
+            .contains("CONSTRUCT"));
+        assert!(SparqlError::Evaluation("type mismatch".into())
+            .to_string()
+            .contains("type"));
     }
 }

@@ -83,8 +83,10 @@ impl<'a> Evaluator<'a> {
                 } else {
                     variables.clone()
                 };
-                let mut rows: Vec<Binding> =
-                    bindings.into_iter().map(|b| b.project(&projected)).collect();
+                let mut rows: Vec<Binding> = bindings
+                    .into_iter()
+                    .map(|b| b.project(&projected))
+                    .collect();
                 if *distinct {
                     let mut seen = std::collections::BTreeSet::new();
                     rows.retain(|b| seen.insert(format!("{b}")));
@@ -134,7 +136,10 @@ impl<'a> Evaluator<'a> {
                 let bindings = self.eval_pattern(inner, input)?;
                 let mut out = Vec::with_capacity(bindings.len());
                 for b in bindings {
-                    if eval_expression(expr, &b)?.map(term_truthiness).unwrap_or(false) {
+                    if eval_expression(expr, &b)?
+                        .map(term_truthiness)
+                        .unwrap_or(false)
+                    {
                         out.push(b);
                     }
                 }
@@ -310,7 +315,10 @@ fn term_truthiness(term: Term) -> bool {
             if lit.is_boolean() {
                 lit.lexical == "true" || lit.lexical == "1"
             } else if lit.is_numeric() {
-                lit.lexical.parse::<f64>().map(|v| v != 0.0).unwrap_or(false)
+                lit.lexical
+                    .parse::<f64>()
+                    .map(|v| v != 0.0)
+                    .unwrap_or(false)
             } else {
                 !lit.lexical.is_empty()
             }
@@ -333,19 +341,27 @@ fn eval_expression(expr: &Expression, binding: &Binding) -> Result<Option<Term>,
             Ok(boolean(!value.map(term_truthiness).unwrap_or(false)))
         }
         Expression::And(a, b) => {
-            let left = eval_expression(a, binding)?.map(term_truthiness).unwrap_or(false);
+            let left = eval_expression(a, binding)?
+                .map(term_truthiness)
+                .unwrap_or(false);
             if !left {
                 return Ok(boolean(false));
             }
-            let right = eval_expression(b, binding)?.map(term_truthiness).unwrap_or(false);
+            let right = eval_expression(b, binding)?
+                .map(term_truthiness)
+                .unwrap_or(false);
             Ok(boolean(right))
         }
         Expression::Or(a, b) => {
-            let left = eval_expression(a, binding)?.map(term_truthiness).unwrap_or(false);
+            let left = eval_expression(a, binding)?
+                .map(term_truthiness)
+                .unwrap_or(false);
             if left {
                 return Ok(boolean(true));
             }
-            let right = eval_expression(b, binding)?.map(term_truthiness).unwrap_or(false);
+            let right = eval_expression(b, binding)?
+                .map(term_truthiness)
+                .unwrap_or(false);
             Ok(boolean(right))
         }
         Expression::Eq(a, b) => compare(a, b, binding, |o| o == std::cmp::Ordering::Equal),
@@ -407,9 +423,8 @@ fn compare(
 /// Compare two terms: numerically when both parse as numbers, otherwise by
 /// their textual form.
 fn term_compare(a: &Term, b: &Term) -> std::cmp::Ordering {
-    let num = |t: &Term| -> Option<f64> {
-        t.as_literal().and_then(|l| l.lexical.parse::<f64>().ok())
-    };
+    let num =
+        |t: &Term| -> Option<f64> { t.as_literal().and_then(|l| l.lexical.parse::<f64>().ok()) };
     if let (Some(x), Some(y)) = (num(a), num(b)) {
         return x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal);
     }
@@ -457,10 +472,26 @@ mod tests {
 
         store.insert_all([
             Triple::new(sea.clone(), label.clone(), Term::literal_str("Baltic Sea")),
-            Triple::new(north_sea.clone(), label.clone(), Term::literal_str("North Sea")),
-            Triple::new(straits.clone(), label.clone(), Term::literal_str("Danish Straits")),
-            Triple::new(kali.clone(), label.clone(), Term::literal_str("Kaliningrad")),
-            Triple::new(yantar.clone(), label.clone(), Term::literal_str("Yantar, Kaliningrad")),
+            Triple::new(
+                north_sea.clone(),
+                label.clone(),
+                Term::literal_str("North Sea"),
+            ),
+            Triple::new(
+                straits.clone(),
+                label.clone(),
+                Term::literal_str("Danish Straits"),
+            ),
+            Triple::new(
+                kali.clone(),
+                label.clone(),
+                Term::literal_str("Kaliningrad"),
+            ),
+            Triple::new(
+                yantar.clone(),
+                label.clone(),
+                Term::literal_str("Yantar, Kaliningrad"),
+            ),
             Triple::new(
                 sea.clone(),
                 Term::iri("http://dbpedia.org/property/outflow"),
@@ -476,7 +507,11 @@ mod tests {
                 Term::iri("http://dbpedia.org/property/outflow"),
                 Term::iri("http://dbpedia.org/resource/English_Channel"),
             ),
-            Triple::new(sea.clone(), Term::iri(vocab::RDF_TYPE), Term::iri("http://dbpedia.org/ontology/Sea")),
+            Triple::new(
+                sea.clone(),
+                Term::iri(vocab::RDF_TYPE),
+                Term::iri("http://dbpedia.org/ontology/Sea"),
+            ),
             Triple::new(
                 kali.clone(),
                 Term::iri("http://dbpedia.org/ontology/populationTotal"),
@@ -713,7 +748,10 @@ mod tests {
 
     #[test]
     fn text_query_parsing_strips_connectives_and_quotes() {
-        assert_eq!(parse_text_query("'danish' OR 'straits'"), vec!["danish", "straits"]);
+        assert_eq!(
+            parse_text_query("'danish' OR 'straits'"),
+            vec!["danish", "straits"]
+        );
         assert_eq!(parse_text_query("Jim AND Gray"), vec!["jim", "gray"]);
         assert_eq!(parse_text_query(""), Vec::<String>::new());
     }

@@ -73,9 +73,28 @@ pub enum DatatypeRef {
 
 /// Keywords recognised by the parser (matched case-insensitively).
 const KEYWORDS: &[&str] = &[
-    "SELECT", "ASK", "WHERE", "DISTINCT", "LIMIT", "OFFSET", "OPTIONAL", "FILTER", "PREFIX",
-    "UNION", "ORDER", "BY", "CONTAINS", "REGEX", "LANG", "LANGMATCHES", "STR", "BOUND", "TRUE",
-    "FALSE", "COUNT", "AS",
+    "SELECT",
+    "ASK",
+    "WHERE",
+    "DISTINCT",
+    "LIMIT",
+    "OFFSET",
+    "OPTIONAL",
+    "FILTER",
+    "PREFIX",
+    "UNION",
+    "ORDER",
+    "BY",
+    "CONTAINS",
+    "REGEX",
+    "LANG",
+    "LANGMATCHES",
+    "STR",
+    "BOUND",
+    "TRUE",
+    "FALSE",
+    "COUNT",
+    "AS",
 ];
 
 /// Tokenize a SPARQL query string.
@@ -202,13 +221,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
                 tokens.push(token);
                 i = next;
             }
-            c if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).map_or(false, |d| d.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
                 let start = i;
                 let mut j = i + 1;
                 while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == '.') {
                     // A trailing dot is the statement terminator, not part of
                     // the number, unless followed by a digit.
-                    if bytes[j] == '.' && !bytes.get(j + 1).map_or(false, |d| d.is_ascii_digit()) {
+                    if bytes[j] == '.' && !bytes.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
                         break;
                     }
                     j += 1;
@@ -265,7 +286,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
                 // Prefixed name with empty prefix (":local").
                 let local_start = i + 1;
                 let mut k = local_start;
-                while k < bytes.len() && (bytes[k].is_alphanumeric() || bytes[k] == '_' || bytes[k] == '-') {
+                while k < bytes.len()
+                    && (bytes[k].is_alphanumeric() || bytes[k] == '_' || bytes[k] == '-')
+                {
                     k += 1;
                 }
                 let local: String = bytes[local_start..k].iter().collect();
@@ -442,7 +465,10 @@ mod tests {
 
     #[test]
     fn tokenizes_typed_and_lang_literals() {
-        let toks = tokenize(r#""Baltic Sea"@en "42"^^<http://www.w3.org/2001/XMLSchema#integer> "3"^^xsd:integer"#).unwrap();
+        let toks = tokenize(
+            r#""Baltic Sea"@en "42"^^<http://www.w3.org/2001/XMLSchema#integer> "3"^^xsd:integer"#,
+        )
+        .unwrap();
         assert!(matches!(
             &toks[0],
             Token::Literal { value, language: Some(lang), .. } if value == "Baltic Sea" && lang == "en"

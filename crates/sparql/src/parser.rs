@@ -434,9 +434,13 @@ impl Parser {
     }
 
     fn next_token(&mut self) -> Result<Token, SparqlError> {
-        let t = self.tokens.get(self.pos).cloned().ok_or(SparqlError::Parse {
-            message: "unexpected end of input".into(),
-        })?;
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or(SparqlError::Parse {
+                message: "unexpected end of input".into(),
+            })?;
         self.pos += 1;
         Ok(t)
     }
@@ -479,7 +483,10 @@ mod tests {
     fn parses_select_star_distinct_limit() {
         let q = parse_query("SELECT DISTINCT * WHERE { ?s ?p ?o . } LIMIT 10 OFFSET 5").unwrap();
         match q.form {
-            QueryForm::Select { distinct, ref variables } => {
+            QueryForm::Select {
+                distinct,
+                ref variables,
+            } => {
                 assert!(distinct);
                 assert!(variables.is_empty());
             }
@@ -578,11 +585,24 @@ mod tests {
 
     #[test]
     fn numeric_and_boolean_objects_parse() {
-        let q = parse_query("SELECT ?x WHERE { ?x <http://e/pop> 431000 . ?x <http://e/eu> true . }")
-            .unwrap();
+        let q =
+            parse_query("SELECT ?x WHERE { ?x <http://e/pop> 431000 . ?x <http://e/eu> true . }")
+                .unwrap();
         let tps = q.pattern.all_triple_patterns();
-        assert!(tps[0].object.as_term().unwrap().as_literal().unwrap().is_numeric());
-        assert!(tps[1].object.as_term().unwrap().as_literal().unwrap().is_boolean());
+        assert!(tps[0]
+            .object
+            .as_term()
+            .unwrap()
+            .as_literal()
+            .unwrap()
+            .is_numeric());
+        assert!(tps[1]
+            .object
+            .as_term()
+            .unwrap()
+            .as_literal()
+            .unwrap()
+            .is_boolean());
     }
 
     #[test]

@@ -132,7 +132,10 @@ impl ResultSet {
     /// All terms bound to `var` across the rows, in row order, skipping
     /// unbound rows.  This is how KGQAn collects candidate answers.
     pub fn column(&self, var: &str) -> Vec<Term> {
-        self.rows.iter().filter_map(|b| b.get(var).cloned()).collect()
+        self.rows
+            .iter()
+            .filter_map(|b| b.get(var).cloned())
+            .collect()
     }
 }
 
@@ -221,7 +224,9 @@ mod tests {
     fn result_set_column_extraction() {
         let rows = vec![
             Binding::new().with("a", Term::integer(1)),
-            Binding::new().with("a", Term::integer(2)).with("b", Term::integer(3)),
+            Binding::new()
+                .with("a", Term::integer(2))
+                .with("b", Term::integer(3)),
             Binding::new().with("b", Term::integer(4)),
         ];
         let rs = ResultSet::new(vec!["a".into(), "b".into()], rows);

@@ -22,12 +22,32 @@ fn main() {
 
     store.insert_all([
         Triple::new(sea.clone(), label.clone(), Term::literal_str("Baltic Sea")),
-        Triple::new(straits.clone(), label.clone(), Term::literal_str("Danish Straits")),
-        Triple::new(kali.clone(), label.clone(), Term::literal_str("Kaliningrad")),
+        Triple::new(
+            straits.clone(),
+            label.clone(),
+            Term::literal_str("Danish Straits"),
+        ),
+        Triple::new(
+            kali.clone(),
+            label.clone(),
+            Term::literal_str("Kaliningrad"),
+        ),
         Triple::new(yantar, label, Term::literal_str("Yantar, Kaliningrad")),
-        Triple::new(sea.clone(), Term::iri("http://dbpedia.org/property/outflow"), straits),
-        Triple::new(sea.clone(), Term::iri("http://dbpedia.org/ontology/nearestCity"), kali),
-        Triple::new(sea, Term::iri(vocab::RDF_TYPE), Term::iri("http://dbpedia.org/ontology/Sea")),
+        Triple::new(
+            sea.clone(),
+            Term::iri("http://dbpedia.org/property/outflow"),
+            straits,
+        ),
+        Triple::new(
+            sea.clone(),
+            Term::iri("http://dbpedia.org/ontology/nearestCity"),
+            kali,
+        ),
+        Triple::new(
+            sea,
+            Term::iri(vocab::RDF_TYPE),
+            Term::iri("http://dbpedia.org/ontology/Sea"),
+        ),
     ]);
     println!("Knowledge graph loaded: {} triples", store.len());
 
@@ -52,10 +72,14 @@ fn main() {
     print!("{}", outcome.understanding.pgp);
     println!(
         "Predicted answer type: {} (semantic type: {:?})",
-        outcome.understanding.answer_type.data_type, outcome.understanding.answer_type.semantic_type
+        outcome.understanding.answer_type.data_type,
+        outcome.understanding.answer_type.semantic_type
     );
 
-    println!("\nExecuted SPARQL ({} candidate queries):", outcome.executed_queries.len());
+    println!(
+        "\nExecuted SPARQL ({} candidate queries):",
+        outcome.executed_queries.len()
+    );
     for sparql in &outcome.executed_queries {
         println!("{sparql}\n");
     }
@@ -66,7 +90,12 @@ fn main() {
     }
     println!(
         "\nPhase timings — understanding: {:?}, linking: {:?}, execution+filtration: {:?}",
-        outcome.timings.understanding, outcome.timings.linking, outcome.timings.execution_filtration
+        outcome.timings.understanding,
+        outcome.timings.linking,
+        outcome.timings.execution_filtration
     );
-    println!("Endpoint served {} requests in total.", endpoint.stats().total_requests);
+    println!(
+        "Endpoint served {} requests in total.",
+        endpoint.stats().total_requests
+    );
 }

@@ -57,7 +57,10 @@ fn main() {
     );
     let response = ganswer.answer(&question, &endpoint);
     if response.answers.is_empty() {
-        println!("  No answer found (URI-based linking cannot resolve \"{}\").", author.name);
+        println!(
+            "  No answer found (URI-based linking cannot resolve \"{}\").",
+            author.name
+        );
     } else {
         for answer in &response.answers {
             println!("  Answer: {answer}");

@@ -1,0 +1,674 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API the workspace uses as a
+//! deterministic random-input test runner: [`Strategy`](strategy::Strategy)
+//! with `prop_map`, range / string-pattern / tuple strategies,
+//! [`any`](arbitrary::any), `prop_oneof!`, `prop::collection::{vec,
+//! btree_set}`, `prop::option::of`, and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports its
+//! case number, and the run is fully deterministic (fixed seed, so failures
+//! reproduce exactly). The number of cases per property defaults to 64 and
+//! can be raised via the `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! The deterministic runner state shared by all strategies.
+
+    use std::fmt;
+
+    /// Number of cases to run per property (`PROPTEST_CASES`, default 64).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail<S: Into<String>>(message: S) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic SplitMix64 RNG driving all generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The fixed-seed RNG used by the [`proptest!`](crate::proptest) macro.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `usize` in `[low, high)`. Panics on an empty range.
+        pub fn usize_in(&mut self, low: usize, high: usize) -> usize {
+            assert!(low < high, "empty range in strategy");
+            low + (self.next_u64() as usize) % (high - low)
+        }
+
+        /// Returns `true` with probability `p`.
+        pub fn bool_with(&mut self, p: f64) -> bool {
+            ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::string::generate_from_pattern;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// `generate` is object-safe; the combinators require `Self: Sized`.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice between several strategies of the same value type
+    /// (the engine behind [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Creates a union over `options`; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union(options)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.usize_in(0, self.0.len());
+            self.0[idx].generate(rng)
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// String slices act as regex-like patterns generating matching strings.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    //! Default strategies per type ([`any`]).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Generates an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Generates `Vec`s with a length drawn from `size` (half-open).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = sample_len(&self.size, rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `BTreeSet`s whose target size is drawn from `size`
+    /// (half-open). Duplicate draws are retried a bounded number of times,
+    /// so the realised size may fall below the target for narrow element
+    /// domains, but is at least 1 whenever the range requires a non-empty
+    /// set and the element strategy can produce a value.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = sample_len(&self.size, rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 8 + 8 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    fn sample_len(size: &Range<usize>, rng: &mut TestRng) -> usize {
+        assert!(
+            size.start < size.end,
+            "empty size range in collection strategy"
+        );
+        rng.usize_in(size.start, size.end)
+    }
+}
+
+pub mod option {
+    //! Option strategies (`prop::option`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.bool_with(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! Generation of strings from a small regex-like pattern language:
+    //! literals, character classes with ranges (`[a-z ]`), groups
+    //! (`( [a-z]{2,8})`), and the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`.
+
+    use crate::test_runner::TestRng;
+
+    /// Generates a string matching `pattern`.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        generate_sequence(&chars, &mut i, rng, &mut out);
+        out
+    }
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+        Group(Vec<char>),
+    }
+
+    fn generate_sequence(chars: &[char], i: &mut usize, rng: &mut TestRng, out: &mut String) {
+        while *i < chars.len() {
+            let atom = parse_atom(chars, i);
+            let (low, high) = parse_quantifier(chars, i);
+            let reps = if low == high {
+                low
+            } else {
+                rng.usize_in(low, high + 1)
+            };
+            for _ in 0..reps {
+                emit(&atom, rng, out);
+            }
+        }
+    }
+
+    fn emit(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+        match atom {
+            Atom::Literal(c) => out.push(*c),
+            Atom::Class(options) => {
+                let idx = rng.usize_in(0, options.len());
+                out.push(options[idx]);
+            }
+            Atom::Group(inner) => {
+                let mut j = 0;
+                generate_sequence(inner, &mut j, rng, out);
+            }
+        }
+    }
+
+    fn parse_atom(chars: &[char], i: &mut usize) -> Atom {
+        match chars[*i] {
+            '[' => {
+                *i += 1;
+                let mut options = Vec::new();
+                while *i < chars.len() && chars[*i] != ']' {
+                    // A `x-y` range (the `-` must not be the closing char).
+                    if *i + 2 < chars.len() && chars[*i + 1] == '-' && chars[*i + 2] != ']' {
+                        let (lo, hi) = (chars[*i], chars[*i + 2]);
+                        for c in lo..=hi {
+                            options.push(c);
+                        }
+                        *i += 3;
+                    } else {
+                        options.push(chars[*i]);
+                        *i += 1;
+                    }
+                }
+                *i += 1; // consume ']'
+                assert!(!options.is_empty(), "empty character class in pattern");
+                Atom::Class(options)
+            }
+            '(' => {
+                *i += 1;
+                let start = *i;
+                let mut depth = 1usize;
+                while *i < chars.len() && depth > 0 {
+                    match chars[*i] {
+                        '(' => depth += 1,
+                        ')' => depth -= 1,
+                        _ => {}
+                    }
+                    *i += 1;
+                }
+                Atom::Group(chars[start..*i - 1].to_vec())
+            }
+            '\\' => {
+                *i += 2;
+                Atom::Literal(chars[*i - 1])
+            }
+            c => {
+                *i += 1;
+                Atom::Literal(c)
+            }
+        }
+    }
+
+    /// Parses an optional quantifier, returning the inclusive `(low, high)`
+    /// repetition bounds (defaulting to `(1, 1)`).
+    fn parse_quantifier(chars: &[char], i: &mut usize) -> (usize, usize) {
+        if *i >= chars.len() {
+            return (1, 1);
+        }
+        match chars[*i] {
+            '{' => {
+                *i += 1;
+                let mut low = 0usize;
+                while chars[*i].is_ascii_digit() {
+                    low = low * 10 + chars[*i].to_digit(10).unwrap() as usize;
+                    *i += 1;
+                }
+                let high = if chars[*i] == ',' {
+                    *i += 1;
+                    let mut high = 0usize;
+                    while chars[*i].is_ascii_digit() {
+                        high = high * 10 + chars[*i].to_digit(10).unwrap() as usize;
+                        *i += 1;
+                    }
+                    high
+                } else {
+                    low
+                };
+                *i += 1; // consume '}'
+                (low, high)
+            }
+            '?' => {
+                *i += 1;
+                (0, 1)
+            }
+            '*' => {
+                *i += 1;
+                (0, 8)
+            }
+            '+' => {
+                *i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*` surface.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop` namespace (`prop::collection`, `prop::option`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case
+/// (rather than panicking) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each function runs
+/// [`cases()`](test_runner::cases) deterministic cases; the inputs are drawn
+/// from the strategies on the right of each `in`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!("proptest case {case} of {cases} failed: {err}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        for _ in 0..200 {
+            let s = crate::string::generate_from_pattern("[a-z]{2,8}( [a-z]{2,8}){0,3}", &mut rng);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=4).contains(&words.len()), "bad shape: {s:?}");
+            for w in words {
+                assert!((2..=8).contains(&w.len()), "bad word in {s:?}");
+                assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0u32..10, 1..6),
+            s in prop::collection::btree_set(0u32..100, 1..5),
+            o in prop::option::of(any::<bool>()),
+        ) {
+            prop_assert!((1..6).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 5);
+            prop_assert!(o.is_none() || o.is_some());
+        }
+
+        #[test]
+        fn oneof_and_map_compose(t in prop_oneof![
+            (0u32..5).prop_map(|v| v as u64),
+            any::<bool>().prop_map(|b| if b { 100 } else { 200 }),
+        ]) {
+            prop_assert!(t < 5 || t == 100 || t == 200);
+        }
+    }
+}

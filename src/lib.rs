@@ -1,0 +1,23 @@
+//! Umbrella crate for the KGQAn platform workspace.
+//!
+//! This package exists to anchor the top-level integration tests (`tests/`)
+//! and runnable examples (`examples/`) in the Cargo workspace, and to offer a
+//! single dependency that pulls in the whole platform.  The actual
+//! implementation lives in the member crates:
+//!
+//! * [`kgqan`] — the three-phase QA pipeline (understanding → just-in-time
+//!   linking → execution/filtration),
+//! * [`kgqan_rdf`] — the in-memory RDF store with six-way indices and a
+//!   built-in full-text index,
+//! * [`kgqan_sparql`] — SPARQL parsing and evaluation,
+//! * [`kgqan_nlp`] — deterministic substitutes for the neural NLP components,
+//! * [`kgqan_endpoint`] — the endpoint abstraction KGQAn talks to.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use kgqan;
+pub use kgqan_endpoint;
+pub use kgqan_nlp;
+pub use kgqan_rdf;
+pub use kgqan_sparql;

@@ -12,7 +12,10 @@ use kgqan_nlp::AnswerDataType;
 fn platform() -> &'static KgqanPlatform {
     static PLATFORM: OnceLock<KgqanPlatform> = OnceLock::new();
     PLATFORM.get_or_init(|| {
-        KgqanPlatform::with_parts(QuestionUnderstanding::train_default(), KgqanConfig::default())
+        KgqanPlatform::with_parts(
+            QuestionUnderstanding::train_default(),
+            KgqanConfig::default(),
+        )
     })
 }
 
@@ -48,7 +51,10 @@ fn fact_with_type_question_returns_capital_city() {
     let country = &kg.facts.countries[4];
     let capital = &kg.facts.cities[country.capital];
     let outcome = platform()
-        .answer(&format!("Which city is the capital of {}?", country.name), ep)
+        .answer(
+            &format!("Which city is the capital of {}?", country.name),
+            ep,
+        )
         .unwrap();
     assert!(
         outcome.answers.contains(&capital.iri),
@@ -104,14 +110,28 @@ fn boolean_question_gets_correct_verdicts_in_both_directions() {
     let not_capital = &kg.facts.cities[(country.capital + 5) % kg.facts.cities.len()];
 
     let yes = platform()
-        .answer(&format!("Is {} the capital of {}?", capital.name, country.name), ep)
+        .answer(
+            &format!("Is {} the capital of {}?", capital.name, country.name),
+            ep,
+        )
         .unwrap();
-    assert_eq!(yes.boolean, Some(true), "expected yes for the true statement");
+    assert_eq!(
+        yes.boolean,
+        Some(true),
+        "expected yes for the true statement"
+    );
 
     let no = platform()
-        .answer(&format!("Is {} the capital of {}?", not_capital.name, country.name), ep)
+        .answer(
+            &format!("Is {} the capital of {}?", not_capital.name, country.name),
+            ep,
+        )
         .unwrap();
-    assert_eq!(no.boolean, Some(false), "expected no for the false statement");
+    assert_eq!(
+        no.boolean,
+        Some(false),
+        "expected no for the false statement"
+    );
 }
 
 #[test]

@@ -2,7 +2,9 @@
 //! of §7.1.3 and the Table 5 taxonomy): whatever a system returns, the
 //! computed scores must satisfy the metric invariants.
 
-use kgqan_benchmarks::benchmark::{Benchmark, BenchmarkQuestion, LinkingGold, QueryShape, QuestionCategory};
+use kgqan_benchmarks::benchmark::{
+    Benchmark, BenchmarkQuestion, LinkingGold, QueryShape, QuestionCategory,
+};
 use kgqan_benchmarks::eval::{evaluate, score_question, SystemAnswer};
 use kgqan_benchmarks::taxonomy::TaxonomyCounts;
 use kgqan_benchmarks::KgFlavor;
@@ -31,7 +33,11 @@ fn arb_question(id: usize) -> impl Strategy<Value = BenchmarkQuestion> {
             },
             gold_boolean: boolean,
             category: QuestionCategory::ALL[category],
-            shape: if path { QueryShape::Path } else { QueryShape::Star },
+            shape: if path {
+                QueryShape::Path
+            } else {
+                QueryShape::Star
+            },
             linking: LinkingGold::default(),
         })
 }

@@ -58,7 +58,10 @@ fn relation_linking_ranks_gold_predicate_in_top_candidates() {
         for (relation_phrase, gold) in &question.linking.relations {
             total += 1;
             let agp = linker
-                .link(&pgp_for(entity_phrase, relation_phrase), instance.endpoint.as_ref())
+                .link(
+                    &pgp_for(entity_phrase, relation_phrase),
+                    instance.endpoint.as_ref(),
+                )
                 .unwrap();
             if agp
                 .predicates_of(0)
