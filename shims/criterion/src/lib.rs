@@ -1,0 +1,239 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides the API subset the workspace benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! wall-clock runner: each benchmark is warmed up, then timed over a bounded
+//! number of iterations, and the mean iteration time is printed. Statistical
+//! analysis, plots and baselines are out of scope; `cargo bench` output is
+//! indicative only.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies a benchmark within a group: a function name plus a parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark id by `bench_function`: plain strings or
+/// [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// Converts into the display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; drives the timed iterations.
+pub struct Bencher<'a> {
+    config: &'a RunConfig,
+    /// Mean wall-clock time per iteration, recorded by [`Bencher::iter`].
+    mean: Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, first warming up, then averaging over the configured
+    /// sample count (bounded by the configured measurement time).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.config.warmup_iters {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + self.config.measurement_time;
+        let mut iters: u64 = 0;
+        let started = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.config.sample_size as u64 && Instant::now() >= deadline {
+                break;
+            }
+            if iters >= self.config.max_iters {
+                break;
+            }
+        }
+        self.mean = Some(started.elapsed() / iters.max(1) as u32);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RunConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warmup_iters: u64,
+    max_iters: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(200),
+            warmup_iters: 2,
+            max_iters: 1_000_000,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: RunConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock measurement budget per benchmark. The shim caps
+    /// this at one second so `cargo bench` stays fast.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.config.measurement_time = time.min(Duration::from_secs(1));
+        self
+    }
+
+    /// Runs a single benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: &self.config,
+            mean: None,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.into_id(), bencher.mean);
+        self
+    }
+
+    /// Finishes the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, mean: Option<Duration>) {
+    match mean {
+        Some(mean) => println!("bench: {group}/{id:<40} mean {mean:>12.3?}/iter"),
+        None => println!("bench: {group}/{id:<40} (no measurement recorded)"),
+    }
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    config: RunConfig,
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The shim recognises (and ignores)
+    /// the argument forms cargo passes through, notably `--bench`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            config: &self.config,
+            mean: None,
+        };
+        f(&mut bencher);
+        report("criterion", id, bencher.mean);
+        self
+    }
+
+    /// Prints the final summary (no-op in the shim; kept for API parity).
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_mean() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_function(BenchmarkId::new("id", 42), |b| b.iter(|| black_box(2) * 2));
+        group.finish();
+    }
+}
