@@ -52,6 +52,28 @@ fn pattern_matching(c: &mut Criterion) {
     group.finish();
 }
 
+/// The id-level access path the SPARQL join loops use: pattern encoding is
+/// paid once, every probe is an iterator-driven range scan over `TermId`s,
+/// and nothing is decoded.  `matching_decoded` is the legacy term-level
+/// wrapper (encode + scan + decode + materialise) for comparison.
+fn encoded_scan(c: &mut Criterion) {
+    let kg = GeneratedKg::generate(KgFlavor::Dbpedia10, KgScale::tiny());
+    let store = &kg.store;
+    let label = Term::iri(kgqan_rdf::vocab::RDFS_LABEL);
+    let pattern = TriplePattern::any().with_predicate(label);
+    let encoded = store.encode_pattern(&pattern).expect("label is interned");
+
+    let mut group = c.benchmark_group("store_encoded_scan");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("scan_ids_only", |b| b.iter(|| store.scan(encoded).count()));
+    group.bench_function("matching_decoded", |b| {
+        b.iter(|| store.matching(&pattern).len())
+    });
+    group.finish();
+}
+
 fn text_search(c: &mut Criterion) {
     let kg = GeneratedKg::generate(KgFlavor::Mag, KgScale::tiny());
     let mut group = c.benchmark_group("store_text_search");
@@ -68,5 +90,11 @@ fn text_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, load_store, pattern_matching, text_search);
+criterion_group!(
+    benches,
+    load_store,
+    pattern_matching,
+    encoded_scan,
+    text_search
+);
 criterion_main!(benches);

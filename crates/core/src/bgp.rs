@@ -8,7 +8,7 @@
 //! ASK queries for Boolean questions.
 
 use kgqan_rdf::vocab;
-use kgqan_sparql::ast::{TriplePatternAst, VarOrTerm};
+use kgqan_sparql::ast::{GraphPattern, Query, QueryForm, TriplePatternAst, VarOrTerm};
 
 use crate::agp::AnnotatedGraphPattern;
 
@@ -25,8 +25,14 @@ pub struct BasicGraphPattern {
 /// A ranked candidate SPARQL query generated from a BGP.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CandidateQuery {
-    /// The SPARQL text sent to the endpoint.
+    /// The SPARQL text of the query (derived from `query`; what a remote
+    /// endpoint would receive, and what execution logs record).
     pub sparql: String,
+    /// The parsed query AST.  The execution manager hands this to
+    /// [`kgqan_endpoint::SparqlEndpoint::query_parsed`] so in-process
+    /// endpoints evaluate it directly on dictionary ids, never re-parsing
+    /// the text.
+    pub query: Query,
     /// The BGP the query was generated from.
     pub bgp: BasicGraphPattern,
     /// True if this is an ASK query (Boolean question).
@@ -56,10 +62,14 @@ pub fn generate_candidate_queries(
     let is_ask = agp.pgp.is_boolean();
     ranked
         .into_iter()
-        .map(|bgp| CandidateQuery {
-            sparql: bgp_to_sparql(&bgp, is_ask),
-            bgp,
-            is_ask,
+        .map(|bgp| {
+            let query = bgp_to_query(&bgp, is_ask);
+            CandidateQuery {
+                sparql: query.to_sparql(),
+                query,
+                bgp,
+                is_ask,
+            }
         })
         .collect()
 }
@@ -163,35 +173,43 @@ pub fn enumerate_bgps(agp: &AnnotatedGraphPattern) -> Vec<BasicGraphPattern> {
     bgps
 }
 
-/// Convert a BGP into a SPARQL query string.
+/// Convert a BGP into a SPARQL query AST.
 ///
 /// For SELECT queries the main unknown and its optional `rdf:type` are
-/// projected, exactly as in Figure 6.
-pub fn bgp_to_sparql(bgp: &BasicGraphPattern, is_ask: bool) -> String {
-    let mut body = String::new();
-    for tp in &bgp.triples {
-        body.push_str(&format!(
-            "  {} {} {} .\n",
-            render(&tp.subject),
-            render(&tp.predicate),
-            render(&tp.object)
-        ));
-    }
+/// projected, exactly as in Figure 6.  Building the AST (rather than text)
+/// lets the execution manager skip the parse step entirely when the target
+/// endpoint is in-process.
+pub fn bgp_to_query(bgp: &BasicGraphPattern, is_ask: bool) -> Query {
+    let body = GraphPattern::Bgp(bgp.triples.clone());
     if is_ask {
-        return format!("ASK {{\n{body}}}");
+        return Query {
+            form: QueryForm::Ask,
+            pattern: body,
+            limit: None,
+            offset: None,
+        };
     }
     let main_var = "unknown1";
-    format!(
-        "SELECT DISTINCT ?{main_var} ?{TYPE_VARIABLE} WHERE {{\n{body}  OPTIONAL {{ ?{main_var} <{}> ?{TYPE_VARIABLE} . }}\n}}",
-        vocab::RDF_TYPE
-    )
+    let type_clause = GraphPattern::Bgp(vec![TriplePatternAst::new(
+        VarOrTerm::var(main_var),
+        VarOrTerm::iri(vocab::RDF_TYPE),
+        VarOrTerm::var(TYPE_VARIABLE),
+    )]);
+    Query {
+        form: QueryForm::Select {
+            variables: vec![main_var.to_string(), TYPE_VARIABLE.to_string()],
+            distinct: true,
+        },
+        pattern: GraphPattern::Optional(Box::new(body), Box::new(type_clause)),
+        limit: None,
+        offset: None,
+    }
 }
 
-fn render(v: &VarOrTerm) -> String {
-    match v {
-        VarOrTerm::Var(name) => format!("?{name}"),
-        VarOrTerm::Term(t) => t.to_string(),
-    }
+/// Convert a BGP into a SPARQL query string (the text form of
+/// [`bgp_to_query`]).
+pub fn bgp_to_sparql(bgp: &BasicGraphPattern, is_ask: bool) -> String {
+    bgp_to_query(bgp, is_ask).to_sparql()
 }
 
 #[cfg(test)]

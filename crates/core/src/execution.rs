@@ -86,7 +86,10 @@ impl ExecutionManager {
                     break;
                 }
             }
-            let results = endpoint.query(&candidate.sparql)?;
+            // Hand over the AST: in-process endpoints evaluate it directly
+            // on dictionary ids, so the candidate never round-trips through
+            // a SPARQL string between generation and execution.
+            let results = endpoint.query_parsed(&candidate.query)?;
             outcome.executed_queries.push(candidate.sparql.clone());
 
             if candidate.is_ask {
@@ -173,6 +176,7 @@ mod tests {
     fn select_candidate(sparql: &str, score: f32) -> CandidateQuery {
         CandidateQuery {
             sparql: sparql.to_string(),
+            query: kgqan_sparql::parse_query(sparql).expect("test query parses"),
             bgp: BasicGraphPattern {
                 triples: vec![],
                 score,
@@ -230,27 +234,26 @@ mod tests {
     #[test]
     fn ask_queries_produce_boolean_verdicts() {
         let ep = endpoint();
-        let no = CandidateQuery {
-            sparql: "ASK { <http://dbpedia.org/resource/Baltic_Sea> \
-                     <http://dbpedia.org/property/outflow> <http://nowhere/x> }"
-                .into(),
+        let ask_candidate = |sparql: &str, score: f32| CandidateQuery {
+            sparql: sparql.to_string(),
+            query: kgqan_sparql::parse_query(sparql).expect("test query parses"),
             bgp: BasicGraphPattern {
                 triples: vec![],
-                score: 0.9,
+                score,
             },
             is_ask: true,
         };
-        let yes = CandidateQuery {
-            sparql: "ASK { <http://dbpedia.org/resource/Baltic_Sea> \
-                     <http://dbpedia.org/property/outflow> \
-                     <http://dbpedia.org/resource/Danish_straits> }"
-                .into(),
-            bgp: BasicGraphPattern {
-                triples: vec![],
-                score: 0.8,
-            },
-            is_ask: true,
-        };
+        let no = ask_candidate(
+            "ASK { <http://dbpedia.org/resource/Baltic_Sea> \
+             <http://dbpedia.org/property/outflow> <http://nowhere/x> }",
+            0.9,
+        );
+        let yes = ask_candidate(
+            "ASK { <http://dbpedia.org/resource/Baltic_Sea> \
+             <http://dbpedia.org/property/outflow> \
+             <http://dbpedia.org/resource/Danish_straits> }",
+            0.8,
+        );
         let outcome = ExecutionManager::default()
             .execute(&[no, yes], &ep)
             .unwrap();

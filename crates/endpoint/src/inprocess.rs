@@ -11,7 +11,8 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use kgqan_rdf::{GraphStats, Store};
-use kgqan_sparql::{execute_query, QueryResults};
+use kgqan_sparql::eval::is_text_search_pattern;
+use kgqan_sparql::{execute, parse_query, Query, QueryResults};
 
 use crate::dialect::EngineDialect;
 use crate::error::EndpointError;
@@ -79,6 +80,44 @@ impl InProcessEndpoint {
     pub fn graph_stats(&self) -> GraphStats {
         self.store.stats()
     }
+
+    /// Record one served request in the endpoint statistics; the single
+    /// bookkeeping point shared by the parsed and parse-failure paths.
+    fn record_request(&self, elapsed: Duration, is_text: bool, is_ask: bool, failed: bool) {
+        let mut stats = self.stats.lock();
+        stats.total_requests += 1;
+        stats.total_time += elapsed;
+        if is_text {
+            stats.text_search_requests += 1;
+        }
+        if is_ask {
+            stats.ask_requests += 1;
+        }
+        if failed {
+            stats.failed_requests += 1;
+        }
+    }
+
+    /// Evaluate a parsed query against the store, recording request stats.
+    ///
+    /// Classification (text-search / ASK) is done on the AST instead of by
+    /// substring inspection of the query text, and evaluation goes straight
+    /// to the dictionary-encoded executor — no SPARQL string exists on this
+    /// path.
+    fn execute_parsed(&self, query: &Query) -> Result<QueryResults, EndpointError> {
+        let start = Instant::now();
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        let result = execute(&self.store, query).map_err(EndpointError::from);
+        let is_text = query
+            .pattern
+            .all_triple_patterns()
+            .iter()
+            .any(|tp| is_text_search_pattern(tp));
+        self.record_request(start.elapsed(), is_text, query.is_ask(), result.is_err());
+        result
+    }
 }
 
 impl SparqlEndpoint for InProcessEndpoint {
@@ -91,32 +130,28 @@ impl SparqlEndpoint for InProcessEndpoint {
     }
 
     fn query(&self, sparql: &str) -> Result<QueryResults, EndpointError> {
-        let start = Instant::now();
-        if !self.latency.is_zero() {
-            std::thread::sleep(self.latency);
+        match parse_query(sparql) {
+            Ok(parsed) => self.execute_parsed(&parsed),
+            Err(err) => {
+                let start = Instant::now();
+                if !self.latency.is_zero() {
+                    std::thread::sleep(self.latency);
+                }
+                // No AST to classify on; fall back to the text heuristics so
+                // unparseable requests are still categorised like before.
+                let is_text = sparql.contains("bif:contains")
+                    || sparql.contains("textMatch")
+                    || sparql.contains("text#query");
+                let is_ask = sparql.trim_start()[..3.min(sparql.trim_start().len())]
+                    .eq_ignore_ascii_case("ASK");
+                self.record_request(start.elapsed(), is_text, is_ask, true);
+                Err(EndpointError::from(err))
+            }
         }
-        let result = execute_query(&self.store, sparql);
-        let elapsed = start.elapsed();
+    }
 
-        let mut stats = self.stats.lock();
-        stats.total_requests += 1;
-        stats.total_time += elapsed;
-        let upper = sparql.to_ascii_uppercase();
-        if sparql.contains("bif:contains")
-            || sparql.contains("textMatch")
-            || sparql.contains("text#query")
-        {
-            stats.text_search_requests += 1;
-        }
-        if upper.trim_start().starts_with("ASK") {
-            stats.ask_requests += 1;
-        }
-        if result.is_err() {
-            stats.failed_requests += 1;
-        }
-        drop(stats);
-
-        result.map_err(EndpointError::from)
+    fn query_parsed(&self, query: &Query) -> Result<QueryResults, EndpointError> {
+        self.execute_parsed(query)
     }
 
     fn stats(&self) -> RequestStats {
@@ -172,6 +207,26 @@ mod tests {
         assert_eq!(stats.ask_requests, 1);
         assert_eq!(stats.text_search_requests, 1);
         assert_eq!(stats.failed_requests, 1);
+    }
+
+    #[test]
+    fn query_parsed_skips_the_string_round_trip() {
+        let ep = InProcessEndpoint::new("DBpedia", store());
+        let parsed =
+            parse_query("SELECT ?s WHERE { ?s a <http://dbpedia.org/ontology/Sea> . }").unwrap();
+        let rs = ep.query_parsed(&parsed).unwrap();
+        assert_eq!(rs.rows().len(), 1);
+
+        let ask = parse_query(
+            "ASK { <http://dbpedia.org/resource/Baltic_Sea> a <http://dbpedia.org/ontology/Sea> }",
+        )
+        .unwrap();
+        assert_eq!(ep.query_parsed(&ask).unwrap().as_boolean(), Some(true));
+
+        // The parsed path feeds the same stats as the text path.
+        let stats = ep.stats();
+        assert_eq!(stats.total_requests, 2);
+        assert_eq!(stats.ask_requests, 1);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub use inprocess::InProcessEndpoint;
 pub use registry::EndpointRegistry;
 pub use stats::RequestStats;
 
-use kgqan_sparql::QueryResults;
+use kgqan_sparql::{Query, QueryResults};
 
 /// The public API of a SPARQL endpoint, as seen by KGQAn and the baselines.
 ///
@@ -47,6 +47,18 @@ pub trait SparqlEndpoint: Send + Sync {
 
     /// Execute a SPARQL query and return its results.
     fn query(&self, sparql: &str) -> Result<QueryResults, EndpointError>;
+
+    /// Execute an already-parsed query.
+    ///
+    /// KGQAn builds its candidate queries as ASTs; handing the AST over
+    /// keeps the whole execution path dictionary-encoded for in-process
+    /// endpoints.  The default implementation serializes back to SPARQL
+    /// text for endpoints that only speak the wire protocol (a remote
+    /// engine necessarily re-parses); [`InProcessEndpoint`] overrides it to
+    /// evaluate the AST directly against its store.
+    fn query_parsed(&self, query: &Query) -> Result<QueryResults, EndpointError> {
+        self.query(&query.to_sparql())
+    }
 
     /// Cumulative request statistics for this endpoint.
     fn stats(&self) -> RequestStats;

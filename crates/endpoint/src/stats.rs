@@ -23,11 +23,16 @@ pub struct RequestStats {
 
 impl RequestStats {
     /// Mean time per request, or zero when no requests were served.
+    ///
+    /// `Duration`'s integer division only takes a `u32`, and `total_requests
+    /// as u32` would silently truncate for counts above `u32::MAX` (quietly
+    /// inflating the mean); divide through `f64` instead, which handles the
+    /// full `usize` range.
     pub fn mean_latency(&self) -> Duration {
         if self.total_requests == 0 {
             Duration::ZERO
         } else {
-            self.total_time / self.total_requests as u32
+            self.total_time.div_f64(self.total_requests as f64)
         }
     }
 
@@ -58,6 +63,20 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(stats.mean_latency(), Duration::from_millis(25));
+    }
+
+    #[test]
+    fn mean_latency_survives_counts_beyond_u32() {
+        // 2^32 requests at 2ns each: a `total_requests as u32` cast wraps to
+        // 0 and the old code divided by zero-ish garbage; the f64 path keeps
+        // the exact mean (both operands are exactly representable).
+        let count = u32::MAX as usize + 1;
+        let stats = RequestStats {
+            total_requests: count,
+            total_time: Duration::from_nanos(2 * count as u64),
+            ..Default::default()
+        };
+        assert_eq!(stats.mean_latency(), Duration::from_nanos(2));
     }
 
     #[test]

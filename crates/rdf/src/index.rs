@@ -195,14 +195,17 @@ impl TripleIndex {
         set.contains(&order.permute(t))
     }
 
-    /// Match a triple pattern; unbound positions are `None`.  Returns all
-    /// matching triples in the order of the selected index.
-    pub fn matching(
+    /// Scan a triple pattern without materialising the matches; unbound
+    /// positions are `None`.  Yields the matching triples in the order of the
+    /// selected index.  This is the store's hot path: the SPARQL join loops
+    /// drive these iterators directly, extending id-level bindings per
+    /// yielded triple instead of buffering a `Vec<EncodedTriple>` per probe.
+    pub fn iter_matching(
         &self,
         s: Option<TermId>,
         p: Option<TermId>,
         o: Option<TermId>,
-    ) -> Vec<EncodedTriple> {
+    ) -> impl Iterator<Item = EncodedTriple> + '_ {
         let s = s.map(|x| x.0);
         let p = p.map(|x| x.0);
         let o = o.map(|x| x.0);
@@ -213,6 +216,7 @@ impl TripleIndex {
             .iter()
             .max_by_key(|(order, _)| order.bound_prefix_len(s, p, o))
             .expect("index always has at least one ordering");
+        let order = *order;
 
         let prefix = order.prefix_values(s, p, o);
         let prefix_len = order.bound_prefix_len(s, p, o);
@@ -253,8 +257,8 @@ impl TripleIndex {
         };
 
         set.range((Bound::Included(lower), Bound::Included(upper)))
-            .map(|&key| order.unpermute(key))
-            .filter(|t| {
+            .map(move |&key| order.unpermute(key))
+            .filter(move |t| {
                 if !needs_post_filter {
                     return true;
                 }
@@ -262,13 +266,23 @@ impl TripleIndex {
                     && p.is_none_or(|v| t.predicate.0 == v)
                     && o.is_none_or(|v| t.object.0 == v)
             })
-            .collect()
+    }
+
+    /// Match a triple pattern, materialising the results (a convenience
+    /// wrapper over [`TripleIndex::iter_matching`]).
+    pub fn matching(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<EncodedTriple> {
+        self.iter_matching(s, p, o).collect()
     }
 
     /// Count matches of a pattern without materialising them (same access
     /// path as [`TripleIndex::matching`]).
     pub fn count_matching(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
-        self.matching(s, p, o).len()
+        self.iter_matching(s, p, o).count()
     }
 
     /// Approximate heap footprint in bytes: each maintained ordering stores

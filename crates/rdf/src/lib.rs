@@ -59,4 +59,4 @@ pub use stats::GraphStats;
 pub use store::{Store, TriplePattern};
 pub use term::{Literal, Term};
 pub use text::{TextIndex, TextMatch};
-pub use triple::{EncodedTriple, Triple};
+pub use triple::{EncodedTriple, EncodedTriplePattern, Triple};

@@ -169,6 +169,23 @@ mod tests {
     }
 
     #[test]
+    fn unicode_escaped_literals_load_and_round_trip() {
+        let doc = "<http://e/s> <http://e/label> \"K\\u00f6nigsberg \\U0001F30A\" .\n\
+                   <http://e/s> <http://e/note> \"quote \\\" backslash \\\\ tab \\t\" .";
+        let triples = parse_ntriples(doc).unwrap();
+        assert_eq!(
+            triples[0].object.as_literal().unwrap().lexical,
+            "Königsberg 🌊"
+        );
+        assert_eq!(
+            triples[1].object.as_literal().unwrap().lexical,
+            "quote \" backslash \\ tab \t"
+        );
+        let reparsed = parse_ntriples(&serialize_ntriples(&triples)).unwrap();
+        assert_eq!(triples, reparsed);
+    }
+
+    #[test]
     fn missing_dot_is_an_error_with_line_number() {
         let doc = "<http://e/a> <http://e/b> <http://e/c>";
         let err = parse_ntriples(doc).unwrap_err();

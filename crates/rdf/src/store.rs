@@ -6,12 +6,13 @@ use crate::index::TripleIndex;
 use crate::stats::GraphStats;
 use crate::term::Term;
 use crate::text::TextIndex;
-use crate::triple::{EncodedTriple, Triple};
+use crate::triple::{EncodedTriple, EncodedTriplePattern, Triple};
 
 /// A term-level triple pattern: unbound positions are `None`.
 ///
-/// This is the store's native lookup interface; the SPARQL layer compiles
-/// basic graph patterns down to sequences of these.
+/// This is a convenience layer for external callers working with [`Term`]s;
+/// internally the store encodes it once into an [`EncodedTriplePattern`] and
+/// answers it through the id-level scan path ([`Store::scan`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TriplePattern {
     /// Subject constraint.
@@ -152,37 +153,66 @@ impl Store {
         self.dictionary.term_of(id)
     }
 
+    /// Encode a term-level pattern into the id-level form.
+    ///
+    /// Returns `None` if any bound term is absent from the dictionary — the
+    /// pattern then cannot match anything in this store.
+    pub fn encode_pattern(&self, pattern: &TriplePattern) -> Option<EncodedTriplePattern> {
+        let encode = |term: &Option<Term>| -> Option<Option<TermId>> {
+            match term {
+                None => Some(None),
+                Some(t) => self.dictionary.id_of(t).map(Some),
+            }
+        };
+        Some(EncodedTriplePattern::new(
+            encode(&pattern.subject)?,
+            encode(&pattern.predicate)?,
+            encode(&pattern.object)?,
+        ))
+    }
+
+    /// Scan an id-level pattern, yielding matching triples without
+    /// materialising them.  This is the native access path; every other
+    /// matching method funnels through it.
+    pub fn scan(&self, pattern: EncodedTriplePattern) -> impl Iterator<Item = EncodedTriple> + '_ {
+        self.index
+            .iter_matching(pattern.subject, pattern.predicate, pattern.object)
+    }
+
+    /// Count the matches of an id-level pattern without materialising them.
+    pub fn scan_count(&self, pattern: EncodedTriplePattern) -> usize {
+        self.index
+            .count_matching(pattern.subject, pattern.predicate, pattern.object)
+    }
+
     /// Match a term-level pattern, returning decoded triples.
     ///
     /// If a bound term is not in the dictionary the pattern cannot match and
-    /// the result is empty.
+    /// the result is empty.  Thin wrapper over [`Store::scan`]: encode once,
+    /// range-scan on ids, decode only the results.
     pub fn matching(&self, pattern: &TriplePattern) -> Vec<Triple> {
-        let Some((s, p, o)) = self.encode_pattern(pattern) else {
+        let Some(encoded) = self.encode_pattern(pattern) else {
             return Vec::new();
         };
-        self.index
-            .matching(s, p, o)
-            .into_iter()
-            .map(|t| self.decode(t))
-            .collect()
+        self.scan(encoded).map(|t| self.decode(t)).collect()
     }
 
-    /// Match an id-level pattern.
+    /// Match an id-level pattern, materialising the results.
     pub fn matching_encoded(
         &self,
         s: Option<TermId>,
         p: Option<TermId>,
         o: Option<TermId>,
     ) -> Vec<EncodedTriple> {
-        self.index.matching(s, p, o)
+        self.scan(EncodedTriplePattern::new(s, p, o)).collect()
     }
 
     /// Count the matches of a term-level pattern.
     pub fn count_matching(&self, pattern: &TriplePattern) -> usize {
-        let Some((s, p, o)) = self.encode_pattern(pattern) else {
-            return 0;
-        };
-        self.index.count_matching(s, p, o)
+        match self.encode_pattern(pattern) {
+            Some(encoded) => self.scan_count(encoded),
+            None => 0,
+        }
     }
 
     /// Find vertices whose *description* (any string literal they point at
@@ -202,7 +232,7 @@ impl Store {
         let literal_matches = self.text.search_any(words, max_results.saturating_mul(4));
         'outer: for m in literal_matches {
             // All triples with this literal as object, via the OPS index.
-            for triple in self.index.matching(None, None, Some(m.literal)) {
+            for triple in self.scan(EncodedTriplePattern::any().with_object(m.literal)) {
                 let subject = self.decode_term(triple.subject);
                 let literal = self.decode_term(m.literal);
                 out.push((subject, literal));
@@ -221,7 +251,7 @@ impl Store {
             return Vec::new();
         };
         let mut seen = std::collections::BTreeSet::new();
-        for t in self.index.matching(Some(v), None, None) {
+        for t in self.scan(EncodedTriplePattern::any().with_subject(v)) {
             seen.insert(t.predicate);
         }
         seen.into_iter().map(|id| self.decode_term(id)).collect()
@@ -234,7 +264,7 @@ impl Store {
             return Vec::new();
         };
         let mut seen = std::collections::BTreeSet::new();
-        for t in self.index.matching(None, None, Some(v)) {
+        for t in self.scan(EncodedTriplePattern::any().with_object(v)) {
             seen.insert(t.predicate);
         }
         seen.into_iter().map(|id| self.decode_term(id)).collect()
@@ -242,9 +272,7 @@ impl Store {
 
     /// Iterate every triple in the store (SPO order), decoded.
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.index
-            .matching(None, None, None)
-            .into_iter()
+        self.scan(EncodedTriplePattern::any())
             .map(move |t| self.decode(t))
     }
 
@@ -257,23 +285,6 @@ impl Store {
     /// text index), in bytes.
     pub fn approx_bytes(&self) -> usize {
         self.dictionary.approx_bytes() + self.index.approx_bytes() + self.text.approx_bytes()
-    }
-
-    fn encode_pattern(
-        &self,
-        pattern: &TriplePattern,
-    ) -> Option<(Option<TermId>, Option<TermId>, Option<TermId>)> {
-        let encode = |term: &Option<Term>| -> Option<Option<TermId>> {
-            match term {
-                None => Some(None),
-                Some(t) => self.dictionary.id_of(t).map(Some),
-            }
-        };
-        Some((
-            encode(&pattern.subject)?,
-            encode(&pattern.predicate)?,
-            encode(&pattern.object)?,
-        ))
     }
 
     fn decode_term(&self, id: TermId) -> Term {
@@ -408,6 +419,23 @@ mod tests {
             typed[0].object,
             Term::iri("http://dbpedia.org/ontology/Sea")
         );
+    }
+
+    #[test]
+    fn encoded_scan_agrees_with_term_level_matching() {
+        let store = example_store();
+        let sea = Term::iri("http://dbpedia.org/resource/Baltic_Sea");
+        let pattern = TriplePattern::any().with_subject(sea.clone());
+        let encoded = store.encode_pattern(&pattern).expect("sea is interned");
+        assert_eq!(encoded.subject, store.id_of(&sea));
+        assert_eq!(store.scan(encoded).count(), 4);
+        assert_eq!(store.scan_count(encoded), 4);
+        let decoded: Vec<Triple> = store.scan(encoded).map(|t| store.decode(t)).collect();
+        assert_eq!(decoded, store.matching(&pattern));
+
+        // Unknown bound term: the pattern cannot be encoded at all.
+        let unknown = TriplePattern::any().with_subject(Term::iri("http://nowhere/x"));
+        assert!(store.encode_pattern(&unknown).is_none());
     }
 
     #[test]

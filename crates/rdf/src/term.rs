@@ -296,6 +296,14 @@ fn unescape(s: &str) -> String {
             Some('r') => out.push('\r'),
             Some('"') => out.push('"'),
             Some('\\') => out.push('\\'),
+            // N-Triples numeric escapes: \uXXXX (4 hex digits) and
+            // \UXXXXXXXX (8 hex digits).  Real dumps (DBpedia in particular)
+            // use them for non-ASCII labels, so dropping them would corrupt
+            // every such literal on load.
+            Some(marker @ ('u' | 'U')) => {
+                let len = if marker == 'u' { 4 } else { 8 };
+                push_unicode_escape(&mut out, &mut chars, marker, len);
+            }
             Some(other) => {
                 out.push('\\');
                 out.push(other);
@@ -304,6 +312,29 @@ fn unescape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Decode the hex digits of a `\uXXXX` / `\UXXXXXXXX` escape.  Malformed
+/// escapes (too few digits, non-hex digits, invalid code points such as
+/// surrogates) are kept verbatim rather than rejected, matching the lenient
+/// handling of other unknown escapes.
+fn push_unicode_escape(out: &mut String, chars: &mut std::str::Chars, marker: char, len: usize) {
+    let digits: String = chars.by_ref().take(len).collect();
+    let decoded = if digits.len() == len && digits.chars().all(|c| c.is_ascii_hexdigit()) {
+        u32::from_str_radix(&digits, 16)
+            .ok()
+            .and_then(char::from_u32)
+    } else {
+        None
+    };
+    match decoded {
+        Some(c) => out.push(c),
+        None => {
+            out.push('\\');
+            out.push(marker);
+            out.push_str(&digits);
+        }
+    }
 }
 
 fn escape(s: &str) -> String {
@@ -431,6 +462,45 @@ mod tests {
             let parsed = Term::parse_ntriples(&rendered).expect("should parse");
             assert_eq!(parsed, t, "roundtrip failed for {rendered}");
         }
+    }
+
+    #[test]
+    fn unicode_escapes_decode_on_parse() {
+        // \uXXXX and \UXXXXXXXX are the N-Triples numeric escapes.
+        let parsed = Term::parse_ntriples("\"\\u0041\\u00e9\"").unwrap();
+        assert_eq!(parsed, Term::literal_str("Aé"));
+        let parsed = Term::parse_ntriples(r#""\U0001F30A sea""#).unwrap();
+        assert_eq!(parsed, Term::literal_str("🌊 sea"));
+        // Mixed with classic escapes.
+        let parsed = Term::parse_ntriples(r#""a\tB\\c""#).unwrap();
+        assert_eq!(parsed, Term::literal_str("a\tB\\c"));
+    }
+
+    #[test]
+    fn malformed_unicode_escapes_are_kept_verbatim() {
+        // Too few digits, non-hex digits, and surrogate code points are not
+        // decodable; the lenient parser keeps them as literal text.
+        for (input, expected) in [
+            (r#""\u00""#, r"\u00"),
+            (r#""\uZZZZ""#, r"\uZZZZ"),
+            (r#""\uD800""#, r"\uD800"),
+        ] {
+            let parsed = Term::parse_ntriples(input).unwrap();
+            assert_eq!(parsed, Term::literal_str(expected), "input {input}");
+            // And what we keep still round-trips through serialization.
+            let rendered = parsed.to_string();
+            assert_eq!(Term::parse_ntriples(&rendered).unwrap(), parsed);
+        }
+    }
+
+    #[test]
+    fn decoded_unicode_round_trips_through_display() {
+        let term = Term::parse_ntriples(r#""A und Ümlaut""#).unwrap();
+        let rendered = term.to_string();
+        // Serialization emits the decoded characters raw (UTF-8), not the
+        // escape sequence, and re-parsing yields the same term.
+        assert_eq!(rendered, "\"A und Ümlaut\"");
+        assert_eq!(Term::parse_ntriples(&rendered).unwrap(), term);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Triple representations: term-level [`Triple`] and id-level
-//! [`EncodedTriple`].
+//! Triple representations: term-level [`Triple`], id-level
+//! [`EncodedTriple`] and the id-level lookup pattern
+//! [`EncodedTriplePattern`].
 
 use std::fmt;
 
@@ -69,6 +70,73 @@ impl EncodedTriple {
     }
 }
 
+/// An id-level triple pattern: unbound positions are `None`.
+///
+/// This is the store's native lookup interface after dictionary encoding.
+/// The SPARQL evaluator compiles basic graph patterns down to these so the
+/// join loops compare fixed-width [`TermId`]s instead of string terms; the
+/// term-level [`crate::store::TriplePattern`] API is a thin wrapper that
+/// encodes once and delegates here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct EncodedTriplePattern {
+    /// Subject constraint.
+    pub subject: Option<TermId>,
+    /// Predicate constraint.
+    pub predicate: Option<TermId>,
+    /// Object constraint.
+    pub object: Option<TermId>,
+}
+
+impl EncodedTriplePattern {
+    /// A fully unbound pattern matching every triple.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Construct a pattern from its three optional positions.
+    pub fn new(subject: Option<TermId>, predicate: Option<TermId>, object: Option<TermId>) -> Self {
+        EncodedTriplePattern {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// Set the subject constraint.
+    pub fn with_subject(mut self, id: TermId) -> Self {
+        self.subject = Some(id);
+        self
+    }
+
+    /// Set the predicate constraint.
+    pub fn with_predicate(mut self, id: TermId) -> Self {
+        self.predicate = Some(id);
+        self
+    }
+
+    /// Set the object constraint.
+    pub fn with_object(mut self, id: TermId) -> Self {
+        self.object = Some(id);
+        self
+    }
+
+    /// Number of bound positions (a selectivity proxy).
+    pub fn bound_positions(&self) -> usize {
+        [self.subject, self.predicate, self.object]
+            .iter()
+            .filter(|x| x.is_some())
+            .count()
+    }
+
+    /// True if the triple satisfies every bound position.
+    #[inline]
+    pub fn matches(&self, t: &EncodedTriple) -> bool {
+        self.subject.is_none_or(|s| s == t.subject)
+            && self.predicate.is_none_or(|p| p == t.predicate)
+            && self.object.is_none_or(|o| o == t.object)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +189,25 @@ mod tests {
     fn encoded_triple_array_view() {
         let t = EncodedTriple::new(TermId(1), TermId(2), TermId(3));
         assert_eq!(t.as_array(), [TermId(1), TermId(2), TermId(3)]);
+    }
+
+    #[test]
+    fn encoded_pattern_matches_by_bound_positions() {
+        let t = EncodedTriple::new(TermId(1), TermId(2), TermId(3));
+        assert!(EncodedTriplePattern::any().matches(&t));
+        assert!(EncodedTriplePattern::any()
+            .with_subject(TermId(1))
+            .matches(&t));
+        assert!(!EncodedTriplePattern::any()
+            .with_subject(TermId(9))
+            .matches(&t));
+        let full = EncodedTriplePattern::new(Some(TermId(1)), Some(TermId(2)), Some(TermId(3)));
+        assert!(full.matches(&t));
+        assert_eq!(full.bound_positions(), 3);
+        assert_eq!(EncodedTriplePattern::any().bound_positions(), 0);
+        assert!(!EncodedTriplePattern::any()
+            .with_predicate(TermId(2))
+            .with_object(TermId(9))
+            .matches(&t));
     }
 }

@@ -13,13 +13,61 @@ fn arb_predicate() -> impl Strategy<Value = Term> {
     (0u32..10).prop_map(|i| Term::iri(format!("http://example.org/pred/{i}")))
 }
 
+/// String literals biased towards the characters that exercise the
+/// N-Triples escaping rules: backslashes, quotes, control characters and
+/// non-ASCII code points.
+fn arb_tricky_literal() -> impl Strategy<Value = Term> {
+    prop::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('z'),
+            Just(' '),
+            Just('\\'),
+            Just('"'),
+            Just('\n'),
+            Just('\r'),
+            Just('\t'),
+            Just('é'),
+            Just('Ü'),
+            Just('🌊'),
+        ],
+        0..12,
+    )
+    .prop_map(|chars| Term::literal_str(chars.into_iter().collect::<String>()))
+}
+
 fn arb_object() -> impl Strategy<Value = Term> {
     prop_oneof![
         arb_iri(),
         "[a-z ]{1,20}".prop_map(Term::literal_str),
+        arb_tricky_literal(),
         any::<i64>().prop_map(Term::integer),
         any::<bool>().prop_map(Term::boolean),
     ]
+}
+
+/// A random triple pattern: each position is independently unbound or bound
+/// to a term drawn from the same distributions as the triples, so probes hit
+/// both present and absent terms.
+fn arb_pattern() -> impl Strategy<Value = TriplePattern> {
+    (
+        prop::option::of(arb_iri()),
+        prop::option::of(arb_predicate()),
+        prop::option::of(arb_object()),
+    )
+        .prop_map(|(subject, predicate, object)| TriplePattern {
+            subject,
+            predicate,
+            object,
+        })
+}
+
+/// Does a triple satisfy a term-level pattern?  The naive oracle the encoded
+/// scan is checked against.
+fn naive_matches(pattern: &TriplePattern, t: &Triple) -> bool {
+    pattern.subject.as_ref().is_none_or(|s| *s == t.subject)
+        && pattern.predicate.as_ref().is_none_or(|p| *p == t.predicate)
+        && pattern.object.as_ref().is_none_or(|o| *o == t.object)
 }
 
 fn arb_triple() -> impl Strategy<Value = Triple> {
@@ -85,6 +133,46 @@ proptest! {
                 prop_assert_eq!(a, b);
             }
         }
+    }
+
+    /// The encoded-pattern scan returns exactly the same triples as both the
+    /// legacy term-level `matching` path and a naive full-store filter, for
+    /// every pattern shape (including patterns over absent terms).
+    #[test]
+    fn encoded_scan_agrees_with_legacy_and_naive(
+        triples in prop::collection::vec(arb_triple(), 0..60),
+        pattern in arb_pattern(),
+    ) {
+        let mut store = Store::new();
+        store.insert_all(triples);
+
+        let naive: std::collections::BTreeSet<Triple> =
+            store.iter().filter(|t| naive_matches(&pattern, t)).collect();
+        let legacy: std::collections::BTreeSet<Triple> =
+            store.matching(&pattern).into_iter().collect();
+        let encoded: std::collections::BTreeSet<Triple> = match store.encode_pattern(&pattern) {
+            Some(ep) => store.scan(ep).map(|t| store.decode(t)).collect(),
+            // A bound term absent from the dictionary matches nothing.
+            None => std::collections::BTreeSet::new(),
+        };
+
+        prop_assert_eq!(&encoded, &naive);
+        prop_assert_eq!(&encoded, &legacy);
+        let count = store
+            .encode_pattern(&pattern)
+            .map(|ep| store.scan_count(ep))
+            .unwrap_or(0);
+        prop_assert_eq!(count, naive.len());
+        prop_assert_eq!(store.count_matching(&pattern), naive.len());
+    }
+
+    /// Any string literal — including backslashes, quotes, control
+    /// characters and non-ASCII — survives Display → parse of a single term.
+    #[test]
+    fn term_escape_round_trip(term in arb_tricky_literal()) {
+        let rendered = term.to_string();
+        let parsed = Term::parse_ntriples(&rendered).expect("rendered term must parse");
+        prop_assert_eq!(parsed, term);
     }
 
     /// Serializing any store to N-Triples and parsing it back yields the

@@ -141,6 +141,32 @@ pub enum Expression {
     Bound(String),
 }
 
+impl std::fmt::Display for Expression {
+    /// Renders the expression in re-parseable SPARQL syntax.  Binary
+    /// operators are always parenthesised so precedence survives the
+    /// round-trip.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expression::Var(v) => write!(f, "?{v}"),
+            Expression::Constant(t) => write!(f, "{t}"),
+            Expression::Eq(a, b) => write!(f, "({a} = {b})"),
+            Expression::Neq(a, b) => write!(f, "({a} != {b})"),
+            Expression::Lt(a, b) => write!(f, "({a} < {b})"),
+            Expression::Gt(a, b) => write!(f, "({a} > {b})"),
+            Expression::Le(a, b) => write!(f, "({a} <= {b})"),
+            Expression::Ge(a, b) => write!(f, "({a} >= {b})"),
+            Expression::And(a, b) => write!(f, "({a} && {b})"),
+            Expression::Or(a, b) => write!(f, "({a} || {b})"),
+            Expression::Not(inner) => write!(f, "!{inner}"),
+            Expression::Contains(a, b) => write!(f, "CONTAINS({a}, {b})"),
+            Expression::Regex(a, b) => write!(f, "REGEX({a}, {b})"),
+            Expression::Lang(inner) => write!(f, "LANG({inner})"),
+            Expression::Str(inner) => write!(f, "STR({inner})"),
+            Expression::Bound(v) => write!(f, "BOUND(?{v})"),
+        }
+    }
+}
+
 /// A graph pattern: the contents of a `{ ... }` group.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GraphPattern {
@@ -231,6 +257,98 @@ impl Query {
     pub fn is_ask(&self) -> bool {
         matches!(self.form, QueryForm::Ask)
     }
+
+    /// Serialize the query back to SPARQL text.
+    ///
+    /// The output re-parses to an equal AST, so a [`Query`] built
+    /// programmatically (e.g. KGQAn's candidate-query generator) can be
+    /// shipped to a remote endpoint, while in-process endpoints execute the
+    /// AST directly and skip the text round-trip entirely.
+    pub fn to_sparql(&self) -> String {
+        let mut out = String::new();
+        match &self.form {
+            QueryForm::Ask => out.push_str("ASK {\n"),
+            QueryForm::Select {
+                variables,
+                distinct,
+            } => {
+                out.push_str("SELECT ");
+                if *distinct {
+                    out.push_str("DISTINCT ");
+                }
+                if variables.is_empty() {
+                    out.push('*');
+                } else {
+                    for (i, v) in variables.iter().enumerate() {
+                        if i > 0 {
+                            out.push(' ');
+                        }
+                        out.push('?');
+                        out.push_str(v);
+                    }
+                }
+                out.push_str(" WHERE {\n");
+            }
+        }
+        write_pattern(&self.pattern, &mut out, 1);
+        out.push('}');
+        if let Some(limit) = self.limit {
+            out.push_str(&format!(" LIMIT {limit}"));
+        }
+        if let Some(offset) = self.offset {
+            out.push_str(&format!(" OFFSET {offset}"));
+        }
+        out
+    }
+}
+
+/// Append the body of a graph pattern to `out`, one clause per line.
+fn write_pattern(pattern: &GraphPattern, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match pattern {
+        GraphPattern::Bgp(tps) => {
+            for tp in tps {
+                out.push_str(&pad);
+                out.push_str(&tp.to_string());
+                out.push('\n');
+            }
+        }
+        GraphPattern::Join(a, b) => {
+            // Brace both sides: the parser folds a nested `{ ... }` group
+            // into a Join with whatever precedes it, so this shape re-parses
+            // to an equal Join node whatever the children are (bare triple
+            // lines would merge into the surrounding BGP, and a child's
+            // FILTER would get hoisted out of its group).
+            for side in [a, b] {
+                out.push_str(&format!("{pad}{{\n"));
+                write_pattern(side, out, indent + 1);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+        GraphPattern::Optional(a, b) => {
+            write_pattern(a, out, indent);
+            out.push_str(&format!("{pad}OPTIONAL {{\n"));
+            write_pattern(b, out, indent + 1);
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        GraphPattern::Union(a, b) => {
+            out.push_str(&format!("{pad}{{\n"));
+            write_pattern(a, out, indent + 1);
+            out.push_str(&format!("{pad}}} UNION {{\n"));
+            write_pattern(b, out, indent + 1);
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        GraphPattern::Filter(inner, expr) => {
+            write_pattern(inner, out, indent);
+            out.push_str(&format!("{pad}FILTER ({expr})\n"));
+        }
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_sparql())
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +396,31 @@ mod tests {
         let joined = GraphPattern::Optional(Box::new(bgp1), Box::new(bgp2));
         assert_eq!(joined.all_triple_patterns().len(), 2);
         assert_eq!(joined.variables(), vec!["s", "o", "z"]);
+    }
+
+    #[test]
+    fn to_sparql_round_trips_through_parser() {
+        let queries = [
+            "SELECT DISTINCT ?sea ?type WHERE { \
+               ?sea <http://dbpedia.org/property/outflow> <http://e/straits> . \
+               OPTIONAL { ?sea a ?type . } } LIMIT 40 OFFSET 2",
+            "ASK { <http://e/s> <http://e/p> <http://e/o> }",
+            "SELECT * WHERE { { ?x <http://e/p> ?y . } UNION { ?x <http://e/q> ?y . } }",
+            r#"SELECT ?s WHERE { ?s <http://e/p> ?l .
+                FILTER (CONTAINS(?l, "sea") && (?pop > 100 || !BOUND(?t))) }"#,
+            r#"SELECT ?s WHERE { ?s <http://e/p> ?l . FILTER (REGEX(STR(?l), "^x") || LANG(?l) != "en") }"#,
+            // Nested groups parse to Join nodes; both sides must stay
+            // distinct groups through serialization.
+            "SELECT * WHERE { ?a <http://e/p> ?c . { ?d <http://e/q> ?f . } }",
+            r#"SELECT * WHERE { { ?a <http://e/p> ?c . FILTER (?a != ?c) } { ?d <http://e/q> ?f . } }"#,
+        ];
+        for q in queries {
+            let parsed = crate::parser::parse_query(q).expect("test query parses");
+            let rendered = parsed.to_sparql();
+            let reparsed = crate::parser::parse_query(&rendered)
+                .unwrap_or_else(|e| panic!("serialized query must re-parse: {e}\n{rendered}"));
+            assert_eq!(parsed, reparsed, "round-trip changed the AST:\n{rendered}");
+        }
     }
 
     #[test]

@@ -1,19 +1,35 @@
 //! Query evaluation over the [`kgqan_rdf::Store`].
 //!
-//! The evaluator is a straightforward bottom-up interpreter:
+//! # The dictionary-encoded pipeline
 //!
-//! * basic graph patterns are evaluated with a selectivity-ordered
-//!   nested-index-loop join (bound positions first, text-search patterns
-//!   always first),
-//! * `OPTIONAL` is a left outer join, `UNION` a concatenation, `FILTER` a
-//!   post-selection,
-//! * the full-text predicates (`bif:contains`, Stardog `textMatch`, Jena
-//!   `text:query`) bind their subject to the string literals matched by the
-//!   store's built-in text index, which is exactly how the engines the paper
-//!   targets implement them.
+//! The store is dictionary-encoded: every [`Term`] is interned once into a
+//! fixed-width [`TermId`] and the triple indices operate purely on ids.  The
+//! evaluator stays in id space end-to-end:
+//!
+//! 1. **Compile** — variables are numbered into a dense [`VarRegistry`]; each
+//!    triple pattern's constant terms are looked up in the dictionary once
+//!    (an absent constant proves the pattern matches nothing).
+//! 2. **Join** — a solution row is a `Vec<Option<TermId>>` indexed by
+//!    variable number.  Basic graph patterns are evaluated with a
+//!    selectivity-ordered nested-index-loop join (bound positions first,
+//!    text-search patterns always first) driving the store's iterator-based
+//!    [`Store::scan`]; join compatibility is a `u32` comparison, and
+//!    extending a row is a flat-vector copy.  `OPTIONAL` is a left outer
+//!    join, `UNION` a concatenation — both over id rows.
+//! 3. **Decode** — terms are materialised in exactly two places: `FILTER`
+//!    expressions, which need lexical values and decode the variables they
+//!    reference on demand, and final projection in [`Evaluator::run`], which
+//!    decodes only the rows that survive `DISTINCT`/`OFFSET`/`LIMIT` (all
+//!    applied while the rows are still ids) into term-level
+//!    [`Binding`]s for [`crate::results`].
+//!
+//! The full-text predicates (`bif:contains`, Stardog `textMatch`, Jena
+//! `text:query`) bind their subject to the string literals matched by the
+//! store's built-in text index — which already yields `TermId`s, so the text
+//! path never decodes at all.
 
 use kgqan_rdf::text::tokenize;
-use kgqan_rdf::{Store, Term, TriplePattern};
+use kgqan_rdf::{EncodedTriplePattern, Store, Term, TermId};
 
 use crate::ast::{Expression, GraphPattern, Query, QueryForm, TriplePatternAst, VarOrTerm};
 use crate::error::SparqlError;
@@ -47,33 +63,126 @@ pub fn execute_query(store: &Store, query: &str) -> Result<QueryResults, SparqlE
     execute(store, &parsed)
 }
 
+/// A dense numbering of the variables of one query.
+///
+/// Id-level solution rows are flat vectors indexed by variable number, so
+/// looking a variable up during a join is an array access instead of a
+/// string-keyed map probe.
+#[derive(Debug, Default, Clone)]
+struct VarRegistry {
+    names: Vec<String>,
+}
+
+impl VarRegistry {
+    /// Number every variable appearing in the query's graph pattern, in
+    /// first-seen order.
+    fn from_pattern(pattern: &GraphPattern) -> Self {
+        VarRegistry {
+            names: pattern.variables(),
+        }
+    }
+
+    fn id_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// An id-level solution row: one `Option<TermId>` slot per registered
+/// variable.  Cloning is a flat memcpy — the unit of work of the join loops.
+type IdRow = Vec<Option<TermId>>;
+
+/// One position of a compiled triple pattern: a dictionary id for constant
+/// terms, a variable slot otherwise.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Const(TermId),
+    Var(usize),
+}
+
+/// A triple pattern with its constants resolved to dictionary ids.
+#[derive(Debug, Clone, Copy)]
+struct CompiledTriplePattern {
+    subject: Slot,
+    predicate: Slot,
+    object: Slot,
+}
+
+/// One join step of a compiled basic graph pattern.
+#[derive(Debug, Clone, Copy)]
+enum CompiledStep<'q> {
+    /// An index scan of an id-compiled pattern.
+    Scan(CompiledTriplePattern),
+    /// A full-text probe; kept as AST because the query string may come
+    /// from a variable binding and is resolved per row.
+    TextSearch(&'q TriplePatternAst),
+    /// A constant term of the pattern is absent from the dictionary, so the
+    /// pattern provably matches nothing in this store.
+    NeverMatches,
+}
+
+/// A graph pattern compiled against the store: variables numbered, constant
+/// terms resolved to dictionary ids and basic graph patterns join-ordered.
+///
+/// Built **once** per query run, so per-row re-evaluation (every left row of
+/// an `OPTIONAL`, for instance) re-uses the resolved ids instead of
+/// re-probing the dictionary and re-sorting the join order.
+#[derive(Debug)]
+enum CompiledPattern<'q> {
+    Bgp(Vec<CompiledStep<'q>>),
+    Join(Box<CompiledPattern<'q>>, Box<CompiledPattern<'q>>),
+    Optional(Box<CompiledPattern<'q>>, Box<CompiledPattern<'q>>),
+    Union(Box<CompiledPattern<'q>>, Box<CompiledPattern<'q>>),
+    Filter(Box<CompiledPattern<'q>>, &'q Expression),
+}
+
 /// A query evaluator bound to a store.
 pub struct Evaluator<'a> {
     store: &'a Store,
+}
+
+/// The per-query evaluation state: the store, the variable numbering and the
+/// effective text-search fan-out cap.
+struct QueryRun<'a> {
+    store: &'a Store,
+    vars: VarRegistry,
     text_cap: usize,
 }
 
 impl<'a> Evaluator<'a> {
     /// Create an evaluator over `store`.
     pub fn new(store: &'a Store) -> Self {
-        Evaluator {
-            store,
-            text_cap: DEFAULT_TEXT_SEARCH_CAP,
-        }
+        Evaluator { store }
     }
 
     /// Run a query to completion.
     pub fn run(&self, query: &Query) -> Result<QueryResults, SparqlError> {
-        // The LIMIT of the query also caps text-search fan-out, mirroring the
-        // `LIMIT maxVR` clause of potentialRelevantVertices.
-        let evaluator = Evaluator {
-            store: self.store,
-            text_cap: query.limit.unwrap_or(DEFAULT_TEXT_SEARCH_CAP),
+        // LIMIT + OFFSET caps text-search fan-out, mirroring the `LIMIT
+        // maxVR` clause of potentialRelevantVertices.  OFFSET must count too:
+        // `LIMIT 10 OFFSET 4` consumes 14 candidates before truncation, so
+        // capping at the bare LIMIT would starve the tail rows.  The default
+        // cap stays a ceiling either way.
+        let text_cap = match query.limit {
+            Some(limit) => limit
+                .saturating_add(query.offset.unwrap_or(0))
+                .min(DEFAULT_TEXT_SEARCH_CAP),
+            None => DEFAULT_TEXT_SEARCH_CAP,
         };
-        let bindings = evaluator.eval_pattern(&query.pattern, vec![Binding::new()])?;
+        let run = QueryRun {
+            store: self.store,
+            vars: VarRegistry::from_pattern(&query.pattern),
+            text_cap,
+        };
+        // Compile once — dictionary lookups and join ordering are paid here,
+        // not per row — then evaluate.
+        let compiled = run.compile_pattern(&query.pattern);
+        let rows = run.eval_pattern(&compiled, vec![vec![None; run.vars.len()]])?;
 
         match &query.form {
-            QueryForm::Ask => Ok(QueryResults::Boolean(!bindings.is_empty())),
+            QueryForm::Ask => Ok(QueryResults::Boolean(!rows.is_empty())),
             QueryForm::Select {
                 variables,
                 distinct,
@@ -83,64 +192,139 @@ impl<'a> Evaluator<'a> {
                 } else {
                     variables.clone()
                 };
-                let mut rows: Vec<Binding> = bindings
+                // Project, deduplicate and page while the rows are still
+                // ids; only the surviving rows are decoded to terms.
+                let slots: Vec<Option<usize>> =
+                    projected.iter().map(|v| run.vars.id_of(v)).collect();
+                let mut id_rows: Vec<IdRow> = rows
                     .into_iter()
-                    .map(|b| b.project(&projected))
+                    .map(|row| slots.iter().map(|slot| slot.and_then(|i| row[i])).collect())
                     .collect();
                 if *distinct {
-                    let mut seen = std::collections::BTreeSet::new();
-                    rows.retain(|b| seen.insert(format!("{b}")));
+                    let mut seen = std::collections::HashSet::new();
+                    id_rows.retain(|row| seen.insert(row.clone()));
                 }
                 if let Some(offset) = query.offset {
-                    rows = rows.into_iter().skip(offset).collect();
+                    id_rows.drain(..offset.min(id_rows.len()));
                 }
                 if let Some(limit) = query.limit {
-                    rows.truncate(limit);
+                    id_rows.truncate(limit);
                 }
+                let rows: Vec<Binding> = id_rows
+                    .into_iter()
+                    .map(|row| run.decode_row(&projected, &row))
+                    .collect();
                 Ok(QueryResults::Solutions(ResultSet::new(projected, rows)))
+            }
+        }
+    }
+}
+
+impl QueryRun<'_> {
+    /// Decode a projected id row into a term-level [`Binding`] — the single
+    /// point where query evaluation leaves id space.
+    fn decode_row(&self, variables: &[String], row: &IdRow) -> Binding {
+        let mut binding = Binding::new();
+        for (name, id) in variables.iter().zip(row) {
+            if let Some(id) = id {
+                if let Some(term) = self.store.term_of(*id) {
+                    binding.set(name.clone(), term.clone());
+                }
+            }
+        }
+        binding
+    }
+
+    /// Compile a graph pattern: join-order each BGP and resolve every
+    /// constant term to its dictionary id, exactly once per query run.
+    fn compile_pattern<'q>(&self, pattern: &'q GraphPattern) -> CompiledPattern<'q> {
+        match pattern {
+            GraphPattern::Bgp(tps) => {
+                // Join ordering: text-search patterns first (they are
+                // generative and highly selective), then by number of bound
+                // positions descending.
+                let mut ordered: Vec<&TriplePatternAst> = tps.iter().collect();
+                ordered.sort_by_key(|tp| {
+                    if is_text_search_pattern(tp) {
+                        0
+                    } else {
+                        3usize.saturating_sub(tp.bound_positions())
+                    }
+                });
+                CompiledPattern::Bgp(
+                    ordered
+                        .into_iter()
+                        .map(|tp| {
+                            if is_text_search_pattern(tp) {
+                                CompiledStep::TextSearch(tp)
+                            } else {
+                                match self.compile(tp) {
+                                    Some(compiled) => CompiledStep::Scan(compiled),
+                                    None => CompiledStep::NeverMatches,
+                                }
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            GraphPattern::Join(a, b) => CompiledPattern::Join(
+                Box::new(self.compile_pattern(a)),
+                Box::new(self.compile_pattern(b)),
+            ),
+            GraphPattern::Optional(a, b) => CompiledPattern::Optional(
+                Box::new(self.compile_pattern(a)),
+                Box::new(self.compile_pattern(b)),
+            ),
+            GraphPattern::Union(a, b) => CompiledPattern::Union(
+                Box::new(self.compile_pattern(a)),
+                Box::new(self.compile_pattern(b)),
+            ),
+            GraphPattern::Filter(inner, expr) => {
+                CompiledPattern::Filter(Box::new(self.compile_pattern(inner)), expr)
             }
         }
     }
 
     fn eval_pattern(
         &self,
-        pattern: &GraphPattern,
-        input: Vec<Binding>,
-    ) -> Result<Vec<Binding>, SparqlError> {
+        pattern: &CompiledPattern<'_>,
+        input: Vec<IdRow>,
+    ) -> Result<Vec<IdRow>, SparqlError> {
         match pattern {
-            GraphPattern::Bgp(tps) => self.eval_bgp(tps, input),
-            GraphPattern::Join(a, b) => {
+            CompiledPattern::Bgp(steps) => self.eval_bgp(steps, input),
+            CompiledPattern::Join(a, b) => {
                 let left = self.eval_pattern(a, input)?;
                 self.eval_pattern(b, left)
             }
-            GraphPattern::Optional(a, b) => {
+            CompiledPattern::Optional(a, b) => {
                 let left = self.eval_pattern(a, input)?;
                 let mut out = Vec::with_capacity(left.len());
-                for binding in left {
-                    let extended = self.eval_pattern(b, vec![binding.clone()])?;
+                for row in left {
+                    let extended = self.eval_pattern(b, vec![row.clone()])?;
                     if extended.is_empty() {
-                        out.push(binding);
+                        out.push(row);
                     } else {
                         out.extend(extended);
                     }
                 }
                 Ok(out)
             }
-            GraphPattern::Union(a, b) => {
+            CompiledPattern::Union(a, b) => {
                 let mut left = self.eval_pattern(a, input.clone())?;
                 let right = self.eval_pattern(b, input)?;
                 left.extend(right);
                 Ok(left)
             }
-            GraphPattern::Filter(inner, expr) => {
-                let bindings = self.eval_pattern(inner, input)?;
-                let mut out = Vec::with_capacity(bindings.len());
-                for b in bindings {
-                    if eval_expression(expr, &b)?
+            CompiledPattern::Filter(inner, expr) => {
+                let rows = self.eval_pattern(inner, input)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if self
+                        .eval_expression(expr, &row)?
                         .map(term_truthiness)
                         .unwrap_or(false)
                     {
-                        out.push(b);
+                        out.push(row);
                     }
                 }
                 Ok(out)
@@ -150,28 +334,29 @@ impl<'a> Evaluator<'a> {
 
     fn eval_bgp(
         &self,
-        patterns: &[TriplePatternAst],
-        input: Vec<Binding>,
-    ) -> Result<Vec<Binding>, SparqlError> {
-        if patterns.is_empty() {
+        steps: &[CompiledStep<'_>],
+        input: Vec<IdRow>,
+    ) -> Result<Vec<IdRow>, SparqlError> {
+        if steps.is_empty() {
             return Ok(input);
         }
-        // Join ordering: text-search patterns first (they are generative and
-        // highly selective), then by number of bound positions descending.
-        let mut ordered: Vec<&TriplePatternAst> = patterns.iter().collect();
-        ordered.sort_by_key(|tp| {
-            if is_text_search_pattern(tp) {
-                0
-            } else {
-                3usize.saturating_sub(tp.bound_positions())
-            }
-        });
-
         let mut current = input;
-        for tp in ordered {
+        for step in steps {
             let mut next = Vec::new();
-            for binding in &current {
-                self.extend_binding(tp, binding, &mut next)?;
+            match step {
+                CompiledStep::Scan(tp) => {
+                    for row in &current {
+                        self.extend_row(tp, row, &mut next);
+                    }
+                }
+                CompiledStep::TextSearch(tp) => {
+                    for row in &current {
+                        self.extend_with_text_search(tp, row, &mut next)?;
+                    }
+                }
+                // A constant absent from the dictionary matches nothing:
+                // `next` stays empty.
+                CompiledStep::NeverMatches => {}
             }
             current = next;
             if current.is_empty() {
@@ -181,45 +366,59 @@ impl<'a> Evaluator<'a> {
         Ok(current)
     }
 
-    /// Extend one binding with all matches of one triple pattern.
-    fn extend_binding(
-        &self,
-        tp: &TriplePatternAst,
-        binding: &Binding,
-        out: &mut Vec<Binding>,
-    ) -> Result<(), SparqlError> {
-        if is_text_search_pattern(tp) {
-            return self.extend_with_text_search(tp, binding, out);
-        }
-
-        let resolve = |vot: &VarOrTerm| -> Option<Term> {
+    /// Resolve the constants of a triple pattern against the dictionary.
+    /// `None` means a constant is not interned, so the pattern can never
+    /// match in this store.
+    fn compile(&self, tp: &TriplePatternAst) -> Option<CompiledTriplePattern> {
+        let slot = |vot: &VarOrTerm| -> Option<Slot> {
             match vot {
-                VarOrTerm::Term(t) => Some(t.clone()),
-                VarOrTerm::Var(v) => binding.get(v).cloned(),
+                VarOrTerm::Term(t) => self.store.id_of(t).map(Slot::Const),
+                VarOrTerm::Var(v) => Some(Slot::Var(
+                    self.vars
+                        .id_of(v)
+                        .expect("pattern variables are all registered"),
+                )),
             }
         };
+        Some(CompiledTriplePattern {
+            subject: slot(&tp.subject)?,
+            predicate: slot(&tp.predicate)?,
+            object: slot(&tp.object)?,
+        })
+    }
 
-        let pattern = TriplePattern {
-            subject: resolve(&tp.subject),
-            predicate: resolve(&tp.predicate),
-            object: resolve(&tp.object),
+    /// Extend one id row with all matches of one compiled triple pattern —
+    /// the innermost join loop.  All comparisons are `TermId` equalities and
+    /// no term is decoded.
+    fn extend_row(&self, tp: &CompiledTriplePattern, row: &IdRow, out: &mut Vec<IdRow>) {
+        let resolve = |slot: Slot| -> Option<TermId> {
+            match slot {
+                Slot::Const(id) => Some(id),
+                Slot::Var(v) => row[v],
+            }
         };
-
-        for matched in self.store.matching(&pattern) {
-            let mut extended = binding.clone();
+        let pattern = EncodedTriplePattern::new(
+            resolve(tp.subject),
+            resolve(tp.predicate),
+            resolve(tp.object),
+        );
+        for matched in self.store.scan(pattern) {
+            let mut extended = row.clone();
             let mut compatible = true;
-            for (vot, term) in [
-                (&tp.subject, &matched.subject),
-                (&tp.predicate, &matched.predicate),
-                (&tp.object, &matched.object),
+            for (slot, id) in [
+                (tp.subject, matched.subject),
+                (tp.predicate, matched.predicate),
+                (tp.object, matched.object),
             ] {
-                if let VarOrTerm::Var(v) = vot {
-                    match extended.get(v) {
-                        Some(existing) if existing != term => {
+                if let Slot::Var(v) = slot {
+                    match extended[v] {
+                        Some(existing) if existing != id => {
+                            // A variable repeated within the pattern matched
+                            // two different ids.
                             compatible = false;
                             break;
                         }
-                        _ => extended.set(v.clone(), term.clone()),
+                        _ => extended[v] = Some(id),
                     }
                 }
             }
@@ -227,27 +426,35 @@ impl<'a> Evaluator<'a> {
                 out.push(extended);
             }
         }
-        Ok(())
     }
 
     /// Evaluate a `?lit <bif:contains> "words"` pattern: bind the subject to
-    /// every string literal containing any of the query words.
+    /// every string literal containing any of the query words.  The text
+    /// index yields literal `TermId`s directly, so this path stays entirely
+    /// in id space.
     fn extend_with_text_search(
         &self,
         tp: &TriplePatternAst,
-        binding: &Binding,
-        out: &mut Vec<Binding>,
+        row: &IdRow,
+        out: &mut Vec<IdRow>,
     ) -> Result<(), SparqlError> {
         let query_text = match &tp.object {
             VarOrTerm::Term(Term::Literal(lit)) => lit.lexical.clone(),
-            VarOrTerm::Var(v) => match binding.get(v) {
-                Some(Term::Literal(lit)) => lit.lexical.clone(),
-                _ => {
-                    return Err(SparqlError::Evaluation(
-                        "text-search pattern requires a literal query string".into(),
-                    ))
+            VarOrTerm::Var(v) => {
+                let bound = self
+                    .vars
+                    .id_of(v)
+                    .and_then(|slot| row[slot])
+                    .and_then(|id| self.store.term_of(id));
+                match bound {
+                    Some(Term::Literal(lit)) => lit.lexical.clone(),
+                    _ => {
+                        return Err(SparqlError::Evaluation(
+                            "text-search pattern requires a literal query string".into(),
+                        ))
+                    }
                 }
-            },
+            }
             _ => {
                 return Err(SparqlError::Evaluation(
                     "text-search pattern requires a literal query string".into(),
@@ -263,26 +470,28 @@ impl<'a> Evaluator<'a> {
 
         match &tp.subject {
             VarOrTerm::Var(var) => {
+                let slot = self
+                    .vars
+                    .id_of(var)
+                    .expect("pattern variables are all registered");
                 for m in matches {
-                    let Some(term) = self.store.term_of(m.literal) else {
-                        continue;
-                    };
-                    match binding.get(var) {
-                        Some(existing) if existing != term => continue,
+                    match row[slot] {
+                        Some(existing) if existing != m.literal => continue,
                         _ => {}
                     }
-                    let mut extended = binding.clone();
-                    extended.set(var.clone(), term.clone());
+                    let mut extended = row.clone();
+                    extended[slot] = Some(m.literal);
                     out.push(extended);
                 }
             }
             VarOrTerm::Term(term) => {
-                // Bound subject: keep the binding iff that literal matches.
-                let keeps = matches
-                    .iter()
-                    .any(|m| self.store.term_of(m.literal) == Some(term));
+                // Bound subject: keep the row iff that literal matches.
+                let keeps = self
+                    .store
+                    .id_of(term)
+                    .is_some_and(|id| matches.iter().any(|m| m.literal == id));
                 if keeps {
-                    out.push(binding.clone());
+                    out.push(row.clone());
                 }
             }
         }
@@ -327,97 +536,120 @@ fn term_truthiness(term: Term) -> bool {
     }
 }
 
-/// Evaluate a filter expression under a binding.  `Ok(None)` means the
-/// expression is an error for this row (e.g. unbound variable), which SPARQL
-/// treats as false at the FILTER level.
-fn eval_expression(expr: &Expression, binding: &Binding) -> Result<Option<Term>, SparqlError> {
-    let boolean = |b: bool| Some(Term::boolean(b));
-    match expr {
-        Expression::Var(v) => Ok(binding.get(v).cloned()),
-        Expression::Constant(t) => Ok(Some(t.clone())),
-        Expression::Bound(v) => Ok(boolean(binding.is_bound(v))),
-        Expression::Not(inner) => {
-            let value = eval_expression(inner, binding)?;
-            Ok(boolean(!value.map(term_truthiness).unwrap_or(false)))
-        }
-        Expression::And(a, b) => {
-            let left = eval_expression(a, binding)?
-                .map(term_truthiness)
-                .unwrap_or(false);
-            if !left {
-                return Ok(boolean(false));
+impl QueryRun<'_> {
+    /// Evaluate a filter expression under an id row.  `Ok(None)` means the
+    /// expression is an error for this row (e.g. unbound variable), which
+    /// SPARQL treats as false at the FILTER level.
+    ///
+    /// This is one of the two decode points of the pipeline: variables the
+    /// expression references are resolved from `TermId` to [`Term`] on
+    /// demand, because filters compare lexical values.
+    fn eval_expression(&self, expr: &Expression, row: &IdRow) -> Result<Option<Term>, SparqlError> {
+        let boolean = |b: bool| Some(Term::boolean(b));
+        let var_term = |v: &str| -> Option<Term> {
+            self.vars
+                .id_of(v)
+                .and_then(|slot| row[slot])
+                .and_then(|id| self.store.term_of(id))
+                .cloned()
+        };
+        match expr {
+            Expression::Var(v) => Ok(var_term(v)),
+            Expression::Constant(t) => Ok(Some(t.clone())),
+            Expression::Bound(v) => Ok(boolean(
+                self.vars.id_of(v).is_some_and(|slot| row[slot].is_some()),
+            )),
+            Expression::Not(inner) => {
+                let value = self.eval_expression(inner, row)?;
+                Ok(boolean(!value.map(term_truthiness).unwrap_or(false)))
             }
-            let right = eval_expression(b, binding)?
-                .map(term_truthiness)
-                .unwrap_or(false);
-            Ok(boolean(right))
-        }
-        Expression::Or(a, b) => {
-            let left = eval_expression(a, binding)?
-                .map(term_truthiness)
-                .unwrap_or(false);
-            if left {
-                return Ok(boolean(true));
+            Expression::And(a, b) => {
+                let left = self
+                    .eval_expression(a, row)?
+                    .map(term_truthiness)
+                    .unwrap_or(false);
+                if !left {
+                    return Ok(boolean(false));
+                }
+                let right = self
+                    .eval_expression(b, row)?
+                    .map(term_truthiness)
+                    .unwrap_or(false);
+                Ok(boolean(right))
             }
-            let right = eval_expression(b, binding)?
-                .map(term_truthiness)
-                .unwrap_or(false);
-            Ok(boolean(right))
-        }
-        Expression::Eq(a, b) => compare(a, b, binding, |o| o == std::cmp::Ordering::Equal),
-        Expression::Neq(a, b) => compare(a, b, binding, |o| o != std::cmp::Ordering::Equal),
-        Expression::Lt(a, b) => compare(a, b, binding, |o| o == std::cmp::Ordering::Less),
-        Expression::Gt(a, b) => compare(a, b, binding, |o| o == std::cmp::Ordering::Greater),
-        Expression::Le(a, b) => compare(a, b, binding, |o| o != std::cmp::Ordering::Greater),
-        Expression::Ge(a, b) => compare(a, b, binding, |o| o != std::cmp::Ordering::Less),
-        Expression::Contains(a, b) => {
-            let (Some(ta), Some(tb)) = (eval_expression(a, binding)?, eval_expression(b, binding)?)
-            else {
-                return Ok(None);
-            };
-            let hay = term_text(&ta).to_lowercase();
-            let needle = term_text(&tb).to_lowercase();
-            Ok(boolean(hay.contains(&needle)))
-        }
-        Expression::Regex(a, b) => {
-            let (Some(ta), Some(tb)) = (eval_expression(a, binding)?, eval_expression(b, binding)?)
-            else {
-                return Ok(None);
-            };
-            let hay = term_text(&ta).to_lowercase();
-            let pattern = term_text(&tb).to_lowercase();
-            Ok(boolean(regex_lite(&hay, &pattern)))
-        }
-        Expression::Lang(inner) => {
-            let Some(t) = eval_expression(inner, binding)? else {
-                return Ok(None);
-            };
-            let lang = t
-                .as_literal()
-                .and_then(|l| l.language.clone())
-                .unwrap_or_default();
-            Ok(Some(Term::literal_str(lang)))
-        }
-        Expression::Str(inner) => {
-            let Some(t) = eval_expression(inner, binding)? else {
-                return Ok(None);
-            };
-            Ok(Some(Term::literal_str(term_text(&t).to_string())))
+            Expression::Or(a, b) => {
+                let left = self
+                    .eval_expression(a, row)?
+                    .map(term_truthiness)
+                    .unwrap_or(false);
+                if left {
+                    return Ok(boolean(true));
+                }
+                let right = self
+                    .eval_expression(b, row)?
+                    .map(term_truthiness)
+                    .unwrap_or(false);
+                Ok(boolean(right))
+            }
+            Expression::Eq(a, b) => self.compare(a, b, row, |o| o == std::cmp::Ordering::Equal),
+            Expression::Neq(a, b) => self.compare(a, b, row, |o| o != std::cmp::Ordering::Equal),
+            Expression::Lt(a, b) => self.compare(a, b, row, |o| o == std::cmp::Ordering::Less),
+            Expression::Gt(a, b) => self.compare(a, b, row, |o| o == std::cmp::Ordering::Greater),
+            Expression::Le(a, b) => self.compare(a, b, row, |o| o != std::cmp::Ordering::Greater),
+            Expression::Ge(a, b) => self.compare(a, b, row, |o| o != std::cmp::Ordering::Less),
+            Expression::Contains(a, b) => {
+                let (Some(ta), Some(tb)) =
+                    (self.eval_expression(a, row)?, self.eval_expression(b, row)?)
+                else {
+                    return Ok(None);
+                };
+                let hay = term_text(&ta).to_lowercase();
+                let needle = term_text(&tb).to_lowercase();
+                Ok(boolean(hay.contains(&needle)))
+            }
+            Expression::Regex(a, b) => {
+                let (Some(ta), Some(tb)) =
+                    (self.eval_expression(a, row)?, self.eval_expression(b, row)?)
+                else {
+                    return Ok(None);
+                };
+                let hay = term_text(&ta).to_lowercase();
+                let pattern = term_text(&tb).to_lowercase();
+                Ok(boolean(regex_lite(&hay, &pattern)))
+            }
+            Expression::Lang(inner) => {
+                let Some(t) = self.eval_expression(inner, row)? else {
+                    return Ok(None);
+                };
+                let lang = t
+                    .as_literal()
+                    .and_then(|l| l.language.clone())
+                    .unwrap_or_default();
+                Ok(Some(Term::literal_str(lang)))
+            }
+            Expression::Str(inner) => {
+                let Some(t) = self.eval_expression(inner, row)? else {
+                    return Ok(None);
+                };
+                Ok(Some(Term::literal_str(term_text(&t).to_string())))
+            }
         }
     }
-}
 
-fn compare(
-    a: &Expression,
-    b: &Expression,
-    binding: &Binding,
-    accept: impl Fn(std::cmp::Ordering) -> bool,
-) -> Result<Option<Term>, SparqlError> {
-    let (Some(ta), Some(tb)) = (eval_expression(a, binding)?, eval_expression(b, binding)?) else {
-        return Ok(None);
-    };
-    let ordering = term_compare(&ta, &tb);
-    Ok(Some(Term::boolean(accept(ordering))))
+    fn compare(
+        &self,
+        a: &Expression,
+        b: &Expression,
+        row: &IdRow,
+        accept: impl Fn(std::cmp::Ordering) -> bool,
+    ) -> Result<Option<Term>, SparqlError> {
+        let (Some(ta), Some(tb)) = (self.eval_expression(a, row)?, self.eval_expression(b, row)?)
+        else {
+            return Ok(None);
+        };
+        let ordering = term_compare(&ta, &tb);
+        Ok(Some(Term::boolean(accept(ordering))))
+    }
 }
 
 /// Compare two terms: numerically when both parse as numbers, otherwise by
@@ -741,6 +973,67 @@ mod tests {
         let results = execute_query(
             &store,
             "SELECT ?s WHERE { ?s <http://dbpedia.org/property/outflow> ?o . FILTER (?missing > 3) }",
+        )
+        .unwrap();
+        assert!(results.rows().is_empty());
+    }
+
+    #[test]
+    fn text_search_cap_accounts_for_offset() {
+        // 20 literals all containing "city".  `LIMIT 10 OFFSET 4` must fetch
+        // at least 14 text-search candidates so that after skipping 4 rows a
+        // full page of 10 remains; capping fan-out at the bare LIMIT (the old
+        // behaviour) starved the page down to 6 rows.
+        let mut store = Store::new();
+        for i in 0..20 {
+            store.insert(Triple::new(
+                Term::iri(format!("http://e/c{i}")),
+                Term::iri(vocab::RDFS_LABEL),
+                Term::literal_str(format!("city number {i}")),
+            ));
+        }
+        let results = execute_query(
+            &store,
+            r#"SELECT ?d WHERE { ?d <bif:contains> "'city'" . } LIMIT 10 OFFSET 4"#,
+        )
+        .unwrap();
+        assert_eq!(results.rows().len(), 10);
+
+        // Without OFFSET the LIMIT alone still caps the fan-out.
+        let results = execute_query(
+            &store,
+            r#"SELECT ?d WHERE { ?d <bif:contains> "'city'" . } LIMIT 10"#,
+        )
+        .unwrap();
+        assert_eq!(results.rows().len(), 10);
+    }
+
+    #[test]
+    fn repeated_variable_in_pattern_requires_equal_ids() {
+        // ?x ?p ?x only matches triples whose subject and object coincide.
+        let mut store = Store::new();
+        let node = Term::iri("http://e/self");
+        store.insert(Triple::new(
+            node.clone(),
+            Term::iri("http://e/loop"),
+            node.clone(),
+        ));
+        store.insert(Triple::new(
+            node.clone(),
+            Term::iri("http://e/other"),
+            Term::iri("http://e/elsewhere"),
+        ));
+        let results = execute_query(&store, "SELECT ?x WHERE { ?x ?p ?x . }").unwrap();
+        assert_eq!(results.rows().len(), 1);
+        assert_eq!(results.rows()[0].get("x"), Some(&node));
+    }
+
+    #[test]
+    fn constant_absent_from_dictionary_yields_no_rows_not_an_error() {
+        let store = running_example_store();
+        let results = execute_query(
+            &store,
+            "SELECT ?s WHERE { ?s <http://never/interned> ?o . }",
         )
         .unwrap();
         assert!(results.rows().is_empty());

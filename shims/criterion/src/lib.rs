@@ -104,8 +104,24 @@ struct RunConfig {
     max_iters: u64,
 }
 
+/// True when the `KGQAN_BENCH_SMOKE` environment variable is set: CI runs
+/// every bench as a fast regression smoke test with a minimal iteration
+/// budget, and per-group `sample_size`/`measurement_time` requests are
+/// ignored so no single bench can blow the time box.
+fn smoke_mode() -> bool {
+    std::env::var_os("KGQAN_BENCH_SMOKE").is_some()
+}
+
 impl Default for RunConfig {
     fn default() -> Self {
+        if smoke_mode() {
+            return RunConfig {
+                sample_size: 3,
+                measurement_time: Duration::from_millis(25),
+                warmup_iters: 1,
+                max_iters: 100_000,
+            };
+        }
         RunConfig {
             sample_size: 10,
             measurement_time: Duration::from_millis(200),
@@ -123,16 +139,22 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the target number of samples per benchmark.
+    /// Sets the target number of samples per benchmark.  Ignored in smoke
+    /// mode (`KGQAN_BENCH_SMOKE`), which pins a minimal budget.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.config.sample_size = n;
+        if !smoke_mode() {
+            self.config.sample_size = n;
+        }
         self
     }
 
     /// Sets the wall-clock measurement budget per benchmark. The shim caps
-    /// this at one second so `cargo bench` stays fast.
+    /// this at one second so `cargo bench` stays fast; in smoke mode
+    /// (`KGQAN_BENCH_SMOKE`) the request is ignored entirely.
     pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
-        self.config.measurement_time = time.min(Duration::from_secs(1));
+        if !smoke_mode() {
+            self.config.measurement_time = time.min(Duration::from_secs(1));
+        }
         self
     }
 
