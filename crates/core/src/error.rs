@@ -51,7 +51,12 @@ mod tests {
         assert!(e.to_string().contains("gibberish"));
         let e = KgqanError::Configuration("bad knob".into());
         assert!(e.to_string().contains("bad knob"));
-        let e: KgqanError = EndpointError::UnknownEndpoint("X".into()).into();
+        let e: KgqanError = EndpointError::UnknownEndpoint {
+            name: "X".into(),
+            available: vec!["DBpedia".into()],
+        }
+        .into();
         assert!(e.to_string().contains('X'));
+        assert!(e.to_string().contains("DBpedia"));
     }
 }

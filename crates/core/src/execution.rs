@@ -8,11 +8,14 @@
 //! executing the entire candidate list would only add noise for the
 //! filtration step to remove).
 
+use std::time::{Duration, Instant};
+
 use kgqan_endpoint::SparqlEndpoint;
 use kgqan_rdf::Term;
 
 use crate::bgp::{CandidateQuery, TYPE_VARIABLE};
 use crate::error::KgqanError;
+use crate::service::Budget;
 
 /// One collected answer: the term bound to the main unknown and the classes
 /// reported by the OPTIONAL `rdf:type` clause.
@@ -26,6 +29,22 @@ pub struct CollectedAnswer {
     pub query_score: f32,
 }
 
+/// Execution statistics for one candidate query, surfaced per request by
+/// the serving layer ([`crate::service::AnswerResponse::query_stats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryStat {
+    /// The SPARQL text of the executed query.
+    pub sparql: String,
+    /// The Equation-2 ranking score of the candidate.
+    pub score: f32,
+    /// Wall-clock time the endpoint took to answer it.
+    pub duration: Duration,
+    /// Solution rows returned (ASK queries report 0).
+    pub rows: usize,
+    /// True for ASK candidates.
+    pub is_ask: bool,
+}
+
 /// The outcome of executing the candidate queries.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecutionOutcome {
@@ -33,8 +52,18 @@ pub struct ExecutionOutcome {
     pub answers: Vec<CollectedAnswer>,
     /// The Boolean verdict for ASK questions.
     pub boolean: Option<bool>,
-    /// The SPARQL texts that were actually executed.
-    pub executed_queries: Vec<String>,
+    /// Per-executed-query statistics, in execution order.
+    pub query_stats: Vec<QueryStat>,
+    /// True if the request's deadline expired before the candidate list was
+    /// exhausted — the collected answers are best-so-far, not complete.
+    pub deadline_exceeded: bool,
+}
+
+impl ExecutionOutcome {
+    /// The SPARQL texts that were actually executed, in execution order.
+    pub fn executed_queries(&self) -> Vec<String> {
+        self.query_stats.iter().map(|s| s.sparql.clone()).collect()
+    }
 }
 
 /// The execution manager.
@@ -73,6 +102,20 @@ impl ExecutionManager {
         queries: &[CandidateQuery],
         endpoint: &dyn SparqlEndpoint,
     ) -> Result<ExecutionOutcome, KgqanError> {
+        self.execute_within(queries, endpoint, &Budget::unbounded())
+    }
+
+    /// Execute candidate queries in rank order within a time budget.
+    ///
+    /// The budget is checked before every query: once it expires the
+    /// remaining candidates are skipped, `deadline_exceeded` is set, and the
+    /// answers collected so far are returned (best-so-far semantics).
+    pub fn execute_within(
+        &self,
+        queries: &[CandidateQuery],
+        endpoint: &dyn SparqlEndpoint,
+        budget: &Budget,
+    ) -> Result<ExecutionOutcome, KgqanError> {
         let mut outcome = ExecutionOutcome::default();
         let mut productive = 0usize;
         let mut first_productive_score: Option<f32> = None;
@@ -86,11 +129,25 @@ impl ExecutionManager {
                     break;
                 }
             }
+            // The deadline check comes after the stopping rules above: a run
+            // that already exhausted its productive budget is complete, not
+            // partial, even if the clock has also run out by then.
+            if budget.expired() {
+                outcome.deadline_exceeded = true;
+                break;
+            }
             // Hand over the AST: in-process endpoints evaluate it directly
             // on dictionary ids, so the candidate never round-trips through
             // a SPARQL string between generation and execution.
+            let started = Instant::now();
             let results = endpoint.query_parsed(&candidate.query)?;
-            outcome.executed_queries.push(candidate.sparql.clone());
+            outcome.query_stats.push(QueryStat {
+                sparql: candidate.sparql.clone(),
+                score: candidate.bgp.score,
+                duration: started.elapsed(),
+                rows: results.as_solutions().map_or(0, |s| s.rows().len()),
+                is_ask: candidate.is_ask,
+            });
 
             if candidate.is_ask {
                 let verdict = results.as_boolean().unwrap_or(false);
@@ -213,7 +270,7 @@ mod tests {
             .map(|i| select_candidate(productive, 1.0 - i as f32 * 0.1))
             .collect();
         let outcome = ExecutionManager::new(2).execute(&queries, &ep).unwrap();
-        assert_eq!(outcome.executed_queries.len(), 2);
+        assert_eq!(outcome.executed_queries().len(), 2);
     }
 
     #[test]
@@ -227,7 +284,7 @@ mod tests {
         let outcome = ExecutionManager::new(1)
             .execute(&[empty, productive], &ep)
             .unwrap();
-        assert_eq!(outcome.executed_queries.len(), 2);
+        assert_eq!(outcome.executed_queries().len(), 2);
         assert!(!outcome.answers.is_empty());
     }
 
@@ -262,11 +319,77 @@ mod tests {
     }
 
     #[test]
+    fn expired_budget_skips_all_candidates_and_flags_outcome() {
+        let ep = endpoint();
+        let q = select_candidate("SELECT ?unknown1 WHERE { ?unknown1 ?p ?o . }", 1.0);
+        let budget = Budget::with_deadline(Duration::ZERO);
+        let outcome = ExecutionManager::default()
+            .execute_within(&[q], &ep, &budget)
+            .unwrap();
+        assert!(outcome.deadline_exceeded);
+        assert!(outcome.executed_queries().is_empty());
+        assert!(outcome.answers.is_empty());
+        assert_eq!(ep.stats().total_requests, 0);
+    }
+
+    #[test]
+    fn exhausted_productive_cap_is_complete_even_with_expired_budget() {
+        // The stopping rules are checked before the deadline: a run that
+        // would have stopped anyway (productive cap reached) must not be
+        // mislabelled as deadline-partial just because the clock also ran
+        // out by then.
+        let ep = endpoint();
+        let q = select_candidate("SELECT ?unknown1 WHERE { ?unknown1 ?p ?o . }", 1.0);
+        let outcome = ExecutionManager::new(0)
+            .execute_within(&[q], &ep, &Budget::with_deadline(Duration::ZERO))
+            .unwrap();
+        assert!(!outcome.deadline_exceeded);
+        assert!(outcome.query_stats.is_empty());
+    }
+
+    #[test]
+    fn query_stats_record_scores_rows_and_kind() {
+        let ep = endpoint();
+        let empty = select_candidate(
+            "SELECT ?unknown1 WHERE { ?unknown1 <http://nothing/here> ?o . }",
+            1.0,
+        );
+        let productive = select_candidate(
+            "SELECT DISTINCT ?unknown1 WHERE { ?unknown1 \
+             <http://dbpedia.org/property/outflow> ?o . }",
+            0.8,
+        );
+        let outcome = ExecutionManager::default()
+            .execute(&[empty, productive], &ep)
+            .unwrap();
+        assert!(!outcome.deadline_exceeded);
+        assert_eq!(outcome.query_stats.len(), 2);
+        assert_eq!(outcome.query_stats[0].rows, 0);
+        assert_eq!(outcome.query_stats[0].score, 1.0);
+        assert_eq!(outcome.query_stats[1].rows, 1);
+        assert_eq!(outcome.query_stats[1].score, 0.8);
+        assert!(outcome.query_stats.iter().all(|s| !s.is_ask));
+        assert!(outcome.query_stats[0]
+            .sparql
+            .contains("http://nothing/here"));
+        assert!(outcome.query_stats[1]
+            .sparql
+            .contains("http://dbpedia.org/property/outflow"));
+        assert_eq!(
+            outcome.executed_queries(),
+            vec![
+                outcome.query_stats[0].sparql.clone(),
+                outcome.query_stats[1].sparql.clone()
+            ]
+        );
+    }
+
+    #[test]
     fn no_queries_yields_empty_outcome() {
         let ep = endpoint();
         let outcome = ExecutionManager::default().execute(&[], &ep).unwrap();
         assert!(outcome.answers.is_empty());
         assert!(outcome.boolean.is_none());
-        assert!(outcome.executed_queries.is_empty());
+        assert!(outcome.executed_queries().is_empty());
     }
 }

@@ -10,6 +10,8 @@
 //!   ("sea" vs `dbo:Sea`), or if the KG reports no class at all (filtering
 //!   must not destroy recall on type-less KGs).
 
+use std::collections::HashSet;
+
 use kgqan_nlp::{AnswerDataType, AnswerTypePrediction};
 use kgqan_rdf::Term;
 
@@ -40,9 +42,12 @@ impl<'a> FiltrationManager<'a> {
         answers: &[CollectedAnswer],
         prediction: &AnswerTypePrediction,
     ) -> Vec<Term> {
+        // Order-preserving hash-set dedup: `Vec::contains` would rescan the
+        // kept list per candidate (quadratic on answer-heavy KGs).
+        let mut seen = HashSet::new();
         let mut kept = Vec::new();
         for candidate in answers {
-            if self.keeps(candidate, prediction) && !kept.contains(&candidate.answer) {
+            if self.keeps(candidate, prediction) && seen.insert(&candidate.answer) {
                 kept.push(candidate.answer.clone());
             }
         }

@@ -21,7 +21,10 @@
 //!    scored (Equation 2), the top-k executed, and the collected answers
 //!    post-filtered by the predicted answer type.
 //!
-//! The end-to-end entry point is [`KgqanPlatform`]:
+//! The serving entry point is [`service::QaService`] — one trained instance
+//! (models behind `Arc`s) answering concurrently against any number of
+//! registered KGs, with per-request config overrides, deadlines and
+//! batching.  [`KgqanPlatform`] is the classic single-shot wrapper over it:
 //!
 //! ```
 //! use std::sync::Arc;
@@ -61,15 +64,20 @@ pub mod filter;
 pub mod linker;
 pub mod pgp;
 pub mod platform;
+pub mod service;
 pub mod understanding;
 
 pub use affinity::{AffinityModel, CoarseGrainedAffinity, FineGrainedAffinity, SemanticAffinity};
 pub use agp::{AnnotatedGraphPattern, RelevantPredicate, RelevantVertex};
 pub use bgp::{BasicGraphPattern, CandidateQuery};
 pub use error::KgqanError;
-pub use execution::ExecutionManager;
+pub use execution::{ExecutionManager, QueryStat};
 pub use filter::FiltrationManager;
-pub use linker::{JitLinker, LinkerConfig};
+pub use linker::{JitLinker, LinkOutcome, LinkerConfig};
 pub use pgp::{PgpEdge, PgpNode, PhraseGraphPattern};
 pub use platform::{AnswerOutcome, KgqanConfig, KgqanPlatform, PhaseTimings};
+pub use service::{
+    AnswerRequest, AnswerResponse, Budget, BudgetVerdict, ConfigOverrides, QaService,
+    QaServiceBuilder,
+};
 pub use understanding::{QuestionUnderstanding, Understanding};

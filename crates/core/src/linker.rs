@@ -20,6 +20,7 @@ use crate::affinity::SemanticAffinity;
 use crate::agp::{AnnotatedGraphPattern, RelevantPredicate, RelevantVertex};
 use crate::error::KgqanError;
 use crate::pgp::PhraseGraphPattern;
+use crate::service::Budget;
 
 /// Tuning knobs of the linker (the first three of the four KGQAn parameters
 /// of §7.1.6; the fourth — max candidate queries — lives in
@@ -47,6 +48,17 @@ impl Default for LinkerConfig {
     }
 }
 
+/// The result of budget-aware linking: the annotated graph pattern plus a
+/// flag saying whether every node and edge was actually probed, or the
+/// request's deadline cut the annotation pass short.
+#[derive(Debug, Clone)]
+pub struct LinkOutcome {
+    /// The (possibly partially) annotated graph pattern.
+    pub agp: AnnotatedGraphPattern,
+    /// True if every node and edge was probed within the budget.
+    pub completed: bool,
+}
+
 /// The just-in-time linker.
 pub struct JitLinker<'a> {
     affinity: &'a dyn SemanticAffinity,
@@ -70,10 +82,28 @@ impl<'a> JitLinker<'a> {
         pgp: &PhraseGraphPattern,
         endpoint: &dyn SparqlEndpoint,
     ) -> Result<AnnotatedGraphPattern, KgqanError> {
+        Ok(self.link_within(pgp, endpoint, &Budget::unbounded())?.agp)
+    }
+
+    /// Run both linking algorithms within a time budget.
+    ///
+    /// The budget is checked between endpoint probes: once it expires the
+    /// remaining nodes/edges keep their (empty) annotations and the outcome
+    /// is flagged incomplete, so a slow KG yields a partial AGP instead of
+    /// an unbounded linking phase.
+    pub fn link_within(
+        &self,
+        pgp: &PhraseGraphPattern,
+        endpoint: &dyn SparqlEndpoint,
+        budget: &Budget,
+    ) -> Result<LinkOutcome, KgqanError> {
         let mut agp = AnnotatedGraphPattern::new(pgp.clone());
-        self.link_entities(&mut agp, endpoint)?;
-        self.link_relations(&mut agp, endpoint)?;
-        Ok(agp)
+        let entities_done = self.link_entities_within(&mut agp, endpoint, budget)?;
+        let relations_done = self.link_relations_within(&mut agp, endpoint, budget)?;
+        Ok(LinkOutcome {
+            agp,
+            completed: entities_done && relations_done,
+        })
     }
 
     /// Algorithm 1 — KGQAnEntityLink, applied to every PGP node.
@@ -82,9 +112,24 @@ impl<'a> JitLinker<'a> {
         agp: &mut AnnotatedGraphPattern,
         endpoint: &dyn SparqlEndpoint,
     ) -> Result<(), KgqanError> {
+        self.link_entities_within(agp, endpoint, &Budget::unbounded())
+            .map(|_| ())
+    }
+
+    /// Budget-aware Algorithm 1.  Returns `false` if the budget expired
+    /// before every node was probed.
+    pub fn link_entities_within(
+        &self,
+        agp: &mut AnnotatedGraphPattern,
+        endpoint: &dyn SparqlEndpoint,
+        budget: &Budget,
+    ) -> Result<bool, KgqanError> {
         for node in agp.pgp.nodes().to_vec() {
             if node.is_unknown() {
                 continue; // line 1-3: unknowns get no relevant vertices here
+            }
+            if budget.expired() {
+                return Ok(false);
             }
             let words = content_words(&node.label);
             if words.is_empty() {
@@ -111,7 +156,7 @@ impl<'a> JitLinker<'a> {
             scored.truncate(self.config.num_vertices);
             agp.node_annotations[node.id] = scored;
         }
-        Ok(())
+        Ok(true)
     }
 
     /// The `potentialRelevantVertices(l_n, maxVR)` SPARQL query of §5.1,
@@ -154,8 +199,25 @@ impl<'a> JitLinker<'a> {
         agp: &mut AnnotatedGraphPattern,
         endpoint: &dyn SparqlEndpoint,
     ) -> Result<(), KgqanError> {
+        self.link_relations_within(agp, endpoint, &Budget::unbounded())
+            .map(|_| ())
+    }
+
+    /// Budget-aware Algorithm 2.  Returns `false` if the budget expired
+    /// before every edge was probed.  An edge whose probes were cut mid-way
+    /// still keeps the candidates scored so far (best-effort annotation).
+    pub fn link_relations_within(
+        &self,
+        agp: &mut AnnotatedGraphPattern,
+        endpoint: &dyn SparqlEndpoint,
+        budget: &Budget,
+    ) -> Result<bool, KgqanError> {
+        let mut completed = true;
         let edges = agp.pgp.edges().to_vec();
         for (edge_index, edge) in edges.iter().enumerate() {
+            if budget.expired() {
+                return Ok(false);
+            }
             // Line 2: union of the relevant vertices of both endpoints,
             // remembering which node each vertex annotates.
             let mut anchor_vertices: Vec<(usize, Term)> = Vec::new();
@@ -169,6 +231,10 @@ impl<'a> JitLinker<'a> {
 
             let mut candidates: Vec<RelevantPredicate> = Vec::new();
             for (anchor_node, vertex) in &anchor_vertices {
+                if budget.expired() {
+                    completed = false;
+                    break;
+                }
                 // Lines 4-7: outgoing and incoming predicate probes.
                 for (vertex_is_object, query) in [
                     (false, outgoing_predicate_query(vertex)),
@@ -216,7 +282,7 @@ impl<'a> JitLinker<'a> {
             candidates.truncate(self.config.num_predicates);
             agp.edge_annotations[edge_index] = candidates;
         }
-        Ok(())
+        Ok(completed)
     }
 
     /// Fetch the description of a predicate whose URI is an opaque

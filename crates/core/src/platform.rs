@@ -1,19 +1,23 @@
 //! The end-to-end KGQAn platform (Figure 4): question in, answers out,
 //! with per-phase timings for the Figure 7 experiment.
+//!
+//! [`KgqanPlatform`] is the classic single-shot API — borrow an endpoint,
+//! answer one question — kept as a thin compatibility wrapper over the
+//! concurrent serving layer in [`crate::service`].  New code that wants
+//! multi-KG routing, per-request overrides, deadlines or batching should
+//! use [`crate::service::QaService`] directly.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use kgqan_endpoint::SparqlEndpoint;
 use kgqan_nlp::{AnswerDataType, Seq2SeqVariant};
 use kgqan_rdf::Term;
 
-use crate::affinity::{AffinityModel, SemanticAffinity};
+use crate::affinity::AffinityModel;
 use crate::agp::AnnotatedGraphPattern;
-use crate::bgp::generate_candidate_queries;
 use crate::error::KgqanError;
-use crate::execution::ExecutionManager;
-use crate::filter::FiltrationManager;
-use crate::linker::{JitLinker, LinkerConfig};
+use crate::linker::LinkerConfig;
+use crate::service::{AnswerRequest, QaService};
 use crate::understanding::{QuestionUnderstanding, Understanding};
 
 /// Wall-clock time spent in each of the three KGQAn phases.
@@ -103,10 +107,14 @@ impl AnswerOutcome {
 }
 
 /// The KGQAn platform: train once, answer questions against any endpoint.
+///
+/// A thin wrapper over a registry-less [`QaService`]: the trained models
+/// live in the service (shared, `Send + Sync`) and each [`Self::answer`]
+/// call routes through the same pipeline that serves
+/// [`QaService::answer`] — minus the registry lookup, since the endpoint is
+/// borrowed per call.
 pub struct KgqanPlatform {
-    understanding: QuestionUnderstanding,
-    affinity: Box<dyn SemanticAffinity>,
-    config: KgqanConfig,
+    service: QaService,
 }
 
 impl KgqanPlatform {
@@ -126,16 +134,23 @@ impl KgqanPlatform {
     /// component (lets experiments share one trained model across many
     /// configurations).
     pub fn with_parts(understanding: QuestionUnderstanding, config: KgqanConfig) -> Self {
-        KgqanPlatform {
-            understanding,
-            affinity: config.affinity.build(),
-            config,
-        }
+        let service = QaService::builder()
+            .config(config)
+            .understanding(understanding)
+            .build()
+            .expect("a service without registry or default KG has nothing to misconfigure");
+        KgqanPlatform { service }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &KgqanConfig {
-        &self.config
+        self.service.config()
+    }
+
+    /// The underlying service (no endpoints registered; useful for sharing
+    /// the trained models with a registry-backed deployment).
+    pub fn service(&self) -> &QaService {
+        &self.service
     }
 
     /// Answer a question against a SPARQL endpoint.
@@ -144,54 +159,8 @@ impl KgqanPlatform {
         question: &str,
         endpoint: &dyn SparqlEndpoint,
     ) -> Result<AnswerOutcome, KgqanError> {
-        // Phase 1: question understanding (KG-independent).
-        let t0 = Instant::now();
-        let understanding = self.understanding.understand(question)?;
-        let understanding_time = t0.elapsed();
-
-        // Phase 2: just-in-time linking against the target endpoint.
-        let t1 = Instant::now();
-        let linker = JitLinker::new(self.affinity.as_ref(), self.config.linker);
-        let agp = linker.link(&understanding.pgp, endpoint)?;
-        let linking_time = t1.elapsed();
-
-        // Phase 3: candidate query generation, execution and filtration.
-        let t2 = Instant::now();
-        let candidates = generate_candidate_queries(&agp, self.config.max_candidate_queries);
-        let execution = ExecutionManager::new(self.config.max_productive_queries)
-            .execute(&candidates, endpoint)?;
-
-        let unfiltered_answers: Vec<Term> = {
-            let mut seen = Vec::new();
-            for a in &execution.answers {
-                if !seen.contains(&a.answer) {
-                    seen.push(a.answer.clone());
-                }
-            }
-            seen
-        };
-        let answers = if self.config.filtration_enabled {
-            FiltrationManager::new(self.affinity.as_ref())
-                .filter(&execution.answers, &understanding.answer_type)
-        } else {
-            unfiltered_answers.clone()
-        };
-        let execution_filtration_time = t2.elapsed();
-
-        Ok(AnswerOutcome {
-            question: question.to_string(),
-            answers,
-            boolean: execution.boolean,
-            unfiltered_answers,
-            understanding,
-            agp,
-            executed_queries: execution.executed_queries,
-            timings: PhaseTimings {
-                understanding: understanding_time,
-                linking: linking_time,
-                execution_filtration: execution_filtration_time,
-            },
-        })
+        let request = AnswerRequest::new(question);
+        Ok(self.service.answer_on(&request, endpoint)?.outcome)
     }
 }
 

@@ -1,0 +1,756 @@
+//! The concurrent, multi-KG serving layer.
+//!
+//! [`QaService`] is the platform API the paper's universality claim calls
+//! for: **one** trained KGQAn instance (question understanding + affinity
+//! models, trained once, held in `Arc`s) serving questions against *any*
+//! number of registered SPARQL endpoints, from any number of threads.
+//!
+//! * Requests are [`AnswerRequest`]s: a question, an optional target KG name
+//!   (resolved through the service's [`EndpointRegistry`]), per-request
+//!   [`ConfigOverrides`], and an optional deadline.
+//! * Responses are [`AnswerResponse`]s: the classic [`AnswerOutcome`] plus a
+//!   request id, the KG that answered, per-candidate-query statistics, an
+//!   endpoint stats snapshot, and a [`BudgetVerdict`] saying whether the
+//!   deadline cut the pipeline short.
+//! * Deadlines degrade gracefully: an expired [`Budget`] stops linking
+//!   probes and candidate-query execution at the next check-point and the
+//!   response carries the best answers collected so far, flagged
+//!   [`BudgetVerdict::Partial`] — a slow KG bounds a request's latency
+//!   instead of running unbounded.
+//! * [`QaService::answer_batch`] fans a slice of requests across a scoped
+//!   thread pool; the service itself is cheaply cloneable (`Arc` inside) and
+//!   `Send + Sync`, so callers can equally well clone it into their own
+//!   threads.
+//!
+//! [`crate::KgqanPlatform`] remains as a thin one-endpoint compatibility
+//! wrapper over this service.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use kgqan_endpoint::{EndpointRegistry, RequestStats, SparqlEndpoint};
+use kgqan_rdf::Term;
+
+use crate::affinity::SemanticAffinity;
+use crate::bgp::generate_candidate_queries;
+use crate::error::KgqanError;
+use crate::execution::ExecutionManager;
+use crate::filter::FiltrationManager;
+use crate::linker::{JitLinker, LinkerConfig};
+use crate::platform::{AnswerOutcome, KgqanConfig, PhaseTimings};
+use crate::understanding::QuestionUnderstanding;
+
+pub use crate::execution::QueryStat;
+
+/// A request's time budget: a start instant plus an optional deadline.
+///
+/// The budget is threaded through the linking and execution phases, which
+/// check it between endpoint round-trips; `Budget::unbounded()` never
+/// expires and compiles down to the pre-deadline behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    started: Instant,
+    deadline: Option<Duration>,
+}
+
+impl Budget {
+    /// A budget that never expires.
+    pub fn unbounded() -> Self {
+        Budget {
+            started: Instant::now(),
+            deadline: None,
+        }
+    }
+
+    /// A budget expiring `deadline` from now.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Budget {
+            started: Instant::now(),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Start a budget from an optional deadline.
+    pub fn start(deadline: Option<Duration>) -> Self {
+        Budget {
+            started: Instant::now(),
+            deadline,
+        }
+    }
+
+    /// The deadline this budget enforces, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Time elapsed since the budget started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Time left before the deadline (`None` for unbounded budgets, zero
+    /// once expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_sub(self.elapsed()))
+    }
+
+    /// True once the deadline has passed.  Unbounded budgets never expire.
+    pub fn expired(&self) -> bool {
+        match self.deadline {
+            Some(deadline) => self.elapsed() >= deadline,
+            None => false,
+        }
+    }
+}
+
+/// Whether a request completed within its budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetVerdict {
+    /// Every phase ran to completion (the deadline, if any, was met).
+    Completed,
+    /// The deadline expired mid-pipeline; the response carries the best
+    /// results collected so far (linking annotations, answers) and skipped
+    /// whatever work remained.
+    Partial,
+}
+
+impl BudgetVerdict {
+    /// True if the deadline cut the pipeline short.
+    pub fn is_partial(&self) -> bool {
+        matches!(self, BudgetVerdict::Partial)
+    }
+}
+
+/// Per-request overrides of the service-wide [`KgqanConfig`].
+///
+/// Only the *runtime* knobs can vary per request; the model axes
+/// (`seq2seq`, `affinity`) are fixed when the service is built, because they
+/// select which trained models the service holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ConfigOverrides {
+    /// Override the linker knobs (max fetched vertices, vertices per node,
+    /// predicates per edge).
+    pub linker: Option<LinkerConfig>,
+    /// Override *Max number of Queries*.
+    pub max_candidate_queries: Option<usize>,
+    /// Override the productive-query budget of the execution manager.
+    pub max_productive_queries: Option<usize>,
+    /// Override the post-filtration toggle.
+    pub filtration_enabled: Option<bool>,
+}
+
+impl ConfigOverrides {
+    /// No overrides: the request runs with the service configuration.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Resolve the effective configuration for a request.
+    pub fn apply(&self, base: &KgqanConfig) -> KgqanConfig {
+        KgqanConfig {
+            linker: self.linker.unwrap_or(base.linker),
+            max_candidate_queries: self
+                .max_candidate_queries
+                .unwrap_or(base.max_candidate_queries),
+            max_productive_queries: self
+                .max_productive_queries
+                .unwrap_or(base.max_productive_queries),
+            filtration_enabled: self.filtration_enabled.unwrap_or(base.filtration_enabled),
+            ..*base
+        }
+    }
+}
+
+/// One question for the service to answer.
+#[derive(Debug, Clone, Default)]
+pub struct AnswerRequest {
+    /// The natural-language question.
+    pub question: String,
+    /// The registered KG to answer from.  `None` targets the service's
+    /// default KG (explicitly configured, or the sole registered endpoint).
+    pub kg: Option<String>,
+    /// Per-request configuration overrides.
+    pub overrides: ConfigOverrides,
+    /// How long the request may run.  When the deadline expires the
+    /// pipeline returns best-so-far results flagged partial instead of
+    /// continuing unbounded.
+    pub deadline: Option<Duration>,
+    /// Client-supplied request id echoed in the response; the service
+    /// assigns a sequential `req-N` id when absent.
+    pub id: Option<String>,
+}
+
+impl AnswerRequest {
+    /// A request against the service's default KG with no overrides.
+    pub fn new(question: impl Into<String>) -> Self {
+        AnswerRequest {
+            question: question.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Target a registered KG by name.
+    pub fn on_kg(mut self, kg: impl Into<String>) -> Self {
+        self.kg = Some(kg.into());
+        self
+    }
+
+    /// Bound the request's wall-clock time.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach per-request configuration overrides.
+    pub fn with_overrides(mut self, overrides: ConfigOverrides) -> Self {
+        self.overrides = overrides;
+        self
+    }
+
+    /// Attach a client-supplied request id.
+    pub fn with_id(mut self, id: impl Into<String>) -> Self {
+        self.id = Some(id.into());
+        self
+    }
+}
+
+/// Everything the service reports for one answered request.
+#[derive(Debug, Clone)]
+pub struct AnswerResponse {
+    /// The request id (client-supplied or service-assigned).
+    pub request_id: String,
+    /// The name of the KG that answered.
+    pub kg: String,
+    /// The classic pipeline outcome: answers, understanding, AGP, timings.
+    pub outcome: AnswerOutcome,
+    /// Per-candidate-query execution statistics, in execution order.
+    pub query_stats: Vec<QueryStat>,
+    /// Cumulative request statistics of the answering endpoint, snapshotted
+    /// when this request finished (cumulative across all requests the
+    /// endpoint has served, not just this one).
+    pub endpoint_stats: RequestStats,
+    /// Whether the deadline cut the pipeline short.
+    pub verdict: BudgetVerdict,
+    /// Wall-clock time the request spent in the pipeline.
+    pub elapsed: Duration,
+}
+
+impl AnswerResponse {
+    /// True if the deadline expired before the pipeline completed.
+    pub fn is_partial(&self) -> bool {
+        self.verdict.is_partial()
+    }
+}
+
+struct ServiceInner {
+    understanding: Arc<QuestionUnderstanding>,
+    affinity: Arc<dyn SemanticAffinity>,
+    config: KgqanConfig,
+    registry: EndpointRegistry,
+    default_kg: Option<String>,
+    next_request_id: AtomicU64,
+}
+
+/// A concurrent, multi-KG question-answering service.
+///
+/// Cloning is cheap (an `Arc` bump) and every clone shares the same trained
+/// models, configuration and endpoint registry, so one service can be handed
+/// to any number of threads.  See the [module docs](self) for the request /
+/// response model.
+#[derive(Clone)]
+pub struct QaService {
+    inner: Arc<ServiceInner>,
+}
+
+impl QaService {
+    /// Start building a service.
+    pub fn builder() -> QaServiceBuilder {
+        QaServiceBuilder::new()
+    }
+
+    /// The service-wide configuration (requests may override parts of it).
+    pub fn config(&self) -> &KgqanConfig {
+        &self.inner.config
+    }
+
+    /// The registry of KGs this service can answer from.
+    pub fn registry(&self) -> &EndpointRegistry {
+        &self.inner.registry
+    }
+
+    /// Names of the registered KGs, sorted.
+    pub fn kg_names(&self) -> Vec<String> {
+        self.inner.registry.names()
+    }
+
+    /// The shared trained question-understanding component.
+    pub fn understanding(&self) -> &Arc<QuestionUnderstanding> {
+        &self.inner.understanding
+    }
+
+    /// Resolve which registered KG a request targets: the request's explicit
+    /// choice, else the configured default, else the sole registered
+    /// endpoint.
+    fn resolve_kg(&self, request: &AnswerRequest) -> Result<String, KgqanError> {
+        if let Some(kg) = &request.kg {
+            return Ok(kg.clone());
+        }
+        if let Some(default) = &self.inner.default_kg {
+            return Ok(default.clone());
+        }
+        let names = self.inner.registry.names();
+        match names.as_slice() {
+            [only] => Ok(only.clone()),
+            [] => Err(KgqanError::Configuration(
+                "request names no KG and the service has no registered endpoints".into(),
+            )),
+            _ => Err(KgqanError::Configuration(format!(
+                "request names no KG and the service has no default (registered: {})",
+                names.join(", ")
+            ))),
+        }
+    }
+
+    /// Answer one request against its registered target KG.
+    pub fn answer(&self, request: AnswerRequest) -> Result<AnswerResponse, KgqanError> {
+        let kg = self.resolve_kg(&request)?;
+        let endpoint = self.inner.registry.get(&kg)?;
+        self.answer_pipeline(&request, &kg, endpoint.as_ref())
+    }
+
+    /// Answer a request against a borrowed endpoint, bypassing the registry.
+    ///
+    /// This is the compatibility path [`crate::KgqanPlatform::answer`] uses;
+    /// the response's `kg` field carries the endpoint's own name.
+    pub fn answer_on(
+        &self,
+        request: &AnswerRequest,
+        endpoint: &dyn SparqlEndpoint,
+    ) -> Result<AnswerResponse, KgqanError> {
+        self.answer_pipeline(request, endpoint.name(), endpoint)
+    }
+
+    /// Answer a batch of requests concurrently on a scoped thread pool.
+    ///
+    /// Responses come back in request order.  Workers pull requests from a
+    /// shared queue, so one slow KG does not serialise the rest of the
+    /// batch.  The pool is sized to the machine's available parallelism but
+    /// never below four workers (capped by the batch size): a request's
+    /// wall-clock is dominated by endpoint round-trips, which overlap
+    /// across threads even on a single core — sizing purely by cores would
+    /// serialise IO-bound batches on small machines.
+    pub fn answer_batch(
+        &self,
+        requests: &[AnswerRequest],
+    ) -> Vec<Result<AnswerResponse, KgqanError>> {
+        if requests.len() <= 1 {
+            return requests.iter().map(|r| self.answer(r.clone())).collect();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .max(4)
+            .min(requests.len());
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<AnswerResponse, KgqanError>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(request) = requests.get(i) else {
+                        break;
+                    };
+                    *slots[i].lock() = Some(self.answer(request.clone()));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("scoped workers fill every request slot")
+            })
+            .collect()
+    }
+
+    /// The three-phase pipeline with budget checks between endpoint
+    /// round-trips.
+    fn answer_pipeline(
+        &self,
+        request: &AnswerRequest,
+        kg: &str,
+        endpoint: &dyn SparqlEndpoint,
+    ) -> Result<AnswerResponse, KgqanError> {
+        let config = request.overrides.apply(&self.inner.config);
+        let budget = Budget::start(request.deadline);
+        let request_id = request.id.clone().unwrap_or_else(|| {
+            format!(
+                "req-{}",
+                self.inner.next_request_id.fetch_add(1, Ordering::Relaxed)
+            )
+        });
+
+        // Phase 1: question understanding (KG-independent; never cut — it is
+        // the cheap, local phase and everything downstream needs the PGP).
+        let t0 = Instant::now();
+        let understanding = self.inner.understanding.understand(&request.question)?;
+        let understanding_time = t0.elapsed();
+
+        // Phase 2: just-in-time linking against the target endpoint, cut
+        // between probes once the budget expires.
+        let t1 = Instant::now();
+        let linker = JitLinker::new(self.inner.affinity.as_ref(), config.linker);
+        let link = linker.link_within(&understanding.pgp, endpoint, &budget)?;
+        let linking_time = t1.elapsed();
+
+        // Phase 3: candidate generation (local), execution (budgeted),
+        // filtration (skipped wholesale once the budget is gone — the
+        // unfiltered answers are the best-so-far result).
+        let t2 = Instant::now();
+        let candidates = generate_candidate_queries(&link.agp, config.max_candidate_queries);
+        let execution = ExecutionManager::new(config.max_productive_queries).execute_within(
+            &candidates,
+            endpoint,
+            &budget,
+        )?;
+
+        let mut seen = HashSet::new();
+        let unfiltered_answers: Vec<Term> = execution
+            .answers
+            .iter()
+            .filter(|a| seen.insert(&a.answer))
+            .map(|a| a.answer.clone())
+            .collect();
+        let filtration_skipped = config.filtration_enabled && budget.expired();
+        let answers = if config.filtration_enabled && !filtration_skipped {
+            FiltrationManager::new(self.inner.affinity.as_ref())
+                .filter(&execution.answers, &understanding.answer_type)
+        } else {
+            unfiltered_answers.clone()
+        };
+        let execution_filtration_time = t2.elapsed();
+
+        let verdict = if !link.completed || execution.deadline_exceeded || filtration_skipped {
+            BudgetVerdict::Partial
+        } else {
+            BudgetVerdict::Completed
+        };
+
+        Ok(AnswerResponse {
+            request_id,
+            kg: kg.to_string(),
+            outcome: AnswerOutcome {
+                question: request.question.clone(),
+                answers,
+                boolean: execution.boolean,
+                unfiltered_answers,
+                understanding,
+                agp: link.agp,
+                executed_queries: execution.executed_queries(),
+                timings: PhaseTimings {
+                    understanding: understanding_time,
+                    linking: linking_time,
+                    execution_filtration: execution_filtration_time,
+                },
+            },
+            query_stats: execution.query_stats,
+            endpoint_stats: endpoint.stats(),
+            verdict,
+            elapsed: budget.elapsed(),
+        })
+    }
+}
+
+/// Builder for [`QaService`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use kgqan::service::QaService;
+/// use kgqan_endpoint::InProcessEndpoint;
+/// use kgqan_rdf::Store;
+///
+/// let service = QaService::builder()
+///     .endpoint(Arc::new(InProcessEndpoint::new("DBpedia", Store::new())))
+///     .endpoint(Arc::new(InProcessEndpoint::new("MAG", Store::new())))
+///     .default_kg("DBpedia")
+///     .build()
+///     .unwrap();
+/// assert_eq!(service.kg_names(), vec!["DBpedia", "MAG"]);
+/// ```
+pub struct QaServiceBuilder {
+    config: KgqanConfig,
+    understanding: Option<Arc<QuestionUnderstanding>>,
+    registry: EndpointRegistry,
+    default_kg: Option<String>,
+}
+
+impl QaServiceBuilder {
+    fn new() -> Self {
+        QaServiceBuilder {
+            config: KgqanConfig::default(),
+            understanding: None,
+            registry: EndpointRegistry::new(),
+            default_kg: None,
+        }
+    }
+
+    /// Use this service-wide configuration (requests may override the
+    /// runtime knobs per call).
+    pub fn config(mut self, config: KgqanConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Reuse an already-trained question-understanding component instead of
+    /// training one during `build()`.
+    pub fn understanding(mut self, understanding: QuestionUnderstanding) -> Self {
+        self.understanding = Some(Arc::new(understanding));
+        self
+    }
+
+    /// Share a trained question-understanding component with other services.
+    pub fn shared_understanding(mut self, understanding: Arc<QuestionUnderstanding>) -> Self {
+        self.understanding = Some(understanding);
+        self
+    }
+
+    /// Register an endpoint under its own name.
+    pub fn endpoint(mut self, endpoint: Arc<dyn SparqlEndpoint>) -> Self {
+        self.registry.register(endpoint);
+        self
+    }
+
+    /// Use an already-populated registry (replaces endpoints registered so
+    /// far on this builder).
+    pub fn registry(mut self, registry: EndpointRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Name the KG that requests without an explicit target answer from.
+    pub fn default_kg(mut self, name: impl Into<String>) -> Self {
+        self.default_kg = Some(name.into());
+        self
+    }
+
+    /// Build the service, training the understanding models if none were
+    /// supplied (takes a moment).
+    ///
+    /// Fails with [`KgqanError::Configuration`] if the default KG names an
+    /// unregistered endpoint.
+    pub fn build(self) -> Result<QaService, KgqanError> {
+        if let Some(default) = &self.default_kg {
+            if !self.registry.contains(default) {
+                return Err(KgqanError::Configuration(format!(
+                    "default KG {default:?} is not registered (registered: {})",
+                    self.registry.names().join(", ")
+                )));
+            }
+        }
+        let understanding = self.understanding.unwrap_or_else(|| {
+            Arc::new(QuestionUnderstanding::train_with_variant(
+                self.config.seq2seq,
+            ))
+        });
+        let affinity: Arc<dyn SemanticAffinity> = Arc::from(self.config.affinity.build());
+        Ok(QaService {
+            inner: Arc::new(ServiceInner {
+                understanding,
+                affinity,
+                config: self.config,
+                registry: self.registry,
+                default_kg: self.default_kg,
+                next_request_id: AtomicU64::new(0),
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgqan_endpoint::InProcessEndpoint;
+    use kgqan_rdf::{vocab, Store, Triple};
+
+    fn spouse_store() -> Store {
+        let mut store = Store::new();
+        let obama = Term::iri("http://dbpedia.org/resource/Barack_Obama");
+        let michelle = Term::iri("http://dbpedia.org/resource/Michelle_Obama");
+        store.insert_all([
+            Triple::new(
+                obama.clone(),
+                Term::iri(vocab::RDFS_LABEL),
+                Term::literal_str("Barack Obama"),
+            ),
+            Triple::new(
+                michelle.clone(),
+                Term::iri(vocab::RDFS_LABEL),
+                Term::literal_str("Michelle Obama"),
+            ),
+            Triple::new(
+                obama,
+                Term::iri("http://dbpedia.org/ontology/spouse"),
+                michelle,
+            ),
+        ]);
+        store
+    }
+
+    fn service_with_one_kg() -> QaService {
+        QaService::builder()
+            .endpoint(Arc::new(InProcessEndpoint::new("DBpedia", spouse_store())))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn budget_expiry() {
+        let unbounded = Budget::unbounded();
+        assert!(!unbounded.expired());
+        assert_eq!(unbounded.remaining(), None);
+        assert_eq!(unbounded.deadline(), None);
+
+        let expired = Budget::with_deadline(Duration::ZERO);
+        assert!(expired.expired());
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
+
+        let generous = Budget::with_deadline(Duration::from_secs(3600));
+        assert!(!generous.expired());
+        assert!(generous.remaining().unwrap() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn overrides_apply_over_base_config() {
+        let base = KgqanConfig::default();
+        assert_eq!(ConfigOverrides::none().apply(&base), base);
+
+        let overridden = ConfigOverrides {
+            max_candidate_queries: Some(7),
+            filtration_enabled: Some(false),
+            ..Default::default()
+        }
+        .apply(&base);
+        assert_eq!(overridden.max_candidate_queries, 7);
+        assert!(!overridden.filtration_enabled);
+        // Untouched knobs keep the base values.
+        assert_eq!(overridden.linker, base.linker);
+        assert_eq!(
+            overridden.max_productive_queries,
+            base.max_productive_queries
+        );
+        assert_eq!(overridden.affinity, base.affinity);
+    }
+
+    #[test]
+    fn builder_rejects_unregistered_default_kg() {
+        let err = QaService::builder()
+            .endpoint(Arc::new(InProcessEndpoint::new("DBpedia", Store::new())))
+            .default_kg("YAGO")
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        let KgqanError::Configuration(msg) = err else {
+            panic!("expected Configuration error, got {err:?}");
+        };
+        assert!(msg.contains("YAGO"));
+        assert!(msg.contains("DBpedia"));
+    }
+
+    #[test]
+    fn sole_endpoint_is_the_implicit_default() {
+        let service = service_with_one_kg();
+        let response = service
+            .answer(AnswerRequest::new("Who is the wife of Barack Obama?"))
+            .unwrap();
+        assert_eq!(response.kg, "DBpedia");
+        assert_eq!(response.verdict, BudgetVerdict::Completed);
+        assert!(!response.is_partial());
+        assert!(response
+            .outcome
+            .answers
+            .iter()
+            .any(|t| t.as_iri() == Some("http://dbpedia.org/resource/Michelle_Obama")));
+        assert!(!response.query_stats.is_empty());
+        assert!(response.endpoint_stats.total_requests > 0);
+    }
+
+    #[test]
+    fn requests_without_kg_fail_on_ambiguous_registry() {
+        let understanding = service_with_one_kg().understanding().clone();
+        let service = QaService::builder()
+            .shared_understanding(understanding)
+            .endpoint(Arc::new(InProcessEndpoint::new("A", Store::new())))
+            .endpoint(Arc::new(InProcessEndpoint::new("B", Store::new())))
+            .build()
+            .unwrap();
+        let err = service
+            .answer(AnswerRequest::new("Who is the wife of Barack Obama?"))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, KgqanError::Configuration(_)));
+        assert!(err.to_string().contains("A, B"));
+    }
+
+    #[test]
+    fn unknown_kg_error_lists_registered_names() {
+        let service = service_with_one_kg();
+        let err = service
+            .answer(AnswerRequest::new("Who is the wife of Barack Obama?").on_kg("YAGO"))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, KgqanError::Endpoint(_)));
+        assert!(err.to_string().contains("DBpedia"));
+    }
+
+    #[test]
+    fn service_assigns_sequential_request_ids_and_echoes_client_ids() {
+        let service = service_with_one_kg();
+        let question = "Who is the wife of Barack Obama?";
+        let a = service.answer(AnswerRequest::new(question)).unwrap();
+        let b = service.answer(AnswerRequest::new(question)).unwrap();
+        assert_ne!(a.request_id, b.request_id);
+        let c = service
+            .answer(AnswerRequest::new(question).with_id("client-7"))
+            .unwrap();
+        assert_eq!(c.request_id, "client-7");
+    }
+
+    #[test]
+    fn zero_deadline_yields_flagged_partial_response() {
+        let service = service_with_one_kg();
+        let response = service
+            .answer(
+                AnswerRequest::new("Who is the wife of Barack Obama?")
+                    .with_deadline(Duration::ZERO),
+            )
+            .unwrap();
+        assert!(response.is_partial());
+        assert_eq!(response.verdict, BudgetVerdict::Partial);
+        // Nothing was linked or executed, so there is nothing to answer —
+        // but the request *returned* instead of running the full pipeline.
+        assert!(response.outcome.answers.is_empty());
+        assert!(response.query_stats.is_empty());
+    }
+
+    #[test]
+    fn answer_batch_preserves_request_order() {
+        let service = service_with_one_kg();
+        let requests = vec![
+            AnswerRequest::new("Who is the wife of Barack Obama?").with_id("first"),
+            AnswerRequest::new("Who is the wife of Barack Obama?").with_id("second"),
+            AnswerRequest::new("Who is the wife of Barack Obama?").on_kg("Nope"),
+        ];
+        let responses = service.answer_batch(&requests);
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].as_ref().unwrap().request_id, "first");
+        assert_eq!(responses[1].as_ref().unwrap().request_id, "second");
+        assert!(responses[2].is_err());
+        assert!(service.answer_batch(&[]).is_empty());
+    }
+}

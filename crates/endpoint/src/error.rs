@@ -10,7 +10,13 @@ pub enum EndpointError {
     /// The query failed to parse or evaluate at the endpoint.
     Query(SparqlError),
     /// The named endpoint does not exist in the registry.
-    UnknownEndpoint(String),
+    UnknownEndpoint {
+        /// The name that was requested.
+        name: String,
+        /// The names that *are* registered, so the caller can see what KGs
+        /// the service actually offers (sorted, possibly empty).
+        available: Vec<String>,
+    },
     /// The endpoint rejected the request (e.g. simulated unavailability).
     Unavailable(String),
 }
@@ -19,7 +25,17 @@ impl fmt::Display for EndpointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EndpointError::Query(e) => write!(f, "query error: {e}"),
-            EndpointError::UnknownEndpoint(name) => write!(f, "unknown endpoint: {name}"),
+            EndpointError::UnknownEndpoint { name, available } => {
+                if available.is_empty() {
+                    write!(f, "unknown endpoint: {name} (no endpoints registered)")
+                } else {
+                    write!(
+                        f,
+                        "unknown endpoint: {name} (available: {})",
+                        available.join(", ")
+                    )
+                }
+            }
             EndpointError::Unavailable(reason) => write!(f, "endpoint unavailable: {reason}"),
         }
     }
@@ -44,11 +60,26 @@ mod tests {
         }
         .into();
         assert!(e.to_string().contains("query error"));
-        assert!(EndpointError::UnknownEndpoint("X".into())
-            .to_string()
-            .contains('X'));
         assert!(EndpointError::Unavailable("down".into())
             .to_string()
             .contains("down"));
+    }
+
+    #[test]
+    fn unknown_endpoint_lists_available_names() {
+        let empty = EndpointError::UnknownEndpoint {
+            name: "X".into(),
+            available: vec![],
+        };
+        assert!(empty.to_string().contains('X'));
+        assert!(empty.to_string().contains("no endpoints registered"));
+
+        let some = EndpointError::UnknownEndpoint {
+            name: "YAGO".into(),
+            available: vec!["DBpedia".into(), "MAG".into()],
+        };
+        let msg = some.to_string();
+        assert!(msg.contains("YAGO"));
+        assert!(msg.contains("DBpedia, MAG"));
     }
 }

@@ -1,5 +1,10 @@
 //! A registry of named endpoints, standing in for the set of SPARQL endpoint
 //! URIs a user can point KGQAn at (Figure 2: "Question + Endpoint URI").
+//!
+//! The registry is the multi-KG half of the serving API: a `QaService` owns
+//! one registry and routes each `AnswerRequest` to the endpoint named by the
+//! request.  Lookups of unregistered names fail with an error that lists the
+//! names that *are* registered.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -20,16 +25,32 @@ impl EndpointRegistry {
     }
 
     /// Register an endpoint under its own name.
-    pub fn register(&mut self, endpoint: Arc<dyn SparqlEndpoint>) {
-        self.endpoints.insert(endpoint.name().to_string(), endpoint);
+    ///
+    /// Registering a second endpoint with the same name replaces the first
+    /// and returns it (last registration wins), mirroring map semantics; use
+    /// [`EndpointRegistry::contains`] first if replacement must be an error.
+    pub fn register(
+        &mut self,
+        endpoint: Arc<dyn SparqlEndpoint>,
+    ) -> Option<Arc<dyn SparqlEndpoint>> {
+        self.endpoints.insert(endpoint.name().to_string(), endpoint)
     }
 
-    /// Look up an endpoint by name.
+    /// Look up an endpoint by name.  The error of a failed lookup carries
+    /// the sorted list of registered names.
     pub fn get(&self, name: &str) -> Result<Arc<dyn SparqlEndpoint>, EndpointError> {
         self.endpoints
             .get(name)
             .cloned()
-            .ok_or_else(|| EndpointError::UnknownEndpoint(name.to_string()))
+            .ok_or_else(|| EndpointError::UnknownEndpoint {
+                name: name.to_string(),
+                available: self.names(),
+            })
+    }
+
+    /// True if an endpoint is registered under `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.endpoints.contains_key(name)
     }
 
     /// Names of all registered endpoints, sorted.
@@ -63,9 +84,62 @@ mod tests {
         assert_eq!(reg.len(), 2);
         assert_eq!(reg.names(), vec!["DBpedia".to_string(), "MAG".to_string()]);
         assert_eq!(reg.get("DBpedia").unwrap().name(), "DBpedia");
+        assert!(reg.contains("MAG"));
+        assert!(!reg.contains("YAGO"));
         assert!(matches!(
             reg.get("YAGO"),
-            Err(EndpointError::UnknownEndpoint(_))
+            Err(EndpointError::UnknownEndpoint { .. })
         ));
+    }
+
+    #[test]
+    fn lookup_error_lists_available_names() {
+        let mut reg = EndpointRegistry::new();
+        reg.register(Arc::new(InProcessEndpoint::new("DBpedia", Store::new())));
+        reg.register(Arc::new(InProcessEndpoint::new("MAG", Store::new())));
+        let Err(err) = reg.get("YAGO") else {
+            panic!("expected lookup failure");
+        };
+        let EndpointError::UnknownEndpoint { name, available } = &err else {
+            panic!("expected UnknownEndpoint, got {err:?}");
+        };
+        assert_eq!(name, "YAGO");
+        assert_eq!(available, &["DBpedia".to_string(), "MAG".to_string()]);
+        assert!(err.to_string().contains("DBpedia, MAG"));
+    }
+
+    #[test]
+    fn lookup_in_empty_registry_says_nothing_is_registered() {
+        let reg = EndpointRegistry::new();
+        let Err(err) = reg.get("DBpedia") else {
+            panic!("expected lookup failure");
+        };
+        let EndpointError::UnknownEndpoint { available, .. } = &err else {
+            panic!("expected UnknownEndpoint, got {err:?}");
+        };
+        assert!(available.is_empty());
+        assert!(err.to_string().contains("no endpoints registered"));
+    }
+
+    #[test]
+    fn duplicate_registration_replaces_and_returns_previous() {
+        let mut reg = EndpointRegistry::new();
+        let first = Arc::new(InProcessEndpoint::new("DBpedia", Store::new()));
+        assert!(reg.register(first.clone()).is_none());
+
+        let mut store = Store::new();
+        store.insert(kgqan_rdf::Triple::new(
+            kgqan_rdf::Term::iri("http://e/s"),
+            kgqan_rdf::Term::iri("http://e/p"),
+            kgqan_rdf::Term::iri("http://e/o"),
+        ));
+        let second = Arc::new(InProcessEndpoint::new("DBpedia", store));
+        let replaced = reg.register(second).expect("first registration returned");
+        assert_eq!(reg.len(), 1);
+        // The registry now serves the replacement, not the original.
+        let current = reg.get("DBpedia").unwrap();
+        let rs = current.query("SELECT ?s WHERE { ?s ?p ?o . }").unwrap();
+        assert_eq!(rs.rows().len(), 1);
+        assert_eq!(replaced.name(), first.name());
     }
 }
