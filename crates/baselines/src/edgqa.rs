@@ -1,4 +1,4 @@
-//! A behaviour model of **EDGQA** [28].
+//! A behaviour model of **EDGQA** \[28].
 //!
 //! EDGQA decomposes a question into an *entity description graph* with
 //! constituency-parse rules tuned to the LC-QuAD 1.0 templates, links

@@ -1,4 +1,4 @@
-//! A behaviour model of **gAnswer** [27, 64].
+//! A behaviour model of **gAnswer** \[27, 64].
 //!
 //! gAnswer understands questions with curated dependency-parse rules (tuned
 //! on QALD-9), links entities through an inverted index built from the *URI

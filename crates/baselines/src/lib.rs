@@ -1,8 +1,8 @@
 //! # kgqan-baselines
 //!
 //! Behaviour-model reimplementations of the two open-source comparison
-//! systems of the paper's evaluation — **gAnswer** [27, 64] and **EDGQA**
-//! [28] — plus a thin adapter that exposes the KGQAn platform through the
+//! systems of the paper's evaluation — **gAnswer** \[27, 64] and **EDGQA**
+//! \[28] — plus a thin adapter that exposes the KGQAn platform through the
 //! same [`QaSystem`] interface so the experiment harness can run the three
 //! systems side by side.
 //!

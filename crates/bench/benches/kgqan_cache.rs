@@ -1,0 +1,107 @@
+//! Criterion benchmark for the cross-request semantic cache: one
+//! `QaService` answering a repeated/overlapping question workload with a
+//! cold namespace, a warm namespace, and no cache at all, reporting the
+//! warm hit rate.  The warm case is the ROADMAP's heavy-traffic scenario:
+//! many users asking similar questions of the same KG.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgqan::{AnswerRequest, CacheConfig, QaService, QuestionUnderstanding};
+use kgqan_benchmarks::kg::{GeneratedKg, KgFlavor, KgScale};
+use kgqan_endpoint::InProcessEndpoint;
+
+/// Per-round-trip latency injected into the endpoint: repeated questions
+/// only pay it on cache misses, which is exactly what the cache removes.
+const ENDPOINT_LATENCY: Duration = Duration::from_micros(200);
+
+fn workload(kg: &GeneratedKg) -> Vec<AnswerRequest> {
+    // Four distinct questions, each asked twice: half the workload overlaps.
+    (0..4)
+        .flat_map(|i| {
+            let person = &kg.facts.people[i];
+            let question = format!("Who is the spouse of {}?", person.name);
+            [
+                AnswerRequest::new(question.clone()),
+                AnswerRequest::new(question),
+            ]
+        })
+        .collect()
+}
+
+fn cached_service(kg: &GeneratedKg, understanding: Arc<QuestionUnderstanding>) -> QaService {
+    QaService::builder()
+        .shared_understanding(understanding)
+        .endpoint(Arc::new(
+            InProcessEndpoint::new("DBpedia", kg.store.clone()).with_latency(ENDPOINT_LATENCY),
+        ))
+        .cache(CacheConfig::default())
+        .build()
+        .expect("single registered KG")
+}
+
+fn kgqan_cache(c: &mut Criterion) {
+    let kg = GeneratedKg::generate(KgFlavor::Dbpedia10, KgScale::tiny());
+    let understanding = Arc::new(QuestionUnderstanding::train_default());
+    let requests = workload(&kg);
+
+    let uncached = QaService::builder()
+        .shared_understanding(Arc::clone(&understanding))
+        .endpoint(Arc::new(
+            InProcessEndpoint::new("DBpedia", kg.store.clone()).with_latency(ENDPOINT_LATENCY),
+        ))
+        .no_cache()
+        .build()
+        .expect("single registered KG");
+    let cold = cached_service(&kg, Arc::clone(&understanding));
+    let warm = cached_service(&kg, Arc::clone(&understanding));
+    // Pre-warm: one full pass populates the namespace.
+    for request in &requests {
+        warm.answer(request.clone()).unwrap();
+    }
+
+    let mut group = c.benchmark_group("kgqan_cache");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("uncached_repeated_questions", |b| {
+        b.iter(|| {
+            for request in &requests {
+                criterion::black_box(uncached.answer(request.clone()).unwrap());
+            }
+        })
+    });
+    group.bench_function("cold_cache_repeated_questions", |b| {
+        b.iter(|| {
+            // Flush before each pass so every iteration starts cold.
+            cold.invalidate_cache("DBpedia");
+            for request in &requests {
+                criterion::black_box(cold.answer(request.clone()).unwrap());
+            }
+        })
+    });
+    group.bench_function("warm_cache_repeated_questions", |b| {
+        b.iter(|| {
+            for request in &requests {
+                criterion::black_box(warm.answer(request.clone()).unwrap());
+            }
+        })
+    });
+    group.finish();
+
+    let stats = warm
+        .cache_report()
+        .kg("DBpedia")
+        .copied()
+        .unwrap_or_default();
+    println!(
+        "kgqan_cache: warm namespace hit rate {:.1}% ({} hits / {} lookups)",
+        stats.hit_rate() * 100.0,
+        stats.hits,
+        stats.hits + stats.misses
+    );
+}
+
+criterion_group!(benches, kgqan_cache);
+criterion_main!(benches);

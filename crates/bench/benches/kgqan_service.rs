@@ -14,9 +14,14 @@ use kgqan_endpoint::InProcessEndpoint;
 fn service_workload(latency: Duration) -> (QaService, Vec<AnswerRequest>) {
     let kg = GeneratedKg::generate(KgFlavor::Dbpedia10, KgScale::tiny());
     let endpoint = InProcessEndpoint::new("DBpedia", kg.store.clone()).with_latency(latency);
+    // The semantic cache is disabled here on purpose: this bench measures
+    // how batching overlaps *endpoint round-trips*, and a warm cache would
+    // absorb them all after the first iteration (the cache's own effect is
+    // measured by the `kgqan_cache` bench).
     let service = QaService::builder()
         .understanding(QuestionUnderstanding::train_default())
         .endpoint(Arc::new(endpoint))
+        .no_cache()
         .build()
         .expect("single registered KG");
 

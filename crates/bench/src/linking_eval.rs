@@ -1,9 +1,9 @@
 //! Standalone entity/relation-linking evaluation (Figure 9).
 //!
 //! The paper evaluates the linking step in isolation on the labelled
-//! LC-QuAD 1.0 linking dataset of [18]: given the gold question phrases, how
+//! LC-QuAD 1.0 linking dataset of \[18]: given the gold question phrases, how
 //! well does each system map them to the right vertex / predicate?  Our
-//! benchmark questions carry the same gold pairs ([`LinkingGold`]), so the
+//! benchmark questions carry the same gold pairs ([`LinkingGold`](kgqan_benchmarks::benchmark::LinkingGold)), so the
 //! evaluation asks each system's linker to resolve the gold phrases and
 //! scores the result with precision / recall / F1 over the returned sets.
 

@@ -21,10 +21,18 @@
 //!    scored (Equation 2), the top-k executed, and the collected answers
 //!    post-filtered by the predicted answer type.
 //!
+//! The three phases are composed as an explicit staged [`pipeline`]: typed
+//! stage traits ([`pipeline::Understand`], [`pipeline::Link`],
+//! [`pipeline::Execute`], [`pipeline::Filter`]) with typed artifacts
+//! flowing between them, so alternative stage implementations plug into the
+//! same [`pipeline::Pipeline`] composer.
+//!
 //! The serving entry point is [`service::QaService`] — one trained instance
 //! (models behind `Arc`s) answering concurrently against any number of
-//! registered KGs, with per-request config overrides, deadlines and
-//! batching.  [`KgqanPlatform`] is the classic single-shot wrapper over it:
+//! registered KGs, with per-request config overrides, deadlines, batching,
+//! per-stage traces ([`service::QaService::answer_traced`]) and a
+//! cross-request, KG-scoped semantic [`cache`] in front of the registered
+//! endpoints.  [`KgqanPlatform`] is the classic single-shot wrapper over it:
 //!
 //! ```
 //! use std::sync::Arc;
@@ -58,11 +66,13 @@
 pub mod affinity;
 pub mod agp;
 pub mod bgp;
+pub mod cache;
 pub mod error;
 pub mod execution;
 pub mod filter;
 pub mod linker;
 pub mod pgp;
+pub mod pipeline;
 pub mod platform;
 pub mod service;
 pub mod understanding;
@@ -70,14 +80,19 @@ pub mod understanding;
 pub use affinity::{AffinityModel, CoarseGrainedAffinity, FineGrainedAffinity, SemanticAffinity};
 pub use agp::{AnnotatedGraphPattern, RelevantPredicate, RelevantVertex};
 pub use bgp::{BasicGraphPattern, CandidateQuery};
+pub use cache::{CacheConfig, CacheReport, CacheStats};
 pub use error::KgqanError;
-pub use execution::{ExecutionManager, QueryStat};
+pub use execution::{ExecutionManager, ExecutionOutcome, QueryStat};
 pub use filter::FiltrationManager;
 pub use linker::{JitLinker, LinkOutcome, LinkerConfig};
 pub use pgp::{PgpEdge, PgpNode, PhraseGraphPattern};
+pub use pipeline::{
+    Execute, Filter, FilteredAnswers, Link, LinkedQuestion, Pipeline, PipelineTrace, StageContext,
+    StageTimings, Understand,
+};
 pub use platform::{AnswerOutcome, KgqanConfig, KgqanPlatform, PhaseTimings};
 pub use service::{
     AnswerRequest, AnswerResponse, Budget, BudgetVerdict, ConfigOverrides, QaService,
-    QaServiceBuilder,
+    QaServiceBuilder, TracedAnswer,
 };
 pub use understanding::{QuestionUnderstanding, Understanding};

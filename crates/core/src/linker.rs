@@ -15,6 +15,7 @@
 use kgqan_endpoint::SparqlEndpoint;
 use kgqan_nlp::tokenizer::content_words;
 use kgqan_rdf::{vocab, Term};
+use kgqan_sparql::ast::{GraphPattern, Query, QueryForm, TriplePatternAst, VarOrTerm};
 
 use crate::affinity::SemanticAffinity;
 use crate::agp::{AnnotatedGraphPattern, RelevantPredicate, RelevantVertex};
@@ -235,12 +236,15 @@ impl<'a> JitLinker<'a> {
                     completed = false;
                     break;
                 }
-                // Lines 4-7: outgoing and incoming predicate probes.
+                // Lines 4-7: outgoing and incoming predicate probes, built
+                // as ASTs and handed over parsed — like the generated
+                // candidate queries, they never round-trip through SPARQL
+                // text on in-process endpoints.
                 for (vertex_is_object, query) in [
                     (false, outgoing_predicate_query(vertex)),
                     (true, incoming_predicate_query(vertex)),
                 ] {
-                    let results = endpoint.query(&query)?;
+                    let results = endpoint.query_parsed(&query)?;
                     for row in results.rows() {
                         let Some(p) = row.get("p") else { continue };
                         if !p.is_iri() {
@@ -293,22 +297,21 @@ impl<'a> JitLinker<'a> {
         predicate: &Term,
         endpoint: &dyn SparqlEndpoint,
     ) -> Result<Option<String>, KgqanError> {
-        let Some(iri) = predicate.as_iri() else {
+        if predicate.as_iri().is_none() {
             return Ok(None);
-        };
-        // Prefer rdfs:label, fall back to any literal.
-        let labelled = format!(
-            "SELECT ?d WHERE {{ <{iri}> <{}> ?d . }} LIMIT 1",
-            vocab::RDFS_LABEL
-        );
-        let results = endpoint.query(&labelled)?;
+        }
+        // Prefer rdfs:label, fall back to any literal.  Both lookups are
+        // built as ASTs and issued through the parsed path, so they share
+        // the parsed-query cache with the other probes.
+        let labelled = description_query(predicate, VarOrTerm::iri(vocab::RDFS_LABEL), 1);
+        let results = endpoint.query_parsed(&labelled)?;
         if let Some(first) = results.rows().first() {
             if let Some(Term::Literal(lit)) = first.get("d") {
                 return Ok(Some(lit.lexical.clone()));
             }
         }
-        let any = format!("SELECT ?d WHERE {{ <{iri}> ?p ?d . }} LIMIT 5");
-        let results = endpoint.query(&any)?;
+        let any = description_query(predicate, VarOrTerm::var("p"), 5);
+        let results = endpoint.query_parsed(&any)?;
         for row in results.rows() {
             if let Some(Term::Literal(lit)) = row.get("d") {
                 if lit.is_string() {
@@ -320,14 +323,55 @@ impl<'a> JitLinker<'a> {
     }
 }
 
-/// The `outgoingPredicate(v)` query of §5.2.
-pub fn outgoing_predicate_query(vertex: &Term) -> String {
-    format!("SELECT DISTINCT ?p WHERE {{ {} ?p ?obj . }}", vertex)
+/// A `SELECT DISTINCT ?p` probe over a single triple pattern.
+fn predicate_probe(pattern: TriplePatternAst) -> Query {
+    Query {
+        form: QueryForm::Select {
+            variables: vec!["p".to_string()],
+            distinct: true,
+        },
+        pattern: GraphPattern::Bgp(vec![pattern]),
+        limit: None,
+        offset: None,
+    }
 }
 
-/// The `incomingPredicate(v)` query of §5.2.
-pub fn incoming_predicate_query(vertex: &Term) -> String {
-    format!("SELECT DISTINCT ?p WHERE {{ ?sub ?p {} . }}", vertex)
+/// The `outgoingPredicate(v)` query of §5.2, constructed as an AST so the
+/// probe rides the parsed-query path (and cache) like the generated
+/// candidate queries — no SPARQL string is built or re-parsed.
+pub fn outgoing_predicate_query(vertex: &Term) -> Query {
+    predicate_probe(TriplePatternAst::new(
+        VarOrTerm::term(vertex.clone()),
+        VarOrTerm::var("p"),
+        VarOrTerm::var("obj"),
+    ))
+}
+
+/// The `incomingPredicate(v)` query of §5.2 as an AST (see
+/// [`outgoing_predicate_query`]).
+pub fn incoming_predicate_query(vertex: &Term) -> Query {
+    predicate_probe(TriplePatternAst::new(
+        VarOrTerm::var("sub"),
+        VarOrTerm::var("p"),
+        VarOrTerm::term(vertex.clone()),
+    ))
+}
+
+/// A `SELECT ?d WHERE { <predicate> <via> ?d } LIMIT n` description lookup.
+fn description_query(predicate: &Term, via: VarOrTerm, limit: usize) -> Query {
+    Query {
+        form: QueryForm::Select {
+            variables: vec!["d".to_string()],
+            distinct: false,
+        },
+        pattern: GraphPattern::Bgp(vec![TriplePatternAst::new(
+            VarOrTerm::term(predicate.clone()),
+            via,
+            VarOrTerm::var("d"),
+        )]),
+        limit: Some(limit),
+        offset: None,
+    }
 }
 
 #[cfg(test)]
@@ -532,15 +576,33 @@ mod tests {
     }
 
     #[test]
-    fn predicate_probe_queries_are_well_formed() {
+    fn predicate_probe_queries_are_constructed_asts() {
         let v = Term::iri("http://e/v");
+        let outgoing = outgoing_predicate_query(&v);
+        let incoming = incoming_predicate_query(&v);
+
+        for (query, vertex_position) in [(&outgoing, 0usize), (&incoming, 2usize)] {
+            assert!(!query.is_ask());
+            assert_eq!(query.projected_variables(), vec!["p".to_string()]);
+            let QueryForm::Select { distinct, .. } = &query.form else {
+                panic!("probe must be a SELECT");
+            };
+            assert!(distinct);
+            let tps = query.pattern.all_triple_patterns();
+            assert_eq!(tps.len(), 1);
+            let positions = [&tps[0].subject, &tps[0].predicate, &tps[0].object];
+            assert_eq!(positions[vertex_position].as_term(), Some(&v));
+            assert_eq!(positions[1].as_var(), Some("p"));
+        }
+
+        // The AST serializes to the classic probe text and round-trips.
+        let rendered = outgoing.to_sparql();
+        assert!(rendered.contains("SELECT DISTINCT ?p"));
+        assert!(rendered.contains("<http://e/v> ?p ?obj ."));
         assert_eq!(
-            outgoing_predicate_query(&v),
-            "SELECT DISTINCT ?p WHERE { <http://e/v> ?p ?obj . }"
+            kgqan_sparql::parse_query(&rendered).expect("probe text re-parses"),
+            outgoing
         );
-        assert_eq!(
-            incoming_predicate_query(&v),
-            "SELECT DISTINCT ?p WHERE { ?sub ?p <http://e/v> . }"
-        );
+        assert!(incoming.to_sparql().contains("?sub ?p <http://e/v> ."));
     }
 }

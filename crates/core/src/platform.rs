@@ -3,9 +3,12 @@
 //!
 //! [`KgqanPlatform`] is the classic single-shot API — borrow an endpoint,
 //! answer one question — kept as a thin compatibility wrapper over the
-//! concurrent serving layer in [`crate::service`].  New code that wants
-//! multi-KG routing, per-request overrides, deadlines or batching should
-//! use [`crate::service::QaService`] directly.
+//! concurrent serving layer in [`crate::service`], which in turn runs the
+//! staged [`crate::pipeline::Pipeline`].  New code that wants multi-KG
+//! routing, per-request overrides, deadlines, batching, per-stage traces or
+//! the cross-request semantic cache should use
+//! [`crate::service::QaService`] directly (the platform's borrowed-endpoint
+//! path bypasses the registry and therefore the per-KG cache namespaces).
 
 use std::time::Duration;
 
@@ -151,6 +154,11 @@ impl KgqanPlatform {
     /// the trained models with a registry-backed deployment).
     pub fn service(&self) -> &QaService {
         &self.service
+    }
+
+    /// The staged pipeline the platform runs questions through.
+    pub fn pipeline(&self) -> &crate::pipeline::Pipeline {
+        self.service.pipeline()
     }
 
     /// Answer a question against a SPARQL endpoint.

@@ -5,6 +5,11 @@
 //! models, trained once, held in `Arc`s) serving questions against *any*
 //! number of registered SPARQL endpoints, from any number of threads.
 //!
+//! * The service is built on the staged [`Pipeline`](crate::pipeline): four
+//!   typed stages (understand → link → execute → filter) composed behind
+//!   `Arc`s.  [`QaServiceBuilder::pipeline`] swaps in alternative stage
+//!   implementations; [`QaService::answer_traced`] surfaces every stage's
+//!   artifact, per-stage timings, and cache statistics.
 //! * Requests are [`AnswerRequest`]s: a question, an optional target KG name
 //!   (resolved through the service's [`EndpointRegistry`]), per-request
 //!   [`ConfigOverrides`], and an optional deadline.
@@ -12,6 +17,12 @@
 //!   request id, the KG that answered, per-candidate-query statistics, an
 //!   endpoint stats snapshot, and a [`BudgetVerdict`] saying whether the
 //!   deadline cut the pipeline short.
+//! * Registered KGs are served through a cross-request **semantic cache**
+//!   ([`crate::cache`]): each KG gets its own bounded namespace of linking
+//!   probes and parsed-query results, shared by concurrent and batched
+//!   requests, so repeated and overlapping questions skip endpoint
+//!   round-trips.  [`QaServiceBuilder::cache`] tunes the capacities;
+//!   [`QaServiceBuilder::no_cache`] disables the layer.
 //! * Deadlines degrade gracefully: an expired [`Budget`] stops linking
 //!   probes and candidate-query execution at the next check-point and the
 //!   response carries the best answers collected so far, flagged
@@ -25,7 +36,6 @@
 //! [`crate::KgqanPlatform`] remains as a thin one-endpoint compatibility
 //! wrapper over this service.
 
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -33,14 +43,12 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use kgqan_endpoint::{EndpointRegistry, RequestStats, SparqlEndpoint};
-use kgqan_rdf::Term;
 
 use crate::affinity::SemanticAffinity;
-use crate::bgp::generate_candidate_queries;
+use crate::cache::{CacheConfig, CacheReport, CacheStats};
 use crate::error::KgqanError;
-use crate::execution::ExecutionManager;
-use crate::filter::FiltrationManager;
-use crate::linker::{JitLinker, LinkerConfig};
+use crate::linker::LinkerConfig;
+use crate::pipeline::{Pipeline, PipelineTrace, StageContext};
 use crate::platform::{AnswerOutcome, KgqanConfig, PhaseTimings};
 use crate::understanding::QuestionUnderstanding;
 
@@ -231,7 +239,8 @@ pub struct AnswerResponse {
     pub query_stats: Vec<QueryStat>,
     /// Cumulative request statistics of the answering endpoint, snapshotted
     /// when this request finished (cumulative across all requests the
-    /// endpoint has served, not just this one).
+    /// endpoint has served, not just this one).  For registered KGs this
+    /// includes the semantic-cache hit/miss counters.
     pub endpoint_stats: RequestStats,
     /// Whether the deadline cut the pipeline short.
     pub verdict: BudgetVerdict,
@@ -246,9 +255,25 @@ impl AnswerResponse {
     }
 }
 
+/// An [`AnswerResponse`] plus the full per-stage pipeline trace and the
+/// request's semantic-cache activity, returned by
+/// [`QaService::answer_traced`].
+#[derive(Debug, Clone)]
+pub struct TracedAnswer {
+    /// The regular response.
+    pub response: AnswerResponse,
+    /// Every stage's artifact and wall-clock timing.
+    pub trace: PipelineTrace,
+    /// Change of the target KG's cache namespace counters over this
+    /// request (all-zero on an uncached service).  Under concurrent load
+    /// the delta is namespace-wide, so simultaneous requests to the same
+    /// KG may fold into each other's deltas.
+    pub cache: CacheStats,
+}
+
 struct ServiceInner {
     understanding: Arc<QuestionUnderstanding>,
-    affinity: Arc<dyn SemanticAffinity>,
+    pipeline: Pipeline,
     config: KgqanConfig,
     registry: EndpointRegistry,
     default_kg: Option<String>,
@@ -258,9 +283,9 @@ struct ServiceInner {
 /// A concurrent, multi-KG question-answering service.
 ///
 /// Cloning is cheap (an `Arc` bump) and every clone shares the same trained
-/// models, configuration and endpoint registry, so one service can be handed
-/// to any number of threads.  See the [module docs](self) for the request /
-/// response model.
+/// models, configuration, endpoint registry and cache namespaces, so one
+/// service can be handed to any number of threads.  See the
+/// [module docs](self) for the request / response model.
 #[derive(Clone)]
 pub struct QaService {
     inner: Arc<ServiceInner>,
@@ -292,6 +317,23 @@ impl QaService {
         &self.inner.understanding
     }
 
+    /// The staged pipeline the service runs requests through.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.inner.pipeline
+    }
+
+    /// Per-KG semantic-cache statistics (empty when the cache layer is
+    /// disabled).
+    pub fn cache_report(&self) -> CacheReport {
+        CacheReport::new(self.inner.registry.cache_stats())
+    }
+
+    /// Flush the cache namespace of one registered KG.  Returns true if the
+    /// KG exists and is cached.
+    pub fn invalidate_cache(&self, kg: &str) -> bool {
+        self.inner.registry.invalidate_cache(kg)
+    }
+
     /// Resolve which registered KG a request targets: the request's explicit
     /// choice, else the configured default, else the sole registered
     /// endpoint.
@@ -319,10 +361,34 @@ impl QaService {
     pub fn answer(&self, request: AnswerRequest) -> Result<AnswerResponse, KgqanError> {
         let kg = self.resolve_kg(&request)?;
         let endpoint = self.inner.registry.get(&kg)?;
-        self.answer_pipeline(&request, &kg, endpoint.as_ref())
+        let run = self.run_request(&request, endpoint.as_ref())?;
+        Ok(run.into_response(&request.question, &kg))
     }
 
-    /// Answer a request against a borrowed endpoint, bypassing the registry.
+    /// Answer one request and return the full per-stage trace alongside the
+    /// response: every stage artifact (understanding, linked candidates,
+    /// execution outcome, filtered answers), per-stage timings, and the
+    /// request's semantic-cache counter delta.
+    pub fn answer_traced(&self, request: AnswerRequest) -> Result<TracedAnswer, KgqanError> {
+        let kg = self.resolve_kg(&request)?;
+        let endpoint = self.inner.registry.get(&kg)?;
+        let namespace = self.inner.registry.cache_of(&kg);
+        let cache_before = namespace.as_ref().map(|ns| ns.stats()).unwrap_or_default();
+        let run = self.run_request(&request, endpoint.as_ref())?;
+        let cache_after = namespace.as_ref().map(|ns| ns.stats()).unwrap_or_default();
+        // The trace survives only on this diagnostic path; the hot
+        // `answer`/`answer_on` paths move the artifacts straight into the
+        // response instead of cloning them.
+        let trace = run.trace.clone();
+        Ok(TracedAnswer {
+            response: run.into_response(&request.question, &kg),
+            trace,
+            cache: cache_after.since(&cache_before),
+        })
+    }
+
+    /// Answer a request against a borrowed endpoint, bypassing the registry
+    /// (and therefore the per-KG cache namespaces).
     ///
     /// This is the compatibility path [`crate::KgqanPlatform::answer`] uses;
     /// the response's `kg` field carries the endpoint's own name.
@@ -331,15 +397,18 @@ impl QaService {
         request: &AnswerRequest,
         endpoint: &dyn SparqlEndpoint,
     ) -> Result<AnswerResponse, KgqanError> {
-        self.answer_pipeline(request, endpoint.name(), endpoint)
+        let run = self.run_request(request, endpoint)?;
+        Ok(run.into_response(&request.question, endpoint.name()))
     }
 
     /// Answer a batch of requests concurrently on a scoped thread pool.
     ///
     /// Responses come back in request order.  Workers pull requests from a
     /// shared queue, so one slow KG does not serialise the rest of the
-    /// batch.  The pool is sized to the machine's available parallelism but
-    /// never below four workers (capped by the batch size): a request's
+    /// batch, and all workers share the per-KG cache namespaces, so
+    /// overlapping requests in one batch hit each other's probe results.
+    /// The pool is sized to the machine's available parallelism but never
+    /// below four workers (capped by the batch size): a request's
     /// wall-clock is dominated by endpoint round-trips, which overlap
     /// across threads even on a single core — sizing purely by cores would
     /// serialise IO-bound batches on small machines.
@@ -379,14 +448,12 @@ impl QaService {
             .collect()
     }
 
-    /// The three-phase pipeline with budget checks between endpoint
-    /// round-trips.
-    fn answer_pipeline(
+    /// Run the staged pipeline for one request.
+    fn run_request(
         &self,
         request: &AnswerRequest,
-        kg: &str,
         endpoint: &dyn SparqlEndpoint,
-    ) -> Result<AnswerResponse, KgqanError> {
+    ) -> Result<RequestRun, KgqanError> {
         let config = request.overrides.apply(&self.inner.config);
         let budget = Budget::start(request.deadline);
         let request_id = request.id.clone().unwrap_or_else(|| {
@@ -396,74 +463,56 @@ impl QaService {
             )
         });
 
-        // Phase 1: question understanding (KG-independent; never cut — it is
-        // the cheap, local phase and everything downstream needs the PGP).
-        let t0 = Instant::now();
-        let understanding = self.inner.understanding.understand(&request.question)?;
-        let understanding_time = t0.elapsed();
+        let ctx = StageContext::new(endpoint, &budget, &config);
+        let trace = self.inner.pipeline.run(&request.question, &ctx)?;
+        Ok(RequestRun {
+            request_id,
+            endpoint_stats: endpoint.stats(),
+            elapsed: budget.elapsed(),
+            trace,
+        })
+    }
+}
 
-        // Phase 2: just-in-time linking against the target endpoint, cut
-        // between probes once the budget expires.
-        let t1 = Instant::now();
-        let linker = JitLinker::new(self.inner.affinity.as_ref(), config.linker);
-        let link = linker.link_within(&understanding.pgp, endpoint, &budget)?;
-        let linking_time = t1.elapsed();
+/// One completed pipeline run plus its per-request metadata; consumed into
+/// an [`AnswerResponse`] without cloning the stage artifacts.
+struct RequestRun {
+    request_id: String,
+    endpoint_stats: RequestStats,
+    elapsed: Duration,
+    trace: PipelineTrace,
+}
 
-        // Phase 3: candidate generation (local), execution (budgeted),
-        // filtration (skipped wholesale once the budget is gone — the
-        // unfiltered answers are the best-so-far result).
-        let t2 = Instant::now();
-        let candidates = generate_candidate_queries(&link.agp, config.max_candidate_queries);
-        let execution = ExecutionManager::new(config.max_productive_queries).execute_within(
-            &candidates,
-            endpoint,
-            &budget,
-        )?;
-
-        let mut seen = HashSet::new();
-        let unfiltered_answers: Vec<Term> = execution
-            .answers
-            .iter()
-            .filter(|a| seen.insert(&a.answer))
-            .map(|a| a.answer.clone())
-            .collect();
-        let filtration_skipped = config.filtration_enabled && budget.expired();
-        let answers = if config.filtration_enabled && !filtration_skipped {
-            FiltrationManager::new(self.inner.affinity.as_ref())
-                .filter(&execution.answers, &understanding.answer_type)
-        } else {
-            unfiltered_answers.clone()
-        };
-        let execution_filtration_time = t2.elapsed();
-
-        let verdict = if !link.completed || execution.deadline_exceeded || filtration_skipped {
+impl RequestRun {
+    fn into_response(self, question: &str, kg: &str) -> AnswerResponse {
+        let verdict = if self.trace.deadline_exceeded() {
             BudgetVerdict::Partial
         } else {
             BudgetVerdict::Completed
         };
-
-        Ok(AnswerResponse {
-            request_id,
+        let trace = self.trace;
+        AnswerResponse {
+            request_id: self.request_id,
             kg: kg.to_string(),
             outcome: AnswerOutcome {
-                question: request.question.clone(),
-                answers,
-                boolean: execution.boolean,
-                unfiltered_answers,
-                understanding,
-                agp: link.agp,
-                executed_queries: execution.executed_queries(),
+                question: question.to_string(),
+                answers: trace.filtered.answers,
+                boolean: trace.execution.boolean,
+                unfiltered_answers: trace.filtered.unfiltered,
+                understanding: trace.understanding,
+                agp: trace.linked.agp,
+                executed_queries: trace.execution.executed_queries(),
                 timings: PhaseTimings {
-                    understanding: understanding_time,
-                    linking: linking_time,
-                    execution_filtration: execution_filtration_time,
+                    understanding: trace.timings.understand,
+                    linking: trace.timings.link,
+                    execution_filtration: trace.timings.execute + trace.timings.filter,
                 },
             },
-            query_stats: execution.query_stats,
-            endpoint_stats: endpoint.stats(),
+            query_stats: trace.execution.query_stats,
+            endpoint_stats: self.endpoint_stats,
             verdict,
-            elapsed: budget.elapsed(),
-        })
+            elapsed: self.elapsed,
+        }
     }
 }
 
@@ -482,11 +531,16 @@ impl QaService {
 ///     .build()
 ///     .unwrap();
 /// assert_eq!(service.kg_names(), vec!["DBpedia", "MAG"]);
+/// // Registered KGs are served through per-KG cache namespaces by default.
+/// assert_eq!(service.cache_report().per_kg.len(), 2);
 /// ```
 pub struct QaServiceBuilder {
     config: KgqanConfig,
     understanding: Option<Arc<QuestionUnderstanding>>,
-    registry: EndpointRegistry,
+    pipeline: Option<Pipeline>,
+    registry: Option<EndpointRegistry>,
+    pending_endpoints: Vec<Arc<dyn SparqlEndpoint>>,
+    cache: Option<CacheConfig>,
     default_kg: Option<String>,
 }
 
@@ -495,7 +549,10 @@ impl QaServiceBuilder {
         QaServiceBuilder {
             config: KgqanConfig::default(),
             understanding: None,
-            registry: EndpointRegistry::new(),
+            pipeline: None,
+            registry: None,
+            pending_endpoints: Vec::new(),
+            cache: Some(CacheConfig::default()),
             default_kg: None,
         }
     }
@@ -520,16 +577,40 @@ impl QaServiceBuilder {
         self
     }
 
+    /// Run requests through a custom staged [`Pipeline`] instead of the
+    /// default KGQAn stages (see [`crate::pipeline`]).  The builder's
+    /// understanding component still backs [`QaService::understanding`].
+    pub fn pipeline(mut self, pipeline: Pipeline) -> Self {
+        self.pipeline = Some(pipeline);
+        self
+    }
+
     /// Register an endpoint under its own name.
     pub fn endpoint(mut self, endpoint: Arc<dyn SparqlEndpoint>) -> Self {
-        self.registry.register(endpoint);
+        self.pending_endpoints.push(endpoint);
         self
     }
 
     /// Use an already-populated registry (replaces endpoints registered so
-    /// far on this builder).
+    /// far on this builder, and that registry's own cache setting wins over
+    /// [`QaServiceBuilder::cache`]).
     pub fn registry(mut self, registry: EndpointRegistry) -> Self {
-        self.registry = registry;
+        self.registry = Some(registry);
+        self.pending_endpoints.clear();
+        self
+    }
+
+    /// Configure the per-KG semantic-cache capacities (caching is on by
+    /// default).
+    pub fn cache(mut self, config: CacheConfig) -> Self {
+        self.cache = Some(config);
+        self
+    }
+
+    /// Serve every request straight from the endpoints, with no semantic
+    /// cache in front of them.
+    pub fn no_cache(mut self) -> Self {
+        self.cache = None;
         self
     }
 
@@ -545,11 +626,18 @@ impl QaServiceBuilder {
     /// Fails with [`KgqanError::Configuration`] if the default KG names an
     /// unregistered endpoint.
     pub fn build(self) -> Result<QaService, KgqanError> {
+        let mut registry = self.registry.unwrap_or_else(|| match self.cache {
+            Some(config) => EndpointRegistry::with_cache(config),
+            None => EndpointRegistry::new(),
+        });
+        for endpoint in self.pending_endpoints {
+            registry.register(endpoint);
+        }
         if let Some(default) = &self.default_kg {
-            if !self.registry.contains(default) {
+            if !registry.contains(default) {
                 return Err(KgqanError::Configuration(format!(
                     "default KG {default:?} is not registered (registered: {})",
-                    self.registry.names().join(", ")
+                    registry.names().join(", ")
                 )));
             }
         }
@@ -558,13 +646,16 @@ impl QaServiceBuilder {
                 self.config.seq2seq,
             ))
         });
-        let affinity: Arc<dyn SemanticAffinity> = Arc::from(self.config.affinity.build());
+        let pipeline = self.pipeline.unwrap_or_else(|| {
+            let affinity: Arc<dyn SemanticAffinity> = Arc::from(self.config.affinity.build());
+            Pipeline::kgqan(Arc::clone(&understanding), affinity)
+        });
         Ok(QaService {
             inner: Arc::new(ServiceInner {
                 understanding,
-                affinity,
+                pipeline,
                 config: self.config,
-                registry: self.registry,
+                registry,
                 default_kg: self.default_kg,
                 next_request_id: AtomicU64::new(0),
             }),
@@ -576,7 +667,7 @@ impl QaServiceBuilder {
 mod tests {
     use super::*;
     use kgqan_endpoint::InProcessEndpoint;
-    use kgqan_rdf::{vocab, Store, Triple};
+    use kgqan_rdf::{vocab, Store, Term, Triple};
 
     fn spouse_store() -> Store {
         let mut store = Store::new();
@@ -752,5 +843,81 @@ mod tests {
         assert_eq!(responses[1].as_ref().unwrap().request_id, "second");
         assert!(responses[2].is_err());
         assert!(service.answer_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn repeated_questions_hit_the_kg_cache() {
+        let service = service_with_one_kg();
+        let question = "Who is the wife of Barack Obama?";
+
+        let cold = service.answer_traced(AnswerRequest::new(question)).unwrap();
+        assert_eq!(cold.cache.hits, 0);
+        assert!(cold.cache.misses > 0, "cold request must probe the KG");
+        let cold_requests = cold.response.endpoint_stats.total_requests;
+
+        let warm = service.answer_traced(AnswerRequest::new(question)).unwrap();
+        assert!(warm.cache.hits > 0, "repeat must hit the cache");
+        assert_eq!(warm.cache.misses, 0, "warm repeat must not re-probe");
+        // The warm request reached the engine zero times.
+        assert_eq!(warm.response.endpoint_stats.total_requests, cold_requests);
+        // Identical answers either way.
+        assert_eq!(warm.response.outcome.answers, cold.response.outcome.answers);
+        // The aggregate report sees the same counters.
+        let report = service.cache_report();
+        assert_eq!(report.per_kg.len(), 1);
+        assert!(report.kg("DBpedia").unwrap().hits >= warm.cache.hits);
+
+        // Invalidation flushes the namespace: the next request misses again.
+        assert!(service.invalidate_cache("DBpedia"));
+        let after = service.answer_traced(AnswerRequest::new(question)).unwrap();
+        assert!(after.cache.misses > 0);
+        assert_eq!(
+            after.response.outcome.answers,
+            cold.response.outcome.answers
+        );
+    }
+
+    #[test]
+    fn no_cache_builder_disables_the_layer() {
+        let understanding = service_with_one_kg().understanding().clone();
+        let service = QaService::builder()
+            .shared_understanding(understanding)
+            .endpoint(Arc::new(InProcessEndpoint::new("DBpedia", spouse_store())))
+            .no_cache()
+            .build()
+            .unwrap();
+        assert!(service.cache_report().is_uncached());
+        let question = "Who is the wife of Barack Obama?";
+        let first = service.answer_traced(AnswerRequest::new(question)).unwrap();
+        let second = service.answer_traced(AnswerRequest::new(question)).unwrap();
+        assert_eq!(first.cache, CacheStats::default());
+        assert_eq!(second.cache, CacheStats::default());
+        // Without the cache the repeat re-probes the endpoint.
+        assert!(
+            second.response.endpoint_stats.total_requests
+                > first.response.endpoint_stats.total_requests
+        );
+        assert!(!service.invalidate_cache("DBpedia"));
+    }
+
+    #[test]
+    fn traced_answers_expose_stage_artifacts_and_timings() {
+        let service = service_with_one_kg();
+        let traced = service
+            .answer_traced(AnswerRequest::new("Who is the wife of Barack Obama?"))
+            .unwrap();
+        assert!(!traced.trace.understanding.pgp.is_empty());
+        assert!(!traced.trace.linked.candidates.is_empty());
+        assert!(!traced.trace.execution.query_stats.is_empty());
+        assert_eq!(
+            traced.trace.filtered.answers,
+            traced.response.outcome.answers
+        );
+        let t = traced.trace.timings;
+        assert_eq!(
+            traced.response.outcome.timings.execution_filtration,
+            t.execute + t.filter
+        );
+        assert_eq!(traced.response.outcome.timings.linking, t.link);
     }
 }

@@ -1,0 +1,699 @@
+//! The cross-request semantic cache: a bounded LRU over endpoint round-trips
+//! and the [`CachingEndpoint`] decorator that applies it transparently.
+//!
+//! KGQAn's online phase is dominated by endpoint round-trips — linking
+//! probes (`potentialRelevantVertices`, predicate fan-out, description
+//! lookups) and candidate-query execution.  Those artifacts are highly
+//! reusable across questions on the same KG: two questions mentioning
+//! *Kaliningrad* issue the identical fan-out probes.  This module provides
+//! the mechanism:
+//!
+//! * [`LruCache`] — a plain bounded map with least-recently-used eviction,
+//! * [`QueryCache`] — one KG's thread-safe cache *namespace*: an LRU for
+//!   text-keyed probe queries plus an LRU for parsed-query results, with
+//!   atomic hit/miss/eviction counters ([`CacheStats`]),
+//! * [`CachingEndpoint`] — a [`SparqlEndpoint`] decorator that consults the
+//!   namespace before forwarding to the wrapped endpoint.
+//!
+//! The KG-scoping *policy* sits one level up: [`crate::EndpointRegistry`]
+//! owns one namespace per registered KG and invalidates it when the KG is
+//! re-registered; the `kgqan` core crate exposes the whole subsystem as the
+//! service-level cache layer (`kgqan::cache`).
+//!
+//! Only successful results are cached — errors always propagate and are
+//! retried on the next request.  Values are returned by clone; linking
+//! probes are LIMIT-bounded and anything larger than
+//! [`CacheConfig::max_result_rows`] rows (candidate queries carry no LIMIT)
+//! is not inserted at all, so per-entry memory stays bounded.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use kgqan_sparql::{Query, QueryResults};
+
+use crate::dialect::EngineDialect;
+use crate::error::EndpointError;
+use crate::stats::RequestStats;
+use crate::SparqlEndpoint;
+
+/// Capacity configuration of one cache namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Max entries in the text-keyed probe cache (linking probes issued as
+    /// SPARQL strings: text-search vertex fetches, description lookups).
+    pub probe_capacity: usize,
+    /// Max entries in the parsed-query result cache (predicate fan-out
+    /// probes and generated candidate queries, keyed by their AST).
+    pub result_capacity: usize,
+    /// Largest result (in solution rows) worth caching.  Linking probes are
+    /// LIMIT-bounded, but generated candidate queries carry no LIMIT, and a
+    /// weakly-constrained candidate on a large KG can return an arbitrary
+    /// number of rows — caching those would make per-entry memory
+    /// unbounded.  Oversized results are simply not inserted (they still
+    /// count as misses and are recomputed on repeat).
+    pub max_result_rows: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            probe_capacity: 2048,
+            result_capacity: 1024,
+            max_result_rows: 4096,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A configuration with the same capacity for both layers.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CacheConfig {
+            probe_capacity: capacity,
+            result_capacity: capacity,
+            ..Default::default()
+        }
+    }
+}
+
+/// Counter snapshot of one cache (or an aggregate of several).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the wrapped endpoint.
+    pub misses: u64,
+    /// Entries written into the cache.
+    pub insertions: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Explicit whole-namespace invalidations.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit (zero when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Counter deltas accumulated since an `earlier` snapshot of the same
+    /// cache (saturating, so snapshots taken across an invalidation that
+    /// resets nothing — counters are monotonic — still behave).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+        }
+    }
+
+    /// Merge another snapshot into this one (namespace aggregation).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+    }
+}
+
+/// A bounded map with least-recently-used eviction.
+///
+/// Recency is tracked with a monotonic tick per entry and a tick-ordered
+/// index, so `get`, `insert` and eviction are all `O(log n)`.  The cache is
+/// not internally synchronised — wrap it in a lock for shared use (as
+/// [`QueryCache`] does).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    entries: HashMap<K, (V, u64)>,
+    recency: BTreeMap<u64, K>,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Create a cache holding at most `capacity` entries.  A zero capacity
+    /// is clamped to one so the type never divides by its own emptiness.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries (always `<= capacity`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Look up a key, marking it most-recently-used on a hit.
+    ///
+    /// The key is taken through [`Borrow`](std::borrow::Borrow) so a
+    /// `LruCache<String, _>` can be probed with a `&str` — no allocation on
+    /// the lookup path; refreshing recency *moves* the key between ticks in
+    /// the recency index, so a hit never clones the key either.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let tick = self.next_tick();
+        let (_, entry_tick) = self.entries.get_mut(key)?;
+        let old_tick = std::mem::replace(entry_tick, tick);
+        let stored_key = self
+            .recency
+            .remove(&old_tick)
+            .expect("recency index tracks every entry");
+        self.recency.insert(tick, stored_key);
+        self.entries.get(key).map(|(v, _)| v)
+    }
+
+    /// Look up a key without touching recency.
+    pub fn peek<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.entries.get(key).map(|(v, _)| v)
+    }
+
+    /// Insert a value, evicting the least-recently-used entry if the cache
+    /// is full.  Returns the evicted `(key, value)` pair, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        let tick = self.next_tick();
+        if let Some((_, old_tick)) = self.entries.remove(&key) {
+            // Replacing an existing entry never evicts.
+            self.recency.remove(&old_tick);
+            self.entries.insert(key.clone(), (value, tick));
+            self.recency.insert(tick, key);
+            return None;
+        }
+        let evicted = if self.entries.len() >= self.capacity {
+            let (&oldest_tick, _) = self
+                .recency
+                .iter()
+                .next()
+                .expect("a full cache has a least-recent entry");
+            let oldest_key = self
+                .recency
+                .remove(&oldest_tick)
+                .expect("tick was just observed");
+            self.entries
+                .remove(&oldest_key)
+                .map(|(v, _)| (oldest_key, v))
+        } else {
+            None
+        };
+        self.entries.insert(key.clone(), (value, tick));
+        self.recency.insert(tick, key);
+        evicted
+    }
+
+    /// Drop every entry (capacity is kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.recency.clear();
+    }
+
+    /// Keys ordered least- to most-recently-used (test/diagnostic helper).
+    pub fn keys_by_recency(&self) -> Vec<K> {
+        self.recency.values().cloned().collect()
+    }
+}
+
+/// One KG's cache namespace: thread-safe LRUs over probe and parsed-query
+/// round-trips, with atomic [`CacheStats`] counters.
+///
+/// Namespaces are shared via `Arc` — every [`CachingEndpoint`] wrapping the
+/// same namespace sees (and contributes) the same entries, which is how
+/// concurrent and batched requests share hits.
+#[derive(Debug)]
+pub struct QueryCache {
+    probes: Mutex<LruCache<String, Arc<QueryResults>>>,
+    results: Mutex<LruCache<Query, Arc<QueryResults>>>,
+    max_result_rows: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl QueryCache {
+    /// Create a namespace with the given capacities.
+    pub fn new(config: CacheConfig) -> Self {
+        QueryCache {
+            probes: Mutex::new(LruCache::new(config.probe_capacity)),
+            results: Mutex::new(LruCache::new(config.result_capacity)),
+            max_result_rows: config.max_result_rows,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Create a namespace with the default capacities, ready for sharing.
+    pub fn shared(config: CacheConfig) -> Arc<Self> {
+        Arc::new(Self::new(config))
+    }
+
+    fn record_lookup<V>(&self, found: &Option<V>) {
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// True if a result is small enough to cache (see
+    /// [`CacheConfig::max_result_rows`]).
+    fn cacheable(&self, results: &QueryResults) -> bool {
+        results.rows().len() <= self.max_result_rows
+    }
+
+    /// Look up a text-keyed probe query.
+    ///
+    /// Values are held behind `Arc`, so a hit only bumps a reference count
+    /// while the namespace lock is held — callers materialise an owned copy
+    /// (if they need one) outside the critical section.
+    pub fn get_text(&self, sparql: &str) -> Option<Arc<QueryResults>> {
+        let found = self.probes.lock().get(sparql).cloned();
+        self.record_lookup(&found);
+        found
+    }
+
+    /// Cache the result of a text-keyed probe query (oversized results are
+    /// skipped, see [`CacheConfig::max_result_rows`]).
+    pub fn insert_text(&self, sparql: &str, results: Arc<QueryResults>) {
+        if !self.cacheable(&results) {
+            return;
+        }
+        let evicted = self.probes.lock().insert(sparql.to_string(), results);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted.is_some() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Look up a parsed query by its AST (see [`QueryCache::get_text`] for
+    /// the `Arc` contract).
+    pub fn get_parsed(&self, query: &Query) -> Option<Arc<QueryResults>> {
+        let found = self.results.lock().get(query).cloned();
+        self.record_lookup(&found);
+        found
+    }
+
+    /// Cache the result of a parsed query (oversized results are skipped,
+    /// see [`CacheConfig::max_result_rows`]).
+    pub fn insert_parsed(&self, query: &Query, results: Arc<QueryResults>) {
+        if !self.cacheable(&results) {
+            return;
+        }
+        let evicted = self.results.lock().insert(query.clone(), results);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted.is_some() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every cached entry in the namespace.  Counters are monotonic and
+    /// survive (the `invalidations` counter records the flush).
+    pub fn invalidate(&self) {
+        self.probes.lock().clear();
+        self.results.lock().clear();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of live entries across both layers.
+    pub fn len(&self) -> usize {
+        self.probes.lock().len() + self.results.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the namespace counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A [`SparqlEndpoint`] decorator that answers repeated queries from a
+/// shared [`QueryCache`] namespace instead of re-probing the wrapped
+/// endpoint.
+///
+/// * [`SparqlEndpoint::query`] is keyed by the SPARQL text (the linking
+///   probes KGQAn still issues as strings — text-search vertex fetches and
+///   description lookups).
+/// * [`SparqlEndpoint::query_parsed`] is keyed by the query AST itself
+///   (predicate fan-out probes and generated candidate queries), so cache
+///   lookups never serialize the query.
+/// * [`SparqlEndpoint::stats`] forwards the wrapped endpoint's counters
+///   with [`RequestStats::cache_hits`] / [`RequestStats::cache_misses`]
+///   filled in from the namespace.
+///
+/// Failed queries are never cached.
+///
+/// ```
+/// use std::sync::Arc;
+/// use kgqan_endpoint::cache::{CacheConfig, CachingEndpoint, QueryCache};
+/// use kgqan_endpoint::{InProcessEndpoint, SparqlEndpoint};
+/// use kgqan_rdf::{Store, Term, Triple};
+///
+/// let mut store = Store::new();
+/// store.insert(Triple::new(
+///     Term::iri("http://e/s"), Term::iri("http://e/p"), Term::iri("http://e/o"),
+/// ));
+/// let namespace = QueryCache::shared(CacheConfig::default());
+/// let cached = CachingEndpoint::new(
+///     Arc::new(InProcessEndpoint::new("DBpedia", store)),
+///     namespace.clone(),
+/// );
+///
+/// let q = "SELECT ?s WHERE { ?s ?p ?o . }";
+/// cached.query(q).unwrap();        // miss: forwarded to the store
+/// cached.query(q).unwrap();        // hit: answered from the namespace
+/// assert_eq!(namespace.stats().hits, 1);
+/// assert_eq!(cached.stats().total_requests, 1); // the engine saw one request
+/// ```
+pub struct CachingEndpoint {
+    inner: Arc<dyn SparqlEndpoint>,
+    cache: Arc<QueryCache>,
+}
+
+impl CachingEndpoint {
+    /// Decorate an endpoint with a cache namespace.
+    pub fn new(inner: Arc<dyn SparqlEndpoint>, cache: Arc<QueryCache>) -> Self {
+        CachingEndpoint { inner, cache }
+    }
+
+    /// The wrapped (uncached) endpoint.
+    pub fn inner(&self) -> &Arc<dyn SparqlEndpoint> {
+        &self.inner
+    }
+
+    /// The cache namespace this decorator consults.
+    pub fn cache(&self) -> &Arc<QueryCache> {
+        &self.cache
+    }
+}
+
+impl SparqlEndpoint for CachingEndpoint {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn dialect(&self) -> EngineDialect {
+        self.inner.dialect()
+    }
+
+    fn query(&self, sparql: &str) -> Result<QueryResults, EndpointError> {
+        if let Some(results) = self.cache.get_text(sparql) {
+            // The owned copy the trait demands is made outside the
+            // namespace lock (the hit itself was just an `Arc` bump).
+            return Ok(results.as_ref().clone());
+        }
+        let results = self.inner.query(sparql)?;
+        self.cache.insert_text(sparql, Arc::new(results.clone()));
+        Ok(results)
+    }
+
+    fn query_parsed(&self, query: &Query) -> Result<QueryResults, EndpointError> {
+        if let Some(results) = self.cache.get_parsed(query) {
+            return Ok(results.as_ref().clone());
+        }
+        let results = self.inner.query_parsed(query)?;
+        self.cache.insert_parsed(query, Arc::new(results.clone()));
+        Ok(results)
+    }
+
+    fn stats(&self) -> RequestStats {
+        let cache = self.cache.stats();
+        RequestStats {
+            cache_hits: cache.hits as usize,
+            cache_misses: cache.misses as usize,
+            ..self.inner.stats()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inprocess::InProcessEndpoint;
+    use kgqan_rdf::{Store, Term, Triple};
+    use kgqan_sparql::parse_query;
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.insert(Triple::new(
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/o"),
+        ));
+        s
+    }
+
+    #[test]
+    fn lru_evicts_in_least_recently_used_order() {
+        let mut lru: LruCache<u32, &str> = LruCache::new(3);
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        lru.insert(3, "c");
+        assert_eq!(lru.keys_by_recency(), vec![1, 2, 3]);
+
+        // Touching 1 makes 2 the eviction victim.
+        assert_eq!(lru.get(&1), Some(&"a"));
+        let evicted = lru.insert(4, "d");
+        assert_eq!(evicted, Some((2, "b")));
+        assert_eq!(lru.len(), 3);
+        assert!(lru.peek(&2).is_none());
+        assert_eq!(lru.keys_by_recency(), vec![3, 1, 4]);
+
+        // The next victim is 3 (oldest untouched).
+        assert_eq!(lru.insert(5, "e"), Some((3, "c")));
+    }
+
+    #[test]
+    fn lru_capacity_is_a_hard_bound() {
+        let mut lru: LruCache<u32, u32> = LruCache::new(4);
+        for i in 0..100 {
+            lru.insert(i, i * 10);
+            assert!(lru.len() <= 4, "len {} exceeded capacity", lru.len());
+        }
+        assert_eq!(lru.len(), 4);
+        assert_eq!(lru.capacity(), 4);
+        // Only the four most recent survive.
+        for i in 96..100 {
+            assert_eq!(lru.peek(&i), Some(&(i * 10)));
+        }
+        // Replacement of a live key neither grows nor evicts.
+        assert!(lru.insert(99, 1).is_none());
+        assert_eq!(lru.len(), 4);
+        assert_eq!(lru.peek(&99), Some(&1));
+    }
+
+    #[test]
+    fn lru_zero_capacity_is_clamped() {
+        let mut lru: LruCache<u32, u32> = LruCache::new(0);
+        assert_eq!(lru.capacity(), 1);
+        lru.insert(1, 1);
+        assert_eq!(lru.insert(2, 2), Some((1, 1)));
+        lru.clear();
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn caching_endpoint_serves_repeats_from_the_namespace() {
+        let namespace = QueryCache::shared(CacheConfig::default());
+        let ep = CachingEndpoint::new(
+            Arc::new(InProcessEndpoint::new("DBpedia", store())),
+            namespace.clone(),
+        );
+        let q = "SELECT ?s WHERE { ?s ?p ?o . }";
+        let first = ep.query(q).unwrap();
+        let second = ep.query(q).unwrap();
+        assert_eq!(first, second);
+        // One engine round-trip, one hit.
+        assert_eq!(ep.stats().total_requests, 1);
+        assert_eq!(ep.stats().cache_hits, 1);
+        assert_eq!(ep.stats().cache_misses, 1);
+        assert!((ep.stats().cache_hit_rate() - 0.5).abs() < 1e-12);
+
+        // The parsed path has its own keyspace.
+        let parsed = parse_query(q).unwrap();
+        let p1 = ep.query_parsed(&parsed).unwrap();
+        let p2 = ep.query_parsed(&parsed).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(ep.stats().total_requests, 2);
+        assert_eq!(namespace.stats().hits, 2);
+        assert_eq!(namespace.stats().insertions, 2);
+    }
+
+    #[test]
+    fn caching_endpoint_does_not_cache_failures() {
+        let ep = CachingEndpoint::new(
+            Arc::new(InProcessEndpoint::new("DBpedia", store())),
+            QueryCache::shared(CacheConfig::default()),
+        );
+        assert!(ep.query("SELECT nonsense").is_err());
+        assert!(ep.query("SELECT nonsense").is_err());
+        // Both attempts reached the engine.
+        assert_eq!(ep.stats().failed_requests, 2);
+        assert_eq!(ep.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn invalidation_flushes_entries_but_keeps_counters() {
+        let namespace = QueryCache::shared(CacheConfig::default());
+        let ep = CachingEndpoint::new(
+            Arc::new(InProcessEndpoint::new("DBpedia", store())),
+            namespace.clone(),
+        );
+        let q = "SELECT ?s WHERE { ?s ?p ?o . }";
+        ep.query(q).unwrap();
+        assert_eq!(namespace.len(), 1);
+        namespace.invalidate();
+        assert!(namespace.is_empty());
+        let stats = namespace.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.insertions, 1);
+        // The next lookup misses again and repopulates.
+        ep.query(q).unwrap();
+        assert_eq!(namespace.stats().misses, 2);
+        assert_eq!(namespace.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_threads_count_hits_exactly() {
+        let namespace = QueryCache::shared(CacheConfig::default());
+        let ep = Arc::new(CachingEndpoint::new(
+            Arc::new(InProcessEndpoint::new("DBpedia", store())),
+            namespace.clone(),
+        ));
+        let q = "SELECT ?s WHERE { ?s ?p ?o . }";
+        // Pre-warm so every concurrent lookup is a hit.
+        let expected = ep.query(q).unwrap();
+
+        const THREADS: usize = 4;
+        const LOOKUPS: usize = 50;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let ep = Arc::clone(&ep);
+                let expected = expected.clone();
+                scope.spawn(move || {
+                    for _ in 0..LOOKUPS {
+                        assert_eq!(ep.query(q).unwrap(), expected);
+                    }
+                });
+            }
+        });
+        let stats = namespace.stats();
+        assert_eq!(stats.hits, (THREADS * LOOKUPS) as u64);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(ep.stats().total_requests, 1);
+    }
+
+    #[test]
+    fn oversized_results_are_not_cached() {
+        let mut big = Store::new();
+        for i in 0..8 {
+            big.insert(Triple::new(
+                Term::iri(format!("http://e/s{i}")),
+                Term::iri("http://e/p"),
+                Term::iri("http://e/o"),
+            ));
+        }
+        let namespace = QueryCache::shared(CacheConfig {
+            max_result_rows: 4,
+            ..Default::default()
+        });
+        let ep = CachingEndpoint::new(
+            Arc::new(InProcessEndpoint::new("DBpedia", big)),
+            namespace.clone(),
+        );
+        let wide = "SELECT ?s WHERE { ?s ?p ?o . }"; // 8 rows > cap 4
+        let narrow = "SELECT ?s WHERE { ?s ?p ?o . } LIMIT 2";
+        ep.query(wide).unwrap();
+        ep.query(wide).unwrap();
+        let parsed = parse_query(wide).unwrap();
+        ep.query_parsed(&parsed).unwrap();
+        ep.query(narrow).unwrap();
+        ep.query(narrow).unwrap();
+        let stats = namespace.stats();
+        // The wide query is recomputed every time; the narrow one caches.
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(ep.stats().total_requests, 4);
+        assert_eq!(namespace.len(), 1);
+    }
+
+    #[test]
+    fn cache_stats_since_subtracts_counters() {
+        let before = CacheStats {
+            hits: 2,
+            misses: 3,
+            insertions: 3,
+            evictions: 0,
+            invalidations: 0,
+        };
+        let after = CacheStats {
+            hits: 7,
+            misses: 4,
+            insertions: 4,
+            evictions: 1,
+            invalidations: 1,
+        };
+        let delta = after.since(&before);
+        assert_eq!(delta.hits, 5);
+        assert_eq!(delta.misses, 1);
+        assert_eq!(delta.insertions, 1);
+        assert_eq!(delta.evictions, 1);
+        assert_eq!(delta.invalidations, 1);
+        assert!((delta.hit_rate() - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+
+        let mut merged = before;
+        merged.merge(&after);
+        assert_eq!(merged.hits, 9);
+        assert_eq!(merged.misses, 7);
+    }
+}

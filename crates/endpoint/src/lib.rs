@@ -14,17 +14,23 @@
 //!   (`bif:contains` vs `textMatch` vs `text:query`) that KGQAn adapts its
 //!   linking queries to, exactly as described in Section 5.1,
 //! * [`EndpointRegistry`] — a name → endpoint map standing in for the set of
-//!   SPARQL endpoint URIs users may target.
+//!   SPARQL endpoint URIs users may target, optionally fronted by per-KG
+//!   [`cache::QueryCache`] namespaces,
+//! * [`CachingEndpoint`] — a decorator that answers repeated probe and
+//!   candidate queries from a shared, bounded LRU cache instead of
+//!   re-probing the engine ([`cache`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod dialect;
 pub mod error;
 pub mod inprocess;
 pub mod registry;
 pub mod stats;
 
+pub use cache::{CacheConfig, CacheStats, CachingEndpoint, QueryCache};
 pub use dialect::EngineDialect;
 pub use error::EndpointError;
 pub use inprocess::InProcessEndpoint;

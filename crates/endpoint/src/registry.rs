@@ -3,25 +3,57 @@
 //!
 //! The registry is the multi-KG half of the serving API: a `QaService` owns
 //! one registry and routes each `AnswerRequest` to the endpoint named by the
-//! request.  Lookups of unregistered names fail with an error that lists the
-//! names that *are* registered.
+//! request.  Lookups of unregistered names fail with an error that lists, in
+//! sorted order, the names that *are* registered.
+//!
+//! A registry built with [`EndpointRegistry::with_cache`] additionally owns
+//! one [`QueryCache`] namespace per registered KG: [`EndpointRegistry::get`]
+//! then hands out [`CachingEndpoint`]-wrapped endpoints that share the KG's
+//! namespace across requests and threads.  Re-registering a name replaces
+//! the endpoint *and invalidates the old namespace* — the KG behind the name
+//! changed, so every cached probe result for it is suspect.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use crate::cache::{CacheConfig, CacheStats, CachingEndpoint, QueryCache};
 use crate::error::EndpointError;
 use crate::SparqlEndpoint;
 
-/// A name → endpoint map.
+/// One registered KG: the endpoint as served (possibly cache-wrapped), the
+/// raw endpoint as registered, and the cache namespace, if caching is on.
+#[derive(Clone)]
+struct Registered {
+    serving: Arc<dyn SparqlEndpoint>,
+    raw: Arc<dyn SparqlEndpoint>,
+    cache: Option<Arc<QueryCache>>,
+}
+
+/// A name → endpoint map, optionally fronted by per-KG semantic caches.
 #[derive(Default, Clone)]
 pub struct EndpointRegistry {
-    endpoints: BTreeMap<String, Arc<dyn SparqlEndpoint>>,
+    endpoints: BTreeMap<String, Registered>,
+    cache_config: Option<CacheConfig>,
 }
 
 impl EndpointRegistry {
-    /// Create an empty registry.
+    /// Create an empty, uncached registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty registry whose endpoints are served through per-KG
+    /// [`QueryCache`] namespaces.
+    pub fn with_cache(config: CacheConfig) -> Self {
+        EndpointRegistry {
+            endpoints: BTreeMap::new(),
+            cache_config: Some(config),
+        }
+    }
+
+    /// The cache configuration, if this registry caches.
+    pub fn cache_config(&self) -> Option<CacheConfig> {
+        self.cache_config
     }
 
     /// Register an endpoint under its own name.
@@ -29,23 +61,94 @@ impl EndpointRegistry {
     /// Registering a second endpoint with the same name replaces the first
     /// and returns it (last registration wins), mirroring map semantics; use
     /// [`EndpointRegistry::contains`] first if replacement must be an error.
+    /// On a caching registry, replacement **invalidates the name's old cache
+    /// namespace** — results probed from the replaced endpoint must not leak
+    /// into answers from its successor — and the new endpoint starts with a
+    /// fresh, empty namespace.
     pub fn register(
         &mut self,
         endpoint: Arc<dyn SparqlEndpoint>,
     ) -> Option<Arc<dyn SparqlEndpoint>> {
-        self.endpoints.insert(endpoint.name().to_string(), endpoint)
+        let name = endpoint.name().to_string();
+        let entry = match self.cache_config {
+            Some(config) => {
+                let namespace = QueryCache::shared(config);
+                Registered {
+                    serving: Arc::new(CachingEndpoint::new(
+                        Arc::clone(&endpoint),
+                        Arc::clone(&namespace),
+                    )),
+                    raw: endpoint,
+                    cache: Some(namespace),
+                }
+            }
+            None => Registered {
+                serving: Arc::clone(&endpoint),
+                raw: endpoint,
+                cache: None,
+            },
+        };
+        let replaced = self.endpoints.insert(name, entry)?;
+        if let Some(old_namespace) = &replaced.cache {
+            // Anyone still holding the old wrapped endpoint keeps talking to
+            // the old KG, but never to stale cached rows.
+            old_namespace.invalidate();
+        }
+        Some(replaced.raw)
     }
 
-    /// Look up an endpoint by name.  The error of a failed lookup carries
-    /// the sorted list of registered names.
+    /// Look up an endpoint by name; on a caching registry the returned
+    /// endpoint is served through the KG's shared cache namespace.  The
+    /// error of a failed lookup carries the sorted list of registered names.
     pub fn get(&self, name: &str) -> Result<Arc<dyn SparqlEndpoint>, EndpointError> {
         self.endpoints
             .get(name)
-            .cloned()
+            .map(|entry| Arc::clone(&entry.serving))
             .ok_or_else(|| EndpointError::UnknownEndpoint {
                 name: name.to_string(),
                 available: self.names(),
             })
+    }
+
+    /// Look up the raw endpoint as registered, bypassing any cache.
+    pub fn get_uncached(&self, name: &str) -> Result<Arc<dyn SparqlEndpoint>, EndpointError> {
+        self.endpoints
+            .get(name)
+            .map(|entry| Arc::clone(&entry.raw))
+            .ok_or_else(|| EndpointError::UnknownEndpoint {
+                name: name.to_string(),
+                available: self.names(),
+            })
+    }
+
+    /// The cache namespace serving `name`, if this registry caches.
+    pub fn cache_of(&self, name: &str) -> Option<Arc<QueryCache>> {
+        self.endpoints.get(name)?.cache.clone()
+    }
+
+    /// Per-KG cache statistics, sorted by KG name (empty when uncached).
+    pub fn cache_stats(&self) -> Vec<(String, CacheStats)> {
+        self.endpoints
+            .iter()
+            .filter_map(|(name, entry)| {
+                entry
+                    .cache
+                    .as_ref()
+                    .map(|cache| (name.clone(), cache.stats()))
+            })
+            .collect()
+    }
+
+    /// Explicitly flush the cache namespace of one KG.  Returns true if the
+    /// KG is registered and cached.
+    pub fn invalidate_cache(&self, name: &str) -> bool {
+        match self.endpoints.get(name).and_then(|e| e.cache.as_ref()) {
+            Some(cache) => {
+                cache.invalidate();
+                true
+            }
+            None => false,
+        }
     }
 
     /// True if an endpoint is registered under `name`.
@@ -53,7 +156,9 @@ impl EndpointRegistry {
         self.endpoints.contains_key(name)
     }
 
-    /// Names of all registered endpoints, sorted.
+    /// Names of all registered endpoints, sorted.  Registration order never
+    /// shows through: the listing (and therefore the name list inside
+    /// [`EndpointError::UnknownEndpoint`]) is deterministic.
     pub fn names(&self) -> Vec<String> {
         self.endpoints.keys().cloned().collect()
     }
@@ -73,7 +178,17 @@ impl EndpointRegistry {
 mod tests {
     use super::*;
     use crate::inprocess::InProcessEndpoint;
-    use kgqan_rdf::Store;
+    use kgqan_rdf::{Store, Term, Triple};
+
+    fn one_triple_store(object: &str) -> Store {
+        let mut store = Store::new();
+        store.insert(Triple::new(
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::iri(object),
+        ));
+        store
+    }
 
     #[test]
     fn register_and_lookup() {
@@ -90,13 +205,20 @@ mod tests {
             reg.get("YAGO"),
             Err(EndpointError::UnknownEndpoint { .. })
         ));
+        // An uncached registry exposes no namespaces.
+        assert!(reg.cache_config().is_none());
+        assert!(reg.cache_of("DBpedia").is_none());
+        assert!(reg.cache_stats().is_empty());
+        assert!(!reg.invalidate_cache("DBpedia"));
     }
 
     #[test]
-    fn lookup_error_lists_available_names() {
+    fn lookup_error_lists_available_names_sorted() {
         let mut reg = EndpointRegistry::new();
-        reg.register(Arc::new(InProcessEndpoint::new("DBpedia", Store::new())));
+        // Registered out of order: the listing must still be sorted.
         reg.register(Arc::new(InProcessEndpoint::new("MAG", Store::new())));
+        reg.register(Arc::new(InProcessEndpoint::new("DBLP", Store::new())));
+        reg.register(Arc::new(InProcessEndpoint::new("DBpedia", Store::new())));
         let Err(err) = reg.get("YAGO") else {
             panic!("expected lookup failure");
         };
@@ -104,8 +226,14 @@ mod tests {
             panic!("expected UnknownEndpoint, got {err:?}");
         };
         assert_eq!(name, "YAGO");
-        assert_eq!(available, &["DBpedia".to_string(), "MAG".to_string()]);
-        assert!(err.to_string().contains("DBpedia, MAG"));
+        assert_eq!(
+            available,
+            &["DBLP".to_string(), "DBpedia".to_string(), "MAG".to_string()]
+        );
+        let mut sorted = available.clone();
+        sorted.sort();
+        assert_eq!(available, &sorted, "listing must be sorted");
+        assert!(err.to_string().contains("DBLP, DBpedia, MAG"));
     }
 
     #[test]
@@ -127,13 +255,10 @@ mod tests {
         let first = Arc::new(InProcessEndpoint::new("DBpedia", Store::new()));
         assert!(reg.register(first.clone()).is_none());
 
-        let mut store = Store::new();
-        store.insert(kgqan_rdf::Triple::new(
-            kgqan_rdf::Term::iri("http://e/s"),
-            kgqan_rdf::Term::iri("http://e/p"),
-            kgqan_rdf::Term::iri("http://e/o"),
+        let second = Arc::new(InProcessEndpoint::new(
+            "DBpedia",
+            one_triple_store("http://e/o"),
         ));
-        let second = Arc::new(InProcessEndpoint::new("DBpedia", store));
         let replaced = reg.register(second).expect("first registration returned");
         assert_eq!(reg.len(), 1);
         // The registry now serves the replacement, not the original.
@@ -141,5 +266,73 @@ mod tests {
         let rs = current.query("SELECT ?s WHERE { ?s ?p ?o . }").unwrap();
         assert_eq!(rs.rows().len(), 1);
         assert_eq!(replaced.name(), first.name());
+    }
+
+    #[test]
+    fn caching_registry_shares_namespace_hits_across_lookups() {
+        let mut reg = EndpointRegistry::with_cache(CacheConfig::default());
+        assert!(reg.cache_config().is_some());
+        reg.register(Arc::new(InProcessEndpoint::new(
+            "DBpedia",
+            one_triple_store("http://e/o"),
+        )));
+
+        let q = "SELECT ?s WHERE { ?s ?p ?o . }";
+        reg.get("DBpedia").unwrap().query(q).unwrap();
+        // A second `get` returns a wrapper over the *same* namespace.
+        reg.get("DBpedia").unwrap().query(q).unwrap();
+        let stats = reg.cache_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].0, "DBpedia");
+        assert_eq!(stats[0].1.hits, 1);
+        assert_eq!(stats[0].1.misses, 1);
+        // The raw endpoint saw exactly one request.
+        assert_eq!(
+            reg.get_uncached("DBpedia").unwrap().stats().total_requests,
+            1
+        );
+
+        assert!(reg.invalidate_cache("DBpedia"));
+        assert_eq!(reg.cache_of("DBpedia").unwrap().stats().invalidations, 1);
+    }
+
+    #[test]
+    fn re_registration_invalidates_the_old_namespace_and_serves_fresh_data() {
+        let mut reg = EndpointRegistry::with_cache(CacheConfig::default());
+        reg.register(Arc::new(InProcessEndpoint::new(
+            "DBpedia",
+            one_triple_store("http://e/old"),
+        )));
+
+        let q = "SELECT ?o WHERE { ?s ?p ?o . }";
+        let old_serving = reg.get("DBpedia").unwrap();
+        let old_namespace = reg.cache_of("DBpedia").unwrap();
+        let old_rows = old_serving.query(q).unwrap();
+        assert_eq!(
+            old_rows.rows()[0].get("o"),
+            Some(&Term::iri("http://e/old"))
+        );
+        assert_eq!(old_namespace.len(), 1);
+
+        // Replace the KG behind the name.
+        let replaced = reg.register(Arc::new(InProcessEndpoint::new(
+            "DBpedia",
+            one_triple_store("http://e/new"),
+        )));
+        assert!(replaced.is_some());
+
+        // The old namespace was flushed: a holder of the old wrapper
+        // re-queries the old store instead of serving stale cached rows...
+        assert!(old_namespace.is_empty());
+        assert_eq!(old_namespace.stats().invalidations, 1);
+        // ...and the registry serves the new KG from a fresh namespace.
+        let new_namespace = reg.cache_of("DBpedia").unwrap();
+        assert!(new_namespace.is_empty());
+        assert_eq!(new_namespace.stats().invalidations, 0);
+        let new_rows = reg.get("DBpedia").unwrap().query(q).unwrap();
+        assert_eq!(
+            new_rows.rows()[0].get("o"),
+            Some(&Term::iri("http://e/new"))
+        );
     }
 }

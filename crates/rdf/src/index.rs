@@ -4,7 +4,7 @@
 //! sorted set of permuted id triples, so that **any** triple pattern —
 //! whatever combination of its positions is bound — can be answered with a
 //! single prefix range scan.  This is the index organisation the paper cites
-//! ([59] Hexastore, [63] TripleBit) when arguing that the JIT linker's
+//! (\[59] Hexastore, \[63] TripleBit) when arguing that the JIT linker's
 //! `outgoingPredicate` / `incomingPredicate` probes are constant-time lookups
 //! in a stock RDF engine.
 

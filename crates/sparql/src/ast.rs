@@ -105,7 +105,7 @@ impl std::fmt::Display for TriplePatternAst {
 }
 
 /// A filter / value expression.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Expression {
     /// A variable reference.
     Var(String),
@@ -168,7 +168,7 @@ impl std::fmt::Display for Expression {
 }
 
 /// A graph pattern: the contents of a `{ ... }` group.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum GraphPattern {
     /// A basic graph pattern: a conjunction of triple patterns.
     Bgp(Vec<TriplePatternAst>),
@@ -217,7 +217,7 @@ impl GraphPattern {
 }
 
 /// The query form: SELECT or ASK.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum QueryForm {
     /// `SELECT` with an explicit projection (empty = `SELECT *`).
     Select {
@@ -231,7 +231,11 @@ pub enum QueryForm {
 }
 
 /// A parsed SPARQL query.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The AST is `Eq + Hash` so that built queries can key caches directly
+/// (see `kgqan-endpoint`'s `CachingEndpoint`) without a detour through
+/// their serialized text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Query {
     /// SELECT or ASK.
     pub form: QueryForm,

@@ -6,7 +6,7 @@
 //! fixed-width [`TermId`] and the triple indices operate purely on ids.  The
 //! evaluator stays in id space end-to-end:
 //!
-//! 1. **Compile** — variables are numbered into a dense [`VarRegistry`]; each
+//! 1. **Compile** — variables are numbered into a dense `VarRegistry`; each
 //!    triple pattern's constant terms are looked up in the dictionary once
 //!    (an absent constant proves the pattern matches nothing).
 //! 2. **Join** — a solution row is a `Vec<Option<TermId>>` indexed by

@@ -1,0 +1,231 @@
+//! Semantic-cache integration tests: the cached pipeline must be
+//! answer-equivalent to an uncached pipeline — caching changes latency,
+//! never answers — plus cross-request hit sharing through one service and
+//! staged-trace plumbing through the public API.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+
+use kgqan::{AnswerRequest, CacheConfig, QaService, QuestionUnderstanding};
+use kgqan_endpoint::InProcessEndpoint;
+use kgqan_rdf::{vocab, Store, Term, Triple};
+
+const FIRST_NAMES: &[&str] = &["Ada", "Barack", "Carl", "Dora", "Edith", "Frank"];
+const LAST_NAMES: &[&str] = &["Obama", "Stone", "Rivers", "Klein"];
+
+fn full_name(first: usize, last: usize) -> String {
+    format!(
+        "{} {}",
+        FIRST_NAMES[first % FIRST_NAMES.len()],
+        LAST_NAMES[last % LAST_NAMES.len()]
+    )
+}
+
+fn person_iri(name: &str) -> Term {
+    Term::iri(format!(
+        "http://example.org/resource/{}",
+        name.replace(' ', "_")
+    ))
+}
+
+/// A randomly shaped people KG: every person gets a label, some get spouses
+/// and types, drawn from a small closed name pool so questions frequently
+/// overlap across cases (the cache's bread and butter).
+#[derive(Debug, Clone)]
+struct PeopleKg {
+    couples: Vec<(usize, usize)>,
+    typed: Vec<bool>,
+}
+
+impl PeopleKg {
+    fn store(&self) -> Store {
+        let mut store = Store::new();
+        let label = Term::iri(vocab::RDFS_LABEL);
+        let rdf_type = Term::iri(vocab::RDF_TYPE);
+        let person_class = Term::iri("http://example.org/ontology/Person");
+        for (i, &(a, b)) in self.couples.iter().enumerate() {
+            let husband = full_name(a, i);
+            let wife = full_name(b, i + 1);
+            let h = person_iri(&husband);
+            let w = person_iri(&wife);
+            store.insert_all([
+                Triple::new(h.clone(), label.clone(), Term::literal_str(husband)),
+                Triple::new(w.clone(), label.clone(), Term::literal_str(wife)),
+                Triple::new(
+                    h.clone(),
+                    Term::iri("http://example.org/ontology/spouse"),
+                    w.clone(),
+                ),
+            ]);
+            if self.typed.get(i).copied().unwrap_or(false) {
+                store.insert(Triple::new(h, rdf_type.clone(), person_class.clone()));
+                store.insert(Triple::new(w, rdf_type.clone(), person_class.clone()));
+            }
+        }
+        store
+    }
+
+    fn questions(&self) -> Vec<String> {
+        let mut questions: Vec<String> = self
+            .couples
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, _))| format!("Who is the wife of {}?", full_name(a, i)))
+            .collect();
+        // One question about a person who may not exist in this KG.
+        questions.push("Who is the wife of Zorblax Qwerty?".to_string());
+        questions
+    }
+}
+
+fn arb_people_kg() -> impl Strategy<Value = PeopleKg> {
+    (
+        prop::collection::vec((0usize..6, 0usize..6), 1..4),
+        prop::collection::vec(any::<bool>(), 0..4),
+    )
+        .prop_map(|(couples, typed)| PeopleKg { couples, typed })
+}
+
+fn understanding() -> Arc<QuestionUnderstanding> {
+    static QU: OnceLock<Arc<QuestionUnderstanding>> = OnceLock::new();
+    Arc::clone(QU.get_or_init(|| Arc::new(QuestionUnderstanding::train_default())))
+}
+
+fn service(kg: &PeopleKg, cached: bool) -> QaService {
+    let builder = QaService::builder()
+        .shared_understanding(understanding())
+        .endpoint(Arc::new(InProcessEndpoint::new("People", kg.store())));
+    let builder = if cached {
+        // A deliberately small cache so eviction paths run under the
+        // equivalence check too.
+        builder.cache(CacheConfig::with_capacity(16))
+    } else {
+        builder.no_cache()
+    };
+    builder.build().expect("one registered KG")
+}
+
+proptest! {
+    /// The cached service returns exactly the answers of the uncached
+    /// service, question for question — including on the second, warm pass
+    /// where every probe comes out of the namespace.
+    #[test]
+    fn cached_pipeline_is_answer_equivalent_to_uncached(kg in arb_people_kg()) {
+        let cached = service(&kg, true);
+        let uncached = service(&kg, false);
+
+        for round in 0..2 {
+            for question in kg.questions() {
+                let cached_result = cached.answer(AnswerRequest::new(&question));
+                let uncached_result = uncached.answer(AnswerRequest::new(&question));
+                match (cached_result, uncached_result) {
+                    (Ok(c), Ok(u)) => {
+                        if c.outcome.answers != u.outcome.answers {
+                            return Err(TestCaseError::fail(format!(
+                                "answers diverged on {question:?} (round {round}): \
+                                 {:?} vs {:?}",
+                                c.outcome.answers, u.outcome.answers
+                            )));
+                        }
+                        prop_assert_eq!(
+                            &c.outcome.unfiltered_answers,
+                            &u.outcome.unfiltered_answers
+                        );
+                        prop_assert_eq!(c.outcome.boolean, u.outcome.boolean);
+                    }
+                    (Err(c), Err(u)) => prop_assert_eq!(c.to_string(), u.to_string()),
+                    (c, u) => {
+                        return Err(TestCaseError::fail(format!(
+                            "cached/uncached disagreed on {question:?}: {c:?} vs {u:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        // Sanity: after two identical passes the cached service has seen
+        // repeats, so unless every question failed understanding the
+        // namespace must have registered activity.
+        let report = cached.cache_report();
+        prop_assert_eq!(report.per_kg.len(), 1);
+        prop_assert!(uncached.cache_report().is_uncached());
+    }
+}
+
+#[test]
+fn concurrent_requests_share_one_namespace() {
+    let kg = PeopleKg {
+        couples: vec![(1, 0)],
+        typed: vec![true],
+    };
+    let service = service(&kg, true);
+    let question = kg.questions()[0].clone();
+
+    // Warm the namespace once, then hammer it from four threads.
+    let reference = service
+        .answer(AnswerRequest::new(&question))
+        .unwrap()
+        .outcome
+        .answers;
+    let before = service.cache_report().total();
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let service = service.clone();
+            let question = question.clone();
+            let reference = reference.clone();
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    let response = service.answer(AnswerRequest::new(&question)).unwrap();
+                    assert_eq!(response.outcome.answers, reference);
+                }
+            });
+        }
+    });
+
+    let delta = service.cache_report().total().since(&before);
+    assert!(delta.hits > 0, "threads must share warm entries");
+    assert_eq!(delta.misses, 0, "warm namespace must absorb every probe");
+    // The KG endpoint itself served no additional requests after warm-up.
+    let stats = service.registry().get_uncached("People").unwrap().stats();
+    let warm = service
+        .answer_traced(AnswerRequest::new(&question))
+        .unwrap();
+    assert_eq!(
+        warm.response.endpoint_stats.total_requests,
+        stats.total_requests
+    );
+}
+
+#[test]
+fn traced_answers_report_per_stage_artifacts_through_the_public_api() {
+    let kg = PeopleKg {
+        couples: vec![(1, 0)],
+        typed: vec![true],
+    };
+    let service = service(&kg, true);
+    let question = kg.questions()[0].clone();
+
+    let cold = service
+        .answer_traced(AnswerRequest::new(&question))
+        .unwrap();
+    assert!(!cold.trace.understanding.pgp.is_empty());
+    assert!(cold.trace.linked.completed);
+    assert!(!cold.trace.linked.candidates.is_empty());
+    assert!(!cold.trace.execution.query_stats.is_empty());
+    assert_eq!(cold.trace.filtered.answers, cold.response.outcome.answers);
+    assert!(cold.cache.misses > 0);
+    assert_eq!(cold.cache.hits, 0);
+
+    let warm = service
+        .answer_traced(AnswerRequest::new(&question))
+        .unwrap();
+    assert!(warm.cache.hits > 0);
+    assert_eq!(warm.cache.misses, 0);
+    assert_eq!(warm.response.outcome.answers, cold.response.outcome.answers);
+    // Cache statistics surface on the endpoint stats snapshot too.
+    assert_eq!(
+        warm.response.endpoint_stats.cache_hits as u64,
+        service.cache_report().kg("People").unwrap().hits
+    );
+}
