@@ -43,6 +43,14 @@ pub struct QueryStat {
     pub rows: usize,
     /// True for ASK candidates.
     pub is_ask: bool,
+    /// The physical plan the endpoint's engine chose for this candidate
+    /// (join order, filter placement, cardinality estimates).  `None` when
+    /// the endpoint does not expose plans — remote engines, or a semantic
+    /// cache hit that executed nothing.
+    pub plan: Option<kgqan_sparql::PlanSummary>,
+    /// Index/text-index entries the engine scanned answering this
+    /// candidate; `None` under the same conditions as `plan`.
+    pub rows_scanned: Option<u64>,
 }
 
 /// The outcome of executing the candidate queries.
@@ -63,6 +71,12 @@ impl ExecutionOutcome {
     /// The SPARQL texts that were actually executed, in execution order.
     pub fn executed_queries(&self) -> Vec<String> {
         self.query_stats.iter().map(|s| s.sparql.clone()).collect()
+    }
+
+    /// Total rows the endpoint's engine scanned across every executed
+    /// candidate that reported work counters.
+    pub fn total_rows_scanned(&self) -> u64 {
+        self.query_stats.iter().filter_map(|s| s.rows_scanned).sum()
     }
 }
 
@@ -138,15 +152,20 @@ impl ExecutionManager {
             }
             // Hand over the AST: in-process endpoints evaluate it directly
             // on dictionary ids, so the candidate never round-trips through
-            // a SPARQL string between generation and execution.
+            // a SPARQL string between generation and execution.  The traced
+            // entry point additionally reports the physical plan the engine
+            // chose and the rows it scanned, which ride along in the stats.
             let started = Instant::now();
-            let results = endpoint.query_parsed(&candidate.query)?;
+            let traced = endpoint.query_traced(&candidate.query)?;
+            let results = traced.results;
             outcome.query_stats.push(QueryStat {
                 sparql: candidate.sparql.clone(),
                 score: candidate.bgp.score,
                 duration: started.elapsed(),
                 rows: results.as_solutions().map_or(0, |s| s.rows().len()),
                 is_ask: candidate.is_ask,
+                plan: traced.plan,
+                rows_scanned: traced.metrics.map(|m| m.rows_scanned),
             });
 
             if candidate.is_ask {
@@ -382,6 +401,23 @@ mod tests {
                 outcome.query_stats[1].sparql.clone()
             ]
         );
+    }
+
+    #[test]
+    fn query_stats_carry_plan_summaries_and_scan_counters() {
+        let ep = endpoint();
+        let q = select_candidate(
+            "SELECT DISTINCT ?unknown1 WHERE { ?unknown1 \
+             <http://dbpedia.org/property/outflow> ?o . }",
+            1.0,
+        );
+        let outcome = ExecutionManager::default().execute(&[q], &ep).unwrap();
+        assert_eq!(outcome.query_stats.len(), 1);
+        let stat = &outcome.query_stats[0];
+        let plan = stat.plan.as_ref().expect("in-process endpoint plans");
+        assert!(plan.to_string().contains("scan ?unknown1"), "{plan}");
+        assert!(stat.rows_scanned.is_some());
+        assert!(outcome.total_rows_scanned() >= 1);
     }
 
     #[test]

@@ -287,6 +287,25 @@ impl PipelineTrace {
     pub fn deadline_exceeded(&self) -> bool {
         !self.linked.completed || self.execution.deadline_exceeded || self.filtered.skipped
     }
+
+    /// The physical plan the endpoint chose for each executed candidate
+    /// query, in execution order: `(sparql, plan, rows_scanned)`.  The plan
+    /// and counter are `None` for endpoints that don't expose them (remote
+    /// engines) and for semantic-cache hits, which executed nothing.
+    pub fn plan_summaries(
+        &self,
+    ) -> impl Iterator<Item = (&str, Option<&kgqan_sparql::PlanSummary>, Option<u64>)> {
+        self.execution
+            .query_stats
+            .iter()
+            .map(|s| (s.sparql.as_str(), s.plan.as_ref(), s.rows_scanned))
+    }
+
+    /// Total rows the endpoint's engine scanned executing this request's
+    /// candidate queries.
+    pub fn rows_scanned(&self) -> u64 {
+        self.execution.total_rows_scanned()
+    }
 }
 
 /// The composed four-stage answer pipeline.
@@ -500,6 +519,30 @@ mod tests {
                 + trace.timings.execute
                 + trace.timings.filter
         );
+    }
+
+    #[test]
+    fn pipeline_trace_exposes_candidate_plan_summaries() {
+        let endpoint = spouse_endpoint();
+        let config = KgqanConfig::default();
+        let budget = Budget::unbounded();
+        let ctx = StageContext::new(&endpoint, &budget, &config);
+        let trace = default_pipeline()
+            .run("Who is the wife of Barack Obama?", &ctx)
+            .unwrap();
+
+        let plans: Vec<_> = trace.plan_summaries().collect();
+        assert_eq!(plans.len(), trace.execution.query_stats.len());
+        assert!(!plans.is_empty());
+        // The uncached in-process endpoint reports a plan and scan counter
+        // for every executed candidate.
+        for (sparql, plan, scanned) in &plans {
+            assert!(!sparql.is_empty());
+            let plan = plan.expect("in-process endpoint exposes plans");
+            assert!(!plan.ops.is_empty());
+            assert!(scanned.is_some());
+        }
+        assert!(trace.rows_scanned() >= 1);
     }
 
     #[test]

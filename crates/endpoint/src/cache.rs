@@ -465,6 +465,22 @@ impl SparqlEndpoint for CachingEndpoint {
         Ok(results)
     }
 
+    fn query_traced(&self, query: &Query) -> Result<crate::TracedQuery, EndpointError> {
+        if let Some(results) = self.cache.get_parsed(query) {
+            // A hit executed nothing, so there is no plan and no scan work
+            // to report — the telemetry reflects what actually ran.
+            return Ok(crate::TracedQuery {
+                results: results.as_ref().clone(),
+                plan: None,
+                metrics: None,
+            });
+        }
+        let traced = self.inner.query_traced(query)?;
+        self.cache
+            .insert_parsed(query, Arc::new(traced.results.clone()));
+        Ok(traced)
+    }
+
     fn stats(&self) -> RequestStats {
         let cache = self.cache.stats();
         RequestStats {
@@ -629,6 +645,27 @@ mod tests {
         let stats = namespace.stats();
         assert_eq!(stats.hits, (THREADS * LOOKUPS) as u64);
         assert_eq!(stats.misses, 1);
+        assert_eq!(ep.stats().total_requests, 1);
+    }
+
+    #[test]
+    fn query_traced_misses_carry_plans_and_hits_do_not() {
+        let namespace = QueryCache::shared(CacheConfig::default());
+        let ep = CachingEndpoint::new(
+            Arc::new(InProcessEndpoint::new("DBpedia", store())),
+            namespace.clone(),
+        );
+        let parsed = parse_query("SELECT ?s WHERE { ?s ?p ?o . }").unwrap();
+
+        let miss = ep.query_traced(&parsed).unwrap();
+        assert!(miss.plan.is_some(), "a miss executes and exposes its plan");
+        assert!(miss.metrics.is_some());
+
+        let hit = ep.query_traced(&parsed).unwrap();
+        assert_eq!(hit.results, miss.results);
+        assert!(hit.plan.is_none(), "a hit executes nothing");
+        assert!(hit.metrics.is_none());
+        assert_eq!(namespace.stats().hits, 1);
         assert_eq!(ep.stats().total_requests, 1);
     }
 

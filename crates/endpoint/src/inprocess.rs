@@ -12,12 +12,12 @@ use parking_lot::Mutex;
 
 use kgqan_rdf::{GraphStats, Store};
 use kgqan_sparql::eval::is_text_search_pattern;
-use kgqan_sparql::{execute, parse_query, Query, QueryResults};
+use kgqan_sparql::{parse_query, ExecMetrics, PlanSummary, Planner, Query, QueryResults};
 
 use crate::dialect::EngineDialect;
 use crate::error::EndpointError;
 use crate::stats::RequestStats;
-use crate::SparqlEndpoint;
+use crate::{SparqlEndpoint, TracedQuery};
 
 /// An endpoint answering queries from an in-memory store.
 pub struct InProcessEndpoint {
@@ -99,24 +99,46 @@ impl InProcessEndpoint {
     }
 
     /// Evaluate a parsed query against the store, recording request stats.
+    /// When `want_plan` is set the chosen physical plan's `EXPLAIN` summary
+    /// is returned too (rendering it costs a little, so the untraced query
+    /// paths skip it).
     ///
     /// Classification (text-search / ASK) is done on the AST instead of by
     /// substring inspection of the query text, and evaluation goes straight
-    /// to the dictionary-encoded executor — no SPARQL string exists on this
-    /// path.
-    fn execute_parsed(&self, query: &Query) -> Result<QueryResults, EndpointError> {
+    /// to the dictionary-encoded planner/executor — no SPARQL string exists
+    /// on this path.
+    fn execute_planned(
+        &self,
+        query: &Query,
+        want_plan: bool,
+    ) -> Result<(QueryResults, Option<PlanSummary>, ExecMetrics), EndpointError> {
         let start = Instant::now();
         if !self.latency.is_zero() {
             std::thread::sleep(self.latency);
         }
-        let result = execute(&self.store, query).map_err(EndpointError::from);
+        let plan = Planner::new(&self.store).plan(query);
+        let outcome = plan.execute().map_err(EndpointError::from);
         let is_text = query
             .pattern
             .all_triple_patterns()
             .iter()
             .any(|tp| is_text_search_pattern(tp));
-        self.record_request(start.elapsed(), is_text, query.is_ask(), result.is_err());
-        result
+        self.record_request(start.elapsed(), is_text, query.is_ask(), outcome.is_err());
+        let run = outcome?;
+        let summary = want_plan.then(|| plan.summary().clone());
+        Ok((run.results, summary, run.metrics))
+    }
+
+    /// The physical plan this endpoint's engine would choose for a query,
+    /// without executing it — the `EXPLAIN` entry point.
+    pub fn explain(&self, query: &Query) -> PlanSummary {
+        Planner::new(&self.store).plan(query).summary().clone()
+    }
+
+    /// Parse a SPARQL string and return its `EXPLAIN` plan.
+    pub fn explain_sparql(&self, sparql: &str) -> Result<PlanSummary, EndpointError> {
+        let parsed = parse_query(sparql)?;
+        Ok(self.explain(&parsed))
     }
 }
 
@@ -131,7 +153,9 @@ impl SparqlEndpoint for InProcessEndpoint {
 
     fn query(&self, sparql: &str) -> Result<QueryResults, EndpointError> {
         match parse_query(sparql) {
-            Ok(parsed) => self.execute_parsed(&parsed),
+            Ok(parsed) => self
+                .execute_planned(&parsed, false)
+                .map(|(results, _, _)| results),
             Err(err) => {
                 let start = Instant::now();
                 if !self.latency.is_zero() {
@@ -151,7 +175,17 @@ impl SparqlEndpoint for InProcessEndpoint {
     }
 
     fn query_parsed(&self, query: &Query) -> Result<QueryResults, EndpointError> {
-        self.execute_parsed(query)
+        self.execute_planned(query, false)
+            .map(|(results, _, _)| results)
+    }
+
+    fn query_traced(&self, query: &Query) -> Result<TracedQuery, EndpointError> {
+        let (results, plan, metrics) = self.execute_planned(query, true)?;
+        Ok(TracedQuery {
+            results,
+            plan,
+            metrics: Some(metrics),
+        })
     }
 
     fn stats(&self) -> RequestStats {
@@ -248,5 +282,35 @@ mod tests {
         let ep = InProcessEndpoint::new("DBpedia", store());
         assert_eq!(ep.graph_stats().triples, 2);
         assert_eq!(ep.store().len(), 2);
+    }
+
+    #[test]
+    fn explain_exposes_the_physical_plan() {
+        let ep = InProcessEndpoint::new("DBpedia", store());
+        let summary = ep
+            .explain_sparql("SELECT ?s WHERE { ?s a <http://dbpedia.org/ontology/Sea> . }")
+            .unwrap();
+        let rendered = summary.to_string();
+        assert!(rendered.contains("select ?s"), "{rendered}");
+        assert!(rendered.contains("scan ?s"), "{rendered}");
+        // EXPLAIN does not execute: no request was recorded.
+        assert_eq!(ep.stats().total_requests, 0);
+        assert!(ep.explain_sparql("SELECT nonsense").is_err());
+    }
+
+    #[test]
+    fn query_traced_reports_plan_and_scan_work() {
+        let ep = InProcessEndpoint::new("DBpedia", store());
+        let parsed =
+            parse_query("SELECT ?s WHERE { ?s a <http://dbpedia.org/ontology/Sea> . }").unwrap();
+        let traced = ep.query_traced(&parsed).unwrap();
+        assert_eq!(traced.results.rows().len(), 1);
+        let plan = traced.plan.expect("in-process endpoint exposes its plan");
+        assert!(!plan.ops.is_empty());
+        let metrics = traced.metrics.expect("executor reports work counters");
+        assert_eq!(metrics.rows_emitted, 1);
+        assert!(metrics.rows_scanned >= 1);
+        // The traced path records requests like any other.
+        assert_eq!(ep.stats().total_requests, 1);
     }
 }

@@ -37,7 +37,25 @@ pub use inprocess::InProcessEndpoint;
 pub use registry::EndpointRegistry;
 pub use stats::RequestStats;
 
-use kgqan_sparql::{Query, QueryResults};
+use kgqan_sparql::{ExecMetrics, PlanSummary, Query, QueryResults};
+
+/// The results of one executed query plus the engine's execution telemetry,
+/// returned by [`SparqlEndpoint::query_traced`].
+///
+/// `plan` and `metrics` are populated when the serving engine exposes its
+/// physical plan — today that is [`InProcessEndpoint`], whose cost-based
+/// planner reports the chosen join order and the rows it scanned.  Remote
+/// wire-protocol endpoints (and cache hits, which execute nothing) return
+/// `None` for both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedQuery {
+    /// The query results.
+    pub results: QueryResults,
+    /// The physical plan the engine chose, when it exposes one.
+    pub plan: Option<PlanSummary>,
+    /// Executor work counters (rows scanned / emitted), when exposed.
+    pub metrics: Option<ExecMetrics>,
+}
 
 /// The public API of a SPARQL endpoint, as seen by KGQAn and the baselines.
 ///
@@ -64,6 +82,22 @@ pub trait SparqlEndpoint: Send + Sync {
     /// evaluate the AST directly against its store.
     fn query_parsed(&self, query: &Query) -> Result<QueryResults, EndpointError> {
         self.query(&query.to_sparql())
+    }
+
+    /// Execute an already-parsed query and return execution telemetry with
+    /// the results.
+    ///
+    /// The default implementation wraps [`SparqlEndpoint::query_parsed`]
+    /// with no telemetry; [`InProcessEndpoint`] overrides it to report the
+    /// physical plan its cost-based planner chose and the rows the
+    /// streaming executor scanned, which the execution manager surfaces per
+    /// candidate query in `QueryStat`.
+    fn query_traced(&self, query: &Query) -> Result<TracedQuery, EndpointError> {
+        Ok(TracedQuery {
+            results: self.query_parsed(query)?,
+            plan: None,
+            metrics: None,
+        })
     }
 
     /// Cumulative request statistics for this endpoint.

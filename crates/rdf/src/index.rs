@@ -10,6 +10,7 @@
 
 use std::collections::BTreeSet;
 use std::ops::Bound;
+use std::sync::OnceLock;
 
 use crate::dictionary::TermId;
 use crate::triple::EncodedTriple;
@@ -113,6 +114,51 @@ impl IndexOrder {
     }
 }
 
+/// One maintained ordering: the live sorted set plus a lazily built sorted
+/// snapshot used for `O(log n)` range *counting*.
+///
+/// `std`'s B-tree cannot answer "how many keys fall in this range?" without
+/// walking the range, so counting through [`TripleIndex::iter_matching`] is
+/// `O(k)` in the number of matches — far too slow for a query planner that
+/// estimates the cardinality of every triple pattern of every candidate
+/// query.  The snapshot is the same keys as a sorted vector: a range count
+/// is two binary searches (`partition_point`), i.e. `O(log n)`.  It is built
+/// on first use after a mutation (`O(n)` once, amortised across the many
+/// planner probes between loads) and invalidated by `insert`/`remove`.
+#[derive(Debug)]
+struct OrderEntry {
+    order: IndexOrder,
+    set: BTreeSet<[u32; 3]>,
+    snapshot: OnceLock<Vec<[u32; 3]>>,
+}
+
+impl OrderEntry {
+    fn new(order: IndexOrder) -> Self {
+        OrderEntry {
+            order,
+            set: BTreeSet::new(),
+            snapshot: OnceLock::new(),
+        }
+    }
+
+    /// The sorted key snapshot, built on first use after a mutation.
+    fn snapshot(&self) -> &Vec<[u32; 3]> {
+        self.snapshot
+            .get_or_init(|| self.set.iter().copied().collect())
+    }
+}
+
+impl Clone for OrderEntry {
+    fn clone(&self) -> Self {
+        OrderEntry {
+            order: self.order,
+            set: self.set.clone(),
+            // Snapshots are cheap to rebuild; don't copy them into clones.
+            snapshot: OnceLock::new(),
+        }
+    }
+}
+
 /// The sextuple index: one sorted set per ordering.
 ///
 /// With `full_sextuple` disabled only the three orderings SPO, POS and OPS
@@ -120,7 +166,7 @@ impl IndexOrder {
 /// store-ablation bench compares against.
 #[derive(Debug, Clone)]
 pub struct TripleIndex {
-    orders: Vec<(IndexOrder, BTreeSet<[u32; 3]>)>,
+    orders: Vec<OrderEntry>,
     len: usize,
 }
 
@@ -136,7 +182,7 @@ impl TripleIndex {
         TripleIndex {
             orders: IndexOrder::ALL
                 .iter()
-                .map(|&o| (o, BTreeSet::new()))
+                .map(|&o| OrderEntry::new(o))
                 .collect(),
             len: 0,
         }
@@ -147,7 +193,7 @@ impl TripleIndex {
         TripleIndex {
             orders: [IndexOrder::Spo, IndexOrder::Pos, IndexOrder::Ops]
                 .iter()
-                .map(|&o| (o, BTreeSet::new()))
+                .map(|&o| OrderEntry::new(o))
                 .collect(),
             len: 0,
         }
@@ -167,8 +213,11 @@ impl TripleIndex {
     /// triple was new.
     pub fn insert(&mut self, t: EncodedTriple) -> bool {
         let mut inserted = false;
-        for (order, set) in &mut self.orders {
-            inserted = set.insert(order.permute(t));
+        for entry in &mut self.orders {
+            inserted = entry.set.insert(entry.order.permute(t));
+            if inserted {
+                entry.snapshot = OnceLock::new();
+            }
         }
         if inserted {
             self.len += 1;
@@ -180,8 +229,11 @@ impl TripleIndex {
     /// triple was present.
     pub fn remove(&mut self, t: EncodedTriple) -> bool {
         let mut removed = false;
-        for (order, set) in &mut self.orders {
-            removed = set.remove(&order.permute(t));
+        for entry in &mut self.orders {
+            removed = entry.set.remove(&entry.order.permute(t));
+            if removed {
+                entry.snapshot = OnceLock::new();
+            }
         }
         if removed {
             self.len -= 1;
@@ -191,8 +243,50 @@ impl TripleIndex {
 
     /// True if the exact triple is present.
     pub fn contains(&self, t: EncodedTriple) -> bool {
-        let (order, set) = &self.orders[0];
-        set.contains(&order.permute(t))
+        let entry = &self.orders[0];
+        entry.set.contains(&entry.order.permute(t))
+    }
+
+    /// The maintained ordering with the longest bound key prefix for a
+    /// pattern, the inclusive key range covering that prefix, and whether any
+    /// bound position falls outside the prefix (possible in three-way mode),
+    /// which forces a post-filter.
+    fn best_range(
+        &self,
+        s: Option<u32>,
+        p: Option<u32>,
+        o: Option<u32>,
+    ) -> (&OrderEntry, [u32; 3], [u32; 3], bool) {
+        let entry = self
+            .orders
+            .iter()
+            .max_by_key(|entry| entry.order.bound_prefix_len(s, p, o))
+            .expect("index always has at least one ordering");
+        let order = entry.order;
+
+        let prefix = order.prefix_values(s, p, o);
+        let prefix_len = order.bound_prefix_len(s, p, o);
+
+        let bound_at = |i: usize, fallback: u32| -> u32 {
+            if prefix_len > i {
+                prefix[i].unwrap_or(fallback)
+            } else {
+                fallback
+            }
+        };
+        let lower = [
+            bound_at(0, u32::MIN),
+            bound_at(1, u32::MIN),
+            bound_at(2, u32::MIN),
+        ];
+        let upper = [
+            bound_at(0, u32::MAX),
+            bound_at(1, u32::MAX),
+            bound_at(2, u32::MAX),
+        ];
+
+        let bound_count = [s, p, o].iter().filter(|x| x.is_some()).count();
+        (entry, lower, upper, bound_count > prefix_len)
     }
 
     /// Scan a triple pattern without materialising the matches; unbound
@@ -210,53 +304,12 @@ impl TripleIndex {
         let p = p.map(|x| x.0);
         let o = o.map(|x| x.0);
 
-        // Pick the maintained ordering with the longest bound prefix.
-        let (order, set) = self
-            .orders
-            .iter()
-            .max_by_key(|(order, _)| order.bound_prefix_len(s, p, o))
-            .expect("index always has at least one ordering");
-        let order = *order;
+        let (entry, lower, upper, needs_post_filter) = self.best_range(s, p, o);
+        let order = entry.order;
 
-        let prefix = order.prefix_values(s, p, o);
-        let prefix_len = order.bound_prefix_len(s, p, o);
-
-        let lower: [u32; 3] = [
-            prefix[0].unwrap_or(u32::MIN),
-            if prefix_len >= 2 {
-                prefix[1].unwrap_or(u32::MIN)
-            } else {
-                u32::MIN
-            },
-            if prefix_len >= 3 {
-                prefix[2].unwrap_or(u32::MIN)
-            } else {
-                u32::MIN
-            },
-        ];
-        let upper: [u32; 3] = [
-            prefix[0].unwrap_or(u32::MAX),
-            if prefix_len >= 2 {
-                prefix[1].unwrap_or(u32::MAX)
-            } else {
-                u32::MAX
-            },
-            if prefix_len >= 3 {
-                prefix[2].unwrap_or(u32::MAX)
-            } else {
-                u32::MAX
-            },
-        ];
-
-        let needs_post_filter = {
-            // If some position is bound but not part of the contiguous key
-            // prefix of the chosen ordering (possible in three-way mode),
-            // we must post-filter the scanned range.
-            let bound_count = [s, p, o].iter().filter(|x| x.is_some()).count();
-            bound_count > prefix_len
-        };
-
-        set.range((Bound::Included(lower), Bound::Included(upper)))
+        entry
+            .set
+            .range((Bound::Included(lower), Bound::Included(upper)))
             .map(move |&key| order.unpermute(key))
             .filter(move |t| {
                 if !needs_post_filter {
@@ -279,16 +332,42 @@ impl TripleIndex {
         self.iter_matching(s, p, o).collect()
     }
 
-    /// Count matches of a pattern without materialising them (same access
-    /// path as [`TripleIndex::matching`]).
+    /// Count matches of a pattern without materialising — or walking — them.
+    ///
+    /// When the bound positions form a contiguous key prefix of a maintained
+    /// ordering (always true with the full sextuple layout), the count is two
+    /// binary searches over that ordering's sorted snapshot: `O(log n)`
+    /// whatever the match count, after an amortised `O(n)` snapshot build per
+    /// mutation epoch (see the internal `OrderEntry`).  This is what makes
+    /// it cheap
+    /// enough for the query planner to estimate the cardinality of every
+    /// triple pattern of every candidate query.  In the reduced three-way
+    /// layout a pattern may need post-filtering; that path falls back to the
+    /// `O(k)` range walk.
     pub fn count_matching(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
-        self.iter_matching(s, p, o).count()
+        let sr = s.map(|x| x.0);
+        let pr = p.map(|x| x.0);
+        let or = o.map(|x| x.0);
+        let (entry, lower, upper, needs_post_filter) = self.best_range(sr, pr, or);
+        if needs_post_filter {
+            return self.iter_matching(s, p, o).count();
+        }
+        let snapshot = entry.snapshot();
+        let lo = snapshot.partition_point(|key| key < &lower);
+        let hi = snapshot.partition_point(|key| key <= &upper);
+        hi - lo
     }
 
     /// Approximate heap footprint in bytes: each maintained ordering stores
-    /// one 12-byte key per triple plus B-tree overhead.
+    /// one 12-byte key per triple plus B-tree overhead, plus 12 bytes per
+    /// key for any sorted range-count snapshot that has been built.
     pub fn approx_bytes(&self) -> usize {
-        self.orders.len() * self.len * (12 + 8)
+        let snapshots: usize = self
+            .orders
+            .iter()
+            .map(|entry| entry.snapshot.get().map_or(0, |snap| snap.len() * 12))
+            .sum();
+        self.orders.len() * self.len * (12 + 8) + snapshots
     }
 
     /// Number of maintained orderings (6 for the sextuple layout, 3 for the
@@ -438,6 +517,66 @@ mod tests {
         for order in IndexOrder::ALL {
             assert_eq!(order.unpermute(order.permute(triple)), triple);
         }
+    }
+
+    #[test]
+    fn count_matching_agrees_with_iter_matching_for_all_shapes() {
+        let mut idx = TripleIndex::new();
+        for s in 0..5u32 {
+            for p in 0..3u32 {
+                idx.insert(t(s, 10 + p, 100 + s * p));
+            }
+        }
+        let probes: [(Option<u32>, Option<u32>, Option<u32>); 8] = [
+            (None, None, None),
+            (Some(1), None, None),
+            (None, Some(11), None),
+            (None, None, Some(100)),
+            (Some(1), Some(11), None),
+            (Some(1), None, Some(100)),
+            (None, Some(11), Some(102)),
+            (Some(2), Some(12), Some(104)),
+        ];
+        for (s, p, o) in probes {
+            let s = s.map(TermId);
+            let p = p.map(TermId);
+            let o = o.map(TermId);
+            assert_eq!(
+                idx.count_matching(s, p, o),
+                idx.iter_matching(s, p, o).count(),
+                "pattern {:?}",
+                (s, p, o)
+            );
+        }
+    }
+
+    #[test]
+    fn count_matching_snapshot_is_invalidated_by_mutation() {
+        let mut idx = TripleIndex::new();
+        idx.insert(t(1, 10, 100));
+        // Build the snapshot, then mutate, then count again.
+        assert_eq!(idx.count_matching(Some(TermId(1)), None, None), 1);
+        idx.insert(t(1, 10, 101));
+        assert_eq!(idx.count_matching(Some(TermId(1)), None, None), 2);
+        idx.remove(t(1, 10, 100));
+        assert_eq!(idx.count_matching(Some(TermId(1)), None, None), 1);
+        // Cloned indices rebuild their own snapshots.
+        let cloned = idx.clone();
+        assert_eq!(cloned.count_matching(None, None, Some(TermId(101))), 1);
+    }
+
+    #[test]
+    fn count_matching_three_way_post_filter_path() {
+        let mut idx = TripleIndex::new_three_way();
+        idx.insert(t(1, 10, 100));
+        idx.insert(t(1, 11, 100));
+        idx.insert(t(2, 10, 100));
+        // (s, ?, o) has no contiguous prefix in the SPO/POS/OPS layout, so
+        // the count must post-filter — and still be exact.
+        assert_eq!(
+            idx.count_matching(Some(TermId(1)), None, Some(TermId(100))),
+            2
+        );
     }
 
     #[test]

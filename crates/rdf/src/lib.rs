@@ -55,7 +55,7 @@ pub use dictionary::{Dictionary, TermId};
 pub use error::RdfError;
 pub use index::{IndexOrder, TripleIndex};
 pub use ntriples::{parse_ntriples, serialize_ntriples};
-pub use stats::GraphStats;
+pub use stats::{GraphStats, PlannerStats, PredicateCard};
 pub use store::{Store, TriplePattern};
 pub use term::{Literal, Term};
 pub use text::{TextIndex, TextMatch};

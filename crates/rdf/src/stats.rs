@@ -1,9 +1,12 @@
 //! Graph statistics: sizes used by Table 2 and by the endpoint's
-//! pre-processing accounting.
+//! pre-processing accounting, plus the per-predicate/class cardinality
+//! summaries the SPARQL query planner costs join orders with.
 
-use crate::hash::FxHashSet;
+use crate::dictionary::TermId;
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::store::Store;
 use crate::term::Term;
+use crate::triple::EncodedTriplePattern;
 use crate::vocab;
 
 /// Summary statistics of a knowledge graph.
@@ -28,23 +31,31 @@ pub struct GraphStats {
 }
 
 impl GraphStats {
-    /// Compute statistics by scanning the store once.
+    /// Compute statistics by scanning the store once — entirely in id space.
+    ///
+    /// Every set probed per triple holds fixed-width [`TermId`]s instead of
+    /// cloned [`Term`]s, and the string-literal test is an id lookup in the
+    /// store's text index (which indexes exactly the string-literal
+    /// objects), so the pass allocates nothing per triple.  That makes stats
+    /// cheap enough to refresh whenever the query planner wants a current
+    /// summary.
     pub fn compute(store: &Store) -> GraphStats {
-        let mut subjects = FxHashSet::default();
-        let mut predicates = FxHashSet::default();
-        let mut objects = FxHashSet::default();
-        let mut classes = FxHashSet::default();
+        let mut subjects: FxHashSet<TermId> = FxHashSet::default();
+        let mut predicates: FxHashSet<TermId> = FxHashSet::default();
+        let mut objects: FxHashSet<TermId> = FxHashSet::default();
+        let mut classes: FxHashSet<TermId> = FxHashSet::default();
         let mut string_literals = 0usize;
         let mut type_triples = 0usize;
-        let rdf_type = Term::iri(vocab::RDF_TYPE);
+        let rdf_type = store.id_of(&Term::iri(vocab::RDF_TYPE));
+        let text = store.text_index();
 
-        for triple in store.iter() {
-            if triple.object.is_string_literal() {
+        for triple in store.scan(EncodedTriplePattern::any()) {
+            if text.contains_literal(triple.object) {
                 string_literals += 1;
             }
-            if triple.predicate == rdf_type {
+            if rdf_type == Some(triple.predicate) {
                 type_triples += 1;
-                classes.insert(triple.object.clone());
+                classes.insert(triple.object);
             }
             subjects.insert(triple.subject);
             predicates.insert(triple.predicate);
@@ -70,6 +81,111 @@ impl GraphStats {
             return 0.0;
         }
         self.triples as f64 / self.distinct_subjects as f64
+    }
+}
+
+/// Cardinality summary of one predicate, used by the query planner to turn
+/// "this position is a join variable bound by an earlier step" into a
+/// selectivity estimate: a pattern `⟨?s p ?o⟩` whose subject is already
+/// bound is expected to yield `triples / distinct_subjects` rows per input
+/// row (the predicate's average out-degree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredicateCard {
+    /// Triples carrying this predicate.
+    pub triples: usize,
+    /// Distinct subjects among those triples.
+    pub distinct_subjects: usize,
+    /// Distinct objects among those triples.
+    pub distinct_objects: usize,
+}
+
+impl PredicateCard {
+    /// Expected matches per already-bound subject (average out-degree).
+    pub fn per_subject(&self) -> f64 {
+        self.triples as f64 / self.distinct_subjects.max(1) as f64
+    }
+
+    /// Expected matches per already-bound object (average in-degree).
+    pub fn per_object(&self) -> f64 {
+        self.triples as f64 / self.distinct_objects.max(1) as f64
+    }
+}
+
+/// Per-predicate and per-class cardinality summaries over one store,
+/// id-keyed so the planner never decodes a term while costing a join order.
+///
+/// Computed in a single id-space pass and cached on the [`Store`]
+/// (see [`Store::planner_stats`]); mutations invalidate the cache.
+#[derive(Debug, Clone, Default)]
+pub struct PlannerStats {
+    /// Total number of triples.
+    pub triples: usize,
+    /// Number of distinct subjects across the whole graph.
+    pub distinct_subjects: usize,
+    /// Number of distinct predicates across the whole graph.
+    pub distinct_predicates: usize,
+    /// Number of distinct objects across the whole graph.
+    pub distinct_objects: usize,
+    per_predicate: FxHashMap<TermId, PredicateCard>,
+    class_instances: FxHashMap<TermId, usize>,
+}
+
+impl PlannerStats {
+    /// Compute the summaries by scanning the store once, in id space.
+    pub fn compute(store: &Store) -> PlannerStats {
+        let mut subjects: FxHashSet<TermId> = FxHashSet::default();
+        let mut objects: FxHashSet<TermId> = FxHashSet::default();
+        let mut per_predicate: FxHashMap<TermId, PredicateCard> = FxHashMap::default();
+        // Transient per-predicate distinct sets; collapsed to counts below.
+        let mut pred_subjects: FxHashMap<TermId, FxHashSet<TermId>> = FxHashMap::default();
+        let mut pred_objects: FxHashMap<TermId, FxHashSet<TermId>> = FxHashMap::default();
+        let mut class_instances: FxHashMap<TermId, usize> = FxHashMap::default();
+        let rdf_type = store.id_of(&Term::iri(vocab::RDF_TYPE));
+
+        for triple in store.scan(EncodedTriplePattern::any()) {
+            subjects.insert(triple.subject);
+            objects.insert(triple.object);
+            per_predicate.entry(triple.predicate).or_default().triples += 1;
+            pred_subjects
+                .entry(triple.predicate)
+                .or_default()
+                .insert(triple.subject);
+            pred_objects
+                .entry(triple.predicate)
+                .or_default()
+                .insert(triple.object);
+            if rdf_type == Some(triple.predicate) {
+                *class_instances.entry(triple.object).or_insert(0) += 1;
+            }
+        }
+        for (predicate, card) in &mut per_predicate {
+            card.distinct_subjects = pred_subjects.get(predicate).map_or(0, FxHashSet::len);
+            card.distinct_objects = pred_objects.get(predicate).map_or(0, FxHashSet::len);
+        }
+
+        PlannerStats {
+            triples: store.len(),
+            distinct_subjects: subjects.len(),
+            distinct_predicates: per_predicate.len(),
+            distinct_objects: objects.len(),
+            per_predicate,
+            class_instances,
+        }
+    }
+
+    /// The cardinality summary of one predicate, if it occurs in the graph.
+    pub fn predicate(&self, predicate: TermId) -> Option<&PredicateCard> {
+        self.per_predicate.get(&predicate)
+    }
+
+    /// Number of `rdf:type` instances of one class (zero for unknown ids).
+    pub fn class_instances(&self, class: TermId) -> usize {
+        self.class_instances.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct classes (objects of `rdf:type`).
+    pub fn num_classes(&self) -> usize {
+        self.class_instances.len()
     }
 }
 
@@ -135,5 +251,60 @@ mod tests {
         assert_eq!(stats.triples, 0);
         assert_eq!(stats.distinct_subjects, 0);
         assert_eq!(stats.distinct_classes, 0);
+    }
+
+    #[test]
+    fn planner_stats_summarise_predicates_and_classes() {
+        let store = small_graph();
+        let stats = PlannerStats::compute(&store);
+        assert_eq!(stats.triples, 30);
+        assert_eq!(stats.distinct_subjects, 10);
+        assert_eq!(stats.distinct_predicates, 3);
+        assert_eq!(stats.num_classes(), 2);
+
+        let p1 = store.id_of(&Term::iri("http://e/p1")).unwrap();
+        let card = stats.predicate(p1).unwrap();
+        assert_eq!(card.triples, 10);
+        assert_eq!(card.distinct_subjects, 10);
+        assert_eq!(card.distinct_objects, 3);
+        // Out-degree 1 (each subject has one p1 edge); in-degree 10/3.
+        assert!((card.per_subject() - 1.0).abs() < 1e-9);
+        assert!((card.per_object() - 10.0 / 3.0).abs() < 1e-9);
+
+        let class_a = store.id_of(&Term::iri("http://e/ClassA")).unwrap();
+        let class_b = store.id_of(&Term::iri("http://e/ClassB")).unwrap();
+        assert_eq!(stats.class_instances(class_a), 5);
+        assert_eq!(stats.class_instances(class_b), 5);
+        assert_eq!(stats.class_instances(p1), 0);
+        assert!(stats.predicate(class_a).is_none());
+    }
+
+    #[test]
+    fn store_caches_planner_stats_until_mutation() {
+        let mut store = small_graph();
+        let before = store.planner_stats();
+        let again = store.planner_stats();
+        // Same epoch: the cached Arc is reused, not recomputed.
+        assert!(std::sync::Arc::ptr_eq(&before, &again));
+        assert_eq!(before.triples, 30);
+
+        store.insert(Triple::new(
+            Term::iri("http://e/s0"),
+            Term::iri("http://e/p2"),
+            Term::iri("http://e/o99"),
+        ));
+        let after = store.planner_stats();
+        assert!(!std::sync::Arc::ptr_eq(&before, &after));
+        assert_eq!(after.triples, 31);
+        assert_eq!(after.distinct_predicates, 4);
+
+        // Re-inserting an existing triple keeps the cache.
+        let unchanged = store.planner_stats();
+        store.insert(Triple::new(
+            Term::iri("http://e/s0"),
+            Term::iri("http://e/p2"),
+            Term::iri("http://e/o99"),
+        ));
+        assert!(std::sync::Arc::ptr_eq(&unchanged, &store.planner_stats()));
     }
 }

@@ -1,9 +1,11 @@
 //! The in-memory triple store: dictionary + sextuple indices + text index.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::dictionary::{Dictionary, TermId};
 use crate::error::RdfError;
 use crate::index::TripleIndex;
-use crate::stats::GraphStats;
+use crate::stats::{GraphStats, PlannerStats};
 use crate::term::Term;
 use crate::text::TextIndex;
 use crate::triple::{EncodedTriple, EncodedTriplePattern, Triple};
@@ -55,6 +57,9 @@ pub struct Store {
     dictionary: Dictionary,
     index: TripleIndex,
     text: TextIndex,
+    /// Lazily computed planner summaries ([`Store::planner_stats`]);
+    /// invalidated whenever a triple is actually added.
+    planner_stats: OnceLock<Arc<PlannerStats>>,
 }
 
 impl Store {
@@ -70,6 +75,7 @@ impl Store {
             dictionary: Dictionary::new(),
             index: TripleIndex::new_three_way(),
             text: TextIndex::new(),
+            planner_stats: OnceLock::new(),
         }
     }
 
@@ -112,7 +118,11 @@ impl Store {
         if let Some(text) = literal_text {
             self.text.index_literal(o, &text);
         }
-        Ok(self.index.insert(EncodedTriple::new(s, p, o)))
+        let added = self.index.insert(EncodedTriple::new(s, p, o));
+        if added {
+            self.planner_stats = OnceLock::new();
+        }
+        Ok(added)
     }
 
     /// Insert a term-level triple, panicking on structurally invalid input.
@@ -279,6 +289,19 @@ impl Store {
     /// Compute summary statistics over the graph.
     pub fn stats(&self) -> GraphStats {
         GraphStats::compute(self)
+    }
+
+    /// Per-predicate/class cardinality summaries for the query planner.
+    ///
+    /// Computed lazily in one id-space pass and cached behind an `Arc`, so
+    /// every candidate query planned against an unchanged store shares the
+    /// same snapshot for free; inserting a new triple invalidates the cache
+    /// and the next call recomputes.
+    pub fn planner_stats(&self) -> Arc<PlannerStats> {
+        Arc::clone(
+            self.planner_stats
+                .get_or_init(|| Arc::new(PlannerStats::compute(self))),
+        )
     }
 
     /// Approximate total heap footprint of the store (dictionary + indices +

@@ -78,6 +78,33 @@ impl TextIndex {
         self.literal_tokens.len()
     }
 
+    /// True if the given dictionary id is an indexed string literal.
+    ///
+    /// Because the store text-indexes *every* string-literal object (and
+    /// nothing else), this doubles as an id-level "is this term a string
+    /// literal?" test — which is what lets graph statistics run entirely in
+    /// id space without decoding a single term.
+    pub fn contains_literal(&self, literal: TermId) -> bool {
+        self.literal_tokens.contains_key(&literal)
+    }
+
+    /// An upper bound on how many literals [`TextIndex::search_any`] can
+    /// return for these words, in `O(words)`: the sum of the posting-list
+    /// lengths, clamped to the number of indexed literals.
+    ///
+    /// The query planner uses this to cost a `bif:contains` step without
+    /// running the search.
+    pub fn estimate_any(&self, words: &[&str]) -> usize {
+        let mut total = 0usize;
+        for word in words {
+            let token = word.to_lowercase();
+            if let Some(literals) = self.postings.get(&token) {
+                total = total.saturating_add(literals.len());
+            }
+        }
+        total.min(self.num_literals())
+    }
+
     /// Number of distinct tokens in the index.
     pub fn num_tokens(&self) -> usize {
         self.postings.len()
@@ -238,5 +265,35 @@ mod tests {
     fn unknown_words_match_nothing() {
         let idx = build_index(&[(1, "Baltic Sea")]);
         assert!(idx.search_any(&["zanzibar"], 10).is_empty());
+    }
+
+    #[test]
+    fn contains_literal_tracks_indexed_ids() {
+        let idx = build_index(&[(1, "Baltic Sea"), (7, "Danish Straits")]);
+        assert!(idx.contains_literal(TermId(1)));
+        assert!(idx.contains_literal(TermId(7)));
+        assert!(!idx.contains_literal(TermId(2)));
+    }
+
+    #[test]
+    fn estimate_any_bounds_the_real_match_count() {
+        let idx = build_index(&[
+            (1, "Baltic Sea"),
+            (2, "North Sea"),
+            (3, "sea shore sea"),
+            (4, "Danish Straits"),
+        ]);
+        for words in [
+            vec!["sea"],
+            vec!["sea", "shore"],
+            vec!["danish", "straits"],
+            vec!["zanzibar"],
+            vec![],
+        ] {
+            let est = idx.estimate_any(&words);
+            let real = idx.search_any(&words, usize::MAX).len();
+            assert!(est >= real, "estimate {est} < real {real} for {words:?}");
+            assert!(est <= idx.num_literals());
+        }
     }
 }

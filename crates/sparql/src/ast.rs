@@ -141,6 +141,45 @@ pub enum Expression {
     Bound(String),
 }
 
+impl Expression {
+    /// All variable names referenced anywhere in the expression (including
+    /// inside `BOUND`), in first-seen order with duplicates removed.  The
+    /// query planner uses this to decide how early a `FILTER` can run.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables<'a>(&'a self, out: &mut Vec<&'a str>) {
+        let mut push = |v: &'a str| {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        };
+        match self {
+            Expression::Var(v) | Expression::Bound(v) => push(v),
+            Expression::Constant(_) => {}
+            Expression::Eq(a, b)
+            | Expression::Neq(a, b)
+            | Expression::Lt(a, b)
+            | Expression::Gt(a, b)
+            | Expression::Le(a, b)
+            | Expression::Ge(a, b)
+            | Expression::And(a, b)
+            | Expression::Or(a, b)
+            | Expression::Contains(a, b)
+            | Expression::Regex(a, b) => {
+                a.collect_variables(out);
+                b.collect_variables(out);
+            }
+            Expression::Not(inner) | Expression::Lang(inner) | Expression::Str(inner) => {
+                inner.collect_variables(out)
+            }
+        }
+    }
+}
+
 impl std::fmt::Display for Expression {
     /// Renders the expression in re-parseable SPARQL syntax.  Binary
     /// operators are always parenthesised so precedence survives the
@@ -425,6 +464,27 @@ mod tests {
                 .unwrap_or_else(|e| panic!("serialized query must re-parse: {e}\n{rendered}"));
             assert_eq!(parsed, reparsed, "round-trip changed the AST:\n{rendered}");
         }
+    }
+
+    #[test]
+    fn expression_variables_are_collected_once_each() {
+        let expr = Expression::And(
+            Box::new(Expression::Gt(
+                Box::new(Expression::Var("pop".into())),
+                Box::new(Expression::Constant(Term::integer(5))),
+            )),
+            Box::new(Expression::Or(
+                Box::new(Expression::Bound("t".into())),
+                Box::new(Expression::Contains(
+                    Box::new(Expression::Str(Box::new(Expression::Var("pop".into())))),
+                    Box::new(Expression::Var("name".into())),
+                )),
+            )),
+        );
+        assert_eq!(expr.variables(), vec!["pop", "t", "name"]);
+        assert!(Expression::Constant(Term::integer(1))
+            .variables()
+            .is_empty());
     }
 
     #[test]

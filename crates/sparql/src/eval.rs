@@ -6,27 +6,33 @@
 //! fixed-width [`TermId`] and the triple indices operate purely on ids.  The
 //! evaluator stays in id space end-to-end:
 //!
-//! 1. **Compile** — variables are numbered into a dense `VarRegistry`; each
-//!    triple pattern's constant terms are looked up in the dictionary once
-//!    (an absent constant proves the pattern matches nothing).
+//! 1. **Plan** — [`crate::plan::Planner`] numbers the variables into a dense
+//!    `VarRegistry`, resolves each triple pattern's constant terms in the
+//!    dictionary once (an absent constant proves the pattern matches
+//!    nothing), and chooses a cardinality-ordered join order with `FILTER`
+//!    pushdown from the store's statistics.
 //! 2. **Join** — a solution row is a `Vec<Option<TermId>>` indexed by
-//!    variable number.  Basic graph patterns are evaluated with a
-//!    selectivity-ordered nested-index-loop join (bound positions first,
-//!    text-search patterns always first) driving the store's iterator-based
+//!    variable number.  The planned operators stream rows through
+//!    nested-index-loop joins driving the store's iterator-based
 //!    [`Store::scan`]; join compatibility is a `u32` comparison, and
 //!    extending a row is a flat-vector copy.  `OPTIONAL` is a left outer
-//!    join, `UNION` a concatenation — both over id rows.
+//!    join, `UNION` a concatenation — both over id rows, both lazy, so
+//!    `LIMIT` stops the scans as soon as enough rows exist.
 //! 3. **Decode** — terms are materialised in exactly two places: `FILTER`
 //!    expressions, which need lexical values and decode the variables they
-//!    reference on demand, and final projection in [`Evaluator::run`], which
-//!    decodes only the rows that survive `DISTINCT`/`OFFSET`/`LIMIT` (all
-//!    applied while the rows are still ids) into term-level
-//!    [`Binding`]s for [`crate::results`].
+//!    reference on demand, and final projection, which decodes only the rows
+//!    that survive `DISTINCT`/`OFFSET`/`LIMIT` (all applied while the rows
+//!    are still ids) into term-level [`Binding`]s for [`crate::results`].
 //!
 //! The full-text predicates (`bif:contains`, Stardog `textMatch`, Jena
 //! `text:query`) bind their subject to the string literals matched by the
 //! store's built-in text index — which already yields `TermId`s, so the text
 //! path never decodes at all.
+//!
+//! This module keeps a second, deliberately simple evaluator:
+//! [`execute_naive`] materialises every intermediate row set and evaluates
+//! basic graph patterns in the exact order the AST lists them.  It is the
+//! reference implementation the planner is property-tested against.
 
 use kgqan_rdf::text::tokenize;
 use kgqan_rdf::{EncodedTriplePattern, Store, Term, TermId};
@@ -52,7 +58,8 @@ pub const TEXT_SEARCH_PREDICATES: &[&str] = &[
 /// query carries no LIMIT — a safety valve mirroring the engines' own caps.
 const DEFAULT_TEXT_SEARCH_CAP: usize = 10_000;
 
-/// Evaluate a parsed [`Query`] against a store.
+/// Evaluate a parsed [`Query`] against a store through the cost-based
+/// planner and streaming executor (see [`crate::plan`]).
 pub fn execute(store: &Store, query: &Query) -> Result<QueryResults, SparqlError> {
     Evaluator::new(store).run(query)
 }
@@ -63,52 +70,178 @@ pub fn execute_query(store: &Store, query: &str) -> Result<QueryResults, SparqlE
     execute(store, &parsed)
 }
 
+/// Evaluate a parsed [`Query`] with the naive reference evaluator: triple
+/// patterns are joined in the exact order the AST lists them, every
+/// intermediate row set is fully materialised, and `DISTINCT`/`OFFSET`/
+/// `LIMIT` truncate the final rows post-hoc.
+///
+/// This is **not** the production path — [`execute`] plans and streams — but
+/// the semantics oracle the planner is property-tested against, and the
+/// baseline the `sparql_planner` bench measures the planner's win over.
+/// The two paths return the same row multiset for every query; row *order*
+/// (and therefore which rows a bare `LIMIT`/`OFFSET` page selects) may
+/// differ, as SPARQL permits without `ORDER BY`.  The planned path may also
+/// skip evaluation errors the naive order would hit (and vice versa) when a
+/// reordered step proves the result empty before the erroring step runs.
+pub fn execute_naive(store: &Store, query: &Query) -> Result<QueryResults, SparqlError> {
+    let run = QueryRun::new(store, query);
+    let compiled = run.compile_pattern(&query.pattern);
+    let rows = run.eval_pattern(&compiled, vec![vec![None; run.vars.len()]])?;
+
+    match &query.form {
+        QueryForm::Ask => Ok(QueryResults::Boolean(!rows.is_empty())),
+        QueryForm::Select {
+            variables,
+            distinct,
+        } => {
+            let projected: Vec<String> = if variables.is_empty() {
+                query.pattern.variables()
+            } else {
+                variables.clone()
+            };
+            // Project, deduplicate and page while the rows are still
+            // ids; only the surviving rows are decoded to terms.
+            let slots: Vec<Option<usize>> = projected.iter().map(|v| run.vars.id_of(v)).collect();
+            let mut id_rows: Vec<IdRow> = rows
+                .into_iter()
+                .map(|row| slots.iter().map(|slot| slot.and_then(|i| row[i])).collect())
+                .collect();
+            if *distinct {
+                let mut seen = std::collections::HashSet::new();
+                id_rows.retain(|row| seen.insert(row.clone()));
+            }
+            if let Some(offset) = query.offset {
+                id_rows.drain(..offset.min(id_rows.len()));
+            }
+            if let Some(limit) = query.limit {
+                id_rows.truncate(limit);
+            }
+            let rows: Vec<Binding> = id_rows
+                .into_iter()
+                .map(|row| decode_row(run.store, &projected, &row))
+                .collect();
+            Ok(QueryResults::Solutions(ResultSet::new(projected, rows)))
+        }
+    }
+}
+
 /// A dense numbering of the variables of one query.
 ///
 /// Id-level solution rows are flat vectors indexed by variable number, so
 /// looking a variable up during a join is an array access instead of a
 /// string-keyed map probe.
 #[derive(Debug, Default, Clone)]
-struct VarRegistry {
+pub(crate) struct VarRegistry {
     names: Vec<String>,
 }
 
 impl VarRegistry {
     /// Number every variable appearing in the query's graph pattern, in
     /// first-seen order.
-    fn from_pattern(pattern: &GraphPattern) -> Self {
+    pub(crate) fn from_pattern(pattern: &GraphPattern) -> Self {
         VarRegistry {
             names: pattern.variables(),
         }
     }
 
-    fn id_of(&self, name: &str) -> Option<usize> {
+    pub(crate) fn id_of(&self, name: &str) -> Option<usize> {
         self.names.iter().position(|n| n == name)
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.names.len()
     }
 }
 
 /// An id-level solution row: one `Option<TermId>` slot per registered
 /// variable.  Cloning is a flat memcpy — the unit of work of the join loops.
-type IdRow = Vec<Option<TermId>>;
+pub(crate) type IdRow = Vec<Option<TermId>>;
 
 /// One position of a compiled triple pattern: a dictionary id for constant
 /// terms, a variable slot otherwise.
 #[derive(Debug, Clone, Copy)]
-enum Slot {
+pub(crate) enum Slot {
     Const(TermId),
     Var(usize),
 }
 
 /// A triple pattern with its constants resolved to dictionary ids.
 #[derive(Debug, Clone, Copy)]
-struct CompiledTriplePattern {
-    subject: Slot,
-    predicate: Slot,
-    object: Slot,
+pub(crate) struct CompiledTriplePattern {
+    pub(crate) subject: Slot,
+    pub(crate) predicate: Slot,
+    pub(crate) object: Slot,
+}
+
+/// Resolve the constants of a triple pattern against the store's dictionary
+/// under a variable numbering.  `None` means a constant is not interned, so
+/// the pattern can never match in this store.
+pub(crate) fn compile_triple_pattern(
+    store: &Store,
+    vars: &VarRegistry,
+    tp: &TriplePatternAst,
+) -> Option<CompiledTriplePattern> {
+    let slot = |vot: &VarOrTerm| -> Option<Slot> {
+        match vot {
+            VarOrTerm::Term(t) => store.id_of(t).map(Slot::Const),
+            VarOrTerm::Var(v) => Some(Slot::Var(
+                vars.id_of(v).expect("pattern variables are all registered"),
+            )),
+        }
+    };
+    Some(CompiledTriplePattern {
+        subject: slot(&tp.subject)?,
+        predicate: slot(&tp.predicate)?,
+        object: slot(&tp.object)?,
+    })
+}
+
+/// Decode a projected id row into a term-level [`Binding`] — the single
+/// point where query evaluation leaves id space.
+pub(crate) fn decode_row(store: &Store, variables: &[String], row: &IdRow) -> Binding {
+    let mut binding = Binding::new();
+    for (name, id) in variables.iter().zip(row) {
+        if let Some(id) = id {
+            if let Some(term) = store.term_of(*id) {
+                binding.set(name.clone(), term.clone());
+            }
+        }
+    }
+    binding
+}
+
+/// The text-search query words of a `?lit <bif:contains> …` pattern under a
+/// row: a constant literal object is used as-is, a variable object must be
+/// bound to a literal.
+pub(crate) fn text_query_words(
+    store: &Store,
+    vars: &VarRegistry,
+    tp: &TriplePatternAst,
+    row: &IdRow,
+) -> Result<Vec<String>, SparqlError> {
+    let query_text = match &tp.object {
+        VarOrTerm::Term(Term::Literal(lit)) => lit.lexical.clone(),
+        VarOrTerm::Var(v) => {
+            let bound = vars
+                .id_of(v)
+                .and_then(|slot| row[slot])
+                .and_then(|id| store.term_of(id));
+            match bound {
+                Some(Term::Literal(lit)) => lit.lexical.clone(),
+                _ => {
+                    return Err(SparqlError::Evaluation(
+                        "text-search pattern requires a literal query string".into(),
+                    ))
+                }
+            }
+        }
+        _ => {
+            return Err(SparqlError::Evaluation(
+                "text-search pattern requires a literal query string".into(),
+            ))
+        }
+    };
+    Ok(parse_text_query(&query_text))
 }
 
 /// One join step of a compiled basic graph pattern.
@@ -158,115 +291,61 @@ impl<'a> Evaluator<'a> {
         Evaluator { store }
     }
 
-    /// Run a query to completion.
+    /// Run a query to completion: compile it into a [`crate::plan::PhysicalPlan`]
+    /// (cardinality-ordered joins, filter pushdown, streaming operators with
+    /// `LIMIT` early termination) and execute it.
     pub fn run(&self, query: &Query) -> Result<QueryResults, SparqlError> {
-        // LIMIT + OFFSET caps text-search fan-out, mirroring the `LIMIT
-        // maxVR` clause of potentialRelevantVertices.  OFFSET must count too:
-        // `LIMIT 10 OFFSET 4` consumes 14 candidates before truncation, so
-        // capping at the bare LIMIT would starve the tail rows.  The default
-        // cap stays a ceiling either way.
-        let text_cap = match query.limit {
-            Some(limit) => limit
-                .saturating_add(query.offset.unwrap_or(0))
-                .min(DEFAULT_TEXT_SEARCH_CAP),
-            None => DEFAULT_TEXT_SEARCH_CAP,
-        };
-        let run = QueryRun {
-            store: self.store,
-            vars: VarRegistry::from_pattern(&query.pattern),
-            text_cap,
-        };
-        // Compile once — dictionary lookups and join ordering are paid here,
-        // not per row — then evaluate.
-        let compiled = run.compile_pattern(&query.pattern);
-        let rows = run.eval_pattern(&compiled, vec![vec![None; run.vars.len()]])?;
+        Ok(crate::plan::Planner::new(self.store)
+            .plan(query)
+            .execute()?
+            .results)
+    }
+}
 
-        match &query.form {
-            QueryForm::Ask => Ok(QueryResults::Boolean(!rows.is_empty())),
-            QueryForm::Select {
-                variables,
-                distinct,
-            } => {
-                let projected: Vec<String> = if variables.is_empty() {
-                    query.pattern.variables()
-                } else {
-                    variables.clone()
-                };
-                // Project, deduplicate and page while the rows are still
-                // ids; only the surviving rows are decoded to terms.
-                let slots: Vec<Option<usize>> =
-                    projected.iter().map(|v| run.vars.id_of(v)).collect();
-                let mut id_rows: Vec<IdRow> = rows
-                    .into_iter()
-                    .map(|row| slots.iter().map(|slot| slot.and_then(|i| row[i])).collect())
-                    .collect();
-                if *distinct {
-                    let mut seen = std::collections::HashSet::new();
-                    id_rows.retain(|row| seen.insert(row.clone()));
-                }
-                if let Some(offset) = query.offset {
-                    id_rows.drain(..offset.min(id_rows.len()));
-                }
-                if let Some(limit) = query.limit {
-                    id_rows.truncate(limit);
-                }
-                let rows: Vec<Binding> = id_rows
-                    .into_iter()
-                    .map(|row| run.decode_row(&projected, &row))
-                    .collect();
-                Ok(QueryResults::Solutions(ResultSet::new(projected, rows)))
-            }
+/// The text-search fan-out cap of one query: LIMIT + OFFSET, mirroring the
+/// `LIMIT maxVR` clause of `potentialRelevantVertices`.  OFFSET must count
+/// too: `LIMIT 10 OFFSET 4` consumes 14 candidates before truncation, so
+/// capping at the bare LIMIT would starve the tail rows.  The default cap
+/// stays a ceiling either way.
+pub(crate) fn effective_text_cap(query: &Query) -> usize {
+    match query.limit {
+        Some(limit) => limit
+            .saturating_add(query.offset.unwrap_or(0))
+            .min(DEFAULT_TEXT_SEARCH_CAP),
+        None => DEFAULT_TEXT_SEARCH_CAP,
+    }
+}
+
+impl<'a> QueryRun<'a> {
+    fn new(store: &'a Store, query: &Query) -> Self {
+        QueryRun {
+            store,
+            vars: VarRegistry::from_pattern(&query.pattern),
+            text_cap: effective_text_cap(query),
         }
     }
 }
 
 impl QueryRun<'_> {
-    /// Decode a projected id row into a term-level [`Binding`] — the single
-    /// point where query evaluation leaves id space.
-    fn decode_row(&self, variables: &[String], row: &IdRow) -> Binding {
-        let mut binding = Binding::new();
-        for (name, id) in variables.iter().zip(row) {
-            if let Some(id) = id {
-                if let Some(term) = self.store.term_of(*id) {
-                    binding.set(name.clone(), term.clone());
-                }
-            }
-        }
-        binding
-    }
-
-    /// Compile a graph pattern: join-order each BGP and resolve every
-    /// constant term to its dictionary id, exactly once per query run.
+    /// Compile a graph pattern for the naive evaluator: resolve every
+    /// constant term to its dictionary id, exactly once per query run,
+    /// keeping each BGP's triple patterns in AST order.
     fn compile_pattern<'q>(&self, pattern: &'q GraphPattern) -> CompiledPattern<'q> {
         match pattern {
-            GraphPattern::Bgp(tps) => {
-                // Join ordering: text-search patterns first (they are
-                // generative and highly selective), then by number of bound
-                // positions descending.
-                let mut ordered: Vec<&TriplePatternAst> = tps.iter().collect();
-                ordered.sort_by_key(|tp| {
-                    if is_text_search_pattern(tp) {
-                        0
-                    } else {
-                        3usize.saturating_sub(tp.bound_positions())
-                    }
-                });
-                CompiledPattern::Bgp(
-                    ordered
-                        .into_iter()
-                        .map(|tp| {
-                            if is_text_search_pattern(tp) {
-                                CompiledStep::TextSearch(tp)
-                            } else {
-                                match self.compile(tp) {
-                                    Some(compiled) => CompiledStep::Scan(compiled),
-                                    None => CompiledStep::NeverMatches,
-                                }
+            GraphPattern::Bgp(tps) => CompiledPattern::Bgp(
+                tps.iter()
+                    .map(|tp| {
+                        if is_text_search_pattern(tp) {
+                            CompiledStep::TextSearch(tp)
+                        } else {
+                            match compile_triple_pattern(self.store, &self.vars, tp) {
+                                Some(compiled) => CompiledStep::Scan(compiled),
+                                None => CompiledStep::NeverMatches,
                             }
-                        })
-                        .collect(),
-                )
-            }
+                        }
+                    })
+                    .collect(),
+            ),
             GraphPattern::Join(a, b) => CompiledPattern::Join(
                 Box::new(self.compile_pattern(a)),
                 Box::new(self.compile_pattern(b)),
@@ -319,8 +398,7 @@ impl QueryRun<'_> {
                 let rows = self.eval_pattern(inner, input)?;
                 let mut out = Vec::with_capacity(rows.len());
                 for row in rows {
-                    if self
-                        .eval_expression(expr, &row)?
+                    if eval_expression(self.store, &self.vars, expr, &row)?
                         .map(term_truthiness)
                         .unwrap_or(false)
                     {
@@ -364,27 +442,6 @@ impl QueryRun<'_> {
             }
         }
         Ok(current)
-    }
-
-    /// Resolve the constants of a triple pattern against the dictionary.
-    /// `None` means a constant is not interned, so the pattern can never
-    /// match in this store.
-    fn compile(&self, tp: &TriplePatternAst) -> Option<CompiledTriplePattern> {
-        let slot = |vot: &VarOrTerm| -> Option<Slot> {
-            match vot {
-                VarOrTerm::Term(t) => self.store.id_of(t).map(Slot::Const),
-                VarOrTerm::Var(v) => Some(Slot::Var(
-                    self.vars
-                        .id_of(v)
-                        .expect("pattern variables are all registered"),
-                )),
-            }
-        };
-        Some(CompiledTriplePattern {
-            subject: slot(&tp.subject)?,
-            predicate: slot(&tp.predicate)?,
-            object: slot(&tp.object)?,
-        })
     }
 
     /// Extend one id row with all matches of one compiled triple pattern —
@@ -438,30 +495,7 @@ impl QueryRun<'_> {
         row: &IdRow,
         out: &mut Vec<IdRow>,
     ) -> Result<(), SparqlError> {
-        let query_text = match &tp.object {
-            VarOrTerm::Term(Term::Literal(lit)) => lit.lexical.clone(),
-            VarOrTerm::Var(v) => {
-                let bound = self
-                    .vars
-                    .id_of(v)
-                    .and_then(|slot| row[slot])
-                    .and_then(|id| self.store.term_of(id));
-                match bound {
-                    Some(Term::Literal(lit)) => lit.lexical.clone(),
-                    _ => {
-                        return Err(SparqlError::Evaluation(
-                            "text-search pattern requires a literal query string".into(),
-                        ))
-                    }
-                }
-            }
-            _ => {
-                return Err(SparqlError::Evaluation(
-                    "text-search pattern requires a literal query string".into(),
-                ))
-            }
-        };
-        let words = parse_text_query(&query_text);
+        let words = text_query_words(self.store, &self.vars, tp, row)?;
         let word_refs: Vec<&str> = words.iter().map(String::as_str).collect();
         let matches = self
             .store
@@ -518,7 +552,7 @@ pub fn parse_text_query(text: &str) -> Vec<String> {
 }
 
 /// SPARQL effective boolean value of a term.
-fn term_truthiness(term: Term) -> bool {
+pub(crate) fn term_truthiness(term: Term) -> bool {
     match term {
         Term::Literal(lit) => {
             if lit.is_boolean() {
@@ -536,119 +570,118 @@ fn term_truthiness(term: Term) -> bool {
     }
 }
 
-impl QueryRun<'_> {
-    /// Evaluate a filter expression under an id row.  `Ok(None)` means the
-    /// expression is an error for this row (e.g. unbound variable), which
-    /// SPARQL treats as false at the FILTER level.
-    ///
-    /// This is one of the two decode points of the pipeline: variables the
-    /// expression references are resolved from `TermId` to [`Term`] on
-    /// demand, because filters compare lexical values.
-    fn eval_expression(&self, expr: &Expression, row: &IdRow) -> Result<Option<Term>, SparqlError> {
-        let boolean = |b: bool| Some(Term::boolean(b));
-        let var_term = |v: &str| -> Option<Term> {
-            self.vars
-                .id_of(v)
-                .and_then(|slot| row[slot])
-                .and_then(|id| self.store.term_of(id))
-                .cloned()
-        };
-        match expr {
-            Expression::Var(v) => Ok(var_term(v)),
-            Expression::Constant(t) => Ok(Some(t.clone())),
-            Expression::Bound(v) => Ok(boolean(
-                self.vars.id_of(v).is_some_and(|slot| row[slot].is_some()),
-            )),
-            Expression::Not(inner) => {
-                let value = self.eval_expression(inner, row)?;
-                Ok(boolean(!value.map(term_truthiness).unwrap_or(false)))
-            }
-            Expression::And(a, b) => {
-                let left = self
-                    .eval_expression(a, row)?
-                    .map(term_truthiness)
-                    .unwrap_or(false);
-                if !left {
-                    return Ok(boolean(false));
-                }
-                let right = self
-                    .eval_expression(b, row)?
-                    .map(term_truthiness)
-                    .unwrap_or(false);
-                Ok(boolean(right))
-            }
-            Expression::Or(a, b) => {
-                let left = self
-                    .eval_expression(a, row)?
-                    .map(term_truthiness)
-                    .unwrap_or(false);
-                if left {
-                    return Ok(boolean(true));
-                }
-                let right = self
-                    .eval_expression(b, row)?
-                    .map(term_truthiness)
-                    .unwrap_or(false);
-                Ok(boolean(right))
-            }
-            Expression::Eq(a, b) => self.compare(a, b, row, |o| o == std::cmp::Ordering::Equal),
-            Expression::Neq(a, b) => self.compare(a, b, row, |o| o != std::cmp::Ordering::Equal),
-            Expression::Lt(a, b) => self.compare(a, b, row, |o| o == std::cmp::Ordering::Less),
-            Expression::Gt(a, b) => self.compare(a, b, row, |o| o == std::cmp::Ordering::Greater),
-            Expression::Le(a, b) => self.compare(a, b, row, |o| o != std::cmp::Ordering::Greater),
-            Expression::Ge(a, b) => self.compare(a, b, row, |o| o != std::cmp::Ordering::Less),
-            Expression::Contains(a, b) => {
-                let (Some(ta), Some(tb)) =
-                    (self.eval_expression(a, row)?, self.eval_expression(b, row)?)
-                else {
-                    return Ok(None);
-                };
-                let hay = term_text(&ta).to_lowercase();
-                let needle = term_text(&tb).to_lowercase();
-                Ok(boolean(hay.contains(&needle)))
-            }
-            Expression::Regex(a, b) => {
-                let (Some(ta), Some(tb)) =
-                    (self.eval_expression(a, row)?, self.eval_expression(b, row)?)
-                else {
-                    return Ok(None);
-                };
-                let hay = term_text(&ta).to_lowercase();
-                let pattern = term_text(&tb).to_lowercase();
-                Ok(boolean(regex_lite(&hay, &pattern)))
-            }
-            Expression::Lang(inner) => {
-                let Some(t) = self.eval_expression(inner, row)? else {
-                    return Ok(None);
-                };
-                let lang = t
-                    .as_literal()
-                    .and_then(|l| l.language.clone())
-                    .unwrap_or_default();
-                Ok(Some(Term::literal_str(lang)))
-            }
-            Expression::Str(inner) => {
-                let Some(t) = self.eval_expression(inner, row)? else {
-                    return Ok(None);
-                };
-                Ok(Some(Term::literal_str(term_text(&t).to_string())))
-            }
-        }
-    }
-
-    fn compare(
-        &self,
-        a: &Expression,
-        b: &Expression,
-        row: &IdRow,
-        accept: impl Fn(std::cmp::Ordering) -> bool,
-    ) -> Result<Option<Term>, SparqlError> {
-        let (Some(ta), Some(tb)) = (self.eval_expression(a, row)?, self.eval_expression(b, row)?)
-        else {
+/// Evaluate a filter expression under an id row.  `Ok(None)` means the
+/// expression is an error for this row (e.g. unbound variable), which
+/// SPARQL treats as false at the FILTER level.
+///
+/// This is one of the two decode points of the pipeline: variables the
+/// expression references are resolved from `TermId` to [`Term`] on demand,
+/// because filters compare lexical values.  Shared by the naive evaluator
+/// and the planned executor's pushed-down filters.
+pub(crate) fn eval_expression(
+    store: &Store,
+    vars: &VarRegistry,
+    expr: &Expression,
+    row: &IdRow,
+) -> Result<Option<Term>, SparqlError> {
+    let boolean = |b: bool| Some(Term::boolean(b));
+    let var_term = |v: &str| -> Option<Term> {
+        vars.id_of(v)
+            .and_then(|slot| row[slot])
+            .and_then(|id| store.term_of(id))
+            .cloned()
+    };
+    let compare = |a: &Expression,
+                   b: &Expression,
+                   accept: &dyn Fn(std::cmp::Ordering) -> bool|
+     -> Result<Option<Term>, SparqlError> {
+        let (Some(ta), Some(tb)) = (
+            eval_expression(store, vars, a, row)?,
+            eval_expression(store, vars, b, row)?,
+        ) else {
             return Ok(None);
         };
         let ordering = term_compare(&ta, &tb);
         Ok(Some(Term::boolean(accept(ordering))))
+    };
+    match expr {
+        Expression::Var(v) => Ok(var_term(v)),
+        Expression::Constant(t) => Ok(Some(t.clone())),
+        Expression::Bound(v) => Ok(boolean(
+            vars.id_of(v).is_some_and(|slot| row[slot].is_some()),
+        )),
+        Expression::Not(inner) => {
+            let value = eval_expression(store, vars, inner, row)?;
+            Ok(boolean(!value.map(term_truthiness).unwrap_or(false)))
+        }
+        Expression::And(a, b) => {
+            let left = eval_expression(store, vars, a, row)?
+                .map(term_truthiness)
+                .unwrap_or(false);
+            if !left {
+                return Ok(boolean(false));
+            }
+            let right = eval_expression(store, vars, b, row)?
+                .map(term_truthiness)
+                .unwrap_or(false);
+            Ok(boolean(right))
+        }
+        Expression::Or(a, b) => {
+            let left = eval_expression(store, vars, a, row)?
+                .map(term_truthiness)
+                .unwrap_or(false);
+            if left {
+                return Ok(boolean(true));
+            }
+            let right = eval_expression(store, vars, b, row)?
+                .map(term_truthiness)
+                .unwrap_or(false);
+            Ok(boolean(right))
+        }
+        Expression::Eq(a, b) => compare(a, b, &|o| o == std::cmp::Ordering::Equal),
+        Expression::Neq(a, b) => compare(a, b, &|o| o != std::cmp::Ordering::Equal),
+        Expression::Lt(a, b) => compare(a, b, &|o| o == std::cmp::Ordering::Less),
+        Expression::Gt(a, b) => compare(a, b, &|o| o == std::cmp::Ordering::Greater),
+        Expression::Le(a, b) => compare(a, b, &|o| o != std::cmp::Ordering::Greater),
+        Expression::Ge(a, b) => compare(a, b, &|o| o != std::cmp::Ordering::Less),
+        Expression::Contains(a, b) => {
+            let (Some(ta), Some(tb)) = (
+                eval_expression(store, vars, a, row)?,
+                eval_expression(store, vars, b, row)?,
+            ) else {
+                return Ok(None);
+            };
+            let hay = term_text(&ta).to_lowercase();
+            let needle = term_text(&tb).to_lowercase();
+            Ok(boolean(hay.contains(&needle)))
+        }
+        Expression::Regex(a, b) => {
+            let (Some(ta), Some(tb)) = (
+                eval_expression(store, vars, a, row)?,
+                eval_expression(store, vars, b, row)?,
+            ) else {
+                return Ok(None);
+            };
+            let hay = term_text(&ta).to_lowercase();
+            let pattern = term_text(&tb).to_lowercase();
+            Ok(boolean(regex_lite(&hay, &pattern)))
+        }
+        Expression::Lang(inner) => {
+            let Some(t) = eval_expression(store, vars, inner, row)? else {
+                return Ok(None);
+            };
+            let lang = t
+                .as_literal()
+                .and_then(|l| l.language.clone())
+                .unwrap_or_default();
+            Ok(Some(Term::literal_str(lang)))
+        }
+        Expression::Str(inner) => {
+            let Some(t) = eval_expression(store, vars, inner, row)? else {
+                return Ok(None);
+            };
+            Ok(Some(Term::literal_str(term_text(&t).to_string())))
+        }
     }
 }
 
@@ -674,10 +707,17 @@ fn term_text(t: &Term) -> &str {
 
 /// A tiny regex evaluator supporting the anchors `^`/`$` and plain substring
 /// patterns — enough for the benchmark queries, without a regex dependency.
+///
+/// Only the **first** leading `^` and the **last** trailing `$` are anchors;
+/// any further `^`/`$` characters are part of the pattern text.  (The
+/// previous implementation used `trim_start_matches`/`trim_end_matches`,
+/// which strip *every* repeated anchor character, so `^^a` silently matched
+/// like `^a` instead of requiring a literal `^`.)
 fn regex_lite(text: &str, pattern: &str) -> bool {
     let starts = pattern.starts_with('^');
-    let ends = pattern.ends_with('$');
-    let core = pattern.trim_start_matches('^').trim_end_matches('$');
+    let core = if starts { &pattern[1..] } else { pattern };
+    let ends = core.ends_with('$');
+    let core = if ends { &core[..core.len() - 1] } else { core };
     match (starts, ends) {
         (true, true) => text == core,
         (true, false) => text.starts_with(core),
@@ -1047,6 +1087,92 @@ mod tests {
         );
         assert_eq!(parse_text_query("Jim AND Gray"), vec!["jim", "gray"]);
         assert_eq!(parse_text_query(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn regex_lite_treats_only_one_anchor_as_meta() {
+        // Single anchors behave as anchors.
+        assert!(regex_lite("baltic sea", "^baltic"));
+        assert!(regex_lite("baltic sea", "sea$"));
+        assert!(regex_lite("baltic", "^baltic$"));
+        assert!(!regex_lite("north baltic", "^baltic"));
+
+        // A doubled anchor is one anchor + one literal character.  The old
+        // trim_*_matches implementation stripped both, so `^^a` matched any
+        // string starting with "a".
+        assert!(!regex_lite("abc", "^^a"));
+        assert!(regex_lite("^abc", "^^a"));
+        assert!(!regex_lite("xa", "a$$"));
+        assert!(regex_lite("xa$", "a$$"));
+        assert!(regex_lite("a$", "^a$$"));
+        assert!(!regex_lite("a", "^a$$"));
+
+        // Interior anchors are plain characters.
+        assert!(regex_lite("a^b", "a^b"));
+        assert!(regex_lite("a$b", "a$b"));
+
+        // Degenerate patterns.
+        assert!(regex_lite("anything", "^"));
+        assert!(regex_lite("anything", "$"));
+        assert!(regex_lite("", "^$"));
+        assert!(!regex_lite("x", "^$"));
+    }
+
+    #[test]
+    fn regex_filter_with_doubled_anchor_matches_literal_caret() {
+        let mut store = Store::new();
+        store.insert(Triple::new(
+            Term::iri("http://e/a"),
+            Term::iri(vocab::RDFS_LABEL),
+            Term::literal_str("^marked"),
+        ));
+        store.insert(Triple::new(
+            Term::iri("http://e/b"),
+            Term::iri(vocab::RDFS_LABEL),
+            Term::literal_str("marked"),
+        ));
+        // `^^marked` = anchored literal "^marked": only http://e/a matches.
+        let results = execute_query(
+            &store,
+            r#"SELECT ?s WHERE { ?s <http://www.w3.org/2000/01/rdf-schema#label> ?l .
+                FILTER (REGEX(?l, "^^marked")) }"#,
+        )
+        .unwrap();
+        assert_eq!(results.rows().len(), 1);
+        assert_eq!(results.rows()[0].get("s"), Some(&Term::iri("http://e/a")));
+    }
+
+    #[test]
+    fn naive_evaluator_agrees_with_planned_execution() {
+        let store = running_example_store();
+        let queries = [
+            "SELECT ?sea ?type WHERE { ?sea <http://dbpedia.org/property/outflow> ?x . \
+             OPTIONAL { ?sea a ?type . } }",
+            "SELECT ?x WHERE { { ?x <http://dbpedia.org/property/outflow> ?y . } UNION \
+             { ?x <http://dbpedia.org/ontology/nearestCity> ?y . } }",
+            "SELECT DISTINCT ?p WHERE { ?s ?p ?o . }",
+            r#"SELECT DISTINCT ?v ?d WHERE { ?v ?p ?d . ?d <bif:contains> "'danish'" . }"#,
+            "SELECT ?city WHERE { ?city <http://dbpedia.org/ontology/populationTotal> ?pop . \
+             FILTER (?pop > 100000) }",
+            "ASK { <http://dbpedia.org/resource/Baltic_Sea> a <http://dbpedia.org/ontology/Sea> }",
+        ];
+        for q in queries {
+            let parsed = parse_query(q).unwrap();
+            let planned = execute(&store, &parsed).unwrap();
+            let naive = execute_naive(&store, &parsed).unwrap();
+            match (planned, naive) {
+                (QueryResults::Boolean(a), QueryResults::Boolean(b)) => assert_eq!(a, b, "{q}"),
+                (QueryResults::Solutions(a), QueryResults::Solutions(b)) => {
+                    let mut a: Vec<_> = a.rows().to_vec();
+                    let mut b: Vec<_> = b.rows().to_vec();
+                    let key = |r: &Binding| format!("{r:?}");
+                    a.sort_by_key(key);
+                    b.sort_by_key(key);
+                    assert_eq!(a, b, "{q}");
+                }
+                _ => panic!("result kinds diverged for {q}"),
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! # kgqan-sparql
 //!
-//! A SPARQL subset — lexer, parser, algebra and executor — sufficient to run
-//! every query the KGQAn pipeline and its baselines issue against an RDF
-//! endpoint:
+//! A SPARQL subset — lexer, parser, algebra, cost-based planner
+//! ([`plan`]) and streaming executor — sufficient to run every query the
+//! KGQAn pipeline and its baselines issue against an RDF endpoint:
 //!
 //! * `SELECT [DISTINCT] ?v … | * WHERE { … } [LIMIT n] [OFFSET n]`
 //! * `ASK { … }`
@@ -45,10 +45,14 @@ pub mod error;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod results;
 
 pub use ast::{Expression, GraphPattern, Query, QueryForm, TriplePatternAst, VarOrTerm};
 pub use error::SparqlError;
-pub use eval::{execute, execute_query, Evaluator};
+pub use eval::{execute, execute_naive, execute_query, Evaluator};
 pub use parser::parse_query;
+pub use plan::{
+    explain, ExecMetrics, PhysicalPlan, PlanOp, PlanSummary, PlannedExecution, Planner,
+};
 pub use results::{Binding, QueryResults, ResultSet};

@@ -1,0 +1,1347 @@
+//! Cost-based query planning and streaming execution.
+//!
+//! This module is the *plan → execute* split of the engine.  [`Planner`]
+//! compiles a parsed [`Query`] into a [`PhysicalPlan`]:
+//!
+//! * each basic graph pattern's triple patterns are reordered into a
+//!   **greedy cardinality-ordered left-deep join**: at every step the
+//!   cheapest remaining pattern is chosen, where "cheap" is an exact
+//!   `O(log n)` range count over the constant positions
+//!   ([`Store::scan_count`]) divided by per-predicate distinct counts
+//!   ([`kgqan_rdf::PlannerStats`]) for positions held by already-joined
+//!   variables — patterns connected to the rows produced so far are
+//!   preferred so cartesian products only happen when the query forces them;
+//! * full-text (`bif:contains`) steps are costed from the text index's
+//!   posting lists: generative probes are scheduled like any other pattern,
+//!   but once their subject is bound by an earlier selective step they
+//!   degrade to per-row membership filters (estimate 1);
+//! * `FILTER` expressions are **pushed down** to the earliest join step at
+//!   which every variable they mention (and that the BGP binds at all) is
+//!   bound, so doomed rows die before fanning out;
+//! * `DISTINCT`, `OFFSET` and `LIMIT` are plan operators evaluated while
+//!   rows stream out of the join pipeline — a `LIMIT k` query stops pulling
+//!   (and therefore stops scanning) the moment the page is full, instead of
+//!   materialising every match and truncating.
+//!
+//! Execution ([`PhysicalPlan::execute`]) is a lazy iterator pipeline over
+//! id-level rows; nothing upstream runs until the output operator pulls.
+//! Every executed plan reports [`ExecMetrics`] — most importantly
+//! `rows_scanned`, the number of index/text-index entries the joins
+//! touched — and every plan carries a human-readable [`PlanSummary`]
+//! (`EXPLAIN`), which the in-process endpoint surfaces per candidate query
+//! all the way up to `answer_traced`.
+//!
+//! ```
+//! use kgqan_rdf::{Store, Term, Triple};
+//! use kgqan_sparql::{parse_query, plan::Planner};
+//!
+//! let mut store = Store::new();
+//! store.insert(Triple::new(
+//!     Term::iri("http://e/Baltic_Sea"),
+//!     Term::iri("http://e/outflow"),
+//!     Term::iri("http://e/Danish_straits"),
+//! ));
+//! let query = parse_query(
+//!     "SELECT ?sea WHERE { ?sea <http://e/outflow> <http://e/Danish_straits> . }",
+//! )
+//! .unwrap();
+//!
+//! let plan = Planner::new(&store).plan(&query);
+//! println!("{}", plan.summary()); // EXPLAIN-style operator tree
+//! let run = plan.execute().unwrap();
+//! assert_eq!(run.results.rows().len(), 1);
+//! assert_eq!(run.metrics.rows_scanned, 1); // one index entry touched
+//! ```
+
+use std::cell::{Cell, OnceCell};
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use kgqan_rdf::{
+    EncodedTriple, EncodedTriplePattern, PlannerStats, Store, Term, TermId, TextMatch,
+};
+
+use crate::ast::{Expression, GraphPattern, Query, QueryForm, TriplePatternAst, VarOrTerm};
+use crate::error::SparqlError;
+use crate::eval::{
+    compile_triple_pattern, decode_row, effective_text_cap, eval_expression,
+    is_text_search_pattern, parse_text_query, term_truthiness, text_query_words,
+    CompiledTriplePattern, IdRow, Slot, VarRegistry,
+};
+use crate::results::{Binding, QueryResults, ResultSet};
+
+/// Execution counters of one planned query run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecMetrics {
+    /// Index entries and text-index matches the join pipeline touched.  This
+    /// is the engine's unit of work: a `LIMIT k` query over a large store
+    /// should keep it near `k / selectivity`, not near the store size.
+    pub rows_scanned: u64,
+    /// Rows in the final result (1/0 for ASK).
+    pub rows_emitted: u64,
+}
+
+/// One operator line of a rendered plan: its nesting depth, a label such as
+/// `scan ?sea <…outflow> ?x .`, and the planner's cardinality estimate for
+/// the step (absolute rows for the first step of a BGP, expected rows per
+/// input row afterwards).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanOp {
+    /// Nesting depth in the operator tree (0 = outermost).
+    pub depth: usize,
+    /// Human-readable operator description.
+    pub label: String,
+    /// The planner's cardinality estimate, where meaningful.
+    pub estimate: Option<f64>,
+}
+
+/// The `EXPLAIN`-able shape of a [`PhysicalPlan`]: a flattened pre-order
+/// walk of the operator tree.  Cheap to clone and carry in per-query
+/// statistics (`QueryStat` in the `kgqan` core crate).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlanSummary {
+    /// Operator lines in execution order (outer operators first).
+    pub ops: Vec<PlanOp>,
+}
+
+impl PlanSummary {
+    fn push(&mut self, depth: usize, label: impl Into<String>, estimate: Option<f64>) {
+        self.ops.push(PlanOp {
+            depth,
+            label: label.into(),
+            estimate,
+        });
+    }
+
+    /// The labels of the join steps (scan / text / never-matches lines), in
+    /// the order the executor runs them — handy for asserting a join order.
+    pub fn step_labels(&self) -> Vec<&str> {
+        self.ops
+            .iter()
+            .filter(|op| {
+                op.label.starts_with("scan ")
+                    || op.label.starts_with("text ")
+                    || op.label.starts_with("never-matches ")
+            })
+            .map(|op| op.label.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for PlanSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for op in &self.ops {
+            for _ in 0..op.depth {
+                f.write_str("  ")?;
+            }
+            f.write_str(&op.label)?;
+            if let Some(est) = op.estimate {
+                write!(f, "  (est {est:.1})")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// What one join step does.
+#[derive(Debug, Clone)]
+enum StepKind {
+    /// An index scan of an id-compiled pattern.
+    Scan(CompiledTriplePattern),
+    /// A full-text probe (generative when its subject is unbound, a
+    /// membership filter once it is bound).
+    TextSearch {
+        /// Index into the run's text-match cache.  The cache lives on the
+        /// *execution*, not on a pipeline closure, so a constant-string
+        /// search runs once per run even when OPTIONAL/UNION re-build the
+        /// step's pipeline once per input row.
+        cache_slot: usize,
+        /// The search words when the query string is a constant literal —
+        /// row-independent, so the match set is cacheable.  `None` when the
+        /// string comes from a variable binding (resolved per row).
+        constant_words: Option<Vec<String>>,
+    },
+    /// A constant term of the pattern is absent from the dictionary, so the
+    /// pattern provably matches nothing in this store.
+    NeverMatches,
+}
+
+/// One planned join step of a basic graph pattern: the operation, the AST
+/// pattern it came from (for text resolution and labels), the planner's
+/// estimate, and the filters pushed down to run right after it.
+#[derive(Debug, Clone)]
+struct PlanStep {
+    kind: StepKind,
+    ast: TriplePatternAst,
+    estimate: f64,
+    filters: Vec<Expression>,
+}
+
+/// A planned operator tree over id rows.
+#[derive(Debug, Clone)]
+enum PlanNode {
+    /// A join-ordered basic graph pattern.  `pre_filters` are pushed-down
+    /// filters none of whose variables are bound by this BGP's own steps
+    /// (they only see input bindings, so they run before any fan-out).
+    Bgp {
+        pre_filters: Vec<Expression>,
+        steps: Vec<PlanStep>,
+    },
+    Join(Box<PlanNode>, Box<PlanNode>),
+    LeftJoin(Box<PlanNode>, Box<PlanNode>),
+    Union(Box<PlanNode>, Box<PlanNode>),
+    /// A residual filter that could not be pushed into a BGP.
+    Filter(Box<PlanNode>, Expression),
+}
+
+/// A query compiled against one store: variables numbered, constants
+/// resolved to dictionary ids, joins cost-ordered, filters pushed down, and
+/// the result operators (`DISTINCT`/`OFFSET`/`LIMIT`) made explicit.
+#[derive(Debug)]
+pub struct PhysicalPlan<'s> {
+    store: &'s Store,
+    vars: VarRegistry,
+    root: PlanNode,
+    projection: Vec<String>,
+    is_ask: bool,
+    distinct: bool,
+    limit: Option<usize>,
+    offset: usize,
+    text_cap: usize,
+    /// Number of text-search steps in the plan (sizes the per-run cache).
+    text_slots: usize,
+    /// Built lazily: the untraced execution paths never pay for rendering
+    /// operator labels.
+    summary: OnceLock<PlanSummary>,
+}
+
+/// The output of one planned run: the results plus the work counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedExecution {
+    /// The query results.
+    pub results: QueryResults,
+    /// How much work the streaming pipeline did.
+    pub metrics: ExecMetrics,
+}
+
+/// Compiles queries into [`PhysicalPlan`]s over one store, using the
+/// store's cached [`PlannerStats`] for cardinality estimation.
+pub struct Planner<'s> {
+    store: &'s Store,
+    stats: Arc<PlannerStats>,
+}
+
+/// Convenience: plan and render the `EXPLAIN` summary of a query in one
+/// call.
+pub fn explain(store: &Store, query: &Query) -> PlanSummary {
+    Planner::new(store).plan(query).summary().clone()
+}
+
+impl<'s> Planner<'s> {
+    /// Create a planner over `store`.
+    pub fn new(store: &'s Store) -> Self {
+        Planner {
+            stats: store.planner_stats(),
+            store,
+        }
+    }
+
+    /// Compile a query into a physical plan.
+    ///
+    /// Planning never fails: constants missing from the dictionary become
+    /// `never-matches` steps (scheduled first, so they empty the pipeline
+    /// immediately) instead of errors.
+    pub fn plan(&self, query: &Query) -> PhysicalPlan<'s> {
+        let vars = VarRegistry::from_pattern(&query.pattern);
+        let text_cap = effective_text_cap(query);
+        let mut bound: HashSet<usize> = HashSet::new();
+        let mut text_slots = 0usize;
+        let root = self.compile(&query.pattern, &vars, &mut bound, text_cap, &mut text_slots);
+
+        let (projection, is_ask, distinct) = match &query.form {
+            QueryForm::Ask => (Vec::new(), true, false),
+            QueryForm::Select {
+                variables,
+                distinct,
+            } => {
+                let projected = if variables.is_empty() {
+                    query.pattern.variables()
+                } else {
+                    variables.clone()
+                };
+                (projected, false, *distinct)
+            }
+        };
+
+        PhysicalPlan {
+            store: self.store,
+            vars,
+            root,
+            projection,
+            is_ask,
+            distinct,
+            limit: query.limit,
+            offset: query.offset.unwrap_or(0),
+            text_cap,
+            text_slots,
+            summary: OnceLock::new(),
+        }
+    }
+
+    /// Recursively compile a graph pattern, threading the set of variable
+    /// slots that may already be bound by the time rows reach this node
+    /// (used for cardinality estimation and filter pushdown).
+    fn compile(
+        &self,
+        pattern: &GraphPattern,
+        vars: &VarRegistry,
+        bound: &mut HashSet<usize>,
+        text_cap: usize,
+        text_slots: &mut usize,
+    ) -> PlanNode {
+        match pattern {
+            GraphPattern::Bgp(tps) => self.plan_bgp(tps, vars, bound, text_cap, text_slots),
+            GraphPattern::Join(a, b) => {
+                let left = self.compile(a, vars, bound, text_cap, text_slots);
+                let right = self.compile(b, vars, bound, text_cap, text_slots);
+                PlanNode::Join(Box::new(left), Box::new(right))
+            }
+            GraphPattern::Optional(a, b) => {
+                let left = self.compile(a, vars, bound, text_cap, text_slots);
+                let right = self.compile(b, vars, bound, text_cap, text_slots);
+                PlanNode::LeftJoin(Box::new(left), Box::new(right))
+            }
+            GraphPattern::Union(a, b) => {
+                let mut bound_a = bound.clone();
+                let left = self.compile(a, vars, &mut bound_a, text_cap, text_slots);
+                let mut bound_b = bound.clone();
+                let right = self.compile(b, vars, &mut bound_b, text_cap, text_slots);
+                bound.extend(bound_a);
+                bound.extend(bound_b);
+                PlanNode::Union(Box::new(left), Box::new(right))
+            }
+            GraphPattern::Filter(inner, expr) => {
+                let mut node = self.compile(inner, vars, bound, text_cap, text_slots);
+                match push_filter(&mut node, expr, vars) {
+                    true => node,
+                    false => PlanNode::Filter(Box::new(node), expr.clone()),
+                }
+            }
+        }
+    }
+
+    /// Greedily join-order one basic graph pattern.
+    fn plan_bgp(
+        &self,
+        tps: &[TriplePatternAst],
+        vars: &VarRegistry,
+        bound: &mut HashSet<usize>,
+        text_cap: usize,
+        text_slots: &mut usize,
+    ) -> PlanNode {
+        struct Candidate {
+            kind: StepKind,
+            ast: TriplePatternAst,
+            /// Variable slots this pattern mentions.
+            var_slots: Vec<usize>,
+            /// Variable slots this pattern binds when it runs.
+            binds: Vec<usize>,
+        }
+
+        let mut remaining: Vec<Candidate> = tps
+            .iter()
+            .map(|tp| {
+                let var_slots: Vec<usize> = tp
+                    .variables()
+                    .iter()
+                    .filter_map(|v| vars.id_of(v))
+                    .collect();
+                if is_text_search_pattern(tp) {
+                    // A text probe binds its subject variable; the object is
+                    // the query string, the predicate the magic IRI.
+                    let binds = tp
+                        .subject
+                        .as_var()
+                        .and_then(|v| vars.id_of(v))
+                        .into_iter()
+                        .collect();
+                    let cache_slot = *text_slots;
+                    *text_slots += 1;
+                    Candidate {
+                        kind: StepKind::TextSearch {
+                            cache_slot,
+                            constant_words: constant_text_words(tp),
+                        },
+                        ast: tp.clone(),
+                        var_slots,
+                        binds,
+                    }
+                } else {
+                    match compile_triple_pattern(self.store, vars, tp) {
+                        Some(compiled) => Candidate {
+                            kind: StepKind::Scan(compiled),
+                            ast: tp.clone(),
+                            binds: var_slots.clone(),
+                            var_slots,
+                        },
+                        None => Candidate {
+                            kind: StepKind::NeverMatches,
+                            ast: tp.clone(),
+                            var_slots,
+                            binds: Vec::new(),
+                        },
+                    }
+                }
+            })
+            .collect();
+
+        let mut steps = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            // Prefer patterns connected to what is already joined (shared
+            // variable or no variables at all); fall back to every pattern
+            // when nothing connects — the cartesian product is then forced
+            // by the query, and we at least start from the cheapest side.
+            let connected = |c: &Candidate| {
+                c.var_slots.is_empty() || c.var_slots.iter().any(|v| bound.contains(v))
+            };
+            let any_connected = !steps.is_empty() && remaining.iter().any(connected);
+            let pick = remaining
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !any_connected || connected(c))
+                .map(|(i, c)| (i, self.estimate(&c.ast, &c.kind, bound, vars, text_cap)))
+                .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("remaining is non-empty");
+            let (index, estimate) = pick;
+            let candidate = remaining.swap_remove(index);
+            bound.extend(candidate.binds.iter().copied());
+            steps.push(PlanStep {
+                kind: candidate.kind,
+                ast: candidate.ast,
+                estimate,
+                filters: Vec::new(),
+            });
+        }
+        PlanNode::Bgp {
+            pre_filters: Vec::new(),
+            steps,
+        }
+    }
+
+    /// Estimate how many rows one step yields per input row, given which
+    /// variable slots are already bound.
+    fn estimate(
+        &self,
+        ast: &TriplePatternAst,
+        kind: &StepKind,
+        bound: &HashSet<usize>,
+        vars: &VarRegistry,
+        text_cap: usize,
+    ) -> f64 {
+        match kind {
+            StepKind::NeverMatches => 0.0,
+            StepKind::TextSearch { .. } => {
+                let subject_bound = match &ast.subject {
+                    VarOrTerm::Var(v) => vars.id_of(v).is_some_and(|slot| bound.contains(&slot)),
+                    VarOrTerm::Term(_) => true,
+                };
+                if subject_bound {
+                    // Membership test against the match set: ~1 row out per
+                    // row in.
+                    return 1.0;
+                }
+                match &ast.object {
+                    VarOrTerm::Term(Term::Literal(lit)) => {
+                        let words = crate::eval::parse_text_query(&lit.lexical);
+                        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+                        self.store.text_index().estimate_any(&refs).min(text_cap) as f64
+                    }
+                    // Query string only known at run time: assume the cap.
+                    _ => text_cap.min(self.store.text_index().num_literals()) as f64,
+                }
+            }
+            StepKind::Scan(tp) => {
+                let const_of = |slot: Slot| match slot {
+                    Slot::Const(id) => Some(id),
+                    Slot::Var(_) => None,
+                };
+                let base = self.store.scan_count(EncodedTriplePattern::new(
+                    const_of(tp.subject),
+                    const_of(tp.predicate),
+                    const_of(tp.object),
+                )) as f64;
+                if base == 0.0 {
+                    return 0.0;
+                }
+                // Positions held by an already-joined variable divide the
+                // constant-match count by the relevant distinct count: with
+                // a constant predicate that is the predicate's own distinct
+                // subject/object count (average out-/in-degree), otherwise
+                // the graph-wide distinct counts.
+                let pred_card = match tp.predicate {
+                    Slot::Const(p) => self.stats.predicate(p).copied(),
+                    Slot::Var(_) => None,
+                };
+                let mut est = base;
+                if let Slot::Var(v) = tp.subject {
+                    if bound.contains(&v) {
+                        let distinct = pred_card
+                            .map(|c| c.distinct_subjects)
+                            .unwrap_or(self.stats.distinct_subjects);
+                        est /= distinct.max(1) as f64;
+                    }
+                }
+                if let Slot::Var(v) = tp.predicate {
+                    if bound.contains(&v) {
+                        est /= self.stats.distinct_predicates.max(1) as f64;
+                    }
+                }
+                if let Slot::Var(v) = tp.object {
+                    if bound.contains(&v) {
+                        let distinct = pred_card
+                            .map(|c| c.distinct_objects)
+                            .unwrap_or(self.stats.distinct_objects);
+                        est /= distinct.max(1) as f64;
+                    }
+                }
+                est
+            }
+        }
+    }
+}
+
+/// Try to push a filter into a BGP node: attach it after the last step that
+/// binds any of the filter's variables, or to the pre-filter list when the
+/// BGP's steps bind none of them (the filter then only depends on input
+/// bindings, which no step can change).  Returns `false` if the node is not
+/// a BGP — the caller keeps the filter as a residual operator.
+fn push_filter(node: &mut PlanNode, expr: &Expression, vars: &VarRegistry) -> bool {
+    let PlanNode::Bgp {
+        pre_filters, steps, ..
+    } = node
+    else {
+        return false;
+    };
+    let filter_slots: Vec<usize> = expr
+        .variables()
+        .iter()
+        .filter_map(|v| vars.id_of(v))
+        .collect();
+    let step_binds = |step: &PlanStep| -> Vec<usize> {
+        match &step.kind {
+            StepKind::Scan(_) => step
+                .ast
+                .variables()
+                .iter()
+                .filter_map(|v| vars.id_of(v))
+                .collect(),
+            StepKind::TextSearch { .. } => step
+                .ast
+                .subject
+                .as_var()
+                .and_then(|v| vars.id_of(v))
+                .into_iter()
+                .collect(),
+            StepKind::NeverMatches => Vec::new(),
+        }
+    };
+    let position = steps
+        .iter()
+        .enumerate()
+        .filter(|(_, step)| step_binds(step).iter().any(|v| filter_slots.contains(v)))
+        .map(|(i, _)| i)
+        .next_back();
+    match position {
+        Some(i) => steps[i].filters.push(expr.clone()),
+        None => pre_filters.push(expr.clone()),
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Execution: a lazy iterator pipeline over id rows.
+// ---------------------------------------------------------------------------
+
+/// The item flowing through the pipeline: a row, or an evaluation error to
+/// propagate to the caller.
+type RowResult = Result<IdRow, SparqlError>;
+
+/// A boxed lazy row stream.
+type RowIter<'a> = Box<dyn Iterator<Item = RowResult> + 'a>;
+
+/// Shared per-run context, `Copy` so the iterator closures can capture it by
+/// value.
+#[derive(Clone, Copy)]
+struct ExecCtx<'a> {
+    store: &'a Store,
+    vars: &'a VarRegistry,
+    text_cap: usize,
+    scanned: &'a Cell<u64>,
+    /// One lazily-filled match-set slot per constant-string text step of
+    /// the plan, shared across the whole run.
+    text_cache: &'a [OnceCell<TextMatches>],
+}
+
+impl<'a> ExecCtx<'a> {
+    fn eval_node(self, node: &'a PlanNode, input: RowIter<'a>) -> RowIter<'a> {
+        match node {
+            PlanNode::Bgp {
+                pre_filters, steps, ..
+            } => {
+                let mut current = input;
+                if !pre_filters.is_empty() {
+                    current = self.filter_rows(current, pre_filters);
+                }
+                for step in steps {
+                    current = self.eval_step(step, current);
+                }
+                current
+            }
+            PlanNode::Join(a, b) => {
+                let left = self.eval_node(a, input);
+                self.eval_node(b, left)
+            }
+            // The right side runs once per left row, so constructing a fresh
+            // boxed iterator chain each time would dominate; a BGP right
+            // side (every KGQAn candidate's OPTIONAL rdf:type clause) is
+            // evaluated with direct loops instead.
+            PlanNode::LeftJoin(a, b) => {
+                let left = self.eval_node(a, input);
+                Box::new(left.flat_map(move |res| -> RowIter<'a> {
+                    let row = match res {
+                        Ok(row) => row,
+                        Err(e) => return Box::new(std::iter::once(Err(e))),
+                    };
+                    if let PlanNode::Bgp { pre_filters, steps } = &**b {
+                        return match self.eval_bgp_rows(pre_filters, steps, &row) {
+                            Err(e) => Box::new(std::iter::once(Err(e))),
+                            Ok(extended) if extended.is_empty() => {
+                                Box::new(std::iter::once(Ok(row)))
+                            }
+                            Ok(extended) => Box::new(extended.into_iter().map(Ok)),
+                        };
+                    }
+                    let extended = self.eval_node(b, Box::new(std::iter::once(Ok(row.clone()))));
+                    let mut peeked = extended.peekable();
+                    if peeked.peek().is_none() {
+                        Box::new(std::iter::once(Ok(row)))
+                    } else {
+                        Box::new(peeked)
+                    }
+                }))
+            }
+            PlanNode::Union(a, b) => Box::new(input.flat_map(move |res| -> RowIter<'a> {
+                let row = match res {
+                    Ok(row) => row,
+                    Err(e) => return Box::new(std::iter::once(Err(e))),
+                };
+                let left = self.eval_node(a, Box::new(std::iter::once(Ok(row.clone()))));
+                let right = self.eval_node(b, Box::new(std::iter::once(Ok(row))));
+                Box::new(left.chain(right))
+            })),
+            PlanNode::Filter(inner, expr) => {
+                let rows = self.eval_node(inner, input);
+                self.filter_rows(rows, std::slice::from_ref(expr))
+            }
+        }
+    }
+
+    fn eval_step(self, step: &'a PlanStep, input: RowIter<'a>) -> RowIter<'a> {
+        let extended: RowIter<'a> = match &step.kind {
+            // A constant absent from the dictionary matches nothing,
+            // whatever the input.
+            StepKind::NeverMatches => Box::new(std::iter::empty()),
+            StepKind::Scan(tp) => {
+                let tp = *tp;
+                Box::new(input.flat_map(move |res| -> RowIter<'a> {
+                    match res {
+                        Err(e) => Box::new(std::iter::once(Err(e))),
+                        Ok(row) => Box::new(self.scan_extensions(tp, row).map(Ok)),
+                    }
+                }))
+            }
+            StepKind::TextSearch {
+                cache_slot,
+                constant_words,
+            } => {
+                let ast = &step.ast;
+                let cache_slot = *cache_slot;
+                // A constant query string is row-independent: run the search
+                // once per *run* and reuse the match set — the cache lives
+                // on the execution, so OPTIONAL/UNION re-building this
+                // pipeline per input row still share it.  (The planner costs
+                // a bound-subject text step at ~1 row on this assumption.)
+                Box::new(input.flat_map(move |res| -> RowIter<'a> {
+                    let row = match res {
+                        Ok(row) => row,
+                        Err(e) => return Box::new(std::iter::once(Err(e))),
+                    };
+                    if let Some(words) = constant_words {
+                        let matches =
+                            self.text_cache[cache_slot].get_or_init(|| self.search_text(words));
+                        return Box::new(
+                            self.text_row_extensions(ast, row, matches)
+                                .into_iter()
+                                .map(Ok),
+                        );
+                    }
+                    match text_query_words(self.store, self.vars, ast, &row) {
+                        Err(e) => Box::new(std::iter::once(Err(e))),
+                        Ok(words) => {
+                            let matches = self.search_text(&words);
+                            Box::new(
+                                self.text_row_extensions(ast, row, &matches)
+                                    .into_iter()
+                                    .map(Ok),
+                            )
+                        }
+                    }
+                }))
+            }
+        };
+        if step.filters.is_empty() {
+            extended
+        } else {
+            self.filter_rows(extended, &step.filters)
+        }
+    }
+
+    /// All extensions of one row by one compiled scan pattern — the
+    /// innermost join loop, shared by the streaming and materialising
+    /// paths.
+    fn scan_extensions(
+        self,
+        tp: CompiledTriplePattern,
+        row: IdRow,
+    ) -> impl Iterator<Item = IdRow> + 'a {
+        let resolve = |slot: Slot| -> Option<TermId> {
+            match slot {
+                Slot::Const(id) => Some(id),
+                Slot::Var(v) => row[v],
+            }
+        };
+        let pattern = EncodedTriplePattern::new(
+            resolve(tp.subject),
+            resolve(tp.predicate),
+            resolve(tp.object),
+        );
+        self.store.scan(pattern).filter_map(move |triple| {
+            self.scanned.set(self.scanned.get() + 1);
+            extend_row(&row, tp, triple)
+        })
+    }
+
+    /// Evaluate a BGP's planned steps for one input row with plain loops,
+    /// materialising the result rows.  Used where the caller materialises
+    /// anyway (the per-left-row right side of a left join): it skips the
+    /// per-row construction of a boxed iterator chain.
+    fn eval_bgp_rows(
+        self,
+        pre_filters: &[Expression],
+        steps: &[PlanStep],
+        row: &IdRow,
+    ) -> Result<Vec<IdRow>, SparqlError> {
+        for expr in pre_filters {
+            let keep = eval_expression(self.store, self.vars, expr, row)?
+                .map(term_truthiness)
+                .unwrap_or(false);
+            if !keep {
+                return Ok(Vec::new());
+            }
+        }
+        let mut current = vec![row.clone()];
+        for step in steps {
+            let mut next = Vec::new();
+            match &step.kind {
+                StepKind::NeverMatches => {}
+                StepKind::Scan(tp) => {
+                    for row in &current {
+                        next.extend(self.scan_extensions(*tp, row.clone()));
+                    }
+                }
+                StepKind::TextSearch {
+                    cache_slot,
+                    constant_words,
+                } => {
+                    for row in current {
+                        match constant_words {
+                            Some(words) => {
+                                let matches = self.text_cache[*cache_slot]
+                                    .get_or_init(|| self.search_text(words));
+                                next.extend(self.text_row_extensions(&step.ast, row, matches));
+                            }
+                            None => {
+                                let words =
+                                    text_query_words(self.store, self.vars, &step.ast, &row)?;
+                                let matches = self.search_text(&words);
+                                next.extend(self.text_row_extensions(&step.ast, row, &matches));
+                            }
+                        }
+                    }
+                }
+            }
+            for expr in &step.filters {
+                let mut filtered = Vec::with_capacity(next.len());
+                for row in next {
+                    if eval_expression(self.store, self.vars, expr, &row)?
+                        .map(term_truthiness)
+                        .unwrap_or(false)
+                    {
+                        filtered.push(row);
+                    }
+                }
+                next = filtered;
+            }
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        Ok(current)
+    }
+
+    /// Run one text search, reporting the matches it inspected to the scan
+    /// counter and building the membership set used for bound subjects.
+    fn search_text(self, words: &[String]) -> TextMatches {
+        let word_refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let matches = self
+            .store
+            .text_index()
+            .search_any(&word_refs, self.text_cap);
+        self.scanned.set(self.scanned.get() + matches.len() as u64);
+        let literals = matches.iter().map(|m| m.literal).collect();
+        TextMatches { matches, literals }
+    }
+
+    /// All extensions of one row by one text-search pattern over an
+    /// already-computed match set (mirrors the naive evaluator's
+    /// `extend_with_text_search`).  An already-bound subject is a set
+    /// membership test, not a walk of the match list.
+    fn text_row_extensions(
+        self,
+        tp: &TriplePatternAst,
+        row: IdRow,
+        matches: &TextMatches,
+    ) -> Vec<IdRow> {
+        let mut out = Vec::new();
+        match &tp.subject {
+            VarOrTerm::Var(var) => {
+                let slot = self
+                    .vars
+                    .id_of(var)
+                    .expect("pattern variables are all registered");
+                match row[slot] {
+                    Some(existing) => {
+                        if matches.literals.contains(&existing) {
+                            out.push(row);
+                        }
+                    }
+                    None => {
+                        for m in &matches.matches {
+                            let mut extended = row.clone();
+                            extended[slot] = Some(m.literal);
+                            out.push(extended);
+                        }
+                    }
+                }
+            }
+            VarOrTerm::Term(term) => {
+                // Bound subject: keep the row iff that literal matches.
+                let keeps = self
+                    .store
+                    .id_of(term)
+                    .is_some_and(|id| matches.literals.contains(&id));
+                if keeps {
+                    out.push(row);
+                }
+            }
+        }
+        out
+    }
+
+    fn filter_rows(self, input: RowIter<'a>, exprs: &'a [Expression]) -> RowIter<'a> {
+        Box::new(input.filter_map(move |res| -> Option<RowResult> {
+            let row = match res {
+                Ok(row) => row,
+                Err(e) => return Some(Err(e)),
+            };
+            for expr in exprs {
+                match eval_expression(self.store, self.vars, expr, &row) {
+                    Err(e) => return Some(Err(e)),
+                    Ok(value) => {
+                        if !value.map(term_truthiness).unwrap_or(false) {
+                            return None;
+                        }
+                    }
+                }
+            }
+            Some(Ok(row))
+        }))
+    }
+}
+
+/// The match set of one text-search step: the ranked matches (for
+/// generatively binding an unbound subject) plus a membership set (for
+/// subjects already bound by an earlier step).
+struct TextMatches {
+    matches: Vec<TextMatch>,
+    literals: HashSet<TermId>,
+}
+
+/// The search words of a text pattern whose query string is a constant
+/// literal — row-independent, so the search can run once per step.
+/// `None` when the string comes from a variable binding (resolved per row).
+fn constant_text_words(tp: &TriplePatternAst) -> Option<Vec<String>> {
+    match &tp.object {
+        VarOrTerm::Term(Term::Literal(lit)) => Some(parse_text_query(&lit.lexical)),
+        _ => None,
+    }
+}
+
+/// Extend one id row with one matched triple, or `None` when a repeated
+/// variable matched two different ids.
+fn extend_row(row: &IdRow, tp: CompiledTriplePattern, triple: EncodedTriple) -> Option<IdRow> {
+    let mut extended = row.clone();
+    for (slot, id) in [
+        (tp.subject, triple.subject),
+        (tp.predicate, triple.predicate),
+        (tp.object, triple.object),
+    ] {
+        if let Slot::Var(v) = slot {
+            match extended[v] {
+                Some(existing) if existing != id => return None,
+                _ => extended[v] = Some(id),
+            }
+        }
+    }
+    Some(extended)
+}
+
+impl<'s> PhysicalPlan<'s> {
+    /// The `EXPLAIN` summary of this plan (rendered on first call).
+    pub fn summary(&self) -> &PlanSummary {
+        self.summary.get_or_init(|| self.build_summary())
+    }
+
+    /// Run the plan to completion, streaming rows through the operator
+    /// pipeline.  `LIMIT`/`OFFSET`/`DISTINCT` (and ASK's one-row need) stop
+    /// the scans as soon as the output is decided.
+    pub fn execute(&self) -> Result<PlannedExecution, SparqlError> {
+        let scanned = Cell::new(0u64);
+        let text_cache: Vec<OnceCell<TextMatches>> =
+            (0..self.text_slots).map(|_| OnceCell::new()).collect();
+        let ctx = ExecCtx {
+            store: self.store,
+            vars: &self.vars,
+            text_cap: self.text_cap,
+            scanned: &scanned,
+            text_cache: &text_cache,
+        };
+        let seed: IdRow = vec![None; self.vars.len()];
+        let mut rows = ctx.eval_node(&self.root, Box::new(std::iter::once(Ok(seed))));
+
+        if self.is_ask {
+            let verdict = match rows.next() {
+                None => false,
+                Some(Err(e)) => return Err(e),
+                Some(Ok(_)) => true,
+            };
+            drop(rows);
+            return Ok(PlannedExecution {
+                results: QueryResults::Boolean(verdict),
+                metrics: ExecMetrics {
+                    rows_scanned: scanned.get(),
+                    rows_emitted: u64::from(verdict),
+                },
+            });
+        }
+
+        let slots: Vec<Option<usize>> =
+            self.projection.iter().map(|v| self.vars.id_of(v)).collect();
+        let mut seen = self.distinct.then(HashSet::new);
+        let mut to_skip = self.offset;
+        let mut id_rows: Vec<IdRow> = Vec::new();
+        loop {
+            if self.limit.is_some_and(|limit| id_rows.len() >= limit) {
+                break;
+            }
+            let Some(res) = rows.next() else {
+                break;
+            };
+            let row = res?;
+            let projected: IdRow = slots.iter().map(|slot| slot.and_then(|i| row[i])).collect();
+            if let Some(seen) = &mut seen {
+                if !seen.insert(projected.clone()) {
+                    continue;
+                }
+            }
+            if to_skip > 0 {
+                to_skip -= 1;
+                continue;
+            }
+            id_rows.push(projected);
+        }
+        drop(rows);
+
+        let bindings: Vec<Binding> = id_rows
+            .iter()
+            .map(|row| decode_row(self.store, &self.projection, row))
+            .collect();
+        let metrics = ExecMetrics {
+            rows_scanned: scanned.get(),
+            rows_emitted: bindings.len() as u64,
+        };
+        Ok(PlannedExecution {
+            results: QueryResults::Solutions(ResultSet::new(self.projection.clone(), bindings)),
+            metrics,
+        })
+    }
+
+    /// Flatten the operator tree into the rendered summary.
+    fn build_summary(&self) -> PlanSummary {
+        let mut summary = PlanSummary::default();
+        let mut header = if self.is_ask {
+            "ask".to_string()
+        } else {
+            let vars: Vec<String> = self.projection.iter().map(|v| format!("?{v}")).collect();
+            format!("select {}", vars.join(" "))
+        };
+        if self.distinct {
+            header.push_str(" distinct");
+        }
+        if let Some(limit) = self.limit {
+            header.push_str(&format!(" limit {limit}"));
+        }
+        if self.offset > 0 {
+            header.push_str(&format!(" offset {}", self.offset));
+        }
+        summary.push(0, header, None);
+        summarize_node(&self.root, 1, &mut summary);
+        summary
+    }
+}
+
+fn summarize_node(node: &PlanNode, depth: usize, out: &mut PlanSummary) {
+    match node {
+        PlanNode::Bgp { pre_filters, steps } => {
+            out.push(depth, "bgp", None);
+            for expr in pre_filters {
+                out.push(depth + 1, format!("filter {expr}"), None);
+            }
+            for step in steps {
+                let label = match &step.kind {
+                    StepKind::Scan(_) => format!("scan {}", step.ast),
+                    StepKind::TextSearch { .. } => format!("text {}", step.ast),
+                    StepKind::NeverMatches => format!("never-matches {}", step.ast),
+                };
+                out.push(depth + 1, label, Some(step.estimate));
+                for expr in &step.filters {
+                    out.push(depth + 2, format!("filter {expr}"), None);
+                }
+            }
+        }
+        PlanNode::Join(a, b) => {
+            out.push(depth, "join", None);
+            summarize_node(a, depth + 1, out);
+            summarize_node(b, depth + 1, out);
+        }
+        PlanNode::LeftJoin(a, b) => {
+            out.push(depth, "left-join (optional)", None);
+            summarize_node(a, depth + 1, out);
+            summarize_node(b, depth + 1, out);
+        }
+        PlanNode::Union(a, b) => {
+            out.push(depth, "union", None);
+            summarize_node(a, depth + 1, out);
+            summarize_node(b, depth + 1, out);
+        }
+        PlanNode::Filter(inner, expr) => {
+            out.push(depth, format!("filter {expr}"), None);
+            summarize_node(inner, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use kgqan_rdf::{vocab, Triple};
+
+    /// A store where join order matters: 200 people born in 4 cities, one
+    /// person also a member of a tiny club.
+    fn skewed_store() -> Store {
+        let mut store = Store::new();
+        let born = Term::iri("http://e/bornIn");
+        let member = Term::iri("http://e/memberOf");
+        let label = Term::iri(vocab::RDFS_LABEL);
+        for i in 0..200 {
+            let person = Term::iri(format!("http://e/person{i}"));
+            let city = Term::iri(format!("http://e/city{}", i % 4));
+            store.insert(Triple::new(person.clone(), born.clone(), city));
+            store.insert(Triple::new(
+                person,
+                label.clone(),
+                Term::literal_str(format!("person number {i}")),
+            ));
+        }
+        store.insert(Triple::new(
+            Term::iri("http://e/person7"),
+            member,
+            Term::iri("http://e/club"),
+        ));
+        store
+    }
+
+    #[test]
+    fn planner_orders_selective_pattern_first() {
+        let store = skewed_store();
+        // Written worst-first: the 200-row bornIn scan before the 1-row
+        // memberOf lookup.
+        let query = parse_query(
+            "SELECT ?p ?c WHERE { ?p <http://e/bornIn> ?c . \
+             ?p <http://e/memberOf> <http://e/club> . }",
+        )
+        .unwrap();
+        let plan = Planner::new(&store).plan(&query);
+        let labels = plan.summary().step_labels();
+        assert_eq!(labels.len(), 2);
+        assert!(
+            labels[0].contains("memberOf"),
+            "selective pattern must run first:\n{}",
+            plan.summary()
+        );
+
+        let run = plan.execute().unwrap();
+        assert_eq!(run.results.rows().len(), 1);
+        // 1 memberOf match + 1 bornIn extension — not 200 + 1.
+        assert!(
+            run.metrics.rows_scanned <= 4,
+            "scanned {} rows",
+            run.metrics.rows_scanned
+        );
+    }
+
+    #[test]
+    fn limit_stops_scanning_early() {
+        let store = skewed_store();
+        let query = parse_query("SELECT ?p WHERE { ?p <http://e/bornIn> ?c . } LIMIT 5").unwrap();
+        let run = Planner::new(&store).plan(&query).execute().unwrap();
+        assert_eq!(run.results.rows().len(), 5);
+        assert_eq!(run.metrics.rows_emitted, 5);
+        assert!(
+            run.metrics.rows_scanned <= 5,
+            "LIMIT 5 should scan ~5 index entries, scanned {}",
+            run.metrics.rows_scanned
+        );
+    }
+
+    #[test]
+    fn ask_stops_after_first_row() {
+        let store = skewed_store();
+        let query = parse_query("ASK { ?p <http://e/bornIn> ?c . }").unwrap();
+        let run = Planner::new(&store).plan(&query).execute().unwrap();
+        assert_eq!(run.results.as_boolean(), Some(true));
+        assert!(run.metrics.rows_scanned <= 1);
+    }
+
+    #[test]
+    fn text_step_runs_before_unselective_scan() {
+        let store = skewed_store();
+        let query =
+            parse_query(r#"SELECT ?v WHERE { ?v ?p ?d . ?d <bif:contains> "'person'" . } LIMIT 3"#)
+                .unwrap();
+        let plan = Planner::new(&store).plan(&query);
+        let labels = plan.summary().step_labels();
+        assert!(
+            labels[0].starts_with("text "),
+            "text probe must run first:\n{}",
+            plan.summary()
+        );
+        let run = plan.execute().unwrap();
+        assert_eq!(run.results.rows().len(), 3);
+    }
+
+    #[test]
+    fn bound_subject_text_step_searches_once_not_per_row() {
+        // 4 <name> edges vs ~200 literals matching "person": the planner
+        // runs the selective scan first, demoting the text step to a
+        // membership filter.  The search itself must then run once per
+        // step, not once per row — total scan work stays O(rows + matches),
+        // never O(rows × matches).
+        let mut store = Store::new();
+        let name = Term::iri("http://e/name");
+        for i in 0..200 {
+            store.insert(Triple::new(
+                Term::iri(format!("http://e/x{i}")),
+                Term::iri(vocab::RDFS_LABEL),
+                Term::literal_str(format!("person alias {i}")),
+            ));
+        }
+        for i in 0..4 {
+            store.insert(Triple::new(
+                Term::iri(format!("http://e/s{i}")),
+                name.clone(),
+                Term::literal_str(format!("person name {i}")),
+            ));
+        }
+        let query = parse_query(
+            r#"SELECT ?s ?d WHERE { ?s <http://e/name> ?d . ?d <bif:contains> "'person'" . }"#,
+        )
+        .unwrap();
+        let plan = Planner::new(&store).plan(&query);
+        let labels = plan.summary().step_labels();
+        assert!(
+            labels[0].starts_with("scan "),
+            "selective scan must run first:\n{}",
+            plan.summary()
+        );
+        let run = plan.execute().unwrap();
+        assert_eq!(run.results.rows().len(), 4);
+        // One search (≤204 matches counted once) + 4 scan extensions; the
+        // old per-row search would have counted ~4×204.
+        assert!(
+            run.metrics.rows_scanned <= 204 + 4,
+            "scanned {} rows — text search re-ran per row?",
+            run.metrics.rows_scanned
+        );
+    }
+
+    #[test]
+    fn optional_text_step_shares_one_search_across_left_rows() {
+        // The OPTIONAL right side re-runs once per left row; its
+        // constant-string text search must still execute only once per run
+        // (the match cache lives on the execution, not on the per-row
+        // pipeline), keeping scan work O(rows + matches).
+        let mut store = Store::new();
+        let label = Term::iri(vocab::RDFS_LABEL);
+        let born = Term::iri("http://e/bornIn");
+        for i in 0..100 {
+            let person = Term::iri(format!("http://e/person{i}"));
+            store.insert(Triple::new(
+                person.clone(),
+                born.clone(),
+                Term::iri("http://e/city0"),
+            ));
+            store.insert(Triple::new(
+                person,
+                label.clone(),
+                Term::literal_str(format!("resident {i}")),
+            ));
+        }
+        let query = parse_query(
+            r#"SELECT ?p ?d WHERE {
+                 ?p <http://e/bornIn> <http://e/city0> .
+                 OPTIONAL { ?p <http://www.w3.org/2000/01/rdf-schema#label> ?d .
+                            ?d <bif:contains> "'resident'" . } }"#,
+        )
+        .unwrap();
+        let run = Planner::new(&store).plan(&query).execute().unwrap();
+        assert_eq!(run.results.rows().len(), 100);
+        // 100 bornIn scans + 100 label scans + ~100 text matches counted
+        // once; a per-row search would count ~100×100.
+        assert!(
+            run.metrics.rows_scanned <= 100 + 100 + 100,
+            "scanned {} rows — text search re-ran per left row?",
+            run.metrics.rows_scanned
+        );
+    }
+
+    #[test]
+    fn filters_are_pushed_to_their_binding_step() {
+        let store = skewed_store();
+        let query = parse_query(
+            "SELECT ?p ?c WHERE { ?p <http://e/memberOf> <http://e/club> . \
+             ?p <http://e/bornIn> ?c . \
+             FILTER (?c != <http://e/city0>) }",
+        )
+        .unwrap();
+        let plan = Planner::new(&store).plan(&query);
+        let rendered = plan.summary().to_string();
+        // The filter line must appear nested under the bornIn step (which
+        // binds ?c), not as a residual operator above the bgp.
+        let bgp_pos = rendered.find("bgp").unwrap();
+        let filter_pos = rendered.find("filter").unwrap();
+        assert!(
+            filter_pos > bgp_pos,
+            "filter should be pushed inside the bgp:\n{rendered}"
+        );
+        let run = plan.execute().unwrap();
+        assert_eq!(run.results.rows().len(), 1); // person7 born in city3
+    }
+
+    #[test]
+    fn unknown_constant_becomes_never_matches_step() {
+        let store = skewed_store();
+        let query = parse_query(
+            "SELECT ?p WHERE { ?p <http://nowhere/pred> ?x . ?p <http://e/bornIn> ?c . }",
+        )
+        .unwrap();
+        let plan = Planner::new(&store).plan(&query);
+        let labels = plan.summary().step_labels();
+        // Estimate 0 schedules it first, emptying the pipeline immediately.
+        assert!(labels[0].starts_with("never-matches "));
+        let run = plan.execute().unwrap();
+        assert!(run.results.rows().is_empty());
+        assert_eq!(run.metrics.rows_scanned, 0);
+    }
+
+    #[test]
+    fn offset_and_distinct_stream_correctly() {
+        let store = skewed_store();
+        let query =
+            parse_query("SELECT DISTINCT ?c WHERE { ?p <http://e/bornIn> ?c . } LIMIT 2 OFFSET 1")
+                .unwrap();
+        let run = Planner::new(&store).plan(&query).execute().unwrap();
+        assert_eq!(run.results.rows().len(), 2);
+        // 4 distinct cities exist; the pipeline must stop once offset 1 +
+        // limit 2 = 3 distinct values have been seen, well before all 200
+        // bornIn entries are scanned.
+        assert!(
+            run.metrics.rows_scanned < 200,
+            "scanned {}",
+            run.metrics.rows_scanned
+        );
+    }
+
+    #[test]
+    fn explain_renders_an_operator_tree() {
+        let store = skewed_store();
+        let query = parse_query(
+            "SELECT ?p ?c ?n WHERE { ?p <http://e/bornIn> ?c . \
+             OPTIONAL { ?p <http://www.w3.org/2000/01/rdf-schema#label> ?n . } } LIMIT 10",
+        )
+        .unwrap();
+        let summary = explain(&store, &query);
+        let rendered = summary.to_string();
+        assert!(rendered.contains("select ?p ?c ?n limit 10"), "{rendered}");
+        assert!(rendered.contains("left-join (optional)"), "{rendered}");
+        assert!(
+            rendered.contains("scan ?p <http://e/bornIn> ?c ."),
+            "{rendered}"
+        );
+        assert!(rendered.contains("est"), "{rendered}");
+    }
+
+    #[test]
+    fn cartesian_product_still_answers_correctly() {
+        let mut store = Store::new();
+        store.insert(Triple::new(
+            Term::iri("http://e/a"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/b"),
+        ));
+        store.insert(Triple::new(
+            Term::iri("http://e/c"),
+            Term::iri("http://e/q"),
+            Term::iri("http://e/d"),
+        ));
+        // No shared variable: a forced cartesian product.
+        let query = parse_query("SELECT ?x ?y WHERE { ?x <http://e/p> ?b . ?y <http://e/q> ?d . }")
+            .unwrap();
+        let run = Planner::new(&store).plan(&query).execute().unwrap();
+        assert_eq!(run.results.rows().len(), 1);
+    }
+}

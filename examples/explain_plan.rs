@@ -1,0 +1,70 @@
+//! EXPLAIN for the in-process SPARQL engine: show the physical plan the
+//! cost-based planner chooses, then execute the query and compare the
+//! executor's scan work against the store size.
+//!
+//! ```sh
+//! cargo run --example explain_plan
+//! ```
+
+use kgqan_endpoint::{InProcessEndpoint, SparqlEndpoint};
+use kgqan_rdf::{vocab, Store, Term, Triple};
+use kgqan_sparql::parse_query;
+
+fn main() {
+    // A deliberately skewed KG: 5 000 people born across 25 cities, and a
+    // four-member club.  Join order decides whether the engine scans 5 000
+    // rows or 4.
+    let mut store = Store::new();
+    let born = Term::iri("http://e/bornIn");
+    let member = Term::iri("http://e/memberOf");
+    let club = Term::iri("http://e/club");
+    for i in 0..5_000 {
+        let person = Term::iri(format!("http://e/person{i}"));
+        store.insert(Triple::new(
+            person.clone(),
+            Term::iri(vocab::RDFS_LABEL),
+            Term::literal_str(format!("person number {i}")),
+        ));
+        store.insert(Triple::new(
+            person.clone(),
+            born.clone(),
+            Term::iri(format!("http://e/city{}", i % 25)),
+        ));
+        if i % 1_250 == 7 {
+            store.insert(Triple::new(person, member.clone(), club.clone()));
+        }
+    }
+    let endpoint = InProcessEndpoint::new("demo", store);
+    println!("store: {} triples\n", endpoint.store().len());
+
+    // The query is written in its *worst* order: the 5 000-row bornIn scan
+    // first, the 4-row club lookup last.
+    let sparql = "SELECT ?p ?c WHERE { \
+                    ?p <http://e/bornIn> ?c . \
+                    ?p <http://e/memberOf> <http://e/club> . }";
+    println!("query (worst-order spelling):\n{sparql}\n");
+
+    let plan = endpoint
+        .explain_sparql(sparql)
+        .expect("example query parses");
+    println!("EXPLAIN — the planner reorders the join:\n{plan}");
+
+    let parsed = parse_query(sparql).unwrap();
+    let traced = endpoint.query_traced(&parsed).unwrap();
+    let metrics = traced.metrics.expect("in-process endpoint reports metrics");
+    println!(
+        "executed: {} answers, {} index rows scanned (store holds {})",
+        traced.results.rows().len(),
+        metrics.rows_scanned,
+        endpoint.store().len(),
+    );
+
+    // LIMIT streams: the executor stops as soon as the page is full.
+    let limited = parse_query("SELECT ?p WHERE { ?p <http://e/bornIn> ?c . } LIMIT 5").unwrap();
+    let traced = endpoint.query_traced(&limited).unwrap();
+    let metrics = traced.metrics.unwrap();
+    println!(
+        "LIMIT 5 over 5000 matches: {} rows scanned (early termination)",
+        metrics.rows_scanned,
+    );
+}
