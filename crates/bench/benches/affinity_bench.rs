@@ -32,4 +32,4 @@ fn affinity(c: &mut Criterion) {
 }
 
 criterion_group!(benches, affinity);
-criterion_main!(benches);
+criterion_main!(area = "e2e"; benches);

@@ -34,4 +34,4 @@ fn end_to_end(c: &mut Criterion) {
 }
 
 criterion_group!(benches, end_to_end);
-criterion_main!(benches);
+criterion_main!(area = "e2e"; benches);

@@ -104,4 +104,4 @@ fn kgqan_cache(c: &mut Criterion) {
 }
 
 criterion_group!(benches, kgqan_cache);
-criterion_main!(benches);
+criterion_main!(area = "cache"; benches);

@@ -74,4 +74,4 @@ fn qa_service(c: &mut Criterion) {
 }
 
 criterion_group!(benches, qa_service);
-criterion_main!(benches);
+criterion_main!(area = "service"; benches);

@@ -43,4 +43,4 @@ fn jit_linking(c: &mut Criterion) {
 }
 
 criterion_group!(benches, jit_linking);
-criterion_main!(benches);
+criterion_main!(area = "e2e"; benches);

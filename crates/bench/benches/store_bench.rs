@@ -97,4 +97,4 @@ criterion_group!(
     encoded_scan,
     text_search
 );
-criterion_main!(benches);
+criterion_main!(area = "store"; benches);

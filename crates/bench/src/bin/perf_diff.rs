@@ -1,0 +1,163 @@
+//! Compares a fresh perf run against the committed `BENCH_<area>.json`
+//! baselines and fails (exit 1) on above-threshold regressions — the CI
+//! regression gate of the persisted perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p kgqan-bench --bin perf_diff -- \
+//!     --baseline-dir . --current-dir target/bench-report
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--baseline-dir <dir>` — where the committed artifacts live
+//!   (default `.`, the repo root).
+//! * `--current-dir <dir>` — the fresh run to judge (default
+//!   `target/bench-report`).
+//! * `--warn-ratio` / `--fail-ratio` / `--min-delta-ns` /
+//!   `--probe-fail-ratio` — override the thresholds; the corresponding
+//!   `KGQAN_PERF_*` environment variables work too (flags win). Without
+//!   overrides the defaults depend on smoke mode: a smoke run (or a smoke
+//!   baseline) gets much looser timing ratios.
+//!
+//! Exit codes: 0 clean, 1 regression(s) at or above the fail threshold,
+//! 2 usage/environment errors (e.g. no artifacts found).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use kgqan_bench::perftrack::{diff_reports, failures, markdown_table, AreaReport, DiffConfig};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+/// Resolves one threshold: CLI flag, then environment variable, then the
+/// smoke-dependent default.
+fn threshold(args: &[String], flag: &str, env: &str, default: f64) -> Result<f64, String> {
+    let source = flag_value(args, flag).or_else(|| std::env::var(env).ok());
+    match source {
+        Some(text) => text
+            .parse::<f64>()
+            .map_err(|_| format!("{flag}/{env}: '{text}' is not a number")),
+        None => Ok(default),
+    }
+}
+
+/// Loads every `BENCH_*.json` artifact in `dir`, sorted by file name.
+fn load_reports(dir: &Path) -> Result<Vec<AreaReport>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<_> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| {
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    let mut reports = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        reports.push(AreaReport::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?);
+    }
+    Ok(reports)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_dir = flag_value(&args, "--baseline-dir").unwrap_or_else(|| ".".to_string());
+    let current_dir =
+        flag_value(&args, "--current-dir").unwrap_or_else(|| "target/bench-report".to_string());
+
+    let baselines = load_reports(Path::new(&baseline_dir))?;
+    let current = load_reports(Path::new(&current_dir))?;
+    if baselines.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines in {baseline_dir} — refresh them with:\n  \
+             cargo run --release -p kgqan-bench --bin perf_report -- --out-dir ."
+        ));
+    }
+    if current.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json artifacts in {current_dir} — produce them with:\n  \
+             cargo run --release -p kgqan-bench --bin perf_report -- --out-dir {current_dir}"
+        ));
+    }
+
+    // A smoke run on either side means the wall-clock numbers carry CI
+    // noise and likely come from different machines: loosen the timing
+    // thresholds (the deterministic probe gate stays tight regardless).
+    let smoke = baselines.iter().chain(&current).any(|r| r.smoke);
+    let defaults = DiffConfig::defaults(smoke);
+    let cfg = DiffConfig {
+        warn_ratio: threshold(
+            &args,
+            "--warn-ratio",
+            "KGQAN_PERF_WARN_RATIO",
+            defaults.warn_ratio,
+        )?,
+        fail_ratio: threshold(
+            &args,
+            "--fail-ratio",
+            "KGQAN_PERF_FAIL_RATIO",
+            defaults.fail_ratio,
+        )?,
+        min_delta_ns: threshold(
+            &args,
+            "--min-delta-ns",
+            "KGQAN_PERF_MIN_DELTA_NS",
+            defaults.min_delta_ns,
+        )?,
+        probe_fail_ratio: threshold(
+            &args,
+            "--probe-fail-ratio",
+            "KGQAN_PERF_PROBE_FAIL_RATIO",
+            defaults.probe_fail_ratio,
+        )?,
+    };
+
+    let entries = diff_reports(&baselines, &current, &cfg);
+    println!(
+        "## Perf diff vs committed baselines (smoke={smoke}, warn {:.2}x, fail {:.2}x)\n",
+        cfg.warn_ratio, cfg.fail_ratio
+    );
+    print!("{}", markdown_table(&entries));
+
+    let failed = failures(&entries);
+    if failed.is_empty() {
+        println!(
+            "\nperf_diff: OK — {} metrics within thresholds",
+            entries.len()
+        );
+        return Ok(true);
+    }
+    println!(
+        "\nperf_diff: {} regression(s) at or above the fail threshold:",
+        failed.len()
+    );
+    for entry in &failed {
+        println!(
+            "  - {}/{} {} {:.2}x (baseline {} → current {})",
+            entry.area, entry.name, entry.metric, entry.ratio, entry.base, entry.current
+        );
+    }
+    println!(
+        "\nIf this movement is intended, refresh the committed baselines with:\n  \
+         cargo run --release -p kgqan-bench --bin perf_report -- --out-dir .\n\
+         and commit the updated BENCH_*.json files."
+    );
+    Ok(false)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(err) => {
+            eprintln!("perf_diff: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

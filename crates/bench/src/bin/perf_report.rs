@@ -1,0 +1,143 @@
+//! Runs the whole criterion bench suite with JSONL recording enabled and
+//! merges the records into per-area `BENCH_<area>.json` artifacts — the
+//! persisted perf trajectory CI diffs against the committed baselines.
+//!
+//! ```text
+//! # Fresh run into a scratch dir (what CI's perf-smoke job does):
+//! cargo run --release -p kgqan-bench --bin perf_report -- --out-dir target/bench-report
+//!
+//! # One-command baseline refresh (rewrites the tracked root artifacts):
+//! cargo run --release -p kgqan-bench --bin perf_report -- --out-dir .
+//! ```
+//!
+//! Flags:
+//!
+//! * `--out-dir <dir>` — where the merged `BENCH_<area>.json` files land
+//!   (default `.`). The raw JSONL scratch file is written next to them as
+//!   `bench-samples.jsonl` (gitignored).
+//! * `--merge-only` — skip running the suite; merge an existing JSONL file.
+//! * `--jsonl <path>` — override the JSONL scratch path.
+//!
+//! Respects `KGQAN_BENCH_SMOKE` (forwarded to the benches, and stamped into
+//! the artifacts so `perf_diff` can loosen its thresholds). The git
+//! revision comes from `KGQAN_GIT_REV`, then `GITHUB_SHA`, then
+//! `git rev-parse`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+use kgqan_bench::perftrack::{self, AreaReport};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+fn git_rev() -> String {
+    for var in ["KGQAN_GIT_REV", "GITHUB_SHA"] {
+        if let Ok(rev) = std::env::var(var) {
+            if !rev.is_empty() {
+                return rev;
+            }
+        }
+    }
+    Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Runs `cargo bench -p kgqan-bench --benches` with `KGQAN_BENCH_JSON`
+/// pointing at `jsonl` — every bench executable (store, sparql, planner,
+/// service, cache, e2e incl. affinity/linking) appends its records there.
+fn run_suite(jsonl: &Path) -> Result<(), String> {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let jsonl_abs = std::env::current_dir()
+        .map_err(|e| format!("cannot resolve cwd: {e}"))?
+        .join(jsonl);
+    // cargo runs bench executables with the package dir as cwd, so the
+    // recording path must be absolute.
+    let status = Command::new(cargo)
+        .args(["bench", "-p", "kgqan-bench", "--benches"])
+        .env("KGQAN_BENCH_JSON", &jsonl_abs)
+        .status()
+        .map_err(|e| format!("cannot spawn cargo bench: {e}"))?;
+    if !status.success() {
+        return Err(format!("cargo bench failed with {status}"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let out_dir = PathBuf::from(flag_value(&args, "--out-dir").unwrap_or_else(|| ".".to_string()));
+    let jsonl = flag_value(&args, "--jsonl")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| out_dir.join("bench-samples.jsonl"));
+    let merge_only = args.iter().any(|a| a == "--merge-only");
+    let smoke = std::env::var_os("KGQAN_BENCH_SMOKE").is_some();
+
+    if let Err(err) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("perf_report: cannot create {}: {err}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    if !merge_only {
+        // Stale records from a previous run must not leak into this one.
+        let _ = std::fs::remove_file(&jsonl);
+        println!(
+            "perf_report: running the bench suite (smoke={smoke}), recording to {}",
+            jsonl.display()
+        );
+        if let Err(err) = run_suite(&jsonl) {
+            eprintln!("perf_report: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let text = match std::fs::read_to_string(&jsonl) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("perf_report: cannot read {}: {err}", jsonl.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match kgqan_bench::perftrack::parse_jsonl(&text) {
+        Ok(records) => records,
+        Err(err) => {
+            eprintln!("perf_report: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if records.is_empty() {
+        eprintln!("perf_report: no bench records in {}", jsonl.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut reports = perftrack::merge_records(records, &git_rev(), smoke);
+    // Deterministic rows-scanned counters ride with the planner area: they
+    // are exact (no wall-clock noise), so the diff gate holds them tight.
+    let probes = perftrack::planner_probes();
+    match reports.iter_mut().find(|r| r.area == "planner") {
+        Some(report) => report.probes = probes,
+        None => eprintln!("perf_report: no planner bench records; probes dropped"),
+    }
+
+    for report in &reports {
+        let path = out_dir.join(AreaReport::file_name(&report.area));
+        if let Err(err) = std::fs::write(&path, report.to_json()) {
+            eprintln!("perf_report: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "perf_report: wrote {} ({} benches, {} probes)",
+            path.display(),
+            report.benches.len(),
+            report.probes.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

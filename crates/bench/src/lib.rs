@@ -12,6 +12,16 @@
 //! cargo bench --workspace
 //! ```
 //!
+//! The crate also owns the persisted perf trajectory ([`perftrack`]): the
+//! `perf_report` binary runs the whole criterion suite and merges the
+//! shim's JSONL records into the root `BENCH_<area>.json` artifacts, and
+//! `perf_diff` gates a fresh run against those committed baselines:
+//!
+//! ```text
+//! cargo run --release -p kgqan-bench --bin perf_report -- --out-dir .
+//! cargo run --release -p kgqan-bench --bin perf_diff -- --baseline-dir . --current-dir target/bench-report
+//! ```
+//!
 //! Every binary accepts `--scale smoke|full` (default `full`): `smoke` uses
 //! small KGs and 24 questions per benchmark for a quick check, `full` uses
 //! the paper-shaped scale (150 / 300 / 100 / 100 / 100 questions).
@@ -21,6 +31,8 @@
 
 pub mod harness;
 pub mod linking_eval;
+pub mod perfjson;
+pub mod perftrack;
 pub mod published;
 pub mod table;
 

@@ -1,0 +1,853 @@
+//! The persisted perf-trajectory subsystem: merge the per-benchmark JSONL
+//! records emitted by the criterion shim into per-area `BENCH_<area>.json`
+//! artifacts, and diff a fresh run against the committed baselines with
+//! noise-aware thresholds.
+//!
+//! The flow, end to end:
+//!
+//! 1. `cargo bench` with `KGQAN_BENCH_JSON=<path>` set — every benchmark
+//!    appends one JSON line with its per-sample statistics, tagged with the
+//!    area its executable declared (`criterion_main!(area = "store"; …)`).
+//! 2. The `perf_report` binary runs the suite, parses the JSONL with
+//!    [`parse_jsonl`], attaches deterministic rows-scanned [`planner
+//!    probes`](planner_probes) pulled from `query_traced`, and writes one
+//!    [`AreaReport`] per area ([`merge_records`] / [`AreaReport::to_json`]).
+//! 3. The `perf_diff` binary loads baseline and current reports
+//!    ([`AreaReport::from_json`]), compares them ([`diff_reports`]) under a
+//!    [`DiffConfig`], prints a markdown table ([`markdown_table`]) and
+//!    fails CI when any row crosses the fail threshold.
+//!
+//! Timing metrics are gated on the p50 (medians survive CI noise better
+//! than means); rows-scanned probe counters are deterministic, so they get
+//! a much tighter threshold than wall-clock numbers.
+
+use std::fmt::Write as _;
+
+use kgqan_endpoint::{InProcessEndpoint, SparqlEndpoint};
+use kgqan_rdf::{Store, Term, Triple};
+use kgqan_sparql::parse_query;
+
+use crate::perfjson::{write_json_number, write_json_string, Json};
+
+/// Schema identifier stamped into every artifact, bumped on layout changes.
+pub const SCHEMA: &str = "kgqan-bench-report/v1";
+
+/// The benchmark areas with committed baselines, in report order.
+pub const AREAS: [&str; 6] = ["store", "sparql", "planner", "service", "cache", "e2e"];
+
+/// One benchmark's statistics, as emitted by the criterion shim (one JSONL
+/// line) and as stored in the merged per-area artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Perf-trajectory area (`store`, `sparql`, `planner`, …).
+    pub area: String,
+    /// Benchmark group name (the `benchmark_group` argument).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub bench: String,
+    /// Whether the run used the smoke-mode iteration budget.
+    pub smoke: bool,
+    /// Number of timed sample batches.
+    pub samples: u64,
+    /// Total routine iterations across all timed batches.
+    pub iters: u64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Median per-iteration time in nanoseconds.
+    pub p50_ns: f64,
+    /// 95th-percentile per-iteration time in nanoseconds.
+    pub p95_ns: f64,
+    /// Fastest sample's per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Throughput implied by the mean (`1e9 / mean_ns`).
+    pub iters_per_sec: f64,
+}
+
+impl BenchRecord {
+    fn from_json(value: &Json, context: &str) -> Result<BenchRecord, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{context}: missing string field '{key}'"))
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{context}: missing numeric field '{key}'"))
+        };
+        Ok(BenchRecord {
+            area: str_field("area")?,
+            group: str_field("group")?,
+            bench: str_field("bench")?,
+            smoke: value
+                .get("smoke")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("{context}: missing boolean field 'smoke'"))?,
+            samples: num_field("samples")? as u64,
+            iters: num_field("iters")? as u64,
+            mean_ns: num_field("mean_ns")?,
+            p50_ns: num_field("p50_ns")?,
+            p95_ns: num_field("p95_ns")?,
+            min_ns: num_field("min_ns")?,
+            iters_per_sec: num_field("iters_per_sec")?,
+        })
+    }
+
+    fn write_json(&self, out: &mut String, indent: &str) {
+        let _ = write!(out, "{indent}{{\"group\": ");
+        write_json_string(out, &self.group);
+        out.push_str(", \"bench\": ");
+        write_json_string(out, &self.bench);
+        let _ = write!(
+            out,
+            ", \"smoke\": {}, \"samples\": {}, \"iters\": {}, \"mean_ns\": ",
+            self.smoke, self.samples, self.iters
+        );
+        write_json_number(out, self.mean_ns);
+        out.push_str(", \"p50_ns\": ");
+        write_json_number(out, self.p50_ns);
+        out.push_str(", \"p95_ns\": ");
+        write_json_number(out, self.p95_ns);
+        out.push_str(", \"min_ns\": ");
+        write_json_number(out, self.min_ns);
+        out.push_str(", \"iters_per_sec\": ");
+        write_json_number(out, self.iters_per_sec);
+        out.push('}');
+    }
+}
+
+/// Parses the JSONL file the criterion shim appends to (one benchmark
+/// record per line; blank lines ignored).
+pub fn parse_jsonl(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line).map_err(|e| format!("JSONL line {}: {e}", lineno + 1))?;
+        records.push(BenchRecord::from_json(
+            &value,
+            &format!("JSONL line {}", lineno + 1),
+        )?);
+    }
+    Ok(records)
+}
+
+/// A deterministic executor work counter: one fixed query run through
+/// `query_traced` against a fixed synthetic store. Unlike wall-clock
+/// timings these are exact, so the diff gate can hold them to a tight
+/// threshold — a planner regression that scans 10× the rows fails even
+/// when the machine is noisy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeRecord {
+    /// Stable probe name.
+    pub name: String,
+    /// Index/text-index entries the streaming executor touched.
+    pub rows_scanned: u64,
+    /// Result rows the query produced (sanity anchor for the probe).
+    pub result_rows: u64,
+}
+
+impl ProbeRecord {
+    fn from_json(value: &Json, context: &str) -> Result<ProbeRecord, String> {
+        Ok(ProbeRecord {
+            name: value
+                .get("name")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{context}: missing probe field 'name'"))?,
+            rows_scanned: value
+                .get("rows_scanned")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{context}: missing probe field 'rows_scanned'"))?,
+            result_rows: value
+                .get("result_rows")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{context}: missing probe field 'result_rows'"))?,
+        })
+    }
+
+    fn write_json(&self, out: &mut String, indent: &str) {
+        let _ = write!(out, "{indent}{{\"name\": ");
+        write_json_string(out, &self.name);
+        let _ = write!(
+            out,
+            ", \"rows_scanned\": {}, \"result_rows\": {}}}",
+            self.rows_scanned, self.result_rows
+        );
+    }
+}
+
+/// The merged, committed artifact for one benchmark area — the contents of
+/// a root `BENCH_<area>.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaReport {
+    /// Artifact schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// The area this report covers.
+    pub area: String,
+    /// Git revision of the run, from `KGQAN_GIT_REV`/`GITHUB_SHA` or
+    /// `git rev-parse`; `"unknown"` when unavailable.
+    pub git_rev: String,
+    /// Whether the run used the smoke-mode iteration budget (the diff gate
+    /// loosens its thresholds for smoke runs).
+    pub smoke: bool,
+    /// Benchmark statistics, sorted by group then bench id.
+    pub benches: Vec<BenchRecord>,
+    /// Deterministic rows-scanned probes (planner area only, today).
+    pub probes: Vec<ProbeRecord>,
+}
+
+impl AreaReport {
+    /// The artifact file name for an area: `BENCH_<area>.json`.
+    pub fn file_name(area: &str) -> String {
+        format!("BENCH_{area}.json")
+    }
+
+    /// Renders the artifact as pretty-printed JSON with a stable field
+    /// order (one bench/probe per line, so committed baselines diff well).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": ");
+        write_json_string(&mut out, &self.schema);
+        out.push_str(",\n  \"area\": ");
+        write_json_string(&mut out, &self.area);
+        out.push_str(",\n  \"git_rev\": ");
+        write_json_string(&mut out, &self.git_rev);
+        let _ = write!(out, ",\n  \"smoke\": {},\n  \"benches\": [", self.smoke);
+        for (i, bench) in self.benches.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            bench.write_json(&mut out, "    ");
+        }
+        out.push_str(if self.benches.is_empty() {
+            "]"
+        } else {
+            "\n  ]"
+        });
+        out.push_str(",\n  \"probes\": [");
+        for (i, probe) in self.probes.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            probe.write_json(&mut out, "    ");
+        }
+        out.push_str(if self.probes.is_empty() { "]" } else { "\n  ]" });
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses an artifact produced by [`AreaReport::to_json`] (or any JSON
+    /// document with the same fields).
+    pub fn from_json(text: &str) -> Result<AreaReport, String> {
+        let value = Json::parse(text)?;
+        let schema = value
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing 'schema'")?
+            .to_string();
+        let area = value
+            .get("area")
+            .and_then(Json::as_str)
+            .ok_or("missing 'area'")?
+            .to_string();
+        let git_rev = value
+            .get("git_rev")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let smoke = value.get("smoke").and_then(Json::as_bool).unwrap_or(false);
+        let mut benches = Vec::new();
+        for (i, bench) in value
+            .get("benches")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+        {
+            let mut record = BenchRecord::from_json2(bench, &area, &format!("bench #{i}"))?;
+            record.smoke = bench.get("smoke").and_then(Json::as_bool).unwrap_or(smoke);
+            benches.push(record);
+        }
+        let mut probes = Vec::new();
+        for (i, probe) in value
+            .get("probes")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+        {
+            probes.push(ProbeRecord::from_json(probe, &format!("probe #{i}"))?);
+        }
+        Ok(AreaReport {
+            schema,
+            area,
+            git_rev,
+            smoke,
+            benches,
+            probes,
+        })
+    }
+}
+
+impl BenchRecord {
+    /// Parses a merged-artifact bench entry, whose `area` lives on the
+    /// enclosing report rather than the entry itself.
+    fn from_json2(value: &Json, area: &str, context: &str) -> Result<BenchRecord, String> {
+        let mut with_area = match value {
+            Json::Obj(pairs) => Json::Obj(pairs.clone()),
+            _ => return Err(format!("{context}: not an object")),
+        };
+        if value.get("area").is_none() {
+            if let Json::Obj(pairs) = &mut with_area {
+                pairs.push(("area".to_string(), Json::Str(area.to_string())));
+            }
+        }
+        if value.get("smoke").is_none() {
+            if let Json::Obj(pairs) = &mut with_area {
+                pairs.push(("smoke".to_string(), Json::Bool(false)));
+            }
+        }
+        BenchRecord::from_json(&with_area, context)
+    }
+}
+
+/// Groups raw shim records into per-area reports, sorted by area and, inside
+/// each area, by `(group, bench)`. `git_rev` and `smoke` stamp the run's
+/// metadata into every report (a record-level smoke flag also upgrades its
+/// report, so a smoke run is never mistaken for a full one).
+pub fn merge_records(records: Vec<BenchRecord>, git_rev: &str, smoke: bool) -> Vec<AreaReport> {
+    let mut reports: Vec<AreaReport> = Vec::new();
+    for record in records {
+        let report = match reports.iter_mut().find(|r| r.area == record.area) {
+            Some(report) => report,
+            None => {
+                reports.push(AreaReport {
+                    schema: SCHEMA.to_string(),
+                    area: record.area.clone(),
+                    git_rev: git_rev.to_string(),
+                    smoke,
+                    benches: Vec::new(),
+                    probes: Vec::new(),
+                });
+                reports.last_mut().expect("just pushed")
+            }
+        };
+        report.smoke |= record.smoke;
+        report.benches.push(record);
+    }
+    for report in &mut reports {
+        report
+            .benches
+            .sort_by(|a, b| (&a.group, &a.bench).cmp(&(&b.group, &b.bench)));
+    }
+    reports.sort_by(|a, b| {
+        let rank = |area: &str| AREAS.iter().position(|k| *k == area).unwrap_or(AREAS.len());
+        (rank(&a.area), &a.area).cmp(&(rank(&b.area), &b.area))
+    });
+    reports
+}
+
+/// The 20k-person / 40-city / 4-member-club store of the `sparql_planner`
+/// bench: the selectivity skew that makes join order matter.
+fn skewed_store() -> Store {
+    let mut store = Store::new();
+    let born = Term::iri("http://e/bornIn");
+    let member = Term::iri("http://e/memberOf");
+    let club = Term::iri("http://e/club");
+    for i in 0..20_000 {
+        let person = Term::iri(format!("http://e/person{i}"));
+        let city = Term::iri(format!("http://e/city{}", i % 40));
+        store.insert(Triple::new(person.clone(), born.clone(), city));
+        if i % 5_000 == 0 {
+            store.insert(Triple::new(person, member.clone(), club.clone()));
+        }
+    }
+    store
+}
+
+/// Runs the fixed planner probe queries through `query_traced` and records
+/// the executor's rows-scanned counters. Deterministic by construction:
+/// same store, same queries, same planner → same counts on every machine.
+pub fn planner_probes() -> Vec<ProbeRecord> {
+    let store = skewed_store();
+    let _ = store.planner_stats();
+    let endpoint = InProcessEndpoint::new("perf-probes", store);
+    let probes = [
+        (
+            "worst_order_two_pattern_join",
+            "SELECT ?p ?c WHERE { ?p <http://e/bornIn> ?c . \
+             ?p <http://e/memberOf> <http://e/club> . }",
+        ),
+        (
+            "limit10_streaming_scan",
+            "SELECT ?p WHERE { ?p <http://e/bornIn> ?c . } LIMIT 10",
+        ),
+        (
+            "selective_point_lookup",
+            "SELECT ?p WHERE { ?p <http://e/memberOf> <http://e/club> . }",
+        ),
+    ];
+    probes
+        .iter()
+        .map(|(name, sparql)| {
+            let query = parse_query(sparql).expect("probe query parses");
+            let traced = endpoint.query_traced(&query).expect("probe query executes");
+            ProbeRecord {
+                name: name.to_string(),
+                rows_scanned: traced.metrics.map(|m| m.rows_scanned).unwrap_or(0),
+                result_rows: traced.results.rows().len() as u64,
+            }
+        })
+        .collect()
+}
+
+/// Thresholds for the regression gate. Ratios compare `current / baseline`
+/// of a metric; timing metrics additionally require the absolute delta to
+/// exceed `min_delta_ns` before they can warn or fail (sub-nanosecond
+/// jitter on trivial benches is not a regression).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffConfig {
+    /// Timing ratio at or above which a row is flagged `warn`.
+    pub warn_ratio: f64,
+    /// Timing ratio at or above which a row fails the gate.
+    pub fail_ratio: f64,
+    /// Minimum absolute p50 delta (ns) before a timing row can warn/fail.
+    pub min_delta_ns: f64,
+    /// Rows-scanned ratio at or above which a probe row fails. Probes are
+    /// deterministic counters, so this is much tighter than `fail_ratio`.
+    pub probe_fail_ratio: f64,
+}
+
+impl DiffConfig {
+    /// Default thresholds. Smoke runs (3 samples on shared CI runners, and
+    /// baselines usually recorded on a different machine) get much looser
+    /// timing ratios; an injected 10× regression still fails loudly. The
+    /// probe threshold is machine-independent and never loosened.
+    pub fn defaults(smoke: bool) -> DiffConfig {
+        if smoke {
+            DiffConfig {
+                warn_ratio: 2.5,
+                fail_ratio: 8.0,
+                min_delta_ns: 25.0,
+                probe_fail_ratio: 1.5,
+            }
+        } else {
+            DiffConfig {
+                warn_ratio: 1.5,
+                fail_ratio: 3.0,
+                min_delta_ns: 25.0,
+                probe_fail_ratio: 1.5,
+            }
+        }
+    }
+}
+
+/// The verdict for one compared metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffStatus {
+    /// Current is meaningfully faster than the baseline.
+    Improved,
+    /// Within noise thresholds.
+    Ok,
+    /// Above the warn ratio but below the fail ratio.
+    Warn,
+    /// At or above the fail ratio — the gate fails.
+    Fail,
+    /// Present in the current run but not in the baseline.
+    New,
+    /// Present in the baseline but missing from the current run (bench
+    /// renamed/removed, or the suite did not execute it).
+    Missing,
+}
+
+impl DiffStatus {
+    /// Short lowercase label used in the markdown table.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DiffStatus::Improved => "improved",
+            DiffStatus::Ok => "ok",
+            DiffStatus::Warn => "warn",
+            DiffStatus::Fail => "FAIL",
+            DiffStatus::New => "new",
+            DiffStatus::Missing => "missing",
+        }
+    }
+}
+
+/// One compared metric: a benchmark's p50 or a probe's rows-scanned count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Area the metric belongs to.
+    pub area: String,
+    /// `group/bench` for benchmarks, `probe:<name>` for probes.
+    pub name: String,
+    /// Metric identifier (`p50_ns` or `rows_scanned`).
+    pub metric: String,
+    /// Baseline value (0 when `New`).
+    pub base: f64,
+    /// Current value (0 when `Missing`).
+    pub current: f64,
+    /// `current / base` (1.0 when either side is missing or zero).
+    pub ratio: f64,
+    /// The verdict.
+    pub status: DiffStatus,
+}
+
+fn timing_status(base: f64, current: f64, cfg: &DiffConfig) -> (f64, DiffStatus) {
+    if base <= 0.0 {
+        return (1.0, DiffStatus::Ok);
+    }
+    let ratio = current / base;
+    if (current - base).abs() < cfg.min_delta_ns {
+        return (ratio, DiffStatus::Ok);
+    }
+    let status = if ratio >= cfg.fail_ratio {
+        DiffStatus::Fail
+    } else if ratio >= cfg.warn_ratio {
+        DiffStatus::Warn
+    } else if ratio <= 1.0 / cfg.warn_ratio {
+        DiffStatus::Improved
+    } else {
+        DiffStatus::Ok
+    };
+    (ratio, status)
+}
+
+/// Compares a fresh run against the committed baselines, producing one row
+/// per benchmark p50 and one per probe rows-scanned counter. Benchmarks
+/// present on only one side yield `New`/`Missing` rows (non-fatal — the
+/// gate only fails on `Fail`).
+pub fn diff_reports(
+    baselines: &[AreaReport],
+    current: &[AreaReport],
+    cfg: &DiffConfig,
+) -> Vec<DiffEntry> {
+    let mut entries = Vec::new();
+    for base_report in baselines {
+        let cur_report = current.iter().find(|r| r.area == base_report.area);
+        for base in &base_report.benches {
+            let name = format!("{}/{}", base.group, base.bench);
+            match cur_report.and_then(|r| {
+                r.benches
+                    .iter()
+                    .find(|b| b.group == base.group && b.bench == base.bench)
+            }) {
+                Some(cur) => {
+                    let (ratio, status) = timing_status(base.p50_ns, cur.p50_ns, cfg);
+                    entries.push(DiffEntry {
+                        area: base_report.area.clone(),
+                        name,
+                        metric: "p50_ns".to_string(),
+                        base: base.p50_ns,
+                        current: cur.p50_ns,
+                        ratio,
+                        status,
+                    });
+                }
+                None => entries.push(DiffEntry {
+                    area: base_report.area.clone(),
+                    name,
+                    metric: "p50_ns".to_string(),
+                    base: base.p50_ns,
+                    current: 0.0,
+                    ratio: 1.0,
+                    status: DiffStatus::Missing,
+                }),
+            }
+        }
+        for base in &base_report.probes {
+            let name = format!("probe:{}", base.name);
+            match cur_report.and_then(|r| r.probes.iter().find(|p| p.name == base.name)) {
+                Some(cur) => {
+                    let (ratio, status) = if base.rows_scanned == 0 {
+                        (1.0, DiffStatus::Ok)
+                    } else {
+                        let ratio = cur.rows_scanned as f64 / base.rows_scanned as f64;
+                        let status = if ratio >= cfg.probe_fail_ratio {
+                            DiffStatus::Fail
+                        } else if ratio < 1.0 {
+                            DiffStatus::Improved
+                        } else {
+                            DiffStatus::Ok
+                        };
+                        (ratio, status)
+                    };
+                    entries.push(DiffEntry {
+                        area: base_report.area.clone(),
+                        name,
+                        metric: "rows_scanned".to_string(),
+                        base: base.rows_scanned as f64,
+                        current: cur.rows_scanned as f64,
+                        ratio,
+                        status,
+                    });
+                }
+                None => entries.push(DiffEntry {
+                    area: base_report.area.clone(),
+                    name,
+                    metric: "rows_scanned".to_string(),
+                    base: base.rows_scanned as f64,
+                    current: 0.0,
+                    ratio: 1.0,
+                    status: DiffStatus::Missing,
+                }),
+            }
+        }
+    }
+    for cur_report in current {
+        let base_report = baselines.iter().find(|r| r.area == cur_report.area);
+        for cur in &cur_report.benches {
+            let known = base_report.is_some_and(|r| {
+                r.benches
+                    .iter()
+                    .any(|b| b.group == cur.group && b.bench == cur.bench)
+            });
+            if !known {
+                entries.push(DiffEntry {
+                    area: cur_report.area.clone(),
+                    name: format!("{}/{}", cur.group, cur.bench),
+                    metric: "p50_ns".to_string(),
+                    base: 0.0,
+                    current: cur.p50_ns,
+                    ratio: 1.0,
+                    status: DiffStatus::New,
+                });
+            }
+        }
+    }
+    entries
+}
+
+/// The rows of `entries` whose status fails the gate.
+pub fn failures(entries: &[DiffEntry]) -> Vec<&DiffEntry> {
+    entries
+        .iter()
+        .filter(|e| e.status == DiffStatus::Fail)
+        .collect()
+}
+
+fn human_value(metric: &str, value: f64) -> String {
+    if metric == "rows_scanned" {
+        format!("{}", value as u64)
+    } else if value <= 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.3?}", std::time::Duration::from_secs_f64(value / 1e9))
+    }
+}
+
+/// Renders the diff as a GitHub-flavoured markdown table, fail rows first.
+pub fn markdown_table(entries: &[DiffEntry]) -> String {
+    let mut sorted: Vec<&DiffEntry> = entries.iter().collect();
+    let severity = |s: DiffStatus| match s {
+        DiffStatus::Fail => 0,
+        DiffStatus::Warn => 1,
+        DiffStatus::Missing => 2,
+        DiffStatus::Improved => 3,
+        DiffStatus::New => 4,
+        DiffStatus::Ok => 5,
+    };
+    sorted.sort_by(|a, b| {
+        (severity(a.status), &a.area, &a.name).cmp(&(severity(b.status), &b.area, &b.name))
+    });
+    let mut out = String::new();
+    out.push_str("| area | benchmark | metric | baseline | current | ratio | status |\n");
+    out.push_str("|---|---|---|---:|---:|---:|---|\n");
+    for e in sorted {
+        let ratio = match e.status {
+            DiffStatus::New | DiffStatus::Missing => "-".to_string(),
+            _ => format!("{:.2}x", e.ratio),
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            e.area,
+            e.name,
+            e.metric,
+            human_value(&e.metric, e.base),
+            human_value(&e.metric, e.current),
+            ratio,
+            e.status.label(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(group: &str, bench: &str, p50: f64) -> BenchRecord {
+        record_in("", group, bench, p50)
+    }
+
+    fn record_in(area: &str, group: &str, bench: &str, p50: f64) -> BenchRecord {
+        BenchRecord {
+            area: area.to_string(),
+            group: group.to_string(),
+            bench: bench.to_string(),
+            smoke: false,
+            samples: 10,
+            iters: 1000,
+            mean_ns: p50 * 1.05,
+            p50_ns: p50,
+            p95_ns: p50 * 1.4,
+            min_ns: p50 * 0.9,
+            iters_per_sec: 1e9 / (p50 * 1.05),
+        }
+    }
+
+    fn report_with(area: &str, benches: Vec<BenchRecord>) -> AreaReport {
+        let benches = benches
+            .into_iter()
+            .map(|mut b| {
+                b.area = area.to_string();
+                b
+            })
+            .collect();
+        AreaReport {
+            schema: SCHEMA.to_string(),
+            area: area.to_string(),
+            git_rev: "deadbeef".to_string(),
+            smoke: false,
+            benches,
+            probes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn merge_groups_and_sorts_by_area_rank() {
+        let reports = merge_records(
+            vec![
+                record_in("e2e", "pipeline", "answer", 1.5e7),
+                record_in("store", "store_load", "insert_all/2000", 3.0e6),
+                record_in("store", "store_load", "bulk", 2.0e6),
+            ],
+            "abc123",
+            true,
+        );
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].area, "store");
+        assert_eq!(reports[0].benches[0].bench, "bulk");
+        assert_eq!(reports[1].area, "e2e");
+        assert!(reports.iter().all(|r| r.smoke && r.git_rev == "abc123"));
+    }
+
+    #[test]
+    fn injected_10x_p50_regression_fails_even_with_smoke_thresholds() {
+        let base = vec![report_with(
+            "planner",
+            vec![record(
+                "sparql_planner_join_order",
+                "worst_order_planned",
+                3_200.0,
+            )],
+        )];
+        let mut regressed = base.clone();
+        regressed[0].benches[0].p50_ns *= 10.0;
+        let entries = diff_reports(&base, &regressed, &DiffConfig::defaults(true));
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].status, DiffStatus::Fail);
+        assert!(!failures(&entries).is_empty());
+        // The stricter full-run thresholds fail it too.
+        let entries = diff_reports(&base, &regressed, &DiffConfig::defaults(false));
+        assert_eq!(entries[0].status, DiffStatus::Fail);
+    }
+
+    #[test]
+    fn five_percent_noise_passes_both_threshold_sets() {
+        let base = vec![report_with(
+            "store",
+            vec![record("store_pattern_matching", "six_way/spo", 439.0)],
+        )];
+        let mut noisy = base.clone();
+        noisy[0].benches[0].p50_ns *= 1.05;
+        for smoke in [true, false] {
+            let entries = diff_reports(&base, &noisy, &DiffConfig::defaults(smoke));
+            assert_eq!(entries.len(), 1);
+            assert_eq!(entries[0].status, DiffStatus::Ok, "smoke={smoke}");
+            assert!(failures(&entries).is_empty());
+        }
+    }
+
+    #[test]
+    fn sub_threshold_absolute_delta_never_warns() {
+        // 3ns → 20ns is a 6.7x ratio but only a 17ns delta: jitter, not a
+        // regression the gate should act on.
+        let base = vec![report_with("store", vec![record("g", "tiny", 3.0)])];
+        let mut cur = base.clone();
+        cur[0].benches[0].p50_ns = 20.0;
+        let entries = diff_reports(&base, &cur, &DiffConfig::defaults(false));
+        assert_eq!(entries[0].status, DiffStatus::Ok);
+    }
+
+    #[test]
+    fn improvements_missing_and_new_are_labelled() {
+        let base = vec![report_with(
+            "sparql",
+            vec![
+                record("execution", "two_hop", 30_000.0),
+                record("execution", "removed_bench", 1_000.0),
+            ],
+        )];
+        let current = vec![report_with(
+            "sparql",
+            vec![
+                record("execution", "two_hop", 10_000.0),
+                record("execution", "brand_new", 2_000.0),
+            ],
+        )];
+        let entries = diff_reports(&base, &current, &DiffConfig::defaults(false));
+        let status_of = |name: &str| {
+            entries
+                .iter()
+                .find(|e| e.name.ends_with(name))
+                .map(|e| e.status)
+        };
+        assert_eq!(status_of("two_hop"), Some(DiffStatus::Improved));
+        assert_eq!(status_of("removed_bench"), Some(DiffStatus::Missing));
+        assert_eq!(status_of("brand_new"), Some(DiffStatus::New));
+        assert!(failures(&entries).is_empty());
+    }
+
+    #[test]
+    fn probe_rows_scanned_regression_fails_tightly() {
+        let mut base = report_with("planner", Vec::new());
+        base.probes.push(ProbeRecord {
+            name: "limit10_streaming_scan".to_string(),
+            rows_scanned: 10,
+            result_rows: 10,
+        });
+        let mut cur = base.clone();
+        cur.probes[0].rows_scanned = 16; // 1.6x: above the 1.5x probe gate.
+        let entries = diff_reports(
+            std::slice::from_ref(&base),
+            std::slice::from_ref(&cur),
+            &DiffConfig::defaults(true),
+        );
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].metric, "rows_scanned");
+        assert_eq!(entries[0].status, DiffStatus::Fail);
+    }
+
+    #[test]
+    fn markdown_table_puts_failures_first() {
+        let base = vec![report_with(
+            "cache",
+            vec![
+                record("cache", "warm", 1_000_000.0),
+                record("cache", "cold", 7_000_000.0),
+            ],
+        )];
+        let mut cur = base.clone();
+        cur[0].benches.retain(|b| b.bench == "warm");
+        cur[0].benches[0].p50_ns *= 20.0;
+        let entries = diff_reports(&base, &cur, &DiffConfig::defaults(false));
+        let table = markdown_table(&entries);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].starts_with("| area |"));
+        assert!(lines[2].contains("FAIL"), "got: {}", lines[2]);
+        assert!(table.contains("missing"));
+    }
+}

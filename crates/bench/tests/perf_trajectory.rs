@@ -1,0 +1,149 @@
+//! End-to-end tests for the persisted perf trajectory: the criterion
+//! shim's JSONL emitter round-trips through the minimal parser, merged
+//! `BENCH_<area>.json` artifacts round-trip losslessly (schema, fields,
+//! escaping, non-ASCII bench names), and the planner's rows-scanned probes
+//! are deterministic.
+
+use kgqan_bench::perfjson::Json;
+use kgqan_bench::perftrack::{
+    merge_records, parse_jsonl, planner_probes, AreaReport, BenchRecord, ProbeRecord, SCHEMA,
+};
+
+/// A shim-emitted JSONL line parses into exactly the stats that produced
+/// it, including an escaped-quote, non-ASCII bench name.
+#[test]
+fn shim_jsonl_line_round_trips_through_the_parser() {
+    let stats = criterion::Stats::from_sample_ns(vec![439.25, 441.0, 440.5], 3_000);
+    let line = criterion::record_json_line(
+        "störe",
+        "ベンチ_group",
+        "insert \"all\"/1 000\tfast",
+        true,
+        &stats,
+    );
+    let records = parse_jsonl(&format!("{line}\n\n{line}\n")).expect("JSONL parses");
+    assert_eq!(records.len(), 2);
+    let record = &records[0];
+    assert_eq!(record.area, "störe");
+    assert_eq!(record.group, "ベンチ_group");
+    assert_eq!(record.bench, "insert \"all\"/1 000\tfast");
+    assert!(record.smoke);
+    assert_eq!(record.samples, stats.samples);
+    assert_eq!(record.iters, stats.iters);
+    // Shortest-round-trip float formatting: exact equality, not approx.
+    assert_eq!(record.mean_ns, stats.mean_ns);
+    assert_eq!(record.p50_ns, stats.p50_ns);
+    assert_eq!(record.p95_ns, stats.p95_ns);
+    assert_eq!(record.min_ns, stats.min_ns);
+    assert_eq!(record.iters_per_sec, stats.iters_per_sec);
+}
+
+fn sample_record(area: &str, group: &str, bench: &str, p50: f64) -> BenchRecord {
+    BenchRecord {
+        area: area.to_string(),
+        group: group.to_string(),
+        bench: bench.to_string(),
+        smoke: false,
+        samples: 20,
+        iters: 12_345,
+        mean_ns: p50 * 1.07,
+        p50_ns: p50,
+        p95_ns: p50 * 1.9,
+        min_ns: p50 * 0.8,
+        iters_per_sec: 1e9 / (p50 * 1.07),
+    }
+}
+
+/// A merged artifact survives `to_json` → parse → `from_json` unchanged,
+/// with non-ASCII and escape-heavy names intact, and carries the expected
+/// schema and metadata fields.
+#[test]
+fn merged_artifact_round_trips_losslessly() {
+    let records = vec![
+        sample_record(
+            "planner",
+            "sparql_planner_join_order",
+            "worst_order_planned",
+            3_200.5,
+        ),
+        sample_record(
+            "planner",
+            "sparql_planner_limit",
+            "limit10_ströming \"quoted\"",
+            3_400.0,
+        ),
+    ];
+    let mut reports = merge_records(records, "abc123def456", false);
+    assert_eq!(reports.len(), 1);
+    reports[0].probes.push(ProbeRecord {
+        name: "probe_日本語".to_string(),
+        rows_scanned: 8,
+        result_rows: 4,
+    });
+
+    let text = reports[0].to_json();
+    // The artifact is well-formed JSON with the documented top-level shape.
+    let doc = Json::parse(&text).expect("artifact is valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+    assert_eq!(doc.get("area").and_then(Json::as_str), Some("planner"));
+    assert_eq!(
+        doc.get("git_rev").and_then(Json::as_str),
+        Some("abc123def456")
+    );
+    assert_eq!(doc.get("smoke").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        doc.get("benches")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(2)
+    );
+
+    let parsed = AreaReport::from_json(&text).expect("artifact parses back");
+    assert_eq!(parsed, reports[0]);
+}
+
+/// An artifact with an empty bench list (e.g. a probes-only area) still
+/// round-trips.
+#[test]
+fn empty_sections_round_trip() {
+    let report = AreaReport {
+        schema: SCHEMA.to_string(),
+        area: "service".to_string(),
+        git_rev: "unknown".to_string(),
+        smoke: true,
+        benches: Vec::new(),
+        probes: Vec::new(),
+    };
+    let parsed = AreaReport::from_json(&report.to_json()).expect("parses");
+    assert_eq!(parsed, report);
+}
+
+/// The planner probes are deterministic executor counters: two fresh runs
+/// agree exactly, the LIMIT probe proves streaming early-exit, and the
+/// planned worst-order join scans orders of magnitude fewer rows than the
+/// 20k-triple scan it would do unplanned.
+#[test]
+fn planner_probes_are_deterministic_and_tight() {
+    let first = planner_probes();
+    let second = planner_probes();
+    assert_eq!(first, second);
+    assert_eq!(first.len(), 3);
+
+    let by_name = |name: &str| {
+        first
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("probe {name} missing"))
+    };
+    let limit = by_name("limit10_streaming_scan");
+    assert_eq!(limit.result_rows, 10);
+    assert!(limit.rows_scanned <= 10, "scanned {}", limit.rows_scanned);
+
+    let join = by_name("worst_order_two_pattern_join");
+    assert_eq!(join.result_rows, 4);
+    assert!(join.rows_scanned <= 100, "scanned {}", join.rows_scanned);
+
+    let lookup = by_name("selective_point_lookup");
+    assert_eq!(lookup.result_rows, 4);
+    assert!(lookup.rows_scanned <= 8, "scanned {}", lookup.rows_scanned);
+}
