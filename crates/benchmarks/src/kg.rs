@@ -596,6 +596,10 @@ fn generate_general(flavor: KgFlavor, voc: PredicateVocabulary, scale: KgScale) 
         ));
     }
 
+    // Seal the fixture: generated KGs are read-only once built, and every
+    // served store is compacted (see `LiveStore::new`), so benches and
+    // experiments should measure the sealed layout, not the write buffer.
+    store.compact();
     GeneratedKg {
         flavor,
         store,
@@ -834,6 +838,8 @@ fn generate_scholarly(flavor: KgFlavor, scale: KgScale) -> GeneratedKg {
         });
     }
 
+    // Seal the fixture (same reasoning as the general-fact flavors).
+    store.compact();
     GeneratedKg {
         flavor,
         store,

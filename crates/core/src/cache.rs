@@ -78,8 +78,7 @@ mod tests {
             hits,
             misses,
             insertions: misses,
-            evictions: 0,
-            invalidations: 0,
+            ..CacheStats::default()
         }
     }
 

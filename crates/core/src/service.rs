@@ -334,6 +334,24 @@ impl QaService {
         self.inner.registry.invalidate_cache(kg)
     }
 
+    /// Ingest a batch of new triples into one registered KG's live store.
+    ///
+    /// The batch is applied atomically by the KG's writer and published as a
+    /// new epoch snapshot; requests already in flight keep the epoch they
+    /// pinned, requests arriving after this call returns see the new data.
+    /// On a cached service the KG's namespace is *scope*-invalidated: only
+    /// cached probes and candidate results the added triples could have
+    /// changed are evicted, everything else stays warm.  Fails with
+    /// [`KgqanError`] wrapping [`kgqan_endpoint::EndpointError`] when the KG
+    /// is unknown or its endpoint is read-only.
+    pub fn ingest(
+        &self,
+        kg: &str,
+        batch: kgqan_rdf::IngestBatch,
+    ) -> Result<kgqan_rdf::IngestReport, KgqanError> {
+        Ok(self.inner.registry.ingest(kg, batch)?)
+    }
+
     /// Resolve which registered KG a request targets: the request's explicit
     /// choice, else the configured default, else the sole registered
     /// endpoint.
@@ -769,6 +787,54 @@ mod tests {
             .any(|t| t.as_iri() == Some("http://dbpedia.org/resource/Michelle_Obama")));
         assert!(!response.query_stats.is_empty());
         assert!(response.endpoint_stats.total_requests > 0);
+    }
+
+    #[test]
+    fn ingest_updates_the_live_kg_and_subsequent_answers() {
+        let service = service_with_one_kg();
+        let question = "Who is the wife of Donald Trump?";
+        // Before the ingest the KG knows nothing about the subject.
+        let before = service.answer(AnswerRequest::new(question)).unwrap();
+        assert!(before.outcome.answers.is_empty());
+
+        let trump = Term::iri("http://dbpedia.org/resource/Donald_Trump");
+        let melania = Term::iri("http://dbpedia.org/resource/Melania_Trump");
+        let report = service
+            .ingest(
+                "DBpedia",
+                kgqan_rdf::IngestBatch::new()
+                    .with(Triple::new(
+                        trump.clone(),
+                        Term::iri(vocab::RDFS_LABEL),
+                        Term::literal_str("Donald Trump"),
+                    ))
+                    .with(Triple::new(
+                        melania.clone(),
+                        Term::iri(vocab::RDFS_LABEL),
+                        Term::literal_str("Melania Trump"),
+                    ))
+                    .with(Triple::new(
+                        trump,
+                        Term::iri("http://dbpedia.org/ontology/spouse"),
+                        melania,
+                    )),
+            )
+            .unwrap();
+        assert_eq!(report.added(), 3);
+        assert_eq!(report.epoch(), 1);
+
+        // The same question now finds the freshly ingested facts.
+        let after = service.answer(AnswerRequest::new(question)).unwrap();
+        assert!(after
+            .outcome
+            .answers
+            .iter()
+            .any(|t| t.as_iri() == Some("http://dbpedia.org/resource/Melania_Trump")));
+
+        // Unknown KGs fail cleanly.
+        assert!(service
+            .ingest("YAGO", kgqan_rdf::IngestBatch::new())
+            .is_err());
     }
 
     #[test]

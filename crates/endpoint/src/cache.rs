@@ -33,6 +33,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use kgqan_rdf::{IngestBatch, IngestReport, Term, TouchedScope};
+use kgqan_sparql::eval::{is_text_search_pattern, parse_text_query};
 use kgqan_sparql::{Query, QueryResults};
 
 use crate::dialect::EngineDialect;
@@ -92,6 +94,14 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Explicit whole-namespace invalidations.
     pub invalidations: u64,
+    /// Scoped (ingest-driven) invalidation passes run against the
+    /// namespace.  A pass walks the cached keys and evicts only those whose
+    /// probe text or parsed patterns mention the touched predicates,
+    /// entities or literal tokens — untouched entries survive.
+    pub scoped_invalidations: u64,
+    /// Entries evicted by scoped invalidation passes (a subset of the
+    /// namespace, unlike `invalidations` which flushes everything).
+    pub scoped_evictions: u64,
 }
 
 impl CacheStats {
@@ -115,6 +125,12 @@ impl CacheStats {
             insertions: self.insertions.saturating_sub(earlier.insertions),
             evictions: self.evictions.saturating_sub(earlier.evictions),
             invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            scoped_invalidations: self
+                .scoped_invalidations
+                .saturating_sub(earlier.scoped_invalidations),
+            scoped_evictions: self
+                .scoped_evictions
+                .saturating_sub(earlier.scoped_evictions),
         }
     }
 
@@ -125,6 +141,8 @@ impl CacheStats {
         self.insertions += other.insertions;
         self.evictions += other.evictions;
         self.invalidations += other.invalidations;
+        self.scoped_invalidations += other.scoped_invalidations;
+        self.scoped_evictions += other.scoped_evictions;
     }
 }
 
@@ -243,6 +261,24 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.recency.clear();
     }
 
+    /// Keep only the entries for which `keep` returns true, preserving the
+    /// recency order of the survivors.  Returns the number of entries
+    /// dropped — the scoped-invalidation primitive.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) -> usize {
+        let mut dropped_ticks = Vec::new();
+        self.entries.retain(|key, (value, tick)| {
+            let keep_it = keep(key, value);
+            if !keep_it {
+                dropped_ticks.push(*tick);
+            }
+            keep_it
+        });
+        for tick in &dropped_ticks {
+            self.recency.remove(tick);
+        }
+        dropped_ticks.len()
+    }
+
     /// Keys ordered least- to most-recently-used (test/diagnostic helper).
     pub fn keys_by_recency(&self) -> Vec<K> {
         self.recency.values().cloned().collect()
@@ -265,6 +301,8 @@ pub struct QueryCache {
     insertions: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    scoped_invalidations: AtomicU64,
+    scoped_evictions: AtomicU64,
 }
 
 impl QueryCache {
@@ -279,6 +317,8 @@ impl QueryCache {
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            scoped_invalidations: AtomicU64::new(0),
+            scoped_evictions: AtomicU64::new(0),
         }
     }
 
@@ -354,6 +394,48 @@ impl QueryCache {
         self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Evict only the entries an ingest batch could have changed, leaving
+    /// the rest of the namespace warm.
+    ///
+    /// The batch's [`TouchedScope`] carries the added triples plus the
+    /// predicates, entities and literal word tokens they mention.  A cached
+    /// entry is stale iff the addition could alter its result:
+    ///
+    /// * a **text-keyed probe** is evicted when its SPARQL text mentions a
+    ///   touched literal token or embeds a touched entity/predicate IRI
+    ///   ([`TouchedScope::mentions_text`]),
+    /// * a **parsed query** is evicted when one of its triple patterns
+    ///   matches an added triple in its constant positions — additions are
+    ///   monotone, so a result can only change if some pattern gained a
+    ///   matching triple ([`TouchedScope::matches_constants`]); full-text
+    ///   patterns are compared token-wise against the touched literals.
+    ///
+    /// Very large batches fall back to a whole-namespace flush (matching
+    /// every cached key against thousands of added triples costs more than
+    /// re-probing), recorded under `invalidations` rather than
+    /// `scoped_invalidations`.  An empty scope (duplicate-only batch)
+    /// evicts nothing and does not count as a pass.
+    pub fn invalidate_scoped(&self, scope: &TouchedScope) {
+        if scope.is_empty() {
+            return;
+        }
+        if scope.added().len() > SCOPED_INVALIDATION_MAX_BATCH {
+            self.invalidate();
+            return;
+        }
+        let dropped_probes = self
+            .probes
+            .lock()
+            .retain(|sparql, _| !scope.mentions_text(sparql));
+        let dropped_results = self
+            .results
+            .lock()
+            .retain(|query, _| !query_touches(query, scope));
+        self.scoped_invalidations.fetch_add(1, Ordering::Relaxed);
+        self.scoped_evictions
+            .fetch_add((dropped_probes + dropped_results) as u64, Ordering::Relaxed);
+    }
+
     /// Number of live entries across both layers.
     pub fn len(&self) -> usize {
         self.probes.lock().len() + self.results.lock().len()
@@ -372,8 +454,45 @@ impl QueryCache {
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            scoped_invalidations: self.scoped_invalidations.load(Ordering::Relaxed),
+            scoped_evictions: self.scoped_evictions.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Above this many added triples a scoped pass degrades to a full flush:
+/// the per-entry staleness test is linear in the batch, so a bulk load
+/// would make invalidation cost `O(entries × batch)` for a cache that is
+/// almost certainly all stale anyway.
+const SCOPED_INVALIDATION_MAX_BATCH: usize = 256;
+
+/// Could an ingest described by `scope` change this cached query's result?
+///
+/// Additions are monotone: a SELECT/ASK over a basic graph pattern can only
+/// change if at least one of its triple patterns gained a matching triple.
+/// Each pattern is therefore tested independently — constant positions
+/// against the added triples, full-text search patterns token-wise against
+/// the added literals' words.
+fn query_touches(query: &Query, scope: &TouchedScope) -> bool {
+    query.pattern.all_triple_patterns().iter().any(|tp| {
+        if is_text_search_pattern(tp) {
+            // `?v <bif:contains> "'baltic'"` — stale when the search words
+            // intersect the tokens of an added literal.  A variable search
+            // string is unbounded, treat it as touched.
+            return match tp.object.as_term() {
+                Some(Term::Literal(lit)) => parse_text_query(&lit.lexical)
+                    .iter()
+                    .any(|word| scope.literal_tokens().contains(word)),
+                Some(_) => false,
+                None => true,
+            };
+        }
+        scope.matches_constants(
+            tp.subject.as_term(),
+            tp.predicate.as_term(),
+            tp.object.as_term(),
+        )
+    })
 }
 
 /// A [`SparqlEndpoint`] decorator that answers repeated queries from a
@@ -481,6 +600,16 @@ impl SparqlEndpoint for CachingEndpoint {
         Ok(traced)
     }
 
+    fn ingest(&self, batch: IngestBatch) -> Result<IngestReport, EndpointError> {
+        let report = self.inner.ingest(batch)?;
+        if report.added() > 0 {
+            // Evict only what the new epoch could have changed; untouched
+            // probes and candidate results stay warm across the ingest.
+            self.cache.invalidate_scoped(report.touched());
+        }
+        Ok(report)
+    }
+
     fn stats(&self) -> RequestStats {
         let cache = self.cache.stats();
         RequestStats {
@@ -495,7 +624,7 @@ impl SparqlEndpoint for CachingEndpoint {
 mod tests {
     use super::*;
     use crate::inprocess::InProcessEndpoint;
-    use kgqan_rdf::{Store, Term, Triple};
+    use kgqan_rdf::{Store, Triple};
     use kgqan_sparql::parse_query;
 
     fn store() -> Store {
@@ -619,6 +748,137 @@ mod tests {
     }
 
     #[test]
+    fn lru_retain_drops_matches_and_preserves_survivor_recency() {
+        let mut lru: LruCache<u32, &str> = LruCache::new(8);
+        for (k, v) in [(1, "a"), (2, "b"), (3, "c"), (4, "d")] {
+            lru.insert(k, v);
+        }
+        lru.get(&1); // recency now 2, 3, 4, 1
+        let dropped = lru.retain(|k, _| k % 2 != 0);
+        assert_eq!(dropped, 2);
+        assert_eq!(lru.len(), 2);
+        assert!(lru.peek(&2).is_none());
+        assert!(lru.peek(&4).is_none());
+        assert_eq!(lru.keys_by_recency(), vec![3, 1]);
+    }
+
+    #[test]
+    fn scoped_invalidation_evicts_touched_entries_and_keeps_the_rest_warm() {
+        let mut s = Store::new();
+        s.insert(Triple::new(
+            Term::iri("http://e/s1"),
+            Term::iri("http://e/p1"),
+            Term::iri("http://e/o1"),
+        ));
+        s.insert(Triple::new(
+            Term::iri("http://e/s2"),
+            Term::iri("http://e/p2"),
+            Term::iri("http://e/o2"),
+        ));
+        let namespace = QueryCache::shared(CacheConfig::default());
+        let ep = CachingEndpoint::new(
+            Arc::new(InProcessEndpoint::new("DBpedia", s)),
+            namespace.clone(),
+        );
+        let q_touched = "SELECT ?s WHERE { ?s <http://e/p1> ?o . }";
+        let q_untouched = "SELECT ?s WHERE { ?s <http://e/p2> ?o . }";
+        // Warm both the text-keyed and the parsed layers.
+        assert_eq!(ep.query(q_touched).unwrap().rows().len(), 1);
+        ep.query(q_untouched).unwrap();
+        let parsed_touched = parse_query(q_touched).unwrap();
+        let parsed_untouched = parse_query(q_untouched).unwrap();
+        ep.query_parsed(&parsed_touched).unwrap();
+        ep.query_parsed(&parsed_untouched).unwrap();
+        assert_eq!(namespace.len(), 4);
+
+        let report = ep
+            .ingest(IngestBatch::from(vec![Triple::new(
+                Term::iri("http://e/s3"),
+                Term::iri("http://e/p1"),
+                Term::iri("http://e/o3"),
+            )]))
+            .unwrap();
+        assert_eq!(report.added(), 1);
+
+        // Only the two p1-touching entries were dropped.
+        let stats = namespace.stats();
+        assert_eq!(stats.scoped_invalidations, 1);
+        assert_eq!(stats.scoped_evictions, 2);
+        assert_eq!(stats.invalidations, 0, "no whole-namespace flush");
+        assert_eq!(namespace.len(), 2);
+
+        // The untouched queries still hit; the touched ones re-execute and
+        // observe the new epoch.
+        let hits_before = namespace.stats().hits;
+        ep.query(q_untouched).unwrap();
+        ep.query_parsed(&parsed_untouched).unwrap();
+        assert_eq!(namespace.stats().hits, hits_before + 2);
+        assert_eq!(ep.query(q_touched).unwrap().rows().len(), 2);
+        assert_eq!(ep.query_parsed(&parsed_touched).unwrap().rows().len(), 2);
+    }
+
+    #[test]
+    fn scoped_invalidation_matches_text_probes_by_token() {
+        let mut s = Store::new();
+        s.insert(Triple::new(
+            Term::iri("http://e/baltic"),
+            Term::iri("http://www.w3.org/2000/01/rdf-schema#label"),
+            Term::literal_str("Baltic"),
+        ));
+        let namespace = QueryCache::shared(CacheConfig::default());
+        let ep = CachingEndpoint::new(
+            Arc::new(InProcessEndpoint::new("DBpedia", s)),
+            namespace.clone(),
+        );
+        let probe_touched = r#"SELECT ?v WHERE { ?v ?p ?d . ?d <bif:contains> "'north'" . }"#;
+        let probe_untouched = r#"SELECT ?v WHERE { ?v ?p ?d . ?d <bif:contains> "'baltic'" . }"#;
+        assert_eq!(ep.query(probe_touched).unwrap().rows().len(), 0);
+        assert_eq!(ep.query(probe_untouched).unwrap().rows().len(), 1);
+
+        ep.ingest(IngestBatch::from(vec![Triple::new(
+            Term::iri("http://e/north"),
+            Term::iri("http://www.w3.org/2000/01/rdf-schema#label"),
+            Term::literal_str("North"),
+        )]))
+        .unwrap();
+
+        // The 'baltic' probe survived the ingest of a 'north' literal...
+        let hits_before = namespace.stats().hits;
+        assert_eq!(ep.query(probe_untouched).unwrap().rows().len(), 1);
+        assert_eq!(namespace.stats().hits, hits_before + 1);
+        // ...while the 'north' probe was evicted and now sees the new data.
+        assert_eq!(ep.query(probe_touched).unwrap().rows().len(), 1);
+        assert_eq!(namespace.stats().scoped_evictions, 1);
+    }
+
+    #[test]
+    fn huge_ingest_batches_fall_back_to_a_full_flush() {
+        let namespace = QueryCache::shared(CacheConfig::default());
+        let ep = CachingEndpoint::new(
+            Arc::new(InProcessEndpoint::new("DBpedia", store())),
+            namespace.clone(),
+        );
+        // This entry mentions nothing the batch touches, but a bulk load
+        // flushes everything rather than run entries × batch staleness tests.
+        ep.query("SELECT ?s WHERE { ?s <http://e/p> ?o . }")
+            .unwrap();
+        let batch: IngestBatch = (0..SCOPED_INVALIDATION_MAX_BATCH + 1)
+            .map(|i| {
+                Triple::new(
+                    Term::iri(format!("http://e/bulk{i}")),
+                    Term::iri("http://e/q"),
+                    Term::iri("http://e/o"),
+                )
+            })
+            .collect();
+        ep.ingest(batch).unwrap();
+        assert!(namespace.is_empty());
+        let stats = namespace.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.scoped_invalidations, 0);
+    }
+
+    #[test]
     fn concurrent_threads_count_hits_exactly() {
         let namespace = QueryCache::shared(CacheConfig::default());
         let ep = Arc::new(CachingEndpoint::new(
@@ -711,6 +971,8 @@ mod tests {
             insertions: 3,
             evictions: 0,
             invalidations: 0,
+            scoped_invalidations: 0,
+            scoped_evictions: 0,
         };
         let after = CacheStats {
             hits: 7,
@@ -718,6 +980,8 @@ mod tests {
             insertions: 4,
             evictions: 1,
             invalidations: 1,
+            scoped_invalidations: 2,
+            scoped_evictions: 5,
         };
         let delta = after.since(&before);
         assert_eq!(delta.hits, 5);
@@ -725,6 +989,8 @@ mod tests {
         assert_eq!(delta.insertions, 1);
         assert_eq!(delta.evictions, 1);
         assert_eq!(delta.invalidations, 1);
+        assert_eq!(delta.scoped_invalidations, 2);
+        assert_eq!(delta.scoped_evictions, 5);
         assert!((delta.hit_rate() - 5.0 / 6.0).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
 

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use kgqan_rdf::RdfError;
 use kgqan_sparql::SparqlError;
 
 /// Errors surfaced by a SPARQL endpoint.
@@ -19,6 +20,13 @@ pub enum EndpointError {
     },
     /// The endpoint rejected the request (e.g. simulated unavailability).
     Unavailable(String),
+    /// The endpoint does not accept writes (e.g. a read-only remote engine).
+    IngestUnsupported {
+        /// The endpoint that rejected the batch.
+        name: String,
+    },
+    /// An ingest batch was rejected by the store (e.g. a malformed triple).
+    Ingest(RdfError),
 }
 
 impl fmt::Display for EndpointError {
@@ -37,6 +45,10 @@ impl fmt::Display for EndpointError {
                 }
             }
             EndpointError::Unavailable(reason) => write!(f, "endpoint unavailable: {reason}"),
+            EndpointError::IngestUnsupported { name } => {
+                write!(f, "endpoint {name} does not support ingestion")
+            }
+            EndpointError::Ingest(e) => write!(f, "ingest error: {e}"),
         }
     }
 }
@@ -46,6 +58,12 @@ impl std::error::Error for EndpointError {}
 impl From<SparqlError> for EndpointError {
     fn from(e: SparqlError) -> Self {
         EndpointError::Query(e)
+    }
+}
+
+impl From<RdfError> for EndpointError {
+    fn from(e: RdfError) -> Self {
+        EndpointError::Ingest(e)
     }
 }
 

@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use kgqan_rdf::{GraphStats, Store};
+use kgqan_rdf::{GraphStats, IngestBatch, IngestReport, LiveStore, Store, StoreSnapshot};
 use kgqan_sparql::eval::is_text_search_pattern;
 use kgqan_sparql::{parse_query, ExecMetrics, PlanSummary, Planner, Query, QueryResults};
 
@@ -19,11 +19,17 @@ use crate::error::EndpointError;
 use crate::stats::RequestStats;
 use crate::{SparqlEndpoint, TracedQuery};
 
-/// An endpoint answering queries from an in-memory store.
+/// An endpoint answering queries from an in-memory [`LiveStore`].
+///
+/// Every request pins the live store's *current* epoch snapshot for its
+/// whole planning-and-execution lifetime, so a query always sees one
+/// consistent graph state even while a writer is concurrently publishing new
+/// epochs via [`InProcessEndpoint::ingest`] (readers never block on
+/// writers).
 pub struct InProcessEndpoint {
     name: String,
     dialect: EngineDialect,
-    store: Arc<Store>,
+    live: Arc<LiveStore>,
     latency: Duration,
     stats: Mutex<RequestStats>,
 }
@@ -32,21 +38,16 @@ impl InProcessEndpoint {
     /// Wrap a store in an endpoint with the given name, speaking the
     /// Virtuoso dialect and adding no artificial latency.
     pub fn new(name: impl Into<String>, store: Store) -> Self {
-        InProcessEndpoint {
-            name: name.into(),
-            dialect: EngineDialect::Virtuoso,
-            store: Arc::new(store),
-            latency: Duration::ZERO,
-            stats: Mutex::new(RequestStats::default()),
-        }
+        InProcessEndpoint::from_live(name, Arc::new(LiveStore::new(store)))
     }
 
-    /// Wrap an already-shared store.
-    pub fn from_shared(name: impl Into<String>, store: Arc<Store>) -> Self {
+    /// Wrap an already-shared live store (e.g. one writer feeding several
+    /// endpoints, or an external ingestion loop holding its own handle).
+    pub fn from_live(name: impl Into<String>, live: Arc<LiveStore>) -> Self {
         InProcessEndpoint {
             name: name.into(),
             dialect: EngineDialect::Virtuoso,
-            store,
+            live,
             latency: Duration::ZERO,
             stats: Mutex::new(RequestStats::default()),
         }
@@ -65,20 +66,29 @@ impl InProcessEndpoint {
         self
     }
 
-    /// The wrapped store (read-only).  The harness uses this for gold-answer
-    /// evaluation; KGQAn itself never calls it.
-    pub fn store(&self) -> &Store {
-        &self.store
+    /// Pin and return the current epoch snapshot (read-only).  The harness
+    /// uses this for gold-answer evaluation; KGQAn itself never calls it.
+    /// The snapshot derefs to [`Store`], so existing `store().len()`-style
+    /// call sites keep working unchanged.
+    pub fn store(&self) -> Arc<StoreSnapshot> {
+        self.live.snapshot()
     }
 
-    /// A shared handle to the wrapped store.
-    pub fn shared_store(&self) -> Arc<Store> {
-        Arc::clone(&self.store)
+    /// A shared handle to the live store behind the endpoint, for callers
+    /// that want to drive ingestion or pin snapshots themselves.
+    pub fn live_store(&self) -> Arc<LiveStore> {
+        Arc::clone(&self.live)
     }
 
-    /// Statistics of the underlying graph (size, distinct terms, …).
+    /// The epoch currently being served.
+    pub fn epoch(&self) -> u64 {
+        self.live.epoch()
+    }
+
+    /// Statistics of the underlying graph (size, distinct terms, …),
+    /// computed over the current epoch snapshot.
     pub fn graph_stats(&self) -> GraphStats {
-        self.store.stats()
+        self.live.snapshot().stats()
     }
 
     /// Record one served request in the endpoint statistics; the single
@@ -116,7 +126,11 @@ impl InProcessEndpoint {
         if !self.latency.is_zero() {
             std::thread::sleep(self.latency);
         }
-        let plan = Planner::new(&self.store).plan(query);
+        // Pin one epoch for the whole request: planning statistics and
+        // execution scans come from the same immutable snapshot, no matter
+        // how many epochs a concurrent writer publishes meanwhile.
+        let snapshot = self.live.snapshot();
+        let plan = Planner::for_snapshot(&snapshot).plan(query);
         let outcome = plan.execute().map_err(EndpointError::from);
         let is_text = query
             .pattern
@@ -132,7 +146,11 @@ impl InProcessEndpoint {
     /// The physical plan this endpoint's engine would choose for a query,
     /// without executing it — the `EXPLAIN` entry point.
     pub fn explain(&self, query: &Query) -> PlanSummary {
-        Planner::new(&self.store).plan(query).summary().clone()
+        let snapshot = self.live.snapshot();
+        Planner::for_snapshot(&snapshot)
+            .plan(query)
+            .summary()
+            .clone()
     }
 
     /// Parse a SPARQL string and return its `EXPLAIN` plan.
@@ -186,6 +204,10 @@ impl SparqlEndpoint for InProcessEndpoint {
             plan,
             metrics: Some(metrics),
         })
+    }
+
+    fn ingest(&self, batch: IngestBatch) -> Result<IngestReport, EndpointError> {
+        self.live.ingest(batch).map_err(EndpointError::from)
     }
 
     fn stats(&self) -> RequestStats {
@@ -296,6 +318,32 @@ mod tests {
         // EXPLAIN does not execute: no request was recorded.
         assert_eq!(ep.stats().total_requests, 0);
         assert!(ep.explain_sparql("SELECT nonsense").is_err());
+    }
+
+    #[test]
+    fn ingest_publishes_a_new_epoch_and_updates_answers() {
+        let ep = InProcessEndpoint::new("DBpedia", store());
+        let sparql = "SELECT ?s WHERE { ?s a <http://dbpedia.org/ontology/Sea> . }";
+        assert_eq!(ep.query(sparql).unwrap().rows().len(), 1);
+        assert_eq!(ep.epoch(), 0);
+
+        // A reader that pinned the pre-ingest snapshot keeps its view.
+        let pinned = ep.store();
+
+        let report = ep
+            .ingest(IngestBatch::from(vec![Triple::new(
+                Term::iri("http://dbpedia.org/resource/North_Sea"),
+                Term::iri(vocab::RDF_TYPE),
+                Term::iri("http://dbpedia.org/ontology/Sea"),
+            )]))
+            .unwrap();
+        assert_eq!(report.added(), 1);
+        assert_eq!(report.epoch(), 1);
+        assert_eq!(ep.epoch(), 1);
+
+        assert_eq!(ep.query(sparql).unwrap().rows().len(), 2);
+        assert_eq!(pinned.len(), 2, "pinned snapshot is immutable");
+        assert_eq!(ep.store().len(), 3);
     }
 
     #[test]

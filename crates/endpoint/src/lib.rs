@@ -37,6 +37,7 @@ pub use inprocess::InProcessEndpoint;
 pub use registry::EndpointRegistry;
 pub use stats::RequestStats;
 
+use kgqan_rdf::{IngestBatch, IngestReport};
 use kgqan_sparql::{ExecMetrics, PlanSummary, Query, QueryResults};
 
 /// The results of one executed query plus the engine's execution telemetry,
@@ -97,6 +98,22 @@ pub trait SparqlEndpoint: Send + Sync {
             results: self.query_parsed(query)?,
             plan: None,
             metrics: None,
+        })
+    }
+
+    /// Apply a batch of triple additions to the endpoint's live knowledge
+    /// graph, publishing a new epoch snapshot for subsequent queries.
+    ///
+    /// The default implementation rejects the batch with
+    /// [`EndpointError::IngestUnsupported`]: a stock remote endpoint is
+    /// read-only from KGQAn's point of view.  [`InProcessEndpoint`] overrides
+    /// it to forward the batch to its [`kgqan_rdf::LiveStore`] writer, and
+    /// [`CachingEndpoint`] additionally performs scoped cache invalidation
+    /// from the returned [`kgqan_rdf::TouchedScope`].
+    fn ingest(&self, batch: IngestBatch) -> Result<IngestReport, EndpointError> {
+        let _ = batch;
+        Err(EndpointError::IngestUnsupported {
+            name: self.name().to_string(),
         })
     }
 

@@ -151,6 +151,20 @@ impl EndpointRegistry {
         }
     }
 
+    /// Ingest a batch into the named KG's live store, publishing a new
+    /// epoch.  On a caching registry the batch goes through the KG's
+    /// [`CachingEndpoint`], so the namespace is scope-invalidated in the
+    /// same call: only cached entries the added triples could have changed
+    /// are evicted, the rest stay warm.  Endpoints that do not support
+    /// writes fail with [`EndpointError::IngestUnsupported`].
+    pub fn ingest(
+        &self,
+        name: &str,
+        batch: kgqan_rdf::IngestBatch,
+    ) -> Result<kgqan_rdf::IngestReport, EndpointError> {
+        self.get(name)?.ingest(batch)
+    }
+
     /// True if an endpoint is registered under `name`.
     pub fn contains(&self, name: &str) -> bool {
         self.endpoints.contains_key(name)
@@ -294,6 +308,48 @@ mod tests {
 
         assert!(reg.invalidate_cache("DBpedia"));
         assert_eq!(reg.cache_of("DBpedia").unwrap().stats().invalidations, 1);
+    }
+
+    #[test]
+    fn registry_ingest_routes_to_the_named_kg_and_scope_invalidates() {
+        use kgqan_rdf::IngestBatch;
+
+        let mut reg = EndpointRegistry::with_cache(CacheConfig::default());
+        reg.register(Arc::new(InProcessEndpoint::new(
+            "DBpedia",
+            one_triple_store("http://e/o"),
+        )));
+
+        let q = "SELECT ?s WHERE { ?s <http://e/p> ?o . }";
+        let other = "SELECT ?s WHERE { ?s <http://e/unrelated> ?o . }";
+        reg.get("DBpedia").unwrap().query(q).unwrap();
+        reg.get("DBpedia").unwrap().query(other).unwrap();
+
+        let report = reg
+            .ingest(
+                "DBpedia",
+                IngestBatch::from(vec![Triple::new(
+                    Term::iri("http://e/s2"),
+                    Term::iri("http://e/p"),
+                    Term::iri("http://e/o2"),
+                )]),
+            )
+            .unwrap();
+        assert_eq!(report.added(), 1);
+        assert_eq!(report.epoch(), 1);
+
+        let namespace = reg.cache_of("DBpedia").unwrap();
+        assert_eq!(namespace.stats().scoped_invalidations, 1);
+        assert_eq!(namespace.stats().scoped_evictions, 1);
+        assert_eq!(
+            reg.get("DBpedia").unwrap().query(q).unwrap().rows().len(),
+            2
+        );
+
+        assert!(matches!(
+            reg.ingest("YAGO", IngestBatch::new()),
+            Err(EndpointError::UnknownEndpoint { .. })
+        ));
     }
 
     #[test]

@@ -4,8 +4,19 @@
 //! RDF-3X/Hexastore descendants) stores triples over a term dictionary so
 //! that the triple indices operate on fixed-width integers.  This module
 //! provides the bidirectional mapping `Term ↔ TermId`.
+//!
+//! The dictionary is **generational**: terms are interned into a small
+//! mutable head, and [`Dictionary::freeze`] seals the head into an
+//! immutable, `Arc`-shared segment.  Cloning a frozen dictionary — which
+//! the live-ingest path does once per published epoch — therefore bumps a
+//! handful of reference counts instead of copying every interned term.
+//! Segments are kept geometrically sized (a freeze merges trailing segments
+//! until each is at least twice the size of its successor), so lookups probe
+//! `O(log n)` segments and merge work is amortised across freezes.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::hash::FxHashMap;
 use crate::term::Term;
@@ -31,14 +42,36 @@ impl fmt::Display for TermId {
     }
 }
 
+/// One immutable run of interned terms covering the contiguous id range
+/// `start .. start + terms.len()`.
+#[derive(Debug)]
+struct DictSegment {
+    start: u32,
+    terms: Vec<Term>,
+    forward: FxHashMap<Term, TermId>,
+}
+
+impl DictSegment {
+    fn len(&self) -> usize {
+        self.terms.len()
+    }
+}
+
 /// A bidirectional mapping between [`Term`]s and [`TermId`]s.
 ///
-/// The forward direction (term → id) is a hash map; the reverse direction is
-/// a dense vector, so resolving an id back to a term is an O(1) slice access.
+/// The forward direction (term → id) is a hash map per segment; the reverse
+/// direction is a dense vector per segment, so resolving an id back to a
+/// term is a segment lookup plus an O(1) slice access.  Dictionaries that
+/// never freeze keep everything in the head and behave exactly like a single
+/// map + vector pair.
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
-    forward: FxHashMap<Term, TermId>,
-    reverse: Vec<Term>,
+    frozen: Vec<Arc<DictSegment>>,
+    head_start: u32,
+    head_terms: Vec<Term>,
+    head_forward: FxHashMap<Term, TermId>,
+    freezes: Arc<AtomicU64>,
+    merges: Arc<AtomicU64>,
 }
 
 impl Dictionary {
@@ -49,41 +82,124 @@ impl Dictionary {
 
     /// Intern a term, returning its id.  Terms already present keep their id.
     pub fn intern(&mut self, term: Term) -> TermId {
-        if let Some(&id) = self.forward.get(&term) {
+        if let Some(id) = self.id_of(&term) {
             return id;
         }
-        let id = TermId(self.reverse.len() as u32);
-        self.forward.insert(term.clone(), id);
-        self.reverse.push(term);
+        let id = TermId(self.head_start + self.head_terms.len() as u32);
+        self.head_forward.insert(term.clone(), id);
+        self.head_terms.push(term);
         id
     }
 
     /// Look up the id of a term without interning it.
     pub fn id_of(&self, term: &Term) -> Option<TermId> {
-        self.forward.get(term).copied()
+        if let Some(&id) = self.head_forward.get(term) {
+            return Some(id);
+        }
+        self.frozen
+            .iter()
+            .rev()
+            .find_map(|seg| seg.forward.get(term).copied())
     }
 
     /// Resolve an id back to its term.
     pub fn term_of(&self, id: TermId) -> Option<&Term> {
-        self.reverse.get(id.index())
+        if id.0 >= self.head_start {
+            return self.head_terms.get((id.0 - self.head_start) as usize);
+        }
+        // A fully merged dictionary (the common sealed-store layout) has one
+        // frozen segment covering `0..head_start` — skip the segment search.
+        let seg = match self.frozen.as_slice() {
+            [only] => only,
+            segs => {
+                let seg_idx = segs.partition_point(|seg| seg.start <= id.0);
+                segs.get(seg_idx.checked_sub(1)?)?
+            }
+        };
+        seg.terms.get((id.0 - seg.start) as usize)
+    }
+
+    /// Seal the mutable head into an immutable, `Arc`-shared segment.
+    ///
+    /// Ids are unaffected; only the storage generation changes.  Clones
+    /// taken after a freeze share the frozen segments by reference count.
+    /// Trailing segments are merged while the second-newest is smaller than
+    /// twice the newest, keeping the segment count logarithmic.  An empty
+    /// head is a no-op.
+    pub fn freeze(&mut self) {
+        if self.head_terms.is_empty() {
+            return;
+        }
+        let segment = DictSegment {
+            start: self.head_start,
+            terms: std::mem::take(&mut self.head_terms),
+            forward: std::mem::take(&mut self.head_forward),
+        };
+        self.head_start += segment.len() as u32;
+        self.frozen.push(Arc::new(segment));
+        self.freezes.fetch_add(1, Ordering::Relaxed);
+
+        while self.frozen.len() >= 2 {
+            let last = self.frozen[self.frozen.len() - 1].len();
+            let prev = self.frozen[self.frozen.len() - 2].len();
+            if prev >= 2 * last {
+                break;
+            }
+            let b = self.frozen.pop().expect("checked len");
+            let a = self.frozen.pop().expect("checked len");
+            let mut terms = Vec::with_capacity(a.len() + b.len());
+            terms.extend(a.terms.iter().cloned());
+            terms.extend(b.terms.iter().cloned());
+            let mut forward = a.forward.clone();
+            forward.extend(b.forward.iter().map(|(t, &id)| (t.clone(), id)));
+            self.frozen.push(Arc::new(DictSegment {
+                start: a.start,
+                terms,
+                forward,
+            }));
+            self.merges.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of frozen segments plus the head if it is non-empty.
+    pub fn num_segments(&self) -> usize {
+        self.frozen.len() + usize::from(!self.head_terms.is_empty())
+    }
+
+    /// Lifetime (freeze, merge) counter values, shared across clones.
+    pub(crate) fn counter_values(&self) -> (u64, u64) {
+        (
+            self.freezes.load(Ordering::Relaxed),
+            self.merges.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of interned terms.
     pub fn len(&self) -> usize {
-        self.reverse.len()
+        self.head_start as usize + self.head_terms.len()
     }
 
     /// True if no terms have been interned.
     pub fn is_empty(&self) -> bool {
-        self.reverse.is_empty()
+        self.len() == 0
     }
 
     /// Iterate over all `(id, term)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
-        self.reverse
+        self.frozen
             .iter()
-            .enumerate()
-            .map(|(i, t)| (TermId(i as u32), t))
+            .flat_map(|seg| {
+                seg.terms
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, t)| (TermId(seg.start + i as u32), t))
+            })
+            .chain(
+                self.head_terms
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| (TermId(self.head_start + i as u32), t)),
+            )
     }
 
     /// Approximate heap footprint of the dictionary in bytes, counted as the
@@ -91,7 +207,7 @@ impl Dictionary {
     /// overhead.  Used by the pre-processing cost accounting of Table 2.
     pub fn approx_bytes(&self) -> usize {
         let mut total = 0usize;
-        for term in &self.reverse {
+        for (_, term) in self.iter() {
             total += 48; // map entry + vec slot + enum discriminant overhead
             total += match term {
                 Term::Iri(iri) => iri.len(),
@@ -173,5 +289,85 @@ mod tests {
     #[test]
     fn display_of_term_id() {
         assert_eq!(TermId(5).to_string(), "t5");
+    }
+
+    #[test]
+    fn freeze_preserves_ids_and_lookups() {
+        let mut dict = Dictionary::new();
+        let mut terms = Vec::new();
+        for i in 0..50 {
+            let term = Term::iri(format!("http://example.org/{i}"));
+            terms.push((dict.intern(term.clone()), term));
+        }
+        dict.freeze();
+        // New terms intern into a fresh head with continuing ids.
+        let next = dict.intern(Term::iri("http://example.org/after"));
+        assert_eq!(next, TermId(50));
+        for (id, term) in &terms {
+            assert_eq!(dict.id_of(term), Some(*id));
+            assert_eq!(dict.term_of(*id), Some(term));
+        }
+        // Re-interning a frozen term keeps its id.
+        assert_eq!(dict.intern(terms[7].1.clone()), terms[7].0);
+        assert_eq!(dict.len(), 51);
+        let ids: Vec<usize> = dict.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, (0..51).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_freezes_do_not_merge_into_a_large_segment() {
+        let mut dict = Dictionary::new();
+        for i in 0..1000 {
+            dict.intern(Term::iri(format!("http://example.org/bulk/{i}")));
+        }
+        dict.freeze();
+        assert_eq!(dict.num_segments(), 1);
+        let (_, merges_before) = dict.counter_values();
+
+        // A small follow-up generation stays its own segment: the bulk run
+        // is not rewritten.
+        dict.intern(Term::iri("http://example.org/delta/0"));
+        dict.freeze();
+        assert_eq!(dict.num_segments(), 2);
+        let (_, merges_after) = dict.counter_values();
+        assert_eq!(merges_before, merges_after);
+    }
+
+    #[test]
+    fn repeated_freezes_compact_geometrically() {
+        let mut dict = Dictionary::new();
+        for round in 0..64 {
+            dict.intern(Term::iri(format!("http://example.org/r/{round}")));
+            dict.freeze();
+        }
+        // 64 single-term generations collapse to a handful of segments.
+        assert!(dict.num_segments() <= 8, "got {}", dict.num_segments());
+        assert_eq!(dict.len(), 64);
+        for round in 0..64 {
+            let term = Term::iri(format!("http://example.org/r/{round}"));
+            let id = dict.id_of(&term).expect("interned");
+            assert_eq!(dict.term_of(id), Some(&term));
+        }
+        let (freezes, merges) = dict.counter_values();
+        assert_eq!(freezes, 64);
+        assert!(merges > 0);
+    }
+
+    #[test]
+    fn clones_share_frozen_segments() {
+        let mut dict = Dictionary::new();
+        for i in 0..10 {
+            dict.intern(Term::iri(format!("http://example.org/{i}")));
+        }
+        dict.freeze();
+        let snapshot = dict.clone();
+        dict.intern(Term::iri("http://example.org/new"));
+        assert_eq!(snapshot.len(), 10);
+        assert_eq!(dict.len(), 11);
+        assert_eq!(
+            snapshot.id_of(&Term::iri("http://example.org/3")),
+            Some(TermId(3))
+        );
+        assert_eq!(snapshot.id_of(&Term::iri("http://example.org/new")), None);
     }
 }

@@ -1,16 +1,27 @@
 //! Six-way triple indexing ("hexastore"-style sextuple indexing).
 //!
-//! Each of the six permutations of (subject, predicate, object) is kept in a
-//! sorted set of permuted id triples, so that **any** triple pattern —
-//! whatever combination of its positions is bound — can be answered with a
-//! single prefix range scan.  This is the index organisation the paper cites
-//! (\[59] Hexastore, \[63] TripleBit) when arguing that the JIT linker's
-//! `outgoingPredicate` / `incomingPredicate` probes are constant-time lookups
-//! in a stock RDF engine.
+//! Each of the six permutations of (subject, predicate, object) is kept
+//! sorted, so that **any** triple pattern — whatever combination of its
+//! positions is bound — can be answered with a single prefix range scan.
+//! This is the index organisation the paper cites (\[59] Hexastore,
+//! \[63] TripleBit) when arguing that the JIT linker's `outgoingPredicate` /
+//! `incomingPredicate` probes are constant-time lookups in a stock RDF
+//! engine.
+//!
+//! Each ordering is stored as an immutable sorted **base run** (an
+//! `Arc`-shared vector) plus a small mutable **pending delta** (a B-tree of
+//! keys inserted since the run was last sealed).  Reads merge the two on the
+//! fly; [`TripleIndex::flush_pending`] seals the delta into a new base run by
+//! a linear merge — never a re-sort — which is what lets the live-ingest
+//! path ([`crate::live::LiveStore`]) publish a fresh epoch per batch without
+//! rebuilding the index, and lets snapshots share the base runs by bumping a
+//! reference count.
 
 use std::collections::BTreeSet;
+use std::iter::Peekable;
 use std::ops::Bound;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::dictionary::TermId;
 use crate::triple::EncodedTriple;
@@ -114,52 +125,109 @@ impl IndexOrder {
     }
 }
 
-/// One maintained ordering: the live sorted set plus a lazily built sorted
-/// snapshot used for `O(log n)` range *counting*.
+/// Lifetime totals of the index-maintenance probe counters.
+///
+/// The counters live behind an `Arc` shared by every clone in a store
+/// lineage, so an epoch snapshot reports the same totals as the live writer
+/// it was published from.  Tests use them to assert that an ingest batch
+/// *merged* the sorted base runs instead of rebuilding them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexCounters {
+    /// Base runs produced by linearly merging an existing run with a sorted
+    /// pending delta (`O(n + d)`, no re-sort).
+    pub base_merges: u64,
+    /// Base runs produced directly from a pending delta when no run existed
+    /// yet (the initial bulk load).
+    pub base_builds: u64,
+    /// Full base-run rebuilds forced by removing a triple that lived inside
+    /// a sealed run (the only `O(n)` mutation left).
+    pub base_rebuilds: u64,
+    /// Lazily sorted views built over a pending delta for range counting
+    /// (only legacy, never-flushed stores pay these).
+    pub pending_sorts: u64,
+}
+
+#[derive(Debug, Default)]
+struct SharedCounters {
+    base_merges: AtomicU64,
+    base_builds: AtomicU64,
+    base_rebuilds: AtomicU64,
+    pending_sorts: AtomicU64,
+}
+
+/// One maintained ordering: the immutable sorted base run plus the pending
+/// insert delta, with a lazily built sorted view of the delta used for
+/// `O(log n)` range *counting*.
 ///
 /// `std`'s B-tree cannot answer "how many keys fall in this range?" without
-/// walking the range, so counting through [`TripleIndex::iter_matching`] is
+/// walking the range, so counting through the pending delta alone would be
 /// `O(k)` in the number of matches — far too slow for a query planner that
 /// estimates the cardinality of every triple pattern of every candidate
-/// query.  The snapshot is the same keys as a sorted vector: a range count
-/// is two binary searches (`partition_point`), i.e. `O(log n)`.  It is built
-/// on first use after a mutation (`O(n)` once, amortised across the many
-/// planner probes between loads) and invalidated by `insert`/`remove`.
-#[derive(Debug)]
+/// query.  Both the base run and the delta view are sorted vectors, so a
+/// range count is two `partition_point` binary searches per side.  The delta
+/// view is built on first use after a mutation (`O(d)` in the delta size,
+/// amortised across the many planner probes between mutations) and
+/// invalidated by `insert`/`remove`; sealed stores have an empty delta and
+/// skip it entirely.
+#[derive(Debug, Clone)]
 struct OrderEntry {
     order: IndexOrder,
-    set: BTreeSet<[u32; 3]>,
-    snapshot: OnceLock<Vec<[u32; 3]>>,
+    base: Arc<Vec<[u32; 3]>>,
+    pending: BTreeSet<[u32; 3]>,
+    pending_sorted: OnceLock<Vec<[u32; 3]>>,
 }
 
 impl OrderEntry {
     fn new(order: IndexOrder) -> Self {
         OrderEntry {
             order,
-            set: BTreeSet::new(),
-            snapshot: OnceLock::new(),
+            base: Arc::new(Vec::new()),
+            pending: BTreeSet::new(),
+            pending_sorted: OnceLock::new(),
         }
     }
 
-    /// The sorted key snapshot, built on first use after a mutation.
-    fn snapshot(&self) -> &Vec<[u32; 3]> {
-        self.snapshot
-            .get_or_init(|| self.set.iter().copied().collect())
+    /// The sorted view of the pending delta, built on first use after a
+    /// mutation.
+    fn pending_sorted(&self, counters: &SharedCounters) -> &[[u32; 3]] {
+        self.pending_sorted.get_or_init(|| {
+            counters.pending_sorts.fetch_add(1, Ordering::Relaxed);
+            self.pending.iter().copied().collect()
+        })
     }
 }
 
-impl Clone for OrderEntry {
-    fn clone(&self) -> Self {
-        OrderEntry {
-            order: self.order,
-            set: self.set.clone(),
-            // Snapshots are cheap to rebuild; don't copy them into clones.
-            snapshot: OnceLock::new(),
+/// Sorted two-way merge of a base-run slice and a pending-delta range.
+///
+/// The two sides are disjoint (an index invariant) and individually sorted,
+/// so the merged stream is globally sorted with no duplicates.
+struct MergedRange<'a> {
+    base: Peekable<std::slice::Iter<'a, [u32; 3]>>,
+    pending: Peekable<std::collections::btree_set::Range<'a, [u32; 3]>>,
+}
+
+impl Iterator for MergedRange<'_> {
+    type Item = [u32; 3];
+
+    fn next(&mut self) -> Option<[u32; 3]> {
+        match (self.base.peek(), self.pending.peek()) {
+            (Some(&&b), Some(&&p)) => {
+                if b <= p {
+                    self.base.next();
+                    Some(b)
+                } else {
+                    self.pending.next();
+                    Some(p)
+                }
+            }
+            (Some(_), None) => self.base.next().copied(),
+            (None, Some(_)) => self.pending.next().copied(),
+            (None, None) => None,
         }
     }
 }
 
-/// The sextuple index: one sorted set per ordering.
+/// The sextuple index: one sorted base run + pending delta per ordering.
 ///
 /// With `full_sextuple` disabled only the three orderings SPO, POS and OPS
 /// are maintained — the classic "three-index" layout — which is what the
@@ -168,6 +236,7 @@ impl Clone for OrderEntry {
 pub struct TripleIndex {
     orders: Vec<OrderEntry>,
     len: usize,
+    counters: Arc<SharedCounters>,
 }
 
 impl Default for TripleIndex {
@@ -185,6 +254,7 @@ impl TripleIndex {
                 .map(|&o| OrderEntry::new(o))
                 .collect(),
             len: 0,
+            counters: Arc::new(SharedCounters::default()),
         }
     }
 
@@ -196,6 +266,7 @@ impl TripleIndex {
                 .map(|&o| OrderEntry::new(o))
                 .collect(),
             len: 0,
+            counters: Arc::new(SharedCounters::default()),
         }
     }
 
@@ -210,41 +281,99 @@ impl TripleIndex {
     }
 
     /// Insert a triple into every maintained ordering.  Returns `true` if the
-    /// triple was new.
+    /// triple was new.  New keys land in the pending delta; sealed base runs
+    /// are never touched by an insert.
     pub fn insert(&mut self, t: EncodedTriple) -> bool {
-        let mut inserted = false;
+        if self.contains(t) {
+            return false;
+        }
         for entry in &mut self.orders {
-            inserted = entry.set.insert(entry.order.permute(t));
-            if inserted {
-                entry.snapshot = OnceLock::new();
-            }
+            entry.pending.insert(entry.order.permute(t));
+            entry.pending_sorted.take();
         }
-        if inserted {
-            self.len += 1;
-        }
-        inserted
+        self.len += 1;
+        true
     }
 
     /// Remove a triple from every maintained ordering.  Returns `true` if the
-    /// triple was present.
+    /// triple was present.  Removing a key that lives in a sealed base run
+    /// rebuilds the run without it (`O(n)`; counted in
+    /// [`IndexCounters::base_rebuilds`]).
     pub fn remove(&mut self, t: EncodedTriple) -> bool {
-        let mut removed = false;
+        if !self.contains(t) {
+            return false;
+        }
+        let mut hit_base = false;
         for entry in &mut self.orders {
-            removed = entry.set.remove(&entry.order.permute(t));
-            if removed {
-                entry.snapshot = OnceLock::new();
+            let key = entry.order.permute(t);
+            if !entry.pending.remove(&key) {
+                let rebuilt: Vec<[u32; 3]> =
+                    entry.base.iter().copied().filter(|k| *k != key).collect();
+                entry.base = Arc::new(rebuilt);
+                hit_base = true;
             }
+            entry.pending_sorted.take();
         }
-        if removed {
-            self.len -= 1;
+        if hit_base {
+            self.counters.base_rebuilds.fetch_add(1, Ordering::Relaxed);
         }
-        removed
+        self.len -= 1;
+        true
+    }
+
+    /// Seal the pending delta into the sorted base runs.
+    ///
+    /// Each ordering's new run is a linear interleave of the old run with
+    /// the (already sorted) delta — `O(n + d)`, never a re-sort — after
+    /// which the delta is empty and range counts are pure binary search over
+    /// the run.  [`crate::Store::compact`] funnels here; the live-ingest
+    /// path calls it once per published epoch so snapshots always carry
+    /// sealed runs.  Whether a merge or a from-scratch build happened is
+    /// recorded in [`TripleIndex::counters`].
+    pub fn flush_pending(&mut self) {
+        if self.orders[0].pending.is_empty() {
+            return;
+        }
+        let had_base = !self.orders[0].base.is_empty();
+        for entry in &mut self.orders {
+            let merged: Vec<[u32; 3]> = MergedRange {
+                base: entry.base.iter().peekable(),
+                pending: entry.pending.range::<[u32; 3], _>(..).peekable(),
+            }
+            .collect();
+            entry.base = Arc::new(merged);
+            entry.pending.clear();
+            entry.pending_sorted.take();
+        }
+        if had_base {
+            self.counters.base_merges.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.base_builds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of triples still sitting in the pending delta (zero once
+    /// [`TripleIndex::flush_pending`] has sealed them).
+    pub fn pending_len(&self) -> usize {
+        self.orders[0].pending.len()
+    }
+
+    /// A snapshot of the lifetime maintenance counters, shared by every
+    /// clone in this index's lineage.
+    pub fn counters(&self) -> IndexCounters {
+        IndexCounters {
+            base_merges: self.counters.base_merges.load(Ordering::Relaxed),
+            base_builds: self.counters.base_builds.load(Ordering::Relaxed),
+            base_rebuilds: self.counters.base_rebuilds.load(Ordering::Relaxed),
+            pending_sorts: self.counters.pending_sorts.load(Ordering::Relaxed),
+        }
     }
 
     /// True if the exact triple is present.
     pub fn contains(&self, t: EncodedTriple) -> bool {
         let entry = &self.orders[0];
-        entry.set.contains(&entry.order.permute(t))
+        let key = entry.order.permute(t);
+        entry.pending.contains(&key) || entry.base.binary_search(&key).is_ok()
     }
 
     /// The maintained ordering with the longest bound key prefix for a
@@ -291,9 +420,11 @@ impl TripleIndex {
 
     /// Scan a triple pattern without materialising the matches; unbound
     /// positions are `None`.  Yields the matching triples in the order of the
-    /// selected index.  This is the store's hot path: the SPARQL join loops
-    /// drive these iterators directly, extending id-level bindings per
-    /// yielded triple instead of buffering a `Vec<EncodedTriple>` per probe.
+    /// selected index (base run and pending delta are merge-iterated, so the
+    /// stream stays globally sorted).  This is the store's hot path: the
+    /// SPARQL join loops drive these iterators directly, extending id-level
+    /// bindings per yielded triple instead of buffering a
+    /// `Vec<EncodedTriple>` per probe.
     pub fn iter_matching(
         &self,
         s: Option<TermId>,
@@ -307,10 +438,18 @@ impl TripleIndex {
         let (entry, lower, upper, needs_post_filter) = self.best_range(s, p, o);
         let order = entry.order;
 
-        entry
-            .set
-            .range((Bound::Included(lower), Bound::Included(upper)))
-            .map(move |&key| order.unpermute(key))
+        let lo = entry.base.partition_point(|key| key < &lower);
+        let hi = entry.base.partition_point(|key| key <= &upper);
+        let merged = MergedRange {
+            base: entry.base[lo..hi].iter().peekable(),
+            pending: entry
+                .pending
+                .range((Bound::Included(lower), Bound::Included(upper)))
+                .peekable(),
+        };
+
+        merged
+            .map(move |key| order.unpermute(key))
             .filter(move |t| {
                 if !needs_post_filter {
                     return true;
@@ -336,14 +475,14 @@ impl TripleIndex {
     ///
     /// When the bound positions form a contiguous key prefix of a maintained
     /// ordering (always true with the full sextuple layout), the count is two
-    /// binary searches over that ordering's sorted snapshot: `O(log n)`
-    /// whatever the match count, after an amortised `O(n)` snapshot build per
-    /// mutation epoch (see the internal `OrderEntry`).  This is what makes
-    /// it cheap
-    /// enough for the query planner to estimate the cardinality of every
-    /// triple pattern of every candidate query.  In the reduced three-way
-    /// layout a pattern may need post-filtering; that path falls back to the
-    /// `O(k)` range walk.
+    /// binary searches over that ordering's base run plus, if a pending
+    /// delta exists, two more over its lazily sorted view: `O(log n)`
+    /// whatever the match count.  Sealed stores (anything published by the
+    /// live-ingest path) have an empty delta and pay the run searches only.
+    /// This is what makes it cheap enough for the query planner to estimate
+    /// the cardinality of every triple pattern of every candidate query.  In
+    /// the reduced three-way layout a pattern may need post-filtering; that
+    /// path falls back to the `O(k)` range walk.
     pub fn count_matching(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
         let sr = s.map(|x| x.0);
         let pr = p.map(|x| x.0);
@@ -352,22 +491,31 @@ impl TripleIndex {
         if needs_post_filter {
             return self.iter_matching(s, p, o).count();
         }
-        let snapshot = entry.snapshot();
-        let lo = snapshot.partition_point(|key| key < &lower);
-        let hi = snapshot.partition_point(|key| key <= &upper);
-        hi - lo
+        let range_count = |keys: &[[u32; 3]]| {
+            let lo = keys.partition_point(|key| key < &lower);
+            let hi = keys.partition_point(|key| key <= &upper);
+            hi - lo
+        };
+        let mut count = range_count(&entry.base);
+        if !entry.pending.is_empty() {
+            count += range_count(entry.pending_sorted(&self.counters));
+        }
+        count
     }
 
     /// Approximate heap footprint in bytes: each maintained ordering stores
-    /// one 12-byte key per triple plus B-tree overhead, plus 12 bytes per
-    /// key for any sorted range-count snapshot that has been built.
+    /// one 12-byte key per sealed triple, 12 bytes plus B-tree overhead per
+    /// pending triple, and 12 bytes per key for any sorted delta view that
+    /// has been built.
     pub fn approx_bytes(&self) -> usize {
-        let snapshots: usize = self
-            .orders
+        self.orders
             .iter()
-            .map(|entry| entry.snapshot.get().map_or(0, |snap| snap.len() * 12))
-            .sum();
-        self.orders.len() * self.len * (12 + 8) + snapshots
+            .map(|entry| {
+                entry.base.len() * 12
+                    + entry.pending.len() * (12 + 8)
+                    + entry.pending_sorted.get().map_or(0, |v| v.len() * 12)
+            })
+            .sum()
     }
 
     /// Number of maintained orderings (6 for the sextuple layout, 3 for the
@@ -554,13 +702,13 @@ mod tests {
     fn count_matching_snapshot_is_invalidated_by_mutation() {
         let mut idx = TripleIndex::new();
         idx.insert(t(1, 10, 100));
-        // Build the snapshot, then mutate, then count again.
+        // Build the sorted view, then mutate, then count again.
         assert_eq!(idx.count_matching(Some(TermId(1)), None, None), 1);
         idx.insert(t(1, 10, 101));
         assert_eq!(idx.count_matching(Some(TermId(1)), None, None), 2);
         idx.remove(t(1, 10, 100));
         assert_eq!(idx.count_matching(Some(TermId(1)), None, None), 1);
-        // Cloned indices rebuild their own snapshots.
+        // Cloned indices answer through their own copy of the delta.
         let cloned = idx.clone();
         assert_eq!(cloned.count_matching(None, None, Some(TermId(101))), 1);
     }
@@ -588,5 +736,97 @@ mod tests {
             three.insert(t(i, i + 1, i + 2));
         }
         assert!(six.approx_bytes() > three.approx_bytes());
+    }
+
+    #[test]
+    fn flush_seals_pending_into_base_runs() {
+        let mut idx = TripleIndex::new();
+        for i in 0..100u32 {
+            idx.insert(t(i, i % 7, i % 13));
+        }
+        let before: Vec<EncodedTriple> = idx.matching(None, None, None);
+        assert_eq!(idx.pending_len(), 100);
+        idx.flush_pending();
+        assert_eq!(idx.pending_len(), 0);
+        assert_eq!(idx.counters().base_builds, 1);
+        assert_eq!(idx.matching(None, None, None), before);
+        assert_eq!(idx.len(), 100);
+        // Flushing an already sealed index is a no-op.
+        idx.flush_pending();
+        assert_eq!(idx.counters().base_builds, 1);
+        assert_eq!(idx.counters().base_merges, 0);
+    }
+
+    #[test]
+    fn small_append_merges_base_run_instead_of_rebuilding() {
+        let mut idx = TripleIndex::new();
+        for i in 0..1000u32 {
+            idx.insert(t(i, i % 5, i % 11));
+        }
+        idx.flush_pending();
+        assert_eq!(idx.counters().base_builds, 1);
+
+        // A small append: keys go to the delta, the sealed run is untouched
+        // and shared by clones (snapshot semantics).
+        let snapshot = idx.clone();
+        idx.insert(t(5000, 1, 2));
+        idx.insert(t(5001, 1, 3));
+        assert_eq!(idx.pending_len(), 2);
+        assert_eq!(snapshot.len(), 1000);
+        assert_eq!(idx.len(), 1002);
+
+        // Sealing the delta merges, never rebuilds or re-sorts.
+        idx.flush_pending();
+        let counters = idx.counters();
+        assert_eq!(counters.base_merges, 1);
+        assert_eq!(counters.base_builds, 1);
+        assert_eq!(counters.base_rebuilds, 0);
+        assert_eq!(idx.pending_len(), 0);
+        assert_eq!(idx.count_matching(Some(TermId(5000)), None, None), 1);
+        assert_eq!(idx.count_matching(None, Some(TermId(1)), None), 202);
+    }
+
+    #[test]
+    fn mixed_base_and_pending_reads_are_merged_and_sorted() {
+        let mut idx = TripleIndex::new();
+        for i in (0..50u32).step_by(2) {
+            idx.insert(t(i, 1, i));
+        }
+        idx.flush_pending();
+        for i in (1..50u32).step_by(2) {
+            idx.insert(t(i, 1, i));
+        }
+        // Reads see both sides, in sorted subject order.
+        let subjects: Vec<u32> = idx
+            .iter_matching(None, Some(TermId(1)), None)
+            .map(|tr| tr.subject.0)
+            .collect();
+        let expected: Vec<u32> = (0..50).collect();
+        assert_eq!(subjects, expected);
+        assert_eq!(idx.count_matching(None, Some(TermId(1)), None), 50);
+        assert!(idx.counters().pending_sorts >= 1);
+    }
+
+    #[test]
+    fn remove_from_sealed_base_rebuilds_the_run() {
+        let mut idx = TripleIndex::new();
+        for i in 0..10u32 {
+            idx.insert(t(i, 1, i));
+        }
+        idx.flush_pending();
+        assert!(idx.remove(t(3, 1, 3)));
+        assert_eq!(idx.counters().base_rebuilds, 1);
+        assert_eq!(idx.len(), 9);
+        assert!(!idx.contains(t(3, 1, 3)));
+        assert_eq!(idx.count_matching(None, Some(TermId(1)), None), 9);
+    }
+
+    #[test]
+    fn counters_are_shared_across_clones() {
+        let mut idx = TripleIndex::new();
+        idx.insert(t(1, 2, 3));
+        let clone = idx.clone();
+        idx.flush_pending();
+        assert_eq!(clone.counters().base_builds, 1);
     }
 }

@@ -43,6 +43,7 @@ pub mod dictionary;
 pub mod error;
 pub mod hash;
 pub mod index;
+pub mod live;
 pub mod ntriples;
 pub mod stats;
 pub mod store;
@@ -53,10 +54,11 @@ pub mod vocab;
 
 pub use dictionary::{Dictionary, TermId};
 pub use error::RdfError;
-pub use index::{IndexOrder, TripleIndex};
+pub use index::{IndexCounters, IndexOrder, TripleIndex};
+pub use live::{IngestBatch, IngestReport, LiveStore, StoreSnapshot, TouchedScope};
 pub use ntriples::{parse_ntriples, serialize_ntriples};
-pub use stats::{GraphStats, PlannerStats, PredicateCard};
-pub use store::{Store, TriplePattern};
+pub use stats::{DistinctSketch, GraphStats, PlannerStats, PredicateCard, StatsMaintenance};
+pub use store::{MaintenanceCounters, Store, TriplePattern};
 pub use term::{Literal, Term};
 pub use text::{TextIndex, TextMatch};
 pub use triple::{EncodedTriple, EncodedTriplePattern, Triple};

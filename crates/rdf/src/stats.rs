@@ -2,11 +2,14 @@
 //! pre-processing accounting, plus the per-predicate/class cardinality
 //! summaries the SPARQL query planner costs join orders with.
 
+use std::collections::BTreeSet;
+use std::hash::BuildHasher;
+
 use crate::dictionary::TermId;
-use crate::hash::{FxHashMap, FxHashSet};
+use crate::hash::{FxBuildHasher, FxHashMap, FxHashSet};
 use crate::store::Store;
 use crate::term::Term;
-use crate::triple::EncodedTriplePattern;
+use crate::triple::{EncodedTriple, EncodedTriplePattern};
 use crate::vocab;
 
 /// Summary statistics of a knowledge graph.
@@ -189,6 +192,206 @@ impl PlannerStats {
     }
 }
 
+/// A distinct-count sketch: exact up to a limit, then a bottom-k
+/// ("K minimum values") estimator.
+///
+/// While fewer than `exact_limit` distinct values have been seen the sketch
+/// stores them in a hash set and [`DistinctSketch::estimate`] is exact —
+/// planner stats over small and mid-size graphs lose nothing.  Past the
+/// limit the sketch degrades to the `k` smallest 64-bit hashes of the values
+/// seen; the k-th smallest hash then estimates the distinct count as
+/// `(k − 1) · 2⁶⁴ / h_k` with a relative standard error of about
+/// `1 / √k` (≈ 3% at the default `k = 1024`), in `O(k)` memory no matter
+/// how many values stream past.  This is what keeps the live-ingest path's
+/// per-batch stats maintenance bounded on graphs with millions of distinct
+/// subjects.
+#[derive(Debug, Clone)]
+pub struct DistinctSketch {
+    exact_limit: usize,
+    k: usize,
+    exact: FxHashSet<u64>,
+    kmv: BTreeSet<u64>,
+    degraded: bool,
+}
+
+impl Default for DistinctSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DistinctSketch {
+    /// Default cap on the exact phase (65 536 distinct values).
+    pub const DEFAULT_EXACT_LIMIT: usize = 1 << 16;
+    /// Default number of minimum hashes kept once degraded.
+    pub const DEFAULT_K: usize = 1024;
+
+    /// Create a sketch with the default limits.
+    pub fn new() -> Self {
+        Self::with_limits(Self::DEFAULT_EXACT_LIMIT, Self::DEFAULT_K)
+    }
+
+    /// Create a sketch with explicit limits (primarily for tests that want
+    /// to exercise the degraded phase cheaply).  `k` is clamped to at
+    /// least 2.
+    pub fn with_limits(exact_limit: usize, k: usize) -> Self {
+        DistinctSketch {
+            exact_limit,
+            k: k.max(2),
+            exact: FxHashSet::default(),
+            kmv: BTreeSet::new(),
+            degraded: false,
+        }
+    }
+
+    fn hash(value: u64) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    /// Observe a value.  Duplicates never change the estimate.
+    pub fn insert(&mut self, value: u64) {
+        if !self.degraded {
+            self.exact.insert(value);
+            if self.exact.len() > self.exact_limit {
+                self.degrade();
+            }
+            return;
+        }
+        self.insert_hash(Self::hash(value));
+    }
+
+    fn degrade(&mut self) {
+        self.degraded = true;
+        for value in std::mem::take(&mut self.exact) {
+            self.insert_hash(Self::hash(value));
+        }
+    }
+
+    fn insert_hash(&mut self, h: u64) {
+        if self.kmv.len() < self.k {
+            self.kmv.insert(h);
+        } else if let Some(&max) = self.kmv.iter().next_back() {
+            if h < max && self.kmv.insert(h) && self.kmv.len() > self.k {
+                self.kmv.pop_last();
+            }
+        }
+    }
+
+    /// The number of distinct values observed: exact below the limit, a
+    /// bottom-k estimate above it.
+    pub fn estimate(&self) -> usize {
+        if !self.degraded {
+            return self.exact.len();
+        }
+        if self.kmv.len() < self.k {
+            return self.kmv.len();
+        }
+        let kth = *self.kmv.iter().next_back().expect("k ≥ 2 hashes present");
+        if kth == 0 {
+            return self.k;
+        }
+        (((self.k - 1) as f64) * (u64::MAX as f64) / (kth as f64)) as usize
+    }
+
+    /// True once the sketch has left the exact phase.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct PredicateMaintenance {
+    triples: usize,
+    subjects: DistinctSketch,
+    objects: DistinctSketch,
+}
+
+/// Writer-side incremental maintenance state for [`PlannerStats`].
+///
+/// A live store keeps one of these next to its mutable [`Store`]: it is
+/// seeded with a single full scan ([`StatsMaintenance::from_store`]) and
+/// thereafter each ingest batch folds its *delta* of newly added triples in
+/// with [`StatsMaintenance::apply`] — per-predicate triple counts are exact,
+/// distinct counts come from [`DistinctSketch`]es — and derives a fresh
+/// [`PlannerStats`] in `O(predicates)` via
+/// [`StatsMaintenance::to_planner_stats`].  No full re-scan ever happens on
+/// the ingest path; [`PlannerStats::compute`] remains the from-scratch
+/// oracle the tests compare against.
+#[derive(Debug, Clone, Default)]
+pub struct StatsMaintenance {
+    triples: usize,
+    subjects: DistinctSketch,
+    objects: DistinctSketch,
+    per_predicate: FxHashMap<TermId, PredicateMaintenance>,
+    class_instances: FxHashMap<TermId, usize>,
+}
+
+impl StatsMaintenance {
+    /// Seed the maintenance state with one full id-space scan of a store.
+    pub fn from_store(store: &Store) -> Self {
+        let rdf_type = store.id_of(&Term::iri(vocab::RDF_TYPE));
+        let mut maintenance = StatsMaintenance::default();
+        for triple in store.scan(EncodedTriplePattern::any()) {
+            maintenance.observe(triple, rdf_type);
+        }
+        maintenance
+    }
+
+    /// Fold a batch delta of newly added (never duplicate) triples in.
+    ///
+    /// `rdf_type` is the store's id for `rdf:type`, if interned — passing it
+    /// in keeps this loop free of term lookups.
+    pub fn apply(&mut self, added: &[EncodedTriple], rdf_type: Option<TermId>) {
+        for &triple in added {
+            self.observe(triple, rdf_type);
+        }
+    }
+
+    fn observe(&mut self, triple: EncodedTriple, rdf_type: Option<TermId>) {
+        self.triples += 1;
+        self.subjects.insert(triple.subject.0 as u64);
+        self.objects.insert(triple.object.0 as u64);
+        let pred = self.per_predicate.entry(triple.predicate).or_default();
+        pred.triples += 1;
+        pred.subjects.insert(triple.subject.0 as u64);
+        pred.objects.insert(triple.object.0 as u64);
+        if rdf_type == Some(triple.predicate) {
+            *self.class_instances.entry(triple.object).or_insert(0) += 1;
+        }
+    }
+
+    /// Total triples folded in so far.
+    pub fn triples(&self) -> usize {
+        self.triples
+    }
+
+    /// Derive a fresh [`PlannerStats`] from the maintained summaries, in
+    /// `O(predicates + classes)` — independent of the graph size.
+    pub fn to_planner_stats(&self) -> PlannerStats {
+        PlannerStats {
+            triples: self.triples,
+            distinct_subjects: self.subjects.estimate(),
+            distinct_predicates: self.per_predicate.len(),
+            distinct_objects: self.objects.estimate(),
+            per_predicate: self
+                .per_predicate
+                .iter()
+                .map(|(&predicate, m)| {
+                    (
+                        predicate,
+                        PredicateCard {
+                            triples: m.triples,
+                            distinct_subjects: m.subjects.estimate(),
+                            distinct_objects: m.objects.estimate(),
+                        },
+                    )
+                })
+                .collect(),
+            class_instances: self.class_instances.clone(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,5 +509,91 @@ mod tests {
             Term::iri("http://e/o99"),
         ));
         assert!(std::sync::Arc::ptr_eq(&unchanged, &store.planner_stats()));
+    }
+
+    #[test]
+    fn sketch_is_exact_below_the_limit() {
+        let mut sketch = DistinctSketch::new();
+        for v in 0..1000u64 {
+            sketch.insert(v);
+            sketch.insert(v); // duplicates are free
+        }
+        assert!(!sketch.is_degraded());
+        assert_eq!(sketch.estimate(), 1000);
+    }
+
+    #[test]
+    fn sketch_estimates_within_tolerance_once_degraded() {
+        let mut sketch = DistinctSketch::with_limits(1000, 1024);
+        let n = 100_000u64;
+        for v in 0..n {
+            sketch.insert(v.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        assert!(sketch.is_degraded());
+        let est = sketch.estimate() as f64;
+        let err = (est - n as f64).abs() / n as f64;
+        assert!(err < 0.2, "estimate {est} off by {:.1}%", err * 100.0);
+    }
+
+    #[test]
+    fn maintenance_matches_full_compute_on_small_graphs() {
+        let store = small_graph();
+        let maintained = StatsMaintenance::from_store(&store).to_planner_stats();
+        let computed = PlannerStats::compute(&store);
+        assert_eq!(maintained.triples, computed.triples);
+        assert_eq!(maintained.distinct_subjects, computed.distinct_subjects);
+        assert_eq!(maintained.distinct_predicates, computed.distinct_predicates);
+        assert_eq!(maintained.distinct_objects, computed.distinct_objects);
+        assert_eq!(maintained.num_classes(), computed.num_classes());
+        let p1 = store.id_of(&Term::iri("http://e/p1")).unwrap();
+        assert_eq!(maintained.predicate(p1), computed.predicate(p1));
+    }
+
+    #[test]
+    fn applying_a_delta_equals_recomputing_from_scratch() {
+        let mut store = small_graph();
+        let mut maintenance = StatsMaintenance::from_store(&store);
+        let rdf_type = store.id_of(&Term::iri(vocab::RDF_TYPE));
+
+        // Ingest a delta: a new predicate and a new rdf:type instance.
+        let mut added = Vec::new();
+        for i in 0..5 {
+            let triple = Triple::new(
+                Term::iri(format!("http://e/new{i}")),
+                Term::iri("http://e/fresh"),
+                Term::iri("http://e/o0"),
+            );
+            assert!(store.insert(triple.clone()));
+            let enc = EncodedTriple::new(
+                store.id_of(&triple.subject).unwrap(),
+                store.id_of(&triple.predicate).unwrap(),
+                store.id_of(&triple.object).unwrap(),
+            );
+            added.push(enc);
+        }
+        let typed = Triple::new(
+            Term::iri("http://e/new0"),
+            Term::iri(vocab::RDF_TYPE),
+            Term::iri("http://e/ClassC"),
+        );
+        assert!(store.insert(typed.clone()));
+        added.push(EncodedTriple::new(
+            store.id_of(&typed.subject).unwrap(),
+            store.id_of(&typed.predicate).unwrap(),
+            store.id_of(&typed.object).unwrap(),
+        ));
+
+        maintenance.apply(&added, rdf_type);
+        let maintained = maintenance.to_planner_stats();
+        let oracle = PlannerStats::compute(&store);
+        assert_eq!(maintained.triples, oracle.triples);
+        assert_eq!(maintained.distinct_subjects, oracle.distinct_subjects);
+        assert_eq!(maintained.distinct_predicates, oracle.distinct_predicates);
+        assert_eq!(maintained.distinct_objects, oracle.distinct_objects);
+        assert_eq!(maintained.num_classes(), oracle.num_classes());
+        let fresh = store.id_of(&Term::iri("http://e/fresh")).unwrap();
+        assert_eq!(maintained.predicate(fresh), oracle.predicate(fresh));
+        let class_c = store.id_of(&Term::iri("http://e/ClassC")).unwrap();
+        assert_eq!(maintained.class_instances(class_c), 1);
     }
 }

@@ -1,5 +1,6 @@
 //! The in-memory triple store: dictionary + sextuple indices + text index.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crate::dictionary::{Dictionary, TermId};
@@ -9,6 +10,41 @@ use crate::stats::{GraphStats, PlannerStats};
 use crate::term::Term;
 use crate::text::TextIndex;
 use crate::triple::{EncodedTriple, EncodedTriplePattern, Triple};
+
+/// Lifetime totals of the maintenance probe counters of one store lineage.
+///
+/// All counters live behind `Arc`s shared by every clone of a store —
+/// including the epoch snapshots a [`crate::live::LiveStore`] publishes —
+/// so reading them from any clone reports the lineage-wide totals.  They
+/// exist so tests (and the ingest benches) can *prove* maintenance claims:
+/// an append-only ingest batch must raise the incremental counters while
+/// leaving the full-recompute counters untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceCounters {
+    /// Full `PlannerStats` scans triggered lazily by
+    /// [`Store::planner_stats`] on a cache miss.
+    pub stats_full_scans: u64,
+    /// Pre-derived `PlannerStats` installs (the incremental path: a live
+    /// store folds the batch delta into sketches and installs the result).
+    pub stats_incremental_installs: u64,
+    /// Sorted index base runs produced by merging an existing run with a
+    /// pending delta — never a re-sort.
+    pub index_base_merges: u64,
+    /// Sorted index base runs built from scratch (initial bulk load).
+    pub index_base_builds: u64,
+    /// Sorted index base runs rebuilt because a sealed triple was removed.
+    pub index_base_rebuilds: u64,
+    /// Sorted views built over an index pending delta for range counting.
+    pub index_pending_sorts: u64,
+    /// Dictionary head segments sealed.
+    pub dict_freezes: u64,
+    /// Dictionary segment compactions (geometric merges).
+    pub dict_merges: u64,
+    /// Text-index head segments sealed.
+    pub text_freezes: u64,
+    /// Text-index segment compactions (geometric merges).
+    pub text_merges: u64,
+}
 
 /// A term-level triple pattern: unbound positions are `None`.
 ///
@@ -60,6 +96,8 @@ pub struct Store {
     /// Lazily computed planner summaries ([`Store::planner_stats`]);
     /// invalidated whenever a triple is actually added.
     planner_stats: OnceLock<Arc<PlannerStats>>,
+    stats_full_scans: Arc<AtomicU64>,
+    stats_incremental_installs: Arc<AtomicU64>,
 }
 
 impl Store {
@@ -72,10 +110,8 @@ impl Store {
     /// (used by the index-layout ablation bench).
     pub fn new_three_way() -> Self {
         Store {
-            dictionary: Dictionary::new(),
             index: TripleIndex::new_three_way(),
-            text: TextIndex::new(),
-            planner_stats: OnceLock::new(),
+            ..Store::default()
         }
     }
 
@@ -102,6 +138,16 @@ impl Store {
     /// Insert a term-level triple.  Invalid triples (literal subjects,
     /// non-IRI predicates) are rejected.
     pub fn try_insert(&mut self, triple: Triple) -> Result<bool, RdfError> {
+        Ok(self.try_insert_encoded(triple)?.is_some())
+    }
+
+    /// Insert a term-level triple, returning its encoded form when it was
+    /// actually new (`None` for duplicates).  The ingest path uses the
+    /// encoded delta to maintain planner stats incrementally.
+    pub(crate) fn try_insert_encoded(
+        &mut self,
+        triple: Triple,
+    ) -> Result<Option<EncodedTriple>, RdfError> {
         if !triple.is_valid() {
             return Err(RdfError::InvalidTriple(triple.to_string()));
         }
@@ -118,11 +164,14 @@ impl Store {
         if let Some(text) = literal_text {
             self.text.index_literal(o, &text);
         }
-        let added = self.index.insert(EncodedTriple::new(s, p, o));
+        let encoded = EncodedTriple::new(s, p, o);
+        let added = self.index.insert(encoded);
         if added {
             self.planner_stats = OnceLock::new();
+            Ok(Some(encoded))
+        } else {
+            Ok(None)
         }
-        Ok(added)
     }
 
     /// Insert a term-level triple, panicking on structurally invalid input.
@@ -298,10 +347,54 @@ impl Store {
     /// same snapshot for free; inserting a new triple invalidates the cache
     /// and the next call recomputes.
     pub fn planner_stats(&self) -> Arc<PlannerStats> {
-        Arc::clone(
-            self.planner_stats
-                .get_or_init(|| Arc::new(PlannerStats::compute(self))),
-        )
+        Arc::clone(self.planner_stats.get_or_init(|| {
+            self.stats_full_scans.fetch_add(1, Ordering::Relaxed);
+            Arc::new(PlannerStats::compute(self))
+        }))
+    }
+
+    /// Install pre-derived planner stats (the incremental maintenance path
+    /// of [`crate::live::LiveStore`]), replacing any cached summary.
+    pub(crate) fn install_planner_stats(&mut self, stats: Arc<PlannerStats>) {
+        self.planner_stats = OnceLock::from(stats);
+        self.stats_incremental_installs
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Seal the store's mutable write state into immutable, `Arc`-shared
+    /// runs: the pending index deltas are merged into the sorted base runs,
+    /// and the dictionary and text-index heads are frozen into segments.
+    ///
+    /// Ids, contents and query results are unaffected — only the storage
+    /// generation changes.  After a compact, cloning the store (which is how
+    /// [`crate::live::LiveStore`] publishes an epoch snapshot) costs a
+    /// handful of reference-count bumps instead of a deep copy.  Compacting
+    /// an already sealed store is a no-op.
+    pub fn compact(&mut self) {
+        self.index.flush_pending();
+        self.dictionary.freeze();
+        self.text.freeze();
+    }
+
+    /// A snapshot of the lifetime maintenance probe counters of this store
+    /// lineage (shared across clones and epoch snapshots; see
+    /// [`MaintenanceCounters`]).
+    pub fn maintenance_counters(&self) -> MaintenanceCounters {
+        let index = self.index.counters();
+        let (dict_freezes, dict_merges) = self.dictionary.counter_values();
+        let (text_freezes, text_merges) = self.text.counter_values();
+        MaintenanceCounters {
+            stats_full_scans: self.stats_full_scans.load(Ordering::Relaxed),
+            stats_incremental_installs: self.stats_incremental_installs.load(Ordering::Relaxed),
+            index_base_merges: index.base_merges,
+            index_base_builds: index.base_builds,
+            index_base_rebuilds: index.base_rebuilds,
+            index_pending_sorts: index.pending_sorts,
+            dict_freezes,
+            dict_merges,
+            text_freezes,
+            text_merges,
+        }
     }
 
     /// Approximate total heap footprint of the store (dictionary + indices +
@@ -552,6 +645,56 @@ mod tests {
     fn approx_bytes_is_nonzero_for_nonempty_store() {
         let store = example_store();
         assert!(store.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn compact_preserves_contents_and_seals_write_state() {
+        let mut store = example_store();
+        let before: Vec<Triple> = store.iter().collect();
+        store.compact();
+        let after: Vec<Triple> = store.iter().collect();
+        assert_eq!(before, after);
+        assert_eq!(store.len(), 7);
+        assert!(store.contains(&before[0]));
+        assert_eq!(store.text_index().num_literals(), 4);
+
+        let counters = store.maintenance_counters();
+        assert_eq!(counters.index_base_builds, 1);
+        assert_eq!(counters.dict_freezes, 1);
+        assert_eq!(counters.text_freezes, 1);
+
+        // Compacting a sealed store is a no-op.
+        store.compact();
+        assert_eq!(store.maintenance_counters(), counters);
+
+        // Inserting after a compact still works, and a duplicate of a sealed
+        // triple is still recognised as a duplicate.
+        assert!(!store.insert(before[0].clone()));
+        assert!(store.insert(Triple::new(
+            Term::iri("http://e/fresh"),
+            Term::iri("http://e/p"),
+            Term::literal_str("fresh literal"),
+        )));
+        assert_eq!(store.len(), 8);
+        store.compact();
+        assert_eq!(store.maintenance_counters().index_base_merges, 1);
+    }
+
+    #[test]
+    fn lazy_planner_stats_count_as_full_scans() {
+        let mut store = example_store();
+        assert_eq!(store.maintenance_counters().stats_full_scans, 0);
+        let _ = store.planner_stats();
+        let _ = store.planner_stats(); // cached: no second scan
+        assert_eq!(store.maintenance_counters().stats_full_scans, 1);
+        store.insert(Triple::new(
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/o"),
+        ));
+        let _ = store.planner_stats();
+        assert_eq!(store.maintenance_counters().stats_full_scans, 2);
+        assert_eq!(store.maintenance_counters().stats_incremental_installs, 0);
     }
 
     #[test]

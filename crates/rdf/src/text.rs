@@ -11,6 +11,18 @@
 //! vertices that point at the literal through *any* predicate, because the
 //! linker asks for vertices `?v` such that `?v ?p ?d_v` and `?d_v` contains
 //! the query words.
+//!
+//! Like the dictionary, the index is **generational**: new literals are
+//! posted into a small mutable head segment and [`TextIndex::freeze`] seals
+//! the head into an immutable, `Arc`-shared segment (with geometric
+//! compaction of trailing segments).  Because every literal id lives in
+//! exactly one segment, per-token posting lists are disjoint across
+//! segments and searches simply accumulate over them — so an ingest batch
+//! appends postings instead of rewriting the inverted index, and epoch
+//! snapshots share the sealed segments by reference count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::dictionary::TermId;
 use crate::hash::{FxHashMap, FxHashSet};
@@ -25,13 +37,22 @@ pub struct TextMatch {
     pub matched_words: usize,
 }
 
+/// One immutable run of indexed literals: an inverted token → literal-id map
+/// plus per-literal token counts.
+#[derive(Debug, Default, Clone)]
+struct TextSegment {
+    postings: FxHashMap<String, FxHashSet<TermId>>,
+    literal_tokens: FxHashMap<TermId, u32>,
+    total_postings: usize,
+}
+
 /// Inverted index token → literal ids, with token statistics.
 #[derive(Debug, Default, Clone)]
 pub struct TextIndex {
-    postings: FxHashMap<String, FxHashSet<TermId>>,
-    /// Literals indexed, with their token counts (for ranking / stats).
-    literal_tokens: FxHashMap<TermId, u32>,
-    total_postings: usize,
+    frozen: Vec<Arc<TextSegment>>,
+    head: TextSegment,
+    freezes: Arc<AtomicU64>,
+    merges: Arc<AtomicU64>,
 }
 
 /// Tokenize a string for full-text indexing: lowercase, split on
@@ -58,24 +79,89 @@ impl TextIndex {
         Self::default()
     }
 
+    /// All segments, oldest first, ending with the mutable head.
+    fn segments(&self) -> impl Iterator<Item = &TextSegment> {
+        self.frozen
+            .iter()
+            .map(|seg| seg.as_ref())
+            .chain(std::iter::once(&self.head))
+    }
+
     /// Index a string literal under its dictionary id.
     pub fn index_literal(&mut self, literal: TermId, text: &str) {
-        if self.literal_tokens.contains_key(&literal) {
+        if self.contains_literal(literal) {
             return; // dictionary ids are unique per literal; already indexed
         }
         let tokens = tokenize(text);
-        self.literal_tokens.insert(literal, tokens.len() as u32);
+        self.head
+            .literal_tokens
+            .insert(literal, tokens.len() as u32);
         for token in tokens {
-            let entry = self.postings.entry(token).or_default();
+            let entry = self.head.postings.entry(token).or_default();
             if entry.insert(literal) {
-                self.total_postings += 1;
+                self.head.total_postings += 1;
             }
         }
     }
 
+    /// Seal the mutable head into an immutable, `Arc`-shared segment.
+    ///
+    /// Posting lists already sealed are untouched — a freeze moves the head
+    /// wholesale and then merges trailing segments while the second-newest
+    /// holds fewer literals than twice the newest, keeping the segment count
+    /// logarithmic.  An empty head is a no-op.
+    pub fn freeze(&mut self) {
+        if self.head.literal_tokens.is_empty() {
+            return;
+        }
+        let head = std::mem::take(&mut self.head);
+        self.frozen.push(Arc::new(head));
+        self.freezes.fetch_add(1, Ordering::Relaxed);
+
+        while self.frozen.len() >= 2 {
+            let last = self.frozen[self.frozen.len() - 1].literal_tokens.len();
+            let prev = self.frozen[self.frozen.len() - 2].literal_tokens.len();
+            if prev >= 2 * last {
+                break;
+            }
+            let b = self.frozen.pop().expect("checked len");
+            let a = self.frozen.pop().expect("checked len");
+            let mut merged = TextSegment {
+                postings: a.postings.clone(),
+                literal_tokens: a.literal_tokens.clone(),
+                total_postings: a.total_postings + b.total_postings,
+            };
+            for (token, literals) in &b.postings {
+                merged
+                    .postings
+                    .entry(token.clone())
+                    .or_default()
+                    .extend(literals.iter().copied());
+            }
+            merged
+                .literal_tokens
+                .extend(b.literal_tokens.iter().map(|(&id, &n)| (id, n)));
+            self.frozen.push(Arc::new(merged));
+            self.merges.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of frozen segments plus the head if it is non-empty.
+    pub fn num_segments(&self) -> usize {
+        self.frozen.len() + usize::from(!self.head.literal_tokens.is_empty())
+    }
+
+    /// Lifetime (freeze, merge) counter values, shared across clones.
+    pub(crate) fn counter_values(&self) -> (u64, u64) {
+        (
+            self.freezes.load(Ordering::Relaxed),
+            self.merges.load(Ordering::Relaxed),
+        )
+    }
+
     /// Number of distinct literals indexed.
     pub fn num_literals(&self) -> usize {
-        self.literal_tokens.len()
+        self.segments().map(|seg| seg.literal_tokens.len()).sum()
     }
 
     /// True if the given dictionary id is an indexed string literal.
@@ -85,12 +171,13 @@ impl TextIndex {
     /// literal?" test — which is what lets graph statistics run entirely in
     /// id space without decoding a single term.
     pub fn contains_literal(&self, literal: TermId) -> bool {
-        self.literal_tokens.contains_key(&literal)
+        self.segments()
+            .any(|seg| seg.literal_tokens.contains_key(&literal))
     }
 
     /// An upper bound on how many literals [`TextIndex::search_any`] can
-    /// return for these words, in `O(words)`: the sum of the posting-list
-    /// lengths, clamped to the number of indexed literals.
+    /// return for these words, in `O(words × segments)`: the sum of the
+    /// posting-list lengths, clamped to the number of indexed literals.
     ///
     /// The query planner uses this to cost a `bif:contains` step without
     /// running the search.
@@ -98,8 +185,10 @@ impl TextIndex {
         let mut total = 0usize;
         for word in words {
             let token = word.to_lowercase();
-            if let Some(literals) = self.postings.get(&token) {
-                total = total.saturating_add(literals.len());
+            for seg in self.segments() {
+                if let Some(literals) = seg.postings.get(&token) {
+                    total = total.saturating_add(literals.len());
+                }
             }
         }
         total.min(self.num_literals())
@@ -107,7 +196,14 @@ impl TextIndex {
 
     /// Number of distinct tokens in the index.
     pub fn num_tokens(&self) -> usize {
-        self.postings.len()
+        if self.frozen.is_empty() {
+            return self.head.postings.len();
+        }
+        let mut seen: FxHashSet<&str> = FxHashSet::default();
+        for seg in self.segments() {
+            seen.extend(seg.postings.keys().map(String::as_str));
+        }
+        seen.len()
     }
 
     /// Search for literals containing **any** of the given words
@@ -116,14 +212,18 @@ impl TextIndex {
     ///
     /// Results are ranked by the number of distinct query words matched
     /// (descending), then by literal id for determinism, and truncated to
-    /// `limit` entries — mirroring the `LIMIT maxVR` clause.
+    /// `limit` entries — mirroring the `LIMIT maxVR` clause.  Per-token
+    /// posting lists are disjoint across segments, so accumulating over all
+    /// segments counts each (literal, word) pair exactly once.
     pub fn search_any(&self, words: &[&str], limit: usize) -> Vec<TextMatch> {
         let mut counts: FxHashMap<TermId, usize> = FxHashMap::default();
         for word in words {
             let token = word.to_lowercase();
-            if let Some(literals) = self.postings.get(&token) {
-                for &lit in literals {
-                    *counts.entry(lit).or_insert(0) += 1;
+            for seg in self.segments() {
+                if let Some(literals) = seg.postings.get(&token) {
+                    for &lit in literals {
+                        *counts.entry(lit).or_insert(0) += 1;
+                    }
                 }
             }
         }
@@ -158,8 +258,12 @@ impl TextIndex {
 
     /// Approximate heap footprint in bytes (token strings + posting entries).
     pub fn approx_bytes(&self) -> usize {
-        let token_bytes: usize = self.postings.keys().map(|k| k.len() + 32).sum();
-        token_bytes + self.total_postings * 8 + self.literal_tokens.len() * 12
+        self.segments()
+            .map(|seg| {
+                let token_bytes: usize = seg.postings.keys().map(|k| k.len() + 32).sum();
+                token_bytes + seg.total_postings * 8 + seg.literal_tokens.len() * 12
+            })
+            .sum()
     }
 }
 
@@ -295,5 +399,67 @@ mod tests {
             assert!(est >= real, "estimate {est} < real {real} for {words:?}");
             assert!(est <= idx.num_literals());
         }
+    }
+
+    #[test]
+    fn frozen_and_head_segments_answer_together() {
+        let mut idx = TextIndex::new();
+        idx.index_literal(TermId(1), "Baltic Sea");
+        idx.index_literal(TermId(2), "North Sea");
+        idx.freeze();
+        idx.index_literal(TermId(3), "sea shore");
+        assert_eq!(idx.num_literals(), 3);
+        let hits = idx.search_any(&["sea"], 10);
+        let ids: Vec<u32> = hits.iter().map(|m| m.literal.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert!(idx.contains_literal(TermId(3)));
+        assert_eq!(idx.search_all(&["sea", "shore"], 10).len(), 1);
+        assert_eq!(idx.num_tokens(), 4);
+
+        // Idempotence holds across the freeze boundary.
+        idx.index_literal(TermId(1), "Baltic Sea");
+        assert_eq!(idx.num_literals(), 3);
+    }
+
+    #[test]
+    fn small_freeze_does_not_merge_into_a_large_segment() {
+        let mut idx = TextIndex::new();
+        for i in 0..1000 {
+            idx.index_literal(TermId(i), &format!("entity number {i}"));
+        }
+        idx.freeze();
+        assert_eq!(idx.num_segments(), 1);
+        let (_, merges_before) = idx.counter_values();
+        idx.index_literal(TermId(5000), "fresh literal");
+        idx.freeze();
+        assert_eq!(idx.num_segments(), 2);
+        let (freezes, merges_after) = idx.counter_values();
+        assert_eq!(freezes, 2);
+        assert_eq!(merges_before, merges_after);
+    }
+
+    #[test]
+    fn repeated_freezes_compact_geometrically() {
+        let mut idx = TextIndex::new();
+        for i in 0..64 {
+            idx.index_literal(TermId(i), &format!("generation {i} entity"));
+            idx.freeze();
+        }
+        assert!(idx.num_segments() <= 8, "got {}", idx.num_segments());
+        assert_eq!(idx.num_literals(), 64);
+        assert_eq!(idx.search_any(&["entity"], usize::MAX).len(), 64);
+        let (_, merges) = idx.counter_values();
+        assert!(merges > 0);
+    }
+
+    #[test]
+    fn clones_share_frozen_segments() {
+        let mut idx = build_index(&[(1, "Baltic Sea"), (2, "Danish Straits")]);
+        idx.freeze();
+        let snapshot = idx.clone();
+        idx.index_literal(TermId(3), "fresh shore");
+        assert_eq!(snapshot.num_literals(), 2);
+        assert_eq!(idx.num_literals(), 3);
+        assert!(snapshot.search_any(&["shore"], 10).is_empty());
     }
 }

@@ -248,6 +248,37 @@ impl<'s> Planner<'s> {
         }
     }
 
+    /// Create a planner pinned to one epoch snapshot of a live store.
+    ///
+    /// Functionally this is `Planner::new(&snapshot)` (the snapshot derefs
+    /// to its [`Store`]); it exists to make the epoch-consistency contract
+    /// explicit: the returned planner's cardinality estimates, the plans it
+    /// compiles, and the scans those plans run all observe the *same*
+    /// epoch, no matter how many ingest batches are published concurrently.
+    /// Snapshots carry pre-installed [`PlannerStats`], so construction does
+    /// no stats compute.
+    ///
+    /// ```
+    /// use kgqan_rdf::{IngestBatch, LiveStore, Store, Term, Triple};
+    /// use kgqan_sparql::{parse_query, Planner};
+    ///
+    /// let live = LiveStore::new(Store::new());
+    /// live.ingest(IngestBatch::from_iter([Triple::new(
+    ///     Term::iri("http://e/s"),
+    ///     Term::iri("http://e/p"),
+    ///     Term::iri("http://e/o"),
+    /// )]))
+    /// .unwrap();
+    ///
+    /// let snapshot = live.snapshot();
+    /// let query = parse_query("SELECT ?s WHERE { ?s <http://e/p> ?o }").unwrap();
+    /// let planner = Planner::for_snapshot(&snapshot);
+    /// assert_eq!(planner.plan(&query).execute().unwrap().results.rows().len(), 1);
+    /// ```
+    pub fn for_snapshot(snapshot: &'s kgqan_rdf::StoreSnapshot) -> Self {
+        Planner::new(snapshot)
+    }
+
     /// Compile a query into a physical plan.
     ///
     /// Planning never fails: constants missing from the dictionary become
