@@ -31,7 +31,13 @@
 
 pub mod harness;
 pub mod linking_eval;
-pub mod perfjson;
+/// The minimal hand-rolled JSON reader/writer the perf tooling records its
+/// artifacts with.  The implementation lives in [`kgqan_endpoint::json`]
+/// (the network front-end serializes its wire bodies with the same code);
+/// this alias keeps the historical `kgqan_bench::perfjson` paths working.
+pub mod perfjson {
+    pub use kgqan_endpoint::json::*;
+}
 pub mod perftrack;
 pub mod published;
 pub mod table;

@@ -31,6 +31,25 @@ impl fmt::Display for KgqanError {
     }
 }
 
+impl KgqanError {
+    /// The HTTP status code this error maps to when surfaced over the
+    /// SPARQL-protocol front-end.
+    ///
+    /// A question the understanding stage cannot turn into any triple
+    /// pattern is a semantically invalid request (`422`), endpoint failures
+    /// delegate to [`EndpointError::http_status`], and an inconsistent
+    /// pipeline configuration is reported as the client's fault (`400`,
+    /// since per-request overrides are what make configs inconsistent at
+    /// serving time).
+    pub fn http_status(&self) -> u16 {
+        match self {
+            KgqanError::UnderstandingFailed { .. } => 422,
+            KgqanError::Endpoint(e) => e.http_status(),
+            KgqanError::Configuration(_) => 400,
+        }
+    }
+}
+
 impl std::error::Error for KgqanError {}
 
 impl From<EndpointError> for KgqanError {
@@ -58,5 +77,29 @@ mod tests {
         .into();
         assert!(e.to_string().contains('X'));
         assert!(e.to_string().contains("DBpedia"));
+    }
+
+    #[test]
+    fn http_status_mapping_is_stable() {
+        assert_eq!(
+            KgqanError::UnderstandingFailed {
+                question: "gibberish".into()
+            }
+            .http_status(),
+            422
+        );
+        assert_eq!(
+            KgqanError::Configuration("bad knob".into()).http_status(),
+            400
+        );
+        // Endpoint errors delegate to `EndpointError::http_status`.
+        let unknown: KgqanError = EndpointError::UnknownEndpoint {
+            name: "YAGO".into(),
+            available: vec![],
+        }
+        .into();
+        assert_eq!(unknown.http_status(), 404);
+        let unavailable: KgqanError = EndpointError::Unavailable("down".into()).into();
+        assert_eq!(unavailable.http_status(), 503);
     }
 }

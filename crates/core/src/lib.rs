@@ -74,6 +74,7 @@ pub mod linker;
 pub mod pgp;
 pub mod pipeline;
 pub mod platform;
+pub mod pool;
 pub mod service;
 pub mod understanding;
 
@@ -91,6 +92,7 @@ pub use pipeline::{
     StageTimings, Understand,
 };
 pub use platform::{AnswerOutcome, KgqanConfig, KgqanPlatform, PhaseTimings};
+pub use pool::{PoolConfig, PoolStats, SubmitError, Ticket, WorkerPool};
 pub use service::{
     AnswerRequest, AnswerResponse, Budget, BudgetVerdict, ConfigOverrides, QaService,
     QaServiceBuilder, TracedAnswer,

@@ -50,6 +50,7 @@ use crate::error::KgqanError;
 use crate::linker::LinkerConfig;
 use crate::pipeline::{Pipeline, PipelineTrace, StageContext};
 use crate::platform::{AnswerOutcome, KgqanConfig, PhaseTimings};
+use crate::pool::{PoolConfig, PoolStats, SubmitError, Ticket, WorkerPool};
 use crate::understanding::QuestionUnderstanding;
 
 pub use crate::execution::QueryStat;
@@ -278,6 +279,10 @@ struct ServiceInner {
     registry: EndpointRegistry,
     default_kg: Option<String>,
     next_request_id: AtomicU64,
+    /// The persistent bounded worker pool, when the service was built with
+    /// [`QaServiceBuilder::worker_pool`].  Dropping the service's last clone
+    /// shuts the pool down cleanly (accepted jobs drain, threads join).
+    pool: Option<WorkerPool>,
 }
 
 /// A concurrent, multi-KG question-answering service.
@@ -332,6 +337,53 @@ impl QaService {
     /// KG exists and is cached.
     pub fn invalidate_cache(&self, kg: &str) -> bool {
         self.inner.registry.invalidate_cache(kg)
+    }
+
+    /// The persistent worker pool, when the service was built with
+    /// [`QaServiceBuilder::worker_pool`].
+    pub fn worker_pool(&self) -> Option<&WorkerPool> {
+        self.inner.pool.as_ref()
+    }
+
+    /// Requests waiting in the worker-pool queue right now (zero for a
+    /// service without a pool).  This is the *real* backlog an admission
+    /// layer compares against its load-shedding threshold.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.pool.as_ref().map_or(0, WorkerPool::queue_depth)
+    }
+
+    /// A snapshot of the worker pool's counters, if the service has one.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.inner.pool.as_ref().map(WorkerPool::stats)
+    }
+
+    /// Enqueue one request onto the persistent worker pool without
+    /// blocking.  The returned [`Ticket`] resolves to the same
+    /// `Result<AnswerResponse, KgqanError>` that [`QaService::answer`]
+    /// would produce.
+    ///
+    /// Fails with [`SubmitError::QueueFull`] when the bounded queue is at
+    /// capacity (the caller should shed load) and
+    /// [`SubmitError::ShuttingDown`] once [`QaService::shutdown`] has begun
+    /// — or when the service was built without a pool, which accepts no
+    /// queued work by construction.
+    pub fn try_enqueue(
+        &self,
+        request: AnswerRequest,
+    ) -> Result<Ticket<Result<AnswerResponse, KgqanError>>, SubmitError> {
+        let pool = self.inner.pool.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        let service = self.clone();
+        pool.try_submit(move || service.answer(request))
+    }
+
+    /// Gracefully shut the worker pool down: stop accepting queued work,
+    /// run every request already accepted to completion, and join the
+    /// worker threads.  A service without a pool returns immediately.
+    /// Direct [`QaService::answer`] calls keep working after shutdown.
+    pub fn shutdown(&self) {
+        if let Some(pool) = &self.inner.pool {
+            pool.shutdown();
+        }
     }
 
     /// Ingest a batch of new triples into one registered KG's live store.
@@ -437,6 +489,9 @@ impl QaService {
         if requests.len() <= 1 {
             return requests.iter().map(|r| self.answer(r.clone())).collect();
         }
+        if self.inner.pool.is_some() {
+            return self.answer_batch_pooled(requests);
+        }
         let workers = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(4)
@@ -462,6 +517,38 @@ impl QaService {
             .map(|slot| {
                 slot.into_inner()
                     .expect("scoped workers fill every request slot")
+            })
+            .collect()
+    }
+
+    /// The pool-backed batch path: enqueue what fits, run the overflow on
+    /// the caller thread (natural back-pressure — a batch larger than the
+    /// queue bound never fails, it just shares the caller's core), then
+    /// collect in request order.
+    fn answer_batch_pooled(
+        &self,
+        requests: &[AnswerRequest],
+    ) -> Vec<Result<AnswerResponse, KgqanError>> {
+        enum Slot {
+            Queued(Ticket<Result<AnswerResponse, KgqanError>>),
+            Inline(Box<Result<AnswerResponse, KgqanError>>),
+        }
+        let slots: Vec<Slot> = requests
+            .iter()
+            .map(|request| match self.try_enqueue(request.clone()) {
+                Ok(ticket) => Slot::Queued(ticket),
+                Err(_) => Slot::Inline(Box::new(self.answer(request.clone()))),
+            })
+            .collect();
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Queued(ticket) => ticket.wait().unwrap_or_else(|| {
+                    Err(KgqanError::Configuration(
+                        "pipeline worker was lost while answering the request".into(),
+                    ))
+                }),
+                Slot::Inline(result) => *result,
             })
             .collect()
     }
@@ -560,6 +647,7 @@ pub struct QaServiceBuilder {
     pending_endpoints: Vec<Arc<dyn SparqlEndpoint>>,
     cache: Option<CacheConfig>,
     default_kg: Option<String>,
+    pool: Option<PoolConfig>,
 }
 
 impl QaServiceBuilder {
@@ -572,6 +660,7 @@ impl QaServiceBuilder {
             pending_endpoints: Vec::new(),
             cache: Some(CacheConfig::default()),
             default_kg: None,
+            pool: None,
         }
     }
 
@@ -638,6 +727,26 @@ impl QaServiceBuilder {
         self
     }
 
+    /// Give the service a persistent, bounded worker pool.
+    ///
+    /// With a pool, [`QaService::answer_batch`] reuses the same threads for
+    /// every batch instead of spawning a scoped pool per call,
+    /// [`QaService::try_enqueue`] accepts single queued requests with
+    /// non-blocking back-pressure (the HTTP front-end's admission path),
+    /// [`QaService::queue_depth`] reports the real backlog, and
+    /// [`QaService::shutdown`] (or dropping the last service clone) drains
+    /// accepted work and joins the threads.
+    pub fn worker_pool(mut self, config: PoolConfig) -> Self {
+        self.pool = Some(config);
+        self
+    }
+
+    /// Shorthand for [`QaServiceBuilder::worker_pool`] with `n` workers and
+    /// the default queue bound.
+    pub fn workers(self, n: usize) -> Self {
+        self.worker_pool(PoolConfig::with_workers(n))
+    }
+
     /// Build the service, training the understanding models if none were
     /// supplied (takes a moment).
     ///
@@ -676,6 +785,7 @@ impl QaServiceBuilder {
                 registry,
                 default_kg: self.default_kg,
                 next_request_id: AtomicU64::new(0),
+                pool: self.pool.map(WorkerPool::new),
             }),
         })
     }
@@ -893,6 +1003,69 @@ mod tests {
         // but the request *returned* instead of running the full pipeline.
         assert!(response.outcome.answers.is_empty());
         assert!(response.query_stats.is_empty());
+    }
+
+    #[test]
+    fn pooled_service_exposes_queue_depth_and_drains_on_shutdown() {
+        let understanding = service_with_one_kg().understanding().clone();
+        let service = QaService::builder()
+            .shared_understanding(understanding)
+            .endpoint(Arc::new(InProcessEndpoint::new("DBpedia", spouse_store())))
+            .worker_pool(crate::pool::PoolConfig {
+                workers: 2,
+                queue_bound: 8,
+            })
+            .build()
+            .unwrap();
+        assert!(service.worker_pool().is_some());
+        assert_eq!(service.queue_depth(), 0);
+
+        let question = "Who is the wife of Barack Obama?";
+        let requests: Vec<AnswerRequest> = (0..4)
+            .map(|i| AnswerRequest::new(question).with_id(format!("r{i}")))
+            .collect();
+        let responses = service.answer_batch(&requests);
+        assert_eq!(responses.len(), 4);
+        for (i, response) in responses.iter().enumerate() {
+            assert_eq!(response.as_ref().unwrap().request_id, format!("r{i}"));
+        }
+        let stats = service.pool_stats().unwrap();
+        assert!(stats.completed >= 4);
+
+        // Single enqueued requests resolve to the same result as `answer`.
+        let ticket = service.try_enqueue(AnswerRequest::new(question)).unwrap();
+        let queued = ticket.wait().expect("worker survived").unwrap();
+        let direct = service.answer(AnswerRequest::new(question)).unwrap();
+        assert_eq!(queued.outcome.answers, direct.outcome.answers);
+
+        // Shutdown drains cleanly; queued work is then refused but direct
+        // answering still works.
+        service.shutdown();
+        assert!(matches!(
+            service.try_enqueue(AnswerRequest::new(question)),
+            Err(crate::pool::SubmitError::ShuttingDown)
+        ));
+        assert_eq!(service.queue_depth(), 0);
+        assert!(!service
+            .answer(AnswerRequest::new(question))
+            .unwrap()
+            .outcome
+            .answers
+            .is_empty());
+    }
+
+    #[test]
+    fn unpooled_service_refuses_queued_work() {
+        let service = service_with_one_kg();
+        assert!(service.worker_pool().is_none());
+        assert!(service.pool_stats().is_none());
+        assert_eq!(service.queue_depth(), 0);
+        assert!(matches!(
+            service.try_enqueue(AnswerRequest::new("Who is the wife of Barack Obama?")),
+            Err(crate::pool::SubmitError::ShuttingDown)
+        ));
+        // Shutdown on an unpooled service is a no-op.
+        service.shutdown();
     }
 
     #[test]

@@ -53,6 +53,26 @@ impl fmt::Display for EndpointError {
     }
 }
 
+impl EndpointError {
+    /// The HTTP status code this error maps to when surfaced over the
+    /// SPARQL-protocol front-end.
+    ///
+    /// This is the single place endpoint failures are translated for the
+    /// wire: an unknown KG name is a routing miss (`404`), a query that
+    /// fails to parse or evaluate is the client's fault (`400`), a
+    /// (simulated) outage is `503`, writes against a read-only endpoint are
+    /// `405`, and a malformed ingest batch is again a `400`.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            EndpointError::Query(_) => 400,
+            EndpointError::UnknownEndpoint { .. } => 404,
+            EndpointError::Unavailable(_) => 503,
+            EndpointError::IngestUnsupported { .. } => 405,
+            EndpointError::Ingest(_) => 400,
+        }
+    }
+}
+
 impl std::error::Error for EndpointError {}
 
 impl From<SparqlError> for EndpointError {
@@ -81,6 +101,37 @@ mod tests {
         assert!(EndpointError::Unavailable("down".into())
             .to_string()
             .contains("down"));
+    }
+
+    #[test]
+    fn http_status_mapping_is_stable() {
+        let parse: EndpointError = SparqlError::Parse {
+            message: "bad".into(),
+        }
+        .into();
+        assert_eq!(parse.http_status(), 400);
+        assert_eq!(
+            EndpointError::UnknownEndpoint {
+                name: "YAGO".into(),
+                available: vec![],
+            }
+            .http_status(),
+            404
+        );
+        assert_eq!(EndpointError::Unavailable("down".into()).http_status(), 503);
+        assert_eq!(
+            EndpointError::IngestUnsupported {
+                name: "DBpedia".into()
+            }
+            .http_status(),
+            405
+        );
+        let ingest: EndpointError = RdfError::NTriplesSyntax {
+            line: 1,
+            message: "bad triple".into(),
+        }
+        .into();
+        assert_eq!(ingest.http_status(), 400);
     }
 
     #[test]

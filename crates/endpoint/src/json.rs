@@ -1,13 +1,16 @@
-//! A minimal hand-rolled JSON reader/writer for the perf-trajectory
-//! tooling.
+//! A minimal hand-rolled JSON reader/writer shared by the serving wire
+//! formats and the perf-trajectory tooling.
 //!
-//! The build environment is offline (no serde), so the `BENCH_<area>.json`
-//! artifacts and the per-benchmark JSONL records emitted by the criterion
-//! shim are parsed with this small recursive-descent parser. It supports
-//! the full JSON value grammar — objects, arrays, strings (with every
-//! escape form, including `\uXXXX` surrogate pairs and raw UTF-8), numbers,
-//! booleans and `null` — which is deliberately more than the emitters
-//! produce, so a round-trip test can exercise the schema end to end.
+//! The build environment is offline (no serde), so every JSON document the
+//! platform reads or writes — the HTTP front-end's request/response bodies
+//! and SPARQL-JSON results in `kgqan-server`, the `BENCH_<area>.json`
+//! artifacts and the per-benchmark JSONL records of `kgqan-bench` — goes
+//! through this small recursive-descent parser and these writer helpers.
+//! It supports the full JSON value grammar — objects, arrays, strings (with
+//! every escape form, including `\uXXXX` surrogate pairs and raw UTF-8),
+//! numbers, booleans and `null` — which is deliberately more than the
+//! emitters produce, so a round-trip test can exercise the schema end to
+//! end.
 
 use std::fmt::Write as _;
 

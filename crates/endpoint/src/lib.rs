@@ -27,6 +27,7 @@ pub mod cache;
 pub mod dialect;
 pub mod error;
 pub mod inprocess;
+pub mod json;
 pub mod registry;
 pub mod stats;
 

@@ -1,0 +1,157 @@
+//! Admission control: per-client token-bucket rate limiting.
+//!
+//! The front-end's other admission mechanisms live at their natural layers
+//! — the bounded connection queue in [`crate::server`], the pipeline
+//! queue-depth load shed against [`kgqan::QaService::queue_depth`] — but
+//! rate limiting needs its own state: one [`TokenBucket`] per client,
+//! keyed by the `X-Client-Id` header when present (so load generators can
+//! multiplex clients over few sockets) and by peer IP otherwise.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Requests-per-second budget enforced per client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained refill rate, tokens per second.
+    pub per_second: f64,
+    /// Bucket capacity: the burst a fresh client may spend at once.
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// A limit of `per_second` sustained with a burst of the same size.
+    pub fn per_second(per_second: f64) -> Self {
+        RateLimit {
+            per_second,
+            burst: per_second.max(1.0),
+        }
+    }
+
+    /// Override the burst capacity.
+    #[must_use]
+    pub fn with_burst(mut self, burst: f64) -> Self {
+        self.burst = burst.max(1.0);
+        self
+    }
+}
+
+/// A classic token bucket: `burst` capacity, `per_second` refill.
+#[derive(Debug)]
+pub struct TokenBucket {
+    limit: RateLimit,
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl TokenBucket {
+    /// A full bucket.
+    pub fn new(limit: RateLimit) -> Self {
+        TokenBucket {
+            limit,
+            tokens: limit.burst,
+            refilled: Instant::now(),
+        }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let elapsed = now.duration_since(self.refilled).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * self.limit.per_second).min(self.limit.burst);
+        self.refilled = now;
+    }
+
+    /// Try to spend one token.  `Ok(())` admits the request; `Err(wait)`
+    /// rejects it with the time until a token will be available (the
+    /// `Retry-After` hint).
+    pub fn try_take(&mut self, now: Instant) -> Result<(), Duration> {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - self.tokens;
+            Err(Duration::from_secs_f64(deficit / self.limit.per_second))
+        }
+    }
+}
+
+/// A map of client key → [`TokenBucket`], shared across handler threads.
+#[derive(Debug)]
+pub struct RateLimiter {
+    limit: RateLimit,
+    buckets: Mutex<HashMap<String, TokenBucket>>,
+}
+
+impl RateLimiter {
+    /// A limiter applying `limit` independently to every client key.
+    pub fn new(limit: RateLimit) -> Self {
+        RateLimiter {
+            limit,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admit or reject one request from `client`.  `Err(wait)` carries the
+    /// `Retry-After` hint.
+    pub fn check(&self, client: &str) -> Result<(), Duration> {
+        self.check_at(client, Instant::now())
+    }
+
+    /// [`RateLimiter::check`] with an explicit clock, for tests.
+    pub fn check_at(&self, client: &str, now: Instant) -> Result<(), Duration> {
+        let mut buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        buckets
+            .entry(client.to_string())
+            .or_insert_with(|| TokenBucket::new(self.limit))
+            .try_take(now)
+    }
+
+    /// Number of distinct clients seen.
+    pub fn clients(&self) -> usize {
+        self.buckets
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_admits_burst_then_rejects() {
+        let now = Instant::now();
+        let mut bucket = TokenBucket::new(RateLimit::per_second(10.0).with_burst(3.0));
+        assert!(bucket.try_take(now).is_ok());
+        assert!(bucket.try_take(now).is_ok());
+        assert!(bucket.try_take(now).is_ok());
+        let wait = bucket.try_take(now).unwrap_err();
+        assert!(wait > Duration::ZERO && wait <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn bucket_refills_over_time() {
+        let start = Instant::now();
+        let mut bucket = TokenBucket::new(RateLimit::per_second(10.0).with_burst(1.0));
+        assert!(bucket.try_take(start).is_ok());
+        assert!(bucket.try_take(start).is_err());
+        // 150 ms at 10/s refills 1.5 tokens, capped at the burst of 1.
+        assert!(bucket.try_take(start + Duration::from_millis(150)).is_ok());
+        assert!(bucket.try_take(start + Duration::from_millis(150)).is_err());
+    }
+
+    #[test]
+    fn limiter_isolates_clients() {
+        let now = Instant::now();
+        let limiter = RateLimiter::new(RateLimit::per_second(5.0).with_burst(1.0));
+        assert!(limiter.check_at("a", now).is_ok());
+        assert!(limiter.check_at("a", now).is_err(), "a is out of burst");
+        assert!(limiter.check_at("b", now).is_ok(), "b has its own bucket");
+        assert_eq!(limiter.clients(), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! A minimal blocking HTTP/1.1 client with keep-alive, for the integration
+//! tests and the closed-loop load generator.
+//!
+//! Like the server it is hand-rolled over `std::net` (the environment is
+//! offline).  One [`HttpClient`] owns one connection; it reconnects
+//! transparently when the server closed the previous one (idle reaping,
+//! `Connection: close` responses), so callers just issue requests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// The status code.
+    pub status: u16,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The first value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive HTTP/1.1 connection to one server.
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    conn: Option<BufReader<TcpStream>>,
+    /// Extra headers sent with every request, e.g. `x-client-id`.
+    headers: Vec<(String, String)>,
+}
+
+impl HttpClient {
+    /// A client for `addr` with a per-operation socket timeout.
+    pub fn connect(addr: SocketAddr) -> Self {
+        HttpClient {
+            addr,
+            timeout: Duration::from_secs(10),
+            conn: None,
+            headers: Vec::new(),
+        }
+    }
+
+    /// Override the socket timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Attach a header to every request this client sends.
+    #[must_use]
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None, &[])
+    }
+
+    /// `POST path` with a body.
+    pub fn post(
+        &mut self,
+        path: &str,
+        content_type: &str,
+        body: &str,
+    ) -> std::io::Result<ClientResponse> {
+        self.request(
+            "POST",
+            path,
+            Some(body.as_bytes()),
+            &[("content-type", content_type)],
+        )
+    }
+
+    /// Issue one request, reusing the connection when possible.  A request
+    /// that fails on a *reused* connection is retried once on a fresh one
+    /// (the server may have reaped it between requests).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        let reused = self.conn.is_some();
+        match self.request_once(method, path, body, headers) {
+            Ok(response) => Ok(response),
+            Err(e) if reused => {
+                let _ = e;
+                self.conn = None;
+                self.request_once(method, path, body, headers)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        let reader = self.conn.as_mut().expect("connection just ensured");
+
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: kgqan\r\n");
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!(
+            "content-length: {}\r\n\r\n",
+            body.map_or(0, <[u8]>::len)
+        ));
+
+        let result = (|| {
+            let stream = reader.get_mut();
+            stream.write_all(head.as_bytes())?;
+            if let Some(body) = body {
+                stream.write_all(body)?;
+            }
+            stream.flush()?;
+            read_response(reader)
+        })();
+        match result {
+            Ok((response, keep_alive)) => {
+                if !keep_alive {
+                    self.conn = None;
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+fn bad_data(why: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, why)
+}
+
+fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<(ClientResponse, bool)> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(bad_data("connection closed before response"));
+    }
+    let status = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad_data("bad status line"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad_data("connection closed inside response head"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+
+    let length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; length];
+    {
+        reader.read_exact(&mut body)?;
+    }
+
+    let keep_alive = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| !v.eq_ignore_ascii_case("close"))
+        .unwrap_or(true);
+    Ok((
+        ClientResponse {
+            status,
+            headers,
+            body,
+        },
+        keep_alive,
+    ))
+}

@@ -1,0 +1,178 @@
+//! Server-side counters surfaced at `GET /metrics`.
+//!
+//! Everything is lock-free atomics so the hot path never contends: each
+//! route keeps a request count, an error count, and a latency accumulator
+//! (sum of microseconds + count, enough to recover a mean; the full
+//! latency *distribution* is the load generator's job, which times from
+//! the client side).  The render is a flat `name value` text format, one
+//! counter per line, stable for scraping and diffing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The routes the server distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+    /// `POST /kg/{name}/ask`.
+    Ask,
+    /// `GET`/`POST /kg/{name}/sparql`.
+    Sparql,
+    /// `POST /kg/{name}/ingest`.
+    Ingest,
+    /// Anything that matched no route (404s, bad methods, parse failures).
+    Other,
+}
+
+impl Route {
+    /// Every distinguished route, in render order.
+    pub const ALL: [Route; 6] = [
+        Route::Healthz,
+        Route::Metrics,
+        Route::Ask,
+        Route::Sparql,
+        Route::Ingest,
+        Route::Other,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Route::Healthz => "healthz",
+            Route::Metrics => "metrics",
+            Route::Ask => "ask",
+            Route::Sparql => "sparql",
+            Route::Ingest => "ingest",
+            Route::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Route::Healthz => 0,
+            Route::Metrics => 1,
+            Route::Ask => 2,
+            Route::Sparql => 3,
+            Route::Ingest => 4,
+            Route::Other => 5,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RouteCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency_us: AtomicU64,
+}
+
+/// The server's counter registry.  Shared by all handler threads.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    routes: [RouteCounters; 6],
+    /// Connections accepted by the acceptor thread.
+    pub connections_accepted: AtomicU64,
+    /// Connections turned away because the connection queue was full.
+    pub connections_refused: AtomicU64,
+    /// Requests rejected by the per-client rate limiter (429).
+    pub rate_limited: AtomicU64,
+    /// Requests shed because the pipeline queue was over threshold (503).
+    pub load_shed: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one finished request: its route, response status, and
+    /// server-side wall-clock.
+    pub fn record(&self, route: Route, status: u16, elapsed: Duration) {
+        let counters = &self.routes[route.index()];
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        counters.latency_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Requests recorded for one route.
+    pub fn requests(&self, route: Route) -> u64 {
+        self.routes[route.index()].requests.load(Ordering::Relaxed)
+    }
+
+    /// Error (status ≥ 400) responses recorded for one route.
+    pub fn errors(&self, route: Route) -> u64 {
+        self.routes[route.index()].errors.load(Ordering::Relaxed)
+    }
+
+    /// Render every counter as `name value` lines.  The caller appends
+    /// whatever service-level gauges it wants (queue depth, cache stats)
+    /// in the same format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for route in Route::ALL {
+            let counters = &self.routes[route.index()];
+            let requests = counters.requests.load(Ordering::Relaxed);
+            let errors = counters.errors.load(Ordering::Relaxed);
+            let latency_us = counters.latency_us.load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "http_requests_total{{route={}}} {requests}\n",
+                route.name()
+            ));
+            out.push_str(&format!(
+                "http_errors_total{{route={}}} {errors}\n",
+                route.name()
+            ));
+            out.push_str(&format!(
+                "http_latency_us_total{{route={}}} {latency_us}\n",
+                route.name()
+            ));
+        }
+        out.push_str(&format!(
+            "connections_accepted_total {}\n",
+            self.connections_accepted.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "connections_refused_total {}\n",
+            self.connections_refused.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "requests_rate_limited_total {}\n",
+            self.rate_limited.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "requests_load_shed_total {}\n",
+            self.load_shed.load(Ordering::Relaxed)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let metrics = Metrics::new();
+        metrics.record(Route::Ask, 200, Duration::from_micros(1500));
+        metrics.record(Route::Ask, 404, Duration::from_micros(500));
+        metrics.record(Route::Healthz, 200, Duration::ZERO);
+        metrics.load_shed.fetch_add(3, Ordering::Relaxed);
+
+        assert_eq!(metrics.requests(Route::Ask), 2);
+        assert_eq!(metrics.errors(Route::Ask), 1);
+        assert_eq!(metrics.requests(Route::Healthz), 1);
+
+        let text = metrics.render();
+        assert!(text.contains("http_requests_total{route=ask} 2"));
+        assert!(text.contains("http_errors_total{route=ask} 1"));
+        assert!(text.contains("http_latency_us_total{route=ask} 2000"));
+        assert!(text.contains("requests_load_shed_total 3"));
+    }
+}

@@ -1,0 +1,561 @@
+//! End-to-end tests of the HTTP front-end over real TCP sockets.
+//!
+//! Each test binds an ephemeral-port server around a [`QaService`] built on
+//! the paper's running-example KG fragment (the 7-triple DBpedia miniature
+//! of Figure 4) and drives it with the crate's own [`HttpClient`].
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kgqan::{AnswerRequest, PoolConfig, QaService};
+use kgqan_endpoint::json::Json;
+use kgqan_endpoint::InProcessEndpoint;
+use kgqan_rdf::{vocab, Store, Term, Triple};
+use kgqan_server::{serve, wire, HttpClient, RateLimit, ServerConfig, ServerHandle};
+
+const QUESTION: &str = "Name the sea into which Danish Straits flows and has \
+                        Kaliningrad as one of the city on the shore";
+
+/// The running-example KG fragment (Figure 4 of the paper).
+fn quickstart_store() -> Store {
+    let mut store = Store::new();
+    let label = Term::iri(vocab::RDFS_LABEL);
+    let sea = Term::iri("http://dbpedia.org/resource/Baltic_Sea");
+    let straits = Term::iri("http://dbpedia.org/resource/Danish_straits");
+    let kali = Term::iri("http://dbpedia.org/resource/Kaliningrad");
+    let yantar = Term::iri("http://dbpedia.org/resource/Yantar,_Kaliningrad");
+    store.insert_all([
+        Triple::new(sea.clone(), label.clone(), Term::literal_str("Baltic Sea")),
+        Triple::new(
+            straits.clone(),
+            label.clone(),
+            Term::literal_str("Danish Straits"),
+        ),
+        Triple::new(
+            kali.clone(),
+            label.clone(),
+            Term::literal_str("Kaliningrad"),
+        ),
+        Triple::new(yantar, label, Term::literal_str("Yantar, Kaliningrad")),
+        Triple::new(
+            sea.clone(),
+            Term::iri("http://dbpedia.org/property/outflow"),
+            straits,
+        ),
+        Triple::new(
+            sea.clone(),
+            Term::iri("http://dbpedia.org/ontology/nearestCity"),
+            kali,
+        ),
+        Triple::new(
+            sea,
+            Term::iri(vocab::RDF_TYPE),
+            Term::iri("http://dbpedia.org/ontology/Sea"),
+        ),
+    ]);
+    store
+}
+
+/// A second tiny KG so multi-KG routing is exercised.
+fn spouse_store() -> Store {
+    let mut store = Store::new();
+    let obama = Term::iri("http://dbpedia.org/resource/Barack_Obama");
+    let michelle = Term::iri("http://dbpedia.org/resource/Michelle_Obama");
+    store.insert_all([
+        Triple::new(
+            obama.clone(),
+            Term::iri(vocab::RDFS_LABEL),
+            Term::literal_str("Barack Obama"),
+        ),
+        Triple::new(
+            michelle.clone(),
+            Term::iri(vocab::RDFS_LABEL),
+            Term::literal_str("Michelle Obama"),
+        ),
+        Triple::new(
+            obama,
+            Term::iri("http://dbpedia.org/ontology/spouse"),
+            michelle,
+        ),
+    ]);
+    store
+}
+
+fn two_kg_service(pool: Option<PoolConfig>) -> QaService {
+    let mut builder = QaService::builder()
+        .endpoint(Arc::new(InProcessEndpoint::new(
+            "DBpedia",
+            quickstart_store(),
+        )))
+        .endpoint(Arc::new(InProcessEndpoint::new("Celebs", spouse_store())));
+    if let Some(pool) = pool {
+        builder = builder.worker_pool(pool);
+    }
+    builder.build().expect("service builds")
+}
+
+fn start(service: QaService, config: ServerConfig) -> ServerHandle {
+    serve(service, "127.0.0.1:0", config).expect("server binds an ephemeral port")
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        idle_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn running_example_over_tcp_is_byte_identical_to_in_process() {
+    let service = two_kg_service(Some(PoolConfig::with_workers(2)));
+    let handle = start(service.clone(), test_config());
+    let mut client = HttpClient::connect(handle.addr());
+
+    let body = format!("{{\"question\": \"{QUESTION}\", \"id\": \"rex\"}}");
+    let response = client
+        .post("/kg/DBpedia/ask", "application/json", &body)
+        .expect("ask over TCP");
+    assert_eq!(response.status, 200, "body: {}", response.text());
+    let text = response.text();
+
+    // The same request answered in-process, serialized through the same
+    // wire writer: the answer payload must be byte-identical on the wire.
+    let in_process = service
+        .answer(AnswerRequest::new(QUESTION).on_kg("DBpedia").with_id("rex"))
+        .expect("in-process answer");
+    let expected = wire::answer_response_to_json(&in_process);
+    let answers_of = |json: &str| {
+        let start = json.find("\"answers\":").expect("answers field");
+        let end = json[start..].find("],").expect("answers array end") + start + 1;
+        json[start..end].to_string()
+    };
+    assert_eq!(answers_of(&text), answers_of(&expected));
+    assert!(
+        answers_of(&text).contains("http://dbpedia.org/resource/Baltic_Sea"),
+        "gold answer missing: {text}"
+    );
+
+    // The structured fields agree too.
+    let parsed = Json::parse(&text).unwrap();
+    assert_eq!(parsed.get("id").and_then(Json::as_str), Some("rex"));
+    assert_eq!(parsed.get("kg").and_then(Json::as_str), Some("DBpedia"));
+    assert_eq!(parsed.get("partial").and_then(Json::as_bool), Some(false));
+}
+
+#[test]
+fn sixteen_clients_two_kgs_match_in_process_answers() {
+    let service = two_kg_service(Some(PoolConfig {
+        workers: 4,
+        queue_bound: 64,
+    }));
+    let handle = start(service.clone(), test_config());
+    let addr = handle.addr();
+
+    let expected_sea = service
+        .answer(AnswerRequest::new(QUESTION).on_kg("DBpedia"))
+        .unwrap()
+        .outcome
+        .answers;
+    let expected_spouse = service
+        .answer(AnswerRequest::new("Who is the wife of Barack Obama?").on_kg("Celebs"))
+        .unwrap()
+        .outcome
+        .answers;
+
+    let threads: Vec<_> = (0..16)
+        .map(|i| {
+            let expected = if i % 2 == 0 {
+                expected_sea.clone()
+            } else {
+                expected_spouse.clone()
+            };
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr);
+                let (kg, question) = if i % 2 == 0 {
+                    ("DBpedia", QUESTION)
+                } else {
+                    ("Celebs", "Who is the wife of Barack Obama?")
+                };
+                let body = format!("{{\"question\": \"{question}\"}}");
+                let response = client
+                    .post(&format!("/kg/{kg}/ask"), "application/json", &body)
+                    .expect("concurrent ask");
+                assert_eq!(response.status, 200, "body: {}", response.text());
+                let parsed = Json::parse(&response.text()).unwrap();
+                let answers = parsed
+                    .get("answers")
+                    .and_then(Json::as_array)
+                    .unwrap()
+                    .len();
+                assert_eq!(answers, expected.len(), "client {i} got {parsed:?}");
+                let first = parsed.get("answers").and_then(Json::as_array).unwrap()[0]
+                    .get("value")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string();
+                assert_eq!(
+                    Some(first.as_str()),
+                    expected[0].as_iri(),
+                    "client {i} answer mismatch"
+                );
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("no client panicked");
+    }
+}
+
+#[test]
+fn burst_past_queue_bound_sheds_with_503_and_never_hangs() {
+    // One slow worker, a queue of 2, shed threshold 2: a 16-request burst
+    // must complete (nothing hangs) with a mix of 200s and 503s.
+    let service = QaService::builder()
+        .endpoint(Arc::new(
+            InProcessEndpoint::new("DBpedia", quickstart_store())
+                .with_latency(Duration::from_millis(25)),
+        ))
+        .worker_pool(PoolConfig {
+            workers: 1,
+            queue_bound: 2,
+        })
+        .build()
+        .unwrap();
+    let handle = start(
+        service,
+        ServerConfig {
+            handler_threads: 8,
+            shed_queue_depth: 2,
+            ..test_config()
+        },
+    );
+    let addr = handle.addr();
+
+    let threads: Vec<_> = (0..16)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).with_timeout(Duration::from_secs(30));
+                let body = format!("{{\"question\": \"{QUESTION}\"}}");
+                let response = client
+                    .post("/kg/DBpedia/ask", "application/json", &body)
+                    .expect("every burst request gets a response");
+                (response.status, response.header("retry-after").is_some())
+            })
+        })
+        .collect();
+    let outcomes: Vec<(u16, bool)> = threads
+        .into_iter()
+        .map(|t| t.join().expect("no client hangs or panics"))
+        .collect();
+
+    assert!(
+        outcomes.iter().all(|(s, _)| *s == 200 || *s == 503),
+        "only 200/503 expected, got {outcomes:?}"
+    );
+    assert!(
+        outcomes.iter().any(|(s, _)| *s == 200),
+        "some requests must be served: {outcomes:?}"
+    );
+    let shed: Vec<_> = outcomes.iter().filter(|(s, _)| *s == 503).collect();
+    assert!(
+        !shed.is_empty(),
+        "burst past the bound must shed: {outcomes:?}"
+    );
+    assert!(
+        shed.iter().all(|(_, retry)| *retry),
+        "503s carry Retry-After"
+    );
+    let metrics = handle.metrics();
+    assert!(
+        metrics.load_shed.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "shedding is counted"
+    );
+}
+
+#[test]
+fn near_deadline_requests_degrade_to_partial() {
+    let service = two_kg_service(Some(PoolConfig::with_workers(2)));
+    let handle = start(service, test_config());
+    let mut client = HttpClient::connect(handle.addr());
+
+    let body = format!("{{\"question\": \"{QUESTION}\", \"deadline_ms\": 0}}");
+    let response = client
+        .post("/kg/DBpedia/ask", "application/json", &body)
+        .expect("near-deadline ask");
+    assert_eq!(response.status, 200, "body: {}", response.text());
+    let parsed = Json::parse(&response.text()).unwrap();
+    assert_eq!(
+        parsed.get("partial").and_then(Json::as_bool),
+        Some(true),
+        "zero deadline must degrade to a partial answer: {parsed:?}"
+    );
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_across_requests() {
+    let service = two_kg_service(None);
+    let handle = start(service, test_config());
+    let mut client = HttpClient::connect(handle.addr());
+
+    for _ in 0..5 {
+        let response = client.get("/healthz").expect("healthz");
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("connection"), Some("keep-alive"));
+    }
+    let accepted = handle
+        .metrics()
+        .connections_accepted
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(accepted, 1, "five requests over one connection");
+}
+
+#[test]
+fn sparql_protocol_get_and_post() {
+    let service = two_kg_service(None);
+    let handle = start(service, test_config());
+    let mut client = HttpClient::connect(handle.addr());
+
+    let query = "SELECT ?sea WHERE { ?sea <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+                 <http://dbpedia.org/ontology/Sea> }";
+    let encoded = kgqan_server::http::percent_encode(query);
+    let response = client
+        .get(&format!("/kg/DBpedia/sparql?query={encoded}"))
+        .expect("GET sparql");
+    assert_eq!(response.status, 200, "body: {}", response.text());
+    let parsed = Json::parse(&response.text()).unwrap();
+    let bindings = parsed
+        .get("results")
+        .and_then(|r| r.get("bindings"))
+        .and_then(Json::as_array)
+        .expect("SELECT results shape");
+    assert_eq!(bindings.len(), 1);
+    assert_eq!(
+        bindings[0]
+            .get("sea")
+            .and_then(|b| b.get("value"))
+            .and_then(Json::as_str),
+        Some("http://dbpedia.org/resource/Baltic_Sea")
+    );
+
+    // POST with a raw SPARQL body, ASK form.
+    let ask = "ASK { <http://dbpedia.org/resource/Baltic_Sea> ?p ?o }";
+    let response = client
+        .post("/kg/DBpedia/sparql", "application/sparql-query", ask)
+        .expect("POST sparql");
+    assert_eq!(response.status, 200);
+    let parsed = Json::parse(&response.text()).unwrap();
+    assert_eq!(parsed.get("boolean").and_then(Json::as_bool), Some(true));
+
+    // POST with a form-encoded body.
+    let form = format!("query={encoded}");
+    let response = client
+        .post(
+            "/kg/DBpedia/sparql",
+            "application/x-www-form-urlencoded",
+            &form,
+        )
+        .expect("POST form sparql");
+    assert_eq!(response.status, 200);
+
+    // A parse error is the client's fault.
+    let response = client
+        .post(
+            "/kg/DBpedia/sparql",
+            "application/sparql-query",
+            "SELEC nope",
+        )
+        .expect("bad sparql");
+    assert_eq!(response.status, 400);
+}
+
+#[test]
+fn ingest_publishes_new_triples_to_later_queries() {
+    let service = two_kg_service(None);
+    let handle = start(service, test_config());
+    let mut client = HttpClient::connect(handle.addr());
+
+    let ntriples = "<http://dbpedia.org/resource/North_Sea> \
+                    <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+                    <http://dbpedia.org/ontology/Sea> .\n";
+    let response = client
+        .post("/kg/DBpedia/ingest", "application/n-triples", ntriples)
+        .expect("ingest");
+    assert_eq!(response.status, 200, "body: {}", response.text());
+    let parsed = Json::parse(&response.text()).unwrap();
+    assert_eq!(parsed.get("added").and_then(Json::as_u64), Some(1));
+    assert!(parsed.get("epoch").and_then(Json::as_u64).is_some());
+
+    let query = kgqan_server::http::percent_encode(
+        "SELECT ?sea WHERE { ?sea <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+         <http://dbpedia.org/ontology/Sea> }",
+    );
+    let response = client
+        .get(&format!("/kg/DBpedia/sparql?query={query}"))
+        .expect("post-ingest query");
+    let parsed = Json::parse(&response.text()).unwrap();
+    let bindings = parsed
+        .get("results")
+        .and_then(|r| r.get("bindings"))
+        .and_then(Json::as_array)
+        .unwrap();
+    assert_eq!(bindings.len(), 2, "the ingested sea is visible");
+
+    // Malformed N-Triples is a 400, not a panic.
+    let response = client
+        .post("/kg/DBpedia/ingest", "application/n-triples", "not triples")
+        .expect("bad ingest");
+    assert_eq!(response.status, 400);
+}
+
+#[test]
+fn healthz_and_metrics_report_service_state() {
+    let service = two_kg_service(Some(PoolConfig::with_workers(2)));
+    let handle = start(service, test_config());
+    let mut client = HttpClient::connect(handle.addr());
+
+    let response = client.get("/healthz").expect("healthz");
+    assert_eq!(response.status, 200);
+    let parsed = Json::parse(&response.text()).unwrap();
+    assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+    let kgs: Vec<&str> = parsed
+        .get("kgs")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert!(kgs.contains(&"DBpedia") && kgs.contains(&"Celebs"));
+
+    let _ = client.post(
+        "/kg/DBpedia/ask",
+        "application/json",
+        &format!("{{\"question\": \"{QUESTION}\"}}"),
+    );
+    let response = client.get("/metrics").expect("metrics");
+    assert_eq!(response.status, 200);
+    let text = response.text();
+    assert!(text.contains("http_requests_total{route=ask} 1"), "{text}");
+    assert!(
+        text.contains("http_requests_total{route=healthz} 1"),
+        "{text}"
+    );
+    assert!(text.contains("pipeline_queue_depth 0"), "{text}");
+    assert!(text.contains("pipeline_workers 2"), "{text}");
+    assert!(text.contains("connections_accepted_total 1"), "{text}");
+}
+
+#[test]
+fn error_statuses_follow_the_single_mapping() {
+    let service = two_kg_service(Some(PoolConfig::with_workers(2)));
+    let handle = start(service, test_config());
+    let mut client = HttpClient::connect(handle.addr());
+
+    // Unknown KG → 404 from EndpointError::http_status.
+    let response = client
+        .post(
+            "/kg/YAGO/ask",
+            "application/json",
+            "{\"question\": \"Who?\"}",
+        )
+        .expect("unknown KG");
+    assert_eq!(response.status, 404);
+    let parsed = Json::parse(&response.text()).unwrap();
+    assert_eq!(
+        parsed
+            .get("error")
+            .and_then(|e| e.get("status"))
+            .and_then(Json::as_u64),
+        Some(404)
+    );
+
+    // Unknown route → 404; wrong method → 405; bad JSON → 400.
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    assert_eq!(client.get("/kg/DBpedia/ask").unwrap().status, 405);
+    let response = client
+        .post("/kg/DBpedia/ask", "application/json", "{broken")
+        .unwrap();
+    assert_eq!(response.status, 400);
+}
+
+#[test]
+fn per_client_rate_limit_returns_429() {
+    let service = two_kg_service(None);
+    let handle = start(
+        service,
+        ServerConfig {
+            rate_limit: Some(RateLimit::per_second(1.0).with_burst(2.0)),
+            ..test_config()
+        },
+    );
+
+    let mut greedy = HttpClient::connect(handle.addr()).with_header("x-client-id", "greedy");
+    let statuses: Vec<u16> = (0..4)
+        .map(|_| greedy.get("/kg/DBpedia/sparql?query=x").unwrap().status)
+        .collect();
+    assert!(
+        statuses.iter().filter(|s| **s == 429).count() >= 2,
+        "a burst of 4 at burst-capacity 2 must see 429s: {statuses:?}"
+    );
+
+    // A different client id is unaffected.
+    let mut polite = HttpClient::connect(handle.addr()).with_header("x-client-id", "polite");
+    let response = polite.get("/healthz").unwrap();
+    assert_eq!(response.status, 200, "healthz is never throttled");
+    let response = polite
+        .post(
+            "/kg/DBpedia/sparql",
+            "application/sparql-query",
+            "ASK { ?s ?p ?o }",
+        )
+        .unwrap();
+    assert_eq!(response.status, 200, "fresh client has its own bucket");
+
+    let limited = handle
+        .metrics()
+        .rate_limited
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(limited >= 2, "throttling is counted: {limited}");
+}
+
+#[test]
+fn graceful_shutdown_finishes_in_flight_requests() {
+    let service = QaService::builder()
+        .endpoint(Arc::new(
+            InProcessEndpoint::new("DBpedia", quickstart_store())
+                .with_latency(Duration::from_millis(10)),
+        ))
+        .worker_pool(PoolConfig::with_workers(2))
+        .build()
+        .unwrap();
+    let mut handle = start(service, test_config());
+    let addr = handle.addr();
+
+    // A request racing the shutdown must either complete with a real
+    // response or be refused at the socket — never hang.
+    let in_flight = std::thread::spawn(move || {
+        let mut client = HttpClient::connect(addr).with_timeout(Duration::from_secs(10));
+        let body = format!("{{\"question\": \"{QUESTION}\"}}");
+        client.post("/kg/DBpedia/ask", "application/json", &body)
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    handle.shutdown();
+    // An Err means the request was refused at the socket: acceptable
+    // during shutdown. A reply must be a real answer or a clean shed.
+    if let Ok(response) = in_flight.join().expect("client thread survives") {
+        assert!(
+            response.status == 200 || response.status == 503,
+            "unexpected status {}",
+            response.status
+        );
+    }
+
+    // After shutdown nothing answers.
+    let mut late = HttpClient::connect(addr).with_timeout(Duration::from_millis(300));
+    assert!(
+        late.get("/healthz").is_err(),
+        "server is down after shutdown"
+    );
+
+    // Shutdown is idempotent (and Drop will run it again harmlessly).
+    handle.shutdown();
+}
