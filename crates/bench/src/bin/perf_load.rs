@@ -144,6 +144,9 @@ fn main() -> ExitCode {
             "DBpedia",
             kg.store.clone(),
         )))
+        // A second mirror KG so the federate scenario fans out over two
+        // real endpoints (full agreement: maximal merge work).
+        .endpoint(Arc::new(InProcessEndpoint::new("Mirror", kg.store.clone())))
         .worker_pool(PoolConfig {
             workers: 2,
             queue_bound: 64,
@@ -188,6 +191,19 @@ fn main() -> ExitCode {
             path: "/kg/DBpedia/sparql",
             content_type: "application/sparql-query",
             body: format!("SELECT ?s ?o WHERE {{ ?s <{spouse}> ?o . }} LIMIT 10"),
+        },
+        Scenario {
+            bench: format!("federate/clients{clients}"),
+            clients,
+            requests,
+            think: Duration::from_millis(2),
+            method: "POST",
+            path: "/federate/ask",
+            content_type: "application/json",
+            body: format!(
+                "{{\"question\": {:?}, \"kgs\": \"*\", \"id\": \"load\"}}",
+                question
+            ),
         },
         Scenario {
             bench: "healthz/clients1".to_string(),

@@ -94,7 +94,7 @@ pub use pipeline::{
 pub use platform::{AnswerOutcome, KgqanConfig, KgqanPlatform, PhaseTimings};
 pub use pool::{PoolConfig, PoolStats, SubmitError, Ticket, WorkerPool};
 pub use service::{
-    AnswerRequest, AnswerResponse, Budget, BudgetVerdict, ConfigOverrides, QaService,
+    AnswerRequest, AnswerResponse, AnswerSource, Budget, BudgetVerdict, ConfigOverrides, QaService,
     QaServiceBuilder, TracedAnswer,
 };
 pub use understanding::{QuestionUnderstanding, Understanding};

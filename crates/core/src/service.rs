@@ -114,6 +114,32 @@ impl Budget {
             None => false,
         }
     }
+
+    /// The smallest per-branch share [`Budget::split`] hands out: below
+    /// this a sub-request cannot even complete its linking probes, so the
+    /// share would buy nothing but a guaranteed `Partial`.
+    pub const MIN_SPLIT_SHARE: Duration = Duration::from_millis(25);
+
+    /// Carve a per-branch budget for fanning this request out `n` ways.
+    ///
+    /// Each share is an *independent* budget of `remaining / n`, floored at
+    /// [`Budget::MIN_SPLIT_SHARE`] (but never beyond what actually remains),
+    /// starting from now.  Fan-out paths — `answer_batch_within`, the
+    /// federation layer — give every branch its own share instead of the
+    /// whole deadline, so one stalled KG exhausts only its slice while its
+    /// siblings still finish within theirs.  Splitting an unbounded budget
+    /// yields unbounded shares; splitting an expired budget yields shares
+    /// that are born expired.
+    pub fn split(&self, n: usize) -> Budget {
+        let n = n.max(1) as u32;
+        match self.remaining() {
+            None => Budget::unbounded(),
+            Some(remaining) => {
+                let share = (remaining / n).max(Self::MIN_SPLIT_SHARE).min(remaining);
+                Budget::with_deadline(share)
+            }
+        }
+    }
 }
 
 /// Whether a request completed within its budget.
@@ -227,6 +253,25 @@ impl AnswerRequest {
     }
 }
 
+/// Provenance of an answer set: which KG contributed, the epoch it served,
+/// how long it took, and how much plan work its engine reported.
+///
+/// Single-KG responses carry exactly one source; the federation layer
+/// merges answers from several KGs and attaches one entry per KG that
+/// contributed to the merged set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnswerSource {
+    /// The registered KG name.
+    pub kg: String,
+    /// The epoch the KG was serving, when its endpoint exposes one.
+    pub epoch: Option<u64>,
+    /// Wall-clock time this KG's pipeline run took.
+    pub elapsed: Duration,
+    /// Total index/text rows the KG's engine scanned across the executed
+    /// candidate queries (0 when the endpoint exposes no metrics).
+    pub plan_rows: u64,
+}
+
 /// Everything the service reports for one answered request.
 #[derive(Debug, Clone)]
 pub struct AnswerResponse {
@@ -247,6 +292,14 @@ pub struct AnswerResponse {
     pub verdict: BudgetVerdict,
     /// Wall-clock time the request spent in the pipeline.
     pub elapsed: Duration,
+    /// Provenance: the KG(s) whose evidence produced `outcome.answers` —
+    /// one entry on the single-KG paths, one per contributing KG on
+    /// federated responses.
+    pub sources: Vec<AnswerSource>,
+    /// Ranking score per answer, parallel to `outcome.answers`: the best
+    /// Equation-2 query score that produced the term on single-KG paths,
+    /// the agreement-boosted combined score on federated responses.
+    pub answer_scores: Vec<f64>,
 }
 
 impl AnswerResponse {
@@ -521,6 +574,37 @@ impl QaService {
             .collect()
     }
 
+    /// Answer a batch under one shared budget, carving a per-request share
+    /// out of it with [`Budget::split`].
+    ///
+    /// This is the fan-out-safe batch entry point: `answer_batch` runs each
+    /// request under its *own* deadline only, so a shared deadline passed to
+    /// every request lets one stalled KG burn the whole allowance before
+    /// its siblings run.  Here each request's deadline is clamped to
+    /// `min(own deadline, share)`, so a stalled KG exhausts only its slice
+    /// (answered `Partial`) while the others still complete within theirs.
+    /// The federation layer routes every multi-KG fan-out through this
+    /// path.
+    pub fn answer_batch_within(
+        &self,
+        requests: &[AnswerRequest],
+        budget: &Budget,
+    ) -> Vec<Result<AnswerResponse, KgqanError>> {
+        let share = budget.split(requests.len()).deadline();
+        let clamped: Vec<AnswerRequest> = requests
+            .iter()
+            .map(|request| {
+                let mut request = request.clone();
+                request.deadline = match (request.deadline, share) {
+                    (Some(own), Some(share)) => Some(own.min(share)),
+                    (own, share) => own.or(share),
+                };
+                request
+            })
+            .collect();
+        self.answer_batch(&clamped)
+    }
+
     /// The pool-backed batch path: enqueue what fits, run the overflow on
     /// the caller thread (natural back-pressure — a batch larger than the
     /// queue bound never fails, it just shares the caller's core), then
@@ -573,6 +657,7 @@ impl QaService {
         Ok(RequestRun {
             request_id,
             endpoint_stats: endpoint.stats(),
+            epoch: endpoint.describe().map(|d| d.epoch),
             elapsed: budget.elapsed(),
             trace,
         })
@@ -584,6 +669,7 @@ impl QaService {
 struct RequestRun {
     request_id: String,
     endpoint_stats: RequestStats,
+    epoch: Option<u64>,
     elapsed: Duration,
     trace: PipelineTrace,
 }
@@ -596,6 +682,34 @@ impl RequestRun {
             BudgetVerdict::Completed
         };
         let trace = self.trace;
+        // Per-answer ranking scores: the best Equation-2 score among the
+        // executed queries that produced each filtered answer.
+        let answer_scores: Vec<f64> = trace
+            .filtered
+            .answers
+            .iter()
+            .map(|term| {
+                trace
+                    .execution
+                    .answers
+                    .iter()
+                    .filter(|a| &a.answer == term)
+                    .map(|a| f64::from(a.query_score))
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+        let plan_rows: u64 = trace
+            .execution
+            .query_stats
+            .iter()
+            .filter_map(|stat| stat.rows_scanned)
+            .sum();
+        let sources = vec![AnswerSource {
+            kg: kg.to_string(),
+            epoch: self.epoch,
+            elapsed: self.elapsed,
+            plan_rows,
+        }];
         AnswerResponse {
             request_id: self.request_id,
             kg: kg.to_string(),
@@ -617,6 +731,8 @@ impl RequestRun {
             endpoint_stats: self.endpoint_stats,
             verdict,
             elapsed: self.elapsed,
+            sources,
+            answer_scores,
         }
     }
 }
@@ -842,6 +958,91 @@ mod tests {
         let generous = Budget::with_deadline(Duration::from_secs(3600));
         assert!(!generous.expired());
         assert!(generous.remaining().unwrap() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn budget_split_floors_and_caps_shares() {
+        // Unbounded budgets split into unbounded shares.
+        assert_eq!(Budget::unbounded().split(4).deadline(), None);
+
+        // A generous budget splits evenly.
+        let share = Budget::with_deadline(Duration::from_secs(8))
+            .split(4)
+            .deadline()
+            .unwrap();
+        assert!(share <= Duration::from_secs(2));
+        assert!(share > Duration::from_millis(1900));
+
+        // A tight budget keeps the floor so a share is still usable…
+        let floored = Budget::with_deadline(Duration::from_millis(40))
+            .split(16)
+            .deadline()
+            .unwrap();
+        assert_eq!(floored, Budget::MIN_SPLIT_SHARE);
+
+        // …but the floor never exceeds what actually remains.
+        let exhausted = Budget::with_deadline(Duration::ZERO).split(4);
+        assert!(exhausted.expired());
+
+        // n = 0 is treated as 1 rather than dividing by zero.
+        assert!(Budget::with_deadline(Duration::from_secs(1))
+            .split(0)
+            .deadline()
+            .is_some());
+    }
+
+    #[test]
+    fn answer_batch_within_shields_fast_kg_from_stalled_sibling() {
+        let stalled = InProcessEndpoint::new("Stalled", spouse_store())
+            .with_latency(Duration::from_millis(120));
+        let service = QaService::builder()
+            .endpoint(Arc::new(InProcessEndpoint::new("Fast", spouse_store())))
+            .endpoint(Arc::new(stalled))
+            .build()
+            .unwrap();
+
+        let question = "Who is the wife of Barack Obama?";
+        let requests = vec![
+            AnswerRequest::new(question).on_kg("Fast"),
+            AnswerRequest::new(question).on_kg("Stalled"),
+        ];
+        // A shared 100ms budget: each request gets a ~50ms share, so the
+        // stalled KG exhausts only its own slice.
+        let budget = Budget::with_deadline(Duration::from_millis(100));
+        let responses = service.answer_batch_within(&requests, &budget);
+
+        let fast = responses[0].as_ref().unwrap();
+        assert_eq!(fast.kg, "Fast");
+        assert!(!fast.is_partial());
+        assert!(fast
+            .outcome
+            .answers
+            .iter()
+            .any(|t| t.as_iri() == Some("http://dbpedia.org/resource/Michelle_Obama")));
+
+        // The stalled KG ran out of its share and degraded to Partial
+        // instead of holding the batch hostage.
+        let stalled = responses[1].as_ref().unwrap();
+        assert_eq!(stalled.kg, "Stalled");
+        assert!(stalled.is_partial());
+    }
+
+    #[test]
+    fn single_kg_response_carries_provenance() {
+        let service = service_with_one_kg();
+        let response = service
+            .answer(AnswerRequest::new("Who is the wife of Barack Obama?"))
+            .unwrap();
+        assert_eq!(response.sources.len(), 1);
+        let source = &response.sources[0];
+        assert_eq!(source.kg, "DBpedia");
+        assert_eq!(source.epoch, Some(0));
+        assert!(source.plan_rows > 0, "in-process engine reports scan work");
+        assert!(source.elapsed > Duration::ZERO);
+        // One ranking score per answer, all positive.
+        assert_eq!(response.answer_scores.len(), response.outcome.answers.len());
+        assert!(!response.answer_scores.is_empty());
+        assert!(response.answer_scores.iter().all(|s| *s > 0.0));
     }
 
     #[test]

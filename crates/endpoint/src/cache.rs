@@ -610,6 +610,22 @@ impl SparqlEndpoint for CachingEndpoint {
         Ok(report)
     }
 
+    fn describe(&self) -> Option<crate::EndpointDescription> {
+        self.inner.describe()
+    }
+
+    fn query_federated(
+        &self,
+        query: &Query,
+        services: &dyn kgqan_sparql::ServiceResolver,
+    ) -> Result<crate::TracedQuery, EndpointError> {
+        // A federated query's results depend on *other* KGs' epochs, which
+        // this namespace's scoped invalidation cannot see — so federated
+        // queries bypass the cache.  (The SERVICE groups themselves still
+        // hit the per-target-KG caches through the resolver.)
+        self.inner.query_federated(query, services)
+    }
+
     fn stats(&self) -> RequestStats {
         let cache = self.cache.stats();
         RequestStats {

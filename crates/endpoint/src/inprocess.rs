@@ -17,7 +17,8 @@ use kgqan_sparql::{parse_query, ExecMetrics, PlanSummary, Planner, Query, QueryR
 use crate::dialect::EngineDialect;
 use crate::error::EndpointError;
 use crate::stats::RequestStats;
-use crate::{SparqlEndpoint, TracedQuery};
+use crate::{EndpointDescription, SparqlEndpoint, TracedQuery};
+use kgqan_sparql::ServiceResolver;
 
 /// An endpoint answering queries from an in-memory [`LiveStore`].
 ///
@@ -210,6 +211,51 @@ impl SparqlEndpoint for InProcessEndpoint {
         self.live.ingest(batch).map_err(EndpointError::from)
     }
 
+    fn describe(&self) -> Option<EndpointDescription> {
+        // Epoch and triple count come from the same pinned snapshot, so the
+        // pair is always consistent even under concurrent ingestion.
+        let snapshot = self.live.snapshot();
+        Some(EndpointDescription {
+            epoch: snapshot.epoch(),
+            triples: snapshot.len(),
+        })
+    }
+
+    fn query_federated(
+        &self,
+        query: &Query,
+        services: &dyn ServiceResolver,
+    ) -> Result<TracedQuery, EndpointError> {
+        let start = Instant::now();
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        // Same epoch-pinning contract as `execute_planned`, with the
+        // resolver installed so SERVICE groups can reach sibling KGs.
+        let snapshot = self.live.snapshot();
+        let planner = Planner::for_snapshot(&snapshot).with_services(services);
+        let is_text = query
+            .pattern
+            .all_triple_patterns()
+            .iter()
+            .any(|tp| is_text_search_pattern(tp));
+        let plan = match planner.plan_checked(query) {
+            Ok(plan) => plan,
+            Err(err) => {
+                self.record_request(start.elapsed(), is_text, query.is_ask(), true);
+                return Err(EndpointError::from(err));
+            }
+        };
+        let outcome = plan.execute().map_err(EndpointError::from);
+        self.record_request(start.elapsed(), is_text, query.is_ask(), outcome.is_err());
+        let run = outcome?;
+        Ok(TracedQuery {
+            results: run.results,
+            plan: Some(plan.summary().clone()),
+            metrics: Some(run.metrics),
+        })
+    }
+
     fn stats(&self) -> RequestStats {
         *self.stats.lock()
     }
@@ -344,6 +390,48 @@ mod tests {
         assert_eq!(ep.query(sparql).unwrap().rows().len(), 2);
         assert_eq!(pinned.len(), 2, "pinned snapshot is immutable");
         assert_eq!(ep.store().len(), 3);
+    }
+
+    #[test]
+    fn query_federated_joins_service_groups_across_kgs() {
+        use crate::EndpointRegistry;
+
+        let mut local_store = Store::new();
+        local_store.insert(Triple::new(
+            Term::iri("http://e/Alice"),
+            Term::iri("http://e/spouse"),
+            Term::iri("http://e/Bob"),
+        ));
+        let mut remote_store = Store::new();
+        remote_store.insert(Triple::new(
+            Term::iri("http://e/Bob"),
+            Term::iri("http://e/birthPlace"),
+            Term::iri("http://e/Berlin"),
+        ));
+        let local = InProcessEndpoint::new("DBpedia", local_store);
+        let mut reg = EndpointRegistry::new();
+        reg.register(Arc::new(InProcessEndpoint::new("Wikidata", remote_store)));
+
+        let query = parse_query(
+            "SELECT ?q ?c WHERE { <http://e/Alice> <http://e/spouse> ?q . \
+             SERVICE <kg:Wikidata> { ?q <http://e/birthPlace> ?c . } }",
+        )
+        .unwrap();
+        let traced = local.query_federated(&query, &reg).unwrap();
+        assert_eq!(traced.results.rows().len(), 1);
+        assert_eq!(
+            traced.results.rows()[0].get("c"),
+            Some(&Term::iri("http://e/Berlin"))
+        );
+        let plan = traced.plan.expect("federated path exposes its plan");
+        assert!(plan.to_string().contains("service <kg:Wikidata>"), "{plan}");
+
+        // An unregistered target fails at plan time, naming the valid KGs.
+        let bad =
+            parse_query("SELECT ?c WHERE { SERVICE <kg:Nope> { ?q <http://e/birthPlace> ?c . } }")
+                .unwrap();
+        let err = local.query_federated(&bad, &reg).unwrap_err();
+        assert!(err.to_string().contains("Wikidata"), "{err}");
     }
 
     #[test]

@@ -38,8 +38,23 @@ pub use inprocess::InProcessEndpoint;
 pub use registry::EndpointRegistry;
 pub use stats::RequestStats;
 
+// Re-exported so federation callers can name the resolver trait without
+// depending on `kgqan-sparql` directly.
+pub use kgqan_sparql::ServiceResolver;
+
 use kgqan_rdf::{IngestBatch, IngestReport};
 use kgqan_sparql::{ExecMetrics, PlanSummary, Query, QueryResults};
+
+/// A coarse description of the KG behind an endpoint: the epoch it is
+/// serving and the triple count of that epoch's snapshot, as surfaced by
+/// `GET /kg` and the provenance of federated answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointDescription {
+    /// The epoch currently served (0 for a store that never ingested).
+    pub epoch: u64,
+    /// Triples in the served snapshot.
+    pub triples: usize,
+}
 
 /// The results of one executed query plus the engine's execution telemetry,
 /// returned by [`SparqlEndpoint::query_traced`].
@@ -116,6 +131,41 @@ pub trait SparqlEndpoint: Send + Sync {
         Err(EndpointError::IngestUnsupported {
             name: self.name().to_string(),
         })
+    }
+
+    /// Describe the KG behind this endpoint (served epoch + triple count).
+    ///
+    /// The default returns `None`: a remote wire-protocol endpoint has no
+    /// cheap way to know its size.  [`InProcessEndpoint`] overrides it with
+    /// the live store's current snapshot, and [`CachingEndpoint`] forwards
+    /// to its inner endpoint.
+    fn describe(&self) -> Option<EndpointDescription> {
+        None
+    }
+
+    /// Execute a query that may contain `SERVICE <kg:name>` groups, using
+    /// `services` to resolve the remote KGs.
+    ///
+    /// The resolver is passed per call rather than stored on the endpoint so
+    /// that a registry can resolve SERVICE targets to its own members
+    /// without creating reference cycles.  The default implementation
+    /// rejects queries that actually contain SERVICE groups (the plain
+    /// query path cannot execute them) and otherwise forwards to
+    /// [`SparqlEndpoint::query_traced`]; [`InProcessEndpoint`] overrides it
+    /// to plan with the resolver installed.
+    fn query_federated(
+        &self,
+        query: &Query,
+        services: &dyn ServiceResolver,
+    ) -> Result<TracedQuery, EndpointError> {
+        if let Some(kg) = query.pattern.service_targets().first() {
+            let _ = services;
+            return Err(EndpointError::Query(kgqan_sparql::SparqlError::Service {
+                kg: (*kg).to_string(),
+                message: format!("endpoint {} cannot execute SERVICE groups", self.name()),
+            }));
+        }
+        self.query_traced(query)
     }
 
     /// Cumulative request statistics for this endpoint.

@@ -16,9 +16,11 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use kgqan_sparql::{Query, QueryResults, ServiceResolver, SparqlError};
+
 use crate::cache::{CacheConfig, CacheStats, CachingEndpoint, QueryCache};
 use crate::error::EndpointError;
-use crate::SparqlEndpoint;
+use crate::{EndpointDescription, SparqlEndpoint};
 
 /// One registered KG: the endpoint as served (possibly cache-wrapped), the
 /// raw endpoint as registered, and the cache namespace, if caching is on.
@@ -165,6 +167,18 @@ impl EndpointRegistry {
         self.get(name)?.ingest(batch)
     }
 
+    /// Describe every registered KG, sorted by name: the served epoch and
+    /// triple count where the endpoint exposes them
+    /// ([`SparqlEndpoint::describe`]), `None` for opaque remote endpoints.
+    /// Backs the server's `GET /kg` listing, so clients no longer have to
+    /// guess valid names out of 404 error bodies.
+    pub fn describe(&self) -> Vec<(String, Option<EndpointDescription>)> {
+        self.endpoints
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.raw.describe()))
+            .collect()
+    }
+
     /// True if an endpoint is registered under `name`.
     pub fn contains(&self, name: &str) -> bool {
         self.endpoints.contains_key(name)
@@ -185,6 +199,36 @@ impl EndpointRegistry {
     /// True if no endpoints are registered.
     pub fn is_empty(&self) -> bool {
         self.endpoints.is_empty()
+    }
+}
+
+/// The registry resolves `SERVICE <kg:name>` groups to its own members, so
+/// any registered KG can be a federation target.  Execution goes through
+/// the *serving* endpoint — on a caching registry that is the KG's
+/// [`CachingEndpoint`], so repeated SERVICE groups against the same target
+/// are answered from that KG's semantic cache namespace.
+impl ServiceResolver for EndpointRegistry {
+    fn service_names(&self) -> Vec<String> {
+        self.names()
+    }
+
+    fn execute_service(&self, kg: &str, query: &Query) -> Result<QueryResults, SparqlError> {
+        let endpoint = self.get(kg).map_err(|err| match err {
+            EndpointError::UnknownEndpoint { name, available } => SparqlError::UnknownService {
+                kg: name,
+                available,
+            },
+            other => SparqlError::Service {
+                kg: kg.to_string(),
+                message: other.to_string(),
+            },
+        })?;
+        endpoint
+            .query_parsed(query)
+            .map_err(|err| SparqlError::Service {
+                kg: kg.to_string(),
+                message: err.to_string(),
+            })
     }
 }
 
@@ -350,6 +394,72 @@ mod tests {
             reg.ingest("YAGO", IngestBatch::new()),
             Err(EndpointError::UnknownEndpoint { .. })
         ));
+    }
+
+    #[test]
+    fn describe_lists_every_kg_with_epoch_and_size() {
+        let mut reg = EndpointRegistry::with_cache(CacheConfig::default());
+        reg.register(Arc::new(InProcessEndpoint::new(
+            "DBpedia",
+            one_triple_store("http://e/o"),
+        )));
+        reg.register(Arc::new(InProcessEndpoint::new("MAG", Store::new())));
+
+        let described = reg.describe();
+        assert_eq!(described.len(), 2);
+        assert_eq!(described[0].0, "DBpedia");
+        let dbpedia = described[0].1.expect("in-process endpoints describe");
+        assert_eq!(dbpedia.epoch, 0);
+        assert_eq!(dbpedia.triples, 1);
+        assert_eq!(described[1].0, "MAG");
+        assert_eq!(described[1].1.unwrap().triples, 0);
+
+        // Ingest bumps the described epoch.
+        reg.ingest(
+            "MAG",
+            kgqan_rdf::IngestBatch::from(vec![Triple::new(
+                Term::iri("http://e/s2"),
+                Term::iri("http://e/p"),
+                Term::iri("http://e/o2"),
+            )]),
+        )
+        .unwrap();
+        let described = reg.describe();
+        assert_eq!(described[1].1.unwrap().epoch, 1);
+        assert_eq!(described[1].1.unwrap().triples, 1);
+    }
+
+    #[test]
+    fn registry_resolves_service_groups_through_the_kg_cache() {
+        use kgqan_sparql::parse_query;
+
+        let mut reg = EndpointRegistry::with_cache(CacheConfig::default());
+        reg.register(Arc::new(InProcessEndpoint::new(
+            "Wikidata",
+            one_triple_store("http://e/o"),
+        )));
+
+        assert_eq!(reg.service_names(), vec!["Wikidata".to_string()]);
+
+        let query = parse_query("SELECT ?s WHERE { ?s <http://e/p> ?o . }").unwrap();
+        let first = reg.execute_service("Wikidata", &query).unwrap();
+        assert_eq!(first.rows().len(), 1);
+        // The second SERVICE execution is a semantic-cache hit for the
+        // target KG's namespace.
+        reg.execute_service("Wikidata", &query).unwrap();
+        let stats = reg.cache_stats();
+        assert_eq!(stats[0].1.hits, 1);
+        assert_eq!(stats[0].1.misses, 1);
+
+        // Unknown targets map to the plan-level error listing valid names.
+        let err = reg.execute_service("YAGO", &query).unwrap_err();
+        match err {
+            kgqan_sparql::SparqlError::UnknownService { kg, available } => {
+                assert_eq!(kg, "YAGO");
+                assert_eq!(available, vec!["Wikidata".to_string()]);
+            }
+            other => panic!("expected UnknownService, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,10 +10,12 @@
 //! | Route | Meaning |
 //! |---|---|
 //! | `POST /kg/{name}/ask` | Answer a natural-language question against KG `name` (JSON in/out) |
-//! | `GET/POST /kg/{name}/sparql` | Execute a SPARQL query (W3C SPARQL-JSON results) |
+//! | `POST /federate/ask` | Fan a question out to several KGs and merge the answers with provenance ([`kgqan_federate`]) |
+//! | `GET/POST /kg/{name}/sparql` | Execute a SPARQL query (W3C SPARQL-JSON results; `SERVICE <kg:name>` joins across registered KGs) |
 //! | `POST /kg/{name}/ingest` | Add N-Triples to KG `name`'s live store |
+//! | `GET /kg` | Registered KGs with serving epoch and triple count |
 //! | `GET /healthz` | Liveness + registered KG names |
-//! | `GET /metrics` | Counters: per-route requests/errors/latency, queue depth, cache stats |
+//! | `GET /metrics` | Counters: per-route requests/errors/latency, per-KG requests, federation fan-out, queue depth, cache stats |
 //!
 //! ## Admission control
 //!

@@ -7,7 +7,9 @@
 //! the client side).  The render is a flat `name value` text format, one
 //! counter per line, stable for scraping and diffing.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// The routes the server distinguishes in its metrics.
@@ -17,24 +19,30 @@ pub enum Route {
     Healthz,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /kg`.
+    KgList,
     /// `POST /kg/{name}/ask`.
     Ask,
     /// `GET`/`POST /kg/{name}/sparql`.
     Sparql,
     /// `POST /kg/{name}/ingest`.
     Ingest,
+    /// `POST /federate/ask`.
+    Federate,
     /// Anything that matched no route (404s, bad methods, parse failures).
     Other,
 }
 
 impl Route {
     /// Every distinguished route, in render order.
-    pub const ALL: [Route; 6] = [
+    pub const ALL: [Route; 8] = [
         Route::Healthz,
         Route::Metrics,
+        Route::KgList,
         Route::Ask,
         Route::Sparql,
         Route::Ingest,
+        Route::Federate,
         Route::Other,
     ];
 
@@ -42,9 +50,11 @@ impl Route {
         match self {
             Route::Healthz => "healthz",
             Route::Metrics => "metrics",
+            Route::KgList => "kg_list",
             Route::Ask => "ask",
             Route::Sparql => "sparql",
             Route::Ingest => "ingest",
+            Route::Federate => "federate",
             Route::Other => "other",
         }
     }
@@ -53,10 +63,12 @@ impl Route {
         match self {
             Route::Healthz => 0,
             Route::Metrics => 1,
-            Route::Ask => 2,
-            Route::Sparql => 3,
-            Route::Ingest => 4,
-            Route::Other => 5,
+            Route::KgList => 2,
+            Route::Ask => 3,
+            Route::Sparql => 4,
+            Route::Ingest => 5,
+            Route::Federate => 6,
+            Route::Other => 7,
         }
     }
 }
@@ -71,7 +83,11 @@ struct RouteCounters {
 /// The server's counter registry.  Shared by all handler threads.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    routes: [RouteCounters; 6],
+    routes: [RouteCounters; 8],
+    /// Per-KG request counters: how many requests (single-KG asks, SPARQL,
+    /// ingests, and federated fan-out legs) targeted each KG.  A mutex is
+    /// fine here — the map is touched once per request, never per row.
+    kg_requests: Mutex<BTreeMap<String, u64>>,
     /// Connections accepted by the acceptor thread.
     pub connections_accepted: AtomicU64,
     /// Connections turned away because the connection queue was full.
@@ -80,6 +96,11 @@ pub struct Metrics {
     pub rate_limited: AtomicU64,
     /// Requests shed because the pipeline queue was over threshold (503).
     pub load_shed: AtomicU64,
+    /// Per-KG fan-out legs issued by `POST /federate/ask` (one per
+    /// selected KG per federated request, unknown names included).
+    pub federated_fanout: AtomicU64,
+    /// Federated responses whose overall verdict degraded to partial.
+    pub federated_partial: AtomicU64,
 }
 
 impl Metrics {
@@ -98,6 +119,25 @@ impl Metrics {
         }
         let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
         counters.latency_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Count one request against a named KG.
+    pub fn record_kg(&self, kg: &str) {
+        let mut map = self
+            .kg_requests
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *map.entry(kg.to_string()).or_insert(0) += 1;
+    }
+
+    /// Requests recorded against one KG.
+    pub fn kg_requests(&self, kg: &str) -> u64 {
+        self.kg_requests
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(kg)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Requests recorded for one route.
@@ -149,6 +189,23 @@ impl Metrics {
             "requests_load_shed_total {}\n",
             self.load_shed.load(Ordering::Relaxed)
         ));
+        out.push_str(&format!(
+            "federated_fanout_total {}\n",
+            self.federated_fanout.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "federated_partial_total {}\n",
+            self.federated_partial.load(Ordering::Relaxed)
+        ));
+        {
+            let map = self
+                .kg_requests
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            for (kg, count) in map.iter() {
+                out.push_str(&format!("kg_requests_total{{kg={kg}}} {count}\n"));
+            }
+        }
         out
     }
 }
@@ -174,5 +231,29 @@ mod tests {
         assert!(text.contains("http_errors_total{route=ask} 1"));
         assert!(text.contains("http_latency_us_total{route=ask} 2000"));
         assert!(text.contains("requests_load_shed_total 3"));
+        assert!(text.contains("http_requests_total{route=federate} 0"));
+        assert!(text.contains("http_requests_total{route=kg_list} 0"));
+        assert!(text.contains("federated_fanout_total 0"));
+        assert!(text.contains("federated_partial_total 0"));
+    }
+
+    #[test]
+    fn per_kg_request_counters_accumulate_and_render() {
+        let metrics = Metrics::new();
+        metrics.record_kg("DBpedia");
+        metrics.record_kg("DBpedia");
+        metrics.record_kg("Wikidata");
+        metrics.federated_fanout.fetch_add(2, Ordering::Relaxed);
+        metrics.federated_partial.fetch_add(1, Ordering::Relaxed);
+
+        assert_eq!(metrics.kg_requests("DBpedia"), 2);
+        assert_eq!(metrics.kg_requests("Wikidata"), 1);
+        assert_eq!(metrics.kg_requests("YAGO"), 0);
+
+        let text = metrics.render();
+        assert!(text.contains("kg_requests_total{kg=DBpedia} 2"));
+        assert!(text.contains("kg_requests_total{kg=Wikidata} 1"));
+        assert!(text.contains("federated_fanout_total 2"));
+        assert!(text.contains("federated_partial_total 1"));
     }
 }

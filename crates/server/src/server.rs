@@ -35,6 +35,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use kgqan::{QaService, SubmitError};
+use kgqan_federate::FederatedEndpoint;
 use kgqan_rdf::IngestBatch;
 
 use crate::admission::{RateLimit, RateLimiter};
@@ -93,6 +94,9 @@ pub struct ServerHandle {
 
 struct Shared {
     service: QaService,
+    /// The federation layer over the same service (the service is a cheap
+    /// `Arc` clone, so both views share registry, cache, and worker pool).
+    federated: FederatedEndpoint,
     config: ServerConfig,
     metrics: Metrics,
     limiter: Option<RateLimiter>,
@@ -112,6 +116,7 @@ pub fn serve(
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         limiter: config.rate_limit.map(RateLimiter::new),
+        federated: FederatedEndpoint::new(service.clone()),
         service,
         config,
         metrics: Metrics::new(),
@@ -302,6 +307,15 @@ fn respond(shared: &Shared, request: &Request, peer_ip: &str) -> (Route, Respons
             },
             method_not_allowed("GET"),
         ),
+        ("GET", ["kg"]) => (Route::KgList, kg_list(shared)),
+        (_, ["kg"]) => (Route::KgList, method_not_allowed("GET")),
+        ("POST", ["federate", "ask"]) => {
+            if let Some(response) = rate_limit(shared, request, peer_ip) {
+                return (Route::Federate, response);
+            }
+            (Route::Federate, federate_ask(shared, request))
+        }
+        (_, ["federate", "ask"]) => (Route::Federate, method_not_allowed("POST")),
         (method, ["kg", kg, action @ ("ask" | "sparql" | "ingest")]) => {
             let route = match *action {
                 "ask" => Route::Ask,
@@ -310,18 +324,10 @@ fn respond(shared: &Shared, request: &Request, peer_ip: &str) -> (Route, Respons
             };
             // Per-client admission first: a rate-limited client must not
             // consume pipeline capacity.
-            if let Some(limiter) = &shared.limiter {
-                let client = request.header("x-client-id").unwrap_or(peer_ip);
-                if let Err(wait) = limiter.check(client) {
-                    shared.metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
-                    let response = Response::json(
-                        429,
-                        wire::error_body(429, &format!("client {client} is over its rate limit")),
-                    )
-                    .with_header("retry-after", format!("{}", wait.as_secs().max(1)));
-                    return (route, response);
-                }
+            if let Some(response) = rate_limit(shared, request, peer_ip) {
+                return (route, response);
             }
+            shared.metrics.record_kg(kg);
             let response = match (method, *action) {
                 ("POST", "ask") => ask(shared, request, kg),
                 ("GET" | "POST", "sparql") => sparql(shared, request, kg),
@@ -343,6 +349,23 @@ fn respond(shared: &Shared, request: &Request, peer_ip: &str) -> (Route, Respons
 
 fn method_not_allowed(allow: &str) -> Response {
     Response::json(405, wire::error_body(405, "method not allowed")).with_header("allow", allow)
+}
+
+/// Per-client admission: `Some(429)` when the client is over its limit.
+/// Checked before any pipeline work so a rate-limited client cannot
+/// consume answering capacity.
+fn rate_limit(shared: &Shared, request: &Request, peer_ip: &str) -> Option<Response> {
+    let limiter = shared.limiter.as_ref()?;
+    let client = request.header("x-client-id").unwrap_or(peer_ip);
+    let wait = limiter.check(client).err()?;
+    shared.metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
+    Some(
+        Response::json(
+            429,
+            wire::error_body(429, &format!("client {client} is over its rate limit")),
+        )
+        .with_header("retry-after", format!("{}", wait.as_secs().max(1))),
+    )
 }
 
 fn healthz(shared: &Shared) -> Response {
@@ -374,6 +397,64 @@ fn metrics_page(shared: &Shared) -> Response {
         text.push_str(&format!("cache_misses_total{{kg={kg}}} {}\n", stats.misses));
     }
     Response::text(200, text)
+}
+
+fn kg_list(shared: &Shared) -> Response {
+    Response::json(
+        200,
+        wire::kg_list_to_json(&shared.service.registry().describe()),
+    )
+}
+
+fn federate_ask(shared: &Shared, request: &Request) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return Response::json(400, wire::error_body(400, "request body is not UTF-8")),
+    };
+    let mut federated_request = match wire::parse_federate_request(body) {
+        Ok(r) => r,
+        Err(message) => return Response::json(400, wire::error_body(400, &message)),
+    };
+    if federated_request.deadline.is_none() {
+        federated_request.deadline = shared.config.default_deadline;
+    }
+
+    // Same pipeline-backlog shed as single-KG asks: a federated request is
+    // several pipeline runs, so it is the first thing to turn away under
+    // load.
+    if shared.service.worker_pool().is_some()
+        && shared.service.queue_depth() >= shared.config.shed_queue_depth
+    {
+        shared.metrics.load_shed.fetch_add(1, Ordering::Relaxed);
+        return Response::json(
+            503,
+            wire::error_body(503, "pipeline queue is over the shed threshold"),
+        )
+        .with_header("retry-after", "1");
+    }
+
+    match shared.federated.ask(federated_request) {
+        Ok(response) => {
+            shared
+                .metrics
+                .federated_fanout
+                .fetch_add(response.reports.len() as u64, Ordering::Relaxed);
+            if response.is_partial() {
+                shared
+                    .metrics
+                    .federated_partial
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            for report in &response.reports {
+                shared.metrics.record_kg(&report.kg);
+            }
+            Response::json(200, wire::federated_response_to_json(&response))
+        }
+        Err(e) => {
+            let status = e.http_status();
+            Response::json(status, wire::error_body(status, &e.to_string()))
+        }
+    }
 }
 
 fn ask(shared: &Shared, request: &Request, kg: &str) -> Response {
@@ -471,11 +552,32 @@ fn sparql(shared: &Shared, request: &Request, kg: &str) -> Response {
             return Response::json(status, wire::error_body(status, &e.to_string()));
         }
     };
-    match endpoint.query(&query) {
-        Ok(results) => Response::json(200, wire::query_results_to_json(&results)),
-        Err(e) => {
-            let status = e.http_status();
-            Response::json(status, wire::error_body(status, &e.to_string()))
+    let parsed = match kgqan_sparql::parse_query(&query) {
+        Ok(parsed) => parsed,
+        Err(e) => return Response::json(400, wire::error_body(400, &e.to_string())),
+    };
+    let explain = request
+        .query_param("explain")
+        .is_some_and(|v| v != "0" && v != "false");
+    // SERVICE groups join against other registered KGs, so they (and
+    // explain requests, which need the traced plan) go through the
+    // federated entry point with the registry as the resolver.
+    if explain || !parsed.pattern.service_targets().is_empty() {
+        match endpoint.query_federated(&parsed, shared.service.registry()) {
+            Ok(traced) if explain => Response::json(200, wire::traced_query_to_json(&traced)),
+            Ok(traced) => Response::json(200, wire::query_results_to_json(&traced.results)),
+            Err(e) => {
+                let status = e.http_status();
+                Response::json(status, wire::error_body(status, &e.to_string()))
+            }
+        }
+    } else {
+        match endpoint.query_parsed(&parsed) {
+            Ok(results) => Response::json(200, wire::query_results_to_json(&results)),
+            Err(e) => {
+                let status = e.http_status();
+                Response::json(status, wire::error_body(status, &e.to_string()))
+            }
         }
     }
 }

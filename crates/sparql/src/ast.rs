@@ -219,6 +219,17 @@ pub enum GraphPattern {
     Filter(Box<GraphPattern>, Expression),
     /// `UNION` of two patterns.
     Union(Box<GraphPattern>, Box<GraphPattern>),
+    /// `SERVICE <kg:name> { ... }` — evaluate the inner pattern against
+    /// another registered KG and join the rows back into this query.  The
+    /// target is the registry name of the remote KG (the `name` in
+    /// `<kg:name>`), resolved at plan time through a
+    /// [`plan::ServiceResolver`](crate::plan::ServiceResolver).
+    Service {
+        /// Registry name of the remote KG.
+        kg: String,
+        /// The group evaluated remotely.
+        pattern: Box<GraphPattern>,
+    },
 }
 
 impl GraphPattern {
@@ -238,7 +249,48 @@ impl GraphPattern {
                 v
             }
             GraphPattern::Filter(inner, _) => inner.all_triple_patterns(),
+            GraphPattern::Service { pattern, .. } => pattern.all_triple_patterns(),
         }
+    }
+
+    /// True if a `SERVICE` group appears anywhere in the pattern — such a
+    /// query needs a service resolver to execute (see
+    /// [`plan::Planner::with_services`](crate::plan::Planner::with_services)).
+    pub fn has_service(&self) -> bool {
+        match self {
+            GraphPattern::Bgp(_) => false,
+            GraphPattern::Join(a, b) | GraphPattern::Optional(a, b) | GraphPattern::Union(a, b) => {
+                a.has_service() || b.has_service()
+            }
+            GraphPattern::Filter(inner, _) => inner.has_service(),
+            GraphPattern::Service { .. } => true,
+        }
+    }
+
+    /// Registry names of every `SERVICE` target in the pattern, in
+    /// first-seen order with duplicates removed.
+    pub fn service_targets(&self) -> Vec<&str> {
+        fn walk<'a>(pattern: &'a GraphPattern, out: &mut Vec<&'a str>) {
+            match pattern {
+                GraphPattern::Bgp(_) => {}
+                GraphPattern::Join(a, b)
+                | GraphPattern::Optional(a, b)
+                | GraphPattern::Union(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                GraphPattern::Filter(inner, _) => walk(inner, out),
+                GraphPattern::Service { kg, pattern } => {
+                    if !out.contains(&kg.as_str()) {
+                        out.push(kg);
+                    }
+                    walk(pattern, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
     }
 
     /// All variables mentioned anywhere in the pattern, in first-seen order.
@@ -385,6 +437,11 @@ fn write_pattern(pattern: &GraphPattern, out: &mut String, indent: usize) {
             write_pattern(inner, out, indent);
             out.push_str(&format!("{pad}FILTER ({expr})\n"));
         }
+        GraphPattern::Service { kg, pattern } => {
+            out.push_str(&format!("{pad}SERVICE <kg:{kg}> {{\n"));
+            write_pattern(pattern, out, indent + 1);
+            out.push_str(&format!("{pad}}}\n"));
+        }
     }
 }
 
@@ -456,6 +513,10 @@ mod tests {
             // distinct groups through serialization.
             "SELECT * WHERE { ?a <http://e/p> ?c . { ?d <http://e/q> ?f . } }",
             r#"SELECT * WHERE { { ?a <http://e/p> ?c . FILTER (?a != ?c) } { ?d <http://e/q> ?f . } }"#,
+            // A federated group: the SERVICE target and inner pattern must
+            // survive serialization unchanged.
+            "SELECT ?p ?c WHERE { ?p <http://e/spouse> ?q . \
+               SERVICE <kg:Wikidata> { ?q <http://e/birthPlace> ?c . } }",
         ];
         for q in queries {
             let parsed = crate::parser::parse_query(q).expect("test query parses");

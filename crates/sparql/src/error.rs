@@ -23,6 +23,20 @@ pub enum SparqlError {
     Unsupported(String),
     /// A filter expression could not be evaluated.
     Evaluation(String),
+    /// A `SERVICE <kg:name>` group named a KG the resolver does not know.
+    UnknownService {
+        /// The KG name the query asked for.
+        kg: String,
+        /// The KG names the resolver does know, for the error message.
+        available: Vec<String>,
+    },
+    /// Executing a `SERVICE <kg:name>` group against the remote KG failed.
+    Service {
+        /// The KG the group targeted.
+        kg: String,
+        /// Description of what went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for SparqlError {
@@ -35,6 +49,16 @@ impl fmt::Display for SparqlError {
             SparqlError::UnknownPrefix(p) => write!(f, "unknown prefix: {p}"),
             SparqlError::Unsupported(s) => write!(f, "unsupported SPARQL feature: {s}"),
             SparqlError::Evaluation(s) => write!(f, "evaluation error: {s}"),
+            SparqlError::UnknownService { kg, available } => {
+                write!(
+                    f,
+                    "SERVICE targets unknown KG '{kg}' (available: {})",
+                    available.join(", ")
+                )
+            }
+            SparqlError::Service { kg, message } => {
+                write!(f, "SERVICE <kg:{kg}> failed: {message}")
+            }
         }
     }
 }
@@ -67,5 +91,17 @@ mod tests {
         assert!(SparqlError::Evaluation("type mismatch".into())
             .to_string()
             .contains("type"));
+        let unknown = SparqlError::UnknownService {
+            kg: "YAGO".into(),
+            available: vec!["DBpedia".into(), "Wikidata".into()],
+        }
+        .to_string();
+        assert!(unknown.contains("YAGO") && unknown.contains("DBpedia, Wikidata"));
+        assert!(SparqlError::Service {
+            kg: "Wikidata".into(),
+            message: "deadline expired".into()
+        }
+        .to_string()
+        .contains("kg:Wikidata"));
     }
 }

@@ -270,6 +270,11 @@ enum CompiledPattern<'q> {
     Optional(Box<CompiledPattern<'q>>, Box<CompiledPattern<'q>>),
     Union(Box<CompiledPattern<'q>>, Box<CompiledPattern<'q>>),
     Filter(Box<CompiledPattern<'q>>, &'q Expression),
+    /// A `SERVICE <kg:name>` group.  The naive evaluator has no resolver for
+    /// other KGs, so this compiles to a deferred error (raised only if the
+    /// group is actually evaluated): federated queries go through the
+    /// planner (`Planner::with_services`).
+    Service(&'q str),
 }
 
 /// A query evaluator bound to a store.
@@ -361,6 +366,7 @@ impl QueryRun<'_> {
             GraphPattern::Filter(inner, expr) => {
                 CompiledPattern::Filter(Box::new(self.compile_pattern(inner)), expr)
             }
+            GraphPattern::Service { kg, .. } => CompiledPattern::Service(kg),
         }
     }
 
@@ -407,6 +413,12 @@ impl QueryRun<'_> {
                 }
                 Ok(out)
             }
+            CompiledPattern::Service(kg) => Err(SparqlError::Service {
+                kg: (*kg).to_string(),
+                message: "the naive evaluator cannot execute SERVICE groups; \
+                          plan the query with Planner::with_services"
+                    .to_string(),
+            }),
         }
     }
 

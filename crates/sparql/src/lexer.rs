@@ -95,6 +95,7 @@ const KEYWORDS: &[&str] = &[
     "FALSE",
     "COUNT",
     "AS",
+    "SERVICE",
 ];
 
 /// Tokenize a SPARQL query string.

@@ -54,5 +54,6 @@ pub use eval::{execute, execute_naive, execute_query, Evaluator};
 pub use parser::parse_query;
 pub use plan::{
     explain, ExecMetrics, PhysicalPlan, PlanOp, PlanSummary, PlannedExecution, Planner,
+    ServiceResolver,
 };
 pub use results::{Binding, QueryResults, ResultSet};

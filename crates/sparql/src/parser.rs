@@ -175,6 +175,20 @@ impl Parser {
                     let expr = self.parse_filter_expression()?;
                     filters.push(expr);
                 }
+                Some(Token::Keyword(k)) if k == "SERVICE" => {
+                    self.advance();
+                    let kg = self.parse_service_target()?;
+                    flush_bgp(&mut current_bgp, &mut pattern);
+                    let inner = self.parse_group()?;
+                    let service = GraphPattern::Service {
+                        kg,
+                        pattern: Box::new(inner),
+                    };
+                    pattern = Some(match pattern.take() {
+                        None => service,
+                        Some(existing) => GraphPattern::Join(Box::new(existing), Box::new(service)),
+                    });
+                }
                 Some(Token::Keyword(k)) if k == "UNION" => {
                     self.advance();
                     flush_bgp(&mut current_bgp, &mut pattern);
@@ -212,6 +226,23 @@ impl Parser {
             result = GraphPattern::Filter(Box::new(result), f);
         }
         Ok(result)
+    }
+
+    /// Parse the target of a `SERVICE` clause: a `<kg:name>` IRI or a bare
+    /// `kg:name` prefixed name naming a registered KG.
+    fn parse_service_target(&mut self) -> Result<String, SparqlError> {
+        match self.next_token()? {
+            Token::Iri(iri) => match iri.strip_prefix("kg:") {
+                Some(name) if !name.is_empty() => Ok(name.to_string()),
+                _ => Err(SparqlError::Parse {
+                    message: format!("SERVICE target must be <kg:name>, found <{iri}>"),
+                }),
+            },
+            Token::PrefixedName(prefix, local) if prefix == "kg" && !local.is_empty() => Ok(local),
+            other => Err(SparqlError::Parse {
+                message: format!("SERVICE target must be <kg:name>, found {other:?}"),
+            }),
+        }
     }
 
     fn parse_triple_pattern(&mut self) -> Result<TriplePatternAst, SparqlError> {
@@ -550,6 +581,43 @@ mod tests {
             GraphPattern::Union(_, _) => {}
             other => panic!("expected union, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_service_group() {
+        let q = parse_query(
+            "SELECT ?x ?c WHERE { ?x <http://e/a> ?y . \
+             SERVICE <kg:Wikidata> { ?y <http://e/b> ?c . } }",
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Join(_, service) => match service.as_ref() {
+                GraphPattern::Service { kg, pattern } => {
+                    assert_eq!(kg, "Wikidata");
+                    assert_eq!(pattern.all_triple_patterns().len(), 1);
+                }
+                other => panic!("expected service, got {other:?}"),
+            },
+            other => panic!("expected join, got {other:?}"),
+        }
+        assert!(q.pattern.has_service());
+        assert_eq!(q.pattern.service_targets(), vec!["Wikidata"]);
+
+        // A bare prefixed-name target works too, and a leading SERVICE
+        // group needs no preceding pattern.
+        let q =
+            parse_query("SELECT ?c WHERE { SERVICE kg:YAGO { ?y <http://e/b> ?c . } }").unwrap();
+        assert!(matches!(q.pattern, GraphPattern::Service { .. }));
+    }
+
+    #[test]
+    fn service_target_must_name_a_kg() {
+        assert!(
+            parse_query("SELECT ?c WHERE { SERVICE <http://remote/sparql> { ?y ?p ?c . } }")
+                .is_err()
+        );
+        assert!(parse_query("SELECT ?c WHERE { SERVICE ?target { ?y ?p ?c . } }").is_err());
+        assert!(parse_query("SELECT ?c WHERE { SERVICE <kg:> { ?y ?p ?c . } }").is_err());
     }
 
     #[test]

@@ -53,8 +53,8 @@
 //! assert_eq!(run.metrics.rows_scanned, 1); // one index entry touched
 //! ```
 
-use std::cell::{Cell, OnceCell};
-use std::collections::HashSet;
+use std::cell::{Cell, OnceCell, RefCell};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
@@ -114,8 +114,9 @@ impl PlanSummary {
         });
     }
 
-    /// The labels of the join steps (scan / text / never-matches lines), in
-    /// the order the executor runs them — handy for asserting a join order.
+    /// The labels of the join steps (scan / text / never-matches / service
+    /// lines), in the order the executor runs them — handy for asserting a
+    /// join order.
     pub fn step_labels(&self) -> Vec<&str> {
         self.ops
             .iter()
@@ -123,6 +124,7 @@ impl PlanSummary {
                 op.label.starts_with("scan ")
                     || op.label.starts_with("text ")
                     || op.label.starts_with("never-matches ")
+                    || op.label.starts_with("service ")
             })
             .map(|op| op.label.as_str())
             .collect()
@@ -143,6 +145,111 @@ impl fmt::Display for PlanSummary {
         }
         Ok(())
     }
+}
+
+/// Resolves `SERVICE <kg:name>` groups to other query endpoints.
+///
+/// The planner itself knows one [`Store`]; federation across registered KGs
+/// lives a crate up (`kgqan-endpoint`'s `EndpointRegistry` implements this
+/// trait).  Keeping the trait here lets the streaming executor call out to a
+/// remote KG mid-pipeline without `kgqan-sparql` depending on the endpoint
+/// layer.  Install one with [`Planner::with_services`].
+pub trait ServiceResolver: Send + Sync {
+    /// The KG names this resolver can execute against, used by
+    /// [`Planner::plan_checked`] to reject unknown targets with a helpful
+    /// error message.
+    fn service_names(&self) -> Vec<String>;
+
+    /// Execute `query` against the KG registered under `kg`.
+    fn execute_service(&self, kg: &str, query: &Query) -> Result<QueryResults, SparqlError>;
+}
+
+/// Cardinality guess for a SERVICE group: the planner has no statistics for
+/// the remote KG, so every SERVICE step is costed at a flat row count —
+/// expensive enough that local scans are preferred first, finite so the
+/// step still schedules.
+const SERVICE_ESTIMATE: f64 = 256.0;
+
+/// First id of the run-scoped *foreign term* range: terms returned by a
+/// remote SERVICE endpoint that the local dictionary has never seen are
+/// interned here so they can flow through the id-level join pipeline.  Ids
+/// below this value are local dictionary ids; local stores would need two
+/// billion terms to collide, far beyond this engine's scale.
+const FOREIGN_BASE: u32 = 1 << 31;
+
+/// Run-scoped side dictionary for remote terms (see [`FOREIGN_BASE`]).
+///
+/// Interning is consistent within one run — the same remote term always maps
+/// to the same synthetic id, so rows from two SERVICE groups still join on
+/// equality.  A synthetic id can never equal a local id, which gives the
+/// correct join semantics for free: a remote term absent from the local
+/// store cannot match a locally-bound variable.  Local scans and FILTERs
+/// over foreign-bound variables degrade safely (match nothing / see
+/// unbound) because foreign ids resolve to no local term.
+#[derive(Default)]
+struct ForeignTerms {
+    ids: RefCell<HashMap<Term, TermId>>,
+    terms: RefCell<Vec<Term>>,
+}
+
+impl ForeignTerms {
+    /// Map a remote term to an id: the local dictionary id when the store
+    /// knows the term, a stable synthetic id otherwise.
+    fn intern(&self, store: &Store, term: &Term) -> TermId {
+        if let Some(id) = store.id_of(term) {
+            return id;
+        }
+        if let Some(id) = self.ids.borrow().get(term) {
+            return *id;
+        }
+        let mut terms = self.terms.borrow_mut();
+        let id = TermId(FOREIGN_BASE + terms.len() as u32);
+        terms.push(term.clone());
+        self.ids.borrow_mut().insert(term.clone(), id);
+        id
+    }
+
+    /// Decode an id through the local dictionary or the foreign table.
+    fn resolve(&self, store: &Store, id: TermId) -> Option<Term> {
+        if id.0 >= FOREIGN_BASE {
+            self.terms
+                .borrow()
+                .get((id.0 - FOREIGN_BASE) as usize)
+                .cloned()
+        } else {
+            store.term_of(id).cloned()
+        }
+    }
+
+    /// Decode a projected id row, falling back to the plain local-only
+    /// decoder when no foreign terms were interned this run (every
+    /// non-federated query).
+    fn decode_row(&self, store: &Store, variables: &[String], row: &IdRow) -> Binding {
+        if self.terms.borrow().is_empty() {
+            return decode_row(store, variables, row);
+        }
+        let mut binding = Binding::new();
+        for (name, id) in variables.iter().zip(row) {
+            if let Some(id) = id {
+                if let Some(term) = self.resolve(store, *id) {
+                    binding.set(name.clone(), term);
+                }
+            }
+        }
+        binding
+    }
+}
+
+/// One remote solution, projected onto local variable slots and id-interned
+/// (see [`ForeignTerms`]).
+type ServiceRow = Vec<(usize, TermId)>;
+
+/// Per-plan counters sizing the run-scoped caches: one slot per
+/// constant-string text step, one per SERVICE group.
+#[derive(Default)]
+struct SlotCounters {
+    text: usize,
+    service: usize,
 }
 
 /// What one join step does.
@@ -194,12 +301,26 @@ enum PlanNode {
     Union(Box<PlanNode>, Box<PlanNode>),
     /// A residual filter that could not be pushed into a BGP.
     Filter(Box<PlanNode>, Expression),
+    /// A `SERVICE <kg:name>` group: run `query` against another registered
+    /// KG once per run (cached in the execution's service slot), then join
+    /// the remote rows into the stream on the shared variable slots.
+    Service {
+        /// Registry name of the remote KG.
+        kg: String,
+        /// `SELECT *` over the group's pattern, executed remotely.
+        query: Query,
+        /// Remote variable name → local slot, for the merge join.
+        binds: Vec<(String, usize)>,
+        /// Index into the run's service-result cache.
+        cache_slot: usize,
+        /// The planner's (flat) cardinality guess for the remote rows.
+        estimate: f64,
+    },
 }
 
 /// A query compiled against one store: variables numbered, constants
 /// resolved to dictionary ids, joins cost-ordered, filters pushed down, and
 /// the result operators (`DISTINCT`/`OFFSET`/`LIMIT`) made explicit.
-#[derive(Debug)]
 pub struct PhysicalPlan<'s> {
     store: &'s Store,
     vars: VarRegistry,
@@ -212,9 +333,27 @@ pub struct PhysicalPlan<'s> {
     text_cap: usize,
     /// Number of text-search steps in the plan (sizes the per-run cache).
     text_slots: usize,
+    /// Number of SERVICE groups in the plan (sizes the per-run cache).
+    service_slots: usize,
+    /// Resolver for SERVICE groups, inherited from the planner.
+    services: Option<&'s dyn ServiceResolver>,
     /// Built lazily: the untraced execution paths never pay for rendering
     /// operator labels.
     summary: OnceLock<PlanSummary>,
+}
+
+impl fmt::Debug for PhysicalPlan<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysicalPlan")
+            .field("root", &self.root)
+            .field("projection", &self.projection)
+            .field("is_ask", &self.is_ask)
+            .field("distinct", &self.distinct)
+            .field("limit", &self.limit)
+            .field("offset", &self.offset)
+            .field("has_services", &self.services.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 /// The output of one planned run: the results plus the work counters.
@@ -231,6 +370,7 @@ pub struct PlannedExecution {
 pub struct Planner<'s> {
     store: &'s Store,
     stats: Arc<PlannerStats>,
+    services: Option<&'s dyn ServiceResolver>,
 }
 
 /// Convenience: plan and render the `EXPLAIN` summary of a query in one
@@ -245,7 +385,48 @@ impl<'s> Planner<'s> {
         Planner {
             stats: store.planner_stats(),
             store,
+            services: None,
         }
+    }
+
+    /// Install a resolver for `SERVICE <kg:name>` groups.
+    ///
+    /// Plans compiled afterwards can execute federated queries: each SERVICE
+    /// group is sent to the resolver (typically `kgqan-endpoint`'s
+    /// `EndpointRegistry`, which routes through the per-KG semantic cache)
+    /// and the remote rows are joined back into the local pipeline.  Without
+    /// a resolver, executing a plan with a SERVICE group fails at run time;
+    /// use [`Planner::plan_checked`] to fail at plan time instead.
+    pub fn with_services(mut self, services: &'s dyn ServiceResolver) -> Self {
+        self.services = Some(services);
+        self
+    }
+
+    /// Like [`Planner::plan`], but fail fast — at plan time — when the query
+    /// contains a `SERVICE` group that cannot execute: either no resolver is
+    /// installed, or a target KG is not one the resolver knows.  The
+    /// unknown-KG error lists the available names.
+    pub fn plan_checked(&self, query: &Query) -> Result<PhysicalPlan<'s>, SparqlError> {
+        let targets = query.pattern.service_targets();
+        if !targets.is_empty() {
+            let Some(services) = self.services else {
+                return Err(SparqlError::Service {
+                    kg: targets[0].to_string(),
+                    message: "no service resolver installed (use Planner::with_services)"
+                        .to_string(),
+                });
+            };
+            let available = services.service_names();
+            for kg in targets {
+                if !available.iter().any(|name| name == kg) {
+                    return Err(SparqlError::UnknownService {
+                        kg: kg.to_string(),
+                        available: available.clone(),
+                    });
+                }
+            }
+        }
+        Ok(self.plan(query))
     }
 
     /// Create a planner pinned to one epoch snapshot of a live store.
@@ -288,8 +469,8 @@ impl<'s> Planner<'s> {
         let vars = VarRegistry::from_pattern(&query.pattern);
         let text_cap = effective_text_cap(query);
         let mut bound: HashSet<usize> = HashSet::new();
-        let mut text_slots = 0usize;
-        let root = self.compile(&query.pattern, &vars, &mut bound, text_cap, &mut text_slots);
+        let mut slots = SlotCounters::default();
+        let root = self.compile(&query.pattern, &vars, &mut bound, text_cap, &mut slots);
 
         let (projection, is_ask, distinct) = match &query.form {
             QueryForm::Ask => (Vec::new(), true, false),
@@ -316,7 +497,9 @@ impl<'s> Planner<'s> {
             limit: query.limit,
             offset: query.offset.unwrap_or(0),
             text_cap,
-            text_slots,
+            text_slots: slots.text,
+            service_slots: slots.service,
+            services: self.services,
             summary: OnceLock::new(),
         }
     }
@@ -330,34 +513,62 @@ impl<'s> Planner<'s> {
         vars: &VarRegistry,
         bound: &mut HashSet<usize>,
         text_cap: usize,
-        text_slots: &mut usize,
+        slots: &mut SlotCounters,
     ) -> PlanNode {
         match pattern {
-            GraphPattern::Bgp(tps) => self.plan_bgp(tps, vars, bound, text_cap, text_slots),
+            GraphPattern::Bgp(tps) => self.plan_bgp(tps, vars, bound, text_cap, slots),
             GraphPattern::Join(a, b) => {
-                let left = self.compile(a, vars, bound, text_cap, text_slots);
-                let right = self.compile(b, vars, bound, text_cap, text_slots);
+                let left = self.compile(a, vars, bound, text_cap, slots);
+                let right = self.compile(b, vars, bound, text_cap, slots);
                 PlanNode::Join(Box::new(left), Box::new(right))
             }
             GraphPattern::Optional(a, b) => {
-                let left = self.compile(a, vars, bound, text_cap, text_slots);
-                let right = self.compile(b, vars, bound, text_cap, text_slots);
+                let left = self.compile(a, vars, bound, text_cap, slots);
+                let right = self.compile(b, vars, bound, text_cap, slots);
                 PlanNode::LeftJoin(Box::new(left), Box::new(right))
             }
             GraphPattern::Union(a, b) => {
                 let mut bound_a = bound.clone();
-                let left = self.compile(a, vars, &mut bound_a, text_cap, text_slots);
+                let left = self.compile(a, vars, &mut bound_a, text_cap, slots);
                 let mut bound_b = bound.clone();
-                let right = self.compile(b, vars, &mut bound_b, text_cap, text_slots);
+                let right = self.compile(b, vars, &mut bound_b, text_cap, slots);
                 bound.extend(bound_a);
                 bound.extend(bound_b);
                 PlanNode::Union(Box::new(left), Box::new(right))
             }
             GraphPattern::Filter(inner, expr) => {
-                let mut node = self.compile(inner, vars, bound, text_cap, text_slots);
+                let mut node = self.compile(inner, vars, bound, text_cap, slots);
                 match push_filter(&mut node, expr, vars) {
                     true => node,
                     false => PlanNode::Filter(Box::new(node), expr.clone()),
+                }
+            }
+            GraphPattern::Service { kg, pattern } => {
+                // The group executes remotely as `SELECT *`; every variable
+                // it mentions is bound (or checked) by the merge join.
+                let query = Query {
+                    form: QueryForm::Select {
+                        variables: Vec::new(),
+                        distinct: false,
+                    },
+                    pattern: (**pattern).clone(),
+                    limit: None,
+                    offset: None,
+                };
+                let binds: Vec<(String, usize)> = pattern
+                    .variables()
+                    .into_iter()
+                    .filter_map(|v| vars.id_of(&v).map(|slot| (v, slot)))
+                    .collect();
+                bound.extend(binds.iter().map(|(_, slot)| *slot));
+                let cache_slot = slots.service;
+                slots.service += 1;
+                PlanNode::Service {
+                    kg: kg.clone(),
+                    query,
+                    binds,
+                    cache_slot,
+                    estimate: SERVICE_ESTIMATE,
                 }
             }
         }
@@ -370,7 +581,7 @@ impl<'s> Planner<'s> {
         vars: &VarRegistry,
         bound: &mut HashSet<usize>,
         text_cap: usize,
-        text_slots: &mut usize,
+        slots: &mut SlotCounters,
     ) -> PlanNode {
         struct Candidate {
             kind: StepKind,
@@ -398,8 +609,8 @@ impl<'s> Planner<'s> {
                         .and_then(|v| vars.id_of(v))
                         .into_iter()
                         .collect();
-                    let cache_slot = *text_slots;
-                    *text_slots += 1;
+                    let cache_slot = slots.text;
+                    slots.text += 1;
                     Candidate {
                         kind: StepKind::TextSearch {
                             cache_slot,
@@ -613,6 +824,14 @@ struct ExecCtx<'a> {
     /// One lazily-filled match-set slot per constant-string text step of
     /// the plan, shared across the whole run.
     text_cache: &'a [OnceCell<TextMatches>],
+    /// Resolver for SERVICE groups; `None` outside federated plans.
+    services: Option<&'a dyn ServiceResolver>,
+    /// One lazily-filled remote-result slot per SERVICE group of the plan:
+    /// the remote query runs once per run, however many input rows the
+    /// pipeline pushes through the join.
+    service_cache: &'a [OnceCell<Result<Vec<ServiceRow>, SparqlError>>],
+    /// Run-scoped side dictionary for remote terms.
+    foreign: &'a ForeignTerms,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -676,7 +895,69 @@ impl<'a> ExecCtx<'a> {
                 let rows = self.eval_node(inner, input);
                 self.filter_rows(rows, std::slice::from_ref(expr))
             }
+            PlanNode::Service {
+                kg,
+                query,
+                binds,
+                cache_slot,
+                ..
+            } => {
+                let cache_slot = *cache_slot;
+                Box::new(input.flat_map(move |res| -> RowIter<'a> {
+                    let row = match res {
+                        Ok(row) => row,
+                        Err(e) => return Box::new(std::iter::once(Err(e))),
+                    };
+                    let remote = self.service_cache[cache_slot]
+                        .get_or_init(|| self.fetch_service(kg, query, binds));
+                    match remote {
+                        Err(e) => Box::new(std::iter::once(Err(e.clone()))),
+                        Ok(remote_rows) => {
+                            let joined: Vec<RowResult> = remote_rows
+                                .iter()
+                                .filter_map(|ext| merge_service_row(&row, ext))
+                                .map(Ok)
+                                .collect();
+                            Box::new(joined.into_iter())
+                        }
+                    }
+                }))
+            }
         }
+    }
+
+    /// Run one SERVICE group's query against the remote KG and project each
+    /// remote solution onto local variable slots, id-interned through the
+    /// run's [`ForeignTerms`] table.  Remote rows count as scanned work.
+    fn fetch_service(
+        self,
+        kg: &str,
+        query: &Query,
+        binds: &[(String, usize)],
+    ) -> Result<Vec<ServiceRow>, SparqlError> {
+        let Some(services) = self.services else {
+            return Err(SparqlError::Service {
+                kg: kg.to_string(),
+                message: "no service resolver installed (plan with Planner::with_services)"
+                    .to_string(),
+            });
+        };
+        let results = services.execute_service(kg, query)?;
+        let rows = results.rows();
+        self.scanned.set(self.scanned.get() + rows.len() as u64);
+        Ok(rows
+            .iter()
+            .map(|binding| {
+                binds
+                    .iter()
+                    .filter_map(|(var, slot)| {
+                        binding
+                            .get(var)
+                            .map(|term| (*slot, self.foreign.intern(self.store, term)))
+                    })
+                    .collect()
+            })
+            .collect())
     }
 
     fn eval_step(self, step: &'a PlanStep, input: RowIter<'a>) -> RowIter<'a> {
@@ -950,6 +1231,20 @@ fn extend_row(row: &IdRow, tp: CompiledTriplePattern, triple: EncodedTriple) -> 
     Some(extended)
 }
 
+/// Merge one remote SERVICE row into an input row, or `None` when a shared
+/// variable is bound to a different term on the two sides (the rows do not
+/// join).
+fn merge_service_row(row: &IdRow, ext: &[(usize, TermId)]) -> Option<IdRow> {
+    let mut extended = row.clone();
+    for &(slot, id) in ext {
+        match extended[slot] {
+            Some(existing) if existing != id => return None,
+            _ => extended[slot] = Some(id),
+        }
+    }
+    Some(extended)
+}
+
 impl<'s> PhysicalPlan<'s> {
     /// The `EXPLAIN` summary of this plan (rendered on first call).
     pub fn summary(&self) -> &PlanSummary {
@@ -963,12 +1258,18 @@ impl<'s> PhysicalPlan<'s> {
         let scanned = Cell::new(0u64);
         let text_cache: Vec<OnceCell<TextMatches>> =
             (0..self.text_slots).map(|_| OnceCell::new()).collect();
+        let service_cache: Vec<OnceCell<Result<Vec<ServiceRow>, SparqlError>>> =
+            (0..self.service_slots).map(|_| OnceCell::new()).collect();
+        let foreign = ForeignTerms::default();
         let ctx = ExecCtx {
             store: self.store,
             vars: &self.vars,
             text_cap: self.text_cap,
             scanned: &scanned,
             text_cache: &text_cache,
+            services: self.services,
+            service_cache: &service_cache,
+            foreign: &foreign,
         };
         let seed: IdRow = vec![None; self.vars.len()];
         let mut rows = ctx.eval_node(&self.root, Box::new(std::iter::once(Ok(seed))));
@@ -1018,7 +1319,7 @@ impl<'s> PhysicalPlan<'s> {
 
         let bindings: Vec<Binding> = id_rows
             .iter()
-            .map(|row| decode_row(self.store, &self.projection, row))
+            .map(|row| foreign.decode_row(self.store, &self.projection, row))
             .collect();
         let metrics = ExecMetrics {
             rows_scanned: scanned.get(),
@@ -1091,6 +1392,17 @@ fn summarize_node(node: &PlanNode, depth: usize, out: &mut PlanSummary) {
         PlanNode::Filter(inner, expr) => {
             out.push(depth, format!("filter {expr}"), None);
             summarize_node(inner, depth + 1, out);
+        }
+        PlanNode::Service {
+            kg,
+            query,
+            estimate,
+            ..
+        } => {
+            out.push(depth, format!("service <kg:{kg}>"), Some(*estimate));
+            for tp in query.pattern.all_triple_patterns() {
+                out.push(depth + 1, format!("remote {tp}"), None);
+            }
         }
     }
 }
@@ -1374,5 +1686,170 @@ mod tests {
             .unwrap();
         let run = Planner::new(&store).plan(&query).execute().unwrap();
         assert_eq!(run.results.rows().len(), 1);
+    }
+
+    /// A [`ServiceResolver`] over in-memory stores, counting remote calls.
+    struct StoreResolver {
+        stores: std::collections::BTreeMap<String, Store>,
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl StoreResolver {
+        fn new(stores: impl IntoIterator<Item = (&'static str, Store)>) -> Self {
+            StoreResolver {
+                stores: stores
+                    .into_iter()
+                    .map(|(name, store)| (name.to_string(), store))
+                    .collect(),
+                calls: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl ServiceResolver for StoreResolver {
+        fn service_names(&self) -> Vec<String> {
+            self.stores.keys().cloned().collect()
+        }
+
+        fn execute_service(&self, kg: &str, query: &Query) -> Result<QueryResults, SparqlError> {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let store = self
+                .stores
+                .get(kg)
+                .ok_or_else(|| SparqlError::UnknownService {
+                    kg: kg.to_string(),
+                    available: self.service_names(),
+                })?;
+            Ok(Planner::new(store).plan(query).execute()?.results)
+        }
+    }
+
+    #[test]
+    fn service_joins_rows_across_stores() {
+        let mut local = Store::new();
+        local.insert(Triple::new(
+            Term::iri("http://e/Alice"),
+            Term::iri("http://e/spouse"),
+            Term::iri("http://e/Bob"),
+        ));
+        let mut remote = Store::new();
+        // `Bob` exists in both stores; `Berlin` only remotely, so the
+        // result row must decode through the foreign-term table.
+        remote.insert(Triple::new(
+            Term::iri("http://e/Bob"),
+            Term::iri("http://e/birthPlace"),
+            Term::iri("http://e/Berlin"),
+        ));
+        remote.insert(Triple::new(
+            Term::iri("http://e/Stranger"),
+            Term::iri("http://e/birthPlace"),
+            Term::iri("http://e/Paris"),
+        ));
+        let resolver = StoreResolver::new([("remote", remote)]);
+
+        let query = parse_query(
+            "SELECT ?q ?c WHERE { <http://e/Alice> <http://e/spouse> ?q . \
+             SERVICE <kg:remote> { ?q <http://e/birthPlace> ?c . } }",
+        )
+        .unwrap();
+        let plan = Planner::new(&local)
+            .with_services(&resolver)
+            .plan_checked(&query)
+            .unwrap();
+
+        let rendered = plan.summary().to_string();
+        assert!(rendered.contains("service <kg:remote>"), "{rendered}");
+        assert!(
+            rendered.contains("remote ?q <http://e/birthPlace> ?c ."),
+            "{rendered}"
+        );
+        assert!(
+            plan.summary()
+                .step_labels()
+                .iter()
+                .any(|l| l.starts_with("service ")),
+            "{rendered}"
+        );
+
+        let run = plan.execute().unwrap();
+        let rows = run.results.rows();
+        // Only Bob's birth place joins; the stranger's row is filtered out.
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("q"), Some(&Term::iri("http://e/Bob")));
+        assert_eq!(rows[0].get("c"), Some(&Term::iri("http://e/Berlin")));
+        assert_eq!(resolver.calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn service_remote_query_runs_once_per_execution() {
+        let mut local = Store::new();
+        for i in 0..5 {
+            local.insert(Triple::new(
+                Term::iri(format!("http://e/p{i}")),
+                Term::iri("http://e/knows"),
+                Term::iri("http://e/Bob"),
+            ));
+        }
+        let mut remote = Store::new();
+        remote.insert(Triple::new(
+            Term::iri("http://e/Bob"),
+            Term::iri("http://e/age"),
+            Term::literal_str("42"),
+        ));
+        let resolver = StoreResolver::new([("remote", remote)]);
+        let query = parse_query(
+            "SELECT ?p ?a WHERE { ?p <http://e/knows> ?b . \
+             SERVICE <kg:remote> { ?b <http://e/age> ?a . } }",
+        )
+        .unwrap();
+        let plan = Planner::new(&local).with_services(&resolver).plan(&query);
+        let run = plan.execute().unwrap();
+        // Five local rows flow through the join, but the remote query runs
+        // exactly once per run.
+        assert_eq!(run.results.rows().len(), 5);
+        assert_eq!(resolver.calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn plan_checked_rejects_unknown_service_target() {
+        let store = Store::new();
+        let resolver = StoreResolver::new([("DBpedia", Store::new())]);
+        let query =
+            parse_query("SELECT ?s WHERE { SERVICE <kg:Nope> { ?s <http://e/p> ?o . } }").unwrap();
+        let err = Planner::new(&store)
+            .with_services(&resolver)
+            .plan_checked(&query)
+            .unwrap_err();
+        match err {
+            SparqlError::UnknownService { kg, available } => {
+                assert_eq!(kg, "Nope");
+                assert_eq!(available, vec!["DBpedia".to_string()]);
+            }
+            other => panic!("expected UnknownService, got {other:?}"),
+        }
+        // The rendered message names the valid targets for the caller.
+        let rendered = Planner::new(&store)
+            .with_services(&resolver)
+            .plan_checked(&query)
+            .unwrap_err()
+            .to_string();
+        assert!(rendered.contains("DBpedia"), "{rendered}");
+    }
+
+    #[test]
+    fn service_without_resolver_fails_at_plan_or_run_time() {
+        let store = Store::new();
+        let query =
+            parse_query("SELECT ?s WHERE { SERVICE <kg:Anywhere> { ?s <http://e/p> ?o . } }")
+                .unwrap();
+        // plan_checked fails up front…
+        let planner = Planner::new(&store);
+        assert!(matches!(
+            planner.plan_checked(&query),
+            Err(SparqlError::Service { .. })
+        ));
+        // …and the infallible plan() defers the same error to execute().
+        let err = planner.plan(&query).execute().unwrap_err();
+        assert!(matches!(err, SparqlError::Service { .. }), "{err}");
     }
 }
