@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod kggen;
 pub mod linking_eval;
 /// The minimal hand-rolled JSON reader/writer the perf tooling records its
 /// artifacts with.  The implementation lives in [`kgqan_endpoint::json`]

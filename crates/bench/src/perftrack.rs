@@ -33,8 +33,8 @@ use crate::perfjson::{write_json_number, write_json_string, Json};
 pub const SCHEMA: &str = "kgqan-bench-report/v1";
 
 /// The benchmark areas with committed baselines, in report order.
-pub const AREAS: [&str; 9] = [
-    "store", "sparql", "planner", "service", "cache", "ingest", "e2e", "serve", "federate",
+pub const AREAS: [&str; 10] = [
+    "store", "sparql", "planner", "service", "cache", "ingest", "e2e", "serve", "federate", "scale",
 ];
 
 /// One benchmark's statistics, as emitted by the criterion shim (one JSONL

@@ -155,8 +155,19 @@ impl ExecutionManager {
             // a SPARQL string between generation and execution.  The traced
             // entry point additionally reports the physical plan the engine
             // chose and the rows it scanned, which ride along in the stats.
+            // The budget's remaining time becomes the engine's deadline, so
+            // one runaway candidate is cut *mid-query* (per morsel on the
+            // parallel path) instead of only being noticed afterwards.
             let started = Instant::now();
-            let traced = endpoint.query_traced(&candidate.query)?;
+            let deadline = budget.remaining().map(|left| started + left);
+            let traced = endpoint.query_traced_within(&candidate.query, deadline)?;
+            if traced
+                .metrics
+                .as_ref()
+                .is_some_and(|metrics| metrics.deadline_exceeded)
+            {
+                outcome.deadline_exceeded = true;
+            }
             let results = traced.results;
             outcome.query_stats.push(QueryStat {
                 sparql: candidate.sparql.clone(),

@@ -74,7 +74,6 @@ pub mod linker;
 pub mod pgp;
 pub mod pipeline;
 pub mod platform;
-pub mod pool;
 pub mod service;
 pub mod understanding;
 
@@ -92,6 +91,10 @@ pub use pipeline::{
     StageTimings, Understand,
 };
 pub use platform::{AnswerOutcome, KgqanConfig, KgqanPlatform, PhaseTimings};
+// The worker pool moved next to its heaviest user, the morsel-parallel
+// query executor in `kgqan-sparql`; re-export it so `kgqan::pool` and the
+// `kgqan::{PoolConfig, …, WorkerPool}` paths keep working.
+pub use kgqan_sparql::pool;
 pub use pool::{PoolConfig, PoolStats, SubmitError, Ticket, WorkerPool};
 pub use service::{
     AnswerRequest, AnswerResponse, AnswerSource, Budget, BudgetVerdict, ConfigOverrides, QaService,

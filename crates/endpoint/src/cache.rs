@@ -600,6 +600,32 @@ impl SparqlEndpoint for CachingEndpoint {
         Ok(traced)
     }
 
+    fn query_traced_within(
+        &self,
+        query: &Query,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<crate::TracedQuery, EndpointError> {
+        if let Some(results) = self.cache.get_parsed(query) {
+            return Ok(crate::TracedQuery {
+                results: results.as_ref().clone(),
+                plan: None,
+                metrics: None,
+            });
+        }
+        let traced = self.inner.query_traced_within(query, deadline)?;
+        // A deadline-truncated answer is a *prefix*, not the answer — a
+        // later, less-hurried request must not be served the partial rows.
+        let partial = traced
+            .metrics
+            .as_ref()
+            .is_some_and(|metrics| metrics.deadline_exceeded);
+        if !partial {
+            self.cache
+                .insert_parsed(query, Arc::new(traced.results.clone()));
+        }
+        Ok(traced)
+    }
+
     fn ingest(&self, batch: IngestBatch) -> Result<IngestReport, EndpointError> {
         let report = self.inner.ingest(batch)?;
         if report.added() > 0 {

@@ -12,7 +12,10 @@ use parking_lot::Mutex;
 
 use kgqan_rdf::{GraphStats, IngestBatch, IngestReport, LiveStore, Store, StoreSnapshot};
 use kgqan_sparql::eval::is_text_search_pattern;
-use kgqan_sparql::{parse_query, ExecMetrics, PlanSummary, Planner, Query, QueryResults};
+use kgqan_sparql::{
+    parse_query, ExecMetrics, ExecOptions, ParallelConfig, PlanSummary, Planner, Query,
+    QueryResults,
+};
 
 use crate::dialect::EngineDialect;
 use crate::error::EndpointError;
@@ -32,6 +35,10 @@ pub struct InProcessEndpoint {
     dialect: EngineDialect,
     live: Arc<LiveStore>,
     latency: Duration,
+    /// Morsel-parallelism knobs handed to every planner this endpoint
+    /// builds.  The default config keeps small queries on the sequential
+    /// fast path and parallelises only large driving scans.
+    parallel: ParallelConfig,
     stats: Mutex<RequestStats>,
 }
 
@@ -50,6 +57,7 @@ impl InProcessEndpoint {
             dialect: EngineDialect::Virtuoso,
             live,
             latency: Duration::ZERO,
+            parallel: ParallelConfig::default(),
             stats: Mutex::new(RequestStats::default()),
         }
     }
@@ -57,6 +65,14 @@ impl InProcessEndpoint {
     /// Select the engine dialect the endpoint advertises.
     pub fn with_dialect(mut self, dialect: EngineDialect) -> Self {
         self.dialect = dialect;
+        self
+    }
+
+    /// Override the morsel-parallelism knobs (degree-of-parallelism cap,
+    /// per-worker row threshold, morsel granularity).  Setting
+    /// `max_dop: 1` pins every query to the sequential path.
+    pub fn with_parallelism(mut self, config: ParallelConfig) -> Self {
+        self.parallel = config;
         self
     }
 
@@ -122,6 +138,7 @@ impl InProcessEndpoint {
         &self,
         query: &Query,
         want_plan: bool,
+        deadline: Option<Instant>,
     ) -> Result<(QueryResults, Option<PlanSummary>, ExecMetrics), EndpointError> {
         let start = Instant::now();
         if !self.latency.is_zero() {
@@ -129,10 +146,16 @@ impl InProcessEndpoint {
         }
         // Pin one epoch for the whole request: planning statistics and
         // execution scans come from the same immutable snapshot, no matter
-        // how many epochs a concurrent writer publishes meanwhile.
+        // how many epochs a concurrent writer publishes meanwhile.  The
+        // *shared* handle lets the plan run its driving scan as parallel
+        // morsels over that same pinned epoch.
         let snapshot = self.live.snapshot();
-        let plan = Planner::for_snapshot(&snapshot).plan(query);
-        let outcome = plan.execute().map_err(EndpointError::from);
+        let plan = Planner::for_shared_snapshot(&snapshot)
+            .with_parallelism(self.parallel)
+            .plan(query);
+        let outcome = plan
+            .execute_with(ExecOptions { deadline })
+            .map_err(EndpointError::from);
         let is_text = query
             .pattern
             .all_triple_patterns()
@@ -173,7 +196,7 @@ impl SparqlEndpoint for InProcessEndpoint {
     fn query(&self, sparql: &str) -> Result<QueryResults, EndpointError> {
         match parse_query(sparql) {
             Ok(parsed) => self
-                .execute_planned(&parsed, false)
+                .execute_planned(&parsed, false, None)
                 .map(|(results, _, _)| results),
             Err(err) => {
                 let start = Instant::now();
@@ -194,12 +217,20 @@ impl SparqlEndpoint for InProcessEndpoint {
     }
 
     fn query_parsed(&self, query: &Query) -> Result<QueryResults, EndpointError> {
-        self.execute_planned(query, false)
+        self.execute_planned(query, false, None)
             .map(|(results, _, _)| results)
     }
 
     fn query_traced(&self, query: &Query) -> Result<TracedQuery, EndpointError> {
-        let (results, plan, metrics) = self.execute_planned(query, true)?;
+        self.query_traced_within(query, None)
+    }
+
+    fn query_traced_within(
+        &self,
+        query: &Query,
+        deadline: Option<Instant>,
+    ) -> Result<TracedQuery, EndpointError> {
+        let (results, plan, metrics) = self.execute_planned(query, true, deadline)?;
         Ok(TracedQuery {
             results,
             plan,

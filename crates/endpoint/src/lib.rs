@@ -117,6 +117,24 @@ pub trait SparqlEndpoint: Send + Sync {
         })
     }
 
+    /// Like [`SparqlEndpoint::query_traced`], but with a deadline: the
+    /// engine should stop executing at `deadline` and return the rows
+    /// produced so far with `metrics.deadline_exceeded` set.
+    ///
+    /// The default implementation ignores the deadline (a stock remote
+    /// endpoint has no mid-query cancellation); [`InProcessEndpoint`]
+    /// overrides it — its executor checks the deadline per morsel on the
+    /// parallel path and every few hundred rows sequentially — and
+    /// [`CachingEndpoint`] forwards to its inner endpoint.
+    fn query_traced_within(
+        &self,
+        query: &Query,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<TracedQuery, EndpointError> {
+        let _ = deadline;
+        self.query_traced(query)
+    }
+
     /// Apply a batch of triple additions to the endpoint's live knowledge
     /// graph, publishing a new epoch snapshot for subsequent queries.
     ///

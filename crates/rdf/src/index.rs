@@ -21,7 +21,7 @@ use std::collections::BTreeSet;
 use std::iter::Peekable;
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::dictionary::TermId;
 use crate::triple::EncodedTriple;
@@ -142,9 +142,15 @@ pub struct IndexCounters {
     /// Full base-run rebuilds forced by removing a triple that lived inside
     /// a sealed run (the only `O(n)` mutation left).
     pub base_rebuilds: u64,
-    /// Lazily sorted views built over a pending delta for range counting
-    /// (only legacy, never-flushed stores pay these).
+    /// Full re-sorts of a pending-delta view, forced by removing a key that
+    /// still sat in the delta (the incremental mirror cannot be patched).
     pub pending_sorts: u64,
+    /// Incremental delta-view catches-up: keys inserted since the last range
+    /// count are sorted and linearly merged into the existing sorted view —
+    /// `O(d_new log d_new + d)`, never a from-scratch rebuild of the whole
+    /// delta.  This is the steady-state cost of counting under sustained
+    /// ingest.
+    pub pending_merges: u64,
 }
 
 #[derive(Debug, Default)]
@@ -153,10 +159,28 @@ struct SharedCounters {
     base_builds: AtomicU64,
     base_rebuilds: AtomicU64,
     pending_sorts: AtomicU64,
+    pending_merges: AtomicU64,
+}
+
+/// The incrementally maintained sorted mirror of one ordering's pending
+/// delta, used for `O(log n)` range *counting*.
+///
+/// `keys` mirrors the pending B-tree as of the last count; `unmerged` holds
+/// keys inserted since then, in arrival order.  A count first folds
+/// `unmerged` in (sort the small batch, linear-merge into `keys`), so a
+/// sustained insert/count workload pays `O(batch log batch + d)` per count —
+/// never a from-scratch `O(d log d)` rebuild of the whole delta.  Only a
+/// *removal* of a still-pending key sets `stale`, which forces the one
+/// remaining full rebuild path.
+#[derive(Debug, Clone, Default)]
+struct DeltaView {
+    keys: Vec<[u32; 3]>,
+    unmerged: Vec<[u32; 3]>,
+    stale: bool,
 }
 
 /// One maintained ordering: the immutable sorted base run plus the pending
-/// insert delta, with a lazily built sorted view of the delta used for
+/// insert delta, with a [`DeltaView`] sorted mirror of the delta used for
 /// `O(log n)` range *counting*.
 ///
 /// `std`'s B-tree cannot answer "how many keys fall in this range?" without
@@ -165,16 +189,25 @@ struct SharedCounters {
 /// estimates the cardinality of every triple pattern of every candidate
 /// query.  Both the base run and the delta view are sorted vectors, so a
 /// range count is two `partition_point` binary searches per side.  The delta
-/// view is built on first use after a mutation (`O(d)` in the delta size,
-/// amortised across the many planner probes between mutations) and
-/// invalidated by `insert`/`remove`; sealed stores have an empty delta and
-/// skip it entirely.
-#[derive(Debug, Clone)]
+/// view catches up *incrementally* on first use after an insert (see
+/// [`DeltaView`]); sealed stores have an empty delta and skip it entirely.
+#[derive(Debug)]
 struct OrderEntry {
     order: IndexOrder,
     base: Arc<Vec<[u32; 3]>>,
     pending: BTreeSet<[u32; 3]>,
-    pending_sorted: OnceLock<Vec<[u32; 3]>>,
+    delta_view: Mutex<DeltaView>,
+}
+
+impl Clone for OrderEntry {
+    fn clone(&self) -> Self {
+        OrderEntry {
+            order: self.order,
+            base: Arc::clone(&self.base),
+            pending: self.pending.clone(),
+            delta_view: Mutex::new(self.delta_view.lock().expect("delta view lock").clone()),
+        }
+    }
 }
 
 impl OrderEntry {
@@ -183,17 +216,75 @@ impl OrderEntry {
             order,
             base: Arc::new(Vec::new()),
             pending: BTreeSet::new(),
-            pending_sorted: OnceLock::new(),
+            delta_view: Mutex::new(DeltaView::default()),
         }
     }
 
-    /// The sorted view of the pending delta, built on first use after a
-    /// mutation.
-    fn pending_sorted(&self, counters: &SharedCounters) -> &[[u32; 3]] {
-        self.pending_sorted.get_or_init(|| {
+    /// The sorted view of the pending delta, caught up to the B-tree.
+    ///
+    /// Fresh inserts are folded in by a linear merge; only a removal of a
+    /// pending key (which marks the view stale) forces a full rebuild.
+    fn pending_sorted(&self, counters: &SharedCounters) -> MutexGuard<'_, DeltaView> {
+        let mut view = self.delta_view.lock().expect("delta view lock");
+        if view.stale {
             counters.pending_sorts.fetch_add(1, Ordering::Relaxed);
-            self.pending.iter().copied().collect()
-        })
+            view.keys.clear();
+            let keys: Vec<[u32; 3]> = self.pending.iter().copied().collect();
+            view.keys = keys;
+            view.unmerged.clear();
+            view.stale = false;
+        } else if !view.unmerged.is_empty() {
+            counters.pending_merges.fetch_add(1, Ordering::Relaxed);
+            let mut fresh = std::mem::take(&mut view.unmerged);
+            fresh.sort_unstable();
+            let old = std::mem::take(&mut view.keys);
+            let mut merged = Vec::with_capacity(old.len() + fresh.len());
+            let (mut i, mut j) = (0, 0);
+            while i < old.len() && j < fresh.len() {
+                if old[i] <= fresh[j] {
+                    merged.push(old[i]);
+                    i += 1;
+                } else {
+                    merged.push(fresh[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&old[i..]);
+            merged.extend_from_slice(&fresh[j..]);
+            view.keys = merged;
+        }
+        view
+    }
+}
+
+/// One contiguous key range of a partitioned pattern scan (a *morsel*).
+///
+/// Produced by [`TripleIndex::partition_matching`] (or
+/// [`crate::Store::scan_partitions`]): the ranges of one call are disjoint,
+/// cover the pattern's whole match set, and are ordered so that
+/// concatenating the per-range streams of
+/// [`TripleIndex::iter_matching_within`] reproduces the exact sequential
+/// scan order.  The bounds live in the selected index ordering's key space
+/// and are only meaningful for the pattern/index pair that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionRange {
+    /// Inclusive lower key bound.
+    lower: [u32; 3],
+    /// Inclusive upper key bound.
+    upper: [u32; 3],
+}
+
+/// The largest key strictly below `key` in the lexicographic `[u32; 3]`
+/// space.  Callers guarantee `key > [0, 0, 0]` (a partition split key is
+/// always strictly above its range's start).
+fn prev_key(key: [u32; 3]) -> [u32; 3] {
+    let [a, b, c] = key;
+    if c > 0 {
+        [a, b, c - 1]
+    } else if b > 0 {
+        [a, b - 1, u32::MAX]
+    } else {
+        [a - 1, u32::MAX, u32::MAX]
     }
 }
 
@@ -288,8 +379,12 @@ impl TripleIndex {
             return false;
         }
         for entry in &mut self.orders {
-            entry.pending.insert(entry.order.permute(t));
-            entry.pending_sorted.take();
+            let key = entry.order.permute(t);
+            entry.pending.insert(key);
+            let view = entry.delta_view.get_mut().expect("delta view lock");
+            if !view.stale {
+                view.unmerged.push(key);
+            }
         }
         self.len += 1;
         true
@@ -306,13 +401,16 @@ impl TripleIndex {
         let mut hit_base = false;
         for entry in &mut self.orders {
             let key = entry.order.permute(t);
-            if !entry.pending.remove(&key) {
+            if entry.pending.remove(&key) {
+                // The sorted mirror can't be patched incrementally for a
+                // removal; mark it stale so the next count rebuilds it.
+                entry.delta_view.get_mut().expect("delta view lock").stale = true;
+            } else {
                 let rebuilt: Vec<[u32; 3]> =
                     entry.base.iter().copied().filter(|k| *k != key).collect();
                 entry.base = Arc::new(rebuilt);
                 hit_base = true;
             }
-            entry.pending_sorted.take();
         }
         if hit_base {
             self.counters.base_rebuilds.fetch_add(1, Ordering::Relaxed);
@@ -343,7 +441,7 @@ impl TripleIndex {
             .collect();
             entry.base = Arc::new(merged);
             entry.pending.clear();
-            entry.pending_sorted.take();
+            *entry.delta_view.get_mut().expect("delta view lock") = DeltaView::default();
         }
         if had_base {
             self.counters.base_merges.fetch_add(1, Ordering::Relaxed);
@@ -366,6 +464,7 @@ impl TripleIndex {
             base_builds: self.counters.base_builds.load(Ordering::Relaxed),
             base_rebuilds: self.counters.base_rebuilds.load(Ordering::Relaxed),
             pending_sorts: self.counters.pending_sorts.load(Ordering::Relaxed),
+            pending_merges: self.counters.pending_merges.load(Ordering::Relaxed),
         }
     }
 
@@ -431,12 +530,83 @@ impl TripleIndex {
         p: Option<TermId>,
         o: Option<TermId>,
     ) -> impl Iterator<Item = EncodedTriple> + '_ {
+        let sr = s.map(|x| x.0);
+        let pr = p.map(|x| x.0);
+        let or = o.map(|x| x.0);
+        let (_, lower, upper, _) = self.best_range(sr, pr, or);
+        self.iter_matching_within(s, p, o, PartitionRange { lower, upper })
+    }
+
+    /// Split a pattern scan into at most `n` contiguous key ranges.
+    ///
+    /// The ranges are disjoint, cover the pattern's whole match set, and are
+    /// returned in key order, so concatenating the per-range streams of
+    /// [`TripleIndex::iter_matching_within`] reproduces *exactly* the stream
+    /// [`TripleIndex::iter_matching`] yields — morsel-parallel scans stay
+    /// byte-deterministic by merging partition outputs in this order.  Split
+    /// keys are sampled at equidistant positions of the selected ordering's
+    /// sorted base run, so ranges are balanced over the sealed data (pending
+    /// inserts land in whichever range contains them).  Fewer than `n` ranges
+    /// come back when the scan is too small or key space too narrow to split.
+    pub fn partition_matching(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+        n: usize,
+    ) -> Vec<PartitionRange> {
+        let s = s.map(|x| x.0);
+        let p = p.map(|x| x.0);
+        let o = o.map(|x| x.0);
+        let (entry, lower, upper, _) = self.best_range(s, p, o);
+        let lo = entry.base.partition_point(|key| key < &lower);
+        let hi = entry.base.partition_point(|key| key <= &upper);
+        let total = hi - lo;
+        let n = n.max(1);
+        if n == 1 || total < 2 {
+            return vec![PartitionRange { lower, upper }];
+        }
+        let mut splits: Vec<[u32; 3]> = (1..n).map(|i| entry.base[lo + i * total / n]).collect();
+        splits.dedup();
+        let mut ranges = Vec::with_capacity(n);
+        let mut start = lower;
+        for split in splits {
+            if split <= start {
+                continue;
+            }
+            ranges.push(PartitionRange {
+                lower: start,
+                upper: prev_key(split),
+            });
+            start = split;
+        }
+        ranges.push(PartitionRange {
+            lower: start,
+            upper,
+        });
+        ranges
+    }
+
+    /// Scan a triple pattern clipped to one partition's key range.
+    ///
+    /// Semantics match [`TripleIndex::iter_matching`] restricted to the keys
+    /// the range covers; the range must come from
+    /// [`TripleIndex::partition_matching`] called with the *same* pattern on
+    /// the *same* (unmutated) index.
+    pub fn iter_matching_within(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+        range: PartitionRange,
+    ) -> impl Iterator<Item = EncodedTriple> + '_ {
         let s = s.map(|x| x.0);
         let p = p.map(|x| x.0);
         let o = o.map(|x| x.0);
 
-        let (entry, lower, upper, needs_post_filter) = self.best_range(s, p, o);
+        let (entry, _, _, needs_post_filter) = self.best_range(s, p, o);
         let order = entry.order;
+        let PartitionRange { lower, upper } = range;
 
         let lo = entry.base.partition_point(|key| key < &lower);
         let hi = entry.base.partition_point(|key| key <= &upper);
@@ -498,7 +668,7 @@ impl TripleIndex {
         };
         let mut count = range_count(&entry.base);
         if !entry.pending.is_empty() {
-            count += range_count(entry.pending_sorted(&self.counters));
+            count += range_count(&entry.pending_sorted(&self.counters).keys);
         }
         count
     }
@@ -511,9 +681,10 @@ impl TripleIndex {
         self.orders
             .iter()
             .map(|entry| {
+                let view = entry.delta_view.lock().expect("delta view lock");
                 entry.base.len() * 12
                     + entry.pending.len() * (12 + 8)
-                    + entry.pending_sorted.get().map_or(0, |v| v.len() * 12)
+                    + (view.keys.len() + view.unmerged.len()) * 12
             })
             .sum()
     }
@@ -804,7 +975,139 @@ mod tests {
         let expected: Vec<u32> = (0..50).collect();
         assert_eq!(subjects, expected);
         assert_eq!(idx.count_matching(None, Some(TermId(1)), None), 50);
-        assert!(idx.counters().pending_sorts >= 1);
+        // Counting over a pending delta is an incremental merge, not a full
+        // re-sort.
+        let counters = idx.counters();
+        assert!(counters.pending_merges >= 1);
+        assert_eq!(counters.pending_sorts, 0);
+    }
+
+    #[test]
+    fn sustained_insert_count_churn_merges_instead_of_rebuilding() {
+        let mut idx = TripleIndex::new();
+        for i in 0..100u32 {
+            idx.insert(t(i, 1, i));
+        }
+        idx.flush_pending();
+        // Sustained ingest with planner counts interleaved: every count
+        // catches the probed ordering's delta view up by a linear merge of
+        // just the fresh keys — the view is never rebuilt from scratch.
+        for i in 100..150u32 {
+            idx.insert(t(i, 1, i));
+            assert_eq!(
+                idx.count_matching(None, Some(TermId(1)), None),
+                i as usize + 1
+            );
+        }
+        let counters = idx.counters();
+        assert_eq!(counters.pending_sorts, 0);
+        assert_eq!(counters.pending_merges, 50);
+
+        // Removing a still-pending key is the one path that must rebuild the
+        // probed view — exactly once.
+        assert!(idx.remove(t(120, 1, 120)));
+        assert_eq!(idx.count_matching(None, Some(TermId(1)), None), 149);
+        let counters = idx.counters();
+        assert_eq!(counters.pending_sorts, 1);
+        assert_eq!(counters.pending_merges, 50);
+    }
+
+    #[test]
+    fn untouched_orderings_pay_nothing_under_churn() {
+        let mut idx = TripleIndex::new();
+        for i in 0..64u32 {
+            idx.insert(t(i, i % 4, i % 8));
+        }
+        idx.flush_pending();
+        let before = idx.counters();
+        // Inserts touch every ordering's B-tree, but only the ordering a
+        // count actually probes pays a merge; the other five stay lazy.
+        for i in 64..96u32 {
+            idx.insert(t(i, i % 4, i % 8));
+        }
+        assert_eq!(idx.count_matching(Some(TermId(70)), None, None), 1);
+        let after = idx.counters();
+        assert_eq!(after.pending_merges, before.pending_merges + 1);
+        assert_eq!(after.pending_sorts, before.pending_sorts);
+    }
+
+    #[test]
+    fn partitions_cover_scan_exactly_in_order() {
+        let mut idx = TripleIndex::new();
+        for s in 0..200u32 {
+            for p in 0..3u32 {
+                idx.insert(t(s, 10 + p, s * 3 + p));
+            }
+        }
+        idx.flush_pending();
+        // Leave some keys in the pending delta so partitions must merge both
+        // sides.
+        for s in 200..230u32 {
+            idx.insert(t(s, 11, s));
+        }
+
+        let shapes: [(Option<u32>, Option<u32>, Option<u32>); 4] = [
+            (None, None, None),
+            (None, Some(11), None),
+            (Some(5), None, None),
+            (None, Some(10), Some(15)),
+        ];
+        for (s, p, o) in shapes {
+            let s = s.map(TermId);
+            let p = p.map(TermId);
+            let o = o.map(TermId);
+            let sequential: Vec<EncodedTriple> = idx.iter_matching(s, p, o).collect();
+            for n in [1usize, 2, 3, 8, 64] {
+                let ranges = idx.partition_matching(s, p, o, n);
+                assert!(!ranges.is_empty());
+                assert!(ranges.len() <= n.max(1));
+                let concatenated: Vec<EncodedTriple> = ranges
+                    .iter()
+                    .flat_map(|&r| idx.iter_matching_within(s, p, o, r))
+                    .collect();
+                assert_eq!(
+                    concatenated,
+                    sequential,
+                    "pattern {:?} with {n} partitions",
+                    (s, p, o)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_balance_over_the_base_run() {
+        let mut idx = TripleIndex::new();
+        for s in 0..1000u32 {
+            idx.insert(t(s, 1, s));
+        }
+        idx.flush_pending();
+        let ranges = idx.partition_matching(None, Some(TermId(1)), None, 4);
+        assert_eq!(ranges.len(), 4);
+        for r in &ranges {
+            let count = idx
+                .iter_matching_within(None, Some(TermId(1)), None, *r)
+                .count();
+            assert_eq!(count, 250);
+        }
+    }
+
+    #[test]
+    fn partitioning_an_empty_or_tiny_scan_degrades_to_one_range() {
+        let idx = TripleIndex::new();
+        let ranges = idx.partition_matching(None, None, None, 8);
+        assert_eq!(ranges.len(), 1);
+
+        let mut idx = TripleIndex::new();
+        idx.insert(t(1, 2, 3));
+        idx.flush_pending();
+        let ranges = idx.partition_matching(None, None, None, 8);
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(
+            idx.iter_matching_within(None, None, None, ranges[0])
+                .count(),
+            1
+        );
     }
 
     #[test]

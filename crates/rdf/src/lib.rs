@@ -54,7 +54,7 @@ pub mod vocab;
 
 pub use dictionary::{Dictionary, TermId};
 pub use error::RdfError;
-pub use index::{IndexCounters, IndexOrder, TripleIndex};
+pub use index::{IndexCounters, IndexOrder, PartitionRange, TripleIndex};
 pub use live::{IngestBatch, IngestReport, LiveStore, StoreSnapshot, TouchedScope};
 pub use ntriples::{parse_ntriples, serialize_ntriples};
 pub use stats::{DistinctSketch, GraphStats, PlannerStats, PredicateCard, StatsMaintenance};

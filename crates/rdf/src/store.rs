@@ -5,7 +5,7 @@ use std::sync::{Arc, OnceLock};
 
 use crate::dictionary::{Dictionary, TermId};
 use crate::error::RdfError;
-use crate::index::TripleIndex;
+use crate::index::{PartitionRange, TripleIndex};
 use crate::stats::{GraphStats, PlannerStats};
 use crate::term::Term;
 use crate::text::TextIndex;
@@ -34,8 +34,12 @@ pub struct MaintenanceCounters {
     pub index_base_builds: u64,
     /// Sorted index base runs rebuilt because a sealed triple was removed.
     pub index_base_rebuilds: u64,
-    /// Sorted views built over an index pending delta for range counting.
+    /// Full re-sorts of an index pending-delta view (forced by removing a
+    /// still-pending key — the only non-incremental count path left).
     pub index_pending_sorts: u64,
+    /// Incremental catches-up of an index pending-delta view: fresh keys
+    /// linearly merged into the existing sorted mirror, never a rebuild.
+    pub index_pending_merges: u64,
     /// Dictionary head segments sealed.
     pub dict_freezes: u64,
     /// Dictionary segment compactions (geometric merges).
@@ -244,6 +248,33 @@ impl Store {
             .count_matching(pattern.subject, pattern.predicate, pattern.object)
     }
 
+    /// Split an id-level pattern scan into at most `n` contiguous key ranges
+    /// (*morsels*) for parallel execution.
+    ///
+    /// The ranges are disjoint, in key order, and together cover exactly the
+    /// matches [`Store::scan`] would yield — concatenating
+    /// [`Store::scan_within`] streams in range order reproduces the
+    /// sequential scan byte-for-byte, which is what keeps morsel-parallel
+    /// query execution deterministic.  Ranges are balanced over the sorted
+    /// index base run; fewer than `n` come back when the scan is too small
+    /// to split.
+    pub fn scan_partitions(&self, pattern: EncodedTriplePattern, n: usize) -> Vec<PartitionRange> {
+        self.index
+            .partition_matching(pattern.subject, pattern.predicate, pattern.object, n)
+    }
+
+    /// Scan an id-level pattern clipped to one partition produced by
+    /// [`Store::scan_partitions`] for the same pattern on the same
+    /// (unmutated) store.
+    pub fn scan_within(
+        &self,
+        pattern: EncodedTriplePattern,
+        range: PartitionRange,
+    ) -> impl Iterator<Item = EncodedTriple> + '_ {
+        self.index
+            .iter_matching_within(pattern.subject, pattern.predicate, pattern.object, range)
+    }
+
     /// Match a term-level pattern, returning decoded triples.
     ///
     /// If a bound term is not in the dictionary the pattern cannot match and
@@ -390,6 +421,7 @@ impl Store {
             index_base_builds: index.base_builds,
             index_base_rebuilds: index.base_rebuilds,
             index_pending_sorts: index.pending_sorts,
+            index_pending_merges: index.pending_merges,
             dict_freezes,
             dict_merges,
             text_freezes,

@@ -197,6 +197,14 @@ impl Metrics {
             "federated_partial_total {}\n",
             self.federated_partial.load(Ordering::Relaxed)
         ));
+        out.push_str(&format!(
+            "executor_parallel_queries_total {}\n",
+            kgqan_sparql::exec::parallel_queries_total()
+        ));
+        out.push_str(&format!(
+            "executor_active_workers {}\n",
+            kgqan_sparql::exec::executor_active_workers()
+        ));
         {
             let map = self
                 .kg_requests
@@ -235,6 +243,8 @@ mod tests {
         assert!(text.contains("http_requests_total{route=kg_list} 0"));
         assert!(text.contains("federated_fanout_total 0"));
         assert!(text.contains("federated_partial_total 0"));
+        assert!(text.contains("executor_parallel_queries_total "));
+        assert!(text.contains("executor_active_workers "));
     }
 
     #[test]

@@ -442,6 +442,8 @@ fn healthz_and_metrics_report_service_state() {
     assert!(text.contains("pipeline_queue_depth 0"), "{text}");
     assert!(text.contains("pipeline_workers 2"), "{text}");
     assert!(text.contains("connections_accepted_total 1"), "{text}");
+    assert!(text.contains("executor_parallel_queries_total "), "{text}");
+    assert!(text.contains("executor_active_workers "), "{text}");
 }
 
 #[test]

@@ -43,17 +43,21 @@
 pub mod ast;
 pub mod error;
 pub mod eval;
+pub mod exec;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod pool;
 pub mod results;
 
 pub use ast::{Expression, GraphPattern, Query, QueryForm, TriplePatternAst, VarOrTerm};
 pub use error::SparqlError;
 pub use eval::{execute, execute_naive, execute_query, Evaluator};
+pub use exec::ExecutorPool;
 pub use parser::parse_query;
 pub use plan::{
-    explain, ExecMetrics, PhysicalPlan, PlanOp, PlanSummary, PlannedExecution, Planner,
-    ServiceResolver,
+    explain, ExecMetrics, ExecOptions, ParallelConfig, ParallelMetrics, PhysicalPlan, PlanOp,
+    PlanSummary, PlannedExecution, Planner, ServiceResolver,
 };
+pub use pool::{PoolConfig, PoolStats, SubmitError, Ticket, WorkerPool};
 pub use results::{Binding, QueryResults, ResultSet};

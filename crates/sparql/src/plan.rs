@@ -56,11 +56,16 @@
 use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use kgqan_rdf::{
-    EncodedTriple, EncodedTriplePattern, PlannerStats, Store, Term, TermId, TextMatch,
+    EncodedTriple, EncodedTriplePattern, PartitionRange, PlannerStats, Store, StoreSnapshot, Term,
+    TermId, TextMatch,
 };
+
+use crate::exec::{self, ExecutorPool};
 
 use crate::ast::{Expression, GraphPattern, Query, QueryForm, TriplePatternAst, VarOrTerm};
 use crate::error::SparqlError;
@@ -72,7 +77,7 @@ use crate::eval::{
 use crate::results::{Binding, QueryResults, ResultSet};
 
 /// Execution counters of one planned query run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecMetrics {
     /// Index entries and text-index matches the join pipeline touched.  This
     /// is the engine's unit of work: a `LIMIT k` query over a large store
@@ -80,6 +85,75 @@ pub struct ExecMetrics {
     pub rows_scanned: u64,
     /// Rows in the final result (1/0 for ASK).
     pub rows_emitted: u64,
+    /// `true` when an [`ExecOptions::deadline`] cut the run short: the
+    /// results are a correct *prefix* of the full answer, not the full
+    /// answer.
+    pub deadline_exceeded: bool,
+    /// Set when the run used morsel-driven parallel execution; `None` for
+    /// the sequential fast path.
+    pub parallel: Option<ParallelMetrics>,
+}
+
+/// Work distribution of one morsel-parallel run, surfaced through
+/// [`ExecMetrics`] all the way up to `answer_traced`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParallelMetrics {
+    /// Workers that actually drained morsels (the coordinating thread plus
+    /// every helper the shared pool had room for) — may be lower than the
+    /// planned degree of parallelism under inter-query load.
+    pub dop: usize,
+    /// Partitions the driver scan was split into.
+    pub morsels: usize,
+    /// Index entries each participating worker scanned, coordinator first.
+    pub rows_scanned_per_worker: Vec<u64>,
+}
+
+/// Per-run execution knobs, passed to [`PhysicalPlan::execute_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Stop producing rows at this instant and return what has been
+    /// computed so far with [`ExecMetrics::deadline_exceeded`] set.
+    /// Parallel runs check the deadline at every morsel boundary; the
+    /// sequential path checks it every few hundred output rows.
+    pub deadline: Option<Instant>,
+}
+
+/// Planner knobs for morsel-driven parallel execution, installed with
+/// [`Planner::with_parallelism`] (and on by default for planners built via
+/// [`Planner::for_shared_snapshot`]).
+///
+/// The degree of parallelism (DOP) is chosen from the planner's own
+/// cardinality estimate for the driver scan:
+/// `dop = clamp(estimate / rows_per_worker, 1, max_dop)` — a query whose
+/// driving scan is estimated under `2 × rows_per_worker` therefore keeps
+/// the sequential fast path untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelConfig {
+    /// Upper bound on workers per query (defaults to the machine's
+    /// available parallelism).
+    pub max_dop: usize,
+    /// Driver-scan rows one worker is expected to absorb; the DOP divisor.
+    pub rows_per_worker: f64,
+    /// Morsels per chosen worker: more morsels mean finer-grained work
+    /// stealing (and deadline checks) at slightly more scheduling overhead.
+    pub morsels_per_worker: usize,
+    /// `LIMIT`/`OFFSET` pages smaller than this stay sequential: a small
+    /// page over a huge scan finishes faster by streaming and stopping
+    /// early than by scanning every partition.
+    pub min_page_rows: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            max_dop: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            rows_per_worker: 50_000.0,
+            morsels_per_worker: 4,
+            min_page_rows: 4_096,
+        }
+    }
 }
 
 /// One operator line of a rendered plan: its nesting depth, a label such as
@@ -284,6 +358,11 @@ struct PlanStep {
     ast: TriplePatternAst,
     estimate: f64,
     filters: Vec<Expression>,
+    /// `true` on the plan's *driver* scan: the first step of the leftmost
+    /// BGP, the only step whose input is always the single seed row.  A
+    /// parallel run partitions exactly this scan into morsels; every other
+    /// step runs unchanged inside each morsel.
+    driver: bool,
 }
 
 /// A planned operator tree over id rows.
@@ -323,8 +402,15 @@ enum PlanNode {
 /// the result operators (`DISTINCT`/`OFFSET`/`LIMIT`) made explicit.
 pub struct PhysicalPlan<'s> {
     store: &'s Store,
-    vars: VarRegistry,
-    root: PlanNode,
+    vars: Arc<VarRegistry>,
+    root: Arc<PlanNode>,
+    /// The epoch snapshot this plan was compiled against, when the planner
+    /// was built from one ([`Planner::for_shared_snapshot`]).  Owning the
+    /// `Arc` is what lets a parallel run hand `'static` morsel jobs to the
+    /// shared executor pool without copying the store.
+    shared: Option<Arc<StoreSnapshot>>,
+    /// Morsel-parallelism knobs; `None` plans always execute sequentially.
+    parallel: Option<ParallelConfig>,
     projection: Vec<String>,
     is_ask: bool,
     distinct: bool,
@@ -371,6 +457,10 @@ pub struct Planner<'s> {
     store: &'s Store,
     stats: Arc<PlannerStats>,
     services: Option<&'s dyn ServiceResolver>,
+    /// Set by [`Planner::for_shared_snapshot`]: the owned snapshot handle
+    /// its plans carry for parallel execution.
+    shared: Option<Arc<StoreSnapshot>>,
+    parallel: Option<ParallelConfig>,
 }
 
 /// Convenience: plan and render the `EXPLAIN` summary of a query in one
@@ -386,7 +476,22 @@ impl<'s> Planner<'s> {
             stats: store.planner_stats(),
             store,
             services: None,
+            shared: None,
+            parallel: None,
         }
+    }
+
+    /// Install morsel-parallelism knobs: plans compiled afterwards may
+    /// execute their driving scan as parallel morsels on the shared
+    /// executor pool (see [`ParallelConfig`] for the DOP heuristic).
+    ///
+    /// Parallel execution additionally requires an *owned* snapshot handle
+    /// — build the planner with [`Planner::for_shared_snapshot`]; on a
+    /// plain borrowed [`Store`] the configuration is inert and every run
+    /// stays sequential.
+    pub fn with_parallelism(mut self, config: ParallelConfig) -> Self {
+        self.parallel = Some(config);
+        self
     }
 
     /// Install a resolver for `SERVICE <kg:name>` groups.
@@ -460,6 +565,26 @@ impl<'s> Planner<'s> {
         Planner::new(snapshot)
     }
 
+    /// Like [`Planner::for_snapshot`], but from an *owned* snapshot handle,
+    /// which additionally enables morsel-driven parallel execution (with
+    /// [`ParallelConfig::default`]; tune or effectively disable it via
+    /// [`Planner::with_parallelism`]).
+    ///
+    /// The plans this planner compiles keep a clone of the `Arc`, so a
+    /// parallel run can ship `'static` morsel jobs to the shared executor
+    /// pool — every worker reads the *same pinned epoch* the plan was
+    /// costed against, however many ingest batches are published while the
+    /// query runs.
+    pub fn for_shared_snapshot(snapshot: &'s Arc<StoreSnapshot>) -> Self {
+        Planner {
+            stats: snapshot.planner_stats(),
+            store: snapshot,
+            services: None,
+            shared: Some(Arc::clone(snapshot)),
+            parallel: Some(ParallelConfig::default()),
+        }
+    }
+
     /// Compile a query into a physical plan.
     ///
     /// Planning never fails: constants missing from the dictionary become
@@ -470,7 +595,8 @@ impl<'s> Planner<'s> {
         let text_cap = effective_text_cap(query);
         let mut bound: HashSet<usize> = HashSet::new();
         let mut slots = SlotCounters::default();
-        let root = self.compile(&query.pattern, &vars, &mut bound, text_cap, &mut slots);
+        let mut root = self.compile(&query.pattern, &vars, &mut bound, text_cap, &mut slots);
+        mark_driver(&mut root);
 
         let (projection, is_ask, distinct) = match &query.form {
             QueryForm::Ask => (Vec::new(), true, false),
@@ -489,8 +615,10 @@ impl<'s> Planner<'s> {
 
         PhysicalPlan {
             store: self.store,
-            vars,
-            root,
+            vars: Arc::new(vars),
+            root: Arc::new(root),
+            shared: self.shared.clone(),
+            parallel: self.parallel,
             projection,
             is_ask,
             distinct,
@@ -664,6 +792,7 @@ impl<'s> Planner<'s> {
                 ast: candidate.ast,
                 estimate,
                 filters: Vec::new(),
+                driver: false,
             });
         }
         PlanNode::Bgp {
@@ -802,6 +931,49 @@ fn push_filter(node: &mut PlanNode, expr: &Expression, vars: &VarRegistry) -> bo
     true
 }
 
+/// Mark the plan's driver scan (see [`PlanStep::driver`]): the first step
+/// of the leftmost BGP, reached by walking left through joins and filters.
+/// Union branches and SERVICE groups re-evaluate per input row, so nothing
+/// inside them can drive a partitioned scan.
+fn mark_driver(node: &mut PlanNode) {
+    match node {
+        PlanNode::Bgp { steps, .. } => {
+            if let Some(step) = steps.first_mut() {
+                if matches!(step.kind, StepKind::Scan(_)) {
+                    step.driver = true;
+                }
+            }
+        }
+        PlanNode::Join(a, _) | PlanNode::LeftJoin(a, _) => mark_driver(a),
+        PlanNode::Filter(inner, _) => mark_driver(inner),
+        PlanNode::Union(..) | PlanNode::Service { .. } => {}
+    }
+}
+
+/// The marked driver step, if the plan has one (mirrors [`mark_driver`]).
+fn find_driver(node: &PlanNode) -> Option<&PlanStep> {
+    match node {
+        PlanNode::Bgp { steps, .. } => steps.first().filter(|step| step.driver),
+        PlanNode::Join(a, _) | PlanNode::LeftJoin(a, _) => find_driver(a),
+        PlanNode::Filter(inner, _) => find_driver(inner),
+        PlanNode::Union(..) | PlanNode::Service { .. } => None,
+    }
+}
+
+/// Does any node of the tree call out to a remote KG?  SERVICE resolvers
+/// are borrowed (`&dyn`) and their term interner is single-threaded, so
+/// federated plans always take the sequential path.
+fn plan_has_service(node: &PlanNode) -> bool {
+    match node {
+        PlanNode::Bgp { .. } => false,
+        PlanNode::Join(a, b) | PlanNode::LeftJoin(a, b) | PlanNode::Union(a, b) => {
+            plan_has_service(a) || plan_has_service(b)
+        }
+        PlanNode::Filter(inner, _) => plan_has_service(inner),
+        PlanNode::Service { .. } => true,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Execution: a lazy iterator pipeline over id rows.
 // ---------------------------------------------------------------------------
@@ -832,6 +1004,10 @@ struct ExecCtx<'a> {
     service_cache: &'a [OnceCell<Result<Vec<ServiceRow>, SparqlError>>],
     /// Run-scoped side dictionary for remote terms.
     foreign: &'a ForeignTerms,
+    /// When set, this execution is one morsel of a parallel run: the
+    /// driver scan is clipped to this key range, every other operator runs
+    /// unchanged.  `None` on the sequential path.
+    morsel: Option<PartitionRange>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -967,10 +1143,11 @@ impl<'a> ExecCtx<'a> {
             StepKind::NeverMatches => Box::new(std::iter::empty()),
             StepKind::Scan(tp) => {
                 let tp = *tp;
+                let clip = if step.driver { self.morsel } else { None };
                 Box::new(input.flat_map(move |res| -> RowIter<'a> {
                     match res {
                         Err(e) => Box::new(std::iter::once(Err(e))),
-                        Ok(row) => Box::new(self.scan_extensions(tp, row).map(Ok)),
+                        Ok(row) => Box::new(self.scan_extensions(tp, clip, row).map(Ok)),
                     }
                 }))
             }
@@ -1026,6 +1203,7 @@ impl<'a> ExecCtx<'a> {
     fn scan_extensions(
         self,
         tp: CompiledTriplePattern,
+        clip: Option<PartitionRange>,
         row: IdRow,
     ) -> impl Iterator<Item = IdRow> + 'a {
         let resolve = |slot: Slot| -> Option<TermId> {
@@ -1039,7 +1217,13 @@ impl<'a> ExecCtx<'a> {
             resolve(tp.predicate),
             resolve(tp.object),
         );
-        self.store.scan(pattern).filter_map(move |triple| {
+        let scan = match clip {
+            // The driver scan of one morsel: same pattern, same ordering,
+            // restricted to the morsel's key range.
+            Some(range) => MorselScan::Clipped(self.store.scan_within(pattern, range)),
+            None => MorselScan::Full(self.store.scan(pattern)),
+        };
+        scan.filter_map(move |triple| {
             self.scanned.set(self.scanned.get() + 1);
             extend_row(&row, tp, triple)
         })
@@ -1070,7 +1254,9 @@ impl<'a> ExecCtx<'a> {
                 StepKind::NeverMatches => {}
                 StepKind::Scan(tp) => {
                     for row in &current {
-                        next.extend(self.scan_extensions(*tp, row.clone()));
+                        // Never the driver: this path only serves the right
+                        // side of a left join, which `mark_driver` skips.
+                        next.extend(self.scan_extensions(*tp, None, row.clone()));
                     }
                 }
                 StepKind::TextSearch {
@@ -1202,6 +1388,29 @@ struct TextMatches {
     literals: HashSet<TermId>,
 }
 
+/// The two shapes of the innermost scan loop: a full index scan, or one
+/// morsel of a partitioned driver scan.  An enum (rather than a boxed
+/// iterator) keeps the sequential fast path free of virtual dispatch.
+enum MorselScan<A, B> {
+    Full(A),
+    Clipped(B),
+}
+
+impl<T, A, B> Iterator for MorselScan<A, B>
+where
+    A: Iterator<Item = T>,
+    B: Iterator<Item = T>,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match self {
+            MorselScan::Full(scan) => scan.next(),
+            MorselScan::Clipped(scan) => scan.next(),
+        }
+    }
+}
+
 /// The search words of a text pattern whose query string is a constant
 /// literal — row-independent, so the search can run once per step.
 /// `None` when the string comes from a variable binding (resolved per row).
@@ -1255,6 +1464,24 @@ impl<'s> PhysicalPlan<'s> {
     /// pipeline.  `LIMIT`/`OFFSET`/`DISTINCT` (and ASK's one-row need) stop
     /// the scans as soon as the output is decided.
     pub fn execute(&self) -> Result<PlannedExecution, SparqlError> {
+        self.execute_with(ExecOptions::default())
+    }
+
+    /// [`PhysicalPlan::execute`] with per-run knobs (currently: a
+    /// deadline).  When the plan is parallel-eligible (see
+    /// [`ParallelConfig`]) the driving scan runs as morsels on the shared
+    /// [`ExecutorPool`]; results are byte-identical to the sequential path
+    /// whatever the worker interleaving, because morsel outputs are merged
+    /// in partition order before `DISTINCT`/`OFFSET`/`LIMIT` are applied.
+    pub fn execute_with(&self, opts: ExecOptions) -> Result<PlannedExecution, SparqlError> {
+        if let Some(decision) = self.parallel_decision() {
+            return self.execute_parallel(decision, opts);
+        }
+        self.execute_sequential(opts)
+    }
+
+    /// The sequential (single-thread, fully streaming) execution path.
+    fn execute_sequential(&self, opts: ExecOptions) -> Result<PlannedExecution, SparqlError> {
         let scanned = Cell::new(0u64);
         let text_cache: Vec<OnceCell<TextMatches>> =
             (0..self.text_slots).map(|_| OnceCell::new()).collect();
@@ -1270,6 +1497,7 @@ impl<'s> PhysicalPlan<'s> {
             services: self.services,
             service_cache: &service_cache,
             foreign: &foreign,
+            morsel: None,
         };
         let seed: IdRow = vec![None; self.vars.len()];
         let mut rows = ctx.eval_node(&self.root, Box::new(std::iter::once(Ok(seed))));
@@ -1286,6 +1514,7 @@ impl<'s> PhysicalPlan<'s> {
                 metrics: ExecMetrics {
                     rows_scanned: scanned.get(),
                     rows_emitted: u64::from(verdict),
+                    ..ExecMetrics::default()
                 },
             });
         }
@@ -1295,9 +1524,20 @@ impl<'s> PhysicalPlan<'s> {
         let mut seen = self.distinct.then(HashSet::new);
         let mut to_skip = self.offset;
         let mut id_rows: Vec<IdRow> = Vec::new();
+        let mut deadline_exceeded = false;
+        let mut pulled: u64 = 0;
         loop {
             if self.limit.is_some_and(|limit| id_rows.len() >= limit) {
                 break;
+            }
+            // Deadline checks cost a clock read, so amortize them; the
+            // default (deadline-free) path pays only a branch.
+            if let Some(deadline) = opts.deadline {
+                if pulled.is_multiple_of(256) && Instant::now() >= deadline {
+                    deadline_exceeded = true;
+                    break;
+                }
+                pulled += 1;
             }
             let Some(res) = rows.next() else {
                 break;
@@ -1324,6 +1564,172 @@ impl<'s> PhysicalPlan<'s> {
         let metrics = ExecMetrics {
             rows_scanned: scanned.get(),
             rows_emitted: bindings.len() as u64,
+            deadline_exceeded,
+            parallel: None,
+        };
+        Ok(PlannedExecution {
+            results: QueryResults::Solutions(ResultSet::new(self.projection.clone(), bindings)),
+            metrics,
+        })
+    }
+
+    /// Decide whether (and how) this plan runs in parallel.  Returns `None`
+    /// — the sequential fast path — unless *all* of the following hold: a
+    /// parallelism config and an owned snapshot are installed, the query is
+    /// not an ASK and touches no SERVICE group, a driver scan exists, its
+    /// cardinality estimate asks for at least two workers, any
+    /// `LIMIT`/`OFFSET` page is big enough to be worth full scans, and the
+    /// driver actually splits into more than one partition.
+    fn parallel_decision(&self) -> Option<ParallelDecision> {
+        let config = self.parallel?;
+        self.shared.as_ref()?;
+        if self.is_ask || config.max_dop < 2 || plan_has_service(&self.root) {
+            return None;
+        }
+        let driver = find_driver(&self.root)?;
+        let StepKind::Scan(tp) = &driver.kind else {
+            return None;
+        };
+        if let Some(limit) = self.limit {
+            if self.offset + limit < config.min_page_rows {
+                return None;
+            }
+        }
+        let dop =
+            ((driver.estimate / config.rows_per_worker.max(1.0)) as usize).clamp(1, config.max_dop);
+        if dop < 2 {
+            return None;
+        }
+        // The driver's input is always the single all-unbound seed row, so
+        // its runtime pattern is exactly its compiled constants.
+        let const_of = |slot: Slot| match slot {
+            Slot::Const(id) => Some(id),
+            Slot::Var(_) => None,
+        };
+        let pattern = EncodedTriplePattern::new(
+            const_of(tp.subject),
+            const_of(tp.predicate),
+            const_of(tp.object),
+        );
+        let ranges = self
+            .store
+            .scan_partitions(pattern, dop * config.morsels_per_worker.max(1));
+        if ranges.len() < 2 {
+            return None;
+        }
+        Some(ParallelDecision { dop, ranges })
+    }
+
+    /// The morsel-parallel execution path.
+    ///
+    /// The coordinating thread submits up to `dop - 1` helper jobs to the
+    /// shared pool and then drains morsels itself, so the run makes
+    /// progress even when the pool has no free slot (saturation degrades
+    /// parallelism, never correctness).  Each worker claims morsels from a
+    /// shared counter — partition order — and materialises its morsel's
+    /// projected rows; the coordinator concatenates the outputs *in
+    /// partition order* and only then applies `DISTINCT`/`OFFSET`/`LIMIT`,
+    /// which is what makes the result byte-identical to the sequential
+    /// path regardless of thread interleaving.
+    fn execute_parallel(
+        &self,
+        decision: ParallelDecision,
+        opts: ExecOptions,
+    ) -> Result<PlannedExecution, SparqlError> {
+        let snapshot = Arc::clone(self.shared.as_ref().expect("checked by parallel_decision"));
+        let morsels = decision.ranges.len();
+        let state = Arc::new(MorselRun {
+            snapshot,
+            root: Arc::clone(&self.root),
+            vars: Arc::clone(&self.vars),
+            text_cap: self.text_cap,
+            text_slots: self.text_slots,
+            slots: self.projection.iter().map(|v| self.vars.id_of(v)).collect(),
+            distinct: self.distinct,
+            cap: self.limit.map(|limit| self.offset.saturating_add(limit)),
+            ranges: decision.ranges,
+            next: AtomicUsize::new(0),
+            outputs: (0..morsels).map(|_| Mutex::new(None)).collect(),
+            deadline: opts.deadline,
+            expired: AtomicBool::new(false),
+        });
+        exec::record_parallel_query();
+
+        let pool = ExecutorPool::shared();
+        let mut tickets = Vec::with_capacity(decision.dop - 1);
+        for _ in 1..decision.dop {
+            let job = Arc::clone(&state);
+            match pool.try_submit(move || job.drain()) {
+                Ok(ticket) => tickets.push(ticket),
+                // Pool saturated or shutting down: run with fewer helpers.
+                Err(_) => break,
+            }
+        }
+        let mut rows_scanned_per_worker = vec![state.drain()];
+        for ticket in tickets {
+            // `None` = the helper panicked; its claimed morsel is refilled
+            // below, so the run still completes.
+            if let Some(scanned) = ticket.wait() {
+                rows_scanned_per_worker.push(scanned);
+            }
+        }
+        // Refill any hole that is not a deadline hole (a panicked helper's
+        // claimed-but-unfinished morsel) on the coordinating thread.
+        if !state.expired.load(Ordering::Relaxed) {
+            for index in 0..morsels {
+                let missing = state.lock_output(index).is_none();
+                if missing {
+                    let (result, scanned) = state.run_morsel(index);
+                    rows_scanned_per_worker[0] += scanned;
+                    *state.lock_output(index) = Some(result);
+                }
+            }
+        }
+
+        // Merge in partition order; holes (all deadline-induced, and always
+        // a suffix because workers claim indices monotonically) end the
+        // prefix that gets returned.
+        let mut seen = self.distinct.then(HashSet::new);
+        let mut to_skip = self.offset;
+        let mut id_rows: Vec<IdRow> = Vec::new();
+        let mut deadline_exceeded = false;
+        let mut completed = 0usize;
+        'merge: for index in 0..morsels {
+            let Some(result) = state.lock_output(index).take() else {
+                deadline_exceeded = true;
+                break;
+            };
+            completed += 1;
+            for projected in result? {
+                if let Some(seen) = &mut seen {
+                    if !seen.insert(projected.clone()) {
+                        continue;
+                    }
+                }
+                if to_skip > 0 {
+                    to_skip -= 1;
+                    continue;
+                }
+                id_rows.push(projected);
+                if self.limit.is_some_and(|limit| id_rows.len() >= limit) {
+                    break 'merge;
+                }
+            }
+        }
+
+        let bindings: Vec<Binding> = id_rows
+            .iter()
+            .map(|row| decode_row(self.store, &self.projection, row))
+            .collect();
+        let metrics = ExecMetrics {
+            rows_scanned: rows_scanned_per_worker.iter().sum(),
+            rows_emitted: bindings.len() as u64,
+            deadline_exceeded,
+            parallel: Some(ParallelMetrics {
+                dop: rows_scanned_per_worker.len(),
+                morsels: completed,
+                rows_scanned_per_worker,
+            }),
         };
         Ok(PlannedExecution {
             results: QueryResults::Solutions(ResultSet::new(self.projection.clone(), bindings)),
@@ -1350,12 +1756,161 @@ impl<'s> PhysicalPlan<'s> {
             header.push_str(&format!(" offset {}", self.offset));
         }
         summary.push(0, header, None);
-        summarize_node(&self.root, 1, &mut summary);
+        // Surface the parallel decision the executor will actually take —
+        // `EXPLAIN` and `execute` call the same `parallel_decision`.
+        match self.parallel_decision() {
+            Some(decision) => {
+                summary.push(
+                    1,
+                    format!("parallel({})", decision.dop),
+                    Some(decision.ranges.len() as f64),
+                );
+                summarize_node(&self.root, 2, Some(decision.ranges.len()), &mut summary);
+            }
+            None => summarize_node(&self.root, 1, None, &mut summary),
+        }
         summary
     }
 }
 
-fn summarize_node(node: &PlanNode, depth: usize, out: &mut PlanSummary) {
+/// How a parallel run splits its driver scan: the chosen degree of
+/// parallelism and the morsel key ranges, in scan order.
+struct ParallelDecision {
+    dop: usize,
+    ranges: Vec<PartitionRange>,
+}
+
+/// One morsel's output slot: the projected id-rows it produced, or the
+/// first error its plan tail hit.
+type MorselOutput = Option<Result<Vec<IdRow>, SparqlError>>;
+
+/// The shared state of one morsel-parallel run.  Everything is owned
+/// (`Arc`s into the pinned snapshot and the plan tree), so the same value
+/// serves the coordinating thread and the `'static` helper jobs on the
+/// executor pool.
+struct MorselRun {
+    snapshot: Arc<StoreSnapshot>,
+    root: Arc<PlanNode>,
+    vars: Arc<VarRegistry>,
+    text_cap: usize,
+    text_slots: usize,
+    /// Projection: variable slot per output column.
+    slots: Vec<Option<usize>>,
+    distinct: bool,
+    /// `offset + limit` when the query pages: no morsel can contribute more
+    /// than the whole page, so each stops after this many (distinct,
+    /// when applicable) projected rows.
+    cap: Option<usize>,
+    ranges: Vec<PartitionRange>,
+    /// Next unclaimed morsel index — the work-stealing cursor.
+    next: AtomicUsize,
+    /// One slot per morsel, written by whichever worker ran it.
+    outputs: Vec<Mutex<MorselOutput>>,
+    deadline: Option<Instant>,
+    /// Latched once any worker observes the deadline passed; stops all
+    /// further morsel claims.
+    expired: AtomicBool,
+}
+
+impl MorselRun {
+    fn lock_output(&self, index: usize) -> std::sync::MutexGuard<'_, MorselOutput> {
+        self.outputs[index]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The deadline check every worker runs *between* morsels.
+    fn expired_now(&self) -> bool {
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.expired.load(Ordering::Relaxed) {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            self.expired.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Claim and run morsels until none are left (or the deadline passes).
+    /// Returns the rows this worker scanned, for per-worker metrics.
+    fn drain(&self) -> u64 {
+        let mut scanned = 0u64;
+        loop {
+            if self.expired_now() {
+                break;
+            }
+            let index = self.next.fetch_add(1, Ordering::SeqCst);
+            if index >= self.ranges.len() {
+                break;
+            }
+            let (result, morsel_scanned) = self.run_morsel(index);
+            scanned += morsel_scanned;
+            *self.lock_output(index) = Some(result);
+        }
+        scanned
+    }
+
+    /// Evaluate the whole operator tree with the driver scan clipped to one
+    /// morsel's key range, materialising the morsel's projected rows.
+    fn run_morsel(&self, index: usize) -> (Result<Vec<IdRow>, SparqlError>, u64) {
+        let scanned = Cell::new(0u64);
+        let text_cache: Vec<OnceCell<TextMatches>> =
+            (0..self.text_slots).map(|_| OnceCell::new()).collect();
+        // Parallel-eligible plans never contain SERVICE groups.
+        let service_cache: Vec<OnceCell<Result<Vec<ServiceRow>, SparqlError>>> = Vec::new();
+        let foreign = ForeignTerms::default();
+        let ctx = ExecCtx {
+            store: &self.snapshot,
+            vars: &self.vars,
+            text_cap: self.text_cap,
+            scanned: &scanned,
+            text_cache: &text_cache,
+            services: None,
+            service_cache: &service_cache,
+            foreign: &foreign,
+            morsel: Some(self.ranges[index]),
+        };
+        let seed: IdRow = vec![None; self.vars.len()];
+        let rows = ctx.eval_node(&self.root, Box::new(std::iter::once(Ok(seed))));
+
+        let mut out: Vec<IdRow> = Vec::new();
+        // Morsel-local dedup is sound under a global cap: a row past a
+        // morsel's first `cap` distinct values has at least `cap` distinct
+        // predecessors in the concatenated stream, so it cannot be in the
+        // global first `cap` either.  (The coordinator dedups across
+        // morsels again.)
+        let mut seen = self.distinct.then(HashSet::new);
+        for res in rows {
+            let row = match res {
+                Ok(row) => row,
+                Err(e) => return (Err(e), scanned.get()),
+            };
+            let projected: IdRow = self
+                .slots
+                .iter()
+                .map(|slot| slot.and_then(|i| row[i]))
+                .collect();
+            if let Some(seen) = &mut seen {
+                if !seen.insert(projected.clone()) {
+                    continue;
+                }
+            }
+            out.push(projected);
+            if self.cap.is_some_and(|cap| out.len() >= cap) {
+                break;
+            }
+        }
+        (Ok(out), scanned.get())
+    }
+}
+
+/// Render one node.  `partition` carries the morsel count of a parallel
+/// run down the left spine so the driver scan can show a `partition` child
+/// op; it is `None` everywhere a driver cannot live.
+fn summarize_node(node: &PlanNode, depth: usize, partition: Option<usize>, out: &mut PlanSummary) {
     match node {
         PlanNode::Bgp { pre_filters, steps } => {
             out.push(depth, "bgp", None);
@@ -1369,6 +1924,11 @@ fn summarize_node(node: &PlanNode, depth: usize, out: &mut PlanSummary) {
                     StepKind::NeverMatches => format!("never-matches {}", step.ast),
                 };
                 out.push(depth + 1, label, Some(step.estimate));
+                if step.driver {
+                    if let Some(morsels) = partition {
+                        out.push(depth + 2, format!("partition ({morsels} morsels)"), None);
+                    }
+                }
                 for expr in &step.filters {
                     out.push(depth + 2, format!("filter {expr}"), None);
                 }
@@ -1376,22 +1936,22 @@ fn summarize_node(node: &PlanNode, depth: usize, out: &mut PlanSummary) {
         }
         PlanNode::Join(a, b) => {
             out.push(depth, "join", None);
-            summarize_node(a, depth + 1, out);
-            summarize_node(b, depth + 1, out);
+            summarize_node(a, depth + 1, partition, out);
+            summarize_node(b, depth + 1, None, out);
         }
         PlanNode::LeftJoin(a, b) => {
             out.push(depth, "left-join (optional)", None);
-            summarize_node(a, depth + 1, out);
-            summarize_node(b, depth + 1, out);
+            summarize_node(a, depth + 1, partition, out);
+            summarize_node(b, depth + 1, None, out);
         }
         PlanNode::Union(a, b) => {
             out.push(depth, "union", None);
-            summarize_node(a, depth + 1, out);
-            summarize_node(b, depth + 1, out);
+            summarize_node(a, depth + 1, None, out);
+            summarize_node(b, depth + 1, None, out);
         }
         PlanNode::Filter(inner, expr) => {
             out.push(depth, format!("filter {expr}"), None);
-            summarize_node(inner, depth + 1, out);
+            summarize_node(inner, depth + 1, partition, out);
         }
         PlanNode::Service {
             kg,
@@ -1411,7 +1971,7 @@ fn summarize_node(node: &PlanNode, depth: usize, out: &mut PlanSummary) {
 mod tests {
     use super::*;
     use crate::parser::parse_query;
-    use kgqan_rdf::{vocab, Triple};
+    use kgqan_rdf::{vocab, LiveStore, Triple};
 
     /// A store where join order matters: 200 people born in 4 cities, one
     /// person also a member of a tiny club.
@@ -1722,6 +2282,132 @@ mod tests {
                 })?;
             Ok(Planner::new(store).plan(query).execute()?.results)
         }
+    }
+
+    /// The skewed store published through a live store, for snapshot
+    /// pinning (the parallel path requires an owned snapshot).
+    fn skewed_live() -> std::sync::Arc<StoreSnapshot> {
+        let live = LiveStore::new(skewed_store());
+        live.snapshot()
+    }
+
+    /// A config aggressive enough to parallelise the 401-triple test store.
+    fn eager_parallel() -> ParallelConfig {
+        ParallelConfig {
+            max_dop: 8,
+            rows_per_worker: 8.0,
+            morsels_per_worker: 2,
+            min_page_rows: 0,
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_and_reports_per_worker_metrics() {
+        let snapshot = skewed_live();
+        let query = parse_query(
+            "SELECT ?p ?c WHERE { ?p <http://e/bornIn> ?c . \
+             ?p <http://www.w3.org/2000/01/rdf-schema#label> ?n . }",
+        )
+        .unwrap();
+        let sequential = Planner::for_snapshot(&snapshot)
+            .plan(&query)
+            .execute()
+            .unwrap();
+        assert!(sequential.metrics.parallel.is_none());
+
+        let plan = Planner::for_shared_snapshot(&snapshot)
+            .with_parallelism(eager_parallel())
+            .plan(&query);
+        let parallel = plan.execute().unwrap();
+        assert_eq!(parallel.results, sequential.results);
+        let info = parallel.metrics.parallel.as_ref().expect("ran parallel");
+        assert!(info.dop >= 1 && info.morsels >= 2, "{info:?}");
+        assert_eq!(
+            info.rows_scanned_per_worker.iter().sum::<u64>(),
+            parallel.metrics.rows_scanned
+        );
+        assert!(!parallel.metrics.deadline_exceeded);
+    }
+
+    #[test]
+    fn explain_renders_parallel_and_partition_ops() {
+        let snapshot = skewed_live();
+        let query = parse_query("SELECT ?p ?c WHERE { ?p <http://e/bornIn> ?c . }").unwrap();
+        let plan = Planner::for_shared_snapshot(&snapshot)
+            .with_parallelism(eager_parallel())
+            .plan(&query);
+        let rendered = plan.summary().to_string();
+        assert!(rendered.contains("parallel("), "{rendered}");
+        assert!(rendered.contains("partition ("), "{rendered}");
+        // The scan labels stay stable for step_labels-based assertions.
+        assert_eq!(plan.summary().step_labels().len(), 1);
+    }
+
+    #[test]
+    fn small_queries_keep_the_sequential_fast_path() {
+        let snapshot = skewed_live();
+        let query = parse_query("SELECT ?p ?c WHERE { ?p <http://e/bornIn> ?c . }").unwrap();
+        // Default config: a 200-row scan is far below rows_per_worker.
+        let plan = Planner::for_shared_snapshot(&snapshot).plan(&query);
+        assert!(!plan.summary().to_string().contains("parallel("));
+        let run = plan.execute().unwrap();
+        assert!(run.metrics.parallel.is_none());
+        assert_eq!(run.results.rows().len(), 200);
+    }
+
+    #[test]
+    fn ask_and_small_pages_stay_sequential_under_parallel_config() {
+        let snapshot = skewed_live();
+        let planner = Planner::for_shared_snapshot(&snapshot).with_parallelism(ParallelConfig {
+            min_page_rows: 4_096,
+            ..eager_parallel()
+        });
+        let ask = parse_query("ASK { ?p <http://e/bornIn> ?c . }").unwrap();
+        let run = planner.plan(&ask).execute().unwrap();
+        assert!(run.metrics.parallel.is_none());
+        // LIMIT 5 pages are cheaper streamed than scanned in full.
+        let paged = parse_query("SELECT ?p WHERE { ?p <http://e/bornIn> ?c . } LIMIT 5").unwrap();
+        let run = planner.plan(&paged).execute().unwrap();
+        assert!(run.metrics.parallel.is_none());
+        assert!(run.metrics.rows_scanned <= 5);
+    }
+
+    #[test]
+    fn expired_deadline_returns_partial_prefix_sequentially() {
+        let store = skewed_store();
+        let query = parse_query("SELECT ?p ?c WHERE { ?p <http://e/bornIn> ?c . }").unwrap();
+        let plan = Planner::new(&store).plan(&query);
+        let run = plan
+            .execute_with(ExecOptions {
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            })
+            .unwrap();
+        assert!(run.metrics.deadline_exceeded);
+        assert!(
+            run.results.rows().len() < 200,
+            "expired deadline must cut the run short, got {} rows",
+            run.results.rows().len()
+        );
+    }
+
+    #[test]
+    fn expired_deadline_stops_parallel_run_at_morsel_boundaries() {
+        let snapshot = skewed_live();
+        let query = parse_query("SELECT ?p ?c WHERE { ?p <http://e/bornIn> ?c . }").unwrap();
+        let plan = Planner::for_shared_snapshot(&snapshot)
+            .with_parallelism(eager_parallel())
+            .plan(&query);
+        // The decision *is* parallel (deadline does not affect eligibility)…
+        let rendered = plan.summary().to_string();
+        assert!(rendered.contains("parallel("), "{rendered}");
+        // …but an already-expired deadline means no morsel is ever claimed.
+        let run = plan
+            .execute_with(ExecOptions {
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            })
+            .unwrap();
+        assert!(run.metrics.deadline_exceeded);
+        assert!(run.results.rows().is_empty());
     }
 
     #[test]

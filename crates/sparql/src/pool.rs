@@ -1,6 +1,6 @@
 //! A persistent, bounded worker pool for pipeline requests.
 //!
-//! [`QaService::answer_batch`](crate::service::QaService::answer_batch)
+//! The `kgqan` core crate's `QaService::answer_batch`
 //! historically spawned a scoped thread pool per call; that overlapped
 //! endpoint round-trips nicely, but it gave an external admission layer
 //! (the HTTP front-end in `kgqan-server`) nothing to aim at: no queue to

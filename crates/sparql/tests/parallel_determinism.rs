@@ -1,0 +1,311 @@
+//! Determinism and equivalence properties of the morsel-parallel executor.
+//!
+//! The parallel path must be *invisible* in the results: for any query the
+//! rows — including their order, and including `DISTINCT`/`OFFSET`/`LIMIT`
+//! paging — must be byte-identical to the sequential streaming executor's,
+//! which in turn must agree (as a multiset) with the naive AST-order
+//! reference evaluator.  Worker count, morsel granularity and scheduling
+//! jitter may never leak into answers.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use kgqan_rdf::{LiveStore, Store, StoreSnapshot, Term, Triple};
+use kgqan_sparql::ast::{Expression, GraphPattern, Query, QueryForm, TriplePatternAst, VarOrTerm};
+use kgqan_sparql::{execute_naive, ExecOptions, ParallelConfig, Planner, QueryResults};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Store / query generation: the same closed alphabets as the planner
+// properties, so joins, repeated variables and text hits occur often.
+// ---------------------------------------------------------------------------
+
+fn arb_node() -> impl Strategy<Value = Term> {
+    (0u32..20).prop_map(|i| Term::iri(format!("http://g/n{i}")))
+}
+
+fn arb_predicate() -> impl Strategy<Value = Term> {
+    (0u32..5).prop_map(|i| Term::iri(format!("http://g/p{i}")))
+}
+
+fn arb_label() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        Just("baltic sea"),
+        Just("north sea shore"),
+        Just("danish straits"),
+        Just("kaliningrad city"),
+    ]
+    .prop_map(Term::literal_str)
+}
+
+fn arb_object() -> impl Strategy<Value = Term> {
+    prop_oneof![arb_node(), arb_label(), (0i64..400).prop_map(Term::integer)]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (arb_node(), arb_predicate(), arb_object()).prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+/// Random snapshots up to ~90 triples: big enough for multi-morsel
+/// partitions, small enough to shrink well.
+fn arb_snapshot() -> impl Strategy<Value = Arc<StoreSnapshot>> {
+    prop::collection::vec(arb_triple(), 0..90).prop_map(|triples| {
+        let mut store = Store::new();
+        store.insert_all(triples);
+        LiveStore::new(store).snapshot()
+    })
+}
+
+fn arb_var() -> impl Strategy<Value = String> {
+    (0u32..4).prop_map(|i| format!("v{i}"))
+}
+
+fn arb_subject_pos() -> impl Strategy<Value = VarOrTerm> {
+    prop_oneof![
+        arb_var().prop_map(VarOrTerm::Var),
+        arb_var().prop_map(VarOrTerm::Var),
+        arb_node().prop_map(VarOrTerm::Term),
+    ]
+}
+
+fn arb_predicate_pos() -> impl Strategy<Value = VarOrTerm> {
+    prop_oneof![
+        arb_var().prop_map(VarOrTerm::Var),
+        arb_predicate().prop_map(VarOrTerm::Term),
+        arb_predicate().prop_map(VarOrTerm::Term),
+    ]
+}
+
+fn arb_object_pos() -> impl Strategy<Value = VarOrTerm> {
+    prop_oneof![
+        arb_var().prop_map(VarOrTerm::Var),
+        arb_object().prop_map(VarOrTerm::Term),
+    ]
+}
+
+fn arb_tp() -> impl Strategy<Value = TriplePatternAst> {
+    (arb_subject_pos(), arb_predicate_pos(), arb_object_pos())
+        .prop_map(|(s, p, o)| TriplePatternAst::new(s, p, o))
+}
+
+fn arb_text_tp() -> impl Strategy<Value = TriplePatternAst> {
+    (
+        arb_var(),
+        prop_oneof![Just("'sea'"), Just("'danish' OR 'city'"), Just("'shore'")],
+    )
+        .prop_map(|(v, words)| {
+            TriplePatternAst::new(
+                VarOrTerm::Var(v),
+                VarOrTerm::Term(Term::iri("bif:contains")),
+                VarOrTerm::Term(Term::literal_str(words)),
+            )
+        })
+}
+
+fn arb_bgp() -> impl Strategy<Value = GraphPattern> {
+    (
+        prop::collection::vec(arb_tp(), 1..4),
+        prop::option::of(arb_text_tp()),
+    )
+        .prop_map(|(mut tps, text)| {
+            if let Some(text) = text {
+                tps.push(text);
+            }
+            GraphPattern::Bgp(tps)
+        })
+}
+
+fn arb_filter_expr() -> impl Strategy<Value = Expression> {
+    let var = || arb_var().prop_map(|v| Box::new(Expression::Var(v)));
+    prop_oneof![
+        (var(), var()).prop_map(|(a, b)| Expression::Neq(a, b)),
+        arb_var().prop_map(Expression::Bound),
+        (var(), prop_oneof![Just("sea"), Just("n1")]).prop_map(|(a, w)| {
+            Expression::Contains(a, Box::new(Expression::Constant(Term::literal_str(w))))
+        }),
+    ]
+}
+
+/// BGPs, joins, OPTIONAL, UNION and filtered BGPs — everything the morsel
+/// driver may sit underneath.
+fn arb_pattern() -> impl Strategy<Value = GraphPattern> {
+    prop_oneof![
+        arb_bgp(),
+        (arb_bgp(), arb_bgp()).prop_map(|(a, b)| GraphPattern::Join(Box::new(a), Box::new(b))),
+        (arb_bgp(), arb_bgp()).prop_map(|(a, b)| GraphPattern::Optional(Box::new(a), Box::new(b))),
+        (arb_bgp(), arb_bgp()).prop_map(|(a, b)| GraphPattern::Union(Box::new(a), Box::new(b))),
+        (arb_bgp(), arb_filter_expr())
+            .prop_map(|(inner, e)| GraphPattern::Filter(Box::new(inner), e)),
+    ]
+}
+
+fn select_query(
+    pattern: GraphPattern,
+    distinct: bool,
+    limit: Option<usize>,
+    offset: Option<usize>,
+) -> Query {
+    Query {
+        form: QueryForm::Select {
+            variables: Vec::new(),
+            distinct,
+        },
+        pattern,
+        limit,
+        offset,
+    }
+}
+
+/// A config that fans out on stores of a handful of triples: every worker
+/// is expected to absorb a single driver row, pages of any size may go
+/// parallel, and each worker's share splits into several morsels.
+fn eager(max_dop: usize, morsels_per_worker: usize) -> ParallelConfig {
+    ParallelConfig {
+        max_dop,
+        rows_per_worker: 1.0,
+        morsels_per_worker,
+        min_page_rows: 0,
+    }
+}
+
+fn run(snapshot: &Arc<StoreSnapshot>, query: &Query, config: ParallelConfig) -> QueryResults {
+    Planner::for_shared_snapshot(snapshot)
+        .with_parallelism(config)
+        .plan(query)
+        .execute()
+        .expect("execution succeeds")
+        .results
+}
+
+fn row_multiset(results: &QueryResults) -> Vec<String> {
+    let mut rows: Vec<String> = results.rows().iter().map(|b| format!("{b:?}")).collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    /// Parallel execution at varying worker counts and morsel granularities
+    /// returns the sequential executor's rows *byte-identically* — same
+    /// rows, same order, same paging — and the sequential rows agree with
+    /// the naive reference evaluator as a multiset.
+    #[test]
+    fn parallel_equals_sequential_equals_naive(
+        snapshot in arb_snapshot(),
+        pattern in arb_pattern(),
+        distinct in any::<bool>(),
+        page in prop::option::of((0usize..10, 0usize..4)),
+        max_dop in 2usize..9,
+        morsels_per_worker in 1usize..5,
+    ) {
+        let (limit, offset) = match page {
+            Some((limit, offset)) => (Some(limit), Some(offset)),
+            None => (None, None),
+        };
+        let query = select_query(pattern, distinct, limit, offset);
+
+        let sequential = run(&snapshot, &query, eager(1, morsels_per_worker));
+        let parallel = run(&snapshot, &query, eager(max_dop, morsels_per_worker));
+        prop_assert!(
+            parallel == sequential,
+            "parallel rows diverge at dop {} / {} morsels-per-worker\nquery:\n{}",
+            max_dop, morsels_per_worker, query.to_sparql()
+        );
+
+        // Unpaged queries must also match the naive evaluator's multiset
+        // (paged text-search queries legitimately cap their fan-out, so the
+        // planner-vs-naive paging laws live in planner_properties.rs).
+        if limit.is_none() && offset.is_none() {
+            let naive = execute_naive(&snapshot, &query).expect("naive execution succeeds");
+            prop_assert!(
+                row_multiset(&sequential) == row_multiset(&naive),
+                "sequential rows diverge from naive\nquery:\n{}",
+                query.to_sparql()
+            );
+        }
+    }
+
+    /// A deadline that expires mid-run yields a clean *prefix* of the full
+    /// result (never reordered or invented rows) with the flag set.
+    #[test]
+    fn expired_deadline_yields_flagged_prefix(
+        snapshot in arb_snapshot(),
+        pattern in arb_pattern(),
+        max_dop in 1usize..9,
+    ) {
+        let query = select_query(pattern, false, None, None);
+        let plan = Planner::for_shared_snapshot(&snapshot)
+            .with_parallelism(eager(max_dop, 2))
+            .plan(&query);
+        let full = plan.execute().expect("execution succeeds");
+        let lapsed = plan
+            .execute_with(ExecOptions { deadline: Some(Instant::now() - std::time::Duration::from_secs(1)) })
+            .expect("execution succeeds");
+
+        prop_assert!(lapsed.results.rows().len() <= full.results.rows().len());
+        for (got, want) in lapsed.results.rows().iter().zip(full.results.rows()) {
+            prop_assert_eq!(got, want);
+        }
+        if lapsed.results.rows().len() < full.results.rows().len() {
+            prop_assert!(lapsed.metrics.deadline_exceeded);
+        }
+    }
+}
+
+/// The headline regression test: a skewed store large enough that the
+/// driver scan splits into many morsels, a paging query with `DISTINCT`,
+/// `OFFSET` and `LIMIT`, and the parallel path *provably engaged* — the
+/// answer must be byte-identical between 1 and 8 workers.
+#[test]
+fn one_and_eight_workers_page_identically() {
+    let mut store = Store::new();
+    for i in 0..400 {
+        let person = Term::iri(format!("http://g/person{i}"));
+        // Zipf-ish: person i knows persons i+1 .. i+1+deg for a skewed deg.
+        let degree = 1 + 40 / (1 + i % 13);
+        for d in 1..=degree {
+            store.insert(Triple::new(
+                person.clone(),
+                Term::iri("http://g/knows"),
+                Term::iri(format!("http://g/person{}", (i + d) % 400)),
+            ));
+        }
+        store.insert(Triple::new(
+            person.clone(),
+            Term::iri("http://g/city"),
+            Term::iri(format!("http://g/city{}", i % 7)),
+        ));
+    }
+    let snapshot = LiveStore::new(store).snapshot();
+
+    let query = kgqan_sparql::parse_query(
+        "SELECT DISTINCT ?city WHERE { \
+           ?a <http://g/knows> ?b . ?b <http://g/city> ?city . \
+         } OFFSET 2 LIMIT 3",
+    )
+    .expect("query parses");
+
+    let sequential = Planner::for_shared_snapshot(&snapshot)
+        .with_parallelism(eager(1, 4))
+        .plan(&query)
+        .execute()
+        .expect("sequential run succeeds");
+    assert!(
+        sequential.metrics.parallel.is_none(),
+        "max_dop 1 must stay sequential"
+    );
+
+    let parallel = Planner::for_shared_snapshot(&snapshot)
+        .with_parallelism(eager(8, 4))
+        .plan(&query)
+        .execute()
+        .expect("parallel run succeeds");
+    let metrics = parallel
+        .metrics
+        .parallel
+        .as_ref()
+        .expect("parallel path must engage on this store");
+    assert!(metrics.dop >= 1 && metrics.morsels >= 2);
+
+    assert_eq!(parallel.results, sequential.results);
+    assert_eq!(sequential.results.rows().len(), 3);
+}
